@@ -1,0 +1,358 @@
+//! Deployment harness for the baseline 2PC-over-Paxos TCS.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ratc_sim::{Actor, Context, SimConfig, SimDuration, SimTime, World};
+use ratc_types::{
+    CertificationPolicy, Decision, HashSharding, Payload, ProcessId, Serializability, ShardId,
+    ShardMap, TcsHistory, TxId,
+};
+
+use crate::messages::BaselineMsg;
+use crate::replica::BaselineShardReplica;
+use crate::tm::TransactionManager;
+
+/// Configuration of a simulated baseline deployment.
+#[derive(Clone)]
+pub struct BaselineClusterConfig {
+    /// Number of shards.
+    pub shards: u32,
+    /// Failures to tolerate per shard; each shard gets `2f + 1` replicas, and
+    /// so does the transaction-manager group.
+    pub f: usize,
+    /// Certification policy.
+    pub policy: Arc<dyn CertificationPolicy>,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+}
+
+impl Default for BaselineClusterConfig {
+    fn default() -> Self {
+        BaselineClusterConfig {
+            shards: 2,
+            f: 1,
+            policy: Arc::new(Serializability::new()),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for BaselineClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineClusterConfig")
+            .field("shards", &self.shards)
+            .field("f", &self.f)
+            .finish()
+    }
+}
+
+impl BaselineClusterConfig {
+    /// Returns a copy with the given number of shards.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with the given `f`.
+    pub fn with_f(mut self, f: usize) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Returns a copy with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+}
+
+/// Client actor of the baseline TCS.
+#[derive(Debug, Default)]
+pub struct BaselineClientActor {
+    history: TcsHistory,
+    submit_times: BTreeMap<TxId, SimTime>,
+    hops: BTreeMap<TxId, u32>,
+    violations: Vec<String>,
+}
+
+impl BaselineClientActor {
+    /// Records the certify action at submission time.
+    pub fn record_certify(&mut self, tx: TxId, payload: Payload, now: SimTime) {
+        if let Err(err) = self.history.record_certify(tx, payload) {
+            self.violations.push(err.to_string());
+        }
+        self.submit_times.insert(tx, now);
+    }
+
+    /// The recorded history.
+    pub fn history(&self) -> &TcsHistory {
+        &self.history
+    }
+
+    /// Message delays per decided transaction.
+    pub fn hops(&self) -> &BTreeMap<TxId, u32> {
+        &self.hops
+    }
+
+    /// Violations (contradictory decisions); empty in a correct run.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+impl Actor<BaselineMsg> for BaselineClientActor {
+    fn on_message(&mut self, _from: ProcessId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+        if let BaselineMsg::DecisionClient { tx, decision } = msg {
+            if let Err(err) = self.history.record_decide(tx, decision) {
+                self.violations.push(err.to_string());
+                return;
+            }
+            self.hops.entry(tx).or_insert(ctx.hops());
+            ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
+            match decision {
+                Decision::Commit => ctx.add_counter("client_commits", 1),
+                Decision::Abort => ctx.add_counter("client_aborts", 1),
+            }
+        }
+    }
+}
+
+/// A fully wired baseline deployment: `2f + 1` replicas per shard, a
+/// `2f + 1`-member transaction-manager group and one client.
+pub struct BaselineCluster {
+    /// The simulation world.
+    pub world: World<BaselineMsg>,
+    sharding: Arc<HashSharding>,
+    client: ProcessId,
+    tm_leader: ProcessId,
+    tm_group: Vec<ProcessId>,
+    shard_groups: BTreeMap<ShardId, Vec<ProcessId>>,
+    shard_leaders: BTreeMap<ShardId, ProcessId>,
+}
+
+impl BaselineCluster {
+    /// Builds the cluster.
+    pub fn new(config: BaselineClusterConfig) -> Self {
+        let sharding = Arc::new(HashSharding::new(config.shards));
+        let mut world: World<BaselineMsg> = World::new(config.sim.clone());
+        let replicas_per_group = 2 * config.f + 1;
+
+        let mut shard_groups: BTreeMap<ShardId, Vec<ProcessId>> = BTreeMap::new();
+        for shard_idx in 0..config.shards {
+            let shard = ShardId::new(shard_idx);
+            let mut group = Vec::new();
+            for _ in 0..replicas_per_group {
+                group.push(world.add_actor(BaselineShardReplica::new(shard, config.policy.as_ref())));
+            }
+            shard_groups.insert(shard, group);
+        }
+        let shard_leaders: BTreeMap<ShardId, ProcessId> = shard_groups
+            .iter()
+            .map(|(shard, group)| (*shard, group[0]))
+            .collect();
+
+        let mut tm_group = Vec::new();
+        for _ in 0..replicas_per_group {
+            tm_group.push(world.add_actor(TransactionManager::new(
+                sharding.clone() as Arc<dyn ShardMap + Send + Sync>,
+            )));
+        }
+        let tm_leader = tm_group[0];
+        let client = world.add_actor(BaselineClientActor::default());
+
+        for (shard, group) in &shard_groups {
+            for pid in group {
+                world
+                    .actor_mut::<BaselineShardReplica>(*pid)
+                    .expect("replica")
+                    .install(*pid, group.clone(), *pid == shard_leaders[shard], tm_leader);
+            }
+        }
+        for pid in &tm_group {
+            world
+                .actor_mut::<TransactionManager>(*pid)
+                .expect("tm member")
+                .install(*pid, tm_group.clone(), *pid == tm_leader, shard_leaders.clone());
+        }
+
+        BaselineCluster {
+            world,
+            sharding,
+            client,
+            tm_leader,
+            tm_group,
+            shard_groups,
+            shard_leaders,
+        }
+    }
+
+    /// The shard map of this cluster.
+    pub fn sharding(&self) -> &HashSharding {
+        &self.sharding
+    }
+
+    /// The transaction-manager leader.
+    pub fn tm_leader(&self) -> ProcessId {
+        self.tm_leader
+    }
+
+    /// The transaction-manager group.
+    pub fn tm_group(&self) -> &[ProcessId] {
+        &self.tm_group
+    }
+
+    /// The leader of `shard`.
+    pub fn shard_leader(&self, shard: ShardId) -> ProcessId {
+        self.shard_leaders[&shard]
+    }
+
+    /// The replicas of `shard`.
+    pub fn shard_group(&self, shard: ShardId) -> &[ProcessId] {
+        self.shard_groups.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of replica processes (excluding the client).
+    pub fn replica_count(&self) -> usize {
+        self.shard_groups.values().map(Vec::len).sum::<usize>() + self.tm_group.len()
+    }
+
+    /// Submits a transaction for certification.
+    pub fn submit(&mut self, tx: TxId, payload: Payload) {
+        let now = self.world.now();
+        self.world
+            .actor_mut::<BaselineClientActor>(self.client)
+            .expect("client")
+            .record_certify(tx, payload.clone(), now);
+        let client = self.client;
+        let tm = self.tm_leader;
+        self.world
+            .send_external(tm, BaselineMsg::Certify { tx, payload, client });
+    }
+
+    /// Crashes a process.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.world.crash(pid);
+    }
+
+    /// Runs the simulation until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        self.world.run();
+    }
+
+    /// Runs for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.world.now() + duration;
+        self.world.run_until(until);
+    }
+
+    /// The client's recorded history.
+    pub fn history(&self) -> TcsHistory {
+        self.world
+            .actor::<BaselineClientActor>(self.client)
+            .expect("client")
+            .history()
+            .clone()
+    }
+
+    /// Message delays per decided transaction.
+    pub fn decision_hops(&self) -> BTreeMap<TxId, u32> {
+        self.world
+            .actor::<BaselineClientActor>(self.client)
+            .expect("client")
+            .hops()
+            .clone()
+    }
+
+    /// Violations observed by the client (empty in a correct run).
+    pub fn client_violations(&self) -> Vec<String> {
+        self.world
+            .actor::<BaselineClientActor>(self.client)
+            .expect("client")
+            .violations()
+            .to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Key, Value, Version};
+
+    fn rw(key: &str) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(0))
+            .write(Key::new(key), Value::from("v"))
+            .commit_version(Version::new(1))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn single_transaction_commits_in_seven_delays_at_steady_state() {
+        let mut cluster = BaselineCluster::new(BaselineClusterConfig::default());
+        // First transaction pays Paxos phase-1 once; measure the second.
+        cluster.submit(TxId::new(1), rw("warmup"));
+        cluster.run_to_quiescence();
+        cluster.submit(TxId::new(2), rw("x"));
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert_eq!(history.decision(TxId::new(2)), Some(Decision::Commit));
+        let hops = cluster.decision_hops()[&TxId::new(2)];
+        assert_eq!(hops, 7, "baseline decision latency must be 7 message delays");
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn conflicting_transactions_do_not_both_commit() {
+        let mut cluster = BaselineCluster::new(BaselineClusterConfig::default().with_seed(5));
+        cluster.submit(TxId::new(1), rw("hot"));
+        cluster.submit(TxId::new(2), rw("hot"));
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert!(history.committed().count() <= 1);
+        assert_eq!(history.decide_count(), 2);
+    }
+
+    #[test]
+    fn many_disjoint_transactions_commit() {
+        let mut cluster =
+            BaselineCluster::new(BaselineClusterConfig::default().with_shards(3).with_seed(9));
+        for i in 0..20 {
+            cluster.submit(TxId::new(i), rw(&format!("k{i}")));
+        }
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.history().committed().count(), 20);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn a_single_follower_failure_is_masked_without_reconfiguration() {
+        let mut cluster = BaselineCluster::new(BaselineClusterConfig::default().with_seed(3));
+        let shard = ShardId::new(0);
+        // Crash one non-leader replica of shard 0: the Paxos majority survives,
+        // so transactions keep committing with no reconfiguration.
+        let victim = cluster.shard_group(shard)[1];
+        cluster.crash(victim);
+        for i in 0..10 {
+            cluster.submit(TxId::new(i), rw(&format!("k{i}")));
+        }
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.history().committed().count(), 10);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn replica_count_is_2f_plus_1_per_group() {
+        let cluster = BaselineCluster::new(BaselineClusterConfig::default().with_f(2));
+        // 2 shards * 5 replicas + 5 TM members.
+        assert_eq!(cluster.replica_count(), 15);
+        assert_eq!(cluster.shard_group(ShardId::new(0)).len(), 5);
+        assert_eq!(cluster.tm_group().len(), 5);
+        assert!(cluster
+            .world
+            .actor::<TransactionManager>(cluster.tm_leader())
+            .expect("tm")
+            .is_leader());
+    }
+}

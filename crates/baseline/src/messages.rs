@@ -1,0 +1,103 @@
+//! Messages of the baseline 2PC-over-Paxos TCS.
+
+use ratc_paxos::PaxosMsg;
+use ratc_types::{Decision, Payload, ProcessId, ShardId, TxId};
+
+/// Command replicated in a shard's Multi-Paxos log: the shard's prepared vote
+/// on a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCommand {
+    /// The transaction.
+    pub tx: TxId,
+    /// The shard-restricted payload.
+    pub payload: Payload,
+    /// The leader's vote.
+    pub vote: Decision,
+}
+
+/// Command replicated in the transaction manager's Multi-Paxos log: the final
+/// decision on a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TmCommand {
+    /// The transaction.
+    pub tx: TxId,
+    /// The final decision.
+    pub decision: Decision,
+    /// The client to notify.
+    pub client: ProcessId,
+    /// The shards that participated.
+    pub shards: Vec<ShardId>,
+}
+
+/// Messages of the baseline TCS.
+#[derive(Debug, Clone)]
+pub enum BaselineMsg {
+    /// `certify(t, l)` submitted to the transaction manager.
+    Certify {
+        /// Transaction identifier.
+        tx: TxId,
+        /// Full payload.
+        payload: Payload,
+        /// Issuing client.
+        client: ProcessId,
+    },
+    /// 2PC `PREPARE` from the transaction manager to a shard leader.
+    Prepare {
+        /// Transaction identifier.
+        tx: TxId,
+        /// Shard-restricted payload.
+        payload: Payload,
+    },
+    /// A shard's vote, sent to the transaction manager once the vote is
+    /// *chosen* in the shard's Paxos log.
+    Vote {
+        /// The voting shard.
+        shard: ShardId,
+        /// Transaction identifier.
+        tx: TxId,
+        /// The replicated vote.
+        vote: Decision,
+    },
+    /// Final decision distributed to the shard leaders once it is chosen in
+    /// the transaction manager's Paxos log.
+    Decision {
+        /// Transaction identifier.
+        tx: TxId,
+        /// The decision.
+        decision: Decision,
+    },
+    /// Final decision reported to the client.
+    DecisionClient {
+        /// Transaction identifier.
+        tx: TxId,
+        /// The decision.
+        decision: Decision,
+    },
+    /// Paxos traffic of a shard's replication group.
+    ShardPaxos {
+        /// The shard whose group this message belongs to.
+        shard: ShardId,
+        /// The Paxos message.
+        msg: PaxosMsg<ShardCommand>,
+    },
+    /// Paxos traffic of the transaction manager's replication group.
+    TmPaxos {
+        /// The Paxos message.
+        msg: PaxosMsg<TmCommand>,
+    },
+}
+
+impl BaselineMsg {
+    /// A short name for metrics and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BaselineMsg::Certify { .. } => "certify",
+            BaselineMsg::Prepare { .. } => "prepare",
+            BaselineMsg::Vote { .. } => "vote",
+            BaselineMsg::Decision { .. } => "decision",
+            BaselineMsg::DecisionClient { .. } => "decision_client",
+            BaselineMsg::ShardPaxos { .. } => "shard_paxos",
+            BaselineMsg::TmPaxos { .. } => "tm_paxos",
+        }
+    }
+}

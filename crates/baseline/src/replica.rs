@@ -1,0 +1,196 @@
+//! Baseline shard replicas: certification + a Multi-Paxos log per shard.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
+use ratc_sim::{Actor, Context};
+use ratc_types::{
+    CertificationPolicy, Decision, Payload, ProcessId, ShardCertifier, ShardId, TxId,
+};
+
+use crate::messages::{BaselineMsg, ShardCommand};
+
+/// A replica of one shard in the baseline design.
+///
+/// Every replica is a Paxos acceptor of its shard's group; the distinguished
+/// leader additionally certifies transactions and proposes the resulting votes
+/// to the group. A vote is reported to the transaction manager only once it is
+/// chosen, i.e. durable at a majority of the `2f + 1` replicas.
+pub struct BaselineShardReplica {
+    id: ProcessId,
+    shard: ShardId,
+    is_leader: bool,
+    tm: ProcessId,
+    group: Vec<ProcessId>,
+    certifier: Arc<dyn ShardCertifier>,
+    acceptor: Acceptor<ShardCommand>,
+    proposer: Option<Proposer<ShardCommand>>,
+    log: ReplicatedLog<ShardCommand>,
+    /// Chosen (prepared) votes: tx -> (payload, vote, decided?).
+    prepared: BTreeMap<TxId, (Payload, Decision, Option<Decision>)>,
+    /// Transactions proposed but whose vote is not chosen yet.
+    in_flight: BTreeMap<TxId, (Payload, Decision)>,
+    phase1_started: bool,
+}
+
+impl BaselineShardReplica {
+    /// Creates a replica. The harness later installs identifiers and group
+    /// membership with [`BaselineShardReplica::install`].
+    pub fn new<P>(shard: ShardId, policy: &P) -> Self
+    where
+        P: CertificationPolicy + ?Sized,
+    {
+        BaselineShardReplica {
+            id: ProcessId::new(u64::MAX),
+            shard,
+            is_leader: false,
+            tm: ProcessId::new(u64::MAX),
+            group: Vec::new(),
+            certifier: policy.shard_certifier(shard),
+            acceptor: Acceptor::new(ProcessId::new(u64::MAX)),
+            proposer: None,
+            log: ReplicatedLog::new(),
+            prepared: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            phase1_started: false,
+        }
+    }
+
+    /// Installs the replica's identity, the shard's Paxos group, whether this
+    /// replica is the group's leader, and the transaction manager's address.
+    pub fn install(&mut self, id: ProcessId, group: Vec<ProcessId>, leader: bool, tm: ProcessId) {
+        self.id = id;
+        self.acceptor = Acceptor::new(id);
+        self.group = group.clone();
+        self.is_leader = leader;
+        self.tm = tm;
+        if leader {
+            self.proposer = Some(Proposer::new(id, group, 0));
+        }
+    }
+
+    /// This replica's shard.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Whether this replica is its shard's leader.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    /// Number of votes chosen (replicated) at this replica's log view.
+    pub fn chosen_votes(&self) -> usize {
+        self.log.len()
+    }
+
+    fn route(&self, ctx: &mut Context<'_, BaselineMsg>, out: Vec<(ProcessId, PaxosMsg<ShardCommand>)>) {
+        let shard = self.shard;
+        for (to, msg) in out {
+            if to == self.id {
+                // Deliver to ourselves through the network like everyone else,
+                // keeping message accounting uniform.
+                ctx.send(to, BaselineMsg::ShardPaxos { shard, msg });
+            } else {
+                ctx.send(to, BaselineMsg::ShardPaxos { shard, msg });
+            }
+        }
+    }
+
+    fn certify_and_propose(&mut self, tx: TxId, payload: Payload, ctx: &mut Context<'_, BaselineMsg>) {
+        if !self.is_leader {
+            return;
+        }
+        if self.prepared.contains_key(&tx) || self.in_flight.contains_key(&tx) {
+            return;
+        }
+        let committed: Vec<&Payload> = self
+            .prepared
+            .values()
+            .filter(|(_, _, dec)| *dec == Some(Decision::Commit))
+            .map(|(p, _, _)| p)
+            .collect();
+        let pending: Vec<&Payload> = self
+            .prepared
+            .values()
+            .filter(|(_, vote, dec)| dec.is_none() && *vote == Decision::Commit)
+            .map(|(p, _, _)| p)
+            .chain(
+                self.in_flight
+                    .values()
+                    .filter(|(_, vote)| *vote == Decision::Commit)
+                    .map(|(p, _)| p),
+            )
+            .collect();
+        let vote = self.certifier.vote(&committed, &pending, &payload);
+        self.in_flight.insert(tx, (payload.clone(), vote));
+        if !self.phase1_started {
+            self.phase1_started = true;
+            let out = self
+                .proposer
+                .as_mut()
+                .expect("leader has a proposer")
+                .start_phase1();
+            self.route(ctx, out);
+        }
+        let proposer = self.proposer.as_mut().expect("leader has a proposer");
+        let out = proposer.propose(ShardCommand { tx, payload, vote });
+        self.route(ctx, out);
+    }
+
+    fn handle_paxos(&mut self, from: ProcessId, msg: PaxosMsg<ShardCommand>, ctx: &mut Context<'_, BaselineMsg>) {
+        // Acceptor role.
+        let out = self.acceptor.handle(from, msg.clone());
+        self.route(ctx, out);
+        // Learner role.
+        if let PaxosMsg::Chosen { slot, command } = &msg {
+            self.log.record_chosen(*slot, command.clone());
+            self.prepared
+                .entry(command.tx)
+                .or_insert((command.payload.clone(), command.vote, None));
+        }
+        // Proposer role (leader only).
+        if let Some(proposer) = self.proposer.as_mut() {
+            let (out, chosen) = proposer.handle(msg);
+            let mut to_send = Vec::new();
+            for (slot, command) in chosen {
+                self.log.record_chosen(slot, command.clone());
+                self.in_flight.remove(&command.tx);
+                self.prepared
+                    .entry(command.tx)
+                    .or_insert((command.payload.clone(), command.vote, None));
+                // The vote is now durable at a majority: report it to the TM.
+                to_send.push(BaselineMsg::Vote {
+                    shard: self.shard,
+                    tx: command.tx,
+                    vote: command.vote,
+                });
+            }
+            self.route(ctx, out);
+            for msg in to_send {
+                ctx.send(self.tm, msg);
+            }
+        }
+    }
+}
+
+impl Actor<BaselineMsg> for BaselineShardReplica {
+    fn on_start(&mut self, _ctx: &mut Context<'_, BaselineMsg>) {}
+
+    fn on_message(&mut self, from: ProcessId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+        match msg {
+            BaselineMsg::Prepare { tx, payload } => self.certify_and_propose(tx, payload, ctx),
+            BaselineMsg::ShardPaxos { shard, msg } if shard == self.shard => {
+                self.handle_paxos(from, msg, ctx)
+            }
+            BaselineMsg::Decision { tx, decision } => {
+                if let Some(entry) = self.prepared.get_mut(&tx) {
+                    entry.2 = Some(decision);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+

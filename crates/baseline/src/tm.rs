@@ -1,0 +1,237 @@
+//! The baseline transaction manager (2PC coordinator) and its Paxos group.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
+use ratc_sim::{Actor, Context};
+use ratc_types::{Decision, Payload, ProcessId, ShardId, ShardMap, TxId};
+
+use crate::messages::{BaselineMsg, TmCommand};
+
+/// State of one in-flight transaction at the transaction manager.
+#[derive(Debug, Clone)]
+struct PendingTx {
+    client: ProcessId,
+    shards: Vec<ShardId>,
+    votes: BTreeMap<ShardId, Decision>,
+    proposed: bool,
+}
+
+/// The transaction manager of the baseline TCS (and, with `is_leader = false`,
+/// a passive member of its replication group).
+///
+/// The leader drives 2PC: it sends `PREPARE` to the leader of every involved
+/// shard, collects votes (each vote is already durable in its shard's Paxos
+/// log), computes the decision with `⊓`, commits the decision to its own Paxos
+/// log, and only then externalises it to the client and the shards. This is
+/// the 7-message-delay critical path the paper attributes to the vanilla
+/// approach.
+pub struct TransactionManager {
+    id: ProcessId,
+    is_leader: bool,
+    group: Vec<ProcessId>,
+    shard_leaders: BTreeMap<ShardId, ProcessId>,
+    sharding: Arc<dyn ShardMap + Send + Sync>,
+    acceptor: Acceptor<TmCommand>,
+    proposer: Option<Proposer<TmCommand>>,
+    log: ReplicatedLog<TmCommand>,
+    pending: BTreeMap<TxId, PendingTx>,
+    decided: BTreeMap<TxId, Decision>,
+    phase1_started: bool,
+}
+
+impl TransactionManager {
+    /// Creates a transaction-manager group member.
+    pub fn new(sharding: Arc<dyn ShardMap + Send + Sync>) -> Self {
+        TransactionManager {
+            id: ProcessId::new(u64::MAX),
+            is_leader: false,
+            group: Vec::new(),
+            shard_leaders: BTreeMap::new(),
+            sharding,
+            acceptor: Acceptor::new(ProcessId::new(u64::MAX)),
+            proposer: None,
+            log: ReplicatedLog::new(),
+            pending: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            phase1_started: false,
+        }
+    }
+
+    /// Installs identity, group membership, leadership and the shard-leader
+    /// directory.
+    pub fn install(
+        &mut self,
+        id: ProcessId,
+        group: Vec<ProcessId>,
+        leader: bool,
+        shard_leaders: BTreeMap<ShardId, ProcessId>,
+    ) {
+        self.id = id;
+        self.acceptor = Acceptor::new(id);
+        self.group = group.clone();
+        self.is_leader = leader;
+        self.shard_leaders = shard_leaders;
+        if leader {
+            self.proposer = Some(Proposer::new(id, group, 0));
+        }
+    }
+
+    /// Whether this member leads the transaction-manager group.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+
+    /// Number of decisions replicated in this member's view of the log.
+    pub fn decided_count(&self) -> usize {
+        self.decided.len()
+    }
+
+    fn route(&self, ctx: &mut Context<'_, BaselineMsg>, out: Vec<(ProcessId, PaxosMsg<TmCommand>)>) {
+        for (to, msg) in out {
+            ctx.send(to, BaselineMsg::TmPaxos { msg });
+        }
+    }
+
+    fn handle_certify(
+        &mut self,
+        tx: TxId,
+        payload: Payload,
+        client: ProcessId,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        if !self.is_leader || self.pending.contains_key(&tx) || self.decided.contains_key(&tx) {
+            return;
+        }
+        let shards = payload.shards(self.sharding.as_ref());
+        if shards.is_empty() {
+            ctx.send(
+                client,
+                BaselineMsg::DecisionClient {
+                    tx,
+                    decision: Decision::Commit,
+                },
+            );
+            return;
+        }
+        self.pending.insert(
+            tx,
+            PendingTx {
+                client,
+                shards: shards.clone(),
+                votes: BTreeMap::new(),
+                proposed: false,
+            },
+        );
+        for shard in shards {
+            let Some(leader) = self.shard_leaders.get(&shard) else {
+                continue;
+            };
+            ctx.send(
+                *leader,
+                BaselineMsg::Prepare {
+                    tx,
+                    payload: payload.restrict(shard, self.sharding.as_ref()),
+                },
+            );
+        }
+    }
+
+    fn handle_vote(
+        &mut self,
+        shard: ShardId,
+        tx: TxId,
+        vote: Decision,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        if !self.is_leader {
+            return;
+        }
+        let Some(pending) = self.pending.get_mut(&tx) else {
+            return;
+        };
+        pending.votes.insert(shard, vote);
+        if pending.proposed || pending.votes.len() < pending.shards.len() {
+            return;
+        }
+        pending.proposed = true;
+        let decision = Decision::meet_all(pending.votes.values().copied());
+        let command = TmCommand {
+            tx,
+            decision,
+            client: pending.client,
+            shards: pending.shards.clone(),
+        };
+        if !self.phase1_started {
+            self.phase1_started = true;
+            let out = self
+                .proposer
+                .as_mut()
+                .expect("leader has a proposer")
+                .start_phase1();
+            self.route(ctx, out);
+        }
+        let out = self
+            .proposer
+            .as_mut()
+            .expect("leader has a proposer")
+            .propose(command);
+        self.route(ctx, out);
+    }
+
+    fn handle_paxos(
+        &mut self,
+        from: ProcessId,
+        msg: PaxosMsg<TmCommand>,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        let out = self.acceptor.handle(from, msg.clone());
+        self.route(ctx, out);
+        if let PaxosMsg::Chosen { slot, command } = &msg {
+            self.log.record_chosen(*slot, command.clone());
+            self.decided.entry(command.tx).or_insert(command.decision);
+        }
+        if let Some(proposer) = self.proposer.as_mut() {
+            let (out, chosen) = proposer.handle(msg);
+            self.route(ctx, out);
+            for (slot, command) in chosen {
+                self.log.record_chosen(slot, command.clone());
+                self.decided.entry(command.tx).or_insert(command.decision);
+                self.pending.remove(&command.tx);
+                // The decision is durable: externalise it.
+                ctx.send(
+                    command.client,
+                    BaselineMsg::DecisionClient {
+                        tx: command.tx,
+                        decision: command.decision,
+                    },
+                );
+                for shard in &command.shards {
+                    if let Some(leader) = self.shard_leaders.get(shard) {
+                        ctx.send(
+                            *leader,
+                            BaselineMsg::Decision {
+                                tx: command.tx,
+                                decision: command.decision,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<BaselineMsg> for TransactionManager {
+    fn on_message(&mut self, from: ProcessId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+        match msg {
+            BaselineMsg::Certify { tx, payload, client } => {
+                self.handle_certify(tx, payload, client, ctx)
+            }
+            BaselineMsg::Vote { shard, tx, vote } => self.handle_vote(shard, tx, vote, ctx),
+            BaselineMsg::TmPaxos { msg } => self.handle_paxos(from, msg, ctx),
+            _ => {}
+        }
+    }
+}

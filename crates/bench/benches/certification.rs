@@ -1,0 +1,41 @@
+//! Criterion benchmark for the certification functions themselves (E5's
+//! inner loop): cost of `f_s ⊓ g_s` as the number of previously
+//! committed/prepared payloads grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratc_types::prelude::*;
+
+fn payloads(n: usize) -> Vec<Payload> {
+    (0..n)
+        .map(|i| {
+            Payload::builder()
+                .read(Key::new(format!("k{}", i % 64)), Version::new(i as u64))
+                .write(Key::new(format!("k{}", i % 64)), Value::from("v"))
+                .commit_version(Version::new(i as u64 + 1))
+                .build()
+                .expect("well-formed")
+        })
+        .collect()
+}
+
+fn bench_certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_certification_function");
+    let candidate = Payload::builder()
+        .read(Key::new("k1"), Version::new(1))
+        .write(Key::new("k1"), Value::from("x"))
+        .commit_version(Version::new(1_000_000))
+        .build()
+        .expect("well-formed");
+    for size in [10usize, 100, 1_000] {
+        let history = payloads(size);
+        let refs: Vec<&Payload> = history.iter().collect();
+        let certifier = Serializability::new().shard_certifier(ShardId::new(0));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| certifier.vote(&refs, &refs, &candidate));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certification);
+criterion_main!(benches);

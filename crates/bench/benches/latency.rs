@@ -1,0 +1,24 @@
+//! Criterion benchmark behind experiment E1: wall-clock cost of certifying a
+//! batch of transactions end-to-end under each protocol, plus the
+//! message-delay counts reported to stdout by `exp_e1_latency`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratc_workload::{latency_experiment, Protocol};
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_decision_latency");
+    group.sample_size(10);
+    for protocol in [Protocol::RatcMp, Protocol::RatcRdma, Protocol::Baseline] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| latency_experiment(*protocol, 2, 20, 42));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

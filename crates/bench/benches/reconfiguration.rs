@@ -1,0 +1,23 @@
+//! Criterion benchmark behind experiment E6: cost of a crash + reconfiguration
+//! cycle for the f+1 protocol and of a masked failure for the 2f+1 baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratc_workload::{reconfiguration_experiment, Protocol};
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_reconfiguration");
+    group.sample_size(10);
+    for protocol in [Protocol::RatcMp, Protocol::Baseline] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| reconfiguration_experiment(*protocol, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfiguration);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E1: client-visible decision latency in message delays.
+
+use ratc_workload::{latency_experiment, Protocol};
+
+fn main() {
+    ratc_bench::header(
+        "E1",
+        "decision latency in message delays",
+        "RATC reaches a decision in 5 message delays (4 with a co-located client); \
+         the vanilla 2PC-over-Paxos baseline needs 7 (§1, §3)",
+    );
+    for shards in [2, 4, 8] {
+        for protocol in [Protocol::RatcMp, Protocol::RatcRdma, Protocol::Baseline] {
+            println!("{}", latency_experiment(protocol, shards, 50, 42));
+        }
+        println!();
+    }
+}

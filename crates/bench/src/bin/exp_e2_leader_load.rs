@@ -1,0 +1,15 @@
+//! E2: messages handled by shard leaders per transaction.
+
+use ratc_workload::{leader_load_experiment, Protocol};
+
+fn main() {
+    ratc_bench::header(
+        "E2",
+        "leader load",
+        "each RATC leader only receives one PREPARE and one DECISION and sends one \
+         PREPARE_ACK per transaction; Paxos leaders in the baseline handle far more (§3)",
+    );
+    for protocol in [Protocol::RatcMp, Protocol::Baseline] {
+        println!("{}", leader_load_experiment(protocol, 4, 500, 42));
+    }
+}

@@ -1,0 +1,14 @@
+//! E3: replication cost (replicas per shard) as a function of tolerated failures.
+
+use ratc_workload::replication_cost_experiment;
+
+fn main() {
+    ratc_bench::header(
+        "E3",
+        "replication cost",
+        "RATC needs f+1 replicas per shard; Paxos-based designs need 2f+1 (§1)",
+    );
+    for f in 1..=3 {
+        println!("{}", replication_cost_experiment(f));
+    }
+}

@@ -1,0 +1,19 @@
+//! E4: throughput/latency as the number of shards per transaction grows.
+
+use ratc_workload::scaling_experiment;
+
+fn main() {
+    ratc_bench::header(
+        "E4",
+        "scaling with shards per transaction",
+        "the failure-free message flow of Figure 2a involves every shard of the \
+         transaction; latency stays flat while total message cost grows with the \
+         number of involved shards",
+    );
+    for shards in [2u32, 4, 8] {
+        for keys_per_tx in [1usize, 2, 4] {
+            println!("{}", scaling_experiment(shards, keys_per_tx, 300, 42));
+        }
+        println!();
+    }
+}

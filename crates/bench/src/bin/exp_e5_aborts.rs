@@ -1,0 +1,23 @@
+//! E5: abort rate under contention, message-passing vs RDMA data path.
+
+use ratc_workload::{abort_rate_experiment, KeyDistribution, Protocol};
+
+fn main() {
+    ratc_bench::header(
+        "E5",
+        "abort rate vs contention",
+        "g_s aborts transactions conflicting with prepared-but-undecided ones; the \
+         faster the prepared window closes (RDMA), the lower the abort rate (§2, §5)",
+    );
+    for distribution in [
+        KeyDistribution::Uniform,
+        KeyDistribution::Zipfian { theta: 0.9 },
+        KeyDistribution::Zipfian { theta: 1.2 },
+        KeyDistribution::Hotspot { hot_keys: 4 },
+    ] {
+        for protocol in [Protocol::RatcMp, Protocol::RatcRdma] {
+            println!("{}", abort_rate_experiment(protocol, distribution, 300, 42));
+        }
+        println!();
+    }
+}

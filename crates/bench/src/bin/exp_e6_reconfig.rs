@@ -1,0 +1,18 @@
+//! E6: availability after a replica failure — f+1 with reconfiguration vs
+//! 2f+1 with failure masking.
+
+use ratc_workload::{reconfiguration_experiment, Protocol};
+
+fn main() {
+    ratc_bench::header(
+        "E6",
+        "reconfiguration and availability",
+        "with f+1 replicas a single failure blocks the shard until reconfiguration \
+         completes; with 2f+1 the baseline masks it (§1, §6, Theorems 4.2-4.4)",
+    );
+    for protocol in [Protocol::RatcMp, Protocol::Baseline] {
+        for seed in [1u64, 2, 3] {
+            println!("{}", reconfiguration_experiment(protocol, seed));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! E7: the Figure 4a counter-example — naive per-shard reconfiguration with an
+//! RDMA data path violates safety; the correct global reconfiguration does not.
+
+use ratc_rdma::ReconfigMode;
+use ratc_workload::run_counterexample;
+
+fn main() {
+    ratc_bench::header(
+        "E7",
+        "Figure 4a counter-example",
+        "per-shard reconfiguration combined with RDMA allows two contradictory \
+         decisions to be externalised; the protocol of §5 excludes this",
+    );
+    for mode in [ReconfigMode::NaivePerShard, ReconfigMode::GlobalCorrect] {
+        println!("{}", run_counterexample(mode, 1));
+    }
+}

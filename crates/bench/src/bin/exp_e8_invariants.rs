@@ -1,0 +1,14 @@
+//! E8: randomized adversarial runs checked against the protocol invariants and
+//! the TCS specification.
+
+use ratc_workload::invariants_experiment;
+
+fn main() {
+    ratc_bench::header(
+        "E8",
+        "randomized invariant checking",
+        "Invariants 1-5 (Figure 3) and the TCS specification hold on every execution, \
+         including runs that lose undecided transactions to reconfiguration (§3, §4)",
+    );
+    println!("{}", invariants_experiment(50, 30, 1_000));
+}

@@ -1,0 +1,201 @@
+//! The client actor: records the TCS history and client-visible latency.
+//!
+//! Clients are outside the protocol proper: they submit `certify` requests to
+//! a replica acting as coordinator (the deployment harness injects the
+//! request) and receive `DECISION(t, d)` messages. The client actor records a
+//! [`TcsHistory`] — the object over which the specification checkers in
+//! `ratc-spec` operate — plus, for every decision, the number of message
+//! delays and the simulated time since submission.
+
+use std::collections::BTreeMap;
+
+use ratc_sim::{Actor, Context, SimTime};
+use ratc_types::{Decision, Payload, TcsHistory, TxId};
+
+use crate::messages::Msg;
+
+/// Latency observed by the client for one decided transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionLatency {
+    /// Message delays between submission and the decision arriving at the
+    /// client (the unit of the paper's latency claims).
+    pub hops: u32,
+    /// Simulated microseconds between submission and the decision.
+    pub micros: u64,
+    /// The decision itself.
+    pub decision: Decision,
+}
+
+/// A client process recording a TCS history and latency samples.
+#[derive(Debug, Default)]
+pub struct ClientActor {
+    history: TcsHistory,
+    submit_times: BTreeMap<TxId, SimTime>,
+    latencies: BTreeMap<TxId, DecisionLatency>,
+    violations: Vec<String>,
+}
+
+impl ClientActor {
+    /// Creates a client with an empty history.
+    pub fn new() -> Self {
+        ClientActor::default()
+    }
+
+    /// Records the `certify(t, l)` action. Called by the deployment harness at
+    /// the moment it injects the request into the coordinator.
+    pub fn record_certify(&mut self, tx: TxId, payload: Payload, now: SimTime) {
+        if let Err(err) = self.history.record_certify(tx, payload) {
+            self.violations.push(err.to_string());
+        }
+        self.submit_times.insert(tx, now);
+    }
+
+    /// The recorded history.
+    pub fn history(&self) -> &TcsHistory {
+        &self.history
+    }
+
+    /// Latency of each decided transaction.
+    pub fn latencies(&self) -> &BTreeMap<TxId, DecisionLatency> {
+        &self.latencies
+    }
+
+    /// Structural specification violations observed while recording
+    /// (duplicate certifies, contradictory decisions). Always empty in a
+    /// correct run.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Number of committed transactions seen so far.
+    pub fn committed_count(&self) -> usize {
+        self.history.committed().count()
+    }
+
+    /// Number of aborted transactions seen so far.
+    pub fn aborted_count(&self) -> usize {
+        self.history.aborted().count()
+    }
+}
+
+impl Actor<Msg> for ClientActor {
+    fn on_message(&mut self, _from: ratc_types::ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Msg::DecisionClient { tx, decision } = msg {
+            if let Err(err) = self.history.record_decide(tx, decision) {
+                self.violations.push(err.to_string());
+                return;
+            }
+            let micros = self
+                .submit_times
+                .get(&tx)
+                .map(|t| ctx.now().since(*t).as_micros())
+                .unwrap_or(0);
+            // Record only the first decision's latency (duplicates from
+            // concurrent recovery coordinators carry the same decision).
+            self.latencies.entry(tx).or_insert(DecisionLatency {
+                hops: ctx.hops(),
+                micros,
+                decision,
+            });
+            ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
+            ctx.record_sample("client_decision_micros", micros as f64);
+            match decision {
+                Decision::Commit => ctx.add_counter("client_commits", 1),
+                Decision::Abort => ctx.add_counter("client_aborts", 1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_sim::{SimConfig, World};
+    use ratc_types::{Key, ProcessId, Version};
+
+    fn payload(key: &str) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(0))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn records_history_and_latency() {
+        let mut world: World<Msg> = World::new(SimConfig::default());
+        let client = world.add_actor(ClientActor::new());
+        let now = world.now();
+        world
+            .actor_mut::<ClientActor>(client)
+            .expect("client")
+            .record_certify(TxId::new(1), payload("x"), now);
+        world.send_external(
+            client,
+            Msg::DecisionClient {
+                tx: TxId::new(1),
+                decision: Decision::Commit,
+            },
+        );
+        world.run();
+        let actor = world.actor::<ClientActor>(client).expect("client");
+        assert_eq!(actor.committed_count(), 1);
+        assert_eq!(actor.aborted_count(), 0);
+        assert!(actor.violations().is_empty());
+        assert_eq!(actor.history().decision(TxId::new(1)), Some(Decision::Commit));
+        assert!(actor.latencies().contains_key(&TxId::new(1)));
+        assert_eq!(world.metrics().counter("client_commits"), 1);
+    }
+
+    #[test]
+    fn contradictory_decisions_are_reported_as_violations() {
+        let mut world: World<Msg> = World::new(SimConfig::default());
+        let client = world.add_actor(ClientActor::new());
+        let now = world.now();
+        world
+            .actor_mut::<ClientActor>(client)
+            .expect("client")
+            .record_certify(TxId::new(1), payload("x"), now);
+        world.send_external(
+            client,
+            Msg::DecisionClient {
+                tx: TxId::new(1),
+                decision: Decision::Commit,
+            },
+        );
+        world.send_external(
+            client,
+            Msg::DecisionClient {
+                tx: TxId::new(1),
+                decision: Decision::Abort,
+            },
+        );
+        world.run();
+        let actor = world.actor::<ClientActor>(client).expect("client");
+        assert_eq!(actor.violations().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_identical_decisions_are_benign() {
+        let mut world: World<Msg> = World::new(SimConfig::default());
+        let client = world.add_actor(ClientActor::new());
+        let now = world.now();
+        world
+            .actor_mut::<ClientActor>(client)
+            .expect("client")
+            .record_certify(TxId::new(2), payload("y"), now);
+        for _ in 0..3 {
+            world.send_external(
+                client,
+                Msg::DecisionClient {
+                    tx: TxId::new(2),
+                    decision: Decision::Abort,
+                },
+            );
+        }
+        world.run();
+        let actor = world.actor::<ClientActor>(client).expect("client");
+        assert!(actor.violations().is_empty());
+        assert_eq!(actor.aborted_count(), 1);
+        let _ = ProcessId::new(0);
+    }
+}

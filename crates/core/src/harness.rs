@@ -1,0 +1,487 @@
+//! Deployment harness: build and drive a full simulated RATC cluster.
+//!
+//! [`Cluster`] wires together everything a test, example or benchmark needs:
+//! the replicas of every shard, per-shard spare (fresh) replicas available to
+//! reconfiguration, the configuration service, a client, and the deterministic
+//! simulation world. The harness mirrors what an operator would deploy around
+//! the protocol; it contains no protocol logic of its own.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ratc_config::ShardConfiguration;
+use ratc_sim::{SimConfig, SimDuration, SimTime, World};
+use ratc_types::{
+    CertificationPolicy, Epoch, HashSharding, Payload, ProcessId, Serializability, ShardId,
+    ShardMap, TcsHistory, TxId,
+};
+
+use crate::client::{ClientActor, DecisionLatency};
+use crate::config_service::ConfigServiceActor;
+use crate::messages::Msg;
+use crate::replica::Replica;
+
+/// Configuration of a simulated RATC deployment.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of shards.
+    pub shards: u32,
+    /// Replicas per shard (`f + 1` to tolerate `f` failures between
+    /// reconfigurations).
+    pub replicas_per_shard: usize,
+    /// Spare (fresh) replicas per shard available to reconfiguration.
+    pub spares_per_shard: usize,
+    /// The certification policy (isolation level).
+    pub policy: Arc<dyn CertificationPolicy>,
+    /// Simulation parameters (seed, latency model, tracing).
+    pub sim: SimConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 2,
+            replicas_per_shard: 2,
+            spares_per_shard: 2,
+            policy: Arc::new(Serializability::new()),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("shards", &self.shards)
+            .field("replicas_per_shard", &self.replicas_per_shard)
+            .field("spares_per_shard", &self.spares_per_shard)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl ClusterConfig {
+    /// Returns a copy with the given number of shards.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with the given number of replicas per shard.
+    pub fn with_replicas_per_shard(mut self, replicas: usize) -> Self {
+        self.replicas_per_shard = replicas;
+        self
+    }
+
+    /// Returns a copy with the given number of spares per shard.
+    pub fn with_spares_per_shard(mut self, spares: usize) -> Self {
+        self.spares_per_shard = spares;
+        self
+    }
+
+    /// Returns a copy with the given certification policy.
+    pub fn with_policy(mut self, policy: Arc<dyn CertificationPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given simulation configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Returns a copy with the given random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+}
+
+/// A fully wired simulated deployment of the message-passing protocol.
+pub struct Cluster {
+    /// The simulation world; exposed so tests can crash processes, inspect
+    /// metrics and traces, or step the simulation manually.
+    pub world: World<Msg>,
+    sharding: Arc<HashSharding>,
+    cs: ProcessId,
+    client: ProcessId,
+    members: BTreeMap<ShardId, Vec<ProcessId>>,
+    spares: BTreeMap<ShardId, Vec<ProcessId>>,
+    replicas_per_shard: usize,
+    next_coordinator: usize,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.members.len())
+            .field("cs", &self.cs)
+            .field("client", &self.client)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster: replicas and spares per shard, the configuration
+    /// service and one client.
+    pub fn new(config: ClusterConfig) -> Self {
+        let sharding = Arc::new(HashSharding::new(config.shards));
+        let mut world: World<Msg> = World::new(config.sim.clone());
+
+        // Create the replicas of every shard, then the spares.
+        let mut members: BTreeMap<ShardId, Vec<ProcessId>> = BTreeMap::new();
+        let mut spares: BTreeMap<ShardId, Vec<ProcessId>> = BTreeMap::new();
+        for shard_idx in 0..config.shards {
+            let shard = ShardId::new(shard_idx);
+            let mut shard_members = Vec::new();
+            for _ in 0..config.replicas_per_shard {
+                let pid = world.add_actor(Replica::new(
+                    shard,
+                    config.policy.as_ref(),
+                    sharding.clone() as Arc<dyn ShardMap + Send + Sync>,
+                ));
+                shard_members.push(pid);
+            }
+            members.insert(shard, shard_members);
+            let mut shard_spares = Vec::new();
+            for _ in 0..config.spares_per_shard {
+                let pid = world.add_actor(Replica::new(
+                    shard,
+                    config.policy.as_ref(),
+                    sharding.clone() as Arc<dyn ShardMap + Send + Sync>,
+                ));
+                shard_spares.push(pid);
+            }
+            spares.insert(shard, shard_spares);
+        }
+
+        // Initial configurations: the first replica of each shard leads.
+        let initial: BTreeMap<ShardId, ShardConfiguration> = members
+            .iter()
+            .map(|(shard, shard_members)| {
+                (
+                    *shard,
+                    ShardConfiguration::new(Epoch::ZERO, shard_members.clone(), shard_members[0]),
+                )
+            })
+            .collect();
+
+        let cs = world.add_actor(ConfigServiceActor::new(
+            initial.iter().map(|(s, c)| (*s, c.clone())),
+        ));
+        let client = world.add_actor(ClientActor::new());
+
+        // Install the initial view at every replica (members and spares).
+        for (shard, shard_members) in &members {
+            for pid in shard_members {
+                world
+                    .actor_mut::<Replica>(*pid)
+                    .expect("replica")
+                    .install_initial_config(*pid, cs, &initial, true);
+            }
+            for pid in &spares[shard] {
+                world
+                    .actor_mut::<Replica>(*pid)
+                    .expect("spare replica")
+                    .install_initial_config(*pid, cs, &initial, false);
+            }
+        }
+
+        Cluster {
+            world,
+            sharding,
+            cs,
+            client,
+            members,
+            spares,
+            replicas_per_shard: config.replicas_per_shard,
+            next_coordinator: 0,
+        }
+    }
+
+    /// The shard map used by this cluster.
+    pub fn sharding(&self) -> &HashSharding {
+        &self.sharding
+    }
+
+    /// The client process.
+    pub fn client_id(&self) -> ProcessId {
+        self.client
+    }
+
+    /// The configuration-service process.
+    pub fn config_service_id(&self) -> ProcessId {
+        self.cs
+    }
+
+    /// The initial members of `shard`.
+    pub fn initial_members(&self, shard: ShardId) -> &[ProcessId] {
+        self.members.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The spare replicas of `shard`.
+    pub fn spares(&self, shard: ShardId) -> &[ProcessId] {
+        self.spares.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All replicas that are currently members of some shard, according to the
+    /// configuration service.
+    pub fn current_members(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.cs_registry()
+            .get_last(shard)
+            .map(|c| c.members.clone())
+            .unwrap_or_default()
+    }
+
+    /// The current leader of `shard` according to the configuration service.
+    pub fn current_leader(&self, shard: ShardId) -> ProcessId {
+        self.cs_registry()
+            .get_last(shard)
+            .map(|c| c.leader)
+            .expect("shard exists")
+    }
+
+    /// The current epoch of `shard` according to the configuration service.
+    pub fn current_epoch(&self, shard: ShardId) -> Epoch {
+        self.cs_registry()
+            .get_last(shard)
+            .map(|c| c.epoch)
+            .expect("shard exists")
+    }
+
+    fn cs_registry(&self) -> &ratc_config::ShardConfigRegistry {
+        self.world
+            .actor::<ConfigServiceActor>(self.cs)
+            .expect("configuration service")
+            .registry()
+    }
+
+    /// All shards of this cluster.
+    pub fn shards(&self) -> Vec<ShardId> {
+        self.members.keys().copied().collect()
+    }
+
+    /// Downcast access to a replica's state.
+    pub fn replica(&self, pid: ProcessId) -> &Replica {
+        self.world.actor::<Replica>(pid).expect("replica")
+    }
+
+    /// Submits a transaction for certification, using a round-robin choice of
+    /// coordinator replica. Returns the chosen coordinator.
+    pub fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId {
+        let all: Vec<ProcessId> = self
+            .members
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .filter(|p| !self.world.is_crashed(*p))
+            .collect();
+        let coordinator = all[self.next_coordinator % all.len()];
+        self.next_coordinator += 1;
+        self.submit_via(tx, payload, coordinator);
+        coordinator
+    }
+
+    /// Submits a transaction through a specific coordinator replica.
+    pub fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId) {
+        let now = self.world.now();
+        self.world
+            .actor_mut::<ClientActor>(self.client)
+            .expect("client")
+            .record_certify(tx, payload.clone(), now);
+        let client = self.client;
+        self.world
+            .send_external(coordinator, Msg::Certify { tx, payload, client });
+    }
+
+    /// Asks `initiator` to start reconfiguring `shard`, excluding `exclude`
+    /// (e.g. crashed replicas) and drawing replacements from the shard's spare
+    /// pool. The target size is the cluster's `replicas_per_shard`.
+    pub fn start_reconfiguration(
+        &mut self,
+        shard: ShardId,
+        initiator: ProcessId,
+        exclude: Vec<ProcessId>,
+    ) {
+        let spares = self.spares.get(&shard).cloned().unwrap_or_default();
+        let target_size = self.replicas_per_shard;
+        self.world.send_external(
+            initiator,
+            Msg::StartReconfigure {
+                shard,
+                spares,
+                target_size,
+                exclude,
+            },
+        );
+    }
+
+    /// Asks `replica` to become a recovery coordinator for `tx` (the `retry`
+    /// function of Figure 1).
+    pub fn retry(&mut self, replica: ProcessId, tx: TxId) {
+        self.world.send_external(replica, Msg::Retry { tx });
+    }
+
+    /// Crashes a process immediately.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.world.crash(pid);
+    }
+
+    /// Runs the simulation until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        self.world.run();
+    }
+
+    /// Runs the simulation for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.world.now() + duration;
+        self.world.run_until(until);
+    }
+
+    /// Runs the simulation until the given absolute simulated time.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.world.run_until(until);
+    }
+
+    /// The client's recorded TCS history.
+    pub fn history(&self) -> TcsHistory {
+        self.world
+            .actor::<ClientActor>(self.client)
+            .expect("client")
+            .history()
+            .clone()
+    }
+
+    /// The client's recorded per-transaction latencies.
+    pub fn latencies(&self) -> BTreeMap<TxId, DecisionLatency> {
+        self.world
+            .actor::<ClientActor>(self.client)
+            .expect("client")
+            .latencies()
+            .clone()
+    }
+
+    /// Structural specification violations observed by the client (always
+    /// empty in a correct run).
+    pub fn client_violations(&self) -> Vec<String> {
+        self.world
+            .actor::<ClientActor>(self.client)
+            .expect("client")
+            .violations()
+            .to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Decision, Key, Value, Version};
+
+    fn rw_payload(key: &str, read_version: u64, commit_version: u64) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(read_version))
+            .write(Key::new(key), Value::from("v"))
+            .commit_version(Version::new(commit_version))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn single_transaction_commits_in_five_delays() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        cluster.submit(TxId::new(1), rw_payload("x", 0, 1));
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert_eq!(history.decision(TxId::new(1)), Some(Decision::Commit));
+        assert!(cluster.client_violations().is_empty());
+        let latency = cluster.latencies()[&TxId::new(1)];
+        assert_eq!(latency.hops, 5, "decision must arrive after 5 message delays");
+    }
+
+    #[test]
+    fn conflicting_transactions_do_not_both_commit() {
+        let mut cluster = Cluster::new(ClusterConfig::default().with_seed(3));
+        // Both transactions read version 0 of the same key and write it: at
+        // most one of them can commit under serializability.
+        cluster.submit(TxId::new(1), rw_payload("hot", 0, 1));
+        cluster.submit(TxId::new(2), rw_payload("hot", 0, 2));
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        let committed = history.committed().count();
+        assert!(committed <= 1, "conflicting transactions both committed");
+        assert_eq!(history.decide_count(), 2, "both transactions must be decided");
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn disjoint_transactions_all_commit() {
+        let mut cluster = Cluster::new(ClusterConfig::default().with_shards(3).with_seed(9));
+        for i in 0..20 {
+            cluster.submit(TxId::new(i), rw_payload(&format!("key-{i}"), 0, 1));
+        }
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert_eq!(history.committed().count(), 20);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn reconfiguration_replaces_a_crashed_follower() {
+        let mut cluster = Cluster::new(ClusterConfig::default().with_seed(5));
+        let shard = ShardId::new(0);
+        let members = cluster.initial_members(shard).to_vec();
+        let leader = cluster.current_leader(shard);
+        let follower = *members.iter().find(|p| **p != leader).expect("follower");
+
+        // Commit one transaction first so there is state to transfer.
+        cluster.submit(TxId::new(1), rw_payload("a", 0, 1));
+        cluster.run_to_quiescence();
+
+        // Crash the follower and reconfigure, initiated by the leader.
+        cluster.crash(follower);
+        cluster.start_reconfiguration(shard, leader, vec![follower]);
+        cluster.run_to_quiescence();
+
+        let new_config = cluster.current_members(shard);
+        assert!(!new_config.contains(&follower), "crashed follower must be replaced");
+        assert_eq!(new_config.len(), 2);
+        assert_eq!(cluster.current_epoch(shard), Epoch::new(1));
+
+        // The shard keeps certifying transactions after reconfiguration.
+        cluster.submit(TxId::new(2), rw_payload("b", 0, 1));
+        cluster.run_to_quiescence();
+        assert_eq!(
+            cluster.history().decision(TxId::new(2)),
+            Some(Decision::Commit)
+        );
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn leader_crash_is_recovered_by_promoting_the_follower() {
+        let mut cluster = Cluster::new(ClusterConfig::default().with_seed(11));
+        let shard = ShardId::new(0);
+        let leader = cluster.current_leader(shard);
+        let members = cluster.initial_members(shard).to_vec();
+        let follower = *members.iter().find(|p| **p != leader).expect("follower");
+
+        cluster.submit(TxId::new(1), rw_payload("a", 0, 1));
+        cluster.run_to_quiescence();
+
+        cluster.crash(leader);
+        // The surviving follower initiates reconfiguration.
+        cluster.start_reconfiguration(shard, follower, vec![leader]);
+        cluster.run_to_quiescence();
+
+        assert_eq!(cluster.current_leader(shard), follower);
+        assert!(!cluster.current_members(shard).contains(&leader));
+
+        cluster.submit(TxId::new(2), rw_payload("c", 0, 1));
+        cluster.run_to_quiescence();
+        assert_eq!(
+            cluster.history().decision(TxId::new(2)),
+            Some(Decision::Commit)
+        );
+        assert!(cluster.client_violations().is_empty());
+    }
+}

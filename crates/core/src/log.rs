@@ -1,0 +1,293 @@
+//! The per-shard certification log.
+//!
+//! Figure 1 keeps five parallel arrays at every replica: `txn`, `payload`,
+//! `vote`, `dec` and `phase`, indexed by certification-order position, plus a
+//! `next` counter pointing past the last filled slot. [`CertificationLog`]
+//! bundles them into one indexed structure. Followers may have *holes* (slots
+//! still in the `start` phase) because votes are persisted by coordinators
+//! out of order; leaders never do.
+
+use ratc_types::{Decision, Payload, Position, ProcessId, ShardId, TxId};
+use serde::{Deserialize, Serialize};
+
+/// The phase of a certification-order slot (the paper's `phase` array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TxPhase {
+    /// Nothing stored yet (a hole).
+    #[default]
+    Start,
+    /// The transaction and its vote are stored.
+    Prepared,
+    /// The final decision is known.
+    Decided,
+}
+
+/// One slot of the certification log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The transaction occupying this slot.
+    pub tx: TxId,
+    /// The shard-restricted payload stored for it (possibly `ε`).
+    pub payload: Payload,
+    /// The shard's vote on the transaction.
+    pub vote: Decision,
+    /// The final decision, once known.
+    pub dec: Option<Decision>,
+    /// The slot's phase.
+    pub phase: TxPhase,
+    /// The full set of shards certifying the transaction (`shards(t)`).
+    pub shards: Vec<ShardId>,
+    /// The client that issued the transaction (`client(t)`).
+    pub client: ProcessId,
+}
+
+/// The certification log of one replica.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CertificationLog {
+    slots: Vec<Option<LogEntry>>,
+}
+
+impl CertificationLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        CertificationLog::default()
+    }
+
+    /// The paper's `next`: the index one past the last filled slot.
+    pub fn next(&self) -> Position {
+        Position::new(self.slots.len() as u64)
+    }
+
+    /// Number of slots (filled or holes).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the log has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The entry at `pos`, if that slot is filled.
+    pub fn get(&self, pos: Position) -> Option<&LogEntry> {
+        self.slots.get(pos.as_usize()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry at `pos`, if that slot is filled.
+    pub fn get_mut(&mut self, pos: Position) -> Option<&mut LogEntry> {
+        self.slots.get_mut(pos.as_usize()).and_then(Option::as_mut)
+    }
+
+    /// The phase of the slot at `pos` (`Start` for holes and out-of-range
+    /// positions).
+    pub fn phase(&self, pos: Position) -> TxPhase {
+        self.get(pos).map(|e| e.phase).unwrap_or(TxPhase::Start)
+    }
+
+    /// The position of transaction `tx`, if it appears in the log
+    /// (the `∃k. t = txn[k]` test of line 6).
+    pub fn position_of(&self, tx: TxId) -> Option<Position> {
+        self.slots.iter().enumerate().find_map(|(i, slot)| {
+            slot.as_ref()
+                .filter(|e| e.tx == tx)
+                .map(|_| Position::new(i as u64))
+        })
+    }
+
+    /// Appends a new entry at the leader (lines 9–13): the slot index is the
+    /// current `next`.
+    pub fn append(&mut self, entry: LogEntry) -> Position {
+        let pos = self.next();
+        self.slots.push(Some(entry));
+        pos
+    }
+
+    /// Stores an entry at an arbitrary position (line 24 at a follower),
+    /// growing the log with holes as needed. Returns `false` if the slot was
+    /// already filled (the `phase[k] = start` precondition failed).
+    pub fn store_at(&mut self, pos: Position, entry: LogEntry) -> bool {
+        let idx = pos.as_usize();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_some() {
+            return false;
+        }
+        self.slots[idx] = Some(entry);
+        true
+    }
+
+    /// Records the final decision for the slot at `pos` (line 32). Creating a
+    /// decision for a hole is ignored (the replica has not yet stored the
+    /// transaction; a later `NEW_STATE` will supply it).
+    pub fn decide(&mut self, pos: Position, decision: Decision) {
+        if let Some(entry) = self.get_mut(pos) {
+            entry.dec = Some(decision);
+            entry.phase = TxPhase::Decided;
+        }
+    }
+
+    /// Iterates over the filled slots with their positions.
+    pub fn entries(&self) -> impl Iterator<Item = (Position, &LogEntry)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.as_ref().map(|e| (Position::new(i as u64), e))
+        })
+    }
+
+    /// The payloads used as `L1` at line 12: payloads of transactions decided
+    /// to commit in slots strictly before `before`.
+    pub fn committed_payloads_before(&self, before: Position) -> Vec<&Payload> {
+        self.entries()
+            .filter(|(pos, e)| {
+                *pos < before
+                    && e.phase == TxPhase::Decided
+                    && e.dec == Some(Decision::Commit)
+            })
+            .map(|(_, e)| &e.payload)
+            .collect()
+    }
+
+    /// The payloads used as `L2` at line 12: payloads of transactions prepared
+    /// with a commit vote (and not yet decided) in slots strictly before
+    /// `before`.
+    pub fn prepared_payloads_before(&self, before: Position) -> Vec<&Payload> {
+        self.entries()
+            .filter(|(pos, e)| {
+                *pos < before && e.phase == TxPhase::Prepared && e.vote == Decision::Commit
+            })
+            .map(|(_, e)| &e.payload)
+            .collect()
+    }
+
+    /// Number of holes (slots still in the `Start` phase below `next`).
+    pub fn hole_count(&self) -> usize {
+        self.slots.iter().filter(|slot| slot.is_none()).count()
+    }
+
+    /// Checks the `≺` relation of Figure 3 against another log: this log's
+    /// prefix of length `len` must agree with `other` on every slot where this
+    /// log is filled (holes are allowed).
+    pub fn is_prefix_with_holes_of(&self, other: &CertificationLog, len: Position) -> bool {
+        for (pos, entry) in self.entries() {
+            if pos >= len {
+                continue;
+            }
+            match other.get(pos) {
+                Some(other_entry) => {
+                    if other_entry.tx != entry.tx
+                        || other_entry.vote != entry.vote
+                        || other_entry.payload != entry.payload
+                    {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Key, Version};
+
+    fn entry(tx: u64) -> LogEntry {
+        LogEntry {
+            tx: TxId::new(tx),
+            payload: Payload::builder()
+                .read(Key::new(format!("k{tx}")), Version::new(0))
+                .build()
+                .expect("well-formed"),
+            vote: Decision::Commit,
+            dec: None,
+            phase: TxPhase::Prepared,
+            shards: vec![ShardId::new(0)],
+            client: ProcessId::new(99),
+        }
+    }
+
+    #[test]
+    fn append_assigns_consecutive_positions() {
+        let mut log = CertificationLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.append(entry(1)), Position::new(0));
+        assert_eq!(log.append(entry(2)), Position::new(1));
+        assert_eq!(log.next(), Position::new(2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.position_of(TxId::new(2)), Some(Position::new(1)));
+        assert_eq!(log.position_of(TxId::new(9)), None);
+        assert_eq!(log.hole_count(), 0);
+    }
+
+    #[test]
+    fn store_at_creates_holes_and_rejects_overwrites() {
+        let mut log = CertificationLog::new();
+        assert!(log.store_at(Position::new(2), entry(3)));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.hole_count(), 2);
+        assert_eq!(log.phase(Position::new(0)), TxPhase::Start);
+        assert_eq!(log.phase(Position::new(2)), TxPhase::Prepared);
+        // A second store at the same position is rejected (phase != start).
+        assert!(!log.store_at(Position::new(2), entry(4)));
+        assert_eq!(log.get(Position::new(2)).unwrap().tx, TxId::new(3));
+    }
+
+    #[test]
+    fn decide_updates_phase_and_ignores_holes() {
+        let mut log = CertificationLog::new();
+        log.append(entry(1));
+        log.decide(Position::new(0), Decision::Abort);
+        assert_eq!(log.phase(Position::new(0)), TxPhase::Decided);
+        assert_eq!(log.get(Position::new(0)).unwrap().dec, Some(Decision::Abort));
+        // Deciding a hole is a no-op.
+        log.decide(Position::new(7), Decision::Commit);
+        assert_eq!(log.phase(Position::new(7)), TxPhase::Start);
+    }
+
+    #[test]
+    fn l1_and_l2_selection() {
+        let mut log = CertificationLog::new();
+        let committed = log.append(entry(1));
+        log.decide(committed, Decision::Commit);
+        let aborted = log.append(entry(2));
+        log.decide(aborted, Decision::Abort);
+        log.append(entry(3)); // prepared with commit vote
+        let mut pending_abort = entry(4);
+        pending_abort.vote = Decision::Abort;
+        log.append(pending_abort);
+        let cutoff = log.next();
+
+        assert_eq!(log.committed_payloads_before(cutoff).len(), 1);
+        assert_eq!(log.prepared_payloads_before(cutoff).len(), 1);
+        // Positions at or after the cutoff are excluded.
+        assert!(log
+            .committed_payloads_before(Position::new(0))
+            .is_empty());
+    }
+
+    #[test]
+    fn prefix_with_holes_relation() {
+        let mut leader = CertificationLog::new();
+        leader.append(entry(1));
+        leader.append(entry(2));
+        leader.append(entry(3));
+
+        let mut follower = CertificationLog::new();
+        follower.store_at(Position::new(1), entry(2));
+        assert!(follower.is_prefix_with_holes_of(&leader, leader.next()));
+
+        // A mismatching entry violates the relation.
+        let mut bad = CertificationLog::new();
+        bad.store_at(Position::new(1), entry(9));
+        assert!(!bad.is_prefix_with_holes_of(&leader, leader.next()));
+
+        // An entry beyond the leader's log violates it too.
+        let mut beyond = CertificationLog::new();
+        beyond.store_at(Position::new(5), entry(5));
+        assert!(!beyond.is_prefix_with_holes_of(&leader, Position::new(10)));
+        // ... unless the comparison length excludes it.
+        assert!(beyond.is_prefix_with_holes_of(&leader, Position::new(3)));
+    }
+}

@@ -1,0 +1,288 @@
+//! Protocol messages (the message vocabulary of Figure 1).
+//!
+//! Compared with the paper's pseudocode, messages additionally carry two
+//! pieces of routing metadata that the paper keeps implicit in global
+//! functions: the set `shards(t)` (the paper's `shards : T → 2^S`) and the
+//! submitting client (`client : T → P`). Carrying them in `PREPARE`,
+//! `PREPARE_ACK` and `ACCEPT` lets any replica act as a recovery coordinator
+//! without a shared directory, and does not change the protocol's behaviour.
+
+use ratc_config::ShardConfiguration;
+use ratc_types::{Decision, Epoch, Payload, Position, ProcessId, ShardId, TxId};
+
+use crate::log::CertificationLog;
+
+/// Messages of the message-passing atomic commit protocol.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // Transaction processing (failure-free path, Figure 2a)
+    // ------------------------------------------------------------------
+    /// `certify(t, l)` submitted to the replica chosen as coordinator
+    /// (line 1). `client` is the process to which the final decision must be
+    /// reported.
+    Certify {
+        /// Transaction identifier.
+        tx: TxId,
+        /// Full (unrestricted) transaction payload.
+        payload: Payload,
+        /// The client that issued the transaction.
+        client: ProcessId,
+    },
+    /// `PREPARE(t, l)` from a coordinator to a shard leader (line 3 / 73).
+    /// `payload` is `None` for the `⊥` payload used in coordinator recovery.
+    Prepare {
+        /// Transaction identifier.
+        tx: TxId,
+        /// Shard-restricted payload, or `None` for `⊥`.
+        payload: Option<Payload>,
+        /// The shards that certify this transaction (`shards(t)`).
+        shards: Vec<ShardId>,
+        /// The client that issued the transaction (`client(t)`).
+        client: ProcessId,
+    },
+    /// `PREPARE_ACK(e, s, k, t, l, d)` from a shard leader back to the
+    /// coordinator (lines 7, 17).
+    PrepareAck {
+        /// The leader's epoch for its shard.
+        epoch: Epoch,
+        /// The leader's shard.
+        shard: ShardId,
+        /// Position assigned to the transaction in the certification order.
+        pos: Position,
+        /// Transaction identifier.
+        tx: TxId,
+        /// The payload stored by the leader (shard-restricted, possibly `ε`).
+        payload: Payload,
+        /// The leader's vote.
+        vote: Decision,
+        /// `shards(t)`, echoed for recovery coordinators.
+        shards: Vec<ShardId>,
+        /// `client(t)`, echoed for recovery coordinators.
+        client: ProcessId,
+    },
+    /// `ACCEPT(e, k, t, l, d)` from the coordinator to the followers of a
+    /// shard (line 20).
+    Accept {
+        /// Epoch of the shard the followers must be in.
+        epoch: Epoch,
+        /// The shard being addressed.
+        shard: ShardId,
+        /// Position in the certification order.
+        pos: Position,
+        /// Transaction identifier.
+        tx: TxId,
+        /// Shard-restricted payload.
+        payload: Payload,
+        /// The leader's vote.
+        vote: Decision,
+        /// `shards(t)`, stored for recovery coordinators.
+        shards: Vec<ShardId>,
+        /// `client(t)`, stored for recovery coordinators.
+        client: ProcessId,
+    },
+    /// `ACCEPT_ACK(s, e, k, t, d)` from a follower back to the coordinator
+    /// (line 25).
+    AcceptAck {
+        /// The follower's shard.
+        shard: ShardId,
+        /// The follower's epoch.
+        epoch: Epoch,
+        /// Position in the certification order.
+        pos: Position,
+        /// Transaction identifier.
+        tx: TxId,
+        /// The vote being acknowledged.
+        vote: Decision,
+    },
+    /// `DECISION(e, k, d)` from the coordinator to the members of a shard
+    /// (line 29).
+    DecisionShard {
+        /// The shard's epoch as known to the coordinator.
+        epoch: Epoch,
+        /// Position in the certification order.
+        pos: Position,
+        /// The final decision.
+        decision: Decision,
+    },
+    /// `DECISION(t, d)` from the coordinator to the client (line 27).
+    DecisionClient {
+        /// Transaction identifier.
+        tx: TxId,
+        /// The final decision.
+        decision: Decision,
+    },
+    /// External trigger for `retry(k)` (line 70): the receiving replica
+    /// becomes a new coordinator for `tx` if it has the transaction prepared.
+    Retry {
+        /// Transaction to re-coordinate.
+        tx: TxId,
+    },
+
+    // ------------------------------------------------------------------
+    // Reconfiguration (Figure 2b)
+    // ------------------------------------------------------------------
+    /// External trigger for `reconfigure(s)` (line 33).
+    StartReconfigure {
+        /// The shard to reconfigure.
+        shard: ShardId,
+        /// Fresh processes that may be added to the new configuration.
+        spares: Vec<ProcessId>,
+        /// Target configuration size (`f + 1`).
+        target_size: usize,
+        /// Processes that must not be reused (e.g. suspected of failure).
+        exclude: Vec<ProcessId>,
+    },
+    /// `PROBE(e)` from the reconfiguring process (line 39 / 55).
+    Probe {
+        /// The new epoch the receiver is asked to join.
+        epoch: Epoch,
+    },
+    /// `PROBE_ACK(initialized, e, s)` (line 44).
+    ProbeAck {
+        /// Whether the responder has ever been initialised.
+        initialized: bool,
+        /// The epoch it was asked to join.
+        epoch: Epoch,
+        /// The responder's shard.
+        shard: ShardId,
+    },
+    /// `NEW_CONFIG(e, M)` from the reconfiguring process to the new leader
+    /// (line 50).
+    NewConfig {
+        /// The new epoch.
+        epoch: Epoch,
+        /// The new membership.
+        members: Vec<ProcessId>,
+    },
+    /// `NEW_STATE(e, M, txn, payload, vote, dec, phase)` from the new leader
+    /// to its followers (line 60).
+    NewState {
+        /// The new epoch.
+        epoch: Epoch,
+        /// The new membership.
+        members: Vec<ProcessId>,
+        /// The new leader.
+        leader: ProcessId,
+        /// The leader's full certification log.
+        log: CertificationLog,
+    },
+    /// `CONFIG_CHANGE(s, e, M, pl)` pushed by the configuration service to the
+    /// members of other shards (line 67).
+    ConfigChange {
+        /// The reconfigured shard.
+        shard: ShardId,
+        /// Its new epoch.
+        epoch: Epoch,
+        /// Its new membership.
+        members: Vec<ProcessId>,
+        /// Its new leader.
+        leader: ProcessId,
+    },
+
+    // ------------------------------------------------------------------
+    // Configuration-service RPCs (get_last / get / compare_and_swap of §3)
+    // ------------------------------------------------------------------
+    /// `get_last(s)` request.
+    CsGetLast {
+        /// The shard queried.
+        shard: ShardId,
+    },
+    /// Reply to [`Msg::CsGetLast`].
+    CsGetLastReply {
+        /// The shard queried.
+        shard: ShardId,
+        /// Its latest stored configuration.
+        config: ShardConfiguration,
+    },
+    /// `get(s, e)` request.
+    CsGet {
+        /// The shard queried.
+        shard: ShardId,
+        /// The epoch queried.
+        epoch: Epoch,
+    },
+    /// Reply to [`Msg::CsGet`].
+    CsGetReply {
+        /// The shard queried.
+        shard: ShardId,
+        /// The epoch queried.
+        epoch: Epoch,
+        /// The configuration stored at that epoch, if any.
+        config: Option<ShardConfiguration>,
+    },
+    /// `compare_and_swap(s, e, c)` request.
+    CsCas {
+        /// The shard being reconfigured.
+        shard: ShardId,
+        /// The epoch the caller believes to be current.
+        expected: Epoch,
+        /// The new configuration to store.
+        config: ShardConfiguration,
+    },
+    /// Reply to [`Msg::CsCas`].
+    CsCasReply {
+        /// The shard being reconfigured.
+        shard: ShardId,
+        /// Whether the compare-and-swap succeeded.
+        ok: bool,
+        /// The configuration that was proposed.
+        config: ShardConfiguration,
+    },
+}
+
+impl Msg {
+    /// A short name for metrics and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Certify { .. } => "certify",
+            Msg::Prepare { .. } => "prepare",
+            Msg::PrepareAck { .. } => "prepare_ack",
+            Msg::Accept { .. } => "accept",
+            Msg::AcceptAck { .. } => "accept_ack",
+            Msg::DecisionShard { .. } => "decision_shard",
+            Msg::DecisionClient { .. } => "decision_client",
+            Msg::Retry { .. } => "retry",
+            Msg::StartReconfigure { .. } => "start_reconfigure",
+            Msg::Probe { .. } => "probe",
+            Msg::ProbeAck { .. } => "probe_ack",
+            Msg::NewConfig { .. } => "new_config",
+            Msg::NewState { .. } => "new_state",
+            Msg::ConfigChange { .. } => "config_change",
+            Msg::CsGetLast { .. } => "cs_get_last",
+            Msg::CsGetLastReply { .. } => "cs_get_last_reply",
+            Msg::CsGet { .. } => "cs_get",
+            Msg::CsGetReply { .. } => "cs_get_reply",
+            Msg::CsCas { .. } => "cs_cas",
+            Msg::CsCasReply { .. } => "cs_cas_reply",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_for_commit_path() {
+        let kinds = [
+            Msg::Certify {
+                tx: TxId::new(1),
+                payload: Payload::empty(),
+                client: ProcessId::new(0),
+            }
+            .kind(),
+            Msg::Retry { tx: TxId::new(1) }.kind(),
+            Msg::Probe { epoch: Epoch::ZERO }.kind(),
+            Msg::DecisionClient {
+                tx: TxId::new(1),
+                decision: Decision::Commit,
+            }
+            .kind(),
+        ];
+        let mut unique = kinds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

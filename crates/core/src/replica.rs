@@ -1,0 +1,1010 @@
+//! The replica state machine: Figure 1 of the paper, line by line.
+//!
+//! Every replica of every shard runs this actor. A replica simultaneously
+//! plays three roles:
+//!
+//! * *shard member* (leader or follower): maintains the certification log of
+//!   its shard and participates in preparing/accepting transactions;
+//! * *transaction coordinator*: any replica that receives a `certify` request
+//!   (or decides to retry a stalled transaction) drives the 2PC-style exchange
+//!   for it and computes the final decision;
+//! * *reconfigurer*: any replica can probe a shard's configurations and
+//!   install a new one through the configuration service.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use ratc_config::{MembershipPlanner, ShardConfiguration};
+use ratc_sim::{Actor, Context, SimDuration, TimerTag};
+use ratc_types::{
+    CertificationPolicy, Decision, Epoch, Payload, Position, ProcessId, ShardCertifier, ShardId,
+    ShardMap, TxId,
+};
+
+use crate::log::{CertificationLog, LogEntry, TxPhase};
+use crate::messages::Msg;
+
+/// Timer tag used for the coordinator's re-transmission tick.
+const RETRY_TICK: TimerTag = 1;
+
+/// The status of a replica within its shard (the paper's `status` variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The replica is the leader of its shard in its current epoch.
+    Leader,
+    /// The replica is a follower of its shard in its current epoch.
+    Follower,
+    /// The replica has been probed for a higher epoch and has stopped
+    /// processing transactions until it joins a new configuration.
+    Reconfiguring,
+}
+
+/// Progress of a coordinated transaction at one shard in one epoch.
+#[derive(Debug, Clone, Default)]
+struct ShardProgress {
+    pos: Option<Position>,
+    vote: Option<Decision>,
+    acks: BTreeSet<ProcessId>,
+}
+
+/// Coordinator-side state for one transaction.
+#[derive(Debug, Clone)]
+struct CoordState {
+    client: ProcessId,
+    /// The full payload if this coordinator received the original `certify`;
+    /// `None` for recovery coordinators (which only ever send `⊥`).
+    payload: Option<Payload>,
+    shards: Vec<ShardId>,
+    /// Progress per shard per epoch.
+    progress: BTreeMap<ShardId, BTreeMap<Epoch, ShardProgress>>,
+    decided: bool,
+}
+
+/// Phase of an in-flight reconfiguration driven by this replica.
+#[derive(Debug, Clone)]
+enum ReconPhase {
+    /// Waiting for `get_last(s)` from the configuration service.
+    AwaitingGetLast,
+    /// Probing the members of `probed_epoch`.
+    Probing,
+    /// Waiting for `get(s, e)` of the next epoch to probe.
+    AwaitingGet,
+    /// Waiting for the configuration service's compare-and-swap reply.
+    AwaitingCas {
+        /// The process selected as the new leader.
+        new_leader: ProcessId,
+    },
+}
+
+/// Reconfiguration state at the reconfiguring process (`reconfigure(s)` of
+/// Figure 1).
+#[derive(Debug, Clone)]
+struct ReconState {
+    shard: ShardId,
+    phase: ReconPhase,
+    recon_epoch: Epoch,
+    probed_epoch: Epoch,
+    probed_members: Vec<ProcessId>,
+    responders: Vec<ProcessId>,
+    descended_for_current: bool,
+    spares: Vec<ProcessId>,
+    target_size: usize,
+    exclude: Vec<ProcessId>,
+}
+
+/// A replica of one shard (the process `p_i` in shard `s_0` of Figure 1).
+pub struct Replica {
+    id: ProcessId,
+    shard: ShardId,
+    status: Status,
+    initialized: bool,
+    new_epoch: Epoch,
+    epoch: BTreeMap<ShardId, Epoch>,
+    members: BTreeMap<ShardId, Vec<ProcessId>>,
+    leader: BTreeMap<ShardId, ProcessId>,
+    log: CertificationLog,
+    certifier: Arc<dyn ShardCertifier>,
+    sharding: Arc<dyn ShardMap + Send + Sync>,
+    cs: ProcessId,
+    coordinating: BTreeMap<TxId, CoordState>,
+    recon: Option<ReconState>,
+    retry_interval: SimDuration,
+    retry_timer_armed: bool,
+}
+
+impl Replica {
+    /// Creates a replica of `shard` using the given certification policy and
+    /// shard map. The replica is inert until
+    /// [`Replica::install_initial_config`] is called by the deployment
+    /// harness.
+    pub fn new<P>(shard: ShardId, policy: &P, sharding: Arc<dyn ShardMap + Send + Sync>) -> Self
+    where
+        P: CertificationPolicy + ?Sized,
+    {
+        Replica {
+            id: ProcessId::new(u64::MAX),
+            shard,
+            status: Status::Follower,
+            initialized: false,
+            new_epoch: Epoch::ZERO,
+            epoch: BTreeMap::new(),
+            members: BTreeMap::new(),
+            leader: BTreeMap::new(),
+            log: CertificationLog::new(),
+            certifier: policy.shard_certifier(shard),
+            sharding,
+            cs: ProcessId::new(u64::MAX),
+            coordinating: BTreeMap::new(),
+            recon: None,
+            retry_interval: SimDuration::from_millis(20),
+            retry_timer_armed: false,
+        }
+    }
+
+    /// Installs the initial configuration view at this replica: its own
+    /// identifier, the configuration-service process, and the initial epoch,
+    /// members and leader of every shard. `in_initial_config` marks whether
+    /// this replica is part of its shard's initial configuration (spares are
+    /// not, and start uninitialised).
+    pub fn install_initial_config(
+        &mut self,
+        id: ProcessId,
+        cs: ProcessId,
+        configs: &BTreeMap<ShardId, ShardConfiguration>,
+        in_initial_config: bool,
+    ) {
+        self.id = id;
+        self.cs = cs;
+        for (shard, config) in configs {
+            self.epoch.insert(*shard, config.epoch);
+            self.members.insert(*shard, config.members.clone());
+            self.leader.insert(*shard, config.leader);
+        }
+        if in_initial_config {
+            self.initialized = true;
+            let own = &configs[&self.shard];
+            self.status = if own.leader == id {
+                Status::Leader
+            } else {
+                Status::Follower
+            };
+        } else {
+            self.initialized = false;
+            self.status = Status::Follower;
+        }
+    }
+
+    // -- accessors used by tests, invariant checkers and experiments --------
+
+    /// This replica's shard.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// This replica's current status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Whether this replica has ever been initialised with shard state.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// The replica's current epoch for `shard`.
+    pub fn epoch_of(&self, shard: ShardId) -> Epoch {
+        self.epoch.get(&shard).copied().unwrap_or(Epoch::ZERO)
+    }
+
+    /// The replica's current view of `shard`'s members.
+    pub fn members_of(&self, shard: ShardId) -> &[ProcessId] {
+        self.members.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The replica's current view of `shard`'s leader.
+    pub fn leader_of(&self, shard: ShardId) -> Option<ProcessId> {
+        self.leader.get(&shard).copied()
+    }
+
+    /// The replica's certification log.
+    pub fn log(&self) -> &CertificationLog {
+        &self.log
+    }
+
+    /// Number of transactions this replica is currently coordinating without
+    /// a final decision.
+    pub fn undecided_coordinated(&self) -> usize {
+        self.coordinating.values().filter(|c| !c.decided).count()
+    }
+
+    // -- helpers -------------------------------------------------------------
+
+    fn arm_retry_timer(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.retry_timer_armed && self.coordinating.values().any(|c| !c.decided) {
+            ctx.set_timer(self.retry_interval, RETRY_TICK);
+            self.retry_timer_armed = true;
+        }
+    }
+
+    fn send_prepares(
+        &self,
+        ctx: &mut Context<'_, Msg>,
+        tx: TxId,
+        coord: &CoordState,
+        only_shards: Option<&[ShardId]>,
+    ) {
+        for shard in &coord.shards {
+            if let Some(filter) = only_shards {
+                if !filter.contains(shard) {
+                    continue;
+                }
+            }
+            let Some(leader) = self.leader.get(shard).copied() else {
+                continue;
+            };
+            let restricted = coord
+                .payload
+                .as_ref()
+                .map(|p| p.restrict(*shard, self.sharding.as_ref()));
+            ctx.send(
+                leader,
+                Msg::Prepare {
+                    tx,
+                    payload: restricted,
+                    shards: coord.shards.clone(),
+                    client: coord.client,
+                },
+            );
+        }
+    }
+
+    /// Line 26: once, for every shard of `tx`, the coordinator has the shard's
+    /// vote and an `ACCEPT_ACK` from every follower of the shard's current
+    /// configuration, it computes and distributes the final decision.
+    fn check_completion(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
+        let Some(coord) = self.coordinating.get(&tx) else {
+            return;
+        };
+        if coord.decided {
+            return;
+        }
+        let mut votes = Vec::new();
+        let mut positions = Vec::new();
+        for shard in &coord.shards {
+            let epoch = self.epoch.get(shard).copied().unwrap_or(Epoch::ZERO);
+            let Some(progress) = coord.progress.get(shard).and_then(|m| m.get(&epoch)) else {
+                return;
+            };
+            let (Some(vote), Some(pos)) = (progress.vote, progress.pos) else {
+                return;
+            };
+            let leader = self.leader.get(shard).copied();
+            let required: BTreeSet<ProcessId> = self
+                .members_of(*shard)
+                .iter()
+                .copied()
+                .filter(|p| Some(*p) != leader)
+                .collect();
+            if !required.is_subset(&progress.acks) {
+                return;
+            }
+            votes.push(vote);
+            positions.push((*shard, epoch, pos));
+        }
+        let decision = Decision::meet_all(votes);
+        let client = coord.client;
+        let shard_targets: Vec<(ShardId, Epoch, Position)> = positions;
+        if let Some(coord) = self.coordinating.get_mut(&tx) {
+            coord.decided = true;
+        }
+        ctx.add_counter("coordinator_decisions", 1);
+        ctx.record_sample("coordinator_decision_hops", f64::from(ctx.hops()));
+        ctx.send(client, Msg::DecisionClient { tx, decision });
+        for (shard, _epoch, pos) in shard_targets {
+            let epoch = self.epoch.get(&shard).copied().unwrap_or(Epoch::ZERO);
+            let members = self.members_of(shard).to_vec();
+            ctx.send_to_many(
+                members,
+                Msg::DecisionShard {
+                    epoch,
+                    pos,
+                    decision,
+                },
+            );
+        }
+    }
+
+    fn coord_entry(&mut self, tx: TxId, client: ProcessId, shards: Vec<ShardId>) -> &mut CoordState {
+        self.coordinating.entry(tx).or_insert_with(|| CoordState {
+            client,
+            payload: None,
+            shards,
+            progress: BTreeMap::new(),
+            decided: false,
+        })
+    }
+
+    // -- message handlers ----------------------------------------------------
+
+    /// Lines 1–3: the replica acts as the transaction's coordinator.
+    fn handle_certify(
+        &mut self,
+        tx: TxId,
+        payload: Payload,
+        client: ProcessId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let shards = payload.shards(self.sharding.as_ref());
+        if shards.is_empty() {
+            // A transaction touching no objects commits vacuously.
+            ctx.send(
+                client,
+                Msg::DecisionClient {
+                    tx,
+                    decision: Decision::Commit,
+                },
+            );
+            return;
+        }
+        let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
+            client,
+            payload: Some(payload.clone()),
+            shards: shards.clone(),
+            progress: BTreeMap::new(),
+            decided: false,
+        });
+        coord.payload = Some(payload);
+        coord.client = client;
+        let coord = coord.clone();
+        self.send_prepares(ctx, tx, &coord, None);
+        self.arm_retry_timer(ctx);
+    }
+
+    /// Lines 4–17: the shard leader prepares a transaction and votes on it.
+    fn handle_prepare(
+        &mut self,
+        from: ProcessId,
+        tx: TxId,
+        payload: Option<Payload>,
+        shards: Vec<ShardId>,
+        client: ProcessId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        if self.status != Status::Leader {
+            return; // line 5 precondition
+        }
+        let epoch = self.epoch_of(self.shard);
+        // Line 6: the transaction is already in the certification order —
+        // resend the stored PREPARE_ACK (this serves recovery coordinators).
+        if let Some(pos) = self.log.position_of(tx) {
+            let entry = self.log.get(pos).expect("position_of returned a filled slot");
+            ctx.send(
+                from,
+                Msg::PrepareAck {
+                    epoch,
+                    shard: self.shard,
+                    pos,
+                    tx,
+                    payload: entry.payload.clone(),
+                    vote: entry.vote,
+                    shards: entry.shards.clone(),
+                    client: entry.client,
+                },
+            );
+            return;
+        }
+        // Lines 8–16: append the transaction and compute the vote.
+        let (vote, stored_payload) = match payload {
+            Some(l) => {
+                let next = self.log.next();
+                let committed = self.log.committed_payloads_before(next);
+                let prepared = self.log.prepared_payloads_before(next);
+                let vote = self.certifier.vote(&committed, &prepared, &l);
+                (vote, l)
+            }
+            None => (Decision::Abort, Payload::empty()),
+        };
+        let pos = self.log.append(LogEntry {
+            tx,
+            payload: stored_payload.clone(),
+            vote,
+            dec: None,
+            phase: TxPhase::Prepared,
+            shards: shards.clone(),
+            client,
+        });
+        ctx.add_counter("leader_prepared", 1);
+        ctx.send(
+            from,
+            Msg::PrepareAck {
+                epoch,
+                shard: self.shard,
+                pos,
+                tx,
+                payload: stored_payload,
+                vote,
+                shards,
+                client,
+            },
+        );
+    }
+
+    /// Lines 18–20: the coordinator forwards the leader's vote to the
+    /// followers of the shard.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_prepare_ack(
+        &mut self,
+        epoch: Epoch,
+        shard: ShardId,
+        pos: Position,
+        tx: TxId,
+        payload: Payload,
+        vote: Decision,
+        shards: Vec<ShardId>,
+        client: ProcessId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        // Line 19 precondition: the coordinator's view of the shard's epoch
+        // matches the leader's.
+        if self.epoch_of(shard) != epoch {
+            return;
+        }
+        let coord = self.coord_entry(tx, client, shards.clone());
+        let progress = coord
+            .progress
+            .entry(shard)
+            .or_default()
+            .entry(epoch)
+            .or_default();
+        progress.pos = Some(pos);
+        progress.vote = Some(vote);
+        // Line 20: persist the vote at the followers.
+        let leader = self.leader.get(&shard).copied();
+        let followers: Vec<ProcessId> = self
+            .members_of(shard)
+            .iter()
+            .copied()
+            .filter(|p| Some(*p) != leader)
+            .collect();
+        ctx.send_to_many(
+            followers,
+            Msg::Accept {
+                epoch,
+                shard,
+                pos,
+                tx,
+                payload,
+                vote,
+                shards,
+                client,
+            },
+        );
+        // With f = 0 (no followers) the transaction may already be complete.
+        self.check_completion(tx, ctx);
+    }
+
+    /// Lines 21–25: a follower stores the vote and acknowledges.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_accept(
+        &mut self,
+        from: ProcessId,
+        epoch: Epoch,
+        shard: ShardId,
+        pos: Position,
+        tx: TxId,
+        payload: Payload,
+        vote: Decision,
+        shards: Vec<ShardId>,
+        client: ProcessId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        // Line 22 precondition.
+        if self.status != Status::Follower
+            || shard != self.shard
+            || self.epoch_of(self.shard) != epoch
+        {
+            return;
+        }
+        // Line 23–24: store only if the slot is still a hole.
+        if self.log.phase(pos) == TxPhase::Start {
+            self.log.store_at(
+                pos,
+                LogEntry {
+                    tx,
+                    payload,
+                    vote,
+                    dec: None,
+                    phase: TxPhase::Prepared,
+                    shards,
+                    client,
+                },
+            );
+        }
+        // Line 25.
+        ctx.send(
+            from,
+            Msg::AcceptAck {
+                shard: self.shard,
+                epoch,
+                pos,
+                tx,
+                vote,
+            },
+        );
+    }
+
+    /// Line 26 bookkeeping: record a follower's acknowledgement.
+    fn handle_accept_ack(
+        &mut self,
+        from: ProcessId,
+        shard: ShardId,
+        epoch: Epoch,
+        pos: Position,
+        tx: TxId,
+        vote: Decision,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(coord) = self.coordinating.get_mut(&tx) else {
+            return;
+        };
+        let progress = coord
+            .progress
+            .entry(shard)
+            .or_default()
+            .entry(epoch)
+            .or_default();
+        progress.acks.insert(from);
+        if progress.pos.is_none() {
+            progress.pos = Some(pos);
+        }
+        if progress.vote.is_none() {
+            progress.vote = Some(vote);
+        }
+        self.check_completion(tx, ctx);
+    }
+
+    /// Lines 30–32: record the final decision for a certification-order slot.
+    fn handle_decision_shard(&mut self, epoch: Epoch, pos: Position, decision: Decision) {
+        if self.status == Status::Reconfiguring {
+            return; // line 31 precondition: status ∈ {leader, follower}
+        }
+        if self.epoch_of(self.shard) < epoch {
+            return; // line 31 precondition: epoch[s0] ≥ e
+        }
+        self.log.decide(pos, decision);
+    }
+
+    /// Lines 70–73: become a recovery coordinator for a prepared transaction.
+    fn handle_retry(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
+        let Some(pos) = self.log.position_of(tx) else {
+            return;
+        };
+        let entry = self.log.get(pos).expect("filled");
+        if entry.phase != TxPhase::Prepared {
+            return; // line 71 precondition
+        }
+        let shards = entry.shards.clone();
+        let client = entry.client;
+        self.coord_entry(tx, client, shards.clone());
+        let coord = self.coordinating.get(&tx).expect("just inserted").clone();
+        // Line 73: send PREPARE(t, ⊥) to the leaders of all shards of t.
+        // (`send_prepares` sends ⊥ because a recovery coordinator has no full
+        // payload.)
+        self.send_prepares(ctx, tx, &coord, None);
+        self.arm_retry_timer(ctx);
+        ctx.add_counter("retries_started", 1);
+    }
+
+    // -- reconfiguration ------------------------------------------------------
+
+    /// Lines 33–39: start reconfiguring a shard.
+    fn handle_start_reconfigure(
+        &mut self,
+        shard: ShardId,
+        spares: Vec<ProcessId>,
+        target_size: usize,
+        exclude: Vec<ProcessId>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        if self.recon.is_some() {
+            return; // line 34 precondition: probing = false
+        }
+        self.recon = Some(ReconState {
+            shard,
+            phase: ReconPhase::AwaitingGetLast,
+            recon_epoch: Epoch::ZERO,
+            probed_epoch: Epoch::ZERO,
+            probed_members: Vec::new(),
+            responders: Vec::new(),
+            descended_for_current: false,
+            spares,
+            target_size,
+            exclude,
+        });
+        ctx.send(self.cs, Msg::CsGetLast { shard });
+    }
+
+    /// Line 36 continued: the configuration service returned the latest
+    /// configuration; begin probing its members.
+    fn handle_cs_get_last_reply(
+        &mut self,
+        shard: ShardId,
+        config: ShardConfiguration,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if recon.shard != shard || !matches!(recon.phase, ReconPhase::AwaitingGetLast) {
+            return;
+        }
+        recon.probed_epoch = config.epoch;
+        recon.probed_members = config.members.clone();
+        recon.recon_epoch = config.epoch.next();
+        recon.phase = ReconPhase::Probing;
+        recon.descended_for_current = false;
+        let epoch = recon.recon_epoch;
+        let targets = recon.probed_members.clone();
+        ctx.send_to_many(targets, Msg::Probe { epoch });
+    }
+
+    /// Lines 40–44: a probed process joins the new epoch and stops processing.
+    fn handle_probe(&mut self, from: ProcessId, epoch: Epoch, ctx: &mut Context<'_, Msg>) {
+        if epoch < self.new_epoch {
+            return; // line 41 precondition
+        }
+        self.status = Status::Reconfiguring;
+        self.new_epoch = epoch;
+        ctx.send(
+            from,
+            Msg::ProbeAck {
+                initialized: self.initialized,
+                epoch,
+                shard: self.shard,
+            },
+        );
+    }
+
+    /// Lines 45–55: handle probe replies — either finish probing (an
+    /// initialised process was found and becomes the new leader) or descend to
+    /// the previous epoch.
+    fn handle_probe_ack(
+        &mut self,
+        from: ProcessId,
+        initialized: bool,
+        epoch: Epoch,
+        shard: ShardId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::Probing)
+            || recon.shard != shard
+            || recon.recon_epoch != epoch
+        {
+            return;
+        }
+        if !recon.responders.contains(&from) {
+            recon.responders.push(from);
+        }
+        if initialized {
+            // Lines 45–50: end probing, compute the new membership, CAS it.
+            let mut planner =
+                MembershipPlanner::new(recon.target_size, recon.spares.iter().copied());
+            let responders: Vec<ProcessId> = recon
+                .responders
+                .iter()
+                .copied()
+                .filter(|p| *p != from)
+                .collect();
+            let members = planner.plan(from, &responders, &recon.exclude);
+            let config = ShardConfiguration::new(recon.recon_epoch, members, from);
+            let expected = recon
+                .recon_epoch
+                .prev()
+                .expect("recon_epoch is always a successor");
+            recon.phase = ReconPhase::AwaitingCas { new_leader: from };
+            let shard = recon.shard;
+            ctx.send(
+                self.cs,
+                Msg::CsCas {
+                    shard,
+                    expected,
+                    config,
+                },
+            );
+        } else if !recon.descended_for_current && recon.probed_members.contains(&from) {
+            // Lines 51–55: the probed epoch is not operational; probe the
+            // preceding epoch.
+            recon.descended_for_current = true;
+            match recon.probed_epoch.prev() {
+                Some(prev) => {
+                    recon.probed_epoch = prev;
+                    recon.phase = ReconPhase::AwaitingGet;
+                    let shard = recon.shard;
+                    ctx.send(self.cs, Msg::CsGet { shard, epoch: prev });
+                }
+                None => {
+                    // No earlier epoch exists: all shard data is lost. The
+                    // paper's liveness assumption (Assumption 1) excludes this.
+                    ctx.add_counter("reconfiguration_stuck", 1);
+                    self.recon = None;
+                }
+            }
+        }
+    }
+
+    /// Line 54 continued: the configuration service returned the membership of
+    /// the next epoch to probe.
+    fn handle_cs_get_reply(
+        &mut self,
+        shard: ShardId,
+        epoch: Epoch,
+        config: Option<ShardConfiguration>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if recon.shard != shard
+            || !matches!(recon.phase, ReconPhase::AwaitingGet)
+            || recon.probed_epoch != epoch
+        {
+            return;
+        }
+        match config {
+            Some(config) => {
+                recon.probed_members = config.members.clone();
+                recon.phase = ReconPhase::Probing;
+                recon.descended_for_current = false;
+                let e = recon.recon_epoch;
+                let targets = recon.probed_members.clone();
+                ctx.send_to_many(targets, Msg::Probe { epoch: e });
+            }
+            None => match recon.probed_epoch.prev() {
+                Some(prev) => {
+                    recon.probed_epoch = prev;
+                    let s = recon.shard;
+                    ctx.send(self.cs, Msg::CsGet { shard: s, epoch: prev });
+                }
+                None => {
+                    ctx.add_counter("reconfiguration_stuck", 1);
+                    self.recon = None;
+                }
+            },
+        }
+    }
+
+    /// Lines 49–50: the compare-and-swap outcome — on success, notify the new
+    /// leader.
+    fn handle_cs_cas_reply(
+        &mut self,
+        shard: ShardId,
+        ok: bool,
+        config: ShardConfiguration,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(recon) = self.recon.as_ref() else {
+            return;
+        };
+        let ReconPhase::AwaitingCas { new_leader } = recon.phase else {
+            return;
+        };
+        if recon.shard != shard {
+            return;
+        }
+        self.recon = None; // probing ← false
+        if ok {
+            ctx.send(
+                new_leader,
+                Msg::NewConfig {
+                    epoch: config.epoch,
+                    members: config.members,
+                },
+            );
+        } else {
+            ctx.add_counter("reconfiguration_cas_lost", 1);
+        }
+    }
+
+    /// Lines 56–60: this replica becomes the new leader of its shard.
+    fn handle_new_config(&mut self, epoch: Epoch, members: Vec<ProcessId>, ctx: &mut Context<'_, Msg>) {
+        if epoch < self.new_epoch {
+            return;
+        }
+        self.status = Status::Leader;
+        self.new_epoch = epoch;
+        self.epoch.insert(self.shard, epoch);
+        self.members.insert(self.shard, members.clone());
+        self.leader.insert(self.shard, self.id);
+        // Line 59: `next` is implicitly the length of the certification log.
+        // Line 60: transfer state to the new followers.
+        let followers: Vec<ProcessId> = members.iter().copied().filter(|p| *p != self.id).collect();
+        let log = self.log.clone();
+        for follower in followers {
+            ctx.send(
+                follower,
+                Msg::NewState {
+                    epoch,
+                    members: members.clone(),
+                    leader: self.id,
+                    log: log.clone(),
+                },
+            );
+        }
+        ctx.add_counter("became_leader", 1);
+    }
+
+    /// Lines 61–66: a new follower installs the leader's state.
+    fn handle_new_state(
+        &mut self,
+        epoch: Epoch,
+        members: Vec<ProcessId>,
+        leader: ProcessId,
+        log: CertificationLog,
+    ) {
+        if epoch < self.new_epoch {
+            return; // line 62 precondition
+        }
+        self.initialized = true;
+        self.status = Status::Follower;
+        self.new_epoch = epoch;
+        self.epoch.insert(self.shard, epoch);
+        self.members.insert(self.shard, members);
+        self.leader.insert(self.shard, leader);
+        self.log = log;
+    }
+
+    /// Lines 67–69: learn about another shard's new configuration.
+    fn handle_config_change(
+        &mut self,
+        shard: ShardId,
+        epoch: Epoch,
+        members: Vec<ProcessId>,
+        leader: ProcessId,
+    ) {
+        if shard == self.shard || self.epoch_of(shard) >= epoch {
+            return; // line 68 precondition
+        }
+        self.epoch.insert(shard, epoch);
+        self.members.insert(shard, members);
+        self.leader.insert(shard, leader);
+    }
+
+    /// Coordinator re-transmission: re-sends `PREPARE` for coordinated
+    /// transactions that have not completed (e.g. because a shard
+    /// reconfigured mid-flight or a message raced with an epoch change).
+    fn handle_retry_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.retry_timer_armed = false;
+        let pending: Vec<TxId> = self
+            .coordinating
+            .iter()
+            .filter(|(_, c)| !c.decided)
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in pending {
+            let coord = self.coordinating.get(&tx).expect("pending").clone();
+            // Resend only to shards that are not yet complete in the current epoch.
+            let mut stale_shards = Vec::new();
+            for shard in &coord.shards {
+                let epoch = self.epoch_of(*shard);
+                let complete = coord
+                    .progress
+                    .get(shard)
+                    .and_then(|m| m.get(&epoch))
+                    .map(|p| {
+                        let leader = self.leader.get(shard).copied();
+                        let required: BTreeSet<ProcessId> = self
+                            .members_of(*shard)
+                            .iter()
+                            .copied()
+                            .filter(|q| Some(*q) != leader)
+                            .collect();
+                        p.vote.is_some() && required.is_subset(&p.acks)
+                    })
+                    .unwrap_or(false);
+                if !complete {
+                    stale_shards.push(*shard);
+                }
+            }
+            if !stale_shards.is_empty() {
+                self.send_prepares(ctx, tx, &coord, Some(&stale_shards));
+            }
+        }
+        self.arm_retry_timer(ctx);
+    }
+}
+
+impl Actor<Msg> for Replica {
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Certify { tx, payload, client } => self.handle_certify(tx, payload, client, ctx),
+            Msg::Prepare {
+                tx,
+                payload,
+                shards,
+                client,
+            } => self.handle_prepare(from, tx, payload, shards, client, ctx),
+            Msg::PrepareAck {
+                epoch,
+                shard,
+                pos,
+                tx,
+                payload,
+                vote,
+                shards,
+                client,
+            } => self.handle_prepare_ack(epoch, shard, pos, tx, payload, vote, shards, client, ctx),
+            Msg::Accept {
+                epoch,
+                shard,
+                pos,
+                tx,
+                payload,
+                vote,
+                shards,
+                client,
+            } => self.handle_accept(from, epoch, shard, pos, tx, payload, vote, shards, client, ctx),
+            Msg::AcceptAck {
+                shard,
+                epoch,
+                pos,
+                tx,
+                vote,
+            } => self.handle_accept_ack(from, shard, epoch, pos, tx, vote, ctx),
+            Msg::DecisionShard {
+                epoch,
+                pos,
+                decision,
+            } => self.handle_decision_shard(epoch, pos, decision),
+            Msg::DecisionClient { .. } => {}
+            Msg::Retry { tx } => self.handle_retry(tx, ctx),
+            Msg::StartReconfigure {
+                shard,
+                spares,
+                target_size,
+                exclude,
+            } => self.handle_start_reconfigure(shard, spares, target_size, exclude, ctx),
+            Msg::Probe { epoch } => self.handle_probe(from, epoch, ctx),
+            Msg::ProbeAck {
+                initialized,
+                epoch,
+                shard,
+            } => self.handle_probe_ack(from, initialized, epoch, shard, ctx),
+            Msg::NewConfig { epoch, members } => self.handle_new_config(epoch, members, ctx),
+            Msg::NewState {
+                epoch,
+                members,
+                leader,
+                log,
+            } => self.handle_new_state(epoch, members, leader, log),
+            Msg::ConfigChange {
+                shard,
+                epoch,
+                members,
+                leader,
+            } => self.handle_config_change(shard, epoch, members, leader),
+            Msg::CsGetLastReply { shard, config } => {
+                self.handle_cs_get_last_reply(shard, config, ctx)
+            }
+            Msg::CsGetReply {
+                shard,
+                epoch,
+                config,
+            } => self.handle_cs_get_reply(shard, epoch, config, ctx),
+            Msg::CsCasReply { shard, ok, config } => {
+                self.handle_cs_cas_reply(shard, ok, config, ctx)
+            }
+            // Requests addressed to the configuration service are ignored by
+            // replicas.
+            Msg::CsGetLast { .. } | Msg::CsGet { .. } | Msg::CsCas { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Msg>) {
+        if tag == RETRY_TICK {
+            self.handle_retry_tick(ctx);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! A sharded, versioned key-value store with optimistic concurrency control,
+//! certified through a Transaction Certification Service.
+//!
+//! The paper's system model (§2) assumes a transaction-processing layer that
+//! executes transactions optimistically — reading versions written by
+//! committed transactions and buffering writes — and then submits the
+//! resulting payload `⟨R, W, Vc⟩` to the TCS for certification. This crate is
+//! that layer: it turns the TCS protocols of `ratc-core`/`ratc-rdma`/
+//! `ratc-baseline` into a usable transactional store and is what the examples
+//! and the contention experiments drive.
+//!
+//! The store itself is deliberately simple: a multi-versioned map per key. The
+//! interesting part is the interaction contract with the TCS:
+//!
+//! * [`KvStore::begin`] starts an [`OptimisticTransaction`] that reads the
+//!   latest *committed* version of each key (satisfying §2's requirement that
+//!   read sets only contain values written by committed transactions);
+//! * [`OptimisticTransaction::into_payload`] produces the certification
+//!   payload with a commit version above every version read;
+//! * [`KvStore::apply_commit`] applies the writes of a transaction the TCS
+//!   decided to commit (idempotently), installing the new versions.
+//!
+//! # Example
+//!
+//! ```
+//! use ratc_kv::KvStore;
+//! use ratc_types::prelude::*;
+//!
+//! let mut store = KvStore::new();
+//! store.seed(Key::new("alice"), Value::from(100u64));
+//! store.seed(Key::new("bob"), Value::from(0u64));
+//!
+//! // Execute a transfer optimistically.
+//! let mut tx = store.begin(TxId::new(1));
+//! let alice = tx.read(Key::new("alice")).expect("seeded");
+//! assert_eq!(alice.as_bytes(), 100u64.to_be_bytes());
+//! tx.write(Key::new("alice"), Value::from(90u64));
+//! tx.write(Key::new("bob"), Value::from(10u64));
+//! let payload = tx.into_payload().expect("well-formed");
+//!
+//! // (Submit `payload` to a TCS here; on commit:)
+//! store.apply_commit(TxId::new(1), &payload);
+//! assert_eq!(
+//!     store.read_committed(&Key::new("alice")).unwrap().1,
+//!     Value::from(90u64)
+//! );
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ratc_types::{Key, Payload, PayloadBuilder, PayloadError, TxId, Value, Version};
+
+/// A multi-versioned, transactional key-value store.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    /// Per key: committed versions in ascending order.
+    data: BTreeMap<Key, BTreeMap<Version, Value>>,
+    /// Highest version ever committed (used to pick fresh commit versions).
+    high_water: Version,
+    /// Transactions whose writes have already been applied (idempotence).
+    applied: BTreeSet<TxId>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Seeds an initial value at version 1, bypassing certification. Intended
+    /// for populating test and benchmark datasets.
+    pub fn seed(&mut self, key: Key, value: Value) {
+        let version = Version::new(1);
+        self.data.entry(key).or_default().insert(version, value);
+        self.high_water = self.high_water.max(version);
+    }
+
+    /// The latest committed `(version, value)` of `key`, if any.
+    pub fn read_committed(&self, key: &Key) -> Option<(Version, Value)> {
+        self.data
+            .get(key)
+            .and_then(|versions| versions.iter().next_back())
+            .map(|(v, value)| (*v, value.clone()))
+    }
+
+    /// The committed value of `key` at exactly `version`.
+    pub fn read_at(&self, key: &Key, version: Version) -> Option<&Value> {
+        self.data.get(key).and_then(|versions| versions.get(&version))
+    }
+
+    /// Number of keys with at least one committed version.
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Highest committed version across all keys.
+    pub fn high_water_mark(&self) -> Version {
+        self.high_water
+    }
+
+    /// Begins an optimistic transaction against the current committed state.
+    pub fn begin(&self, tx: TxId) -> OptimisticTransaction<'_> {
+        OptimisticTransaction {
+            store: self,
+            tx,
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// Applies the writes of a transaction that the TCS decided to commit.
+    /// Re-applying the same transaction is a no-op, matching the idempotent
+    /// upcall a replica would perform when it learns a decision more than
+    /// once.
+    pub fn apply_commit(&mut self, tx: TxId, payload: &Payload) {
+        if !self.applied.insert(tx) {
+            return;
+        }
+        let version = payload.commit_version();
+        for (key, value) in payload.writes() {
+            self.data
+                .entry(key.clone())
+                .or_default()
+                .insert(version, value.clone());
+        }
+        self.high_water = self.high_water.max(version);
+    }
+
+    /// Returns `true` if the writes of `tx` have been applied.
+    pub fn is_applied(&self, tx: TxId) -> bool {
+        self.applied.contains(&tx)
+    }
+
+    /// A commit version strictly above everything committed so far and above
+    /// every version in `reads`.
+    pub fn next_commit_version<'a, I>(&self, reads: I) -> Version
+    where
+        I: IntoIterator<Item = &'a Version>,
+    {
+        let mut max = self.high_water;
+        for v in reads {
+            max = max.max(*v);
+        }
+        max.next()
+    }
+}
+
+/// An optimistic transaction: reads go to the latest committed versions, and
+/// writes are buffered until certification.
+#[derive(Debug)]
+pub struct OptimisticTransaction<'a> {
+    store: &'a KvStore,
+    tx: TxId,
+    reads: BTreeMap<Key, Version>,
+    writes: BTreeMap<Key, Value>,
+}
+
+impl<'a> OptimisticTransaction<'a> {
+    /// The transaction's identifier.
+    pub fn id(&self) -> TxId {
+        self.tx
+    }
+
+    /// Reads the latest committed value of `key`, recording the version in the
+    /// read set. Reads of keys this transaction has already written return the
+    /// buffered value ("read your own writes").
+    pub fn read(&mut self, key: Key) -> Option<Value> {
+        if let Some(value) = self.writes.get(&key) {
+            // Still record the underlying committed version for certification.
+            let version = self
+                .store
+                .read_committed(&key)
+                .map(|(v, _)| v)
+                .unwrap_or(Version::ZERO);
+            self.reads.entry(key).or_insert(version);
+            return Some(value.clone());
+        }
+        match self.store.read_committed(&key) {
+            Some((version, value)) => {
+                self.reads.insert(key, version);
+                Some(value)
+            }
+            None => {
+                // Reading a missing key still records a read at version 0 so
+                // that a concurrent creator conflicts with us.
+                self.reads.insert(key, Version::ZERO);
+                None
+            }
+        }
+    }
+
+    /// Buffers a write of `value` to `key`. The key is read first (if it has
+    /// not been already) so the payload satisfies the "writes ⊆ reads"
+    /// requirement of §2.
+    pub fn write(&mut self, key: Key, value: Value) {
+        if !self.reads.contains_key(&key) {
+            let version = self
+                .store
+                .read_committed(&key)
+                .map(|(v, _)| v)
+                .unwrap_or(Version::ZERO);
+            self.reads.insert(key.clone(), version);
+        }
+        self.writes.insert(key, value);
+    }
+
+    /// Number of keys read so far.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of keys written so far.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Finishes optimistic execution and produces the certification payload
+    /// `⟨R, W, Vc⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PayloadError`] if the accumulated read/write sets violate
+    /// the payload well-formedness conditions (cannot happen through this
+    /// API's normal usage).
+    pub fn into_payload(self) -> Result<Payload, PayloadError> {
+        let commit_version = self.store.next_commit_version(self.reads.values());
+        let mut builder = PayloadBuilder::default();
+        for (key, version) in self.reads {
+            builder = builder.read(key, version);
+        }
+        for (key, value) in self.writes {
+            builder = builder.write(key, value);
+        }
+        builder.commit_version(commit_version).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str) -> Key {
+        Key::new(name)
+    }
+
+    #[test]
+    fn seed_and_read() {
+        let mut store = KvStore::new();
+        store.seed(k("x"), Value::from("10"));
+        assert_eq!(store.key_count(), 1);
+        let (version, value) = store.read_committed(&k("x")).expect("seeded");
+        assert_eq!(version, Version::new(1));
+        assert_eq!(value, Value::from("10"));
+        assert_eq!(store.read_at(&k("x"), Version::new(1)), Some(&Value::from("10")));
+        assert_eq!(store.read_at(&k("x"), Version::new(2)), None);
+        assert!(store.read_committed(&k("missing")).is_none());
+    }
+
+    #[test]
+    fn optimistic_transaction_builds_wellformed_payload() {
+        let mut store = KvStore::new();
+        store.seed(k("a"), Value::from("1"));
+        let mut tx = store.begin(TxId::new(1));
+        assert_eq!(tx.id(), TxId::new(1));
+        assert_eq!(tx.read(k("a")), Some(Value::from("1")));
+        tx.write(k("a"), Value::from("2"));
+        tx.write(k("b"), Value::from("9"));
+        assert_eq!(tx.read_count(), 2);
+        assert_eq!(tx.write_count(), 2);
+        let payload = tx.into_payload().expect("well-formed");
+        assert!(payload.validate().is_ok());
+        assert!(payload.commit_version() > Version::new(1));
+        assert_eq!(payload.read_version(&k("b")), Some(Version::ZERO));
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let mut store = KvStore::new();
+        store.seed(k("a"), Value::from("old"));
+        let mut tx = store.begin(TxId::new(1));
+        tx.write(k("a"), Value::from("new"));
+        assert_eq!(tx.read(k("a")), Some(Value::from("new")));
+        // The recorded read version is still the committed one.
+        let payload = tx.into_payload().expect("well-formed");
+        assert_eq!(payload.read_version(&k("a")), Some(Version::new(1)));
+    }
+
+    #[test]
+    fn apply_commit_is_idempotent_and_versions_advance() {
+        let mut store = KvStore::new();
+        store.seed(k("x"), Value::from("1"));
+        let mut tx = store.begin(TxId::new(7));
+        tx.read(k("x"));
+        tx.write(k("x"), Value::from("2"));
+        let payload = tx.into_payload().expect("well-formed");
+        store.apply_commit(TxId::new(7), &payload);
+        assert!(store.is_applied(TxId::new(7)));
+        let (v1, value1) = store.read_committed(&k("x")).expect("committed");
+        store.apply_commit(TxId::new(7), &payload);
+        let (v2, value2) = store.read_committed(&k("x")).expect("committed");
+        assert_eq!((v1, value1), (v2.clone(), value2));
+        assert_eq!(store.high_water_mark(), v2);
+    }
+
+    #[test]
+    fn missing_key_reads_are_recorded_at_version_zero() {
+        let store = KvStore::new();
+        let mut tx = store.begin(TxId::new(1));
+        assert_eq!(tx.read(k("ghost")), None);
+        let payload = tx.into_payload().expect("well-formed");
+        assert_eq!(payload.read_version(&k("ghost")), Some(Version::ZERO));
+    }
+
+    #[test]
+    fn next_commit_version_exceeds_reads_and_high_water() {
+        let mut store = KvStore::new();
+        store.seed(k("x"), Value::from("1"));
+        let v = store.next_commit_version([&Version::new(5)]);
+        assert!(v > Version::new(5));
+        let v = store.next_commit_version([]);
+        assert!(v > store.high_water_mark());
+    }
+}

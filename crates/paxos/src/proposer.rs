@@ -1,0 +1,375 @@
+//! The Multi-Paxos proposer (stable leader) state machine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ratc_types::ProcessId;
+use serde::{Deserialize, Serialize};
+
+use crate::ballot::Ballot;
+use crate::messages::{PaxosMsg, Slot};
+use crate::quorum;
+
+/// Phase of the proposer's ballot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    /// Phase 1 has not completed; commands are queued.
+    Preparing,
+    /// Phase 1 completed; commands go straight to phase 2.
+    Leading,
+}
+
+/// A Multi-Paxos proposer: runs phase 1 once for its ballot, then assigns
+/// commands to consecutive slots using phase 2 only (the standard stable
+/// leader optimisation).
+///
+/// Like [`Acceptor`](crate::acceptor::Acceptor), the proposer is a pure state
+/// machine: every input returns the messages to send, plus (from
+/// [`Proposer::handle`]) the commands that became chosen as a result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Proposer<C> {
+    id: ProcessId,
+    acceptors: Vec<ProcessId>,
+    ballot: Ballot,
+    phase: Phase,
+    promises: BTreeSet<ProcessId>,
+    /// Highest-ballot accepted command reported per slot during phase 1.
+    phase1_accepted: BTreeMap<Slot, (Ballot, C)>,
+    next_slot: Slot,
+    /// Acks per in-flight slot.
+    pending: BTreeMap<Slot, (C, BTreeSet<ProcessId>)>,
+    /// Commands queued while phase 1 is still running.
+    queued: Vec<C>,
+    chosen: BTreeMap<Slot, C>,
+}
+
+impl<C: Clone> Proposer<C> {
+    /// Creates a proposer with identifier `id` for the given acceptor group,
+    /// using ballot round `round`.
+    pub fn new(id: ProcessId, acceptors: Vec<ProcessId>, round: u64) -> Self {
+        Proposer {
+            id,
+            acceptors,
+            ballot: Ballot::new(round, id),
+            phase: Phase::Preparing,
+            promises: BTreeSet::new(),
+            phase1_accepted: BTreeMap::new(),
+            next_slot: 0,
+            pending: BTreeMap::new(),
+            queued: Vec::new(),
+            chosen: BTreeMap::new(),
+        }
+    }
+
+    /// The proposer's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The proposer's current ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    /// Returns `true` once phase 1 has completed and the proposer is the
+    /// stable leader for its ballot.
+    pub fn is_leading(&self) -> bool {
+        self.phase == Phase::Leading
+    }
+
+    /// Number of slots this proposer has learned to be chosen.
+    pub fn chosen_count(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// Starts phase 1: returns `Prepare` messages for every acceptor.
+    pub fn start_phase1(&mut self) -> Vec<(ProcessId, PaxosMsg<C>)> {
+        self.phase = Phase::Preparing;
+        self.promises.clear();
+        self.acceptors
+            .iter()
+            .map(|a| {
+                (
+                    *a,
+                    PaxosMsg::Prepare {
+                        ballot: self.ballot,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Abandons the current ballot and starts phase 1 again with a higher one
+    /// (used after receiving a nack).
+    pub fn advance_ballot(&mut self) -> Vec<(ProcessId, PaxosMsg<C>)> {
+        self.ballot = self.ballot.successor(self.id);
+        self.start_phase1()
+    }
+
+    /// Submits a command for replication. If phase 1 has not completed yet the
+    /// command is queued and will be proposed as soon as it does.
+    pub fn propose(&mut self, command: C) -> Vec<(ProcessId, PaxosMsg<C>)> {
+        match self.phase {
+            Phase::Preparing => {
+                self.queued.push(command);
+                Vec::new()
+            }
+            Phase::Leading => self.send_accepts(command),
+        }
+    }
+
+    fn send_accepts(&mut self, command: C) -> Vec<(ProcessId, PaxosMsg<C>)> {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.pending
+            .insert(slot, (command.clone(), BTreeSet::new()));
+        self.acceptors
+            .iter()
+            .map(|a| {
+                (
+                    *a,
+                    PaxosMsg::Accept {
+                        ballot: self.ballot,
+                        slot,
+                        command: command.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Handles one message addressed to the proposer. Returns the messages to
+    /// send and the `(slot, command)` pairs newly learned to be chosen.
+    pub fn handle(&mut self, msg: PaxosMsg<C>) -> (Vec<(ProcessId, PaxosMsg<C>)>, Vec<(Slot, C)>) {
+        match msg {
+            PaxosMsg::Promise { ballot, accepted } => {
+                if ballot != self.ballot || self.phase == Phase::Leading {
+                    return (Vec::new(), Vec::new());
+                }
+                // Track the highest-ballot accepted value per slot.
+                for (slot, b, c) in accepted {
+                    let replace = match self.phase1_accepted.get(&slot) {
+                        Some((existing, _)) => b > *existing,
+                        None => true,
+                    };
+                    if replace {
+                        self.phase1_accepted.insert(slot, (b, c));
+                    }
+                }
+                // The promise sender is implicit in our transports (the
+                // message itself carries no sender); count distinct promises
+                // by using an opaque counter derived from the set size. To be
+                // safe against duplicates we require the caller to deliver
+                // each acceptor's promise at most once, which the FIFO
+                // channels of the simulator guarantee.
+                let synthetic = ProcessId::new(self.promises.len() as u64);
+                self.promises.insert(synthetic);
+                if self.promises.len() >= quorum(self.acceptors.len()) {
+                    self.phase = Phase::Leading;
+                    let mut out = Vec::new();
+                    // Re-propose values reported in phase 1 at their slots.
+                    let recovered: Vec<(Slot, C)> = self
+                        .phase1_accepted
+                        .iter()
+                        .map(|(slot, (_, c))| (*slot, c.clone()))
+                        .collect();
+                    for (slot, command) in recovered {
+                        self.next_slot = self.next_slot.max(slot + 1);
+                        self.pending
+                            .insert(slot, (command.clone(), BTreeSet::new()));
+                        for a in &self.acceptors {
+                            out.push((
+                                *a,
+                                PaxosMsg::Accept {
+                                    ballot: self.ballot,
+                                    slot,
+                                    command: command.clone(),
+                                },
+                            ));
+                        }
+                    }
+                    // Flush commands queued while preparing.
+                    let queued = std::mem::take(&mut self.queued);
+                    for command in queued {
+                        out.extend(self.send_accepts(command));
+                    }
+                    (out, Vec::new())
+                } else {
+                    (Vec::new(), Vec::new())
+                }
+            }
+            PaxosMsg::Accepted {
+                ballot,
+                slot,
+                acceptor,
+            } => {
+                if ballot != self.ballot {
+                    return (Vec::new(), Vec::new());
+                }
+                let quorum_size = quorum(self.acceptors.len());
+                let mut newly_chosen = Vec::new();
+                let mut reached = false;
+                if let Some((_, acks)) = self.pending.get_mut(&slot) {
+                    acks.insert(acceptor);
+                    reached = acks.len() >= quorum_size;
+                }
+                if reached {
+                    if let Some((command, _)) = self.pending.remove(&slot) {
+                        self.chosen.insert(slot, command.clone());
+                        newly_chosen.push((slot, command));
+                    }
+                }
+                let mut out = Vec::new();
+                for (slot, command) in &newly_chosen {
+                    for a in &self.acceptors {
+                        if *a != self.id {
+                            out.push((
+                                *a,
+                                PaxosMsg::Chosen {
+                                    slot: *slot,
+                                    command: command.clone(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                (out, newly_chosen)
+            }
+            PaxosMsg::Nack { promised, .. } => {
+                // Someone holds a higher ballot; our ballot is dead. The
+                // embedding protocol decides whether to retry via
+                // `advance_ballot`. Record the higher ballot so the retry
+                // overtakes it.
+                if promised > self.ballot {
+                    self.ballot = Ballot::new(promised.round, self.id);
+                }
+                (Vec::new(), Vec::new())
+            }
+            PaxosMsg::Prepare { .. } | PaxosMsg::Accept { .. } | PaxosMsg::Chosen { .. } => {
+                (Vec::new(), Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptor::Acceptor;
+
+    fn pid(raw: u64) -> ProcessId {
+        ProcessId::new(raw)
+    }
+
+    /// Runs a fully connected proposer + acceptors loop until no messages
+    /// remain, returning chosen (slot, command) pairs in choose order.
+    fn run_to_quiescence(
+        proposer: &mut Proposer<u32>,
+        acceptors: &mut [Acceptor<u32>],
+        mut outbox: Vec<(ProcessId, PaxosMsg<u32>)>,
+    ) -> Vec<(Slot, u32)> {
+        let mut chosen = Vec::new();
+        while let Some((to, msg)) = outbox.pop() {
+            if to == proposer.id() {
+                let (more, newly) = proposer.handle(msg);
+                outbox.extend(more);
+                chosen.extend(newly);
+            } else {
+                for acceptor in acceptors.iter_mut() {
+                    if acceptor.id() == to {
+                        let more = acceptor.handle(proposer.id(), msg.clone());
+                        outbox.extend(more);
+                    }
+                }
+            }
+        }
+        chosen
+    }
+
+    fn setup() -> (Proposer<u32>, Vec<Acceptor<u32>>) {
+        let ids = vec![pid(0), pid(1), pid(2)];
+        let proposer = Proposer::new(pid(0), ids.clone(), 0);
+        let acceptors = ids.into_iter().map(Acceptor::new).collect();
+        (proposer, acceptors)
+    }
+
+    #[test]
+    fn phase1_then_commands_are_chosen_in_order() {
+        let (mut proposer, mut acceptors) = setup();
+        let mut outbox = proposer.start_phase1();
+        outbox.extend(proposer.propose(10));
+        outbox.extend(proposer.propose(20));
+        let mut chosen = run_to_quiescence(&mut proposer, &mut acceptors, outbox);
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![(0, 10), (1, 20)]);
+        assert!(proposer.is_leading());
+        assert_eq!(proposer.chosen_count(), 2);
+        assert_eq!(proposer.ballot(), Ballot::new(0, pid(0)));
+    }
+
+    #[test]
+    fn commands_queued_before_phase1_are_not_lost() {
+        let (mut proposer, mut acceptors) = setup();
+        // Propose before starting phase 1: the command must be queued.
+        assert!(proposer.propose(77).is_empty());
+        let outbox = proposer.start_phase1();
+        let chosen = run_to_quiescence(&mut proposer, &mut acceptors, outbox);
+        assert_eq!(chosen, vec![(0, 77)]);
+    }
+
+    #[test]
+    fn phase1_recovers_previously_accepted_values() {
+        let ids = vec![pid(0), pid(1), pid(2)];
+        let mut acceptors: Vec<Acceptor<u32>> =
+            ids.iter().copied().map(Acceptor::new).collect();
+        // A previous leader (pid 9) got command 5 accepted at slot 0 on one acceptor.
+        acceptors[1].handle(
+            pid(9),
+            PaxosMsg::Accept {
+                ballot: Ballot::new(1, pid(9)),
+                slot: 0,
+                command: 5,
+            },
+        );
+        let mut proposer = Proposer::new(pid(0), ids, 2);
+        let outbox = proposer.start_phase1();
+        let chosen = run_to_quiescence(&mut proposer, &mut acceptors, outbox);
+        assert!(chosen.contains(&(0, 5)), "recovered value must be re-chosen");
+    }
+
+    #[test]
+    fn nack_advances_ballot() {
+        let (mut proposer, _) = setup();
+        let _ = proposer.start_phase1();
+        let (out, chosen) = proposer.handle(PaxosMsg::Nack {
+            rejected: Ballot::new(0, pid(0)),
+            promised: Ballot::new(5, pid(2)),
+        });
+        assert!(out.is_empty());
+        assert!(chosen.is_empty());
+        let retry = proposer.advance_ballot();
+        assert_eq!(retry.len(), 3);
+        assert!(proposer.ballot() > Ballot::new(5, pid(2)));
+    }
+
+    #[test]
+    fn stale_ballot_messages_are_ignored() {
+        let (mut proposer, mut acceptors) = setup();
+        let outbox = proposer.start_phase1();
+        let _ = run_to_quiescence(&mut proposer, &mut acceptors, outbox);
+        // An Accepted for a different ballot is ignored.
+        let (out, chosen) = proposer.handle(PaxosMsg::Accepted {
+            ballot: Ballot::new(9, pid(3)),
+            slot: 0,
+            acceptor: pid(1),
+        });
+        assert!(out.is_empty());
+        assert!(chosen.is_empty());
+        // So are stray Prepare/Accept/Chosen messages.
+        assert!(proposer
+            .handle(PaxosMsg::Prepare {
+                ballot: Ballot::bottom()
+            })
+            .0
+            .is_empty());
+    }
+}

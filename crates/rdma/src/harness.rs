@@ -1,0 +1,465 @@
+//! Deployment harness for the RDMA protocol, plus scripted-schedule helpers
+//! used by the Figure 4a counter-example.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ratc_config::GlobalConfiguration;
+use ratc_sim::rdma::RdmaToken;
+use ratc_sim::{Actor, Context, SimConfig, SimDuration, SimTime, World};
+use ratc_types::{
+    CertificationPolicy, Decision, Epoch, HashSharding, Payload, ProcessId, Serializability,
+    ShardId, ShardMap, TcsHistory, TxId,
+};
+
+use crate::config_service::GlobalConfigServiceActor;
+use crate::messages::RdmaMsg;
+use crate::replica::{RdmaReplica, ReconfigMode};
+
+/// Configuration of a simulated RDMA deployment.
+#[derive(Clone)]
+pub struct RdmaClusterConfig {
+    /// Number of shards.
+    pub shards: u32,
+    /// Replicas per shard (`f + 1`).
+    pub replicas_per_shard: usize,
+    /// Spare replicas per shard.
+    pub spares_per_shard: usize,
+    /// Certification policy.
+    pub policy: Arc<dyn CertificationPolicy>,
+    /// Simulation parameters.
+    pub sim: SimConfig,
+    /// Reconfiguration mode (correct global, or naive per-shard).
+    pub mode: ReconfigMode,
+}
+
+impl Default for RdmaClusterConfig {
+    fn default() -> Self {
+        RdmaClusterConfig {
+            shards: 2,
+            replicas_per_shard: 2,
+            spares_per_shard: 2,
+            policy: Arc::new(Serializability::new()),
+            sim: SimConfig::default(),
+            mode: ReconfigMode::GlobalCorrect,
+        }
+    }
+}
+
+impl std::fmt::Debug for RdmaClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmaClusterConfig")
+            .field("shards", &self.shards)
+            .field("replicas_per_shard", &self.replicas_per_shard)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl RdmaClusterConfig {
+    /// Returns a copy with the given number of shards.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with the given reconfiguration mode.
+    pub fn with_mode(mut self, mode: ReconfigMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+}
+
+/// A client of the RDMA protocol: records the TCS history and latencies.
+#[derive(Debug, Default)]
+pub struct RdmaClientActor {
+    history: TcsHistory,
+    submit_times: BTreeMap<TxId, SimTime>,
+    hops: BTreeMap<TxId, u32>,
+    violations: Vec<String>,
+}
+
+impl RdmaClientActor {
+    /// Records the `certify` action at submission time.
+    pub fn record_certify(&mut self, tx: TxId, payload: Payload, now: SimTime) {
+        if let Err(err) = self.history.record_certify(tx, payload) {
+            self.violations.push(err.to_string());
+        }
+        self.submit_times.insert(tx, now);
+    }
+
+    /// The recorded history.
+    pub fn history(&self) -> &TcsHistory {
+        &self.history
+    }
+
+    /// Message-delay count of each decided transaction.
+    pub fn hops(&self) -> &BTreeMap<TxId, u32> {
+        &self.hops
+    }
+
+    /// Specification violations (contradictory decisions). Empty in a correct
+    /// run.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+impl Actor<RdmaMsg> for RdmaClientActor {
+    fn on_message(&mut self, _from: ProcessId, msg: RdmaMsg, ctx: &mut Context<'_, RdmaMsg>) {
+        if let RdmaMsg::DecisionClient { tx, decision } = msg {
+            if let Err(err) = self.history.record_decide(tx, decision) {
+                self.violations.push(err.to_string());
+                return;
+            }
+            self.hops.entry(tx).or_insert(ctx.hops());
+            ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
+            match decision {
+                Decision::Commit => ctx.add_counter("client_commits", 1),
+                Decision::Abort => ctx.add_counter("client_aborts", 1),
+            }
+        }
+    }
+}
+
+/// A test-controlled peer: records every message, RDMA delivery and RDMA
+/// acknowledgement it receives, and never reacts. Used to play protocol roles
+/// by hand in scripted schedules such as the Figure 4a counter-example.
+#[derive(Debug, Default)]
+pub struct ScriptedPeer {
+    /// Messages received over the ordinary network.
+    pub received: Vec<(ProcessId, RdmaMsg)>,
+    /// Messages delivered out of local memory (RDMA).
+    pub rdma_delivered: Vec<(ProcessId, RdmaMsg)>,
+    /// Acknowledgement tokens received for our own RDMA writes.
+    pub acks: Vec<RdmaToken>,
+}
+
+impl Actor<RdmaMsg> for ScriptedPeer {
+    fn on_message(&mut self, from: ProcessId, msg: RdmaMsg, _ctx: &mut Context<'_, RdmaMsg>) {
+        self.received.push((from, msg));
+    }
+
+    fn on_rdma_deliver(&mut self, from: ProcessId, msg: RdmaMsg, _ctx: &mut Context<'_, RdmaMsg>) {
+        self.rdma_delivered.push((from, msg));
+    }
+
+    fn on_rdma_ack(&mut self, token: RdmaToken, _to: ProcessId, _ctx: &mut Context<'_, RdmaMsg>) {
+        self.acks.push(token);
+    }
+}
+
+/// A fully wired simulated deployment of the RDMA protocol.
+pub struct RdmaCluster {
+    /// The simulation world.
+    pub world: World<RdmaMsg>,
+    sharding: Arc<HashSharding>,
+    cs: ProcessId,
+    client: ProcessId,
+    members: BTreeMap<ShardId, Vec<ProcessId>>,
+    spares: BTreeMap<ShardId, Vec<ProcessId>>,
+    replicas_per_shard: usize,
+    next_coordinator: usize,
+}
+
+impl RdmaCluster {
+    /// Builds the cluster: replicas, spares, configuration service and client,
+    /// with RDMA connections opened between all initial members.
+    pub fn new(config: RdmaClusterConfig) -> Self {
+        let sharding = Arc::new(HashSharding::new(config.shards));
+        let mut world: World<RdmaMsg> = World::new(config.sim.clone());
+
+        let mut members: BTreeMap<ShardId, Vec<ProcessId>> = BTreeMap::new();
+        let mut spares: BTreeMap<ShardId, Vec<ProcessId>> = BTreeMap::new();
+        for shard_idx in 0..config.shards {
+            let shard = ShardId::new(shard_idx);
+            let mut shard_members = Vec::new();
+            for _ in 0..config.replicas_per_shard {
+                shard_members.push(world.add_actor(RdmaReplica::new(
+                    shard,
+                    config.policy.as_ref(),
+                    sharding.clone() as Arc<dyn ShardMap + Send + Sync>,
+                    config.mode,
+                )));
+            }
+            members.insert(shard, shard_members);
+            let mut shard_spares = Vec::new();
+            for _ in 0..config.spares_per_shard {
+                shard_spares.push(world.add_actor(RdmaReplica::new(
+                    shard,
+                    config.policy.as_ref(),
+                    sharding.clone() as Arc<dyn ShardMap + Send + Sync>,
+                    config.mode,
+                )));
+            }
+            spares.insert(shard, shard_spares);
+        }
+
+        let initial = GlobalConfiguration::new(
+            Epoch::ZERO,
+            members.clone(),
+            members
+                .iter()
+                .map(|(shard, shard_members)| (*shard, shard_members[0]))
+                .collect(),
+        );
+        let notify = config.mode == ReconfigMode::NaivePerShard;
+        let cs = world.add_actor(GlobalConfigServiceActor::new(initial.clone(), notify));
+        let client = world.add_actor(RdmaClientActor::default());
+
+        // Install views and open all-pairs RDMA connections among the initial
+        // members.
+        let all_members: Vec<ProcessId> = initial.all_processes();
+        for (shard, shard_members) in &members {
+            for pid in shard_members {
+                world
+                    .actor_mut::<RdmaReplica>(*pid)
+                    .expect("replica")
+                    .install_initial_config(*pid, cs, &initial, true);
+            }
+            for pid in &spares[shard] {
+                world
+                    .actor_mut::<RdmaReplica>(*pid)
+                    .expect("spare")
+                    .install_initial_config(*pid, cs, &initial, false);
+            }
+        }
+        for owner in &all_members {
+            for peer in &all_members {
+                if owner != peer {
+                    world.rdma_open(*owner, *peer);
+                }
+            }
+        }
+
+        RdmaCluster {
+            world,
+            sharding,
+            cs,
+            client,
+            members,
+            spares,
+            replicas_per_shard: config.replicas_per_shard,
+            next_coordinator: 0,
+        }
+    }
+
+    /// The shard map of this cluster.
+    pub fn sharding(&self) -> &HashSharding {
+        &self.sharding
+    }
+
+    /// The client process.
+    pub fn client_id(&self) -> ProcessId {
+        self.client
+    }
+
+    /// The configuration-service process.
+    pub fn config_service_id(&self) -> ProcessId {
+        self.cs
+    }
+
+    /// The initial members of `shard`.
+    pub fn initial_members(&self, shard: ShardId) -> &[ProcessId] {
+        self.members.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The spare replicas of `shard`.
+    pub fn spares(&self, shard: ShardId) -> &[ProcessId] {
+        self.spares.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The current configuration stored by the configuration service.
+    pub fn current_config(&self) -> GlobalConfiguration {
+        self.world
+            .actor::<GlobalConfigServiceActor>(self.cs)
+            .expect("configuration service")
+            .registry()
+            .get_last()
+            .clone()
+    }
+
+    /// Downcast access to a replica's state.
+    pub fn replica(&self, pid: ProcessId) -> &RdmaReplica {
+        self.world.actor::<RdmaReplica>(pid).expect("replica")
+    }
+
+    /// Submits a transaction through a round-robin coordinator.
+    pub fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId {
+        let all: Vec<ProcessId> = self
+            .members
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .filter(|p| !self.world.is_crashed(*p))
+            .collect();
+        let coordinator = all[self.next_coordinator % all.len()];
+        self.next_coordinator += 1;
+        self.submit_via(tx, payload, coordinator);
+        coordinator
+    }
+
+    /// Submits a transaction through a specific coordinator.
+    pub fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId) {
+        let now = self.world.now();
+        self.world
+            .actor_mut::<RdmaClientActor>(self.client)
+            .expect("client")
+            .record_certify(tx, payload.clone(), now);
+        let client = self.client;
+        self.world
+            .send_external(coordinator, RdmaMsg::Certify { tx, payload, client });
+    }
+
+    /// Triggers a reconfiguration through `initiator`.
+    pub fn start_reconfiguration(
+        &mut self,
+        suspected_shard: ShardId,
+        initiator: ProcessId,
+        exclude: Vec<ProcessId>,
+    ) {
+        let spares = self.spares.clone();
+        let target_size = self.replicas_per_shard;
+        self.world.send_external(
+            initiator,
+            RdmaMsg::StartReconfigure {
+                suspected_shard,
+                spares,
+                target_size,
+                exclude,
+            },
+        );
+    }
+
+    /// Asks `replica` to retry `tx` as a recovery coordinator.
+    pub fn retry(&mut self, replica: ProcessId, tx: TxId) {
+        self.world.send_external(replica, RdmaMsg::Retry { tx });
+    }
+
+    /// Crashes a process.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.world.crash(pid);
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_quiescence(&mut self) {
+        self.world.run();
+    }
+
+    /// Runs for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.world.now() + duration;
+        self.world.run_until(until);
+    }
+
+    /// The client's recorded history.
+    pub fn history(&self) -> TcsHistory {
+        self.world
+            .actor::<RdmaClientActor>(self.client)
+            .expect("client")
+            .history()
+            .clone()
+    }
+
+    /// Message-delay counts per decided transaction.
+    pub fn decision_hops(&self) -> BTreeMap<TxId, u32> {
+        self.world
+            .actor::<RdmaClientActor>(self.client)
+            .expect("client")
+            .hops()
+            .clone()
+    }
+
+    /// Specification violations observed by the client.
+    pub fn client_violations(&self) -> Vec<String> {
+        self.world
+            .actor::<RdmaClientActor>(self.client)
+            .expect("client")
+            .violations()
+            .to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Key, Value, Version};
+
+    fn rw_payload(key: &str) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(0))
+            .write(Key::new(key), Value::from("v"))
+            .commit_version(Version::new(1))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn failure_free_commit_over_rdma() {
+        let mut cluster = RdmaCluster::new(RdmaClusterConfig::default());
+        cluster.submit(TxId::new(1), rw_payload("x"));
+        cluster.run_to_quiescence();
+        assert_eq!(
+            cluster.history().decision(TxId::new(1)),
+            Some(Decision::Commit)
+        );
+        assert!(cluster.client_violations().is_empty());
+        assert_eq!(cluster.world.rdma_rejected(), 0);
+    }
+
+    #[test]
+    fn conflicting_transactions_do_not_both_commit_over_rdma() {
+        let mut cluster = RdmaCluster::new(RdmaClusterConfig::default().with_seed(7));
+        cluster.submit(TxId::new(1), rw_payload("hot"));
+        cluster.submit(TxId::new(2), rw_payload("hot"));
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert!(history.committed().count() <= 1);
+        assert_eq!(history.decide_count(), 2);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn many_disjoint_transactions_commit_over_rdma() {
+        let mut cluster =
+            RdmaCluster::new(RdmaClusterConfig::default().with_shards(3).with_seed(9));
+        for i in 0..20 {
+            cluster.submit(TxId::new(i), rw_payload(&format!("k{i}")));
+        }
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.history().committed().count(), 20);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn global_reconfiguration_recovers_from_a_follower_crash() {
+        let mut cluster = RdmaCluster::new(RdmaClusterConfig::default().with_seed(11));
+        cluster.submit(TxId::new(1), rw_payload("a"));
+        cluster.run_to_quiescence();
+
+        let shard = ShardId::new(0);
+        let config = cluster.current_config();
+        let leader = config.leader_of(shard).expect("leader");
+        let follower = config.followers_of(shard)[0];
+        cluster.crash(follower);
+        cluster.start_reconfiguration(shard, leader, vec![follower]);
+        cluster.run_to_quiescence();
+
+        let new_config = cluster.current_config();
+        assert_eq!(new_config.epoch, Epoch::new(1));
+        assert!(!new_config.members_of(shard).contains(&follower));
+
+        cluster.submit(TxId::new(2), rw_payload("b"));
+        cluster.run_to_quiescence();
+        assert_eq!(
+            cluster.history().decision(TxId::new(2)),
+            Some(Decision::Commit)
+        );
+        assert!(cluster.client_violations().is_empty());
+    }
+}

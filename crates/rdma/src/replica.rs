@@ -1,0 +1,1071 @@
+//! The RDMA replica state machine (Figures 7–8, line by line).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use ratc_config::{GlobalConfiguration, MembershipPlanner};
+use ratc_core::log::{LogEntry, TxPhase};
+use ratc_sim::rdma::RdmaToken;
+use ratc_sim::{Actor, Context, SimDuration, TimerTag};
+use ratc_types::{
+    CertificationPolicy, Decision, Epoch, Payload, Position, ProcessId, ShardCertifier, ShardId,
+    ShardMap, TxId,
+};
+
+use crate::messages::RdmaMsg;
+
+/// The certification log of the RDMA protocol. Identical in structure to the
+/// message-passing protocol's log, so the type is shared with `ratc-core`.
+pub type RdmaLog = ratc_core::log::CertificationLog;
+
+/// Timer tag used for the coordinator's re-transmission tick.
+const RETRY_TICK: TimerTag = 1;
+
+/// How reconfiguration is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigMode {
+    /// The correct protocol of §5: global reconfiguration with connection
+    /// closing, `CONFIG_PREPARE` dissemination and `flush` on promotion.
+    GlobalCorrect,
+    /// The **incorrect** variant that keeps §3's per-shard reconfiguration
+    /// while using RDMA on the data path. Reproduces the Figure 4a safety
+    /// violation; never use outside experiments.
+    NaivePerShard,
+}
+
+/// Replica status (the paper's `status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaStatus {
+    /// Shard leader in the current epoch.
+    Leader,
+    /// Shard follower in the current epoch.
+    Follower,
+    /// Probed for a higher epoch; transaction processing stopped.
+    Reconfiguring,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ShardProgress {
+    pos: Option<Position>,
+    vote: Option<Decision>,
+    /// Followers whose RDMA acknowledgement has been received.
+    acked: BTreeSet<ProcessId>,
+}
+
+#[derive(Debug, Clone)]
+struct CoordState {
+    client: ProcessId,
+    payload: Option<Payload>,
+    shards: Vec<ShardId>,
+    /// Progress per shard per (global) epoch.
+    progress: BTreeMap<ShardId, BTreeMap<Epoch, ShardProgress>>,
+    decided: bool,
+}
+
+/// What an outstanding RDMA write was for.
+#[derive(Debug, Clone)]
+enum PendingWrite {
+    Accept {
+        tx: TxId,
+        shard: ShardId,
+        follower: ProcessId,
+        epoch: Epoch,
+    },
+    Other,
+}
+
+#[derive(Debug, Clone)]
+enum ReconPhase {
+    AwaitingGetLast,
+    Probing,
+    AwaitingCas,
+    Installing { config: GlobalConfiguration },
+}
+
+#[derive(Debug, Clone)]
+struct ReconState {
+    phase: ReconPhase,
+    recon_epoch: Epoch,
+    suspected_shard: ShardId,
+    /// Per shard: the epoch currently being probed and its members.
+    probed_epoch: BTreeMap<ShardId, Epoch>,
+    probed_members: BTreeMap<ShardId, Vec<ProcessId>>,
+    /// Per shard: responders and whether an initialised responder was found.
+    responders: BTreeMap<ShardId, Vec<ProcessId>>,
+    initialized_responder: BTreeMap<ShardId, ProcessId>,
+    config_prepare_acks: BTreeSet<ProcessId>,
+    spares: BTreeMap<ShardId, Vec<ProcessId>>,
+    target_size: usize,
+    exclude: Vec<ProcessId>,
+}
+
+/// A replica of the RDMA-based protocol.
+pub struct RdmaReplica {
+    id: ProcessId,
+    shard: ShardId,
+    mode: ReconfigMode,
+    status: RdmaStatus,
+    initialized: bool,
+    epoch: Epoch,
+    new_epoch: Epoch,
+    config: Option<GlobalConfiguration>,
+    connections: BTreeSet<ProcessId>,
+    log: RdmaLog,
+    certifier: Arc<dyn ShardCertifier>,
+    sharding: Arc<dyn ShardMap + Send + Sync>,
+    cs: ProcessId,
+    coordinating: BTreeMap<TxId, CoordState>,
+    pending_writes: BTreeMap<RdmaToken, PendingWrite>,
+    recon: Option<ReconState>,
+    retry_interval: SimDuration,
+    retry_timer_armed: bool,
+}
+
+impl RdmaReplica {
+    /// Creates a replica of `shard` in the given reconfiguration mode.
+    pub fn new<P>(
+        shard: ShardId,
+        policy: &P,
+        sharding: Arc<dyn ShardMap + Send + Sync>,
+        mode: ReconfigMode,
+    ) -> Self
+    where
+        P: CertificationPolicy + ?Sized,
+    {
+        RdmaReplica {
+            id: ProcessId::new(u64::MAX),
+            shard,
+            mode,
+            status: RdmaStatus::Follower,
+            initialized: false,
+            epoch: Epoch::ZERO,
+            new_epoch: Epoch::ZERO,
+            config: None,
+            connections: BTreeSet::new(),
+            log: RdmaLog::new(),
+            certifier: policy.shard_certifier(shard),
+            sharding,
+            cs: ProcessId::new(u64::MAX),
+            coordinating: BTreeMap::new(),
+            pending_writes: BTreeMap::new(),
+            recon: None,
+            retry_interval: SimDuration::from_millis(20),
+            retry_timer_armed: false,
+        }
+    }
+
+    /// Installs the initial configuration, own identifier and configuration
+    /// service at this replica. `in_initial_config` is false for spares.
+    pub fn install_initial_config(
+        &mut self,
+        id: ProcessId,
+        cs: ProcessId,
+        config: &GlobalConfiguration,
+        in_initial_config: bool,
+    ) {
+        self.id = id;
+        self.cs = cs;
+        self.epoch = config.epoch;
+        self.config = Some(config.clone());
+        if in_initial_config {
+            self.initialized = true;
+            self.status = if config.leader_of(self.shard) == Some(id) {
+                RdmaStatus::Leader
+            } else {
+                RdmaStatus::Follower
+            };
+            self.connections = config
+                .all_processes()
+                .into_iter()
+                .filter(|p| *p != id)
+                .collect();
+        }
+    }
+
+    // -- accessors -----------------------------------------------------------
+
+    /// This replica's shard.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Current status.
+    pub fn status(&self) -> RdmaStatus {
+        self.status
+    }
+
+    /// Current global epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Whether the replica has ever been initialised.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// The replica's certification log.
+    pub fn log(&self) -> &RdmaLog {
+        &self.log
+    }
+
+    /// The replica's current view of the global configuration.
+    pub fn config(&self) -> Option<&GlobalConfiguration> {
+        self.config.as_ref()
+    }
+
+    // -- helpers -------------------------------------------------------------
+
+    fn leader_of(&self, shard: ShardId) -> Option<ProcessId> {
+        self.config.as_ref().and_then(|c| c.leader_of(shard))
+    }
+
+    fn followers_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.config
+            .as_ref()
+            .map(|c| c.followers_of(shard))
+            .unwrap_or_default()
+    }
+
+    fn arm_retry_timer(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        if !self.retry_timer_armed && self.coordinating.values().any(|c| !c.decided) {
+            ctx.set_timer(self.retry_interval, RETRY_TICK);
+            self.retry_timer_armed = true;
+        }
+    }
+
+    fn send_prepares(
+        &self,
+        ctx: &mut Context<'_, RdmaMsg>,
+        tx: TxId,
+        coord: &CoordState,
+        only: Option<&[ShardId]>,
+    ) {
+        for shard in &coord.shards {
+            if let Some(filter) = only {
+                if !filter.contains(shard) {
+                    continue;
+                }
+            }
+            let Some(leader) = self.leader_of(*shard) else {
+                continue;
+            };
+            let restricted = coord
+                .payload
+                .as_ref()
+                .map(|p| p.restrict(*shard, self.sharding.as_ref()));
+            ctx.send(
+                leader,
+                RdmaMsg::Prepare {
+                    tx,
+                    payload: restricted,
+                    shards: coord.shards.clone(),
+                    client: coord.client,
+                },
+            );
+        }
+    }
+
+    /// Applies a message that was found in local memory (either polled by the
+    /// simulator's `deliver-rdma` or drained by `flush`).
+    fn apply_rdma_payload(&mut self, msg: RdmaMsg) {
+        match msg {
+            // Line 94–95: store unconditionally; followers cannot reject.
+            RdmaMsg::Accept {
+                shard: _,
+                pos,
+                tx,
+                payload,
+                vote,
+                shards,
+                client,
+            } => {
+                if self.log.phase(pos) == TxPhase::Start {
+                    self.log.store_at(
+                        pos,
+                        LogEntry {
+                            tx,
+                            payload,
+                            vote,
+                            dec: None,
+                            phase: TxPhase::Prepared,
+                            shards,
+                            client,
+                        },
+                    );
+                }
+            }
+            // Line 101–102.
+            RdmaMsg::DecisionShard { pos, decision } => {
+                self.log.decide(pos, decision);
+            }
+            _ => {}
+        }
+    }
+
+    /// Lines 96–100: completion check driven by RDMA acknowledgements.
+    fn check_completion(&mut self, tx: TxId, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some(coord) = self.coordinating.get(&tx) else {
+            return;
+        };
+        if coord.decided {
+            return;
+        }
+        let epoch = self.epoch;
+        let mut votes = Vec::new();
+        let mut positions = Vec::new();
+        for shard in &coord.shards {
+            let Some(progress) = coord.progress.get(shard).and_then(|m| m.get(&epoch)) else {
+                return;
+            };
+            let (Some(vote), Some(pos)) = (progress.vote, progress.pos) else {
+                return;
+            };
+            let required: BTreeSet<ProcessId> = self.followers_of(*shard).into_iter().collect();
+            if !required.is_subset(&progress.acked) {
+                return;
+            }
+            votes.push(vote);
+            positions.push((*shard, pos));
+        }
+        let decision = Decision::meet_all(votes);
+        let client = coord.client;
+        if let Some(coord) = self.coordinating.get_mut(&tx) {
+            coord.decided = true;
+        }
+        ctx.add_counter("coordinator_decisions", 1);
+        ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
+        for (shard, pos) in positions {
+            let members = self
+                .config
+                .as_ref()
+                .map(|c| c.members_of(shard).to_vec())
+                .unwrap_or_default();
+            for member in members {
+                if member == self.id {
+                    self.log.decide(pos, decision);
+                    continue;
+                }
+                let token = ctx.rdma_send(member, RdmaMsg::DecisionShard { pos, decision });
+                self.pending_writes.insert(token, PendingWrite::Other);
+            }
+        }
+    }
+
+    // -- transaction path -----------------------------------------------------
+
+    fn handle_certify(
+        &mut self,
+        tx: TxId,
+        payload: Payload,
+        client: ProcessId,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        let shards = payload.shards(self.sharding.as_ref());
+        if shards.is_empty() {
+            ctx.send(
+                client,
+                RdmaMsg::DecisionClient {
+                    tx,
+                    decision: Decision::Commit,
+                },
+            );
+            return;
+        }
+        let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
+            client,
+            payload: Some(payload.clone()),
+            shards: shards.clone(),
+            progress: BTreeMap::new(),
+            decided: false,
+        });
+        coord.payload = Some(payload);
+        coord.client = client;
+        let coord = coord.clone();
+        self.send_prepares(ctx, tx, &coord, None);
+        self.arm_retry_timer(ctx);
+    }
+
+    /// Lines 77–90: identical to the message-passing protocol's leader logic.
+    fn handle_prepare(
+        &mut self,
+        from: ProcessId,
+        tx: TxId,
+        payload: Option<Payload>,
+        shards: Vec<ShardId>,
+        client: ProcessId,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if self.status != RdmaStatus::Leader {
+            return;
+        }
+        if let Some(pos) = self.log.position_of(tx) {
+            let entry = self.log.get(pos).expect("filled");
+            ctx.send(
+                from,
+                RdmaMsg::PrepareAck {
+                    epoch: self.epoch,
+                    shard: self.shard,
+                    pos,
+                    tx,
+                    payload: entry.payload.clone(),
+                    vote: entry.vote,
+                    shards: entry.shards.clone(),
+                    client: entry.client,
+                },
+            );
+            return;
+        }
+        let (vote, stored_payload) = match payload {
+            Some(l) => {
+                let next = self.log.next();
+                let committed = self.log.committed_payloads_before(next);
+                let prepared = self.log.prepared_payloads_before(next);
+                (self.certifier.vote(&committed, &prepared, &l), l)
+            }
+            None => (Decision::Abort, Payload::empty()),
+        };
+        let pos = self.log.append(LogEntry {
+            tx,
+            payload: stored_payload.clone(),
+            vote,
+            dec: None,
+            phase: TxPhase::Prepared,
+            shards: shards.clone(),
+            client,
+        });
+        ctx.send(
+            from,
+            RdmaMsg::PrepareAck {
+                epoch: self.epoch,
+                shard: self.shard,
+                pos,
+                tx,
+                payload: stored_payload,
+                vote,
+                shards,
+                client,
+            },
+        );
+    }
+
+    /// Lines 91–93: persist the vote at the followers with RDMA writes.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_prepare_ack(
+        &mut self,
+        epoch: Epoch,
+        shard: ShardId,
+        pos: Position,
+        tx: TxId,
+        payload: Payload,
+        vote: Decision,
+        shards: Vec<ShardId>,
+        client: ProcessId,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        // Line 92 precondition: the coordinator is in the same (global) epoch
+        // the leader prepared the transaction in.
+        if epoch != self.epoch {
+            return;
+        }
+        let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
+            client,
+            payload: None,
+            shards: shards.clone(),
+            progress: BTreeMap::new(),
+            decided: false,
+        });
+        let progress = coord
+            .progress
+            .entry(shard)
+            .or_default()
+            .entry(epoch)
+            .or_default();
+        progress.pos = Some(pos);
+        progress.vote = Some(vote);
+        let followers = self.followers_of(shard);
+        let mut self_is_follower = false;
+        for follower in followers {
+            if follower == self.id {
+                // Writing into our own memory trivially succeeds: apply the
+                // entry locally and count the acknowledgement immediately.
+                self_is_follower = true;
+                continue;
+            }
+            let token = ctx.rdma_send(
+                follower,
+                RdmaMsg::Accept {
+                    shard,
+                    pos,
+                    tx,
+                    payload: payload.clone(),
+                    vote,
+                    shards: shards.clone(),
+                    client,
+                },
+            );
+            self.pending_writes.insert(
+                token,
+                PendingWrite::Accept {
+                    tx,
+                    shard,
+                    follower,
+                    epoch,
+                },
+            );
+        }
+        if self_is_follower {
+            self.apply_rdma_payload(RdmaMsg::Accept {
+                shard,
+                pos,
+                tx,
+                payload,
+                vote,
+                shards,
+                client,
+            });
+            if let Some(coord) = self.coordinating.get_mut(&tx) {
+                coord
+                    .progress
+                    .entry(shard)
+                    .or_default()
+                    .entry(epoch)
+                    .or_default()
+                    .acked
+                    .insert(self.id);
+            }
+        }
+        self.check_completion(tx, ctx);
+    }
+
+    fn handle_retry(&mut self, tx: TxId, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some(pos) = self.log.position_of(tx) else {
+            return;
+        };
+        let entry = self.log.get(pos).expect("filled");
+        if entry.phase != TxPhase::Prepared {
+            return;
+        }
+        let shards = entry.shards.clone();
+        let client = entry.client;
+        let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
+            client,
+            payload: None,
+            shards,
+            progress: BTreeMap::new(),
+            decided: false,
+        });
+        let coord = coord.clone();
+        self.send_prepares(ctx, tx, &coord, None);
+        self.arm_retry_timer(ctx);
+    }
+
+    fn handle_retry_tick(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        self.retry_timer_armed = false;
+        let pending: Vec<TxId> = self
+            .coordinating
+            .iter()
+            .filter(|(_, c)| !c.decided)
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in pending {
+            let coord = self.coordinating.get(&tx).expect("pending").clone();
+            self.send_prepares(ctx, tx, &coord, None);
+        }
+        self.arm_retry_timer(ctx);
+    }
+
+    // -- reconfiguration ------------------------------------------------------
+
+    fn handle_start_reconfigure(
+        &mut self,
+        suspected_shard: ShardId,
+        spares: BTreeMap<ShardId, Vec<ProcessId>>,
+        target_size: usize,
+        exclude: Vec<ProcessId>,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if self.recon.is_some() {
+            return; // rec_status must be ready
+        }
+        self.recon = Some(ReconState {
+            phase: ReconPhase::AwaitingGetLast,
+            recon_epoch: Epoch::ZERO,
+            suspected_shard,
+            probed_epoch: BTreeMap::new(),
+            probed_members: BTreeMap::new(),
+            responders: BTreeMap::new(),
+            initialized_responder: BTreeMap::new(),
+            config_prepare_acks: BTreeSet::new(),
+            spares,
+            target_size,
+            exclude,
+        });
+        ctx.send(self.cs, RdmaMsg::CsGetLast);
+    }
+
+    fn handle_cs_get_last_reply(
+        &mut self,
+        config: GlobalConfiguration,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        let naive = self.mode == ReconfigMode::NaivePerShard;
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::AwaitingGetLast) {
+            return;
+        }
+        recon.recon_epoch = config.epoch.next();
+        recon.phase = ReconPhase::Probing;
+        let shards: Vec<ShardId> = if naive {
+            vec![recon.suspected_shard]
+        } else {
+            config.members.keys().copied().collect()
+        };
+        let mut targets: Vec<ProcessId> = Vec::new();
+        for shard in &shards {
+            recon.probed_epoch.insert(*shard, config.epoch);
+            recon
+                .probed_members
+                .insert(*shard, config.members_of(*shard).to_vec());
+            targets.extend(config.members_of(*shard).iter().copied());
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        let epoch = recon.recon_epoch;
+        ctx.send_to_many(targets, RdmaMsg::Probe { epoch });
+    }
+
+    /// Lines 111–116: join the new epoch; in the correct mode, also close all
+    /// incoming RDMA connections so stale coordinators can no longer land
+    /// writes.
+    fn handle_probe(&mut self, from: ProcessId, epoch: Epoch, ctx: &mut Context<'_, RdmaMsg>) {
+        if epoch < self.new_epoch {
+            return;
+        }
+        self.status = RdmaStatus::Reconfiguring;
+        if self.mode == ReconfigMode::GlobalCorrect {
+            // multiclose(connections): revoke every peer's access, including
+            // coordinators outside this replica's bookkeeping.
+            ctx.rdma_close_all();
+            self.connections.clear();
+        }
+        self.new_epoch = epoch;
+        ctx.send(
+            from,
+            RdmaMsg::ProbeAck {
+                initialized: self.initialized,
+                epoch,
+                shard: self.shard,
+            },
+        );
+    }
+
+    /// Lines 117–130: collect probe replies; when every probed shard has an
+    /// initialised responder, compute the new configuration and CAS it.
+    fn handle_probe_ack(
+        &mut self,
+        from: ProcessId,
+        initialized: bool,
+        epoch: Epoch,
+        shard: ShardId,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::Probing) || epoch != recon.recon_epoch {
+            return;
+        }
+        if !recon.probed_epoch.contains_key(&shard) {
+            return;
+        }
+        recon.responders.entry(shard).or_default().push(from);
+        if initialized {
+            recon.initialized_responder.entry(shard).or_insert(from);
+        } else if recon.initialized_responder.get(&shard).is_none() {
+            // Descend to the previous epoch of this shard (simplified: ask the
+            // CS for the previous configuration and probe its members).
+            let current = recon.probed_epoch[&shard];
+            if let Some(prev) = current.prev() {
+                recon.probed_epoch.insert(shard, prev);
+                ctx.send(self.cs, RdmaMsg::CsGet { epoch: prev });
+            }
+        }
+        // Have we found an initialised responder for every probed shard?
+        let all_found = recon
+            .probed_epoch
+            .keys()
+            .all(|s| recon.initialized_responder.contains_key(s));
+        if !all_found {
+            return;
+        }
+        // Compute the new configuration: per shard, the initialised responder
+        // leads; members are drawn from responders and spares.
+        let mut members = BTreeMap::new();
+        let mut leaders = BTreeMap::new();
+        let base = self.config.clone();
+        for (s, leader) in recon.initialized_responder.clone() {
+            let mut planner = MembershipPlanner::new(
+                recon.target_size,
+                recon.spares.get(&s).cloned().unwrap_or_default(),
+            );
+            let responders: Vec<ProcessId> = recon
+                .responders
+                .get(&s)
+                .cloned()
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|p| *p != leader)
+                .collect();
+            members.insert(s, planner.plan(leader, &responders, &recon.exclude));
+            leaders.insert(s, leader);
+        }
+        // Shards that were not probed (naive mode) keep their configuration.
+        if let Some(base) = base {
+            for (s, m) in &base.members {
+                members.entry(*s).or_insert_with(|| m.clone());
+                if let Some(l) = base.leader_of(*s) {
+                    leaders.entry(*s).or_insert(l);
+                }
+            }
+        }
+        let new_config = GlobalConfiguration::new(recon.recon_epoch, members, leaders);
+        let expected = recon.recon_epoch.prev().expect("successor epoch");
+        recon.phase = ReconPhase::AwaitingCas;
+        ctx.send(
+            self.cs,
+            RdmaMsg::CsCas {
+                expected,
+                config: new_config,
+            },
+        );
+    }
+
+    fn handle_cs_get_reply(
+        &mut self,
+        _epoch: Epoch,
+        config: Option<GlobalConfiguration>,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::Probing) {
+            return;
+        }
+        let Some(config) = config else {
+            return;
+        };
+        // Probe the members of every shard we are still looking for, in the
+        // returned (older) configuration.
+        let mut targets = Vec::new();
+        for (shard, probed) in recon.probed_epoch.clone() {
+            if recon.initialized_responder.contains_key(&shard) {
+                continue;
+            }
+            if probed == config.epoch {
+                let members = config.members_of(shard).to_vec();
+                recon.probed_members.insert(shard, members.clone());
+                targets.extend(members);
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        let epoch = recon.recon_epoch;
+        ctx.send_to_many(targets, RdmaMsg::Probe { epoch });
+    }
+
+    /// Lines 121–124 / naive shortcut.
+    fn handle_cs_cas_reply(
+        &mut self,
+        ok: bool,
+        config: GlobalConfiguration,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        let naive = self.mode == ReconfigMode::NaivePerShard;
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::AwaitingCas) {
+            return;
+        }
+        if !ok {
+            self.recon = None;
+            ctx.add_counter("reconfiguration_cas_lost", 1);
+            return;
+        }
+        if naive {
+            // Naive per-shard mode: skip CONFIG_PREPARE entirely; notify the
+            // new leader of the suspected shard only, and let other shards
+            // learn lazily (as in §3's CONFIG_CHANGE, sent by the CS).
+            let suspected = recon.suspected_shard;
+            self.recon = None;
+            if let Some(leader) = config.leader_of(suspected) {
+                ctx.send(leader, RdmaMsg::NewConfig { config });
+            }
+        } else {
+            // Correct mode: disseminate the configuration to every member and
+            // wait for all acknowledgements before activating it.
+            recon.phase = ReconPhase::Installing {
+                config: config.clone(),
+            };
+            recon.config_prepare_acks.clear();
+            ctx.send_to_many(
+                config.all_processes(),
+                RdmaMsg::ConfigPrepare { config },
+            );
+        }
+    }
+
+    /// Lines 131–136.
+    fn handle_config_prepare(
+        &mut self,
+        from: ProcessId,
+        config: GlobalConfiguration,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if config.epoch < self.new_epoch {
+            return;
+        }
+        self.new_epoch = config.epoch;
+        self.config = Some(config.clone());
+        ctx.send(
+            from,
+            RdmaMsg::ConfigPrepareAck {
+                epoch: config.epoch,
+            },
+        );
+    }
+
+    /// Lines 137–140.
+    fn handle_config_prepare_ack(
+        &mut self,
+        from: ProcessId,
+        epoch: Epoch,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        let ReconPhase::Installing { config } = recon.phase.clone() else {
+            return;
+        };
+        if epoch != config.epoch {
+            return;
+        }
+        recon.config_prepare_acks.insert(from);
+        let everyone: BTreeSet<ProcessId> = config.all_processes().into_iter().collect();
+        if recon.config_prepare_acks.is_superset(&everyone) {
+            self.recon = None;
+            ctx.send_to_many(config.all_leaders(), RdmaMsg::NewConfig { config });
+        }
+    }
+
+    /// Lines 141–147: become a leader of the new configuration. `flush`
+    /// guarantees every acknowledged write is reflected in the transferred
+    /// state.
+    fn handle_new_config(&mut self, config: GlobalConfiguration, ctx: &mut Context<'_, RdmaMsg>) {
+        if config.epoch < self.new_epoch {
+            return;
+        }
+        let flushed = ctx.rdma_flush();
+        for (_, msg) in flushed {
+            self.apply_rdma_payload(msg);
+        }
+        self.status = RdmaStatus::Leader;
+        self.new_epoch = config.epoch;
+        self.epoch = config.epoch;
+        self.config = Some(config.clone());
+        let followers = config.followers_of(self.shard);
+        for follower in followers {
+            ctx.send(
+                follower,
+                RdmaMsg::NewState {
+                    config: config.clone(),
+                    leader: self.id,
+                    log: self.log.clone(),
+                },
+            );
+        }
+        // Line 147: open connections to every other member of the new epoch.
+        for peer in config.all_processes() {
+            if peer != self.id {
+                ctx.send(peer, RdmaMsg::Connect { epoch: config.epoch });
+            }
+        }
+        ctx.add_counter("became_leader", 1);
+    }
+
+    /// Lines 148–153.
+    fn handle_new_state(
+        &mut self,
+        config: GlobalConfiguration,
+        leader: ProcessId,
+        log: RdmaLog,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if config.epoch < self.new_epoch {
+            return;
+        }
+        let _ = leader;
+        self.status = RdmaStatus::Follower;
+        self.new_epoch = config.epoch;
+        self.epoch = config.epoch;
+        self.initialized = true;
+        self.log = log;
+        self.config = Some(config.clone());
+        // Line 153: connect to the processes outside the own shard (the leader
+        // already initiates connections to shard members).
+        for peer in config.all_processes() {
+            if peer != self.id && !config.members_of(self.shard).contains(&peer) {
+                ctx.send(peer, RdmaMsg::Connect { epoch: config.epoch });
+            }
+        }
+    }
+
+    /// Lines 154–162. A connection request for an epoch at least as high as
+    /// the one we have been asked to join is also accepted while still
+    /// reconfiguring: it belongs to the new configuration, which is exactly
+    /// what the paper's `open` calls establish.
+    fn handle_connect(&mut self, from: ProcessId, epoch: Epoch, ctx: &mut Context<'_, RdmaMsg>, is_ack: bool) {
+        if (self.status == RdmaStatus::Reconfiguring && epoch < self.new_epoch)
+            || self.connections.contains(&from)
+        {
+            return;
+        }
+        ctx.rdma_open(from);
+        self.connections.insert(from);
+        if !is_ack {
+            ctx.send(from, RdmaMsg::ConnectAck { epoch: self.epoch });
+        }
+    }
+
+    /// Naive mode only: lazily learn about a new configuration (mirrors §3's
+    /// CONFIG_CHANGE).
+    fn handle_naive_config_change(&mut self, config: GlobalConfiguration) {
+        if config.epoch <= self.epoch {
+            return;
+        }
+        // Members of the reconfigured shard learn through NEW_CONFIG/NEW_STATE;
+        // everyone else just updates its view.
+        if Some(self.id) == config.leader_of(self.shard)
+            || config.members_of(self.shard).contains(&self.id)
+        {
+            if self.status == RdmaStatus::Reconfiguring {
+                return;
+            }
+        }
+        self.config = Some(config.clone());
+        self.epoch = config.epoch;
+        if self.new_epoch < config.epoch {
+            self.new_epoch = config.epoch;
+        }
+        if self.status != RdmaStatus::Reconfiguring {
+            self.status = if config.leader_of(self.shard) == Some(self.id) {
+                RdmaStatus::Leader
+            } else {
+                RdmaStatus::Follower
+            };
+        }
+    }
+}
+
+impl Actor<RdmaMsg> for RdmaReplica {
+    fn on_message(&mut self, from: ProcessId, msg: RdmaMsg, ctx: &mut Context<'_, RdmaMsg>) {
+        match msg {
+            RdmaMsg::Certify { tx, payload, client } => {
+                self.handle_certify(tx, payload, client, ctx)
+            }
+            RdmaMsg::Prepare {
+                tx,
+                payload,
+                shards,
+                client,
+            } => self.handle_prepare(from, tx, payload, shards, client, ctx),
+            RdmaMsg::PrepareAck {
+                epoch,
+                shard,
+                pos,
+                tx,
+                payload,
+                vote,
+                shards,
+                client,
+            } => self.handle_prepare_ack(epoch, shard, pos, tx, payload, vote, shards, client, ctx),
+            RdmaMsg::DecisionClient { .. } => {}
+            RdmaMsg::Retry { tx } => self.handle_retry(tx, ctx),
+            RdmaMsg::StartReconfigure {
+                suspected_shard,
+                spares,
+                target_size,
+                exclude,
+            } => self.handle_start_reconfigure(suspected_shard, spares, target_size, exclude, ctx),
+            RdmaMsg::Probe { epoch } => self.handle_probe(from, epoch, ctx),
+            RdmaMsg::ProbeAck {
+                initialized,
+                epoch,
+                shard,
+            } => self.handle_probe_ack(from, initialized, epoch, shard, ctx),
+            RdmaMsg::ConfigPrepare { config } => self.handle_config_prepare(from, config, ctx),
+            RdmaMsg::ConfigPrepareAck { epoch } => {
+                self.handle_config_prepare_ack(from, epoch, ctx)
+            }
+            RdmaMsg::NewConfig { config } => self.handle_new_config(config, ctx),
+            RdmaMsg::NewState {
+                config,
+                leader,
+                log,
+            } => self.handle_new_state(config, leader, log, ctx),
+            RdmaMsg::Connect { epoch } => self.handle_connect(from, epoch, ctx, false),
+            RdmaMsg::ConnectAck { epoch } => self.handle_connect(from, epoch, ctx, true),
+            RdmaMsg::CsGetLastReply { config } => self.handle_cs_get_last_reply(config, ctx),
+            RdmaMsg::CsGetReply { epoch, config } => self.handle_cs_get_reply(epoch, config, ctx),
+            RdmaMsg::CsCasReply { ok, config } => self.handle_cs_cas_reply(ok, config, ctx),
+            RdmaMsg::NaiveConfigChange { config } => self.handle_naive_config_change(config),
+            // Accept/DecisionShard only ever arrive through RDMA; requests to
+            // the configuration service are ignored by replicas.
+            RdmaMsg::Accept { .. }
+            | RdmaMsg::DecisionShard { .. }
+            | RdmaMsg::CsGetLast
+            | RdmaMsg::CsGet { .. }
+            | RdmaMsg::CsCas { .. } => {}
+        }
+    }
+
+    fn on_rdma_deliver(&mut self, _from: ProcessId, msg: RdmaMsg, _ctx: &mut Context<'_, RdmaMsg>) {
+        self.apply_rdma_payload(msg);
+    }
+
+    fn on_rdma_ack(&mut self, token: RdmaToken, _to: ProcessId, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some(pending) = self.pending_writes.remove(&token) else {
+            return;
+        };
+        if let PendingWrite::Accept {
+            tx,
+            shard,
+            follower,
+            epoch,
+        } = pending
+        {
+            if let Some(coord) = self.coordinating.get_mut(&tx) {
+                coord
+                    .progress
+                    .entry(shard)
+                    .or_default()
+                    .entry(epoch)
+                    .or_default()
+                    .acked
+                    .insert(follower);
+            }
+            self.check_completion(tx, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, RdmaMsg>) {
+        if tag == RETRY_TICK {
+            self.handle_retry_tick(ctx);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The actor programming model: protocol processes and their execution context.
+//!
+//! A protocol process (a shard replica, a client, the configuration service,
+//! a Paxos acceptor, …) is an [`Actor`]: a state machine with handlers for
+//! message delivery, timer expiry and RDMA events. Handlers receive a
+//! [`Context`] through which they send messages, set timers, manipulate RDMA
+//! connections and record metrics. All effects requested through the context
+//! are applied by the [`World`](crate::world::World) after the handler
+//! returns, which keeps event ordering deterministic.
+
+use std::any::Any;
+
+use ratc_types::ProcessId;
+
+use crate::metrics::Metrics;
+use crate::rdma::{RdmaInbox, RdmaToken};
+use crate::time::{SimDuration, SimTime};
+
+/// Application-chosen tag distinguishing timers set by the same actor.
+pub type TimerTag = u64;
+
+/// Identifier of a pending timer, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A simulated process.
+///
+/// The message type `M` is chosen by the protocol crate (each protocol defines
+/// its own message enum). All handlers have default no-op implementations
+/// except [`Actor::on_message`].
+///
+/// Actors must be `'static` (they are owned by the world) and implement
+/// [`Any`] so that tests and experiment harnesses can downcast them back to
+/// their concrete type via [`World::actor`](crate::world::World::actor).
+pub trait Actor<M>: Any {
+    /// Called once when the actor is added to the world.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message sent with [`Context::send`] (or injected
+    /// externally) is delivered to this actor.
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer set with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, M>) {
+        let _ = (tag, ctx);
+    }
+
+    /// Called when an RDMA write issued by this actor reaches the remote
+    /// memory (the `ack-rdma` upcall of §5). `token` is the value returned by
+    /// the corresponding [`Context::rdma_send`].
+    fn on_rdma_ack(&mut self, token: RdmaToken, to: ProcessId, ctx: &mut Context<'_, M>) {
+        let _ = (token, to, ctx);
+    }
+
+    /// Called when this actor's poller picks an RDMA message out of its local
+    /// memory (the `deliver-rdma` upcall of §5).
+    fn on_rdma_deliver(&mut self, from: ProcessId, msg: M, ctx: &mut Context<'_, M>) {
+        let _ = (from, msg, ctx);
+    }
+
+    /// Called when the process crashes (for bookkeeping in tests; a crashed
+    /// actor receives no further events).
+    fn on_crash(&mut self) {}
+}
+
+/// An effect requested by an actor during a handler invocation.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    /// Send `msg` to `to` over the message-passing network.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Message to deliver.
+        msg: M,
+    },
+    /// Issue an RDMA write of `msg` into the memory of `to`.
+    RdmaSend {
+        /// Destination process.
+        to: ProcessId,
+        /// Message to write.
+        msg: M,
+        /// Token identifying the write in the later `ack-rdma`.
+        token: RdmaToken,
+    },
+    /// Grant `peer` access to this actor's memory region.
+    RdmaOpen {
+        /// The peer being granted access.
+        peer: ProcessId,
+    },
+    /// Revoke `peer`'s access to this actor's memory region.
+    RdmaClose {
+        /// The peer whose access is revoked.
+        peer: ProcessId,
+    },
+    /// Revoke every peer's access to this actor's memory region.
+    RdmaCloseAll,
+    /// Set a timer firing after `delay` with tag `tag`.
+    SetTimer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Application tag.
+        tag: TimerTag,
+        /// Identifier assigned to the timer.
+        id: TimerId,
+    },
+    /// Cancel a previously set timer.
+    CancelTimer {
+        /// The timer to cancel.
+        id: TimerId,
+    },
+}
+
+/// Execution context handed to actor handlers.
+///
+/// All mutating operations are buffered and applied by the world after the
+/// handler returns, except [`Context::rdma_flush`], which synchronously drains
+/// the actor's own RDMA inbox (mirroring the blocking `flush` of §5).
+pub struct Context<'a, M> {
+    pub(crate) self_id: ProcessId,
+    pub(crate) now: SimTime,
+    pub(crate) hops: u32,
+    pub(crate) effects: Vec<Effect<M>>,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) inbox: &'a mut RdmaInbox<M>,
+    pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) next_rdma_token: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The identifier of the actor currently executing.
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of message delays (hops) accumulated by the causal chain
+    /// that led to the current handler invocation.
+    ///
+    /// Externally injected events start at 0; every network or RDMA hop adds
+    /// one. Protocols use this to report client-visible latency in message
+    /// delays, the unit the paper uses for its latency claims.
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Sends `msg` to `to` over the reliable FIFO network.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.metrics.on_send(self.self_id);
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Sends clones of `msg` to every process in `targets`.
+    pub fn send_to_many<I>(&mut self, targets: I, msg: M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = ProcessId>,
+    {
+        for to in targets {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Issues an RDMA write of `msg` into the memory of `to`
+    /// (the `send-rdma` operation of §5).
+    ///
+    /// Returns a token identifying the write; if and when the write reaches
+    /// the remote memory, [`Actor::on_rdma_ack`] is invoked with the same
+    /// token. If the remote end has closed the connection, no acknowledgement
+    /// will ever arrive.
+    pub fn rdma_send(&mut self, to: ProcessId, msg: M) -> RdmaToken {
+        let token = RdmaToken::new(*self.next_rdma_token);
+        *self.next_rdma_token += 1;
+        self.metrics.on_rdma_write(self.self_id);
+        self.effects.push(Effect::RdmaSend { to, msg, token });
+        token
+    }
+
+    /// Grants `peer` access to this actor's memory region
+    /// (the `open` operation of §5).
+    pub fn rdma_open(&mut self, peer: ProcessId) {
+        self.effects.push(Effect::RdmaOpen { peer });
+    }
+
+    /// Revokes `peer`'s access to this actor's memory region
+    /// (the `close` operation of §5). Writes from `peer` arriving after the
+    /// close are rejected and never acknowledged.
+    pub fn rdma_close(&mut self, peer: ProcessId) {
+        self.effects.push(Effect::RdmaClose { peer });
+    }
+
+    /// Revokes every peer's access to this actor's memory region
+    /// (the `multiclose(connections)` call of Figure 8).
+    pub fn rdma_close_all(&mut self) {
+        self.effects.push(Effect::RdmaCloseAll);
+    }
+
+    /// Synchronously drains all RDMA messages that have reached this actor's
+    /// memory (i.e. have been acknowledged to their senders) but have not yet
+    /// been delivered, returning them in arrival order (the `flush` operation
+    /// of §5).
+    ///
+    /// After `rdma_flush` returns, every acknowledged write is either in the
+    /// returned vector or was already delivered through
+    /// [`Actor::on_rdma_deliver`].
+    pub fn rdma_flush(&mut self) -> Vec<(ProcessId, M)>
+    where
+        M: Clone,
+    {
+        self.inbox.drain_undelivered()
+    }
+
+    /// Sets a timer that fires after `delay` with application tag `tag`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.push(Effect::SetTimer { delay, tag, id });
+        id
+    }
+
+    /// Cancels a previously set timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Adds `delta` to the named experiment counter.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        self.metrics.add_counter(name, delta);
+    }
+
+    /// Records a sample of the named experiment statistic (e.g. a latency).
+    pub fn record_sample(&mut self, name: &str, value: f64) {
+        self.metrics.record_sample(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Hello,
+    }
+
+    #[test]
+    fn context_buffers_effects() {
+        let mut metrics = Metrics::default();
+        let mut inbox = RdmaInbox::default();
+        let mut next_timer = 0;
+        let mut next_token = 0;
+        let mut ctx: Context<'_, Msg> = Context {
+            self_id: ProcessId::new(1),
+            now: SimTime::from_micros(5),
+            hops: 2,
+            effects: Vec::new(),
+            metrics: &mut metrics,
+            inbox: &mut inbox,
+            next_timer_id: &mut next_timer,
+            next_rdma_token: &mut next_token,
+        };
+        assert_eq!(ctx.self_id(), ProcessId::new(1));
+        assert_eq!(ctx.now().as_micros(), 5);
+        assert_eq!(ctx.hops(), 2);
+
+        ctx.send(ProcessId::new(2), Msg::Hello);
+        ctx.send_to_many([ProcessId::new(3), ProcessId::new(4)], Msg::Hello);
+        let token = ctx.rdma_send(ProcessId::new(5), Msg::Hello);
+        assert_eq!(token, RdmaToken::new(0));
+        ctx.rdma_open(ProcessId::new(6));
+        ctx.rdma_close(ProcessId::new(6));
+        let timer = ctx.set_timer(SimDuration::from_micros(10), 7);
+        ctx.cancel_timer(timer);
+        ctx.add_counter("commits", 1);
+        ctx.record_sample("latency", 1.5);
+
+        assert_eq!(ctx.effects.len(), 8);
+        assert_eq!(metrics.sent(ProcessId::new(1)), 3);
+        assert_eq!(metrics.counter("commits"), 1);
+    }
+
+    #[test]
+    fn flush_drains_inbox() {
+        let mut metrics = Metrics::default();
+        let mut inbox: RdmaInbox<Msg> = RdmaInbox::default();
+        inbox.push(ProcessId::new(9), Msg::Hello);
+        let mut next_timer = 0;
+        let mut next_token = 0;
+        let mut ctx: Context<'_, Msg> = Context {
+            self_id: ProcessId::new(1),
+            now: SimTime::ZERO,
+            hops: 0,
+            effects: Vec::new(),
+            metrics: &mut metrics,
+            inbox: &mut inbox,
+            next_timer_id: &mut next_timer,
+            next_rdma_token: &mut next_token,
+        };
+        let drained = ctx.rdma_flush();
+        assert_eq!(drained, vec![(ProcessId::new(9), Msg::Hello)]);
+        assert!(ctx.rdma_flush().is_empty());
+    }
+}

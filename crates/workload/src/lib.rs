@@ -1,0 +1,28 @@
+//! Workload generators and experiment drivers.
+//!
+//! This crate turns the protocol crates into *experiments*: each function in
+//! [`experiments`] runs one or more full simulated deployments, collects the
+//! metrics the paper's claims are stated in (message delays, messages per
+//! leader, replicas per shard, abort rates, recovery time, safety violations),
+//! and returns a plain-data result that the `ratc-bench` binaries print and
+//! that EXPERIMENTS.md records. [`generator`] produces the transaction
+//! workloads (uniform and Zipfian key popularity, configurable read/write
+//! mixes); [`counterexample`] reproduces the Figure 4a schedule.
+//!
+//! Every experiment is deterministic given its seed.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod counterexample;
+pub mod experiments;
+pub mod generator;
+
+pub use counterexample::{run_counterexample, CounterexampleOutcome};
+pub use experiments::{
+    abort_rate_experiment, invariants_experiment, latency_experiment, leader_load_experiment,
+    reconfiguration_experiment, replication_cost_experiment, scaling_experiment, AbortRateResult,
+    InvariantsResult, LatencyResult, LeaderLoadResult, Protocol, ReconfigurationResult,
+    ReplicationCostResult, ScalingResult,
+};
+pub use generator::{KeyDistribution, WorkloadSpec};

@@ -1,0 +1,93 @@
+//! Reconfiguration walk-through: crash a follower and then the leader of a
+//! shard, reconfigure through the configuration service each time, and keep
+//! certifying transactions — with only `f + 1 = 2` replicas per shard.
+//!
+//! Run with: `cargo run --example reconfiguration`
+
+use ratc::core::harness::{Cluster, ClusterConfig};
+use ratc::core::invariants::check_cluster;
+use ratc::types::prelude::*;
+
+fn payload(i: u64) -> Payload {
+    Payload::builder()
+        .read(Key::new(format!("k{i}")), Version::ZERO)
+        .write(Key::new(format!("k{i}")), Value::from("v"))
+        .commit_version(Version::new(1))
+        .build()
+        .expect("well-formed payload")
+}
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(3));
+    let shard = ShardId::new(0);
+
+    println!(
+        "initial configuration of {shard}: epoch {}, leader {}, members {:?}",
+        cluster.current_epoch(shard),
+        cluster.current_leader(shard),
+        cluster.current_members(shard)
+    );
+
+    for i in 0..10 {
+        cluster.submit(TxId::new(i + 1), payload(i));
+    }
+    cluster.run_to_quiescence();
+    println!("committed before any failure: {}", cluster.history().committed().count());
+
+    // 1. Crash the follower; the leader initiates reconfiguration and a spare
+    //    replica is brought in.
+    let leader = cluster.current_leader(shard);
+    let follower = *cluster
+        .current_members(shard)
+        .iter()
+        .find(|p| **p != leader)
+        .expect("follower");
+    println!("\ncrashing follower {follower} of {shard}");
+    cluster.crash(follower);
+    cluster.start_reconfiguration(shard, leader, vec![follower]);
+    cluster.run_to_quiescence();
+    println!(
+        "after reconfiguration 1: epoch {}, leader {}, members {:?}",
+        cluster.current_epoch(shard),
+        cluster.current_leader(shard),
+        cluster.current_members(shard)
+    );
+
+    for i in 10..20 {
+        cluster.submit(TxId::new(i + 1), payload(i));
+    }
+    cluster.run_to_quiescence();
+
+    // 2. Crash the leader; the surviving follower probes, becomes the new
+    //    leader and brings in another spare.
+    let leader = cluster.current_leader(shard);
+    let survivor = *cluster
+        .current_members(shard)
+        .iter()
+        .find(|p| **p != leader)
+        .expect("survivor");
+    println!("\ncrashing leader {leader} of {shard}");
+    cluster.crash(leader);
+    cluster.start_reconfiguration(shard, survivor, vec![leader]);
+    cluster.run_to_quiescence();
+    println!(
+        "after reconfiguration 2: epoch {}, leader {}, members {:?}",
+        cluster.current_epoch(shard),
+        cluster.current_leader(shard),
+        cluster.current_members(shard)
+    );
+
+    for i in 20..30 {
+        cluster.submit(TxId::new(i + 1), payload(i));
+    }
+    cluster.run_to_quiescence();
+
+    let history = cluster.history();
+    println!("\ntotal committed: {}", history.committed().count());
+    println!("total aborted: {}", history.aborted().count());
+    println!("client violations: {}", cluster.client_violations().len());
+    let violations = check_cluster(&cluster);
+    println!("invariant violations: {}", violations.len());
+    assert!(violations.is_empty());
+    assert!(cluster.client_violations().is_empty());
+}

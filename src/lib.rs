@@ -1,0 +1,52 @@
+//! RATC: Reconfigurable Atomic Transaction Commit.
+//!
+//! This facade crate re-exports the whole protocol stack of the workspace — a
+//! from-scratch Rust reproduction of Bravo & Gotsman, *Reconfigurable Atomic
+//! Transaction Commit* (PODC 2019):
+//!
+//! * [`types`] — payloads, decisions and certification policies;
+//! * [`sim`] — the deterministic simulation substrate;
+//! * [`config`] — the configuration service;
+//! * [`paxos`] — the Multi-Paxos substrate used by the baseline;
+//! * [`core`] — the message-passing RATC protocol (§3, Figure 1);
+//! * [`rdma`] — the RDMA-based RATC protocol (§5, Figures 7–8);
+//! * [`baseline`] — the vanilla 2PC-over-Paxos baseline;
+//! * [`spec`] — TCS specification checkers;
+//! * [`kv`] — a transactional key-value store driving the TCS;
+//! * [`workload`] — workload generators and experiment drivers.
+//!
+//! See the runnable programs in `examples/` and the experiment binaries in
+//! `crates/bench` for end-to-end usage, and DESIGN.md / EXPERIMENTS.md for the
+//! reproduction methodology.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ratc::core::harness::{Cluster, ClusterConfig};
+//! use ratc::types::prelude::*;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::default());
+//! let payload = Payload::builder()
+//!     .read(Key::new("x"), Version::new(0))
+//!     .write(Key::new("x"), Value::from("1"))
+//!     .commit_version(Version::new(1))
+//!     .build()?;
+//! cluster.submit(TxId::new(1), payload);
+//! cluster.run_to_quiescence();
+//! assert_eq!(cluster.history().decision(TxId::new(1)), Some(Decision::Commit));
+//! # Ok::<(), PayloadError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use ratc_baseline as baseline;
+pub use ratc_config as config;
+pub use ratc_core as core;
+pub use ratc_kv as kv;
+pub use ratc_paxos as paxos;
+pub use ratc_rdma as rdma;
+pub use ratc_sim as sim;
+pub use ratc_spec as spec;
+pub use ratc_types as types;
+pub use ratc_workload as workload;

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: every TCS implementation is driven through
+//! the key-value layer and checked against the black-box specification.
+
+use ratc::baseline::{BaselineCluster, BaselineClusterConfig};
+use ratc::core::harness::{Cluster, ClusterConfig};
+use ratc::core::invariants::check_cluster;
+use ratc::kv::KvStore;
+use ratc::rdma::{RdmaCluster, RdmaClusterConfig};
+use ratc::spec::{check_conflict_serializable, check_history};
+use ratc::types::prelude::*;
+
+fn transfer_payload(store: &KvStore, tx: TxId, from: &str, to: &str, amount: u64) -> Payload {
+    let mut t = store.begin(tx);
+    let read = |v: Option<Value>| {
+        v.map(|v| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(v.as_bytes());
+            u64::from_be_bytes(b)
+        })
+        .unwrap_or(0)
+    };
+    let from_balance = read(t.read(Key::new(from)));
+    let to_balance = read(t.read(Key::new(to)));
+    t.write(Key::new(from), Value::from(from_balance.saturating_sub(amount)));
+    t.write(Key::new(to), Value::from(to_balance + amount));
+    t.into_payload().expect("well-formed payload")
+}
+
+#[test]
+fn kv_store_over_ratc_mp_is_serializable_and_conserves_money() {
+    let mut store = KvStore::new();
+    for i in 0..6 {
+        store.seed(Key::new(format!("acct-{i}")), Value::from(100u64));
+    }
+    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(3).with_seed(21));
+    for i in 0..30u64 {
+        let tx = TxId::new(i + 1);
+        let from = format!("acct-{}", i % 6);
+        let to = format!("acct-{}", (i + 1) % 6);
+        let payload = transfer_payload(&store, tx, &from, &to, 5);
+        cluster.submit(tx, payload.clone());
+        cluster.run_to_quiescence();
+        if cluster.history().decision(tx) == Some(Decision::Commit) {
+            store.apply_commit(tx, &payload);
+        }
+    }
+    let history = cluster.history();
+    assert!(history.is_complete());
+    assert!(check_history(&history, &Serializability::new()).is_empty());
+    assert!(check_conflict_serializable(&history).is_ok());
+    assert!(check_cluster(&cluster).is_empty());
+
+    let total: u64 = (0..6)
+        .map(|i| {
+            store
+                .read_committed(&Key::new(format!("acct-{i}")))
+                .map(|(_, v)| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(v.as_bytes());
+                    u64::from_be_bytes(b)
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total, 600);
+}
+
+#[test]
+fn all_three_protocols_agree_on_a_contended_workload() {
+    // The same deterministic workload of 30 transactions over 5 hot keys is
+    // run against every TCS implementation. Exact decisions may differ (they
+    // depend on message timing), but every history must satisfy the TCS
+    // specification and conflicting transactions must never both commit.
+    let payloads: Vec<(TxId, Payload)> = (0..30u64)
+        .map(|i| {
+            let key = format!("hot-{}", i % 5);
+            (
+                TxId::new(i + 1),
+                Payload::builder()
+                    .read(Key::new(&key), Version::ZERO)
+                    .write(Key::new(&key), Value::from("x"))
+                    .commit_version(Version::new(i + 1))
+                    .build()
+                    .expect("well-formed"),
+            )
+        })
+        .collect();
+
+    // RATC message-passing.
+    let mut mp = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(5));
+    for (tx, p) in &payloads {
+        mp.submit(*tx, p.clone());
+    }
+    mp.run_to_quiescence();
+    let mp_history = mp.history();
+    assert!(check_history(&mp_history, &Serializability::new()).is_empty());
+    assert_eq!(mp_history.decide_count(), 30);
+
+    // RATC over RDMA.
+    let mut rdma = RdmaCluster::new(RdmaClusterConfig::default().with_shards(2).with_seed(5));
+    for (tx, p) in &payloads {
+        rdma.submit(*tx, p.clone());
+    }
+    rdma.run_to_quiescence();
+    let rdma_history = rdma.history();
+    assert!(check_history(&rdma_history, &Serializability::new()).is_empty());
+    assert_eq!(rdma_history.decide_count(), 30);
+
+    // Baseline 2PC over Paxos.
+    let mut baseline = BaselineCluster::new(BaselineClusterConfig::default().with_shards(2).with_seed(5));
+    for (tx, p) in &payloads {
+        baseline.submit(*tx, p.clone());
+    }
+    baseline.run_to_quiescence();
+    let baseline_history = baseline.history();
+    assert!(check_history(&baseline_history, &Serializability::new()).is_empty());
+    assert_eq!(baseline_history.decide_count(), 30);
+
+    // At most one transaction per hot key can commit under serializability
+    // when all of them read version 0.
+    for history in [&mp_history, &rdma_history, &baseline_history] {
+        for hot in 0..5u64 {
+            let committed_on_key = history
+                .committed()
+                .filter(|tx| (tx.as_u64() - 1) % 5 == hot)
+                .count();
+            assert!(committed_on_key <= 1, "key hot-{hot}: {committed_on_key} commits");
+        }
+    }
+}
+
+#[test]
+fn write_conflict_policy_commits_more_than_serializability() {
+    use std::sync::Arc;
+    // Read-only transactions against a written key abort under
+    // serializability (stale reads) but commit under the write-conflict
+    // policy, demonstrating the protocols' parametricity in the isolation
+    // level.
+    let payloads: Vec<(TxId, Payload)> = (0..20u64)
+        .map(|i| {
+            let mut b = Payload::builder().read(Key::new("shared"), Version::ZERO);
+            if i % 2 == 0 {
+                b = b
+                    .write(Key::new("shared"), Value::from("w"))
+                    .commit_version(Version::new(i + 1));
+            }
+            (TxId::new(i + 1), b.build().expect("well-formed"))
+        })
+        .collect();
+
+    let run = |policy: Arc<dyn CertificationPolicy>| {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(2)
+                .with_seed(9)
+                .with_policy(policy),
+        );
+        for (tx, p) in &payloads {
+            cluster.submit(*tx, p.clone());
+        }
+        cluster.run_to_quiescence();
+        cluster.history().committed().count()
+    };
+
+    let serializable_commits = run(Arc::new(Serializability::new()));
+    let write_conflict_commits = run(Arc::new(WriteConflict::new()));
+    assert!(
+        write_conflict_commits > serializable_commits,
+        "write-conflict ({write_conflict_commits}) must admit more commits than serializability ({serializable_commits})"
+    );
+}
+
+#[test]
+fn reconfiguration_mid_stream_preserves_the_specification() {
+    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(33));
+    for i in 0..15u64 {
+        cluster.submit(
+            TxId::new(i + 1),
+            Payload::builder()
+                .read(Key::new(format!("k{}", i % 4)), Version::ZERO)
+                .write(Key::new(format!("k{}", i % 4)), Value::from("v"))
+                .commit_version(Version::new(i + 1))
+                .build()
+                .expect("well-formed"),
+        );
+    }
+    // Crash a follower while the stream is in flight.
+    let shard = ShardId::new(0);
+    let leader = cluster.current_leader(shard);
+    let follower = *cluster
+        .initial_members(shard)
+        .iter()
+        .find(|p| **p != leader)
+        .expect("follower");
+    cluster.crash(follower);
+    cluster.start_reconfiguration(shard, leader, vec![follower]);
+    cluster.run_to_quiescence();
+
+    for i in 15..25u64 {
+        cluster.submit(
+            TxId::new(i + 1),
+            Payload::builder()
+                .read(Key::new(format!("fresh-{i}")), Version::ZERO)
+                .write(Key::new(format!("fresh-{i}")), Value::from("v"))
+                .commit_version(Version::new(1))
+                .build()
+                .expect("well-formed"),
+        );
+    }
+    cluster.run_to_quiescence();
+
+    let history = cluster.history();
+    assert!(check_history(&history, &Serializability::new()).is_empty());
+    assert!(check_cluster(&cluster).is_empty());
+    assert!(cluster.client_violations().is_empty());
+    // Transactions submitted after recovery must all be decided.
+    for i in 15..25u64 {
+        assert!(history.decision(TxId::new(i + 1)).is_some(), "t{} undecided", i + 1);
+    }
+}

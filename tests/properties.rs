@@ -1,0 +1,155 @@
+//! Property-based tests over the whole stack.
+//!
+//! Strategies generate random workloads (payloads, contention levels, seeds)
+//! and random fault schedules; properties assert the paper's correctness
+//! conditions: certification-function laws (§2), the TCS specification over
+//! client histories, and the protocol invariants of Figure 3.
+
+use proptest::prelude::*;
+use ratc::core::harness::{Cluster, ClusterConfig};
+use ratc::core::invariants::check_cluster;
+use ratc::spec::check_history;
+use ratc::types::certify::properties as certify_props;
+use ratc::types::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    // Keys from a small universe so that conflicts actually happen.
+    let key = (0u32..8).prop_map(|i| Key::new(format!("k{i}")));
+    let read = (key.clone(), 0u64..4).prop_map(|(k, v)| (k, Version::new(v)));
+    let write = key.prop_map(|k| (k, Value::from("w")));
+    (
+        proptest::collection::vec(read, 1..4),
+        proptest::collection::vec(write, 0..3),
+        4u64..20,
+    )
+        .prop_map(|(reads, writes, commit)| {
+            let mut builder = Payload::builder();
+            for (k, v) in reads {
+                builder = builder.read(k, v);
+            }
+            for (k, v) in &writes {
+                // Written keys must also be read.
+                builder = builder.read(k.clone(), Version::ZERO);
+                builder = builder.write(k.clone(), v.clone());
+            }
+            builder.commit_version(Version::new(commit)).build_unchecked()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distributivity (1) of the global certification function and both
+    /// shard-local functions, for both provided policies.
+    #[test]
+    fn certification_functions_are_distributive(
+        left in proptest::collection::vec(arb_payload(), 0..4),
+        right in proptest::collection::vec(arb_payload(), 0..4),
+        candidate in arb_payload(),
+    ) {
+        let left_refs: Vec<&Payload> = left.iter().collect();
+        let right_refs: Vec<&Payload> = right.iter().collect();
+        for policy in [&Serializability::new() as &dyn CertificationPolicy, &WriteConflict::new()] {
+            prop_assert!(certify_props::distributive_global(policy, &left_refs, &right_refs, &candidate));
+            let certifier = policy.shard_certifier(ShardId::new(0));
+            prop_assert!(certify_props::distributive_shard_committed(&*certifier, &left_refs, &right_refs, &candidate));
+            prop_assert!(certify_props::distributive_shard_prepared(&*certifier, &left_refs, &right_refs, &candidate));
+        }
+    }
+
+    /// Matching (3) between the global function and the shard-local functions,
+    /// plus properties (4) and (5), for both policies.
+    #[test]
+    fn shard_local_functions_match_the_global_function(
+        committed in proptest::collection::vec(arb_payload(), 0..5),
+        pending in arb_payload(),
+        candidate in arb_payload(),
+    ) {
+        let committed_refs: Vec<&Payload> = committed.iter().collect();
+        let sharding = HashSharding::new(3);
+        for policy in [&Serializability::new() as &dyn CertificationPolicy, &WriteConflict::new()] {
+            prop_assert!(certify_props::matching(policy, &sharding, &committed_refs, &candidate));
+            let certifier = policy.shard_certifier(ShardId::new(0));
+            prop_assert!(certify_props::prepared_no_weaker(&*certifier, &committed_refs, &candidate));
+            prop_assert!(certify_props::commutation(&*certifier, &pending, &candidate));
+            prop_assert!(certify_props::empty_payload_commits(&*certifier, &committed_refs));
+        }
+    }
+
+    /// The empty payload always certifies to commit.
+    #[test]
+    fn empty_payload_always_commits(committed in proptest::collection::vec(arb_payload(), 0..6)) {
+        let refs: Vec<&Payload> = committed.iter().collect();
+        prop_assert_eq!(Serializability::new().certify(&refs, &Payload::empty()), Decision::Commit);
+        prop_assert_eq!(WriteConflict::new().certify(&refs, &Payload::empty()), Decision::Commit);
+    }
+}
+
+proptest! {
+    // End-to-end simulations are heavier; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized failure-free runs of the message-passing protocol satisfy
+    /// the TCS specification and the protocol invariants, and decide every
+    /// transaction.
+    #[test]
+    fn random_workloads_satisfy_the_specification(
+        seed in 0u64..1_000,
+        payloads in proptest::collection::vec(arb_payload(), 1..25),
+        shards in 1u32..4,
+    ) {
+        let mut cluster = Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
+        for (i, payload) in payloads.iter().enumerate() {
+            cluster.submit(TxId::new(i as u64 + 1), payload.clone());
+        }
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        prop_assert_eq!(history.decide_count(), payloads.len());
+        prop_assert!(cluster.client_violations().is_empty());
+        prop_assert!(check_history(&history, &Serializability::new()).is_empty());
+        prop_assert!(check_cluster(&cluster).is_empty());
+    }
+
+    /// Randomized runs with a crash and reconfiguration at a random point
+    /// still satisfy the specification and the invariants, and transactions
+    /// submitted after recovery are all decided.
+    #[test]
+    fn random_crash_and_reconfiguration_preserve_safety(
+        seed in 0u64..1_000,
+        payloads in proptest::collection::vec(arb_payload(), 2..15),
+        crash_leader in proptest::bool::ANY,
+    ) {
+        let mut cluster = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(seed));
+        let half = payloads.len() / 2;
+        for (i, payload) in payloads[..half].iter().enumerate() {
+            cluster.submit(TxId::new(i as u64 + 1), payload.clone());
+        }
+        cluster.run_to_quiescence();
+
+        let shard = ShardId::new((seed % 2) as u32);
+        let leader = cluster.current_leader(shard);
+        let follower = *cluster
+            .current_members(shard)
+            .iter()
+            .find(|p| **p != leader)
+            .expect("follower");
+        let (victim, initiator) = if crash_leader { (leader, follower) } else { (follower, leader) };
+        cluster.crash(victim);
+        cluster.start_reconfiguration(shard, initiator, vec![victim]);
+        cluster.run_to_quiescence();
+
+        for (i, payload) in payloads[half..].iter().enumerate() {
+            cluster.submit(TxId::new((half + i) as u64 + 1), payload.clone());
+        }
+        cluster.run_to_quiescence();
+
+        let history = cluster.history();
+        prop_assert!(cluster.client_violations().is_empty());
+        prop_assert!(check_history(&history, &Serializability::new()).is_empty());
+        prop_assert!(check_cluster(&cluster).is_empty());
+        // Everything submitted after the reconfiguration completed is decided.
+        for i in half..payloads.len() {
+            prop_assert!(history.decision(TxId::new(i as u64 + 1)).is_some());
+        }
+    }
+}
