@@ -102,7 +102,12 @@ impl BaselineClientActor {
 }
 
 impl Actor<BaselineMsg> for BaselineClientActor {
-    fn on_message(&mut self, _from: ProcessId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: BaselineMsg,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         if let BaselineMsg::DecisionClient { tx, decision } = msg {
             if let Err(err) = self.history.record_decide(tx, decision) {
                 self.violations.push(err.to_string());
@@ -143,7 +148,9 @@ impl BaselineCluster {
             let shard = ShardId::new(shard_idx);
             let mut group = Vec::new();
             for _ in 0..replicas_per_group {
-                group.push(world.add_actor(BaselineShardReplica::new(shard, config.policy.as_ref())));
+                group.push(
+                    world.add_actor(BaselineShardReplica::new(shard, config.policy.as_ref())),
+                );
             }
             shard_groups.insert(shard, group);
         }
@@ -155,7 +162,7 @@ impl BaselineCluster {
         let mut tm_group = Vec::new();
         for _ in 0..replicas_per_group {
             tm_group.push(world.add_actor(TransactionManager::new(
-                sharding.clone() as Arc<dyn ShardMap + Send + Sync>,
+                sharding.clone() as Arc<dyn ShardMap + Send + Sync>
             )));
         }
         let tm_leader = tm_group[0];
@@ -173,7 +180,12 @@ impl BaselineCluster {
             world
                 .actor_mut::<TransactionManager>(*pid)
                 .expect("tm member")
-                .install(*pid, tm_group.clone(), *pid == tm_leader, shard_leaders.clone());
+                .install(
+                    *pid,
+                    tm_group.clone(),
+                    *pid == tm_leader,
+                    shard_leaders.clone(),
+                );
         }
 
         BaselineCluster {
@@ -209,7 +221,10 @@ impl BaselineCluster {
 
     /// The replicas of `shard`.
     pub fn shard_group(&self, shard: ShardId) -> &[ProcessId] {
-        self.shard_groups.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+        self.shard_groups
+            .get(&shard)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total number of replica processes (excluding the client).
@@ -226,8 +241,14 @@ impl BaselineCluster {
             .record_certify(tx, payload.clone(), now);
         let client = self.client;
         let tm = self.tm_leader;
-        self.world
-            .send_external(tm, BaselineMsg::Certify { tx, payload, client });
+        self.world.send_external(
+            tm,
+            BaselineMsg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
     }
 
     /// Crashes a process.
@@ -299,7 +320,10 @@ mod tests {
         let history = cluster.history();
         assert_eq!(history.decision(TxId::new(2)), Some(Decision::Commit));
         let hops = cluster.decision_hops()[&TxId::new(2)];
-        assert_eq!(hops, 7, "baseline decision latency must be 7 message delays");
+        assert_eq!(
+            hops, 7,
+            "baseline decision latency must be 7 message delays"
+        );
         assert!(cluster.client_violations().is_empty());
     }
 

@@ -6,7 +6,8 @@ use std::sync::Arc;
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
 use ratc_sim::{Actor, Context};
 use ratc_types::{
-    CertificationPolicy, Decision, Payload, ProcessId, ShardCertifier, ShardId, TxId,
+    CertificationPolicy, Decision, IndexedCertifier, Payload, Position, ProcessId, ShardCertifier,
+    ShardId, TxId,
 };
 
 use crate::messages::{BaselineMsg, ShardCommand};
@@ -23,7 +24,16 @@ pub struct BaselineShardReplica {
     is_leader: bool,
     tm: ProcessId,
     group: Vec<ProcessId>,
+    /// Set-based certifier used by the debug-build differential cross-check
+    /// of every indexed vote (`reference_vote`); release builds vote through
+    /// the index alone.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     certifier: Arc<dyn ShardCertifier>,
+    /// Incremental certifier answering votes in O(|payload|). Transitions are
+    /// keyed by transaction id (transaction ids are globally unique, so they
+    /// serve as positions); the set-based maps below remain the reference
+    /// state for recovery and debug cross-checking.
+    index: Box<dyn IndexedCertifier>,
     acceptor: Acceptor<ShardCommand>,
     proposer: Option<Proposer<ShardCommand>>,
     log: ReplicatedLog<ShardCommand>,
@@ -48,6 +58,7 @@ impl BaselineShardReplica {
             tm: ProcessId::new(u64::MAX),
             group: Vec::new(),
             certifier: policy.shard_certifier(shard),
+            index: policy.indexed_certifier(shard),
             acceptor: Acceptor::new(ProcessId::new(u64::MAX)),
             proposer: None,
             log: ReplicatedLog::new(),
@@ -85,7 +96,11 @@ impl BaselineShardReplica {
         self.log.len()
     }
 
-    fn route(&self, ctx: &mut Context<'_, BaselineMsg>, out: Vec<(ProcessId, PaxosMsg<ShardCommand>)>) {
+    fn route(
+        &self,
+        ctx: &mut Context<'_, BaselineMsg>,
+        out: Vec<(ProcessId, PaxosMsg<ShardCommand>)>,
+    ) {
         let shard = self.shard;
         for (to, msg) in out {
             if to == self.id {
@@ -98,13 +113,16 @@ impl BaselineShardReplica {
         }
     }
 
-    fn certify_and_propose(&mut self, tx: TxId, payload: Payload, ctx: &mut Context<'_, BaselineMsg>) {
-        if !self.is_leader {
-            return;
-        }
-        if self.prepared.contains_key(&tx) || self.in_flight.contains_key(&tx) {
-            return;
-        }
+    /// The position under which a transaction's index transitions are keyed:
+    /// transaction ids are globally unique, so they stand in for log slots.
+    fn index_pos(tx: TxId) -> Position {
+        Position::new(tx.as_u64())
+    }
+
+    /// Set-based reference vote over the `prepared`/`in_flight` maps — the
+    /// paper's formulation, kept as a debug cross-check of the index.
+    #[cfg(debug_assertions)]
+    fn reference_vote(&self, payload: &Payload) -> Decision {
         let committed: Vec<&Payload> = self
             .prepared
             .values()
@@ -123,7 +141,31 @@ impl BaselineShardReplica {
                     .map(|(p, _)| p),
             )
             .collect();
-        let vote = self.certifier.vote(&committed, &pending, &payload);
+        self.certifier.vote(&committed, &pending, payload)
+    }
+
+    fn certify_and_propose(
+        &mut self,
+        tx: TxId,
+        payload: Payload,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        if !self.is_leader {
+            return;
+        }
+        if self.prepared.contains_key(&tx) || self.in_flight.contains_key(&tx) {
+            return;
+        }
+        let vote = self.index.vote(&payload);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            vote,
+            self.reference_vote(&payload),
+            "indexed vote diverged from the set-based reference for {tx}"
+        );
+        if vote == Decision::Commit {
+            self.index.prepare(Self::index_pos(tx), &payload);
+        }
         self.in_flight.insert(tx, (payload.clone(), vote));
         if !self.phase1_started {
             self.phase1_started = true;
@@ -139,16 +181,46 @@ impl BaselineShardReplica {
         self.route(ctx, out);
     }
 
-    fn handle_paxos(&mut self, from: ProcessId, msg: PaxosMsg<ShardCommand>, ctx: &mut Context<'_, BaselineMsg>) {
+    /// Acquires the prepared-set lock for a chosen commit-voted command —
+    /// idempotently (the leader already holds it from `certify_and_propose`;
+    /// learners acquire it here so a future leader handover starts from a
+    /// warm index) — unless the transaction is already decided: `Chosen` can
+    /// be re-delivered after a ballot change (phase-1 recovery re-broadcasts
+    /// accepted slots), and re-locking a released transaction would leave its
+    /// keys locked forever.
+    fn index_prepare_if_undecided(&mut self, command: &ShardCommand) {
+        if command.vote != Decision::Commit {
+            return;
+        }
+        if self
+            .prepared
+            .get(&command.tx)
+            .is_some_and(|entry| entry.2.is_some())
+        {
+            return;
+        }
+        self.index
+            .prepare(Self::index_pos(command.tx), &command.payload);
+    }
+
+    fn handle_paxos(
+        &mut self,
+        from: ProcessId,
+        msg: PaxosMsg<ShardCommand>,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         // Acceptor role.
         let out = self.acceptor.handle(from, msg.clone());
         self.route(ctx, out);
         // Learner role.
         if let PaxosMsg::Chosen { slot, command } = &msg {
             self.log.record_chosen(*slot, command.clone());
-            self.prepared
-                .entry(command.tx)
-                .or_insert((command.payload.clone(), command.vote, None));
+            self.index_prepare_if_undecided(command);
+            self.prepared.entry(command.tx).or_insert((
+                command.payload.clone(),
+                command.vote,
+                None,
+            ));
         }
         // Proposer role (leader only).
         if let Some(proposer) = self.proposer.as_mut() {
@@ -157,9 +229,12 @@ impl BaselineShardReplica {
             for (slot, command) in chosen {
                 self.log.record_chosen(slot, command.clone());
                 self.in_flight.remove(&command.tx);
-                self.prepared
-                    .entry(command.tx)
-                    .or_insert((command.payload.clone(), command.vote, None));
+                self.index_prepare_if_undecided(&command);
+                self.prepared.entry(command.tx).or_insert((
+                    command.payload.clone(),
+                    command.vote,
+                    None,
+                ));
                 // The vote is now durable at a majority: report it to the TM.
                 to_send.push(BaselineMsg::Vote {
                     shard: self.shard,
@@ -178,7 +253,12 @@ impl BaselineShardReplica {
 impl Actor<BaselineMsg> for BaselineShardReplica {
     fn on_start(&mut self, _ctx: &mut Context<'_, BaselineMsg>) {}
 
-    fn on_message(&mut self, from: ProcessId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BaselineMsg,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         match msg {
             BaselineMsg::Prepare { tx, payload } => self.certify_and_propose(tx, payload, ctx),
             BaselineMsg::ShardPaxos { shard, msg } if shard == self.shard => {
@@ -186,6 +266,14 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
             }
             BaselineMsg::Decision { tx, decision } => {
                 if let Some(entry) = self.prepared.get_mut(&tx) {
+                    if entry.2.is_none() {
+                        // First decision: the transaction leaves the prepared
+                        // set; a commit enters the committed set.
+                        self.index.release(Self::index_pos(tx));
+                        if decision == Decision::Commit {
+                            self.index.apply_committed(Self::index_pos(tx), &entry.0);
+                        }
+                    }
                     entry.2 = Some(decision);
                 }
             }
@@ -193,4 +281,3 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
         }
     }
 }
-

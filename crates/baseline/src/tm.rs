@@ -88,7 +88,11 @@ impl TransactionManager {
         self.decided.len()
     }
 
-    fn route(&self, ctx: &mut Context<'_, BaselineMsg>, out: Vec<(ProcessId, PaxosMsg<TmCommand>)>) {
+    fn route(
+        &self,
+        ctx: &mut Context<'_, BaselineMsg>,
+        out: Vec<(ProcessId, PaxosMsg<TmCommand>)>,
+    ) {
         for (to, msg) in out {
             ctx.send(to, BaselineMsg::TmPaxos { msg });
         }
@@ -224,11 +228,18 @@ impl TransactionManager {
 }
 
 impl Actor<BaselineMsg> for TransactionManager {
-    fn on_message(&mut self, from: ProcessId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BaselineMsg,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         match msg {
-            BaselineMsg::Certify { tx, payload, client } => {
-                self.handle_certify(tx, payload, client, ctx)
-            }
+            BaselineMsg::Certify {
+                tx,
+                payload,
+                client,
+            } => self.handle_certify(tx, payload, client, ctx),
             BaselineMsg::Vote { shard, tx, vote } => self.handle_vote(shard, tx, vote, ctx),
             BaselineMsg::TmPaxos { msg } => self.handle_paxos(from, msg, ctx),
             _ => {}

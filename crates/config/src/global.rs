@@ -42,10 +42,7 @@ impl GlobalConfiguration {
         for (shard, mut shard_members) in members {
             shard_members.sort_unstable();
             shard_members.dedup();
-            assert!(
-                !shard_members.is_empty(),
-                "shard {shard} must have members"
-            );
+            assert!(!shard_members.is_empty(), "shard {shard} must have members");
             let leader = leaders
                 .get(&shard)
                 .unwrap_or_else(|| panic!("shard {shard} must have a leader"));
@@ -233,7 +230,10 @@ mod tests {
         assert_eq!(cs.history().len(), 2);
         assert_eq!(cs.get(Epoch::ZERO).unwrap().epoch, Epoch::ZERO);
         assert!(cs.get(Epoch::new(9)).is_none());
-        assert_eq!(cs.get_at_or_below(Epoch::new(9)).unwrap().epoch, Epoch::new(1));
+        assert_eq!(
+            cs.get_at_or_below(Epoch::new(9)).unwrap().epoch,
+            Epoch::new(1)
+        );
 
         let err = cs.compare_and_swap(Epoch::ZERO, config(2)).unwrap_err();
         assert!(matches!(err, CasError::EpochMismatch { .. }));

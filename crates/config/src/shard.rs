@@ -98,7 +98,10 @@ impl fmt::Display for CasError {
                 write!(f, "expected epoch {expected} but found {actual}")
             }
             CasError::NonMonotonicEpoch { proposed, actual } => {
-                write!(f, "proposed epoch {proposed} is not above stored epoch {actual}")
+                write!(
+                    f,
+                    "proposed epoch {proposed} is not above stored epoch {actual}"
+                )
             }
             CasError::UnknownShard(s) => write!(f, "unknown shard {s}"),
         }
@@ -163,10 +166,7 @@ impl ShardConfigRegistry {
 
     /// `get(s, e)`: the configuration of `shard` with epoch `epoch`, if any.
     pub fn get(&self, shard: ShardId, epoch: Epoch) -> Option<&ShardConfiguration> {
-        self.shards
-            .get(&shard)?
-            .iter()
-            .find(|c| c.epoch == epoch)
+        self.shards.get(&shard)?.iter().find(|c| c.epoch == epoch)
     }
 
     /// The configuration of `shard` with the highest epoch not exceeding
@@ -364,7 +364,13 @@ mod tests {
     #[test]
     fn other_shard_members_excludes_the_reconfigured_shard() {
         let cs = initial();
-        assert_eq!(cs.other_shard_members(ShardId::new(0)), vec![pid(3), pid(4)]);
-        assert_eq!(cs.other_shard_members(ShardId::new(1)), vec![pid(1), pid(2)]);
+        assert_eq!(
+            cs.other_shard_members(ShardId::new(0)),
+            vec![pid(3), pid(4)]
+        );
+        assert_eq!(
+            cs.other_shard_members(ShardId::new(1)),
+            vec![pid(1), pid(2)]
+        );
     }
 }

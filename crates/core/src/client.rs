@@ -141,7 +141,10 @@ mod tests {
         assert_eq!(actor.committed_count(), 1);
         assert_eq!(actor.aborted_count(), 0);
         assert!(actor.violations().is_empty());
-        assert_eq!(actor.history().decision(TxId::new(1)), Some(Decision::Commit));
+        assert_eq!(
+            actor.history().decision(TxId::new(1)),
+            Some(Decision::Commit)
+        );
         assert!(actor.latencies().contains_key(&TxId::new(1)));
         assert_eq!(world.metrics().counter("client_commits"), 1);
     }

@@ -54,7 +54,14 @@ impl Actor<Msg> for ConfigServiceActor {
             }
             Msg::CsGet { shard, epoch } => {
                 let config = self.registry.get(shard, epoch).cloned();
-                ctx.send(from, Msg::CsGetReply { shard, epoch, config });
+                ctx.send(
+                    from,
+                    Msg::CsGetReply {
+                        shard,
+                        epoch,
+                        config,
+                    },
+                );
             }
             Msg::CsCas {
                 shard,
@@ -134,7 +141,13 @@ mod tests {
             ),
         ]));
 
-        world.send_from(requester, cs, Msg::CsGetLast { shard: ShardId::new(0) });
+        world.send_from(
+            requester,
+            cs,
+            Msg::CsGetLast {
+                shard: ShardId::new(0),
+            },
+        );
         world.send_from(
             requester,
             cs,
@@ -172,9 +185,9 @@ mod tests {
         for probe in [other_a, other_b] {
             let received = &world.actor::<Probe>(probe).expect("probe").received;
             assert!(
-                received
-                    .iter()
-                    .any(|m| matches!(m, Msg::ConfigChange { shard, .. } if *shard == ShardId::new(0))),
+                received.iter().any(
+                    |m| matches!(m, Msg::ConfigChange { shard, .. } if *shard == ShardId::new(0))
+                ),
                 "probe {probe} did not receive CONFIG_CHANGE"
             );
         }

@@ -290,8 +290,14 @@ impl Cluster {
             .expect("client")
             .record_certify(tx, payload.clone(), now);
         let client = self.client;
-        self.world
-            .send_external(coordinator, Msg::Certify { tx, payload, client });
+        self.world.send_external(
+            coordinator,
+            Msg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
     }
 
     /// Asks `initiator` to start reconfiguring `shard`, excluding `exclude`
@@ -395,7 +401,10 @@ mod tests {
         assert_eq!(history.decision(TxId::new(1)), Some(Decision::Commit));
         assert!(cluster.client_violations().is_empty());
         let latency = cluster.latencies()[&TxId::new(1)];
-        assert_eq!(latency.hops, 5, "decision must arrive after 5 message delays");
+        assert_eq!(
+            latency.hops, 5,
+            "decision must arrive after 5 message delays"
+        );
     }
 
     #[test]
@@ -409,7 +418,11 @@ mod tests {
         let history = cluster.history();
         let committed = history.committed().count();
         assert!(committed <= 1, "conflicting transactions both committed");
-        assert_eq!(history.decide_count(), 2, "both transactions must be decided");
+        assert_eq!(
+            history.decide_count(),
+            2,
+            "both transactions must be decided"
+        );
         assert!(cluster.client_violations().is_empty());
     }
 
@@ -443,7 +456,10 @@ mod tests {
         cluster.run_to_quiescence();
 
         let new_config = cluster.current_members(shard);
-        assert!(!new_config.contains(&follower), "crashed follower must be replaced");
+        assert!(
+            !new_config.contains(&follower),
+            "crashed follower must be replaced"
+        );
         assert_eq!(new_config.len(), 2);
         assert_eq!(cluster.current_epoch(shard), Epoch::new(1));
 

@@ -67,10 +67,7 @@ pub fn check_cluster(cluster: &Cluster) -> Vec<InvariantViolation> {
 }
 
 /// Checks the invariants over the replicas of one shard.
-pub fn check_shard(
-    shard: ShardId,
-    replicas: &[(ProcessId, &Replica)],
-) -> Vec<InvariantViolation> {
+pub fn check_shard(shard: ShardId, replicas: &[(ProcessId, &Replica)]) -> Vec<InvariantViolation> {
     let mut violations = Vec::new();
     violations.extend(check_single_leader_per_epoch(shard, replicas));
     violations.extend(check_follower_prefix(shard, replicas));

@@ -6,8 +6,31 @@
 //! bundles them into one indexed structure. Followers may have *holes* (slots
 //! still in the `start` phase) because votes are persisted by coordinators
 //! out of order; leaders never do.
+//!
+//! # Incremental certification index
+//!
+//! The leader's vote (line 12) needs the sets `L1` (payloads decided to
+//! commit) and `L2` (payloads prepared with a commit vote, undecided). The
+//! set-based accessors [`CertificationLog::committed_payloads_before`] and
+//! [`CertificationLog::prepared_payloads_before`] compute them by scanning
+//! every slot — O(|log|) per call, O(n²) over a run. A log created with
+//! [`CertificationLog::with_certifier`] instead owns an
+//! [`IndexedCertifier`] and keeps it in lockstep with the slot phases:
+//!
+//! * *append / store-at* of a prepared entry with a commit vote →
+//!   [`IndexedCertifier::prepare`] (entry enters `L2`);
+//! * *decide* → [`IndexedCertifier::release`] (entry leaves `L2`), plus
+//!   [`IndexedCertifier::apply_committed`] when the decision is commit
+//!   (entry enters `L1`);
+//! * wholesale replacement (`NEW_STATE`) → [`CertificationLog::set_certifier`]
+//!   rebuilds the index from the slots.
+//!
+//! Decides may arrive out of order and slots may be holes; both are fine
+//! because the index transitions are per-position, idempotent, and
+//! order-insensitive (certification functions are set-based). With the index
+//! in place, [`CertificationLog::vote_at`] answers the vote in O(|payload|).
 
-use ratc_types::{Decision, Payload, Position, ProcessId, ShardId, TxId};
+use ratc_types::{Decision, IndexedCertifier, Payload, Position, ProcessId, ShardId, TxId};
 use serde::{Deserialize, Serialize};
 
 /// The phase of a certification-order slot (the paper's `phase` array).
@@ -42,15 +65,70 @@ pub struct LogEntry {
 }
 
 /// The certification log of one replica.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the paper-visible state (the slots); the hole counter
+/// and the certification index are derived caches and do not participate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CertificationLog {
     slots: Vec<Option<LogEntry>>,
+    /// Number of `None` slots, maintained incrementally (O(1) `hole_count`).
+    holes: usize,
+    /// Incremental certifier kept in lockstep with the slot phases, if any.
+    index: Option<Box<dyn IndexedCertifier>>,
+}
+
+impl PartialEq for CertificationLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+    }
 }
 
 impl CertificationLog {
-    /// Creates an empty log.
+    /// Creates an empty log without a certification index (votes fall back to
+    /// the set-based scans).
     pub fn new() -> Self {
         CertificationLog::default()
+    }
+
+    /// Creates an empty log that maintains `index` incrementally, enabling
+    /// O(|payload|) [`CertificationLog::vote_at`].
+    pub fn with_certifier(index: Box<dyn IndexedCertifier>) -> Self {
+        CertificationLog {
+            slots: Vec::new(),
+            holes: 0,
+            index: Some(index),
+        }
+    }
+
+    /// Whether this log maintains a certification index.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Installs (or replaces) the certification index and rebuilds it from
+    /// the current slots. Used when a follower installs a transferred log
+    /// that arrived without an index, and by tests.
+    pub fn set_certifier(&mut self, mut index: Box<dyn IndexedCertifier>) {
+        index.reset();
+        for (pos, entry) in self.entries() {
+            Self::index_fill(&mut index, pos, entry);
+        }
+        self.index = Some(index);
+    }
+
+    /// Index transition for a slot that just became filled: a commit-voted
+    /// prepared entry enters `L2`; an already-decided commit entry (state
+    /// transfer, rebuild) enters `L1` directly.
+    fn index_fill(index: &mut Box<dyn IndexedCertifier>, pos: Position, entry: &LogEntry) {
+        match entry.phase {
+            TxPhase::Prepared if entry.vote == Decision::Commit => {
+                index.prepare(pos, &entry.payload);
+            }
+            TxPhase::Decided if entry.dec == Some(Decision::Commit) => {
+                index.apply_committed(pos, &entry.payload);
+            }
+            _ => {}
+        }
     }
 
     /// The paper's `next`: the index one past the last filled slot.
@@ -73,11 +151,6 @@ impl CertificationLog {
         self.slots.get(pos.as_usize()).and_then(Option::as_ref)
     }
 
-    /// Mutable access to the entry at `pos`, if that slot is filled.
-    pub fn get_mut(&mut self, pos: Position) -> Option<&mut LogEntry> {
-        self.slots.get_mut(pos.as_usize()).and_then(Option::as_mut)
-    }
-
     /// The phase of the slot at `pos` (`Start` for holes and out-of-range
     /// positions).
     pub fn phase(&self, pos: Position) -> TxPhase {
@@ -94,10 +167,30 @@ impl CertificationLog {
         })
     }
 
+    /// The leader's vote of line 12 for a payload about to occupy `pos`:
+    /// `f_s(L1, l) ⊓ g_s(L2, l)` against the slots strictly before `pos`,
+    /// answered in O(|payload|) by the certification index.
+    ///
+    /// Returns `None` when the log maintains no index (callers fall back to
+    /// the set-based scans). `pos` must be [`CertificationLog::next`]: the
+    /// index summarises every filled slot, which is exactly the prefix before
+    /// `next` — votes at interior positions would need a historical snapshot.
+    pub fn vote_at(&self, pos: Position, payload: &Payload) -> Option<Decision> {
+        debug_assert_eq!(
+            pos,
+            self.next(),
+            "vote_at only answers votes at the append position"
+        );
+        self.index.as_ref().map(|index| index.vote(payload))
+    }
+
     /// Appends a new entry at the leader (lines 9–13): the slot index is the
     /// current `next`.
     pub fn append(&mut self, entry: LogEntry) -> Position {
         let pos = self.next();
+        if let Some(index) = self.index.as_mut() {
+            Self::index_fill(index, pos, &entry);
+        }
         self.slots.push(Some(entry));
         pos
     }
@@ -108,40 +201,61 @@ impl CertificationLog {
     pub fn store_at(&mut self, pos: Position, entry: LogEntry) -> bool {
         let idx = pos.as_usize();
         if idx >= self.slots.len() {
+            self.holes += idx - self.slots.len();
             self.slots.resize(idx + 1, None);
-        }
-        if self.slots[idx].is_some() {
+        } else if self.slots[idx].is_some() {
             return false;
+        } else {
+            self.holes -= 1;
+        }
+        if let Some(index) = self.index.as_mut() {
+            Self::index_fill(index, pos, &entry);
         }
         self.slots[idx] = Some(entry);
         true
     }
 
-    /// Records the final decision for the slot at `pos` (line 32). Creating a
-    /// decision for a hole is ignored (the replica has not yet stored the
-    /// transaction; a later `NEW_STATE` will supply it).
+    /// Records the final decision for the slot at `pos` (line 32). Deciding a
+    /// hole is ignored (the replica has not yet stored the transaction; a
+    /// later `NEW_STATE` will supply it), and so is re-deciding an already
+    /// decided slot: decisions are unique per transaction (TCS specification),
+    /// so the first decision wins and duplicates from retrying coordinators
+    /// are no-ops.
     pub fn decide(&mut self, pos: Position, decision: Decision) {
-        if let Some(entry) = self.get_mut(pos) {
-            entry.dec = Some(decision);
-            entry.phase = TxPhase::Decided;
+        let Some(entry) = self.slots.get_mut(pos.as_usize()).and_then(Option::as_mut) else {
+            return;
+        };
+        if entry.phase == TxPhase::Decided {
+            return;
+        }
+        entry.dec = Some(decision);
+        entry.phase = TxPhase::Decided;
+        if let Some(index) = self.index.as_mut() {
+            index.release(pos);
+            if decision == Decision::Commit {
+                index.apply_committed(pos, &entry.payload);
+            }
         }
     }
 
     /// Iterates over the filled slots with their positions.
     pub fn entries(&self) -> impl Iterator<Item = (Position, &LogEntry)> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, slot)| {
-            slot.as_ref().map(|e| (Position::new(i as u64), e))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (Position::new(i as u64), e)))
     }
 
     /// The payloads used as `L1` at line 12: payloads of transactions decided
     /// to commit in slots strictly before `before`.
+    ///
+    /// This is the set-based reference path — O(|log|) per call. The vote
+    /// hot path uses [`CertificationLog::vote_at`] instead; this accessor
+    /// remains for the differential tests and for logs without an index.
     pub fn committed_payloads_before(&self, before: Position) -> Vec<&Payload> {
         self.entries()
             .filter(|(pos, e)| {
-                *pos < before
-                    && e.phase == TxPhase::Decided
-                    && e.dec == Some(Decision::Commit)
+                *pos < before && e.phase == TxPhase::Decided && e.dec == Some(Decision::Commit)
             })
             .map(|(_, e)| &e.payload)
             .collect()
@@ -150,6 +264,8 @@ impl CertificationLog {
     /// The payloads used as `L2` at line 12: payloads of transactions prepared
     /// with a commit vote (and not yet decided) in slots strictly before
     /// `before`.
+    ///
+    /// Set-based reference path; see [`CertificationLog::committed_payloads_before`].
     pub fn prepared_payloads_before(&self, before: Position) -> Vec<&Payload> {
         self.entries()
             .filter(|(pos, e)| {
@@ -159,9 +275,14 @@ impl CertificationLog {
             .collect()
     }
 
-    /// Number of holes (slots still in the `Start` phase below `next`).
+    /// Number of holes (slots still in the `Start` phase below `next`),
+    /// maintained incrementally — O(1).
     pub fn hole_count(&self) -> usize {
-        self.slots.iter().filter(|slot| slot.is_none()).count()
+        debug_assert_eq!(
+            self.holes,
+            self.slots.iter().filter(|slot| slot.is_none()).count()
+        );
+        self.holes
     }
 
     /// Checks the `≺` relation of Figure 3 against another log: this log's
@@ -191,7 +312,7 @@ impl CertificationLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ratc_types::{Key, Version};
+    use ratc_types::{CertificationPolicy, Key, Serializability, Version};
 
     fn entry(tx: u64) -> LogEntry {
         LogEntry {
@@ -206,6 +327,10 @@ mod tests {
             shards: vec![ShardId::new(0)],
             client: ProcessId::new(99),
         }
+    }
+
+    fn indexed_log() -> CertificationLog {
+        CertificationLog::with_certifier(Serializability::new().indexed_certifier(ShardId::new(0)))
     }
 
     #[test]
@@ -232,6 +357,9 @@ mod tests {
         // A second store at the same position is rejected (phase != start).
         assert!(!log.store_at(Position::new(2), entry(4)));
         assert_eq!(log.get(Position::new(2)).unwrap().tx, TxId::new(3));
+        // Filling an interior hole shrinks the count.
+        assert!(log.store_at(Position::new(0), entry(1)));
+        assert_eq!(log.hole_count(), 1);
     }
 
     #[test]
@@ -240,10 +368,19 @@ mod tests {
         log.append(entry(1));
         log.decide(Position::new(0), Decision::Abort);
         assert_eq!(log.phase(Position::new(0)), TxPhase::Decided);
-        assert_eq!(log.get(Position::new(0)).unwrap().dec, Some(Decision::Abort));
+        assert_eq!(
+            log.get(Position::new(0)).unwrap().dec,
+            Some(Decision::Abort)
+        );
         // Deciding a hole is a no-op.
         log.decide(Position::new(7), Decision::Commit);
         assert_eq!(log.phase(Position::new(7)), TxPhase::Start);
+        // Re-deciding an already decided slot is a no-op (first decision wins).
+        log.decide(Position::new(0), Decision::Commit);
+        assert_eq!(
+            log.get(Position::new(0)).unwrap().dec,
+            Some(Decision::Abort)
+        );
     }
 
     #[test]
@@ -262,9 +399,7 @@ mod tests {
         assert_eq!(log.committed_payloads_before(cutoff).len(), 1);
         assert_eq!(log.prepared_payloads_before(cutoff).len(), 1);
         // Positions at or after the cutoff are excluded.
-        assert!(log
-            .committed_payloads_before(Position::new(0))
-            .is_empty());
+        assert!(log.committed_payloads_before(Position::new(0)).is_empty());
     }
 
     #[test]
@@ -289,5 +424,136 @@ mod tests {
         assert!(!beyond.is_prefix_with_holes_of(&leader, Position::new(10)));
         // ... unless the comparison length excludes it.
         assert!(beyond.is_prefix_with_holes_of(&leader, Position::new(3)));
+    }
+
+    /// The indexed vote must match the set-based scans after any mix of
+    /// appends, out-of-order decides and hole-filling stores.
+    fn assert_vote_matches_scans(log: &CertificationLog, candidate: &Payload) {
+        let next = log.next();
+        let committed = log.committed_payloads_before(next);
+        let prepared = log.prepared_payloads_before(next);
+        let reference = Serializability::new()
+            .shard_certifier(ShardId::new(0))
+            .vote(&committed, &prepared, candidate);
+        assert_eq!(log.vote_at(next, candidate), Some(reference));
+    }
+
+    fn rw_entry(tx: u64, key: &str, read_version: u64, commit_version: u64) -> LogEntry {
+        LogEntry {
+            tx: TxId::new(tx),
+            payload: Payload::builder()
+                .read(Key::new(key), Version::new(read_version))
+                .write(Key::new(key), ratc_types::Value::from("v"))
+                .commit_version(Version::new(commit_version))
+                .build()
+                .expect("well-formed"),
+            vote: Decision::Commit,
+            dec: None,
+            phase: TxPhase::Prepared,
+            shards: vec![ShardId::new(0)],
+            client: ProcessId::new(99),
+        }
+    }
+
+    #[test]
+    fn indexed_vote_tracks_phase_transitions() {
+        let mut log = indexed_log();
+        let candidate = Payload::builder()
+            .read(Key::new("a"), Version::new(0))
+            .build()
+            .expect("well-formed");
+
+        // Empty log: commit.
+        assert_eq!(log.vote_at(log.next(), &candidate), Some(Decision::Commit));
+
+        // Prepared writer of "a" write-locks it.
+        let pos_a = log.append(rw_entry(1, "a", 0, 5));
+        assert_eq!(log.vote_at(log.next(), &candidate), Some(Decision::Abort));
+        assert_vote_matches_scans(&log, &candidate);
+
+        // Decided commit: lock released, but the read version 0 is now stale.
+        log.decide(pos_a, Decision::Commit);
+        assert_eq!(log.vote_at(log.next(), &candidate), Some(Decision::Abort));
+        assert_vote_matches_scans(&log, &candidate);
+
+        // A fresh reader of the committed version passes.
+        let fresh = Payload::builder()
+            .read(Key::new("a"), Version::new(5))
+            .build()
+            .expect("well-formed");
+        assert_eq!(log.vote_at(log.next(), &fresh), Some(Decision::Commit));
+        assert_vote_matches_scans(&log, &fresh);
+    }
+
+    #[test]
+    fn indexed_vote_handles_abort_decides_and_holes() {
+        let mut log = indexed_log();
+        let candidate = Payload::builder()
+            .read(Key::new("b"), Version::new(0))
+            .build()
+            .expect("well-formed");
+
+        // Store out of order, leaving a hole at 0.
+        assert!(log.store_at(Position::new(1), rw_entry(2, "b", 0, 3)));
+        assert_eq!(log.vote_at(log.next(), &candidate), Some(Decision::Abort));
+        assert_vote_matches_scans(&log, &candidate);
+
+        // An abort decision releases the lock without committing anything.
+        log.decide(Position::new(1), Decision::Abort);
+        assert_eq!(log.vote_at(log.next(), &candidate), Some(Decision::Commit));
+        assert_vote_matches_scans(&log, &candidate);
+
+        // Deciding the hole at 0 stays a no-op for the index too.
+        log.decide(Position::new(0), Decision::Commit);
+        assert_eq!(log.vote_at(log.next(), &candidate), Some(Decision::Commit));
+        assert_vote_matches_scans(&log, &candidate);
+    }
+
+    #[test]
+    fn set_certifier_rebuilds_from_slots() {
+        // Build un-indexed, then install the index and check it agrees.
+        let mut log = CertificationLog::new();
+        let p0 = log.append(rw_entry(1, "x", 0, 4));
+        log.decide(p0, Decision::Commit);
+        log.append(rw_entry(2, "y", 0, 6));
+        assert!(!log.has_index());
+        log.set_certifier(Serializability::new().indexed_certifier(ShardId::new(0)));
+        assert!(log.has_index());
+        for key in ["x", "y", "z"] {
+            let candidate = Payload::builder()
+                .read(Key::new(key), Version::new(0))
+                .build()
+                .expect("well-formed");
+            assert_vote_matches_scans(&log, &candidate);
+        }
+    }
+
+    #[test]
+    fn clone_preserves_index_state() {
+        let mut log = indexed_log();
+        log.append(rw_entry(1, "x", 0, 4));
+        let cloned = log.clone();
+        let candidate = Payload::builder()
+            .read(Key::new("x"), Version::new(0))
+            .build()
+            .expect("well-formed");
+        assert_eq!(
+            cloned.vote_at(cloned.next(), &candidate),
+            Some(Decision::Abort)
+        );
+        // Logs compare by slots; the derived caches do not participate.
+        assert_eq!(log, cloned);
+        assert_eq!(log, {
+            let mut plain = CertificationLog::new();
+            plain.append(rw_entry(1, "x", 0, 4));
+            plain
+        });
+    }
+
+    #[test]
+    fn unindexed_vote_at_returns_none() {
+        let log = CertificationLog::new();
+        let candidate = Payload::empty();
+        assert_eq!(log.vote_at(log.next(), &candidate), None);
     }
 }

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use ratc_config::{MembershipPlanner, ShardConfiguration};
 use ratc_sim::{Actor, Context, SimDuration, TimerTag};
 use ratc_types::{
-    CertificationPolicy, Decision, Epoch, Payload, Position, ProcessId, ShardCertifier, ShardId,
-    ShardMap, TxId,
+    CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
+    ShardCertifier, ShardId, ShardMap, TxId,
 };
 
 use crate::log::{CertificationLog, LogEntry, TxPhase};
@@ -104,6 +104,9 @@ pub struct Replica {
     leader: BTreeMap<ShardId, ProcessId>,
     log: CertificationLog,
     certifier: Arc<dyn ShardCertifier>,
+    /// Pristine (empty) incremental certifier, cloned whenever an installed
+    /// log needs an index rebuilt (see `handle_new_state`).
+    index_factory: Box<dyn IndexedCertifier>,
     sharding: Arc<dyn ShardMap + Send + Sync>,
     cs: ProcessId,
     coordinating: BTreeMap<TxId, CoordState>,
@@ -130,8 +133,9 @@ impl Replica {
             epoch: BTreeMap::new(),
             members: BTreeMap::new(),
             leader: BTreeMap::new(),
-            log: CertificationLog::new(),
+            log: CertificationLog::with_certifier(policy.indexed_certifier(shard)),
             certifier: policy.shard_certifier(shard),
+            index_factory: policy.indexed_certifier(shard),
             sharding,
             cs: ProcessId::new(u64::MAX),
             coordinating: BTreeMap::new(),
@@ -314,7 +318,12 @@ impl Replica {
         }
     }
 
-    fn coord_entry(&mut self, tx: TxId, client: ProcessId, shards: Vec<ShardId>) -> &mut CoordState {
+    fn coord_entry(
+        &mut self,
+        tx: TxId,
+        client: ProcessId,
+        shards: Vec<ShardId>,
+    ) -> &mut CoordState {
         self.coordinating.entry(tx).or_insert_with(|| CoordState {
             client,
             payload: None,
@@ -377,7 +386,10 @@ impl Replica {
         // Line 6: the transaction is already in the certification order —
         // resend the stored PREPARE_ACK (this serves recovery coordinators).
         if let Some(pos) = self.log.position_of(tx) {
-            let entry = self.log.get(pos).expect("position_of returned a filled slot");
+            let entry = self
+                .log
+                .get(pos)
+                .expect("position_of returned a filled slot");
             ctx.send(
                 from,
                 Msg::PrepareAck {
@@ -393,13 +405,18 @@ impl Replica {
             );
             return;
         }
-        // Lines 8–16: append the transaction and compute the vote.
+        // Lines 8–16: append the transaction and compute the vote. The
+        // certification index answers `f_s(L1, l) ⊓ g_s(L2, l)` in
+        // O(|payload|); logs without an index fall back to the set-based
+        // scans of the paper's formulation.
         let (vote, stored_payload) = match payload {
             Some(l) => {
                 let next = self.log.next();
-                let committed = self.log.committed_payloads_before(next);
-                let prepared = self.log.prepared_payloads_before(next);
-                let vote = self.certifier.vote(&committed, &prepared, &l);
+                let vote = self.log.vote_at(next, &l).unwrap_or_else(|| {
+                    let committed = self.log.committed_payloads_before(next);
+                    let prepared = self.log.prepared_payloads_before(next);
+                    self.certifier.vote(&committed, &prepared, &l)
+                });
                 (vote, l)
             }
             None => (Decision::Abort, Payload::empty()),
@@ -534,6 +551,7 @@ impl Replica {
     }
 
     /// Line 26 bookkeeping: record a follower's acknowledgement.
+    #[allow(clippy::too_many_arguments)]
     fn handle_accept_ack(
         &mut self,
         from: ProcessId,
@@ -766,7 +784,13 @@ impl Replica {
                 Some(prev) => {
                     recon.probed_epoch = prev;
                     let s = recon.shard;
-                    ctx.send(self.cs, Msg::CsGet { shard: s, epoch: prev });
+                    ctx.send(
+                        self.cs,
+                        Msg::CsGet {
+                            shard: s,
+                            epoch: prev,
+                        },
+                    );
                 }
                 None => {
                     ctx.add_counter("reconfiguration_stuck", 1);
@@ -809,7 +833,12 @@ impl Replica {
     }
 
     /// Lines 56–60: this replica becomes the new leader of its shard.
-    fn handle_new_config(&mut self, epoch: Epoch, members: Vec<ProcessId>, ctx: &mut Context<'_, Msg>) {
+    fn handle_new_config(
+        &mut self,
+        epoch: Epoch,
+        members: Vec<ProcessId>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
         if epoch < self.new_epoch {
             return;
         }
@@ -854,6 +883,12 @@ impl Replica {
         self.members.insert(self.shard, members);
         self.leader.insert(self.shard, leader);
         self.log = log;
+        // State transfers normally carry the sender's index; rebuild one if
+        // the log arrived without it so votes stay O(|payload|) after a
+        // promotion of this replica.
+        if !self.log.has_index() {
+            self.log.set_certifier(self.index_factory.clone_box());
+        }
     }
 
     /// Lines 67–69: learn about another shard's new configuration.
@@ -919,7 +954,11 @@ impl Replica {
 impl Actor<Msg> for Replica {
     fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
-            Msg::Certify { tx, payload, client } => self.handle_certify(tx, payload, client, ctx),
+            Msg::Certify {
+                tx,
+                payload,
+                client,
+            } => self.handle_certify(tx, payload, client, ctx),
             Msg::Prepare {
                 tx,
                 payload,
@@ -945,7 +984,9 @@ impl Actor<Msg> for Replica {
                 vote,
                 shards,
                 client,
-            } => self.handle_accept(from, epoch, shard, pos, tx, payload, vote, shards, client, ctx),
+            } => self.handle_accept(
+                from, epoch, shard, pos, tx, payload, vote, shards, client, ctx,
+            ),
             Msg::AcceptAck {
                 shard,
                 epoch,

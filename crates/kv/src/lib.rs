@@ -88,7 +88,9 @@ impl KvStore {
 
     /// The committed value of `key` at exactly `version`.
     pub fn read_at(&self, key: &Key, version: Version) -> Option<&Value> {
-        self.data.get(key).and_then(|versions| versions.get(&version))
+        self.data
+            .get(key)
+            .and_then(|versions| versions.get(&version))
     }
 
     /// Number of keys with at least one committed version.
@@ -254,7 +256,10 @@ mod tests {
         let (version, value) = store.read_committed(&k("x")).expect("seeded");
         assert_eq!(version, Version::new(1));
         assert_eq!(value, Value::from("10"));
-        assert_eq!(store.read_at(&k("x"), Version::new(1)), Some(&Value::from("10")));
+        assert_eq!(
+            store.read_at(&k("x"), Version::new(1)),
+            Some(&Value::from("10"))
+        );
         assert_eq!(store.read_at(&k("x"), Version::new(2)), None);
         assert!(store.read_committed(&k("missing")).is_none());
     }
@@ -301,7 +306,7 @@ mod tests {
         let (v1, value1) = store.read_committed(&k("x")).expect("committed");
         store.apply_commit(TxId::new(7), &payload);
         let (v2, value2) = store.read_committed(&k("x")).expect("committed");
-        assert_eq!((v1, value1), (v2.clone(), value2));
+        assert_eq!((v1, value1), (v2, value2));
         assert_eq!(store.high_water_mark(), v2);
     }
 

@@ -18,6 +18,9 @@ enum Phase {
     Leading,
 }
 
+/// Messages produced by a proposer step, addressed to their recipients.
+pub type Outgoing<C> = Vec<(ProcessId, PaxosMsg<C>)>;
+
 /// A Multi-Paxos proposer: runs phase 1 once for its ballot, then assigns
 /// commands to consecutive slots using phase 2 only (the standard stable
 /// leader optimisation).
@@ -139,7 +142,7 @@ impl<C: Clone> Proposer<C> {
 
     /// Handles one message addressed to the proposer. Returns the messages to
     /// send and the `(slot, command)` pairs newly learned to be chosen.
-    pub fn handle(&mut self, msg: PaxosMsg<C>) -> (Vec<(ProcessId, PaxosMsg<C>)>, Vec<(Slot, C)>) {
+    pub fn handle(&mut self, msg: PaxosMsg<C>) -> (Outgoing<C>, Vec<(Slot, C)>) {
         match msg {
             PaxosMsg::Promise { ballot, accepted } => {
                 if ballot != self.ballot || self.phase == Phase::Leading {
@@ -319,8 +322,7 @@ mod tests {
     #[test]
     fn phase1_recovers_previously_accepted_values() {
         let ids = vec![pid(0), pid(1), pid(2)];
-        let mut acceptors: Vec<Acceptor<u32>> =
-            ids.iter().copied().map(Acceptor::new).collect();
+        let mut acceptors: Vec<Acceptor<u32>> = ids.iter().copied().map(Acceptor::new).collect();
         // A previous leader (pid 9) got command 5 accepted at slot 0 on one acceptor.
         acceptors[1].handle(
             pid(9),
@@ -333,7 +335,10 @@ mod tests {
         let mut proposer = Proposer::new(pid(0), ids, 2);
         let outbox = proposer.start_phase1();
         let chosen = run_to_quiescence(&mut proposer, &mut acceptors, outbox);
-        assert!(chosen.contains(&(0, 5)), "recovered value must be re-chosen");
+        assert!(
+            chosen.contains(&(0, 5)),
+            "recovered value must be re-chosen"
+        );
     }
 
     #[test]

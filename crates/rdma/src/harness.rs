@@ -312,8 +312,14 @@ impl RdmaCluster {
             .expect("client")
             .record_certify(tx, payload.clone(), now);
         let client = self.client;
-        self.world
-            .send_external(coordinator, RdmaMsg::Certify { tx, payload, client });
+        self.world.send_external(
+            coordinator,
+            RdmaMsg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
     }
 
     /// Triggers a reconfiguration through `initiator`.

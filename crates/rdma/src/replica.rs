@@ -8,8 +8,8 @@ use ratc_core::log::{LogEntry, TxPhase};
 use ratc_sim::rdma::RdmaToken;
 use ratc_sim::{Actor, Context, SimDuration, TimerTag};
 use ratc_types::{
-    CertificationPolicy, Decision, Epoch, Payload, Position, ProcessId, ShardCertifier, ShardId,
-    ShardMap, TxId,
+    CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
+    ShardCertifier, ShardId, ShardMap, TxId,
 };
 
 use crate::messages::RdmaMsg;
@@ -112,6 +112,9 @@ pub struct RdmaReplica {
     connections: BTreeSet<ProcessId>,
     log: RdmaLog,
     certifier: Arc<dyn ShardCertifier>,
+    /// Pristine (empty) incremental certifier, cloned whenever an installed
+    /// log needs an index rebuilt (see `handle_new_state`).
+    index_factory: Box<dyn IndexedCertifier>,
     sharding: Arc<dyn ShardMap + Send + Sync>,
     cs: ProcessId,
     coordinating: BTreeMap<TxId, CoordState>,
@@ -142,8 +145,9 @@ impl RdmaReplica {
             new_epoch: Epoch::ZERO,
             config: None,
             connections: BTreeSet::new(),
-            log: RdmaLog::new(),
+            log: RdmaLog::with_certifier(policy.indexed_certifier(shard)),
             certifier: policy.shard_certifier(shard),
+            index_factory: policy.indexed_certifier(shard),
             sharding,
             cs: ProcessId::new(u64::MAX),
             coordinating: BTreeMap::new(),
@@ -279,21 +283,19 @@ impl RdmaReplica {
                 vote,
                 shards,
                 client,
-            } => {
-                if self.log.phase(pos) == TxPhase::Start {
-                    self.log.store_at(
-                        pos,
-                        LogEntry {
-                            tx,
-                            payload,
-                            vote,
-                            dec: None,
-                            phase: TxPhase::Prepared,
-                            shards,
-                            client,
-                        },
-                    );
-                }
+            } if self.log.phase(pos) == TxPhase::Start => {
+                self.log.store_at(
+                    pos,
+                    LogEntry {
+                        tx,
+                        payload,
+                        vote,
+                        dec: None,
+                        phase: TxPhase::Prepared,
+                        shards,
+                        client,
+                    },
+                );
             }
             // Line 101–102.
             RdmaMsg::DecisionShard { pos, decision } => {
@@ -416,12 +418,17 @@ impl RdmaReplica {
             );
             return;
         }
+        // The certification index answers the vote in O(|payload|); logs
+        // without an index fall back to the set-based scans.
         let (vote, stored_payload) = match payload {
             Some(l) => {
                 let next = self.log.next();
-                let committed = self.log.committed_payloads_before(next);
-                let prepared = self.log.prepared_payloads_before(next);
-                (self.certifier.vote(&committed, &prepared, &l), l)
+                let vote = self.log.vote_at(next, &l).unwrap_or_else(|| {
+                    let committed = self.log.committed_payloads_before(next);
+                    let prepared = self.log.prepared_payloads_before(next);
+                    self.certifier.vote(&committed, &prepared, &l)
+                });
+                (vote, l)
             }
             None => (Decision::Abort, Payload::empty()),
         };
@@ -568,11 +575,68 @@ impl RdmaReplica {
             .filter(|(_, c)| !c.decided)
             .map(|(tx, _)| *tx)
             .collect();
+        if pending.is_empty() {
+            return;
+        }
+        // A stalled coordinator may be working from a stale view: a global
+        // reconfiguration that excluded this process sends CONFIG_PREPARE and
+        // NEW_STATE only to members of the new configuration, so an excluded
+        // coordinator would retry into closed connections forever. Refresh
+        // the view from the configuration service (the lazy CONFIG_CHANGE of
+        // Figure 1, lines 67–69, lifted to the global protocol); the reply is
+        // handled by `handle_stale_view_refresh`.
+        ctx.send(self.cs, RdmaMsg::CsGetLast);
         for tx in pending {
             let coord = self.coordinating.get(&tx).expect("pending").clone();
             self.send_prepares(ctx, tx, &coord, None);
         }
         self.arm_retry_timer(ctx);
+    }
+
+    /// Handles a `get_last` reply that arrives outside an active
+    /// reconfiguration: a coordinator checking whether it has been left
+    /// behind by a newer global configuration.
+    ///
+    /// If this process is *not* a member of the newer configuration it will
+    /// never receive `CONFIG_PREPARE`/`NEW_STATE`, and — by design — its RDMA
+    /// writes are rejected by every member, so transactions it coordinates
+    /// can never complete. It therefore adopts the configuration as its
+    /// coordinator view and hands every stalled transaction to the new
+    /// leaders of the transaction's shards: any leader whose certification
+    /// log contains the transaction takes over as recovery coordinator
+    /// (line 70), and leaders that never saw it ignore the request.
+    fn handle_stale_view_refresh(
+        &mut self,
+        config: GlobalConfiguration,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if config.epoch <= self.epoch || config.all_processes().contains(&self.id) {
+            return;
+        }
+        self.epoch = config.epoch;
+        if self.new_epoch < config.epoch {
+            self.new_epoch = config.epoch;
+        }
+        self.config = Some(config.clone());
+        let stalled: Vec<(TxId, Vec<ShardId>)> = self
+            .coordinating
+            .iter()
+            .filter(|(_, c)| !c.decided)
+            .map(|(tx, c)| (*tx, c.shards.clone()))
+            .collect();
+        for (tx, shards) in stalled {
+            for shard in shards {
+                if let Some(leader) = config.leader_of(shard) {
+                    ctx.send(leader, RdmaMsg::Retry { tx });
+                }
+            }
+            // Stop retrying locally; the client's decision now comes from the
+            // member that takes the transaction over.
+            if let Some(coord) = self.coordinating.get_mut(&tx) {
+                coord.decided = true;
+            }
+            ctx.add_counter("retries_handed_off", 1);
+        }
     }
 
     // -- reconfiguration ------------------------------------------------------
@@ -611,6 +675,9 @@ impl RdmaReplica {
     ) {
         let naive = self.mode == ReconfigMode::NaivePerShard;
         let Some(recon) = self.recon.as_mut() else {
+            // Not reconfiguring: this is a stalled coordinator's view-refresh
+            // poll (see `handle_retry_tick`).
+            self.handle_stale_view_refresh(config, ctx);
             return;
         };
         if !matches!(recon.phase, ReconPhase::AwaitingGetLast) {
@@ -684,7 +751,7 @@ impl RdmaReplica {
         recon.responders.entry(shard).or_default().push(from);
         if initialized {
             recon.initialized_responder.entry(shard).or_insert(from);
-        } else if recon.initialized_responder.get(&shard).is_none() {
+        } else if !recon.initialized_responder.contains_key(&shard) {
             // Descend to the previous epoch of this shard (simplified: ask the
             // CS for the previous configuration and probe its members).
             let current = recon.probed_epoch[&shard];
@@ -812,10 +879,7 @@ impl RdmaReplica {
                 config: config.clone(),
             };
             recon.config_prepare_acks.clear();
-            ctx.send_to_many(
-                config.all_processes(),
-                RdmaMsg::ConfigPrepare { config },
-            );
+            ctx.send_to_many(config.all_processes(), RdmaMsg::ConfigPrepare { config });
         }
     }
 
@@ -892,7 +956,12 @@ impl RdmaReplica {
         // Line 147: open connections to every other member of the new epoch.
         for peer in config.all_processes() {
             if peer != self.id {
-                ctx.send(peer, RdmaMsg::Connect { epoch: config.epoch });
+                ctx.send(
+                    peer,
+                    RdmaMsg::Connect {
+                        epoch: config.epoch,
+                    },
+                );
             }
         }
         ctx.add_counter("became_leader", 1);
@@ -915,12 +984,20 @@ impl RdmaReplica {
         self.epoch = config.epoch;
         self.initialized = true;
         self.log = log;
+        if !self.log.has_index() {
+            self.log.set_certifier(self.index_factory.clone_box());
+        }
         self.config = Some(config.clone());
         // Line 153: connect to the processes outside the own shard (the leader
         // already initiates connections to shard members).
         for peer in config.all_processes() {
             if peer != self.id && !config.members_of(self.shard).contains(&peer) {
-                ctx.send(peer, RdmaMsg::Connect { epoch: config.epoch });
+                ctx.send(
+                    peer,
+                    RdmaMsg::Connect {
+                        epoch: config.epoch,
+                    },
+                );
             }
         }
     }
@@ -929,7 +1006,13 @@ impl RdmaReplica {
     /// the one we have been asked to join is also accepted while still
     /// reconfiguring: it belongs to the new configuration, which is exactly
     /// what the paper's `open` calls establish.
-    fn handle_connect(&mut self, from: ProcessId, epoch: Epoch, ctx: &mut Context<'_, RdmaMsg>, is_ack: bool) {
+    fn handle_connect(
+        &mut self,
+        from: ProcessId,
+        epoch: Epoch,
+        ctx: &mut Context<'_, RdmaMsg>,
+        is_ack: bool,
+    ) {
         if (self.status == RdmaStatus::Reconfiguring && epoch < self.new_epoch)
             || self.connections.contains(&from)
         {
@@ -950,12 +1033,11 @@ impl RdmaReplica {
         }
         // Members of the reconfigured shard learn through NEW_CONFIG/NEW_STATE;
         // everyone else just updates its view.
-        if Some(self.id) == config.leader_of(self.shard)
-            || config.members_of(self.shard).contains(&self.id)
+        if (Some(self.id) == config.leader_of(self.shard)
+            || config.members_of(self.shard).contains(&self.id))
+            && self.status == RdmaStatus::Reconfiguring
         {
-            if self.status == RdmaStatus::Reconfiguring {
-                return;
-            }
+            return;
         }
         self.config = Some(config.clone());
         self.epoch = config.epoch;
@@ -975,9 +1057,11 @@ impl RdmaReplica {
 impl Actor<RdmaMsg> for RdmaReplica {
     fn on_message(&mut self, from: ProcessId, msg: RdmaMsg, ctx: &mut Context<'_, RdmaMsg>) {
         match msg {
-            RdmaMsg::Certify { tx, payload, client } => {
-                self.handle_certify(tx, payload, client, ctx)
-            }
+            RdmaMsg::Certify {
+                tx,
+                payload,
+                client,
+            } => self.handle_certify(tx, payload, client, ctx),
             RdmaMsg::Prepare {
                 tx,
                 payload,
@@ -1009,9 +1093,7 @@ impl Actor<RdmaMsg> for RdmaReplica {
                 shard,
             } => self.handle_probe_ack(from, initialized, epoch, shard, ctx),
             RdmaMsg::ConfigPrepare { config } => self.handle_config_prepare(from, config, ctx),
-            RdmaMsg::ConfigPrepareAck { epoch } => {
-                self.handle_config_prepare_ack(from, epoch, ctx)
-            }
+            RdmaMsg::ConfigPrepareAck { epoch } => self.handle_config_prepare_ack(from, epoch, ctx),
             RdmaMsg::NewConfig { config } => self.handle_new_config(config, ctx),
             RdmaMsg::NewState {
                 config,

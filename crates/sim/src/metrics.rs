@@ -123,7 +123,10 @@ impl Metrics {
 
     /// Records a sample of the named statistic.
     pub fn record_sample(&mut self, name: &str, value: f64) {
-        self.samples.entry(name.to_owned()).or_default().record(value);
+        self.samples
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
         self.raw_samples
             .entry(name.to_owned())
             .or_default()

@@ -336,7 +336,15 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         let delivery = earliest.max(fifo_floor);
         self.fifo_last.insert((from, to), delivery);
         self.record_trace(TraceKind::Send, from, to, label_of(&msg), hops);
-        self.push_event(delivery, EventKind::Deliver { from, to, msg, hops });
+        self.push_event(
+            delivery,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                hops,
+            },
+        );
     }
 
     fn schedule_rdma_write(
@@ -442,7 +450,12 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
 
     fn execute(&mut self, kind: EventKind<M>) {
         match kind {
-            EventKind::Deliver { from, to, msg, hops } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                hops,
+            } => {
                 if self.crashed.contains(&to) || !self.actors.contains_key(&to) {
                     self.record_trace(TraceKind::DropCrashed, from, to, label_of(&msg), hops);
                     return;
@@ -534,9 +547,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 if let Some((from, msg)) = entry {
                     self.record_trace(TraceKind::RdmaDeliver, from, at, label_of(&msg), hops);
                     self.metrics.on_rdma_deliver(at);
-                    self.with_actor(at, hops, |actor, ctx| {
-                        actor.on_rdma_deliver(from, msg, ctx)
-                    });
+                    self.with_actor(at, hops, |actor, ctx| actor.on_rdma_deliver(from, msg, ctx));
                 }
             }
             EventKind::Crash { at } => self.execute_crash(at),
@@ -643,7 +654,11 @@ mod tests {
             vec![(starter, Msg::Ping)]
         );
         // Starter's timer fired but Starter ignores timers; Recorder saw none.
-        assert!(w.actor::<Recorder>(target).expect("recorder").timers.is_empty());
+        assert!(w
+            .actor::<Recorder>(target)
+            .expect("recorder")
+            .timers
+            .is_empty());
         assert!(w.now() >= SimTime::from_micros(100));
     }
 

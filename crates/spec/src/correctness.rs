@@ -104,8 +104,7 @@ where
                 remaining.remove(index);
                 continue;
             };
-            if predecessors_placed
-                && policy.certify(&placed_payloads, payload) == Decision::Commit
+            if predecessors_placed && policy.certify(&placed_payloads, payload) == Decision::Commit
             {
                 placed.push(tx);
                 placed_payloads.push(payload);

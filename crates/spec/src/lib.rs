@@ -17,7 +17,9 @@
 //! * [`tcsll`] — the TCS-LL constraint checker over extracted per-shard
 //!   certification data;
 //! * [`serializability`] — an end-to-end conflict-serializability check over
-//!   committed read/write payloads, used by the key-value store examples.
+//!   committed read/write payloads, used by the key-value store examples;
+//! * [`indexed`] — differential testing of the incremental certification
+//!   index against the paper's set-based certification functions.
 //!
 //! These are runtime checkers, not proofs: they are run over every simulated
 //! execution produced by the test suites, the property-based tests and the
@@ -28,9 +30,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod correctness;
+pub mod indexed;
 pub mod serializability;
 pub mod tcsll;
 
 pub use correctness::{check_history, SpecViolation};
+pub use indexed::{differential_vote_check, DifferentialReport};
 pub use serializability::check_conflict_serializable;
 pub use tcsll::{ShardCertificationData, TcsLlViolation};

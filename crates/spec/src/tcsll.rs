@@ -191,8 +191,18 @@ mod tests {
     fn consistent_data_passes() {
         let h = history_two_sequential();
         let mut data = ShardCertificationData::new();
-        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Commit);
-        data.record(TxId::new(2), Position::new(1), payload("y"), Decision::Commit);
+        data.record(
+            TxId::new(1),
+            Position::new(0),
+            payload("x"),
+            Decision::Commit,
+        );
+        data.record(
+            TxId::new(2),
+            Position::new(1),
+            payload("y"),
+            Decision::Commit,
+        );
         let mut map = BTreeMap::new();
         map.insert(ShardId::new(0), data);
         assert!(check_tcsll(&h, &map).is_empty());
@@ -202,8 +212,18 @@ mod tests {
     fn duplicate_positions_are_flagged() {
         let h = history_two_sequential();
         let mut data = ShardCertificationData::new();
-        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Commit);
-        data.record(TxId::new(2), Position::new(0), payload("y"), Decision::Commit);
+        data.record(
+            TxId::new(1),
+            Position::new(0),
+            payload("x"),
+            Decision::Commit,
+        );
+        data.record(
+            TxId::new(2),
+            Position::new(0),
+            payload("y"),
+            Decision::Commit,
+        );
         let mut map = BTreeMap::new();
         map.insert(ShardId::new(0), data);
         let violations = check_tcsll(&h, &map);
@@ -214,8 +234,18 @@ mod tests {
     fn commit_with_abort_vote_is_flagged() {
         let h = history_two_sequential();
         let mut data = ShardCertificationData::new();
-        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Abort);
-        data.record(TxId::new(2), Position::new(1), payload("y"), Decision::Commit);
+        data.record(
+            TxId::new(1),
+            Position::new(0),
+            payload("x"),
+            Decision::Abort,
+        );
+        data.record(
+            TxId::new(2),
+            Position::new(1),
+            payload("y"),
+            Decision::Commit,
+        );
         let mut map = BTreeMap::new();
         map.insert(ShardId::new(0), data);
         let violations = check_tcsll(&h, &map);
@@ -227,8 +257,18 @@ mod tests {
         let h = history_two_sequential();
         let mut data = ShardCertificationData::new();
         // t2 was certified after t1's decision yet placed *before* it.
-        data.record(TxId::new(1), Position::new(5), payload("x"), Decision::Commit);
-        data.record(TxId::new(2), Position::new(3), payload("y"), Decision::Commit);
+        data.record(
+            TxId::new(1),
+            Position::new(5),
+            payload("x"),
+            Decision::Commit,
+        );
+        data.record(
+            TxId::new(2),
+            Position::new(3),
+            payload("y"),
+            Decision::Commit,
+        );
         let mut map = BTreeMap::new();
         map.insert(ShardId::new(0), data);
         let violations = check_tcsll(&h, &map);
@@ -239,7 +279,12 @@ mod tests {
     #[test]
     fn accessors() {
         let mut data = ShardCertificationData::new();
-        data.record(TxId::new(1), Position::new(0), payload("x"), Decision::Commit);
+        data.record(
+            TxId::new(1),
+            Position::new(0),
+            payload("x"),
+            Decision::Commit,
+        );
         assert_eq!(data.position(TxId::new(1)), Some(Position::new(0)));
         assert_eq!(data.vote(TxId::new(1)), Some(Decision::Commit));
         assert!(data.payload(TxId::new(1)).is_some());

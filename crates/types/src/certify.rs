@@ -20,13 +20,44 @@
 //!   only detects write-write conflicts, used to exercise the parametricity of
 //!   the protocols;
 //! * [`properties`] — executable versions of the paper's required properties,
-//!   used by the property-based test suites.
+//!   used by the property-based test suites;
+//! * [`IndexedCertifier`] and its implementations — *incremental* certifiers
+//!   answering the per-transaction vote `f_s(L1, l) ⊓ g_s(L2, l)` in
+//!   O(|payload|) instead of rescanning the whole certification log.
+//!
+//! # Incremental certification
+//!
+//! The pure functions above are *set-based*: they take the full sets `L1`
+//! (committed payloads) and `L2` (prepared payloads) on every call, which
+//! makes the per-transaction vote O(|log| · |payload|). The paper's
+//! distributivity property (1) — `f_s(L ∪ L', l) = f_s(L, l) ⊓ f_s(L', l)` —
+//! is exactly what makes an incremental formulation sound: a distributive
+//! certification function is determined by its behaviour on singleton sets,
+//! so a summary that can answer "does `l` conflict with *some* element of
+//! `L`?" is equivalent to folding `⊓` over the whole set. [`IndexedCertifier`]
+//! exploits this with per-key summaries:
+//!
+//! * `f_s` (against committed transactions) is answered by a map from key to
+//!   the *newest committed writer version*; taking the maximum over writers is
+//!   sound precisely because the singleton checks only compare against each
+//!   writer's commit version, so only the newest writer can matter.
+//! * `g_s` (against prepared-to-commit transactions) is answered by a
+//!   read/write lock table with reference counts, mirroring the lock-based
+//!   reading of `g_s` in §2; a reference count reaches zero exactly when no
+//!   prepared transaction holds the corresponding lock, so membership in the
+//!   table coincides with the existential over `L2`.
+//!
+//! Commutation (5) and "`g_s` no weaker than `f_s`" (4) are properties of the
+//! per-payload checks themselves and are untouched by how the sets are
+//! summarised; the differential test-suite in `ratc-spec` checks all of this
+//! vote-for-vote against the set-based reference on randomized schedules.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::decision::Decision;
-use crate::ids::ShardId;
+use crate::ids::{Key, Position, ShardId, Version};
 use crate::payload::Payload;
 use crate::sharding::ShardMap;
 
@@ -48,12 +79,7 @@ pub trait ShardCertifier: fmt::Debug + Send + Sync {
 
     /// The leader's vote of line 12 of Figure 1:
     /// `f_s(L1, l) ⊓ g_s(L2, l)`.
-    fn vote(
-        &self,
-        committed: &[&Payload],
-        prepared: &[&Payload],
-        payload: &Payload,
-    ) -> Decision {
+    fn vote(&self, committed: &[&Payload], prepared: &[&Payload], payload: &Payload) -> Decision {
         self.certify_committed(committed, payload)
             .meet(self.certify_prepared(prepared, payload))
     }
@@ -78,6 +104,18 @@ pub trait CertificationPolicy: fmt::Debug + Send + Sync {
     /// Returns the shard-local certifier `(f_s, g_s)` for `shard`.
     fn shard_certifier(&self, shard: ShardId) -> Arc<dyn ShardCertifier>;
 
+    /// Returns an *incremental* certifier for `shard`, answering the leader's
+    /// vote in O(|payload|) (see the module docs).
+    ///
+    /// The default implementation wraps [`CertificationPolicy::shard_certifier`]
+    /// in a [`MirrorCertifier`], which is correct for any policy but keeps the
+    /// set-based O(|log|) cost; policies whose certification functions admit a
+    /// per-key summary (both built-in policies do) override this with a true
+    /// index.
+    fn indexed_certifier(&self, shard: ShardId) -> Box<dyn IndexedCertifier> {
+        Box::new(MirrorCertifier::new(self.shard_certifier(shard)))
+    }
+
     /// A short human-readable name for reports and benchmark output.
     fn name(&self) -> &'static str;
 }
@@ -91,6 +129,10 @@ impl CertificationPolicy for Arc<dyn CertificationPolicy> {
 
     fn shard_certifier(&self, shard: ShardId) -> Arc<dyn ShardCertifier> {
         (**self).shard_certifier(shard)
+    }
+
+    fn indexed_certifier(&self, shard: ShardId) -> Box<dyn IndexedCertifier> {
+        (**self).indexed_certifier(shard)
     }
 
     fn name(&self) -> &'static str {
@@ -165,6 +207,10 @@ impl CertificationPolicy for Serializability {
         Arc::new(SerializabilityShard)
     }
 
+    fn indexed_certifier(&self, _shard: ShardId) -> Box<dyn IndexedCertifier> {
+        Box::new(IndexedSerializability::default())
+    }
+
     fn name(&self) -> &'static str {
         "serializability"
     }
@@ -231,7 +277,9 @@ impl WriteConflict {
 
     fn no_write_write_conflict(committed: &[&Payload], payload: &Payload) -> Decision {
         for (key, _) in payload.writes() {
-            let read_version = payload.read_version(key).unwrap_or(crate::ids::Version::ZERO);
+            let read_version = payload
+                .read_version(key)
+                .unwrap_or(crate::ids::Version::ZERO);
             for other in committed {
                 if other.writes_key(key) && other.commit_version() > read_version {
                     return Decision::Abort;
@@ -249,6 +297,10 @@ impl CertificationPolicy for WriteConflict {
 
     fn shard_certifier(&self, _shard: ShardId) -> Arc<dyn ShardCertifier> {
         Arc::new(WriteConflictShard)
+    }
+
+    fn indexed_certifier(&self, _shard: ShardId) -> Box<dyn IndexedCertifier> {
+        Box::new(IndexedWriteConflict::default())
     }
 
     fn name(&self) -> &'static str {
@@ -278,6 +330,392 @@ impl ShardCertifier for WriteConflictShard {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental indexed certification
+// ---------------------------------------------------------------------------
+
+/// A stateful, incremental shard certifier: the `(f_s, g_s)` pair evaluated
+/// against *internally maintained* committed/prepared sets instead of slices
+/// passed at every call.
+///
+/// The owner (normally `ratc-core`'s `CertificationLog`) reports state
+/// transitions of the certification order:
+///
+/// * [`IndexedCertifier::prepare`] — a transaction was appended (or stored at
+///   a follower) in the *prepared* phase with a commit vote; it enters `L2`.
+/// * [`IndexedCertifier::release`] — the transaction at `pos` was decided (or
+///   its slot was otherwise retired); it leaves `L2`.
+/// * [`IndexedCertifier::apply_committed`] — the transaction at `pos` was
+///   decided *commit*; its payload enters `L1`.
+///
+/// All three transitions are **idempotent per position**: reporting the same
+/// transition twice for the same `pos` is a no-op. This matters because
+/// decisions can be re-delivered by recovery coordinators and the baseline's
+/// Paxos learners observe chosen commands through two code paths. Transitions
+/// may also arrive out of order across positions (followers persist votes in
+/// coordinator order, not log order); the certification functions are
+/// set-based, so only membership — never arrival order — affects votes.
+///
+/// Implementations must agree vote-for-vote with the set-based
+/// [`ShardCertifier`] of the same policy; `ratc-spec`'s differential suite
+/// enforces this on randomized schedules with out-of-order decides and holes.
+pub trait IndexedCertifier: fmt::Debug + Send + Sync {
+    /// Adds the payload of the transaction decided *commit* at `pos` to the
+    /// committed set `L1`.
+    fn apply_committed(&mut self, pos: Position, payload: &Payload);
+
+    /// Adds the payload of the commit-voted transaction prepared at `pos` to
+    /// the prepared set `L2`.
+    fn prepare(&mut self, pos: Position, payload: &Payload);
+
+    /// Removes the transaction prepared at `pos` from the prepared set `L2`
+    /// (called when its final decision arrives, whatever it is).
+    fn release(&mut self, pos: Position);
+
+    /// The shard-local function `f_s(L1, l)` against the maintained committed
+    /// set.
+    fn certify_committed(&self, payload: &Payload) -> Decision;
+
+    /// The shard-local function `g_s(L2, l)` against the maintained prepared
+    /// set.
+    fn certify_prepared(&self, payload: &Payload) -> Decision;
+
+    /// The leader's vote of line 12 of Figure 1: `f_s(L1, l) ⊓ g_s(L2, l)`,
+    /// in O(|payload|) for the built-in indexes.
+    fn vote(&self, payload: &Payload) -> Decision {
+        self.certify_committed(payload)
+            .meet(self.certify_prepared(payload))
+    }
+
+    /// Clears all maintained state (used when a log is rebuilt wholesale,
+    /// e.g. on `NEW_STATE` installation).
+    fn reset(&mut self);
+
+    /// Clones the certifier including its maintained state.
+    fn clone_box(&self) -> Box<dyn IndexedCertifier>;
+}
+
+impl Clone for Box<dyn IndexedCertifier> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Per-key summary of the committed set `L1`: the newest committed writer
+/// version of every key.
+///
+/// Sound for any certification check that compares a per-key version against
+/// committed writers of that key with `>` (both built-in policies do): by
+/// distributivity the set-based check is a conjunction of singleton checks,
+/// and among writers of one key only the maximal commit version can decide
+/// the comparison.
+#[derive(Debug, Clone, Default)]
+struct CommittedWriterIndex {
+    newest_writer: HashMap<Key, Version>,
+}
+
+impl CommittedWriterIndex {
+    /// Folds a committed payload into the per-key maxima. Idempotent by
+    /// construction: re-applying the same payload re-folds the same
+    /// `max(_, vc)`, so no per-position bookkeeping is needed.
+    fn apply(&mut self, _pos: Position, payload: &Payload) {
+        let vc = payload.commit_version();
+        for (key, _) in payload.writes() {
+            self.newest_writer
+                .entry(key.clone())
+                .and_modify(|v| *v = (*v).max(vc))
+                .or_insert(vc);
+        }
+    }
+
+    fn newest_writer(&self, key: &Key) -> Option<Version> {
+        self.newest_writer.get(key).copied()
+    }
+
+    fn clear(&mut self) {
+        self.newest_writer.clear();
+    }
+}
+
+/// Reference-counted read/write lock table summarising the prepared set `L2`.
+///
+/// A key is *read-locked* (resp. *write-locked*) while at least one prepared
+/// transaction reads (resp. writes) it; counts make release exact when
+/// several prepared transactions touch the same key. The per-position entry
+/// remembers which keys to unlock so `release(pos)` needs no access to the
+/// original payload, and doubles as the idempotency guard.
+#[derive(Debug, Clone, Default)]
+struct PreparedLockTable {
+    read_locks: HashMap<Key, u32>,
+    write_locks: HashMap<Key, u32>,
+    by_pos: HashMap<u64, (Vec<Key>, Vec<Key>)>,
+}
+
+impl PreparedLockTable {
+    /// Acquires locks for the payload prepared at `pos`. `track_reads`
+    /// disables the read-lock half for policies whose `g_s` ignores reads.
+    fn lock(&mut self, pos: Position, payload: &Payload, track_reads: bool) {
+        if self.by_pos.contains_key(&pos.as_u64()) {
+            return;
+        }
+        let mut read_keys = Vec::new();
+        let mut write_keys = Vec::new();
+        if track_reads {
+            for (key, _) in payload.reads() {
+                *self.read_locks.entry(key.clone()).or_insert(0) += 1;
+                read_keys.push(key.clone());
+            }
+        }
+        for (key, _) in payload.writes() {
+            *self.write_locks.entry(key.clone()).or_insert(0) += 1;
+            write_keys.push(key.clone());
+        }
+        self.by_pos.insert(pos.as_u64(), (read_keys, write_keys));
+    }
+
+    fn unlock(&mut self, pos: Position) {
+        let Some((read_keys, write_keys)) = self.by_pos.remove(&pos.as_u64()) else {
+            return;
+        };
+        for key in read_keys {
+            if let Some(count) = self.read_locks.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.read_locks.remove(&key);
+                }
+            }
+        }
+        for key in write_keys {
+            if let Some(count) = self.write_locks.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.write_locks.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn read_locked(&self, key: &Key) -> bool {
+        self.read_locks.contains_key(key)
+    }
+
+    fn write_locked(&self, key: &Key) -> bool {
+        self.write_locks.contains_key(key)
+    }
+
+    fn clear(&mut self) {
+        self.read_locks.clear();
+        self.write_locks.clear();
+        self.by_pos.clear();
+    }
+}
+
+/// Incremental certifier for [`Serializability`]: O(|payload|) per vote.
+///
+/// * `f_s`: abort iff some read version has been overwritten — i.e. the
+///   newest committed writer of a read key is above the version read.
+/// * `g_s`: abort iff a read key is write-locked or a written key is
+///   read-locked by a prepared-to-commit transaction.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedSerializability {
+    committed: CommittedWriterIndex,
+    locks: PreparedLockTable,
+}
+
+impl IndexedSerializability {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IndexedCertifier for IndexedSerializability {
+    fn apply_committed(&mut self, pos: Position, payload: &Payload) {
+        self.committed.apply(pos, payload);
+    }
+
+    fn prepare(&mut self, pos: Position, payload: &Payload) {
+        self.locks.lock(pos, payload, true);
+    }
+
+    fn release(&mut self, pos: Position) {
+        self.locks.unlock(pos);
+    }
+
+    fn certify_committed(&self, payload: &Payload) -> Decision {
+        for (key, read_version) in payload.reads() {
+            if let Some(newest) = self.committed.newest_writer(key) {
+                if newest > read_version {
+                    return Decision::Abort;
+                }
+            }
+        }
+        Decision::Commit
+    }
+
+    fn certify_prepared(&self, payload: &Payload) -> Decision {
+        for (key, _) in payload.reads() {
+            if self.locks.write_locked(key) {
+                return Decision::Abort;
+            }
+        }
+        for (key, _) in payload.writes() {
+            if self.locks.read_locked(key) {
+                return Decision::Abort;
+            }
+        }
+        Decision::Commit
+    }
+
+    fn reset(&mut self) {
+        self.committed.clear();
+        self.locks.clear();
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexedCertifier> {
+        Box::new(self.clone())
+    }
+}
+
+/// Incremental certifier for [`WriteConflict`]: O(|payload|) per vote.
+///
+/// * `f_s`: abort iff some *written* key has a newer committed writer than
+///   the version this transaction read for it (first committer wins).
+/// * `g_s`: abort iff a written key is write-locked by a prepared-to-commit
+///   transaction.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedWriteConflict {
+    committed: CommittedWriterIndex,
+    locks: PreparedLockTable,
+}
+
+impl IndexedWriteConflict {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl IndexedCertifier for IndexedWriteConflict {
+    fn apply_committed(&mut self, pos: Position, payload: &Payload) {
+        self.committed.apply(pos, payload);
+    }
+
+    fn prepare(&mut self, pos: Position, payload: &Payload) {
+        self.locks.lock(pos, payload, false);
+    }
+
+    fn release(&mut self, pos: Position) {
+        self.locks.unlock(pos);
+    }
+
+    fn certify_committed(&self, payload: &Payload) -> Decision {
+        for (key, _) in payload.writes() {
+            let read_version = payload.read_version(key).unwrap_or(Version::ZERO);
+            if let Some(newest) = self.committed.newest_writer(key) {
+                if newest > read_version {
+                    return Decision::Abort;
+                }
+            }
+        }
+        Decision::Commit
+    }
+
+    fn certify_prepared(&self, payload: &Payload) -> Decision {
+        for (key, _) in payload.writes() {
+            if self.locks.write_locked(key) {
+                return Decision::Abort;
+            }
+        }
+        Decision::Commit
+    }
+
+    fn reset(&mut self) {
+        self.committed.clear();
+        self.locks.clear();
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexedCertifier> {
+        Box::new(self.clone())
+    }
+}
+
+/// Set-based [`IndexedCertifier`] that mirrors the maintained sets as plain
+/// payload collections and delegates every check to the policy's pure
+/// [`ShardCertifier`].
+///
+/// This is the *reference implementation* of the incremental interface: it is
+/// trivially correct (it evaluates the paper's functions verbatim) but keeps
+/// the O(|log| · |payload|) cost. It serves as
+///
+/// * the default [`CertificationPolicy::indexed_certifier`] for third-party
+///   policies that do not provide a true index, and
+/// * the oracle the differential tests compare the real indexes against.
+#[derive(Debug)]
+pub struct MirrorCertifier {
+    certifier: Arc<dyn ShardCertifier>,
+    committed: std::collections::BTreeMap<u64, Payload>,
+    prepared: std::collections::BTreeMap<u64, Payload>,
+}
+
+impl MirrorCertifier {
+    /// Creates an empty mirror delegating to `certifier`.
+    pub fn new(certifier: Arc<dyn ShardCertifier>) -> Self {
+        MirrorCertifier {
+            certifier,
+            committed: std::collections::BTreeMap::new(),
+            prepared: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl Clone for MirrorCertifier {
+    fn clone(&self) -> Self {
+        MirrorCertifier {
+            certifier: Arc::clone(&self.certifier),
+            committed: self.committed.clone(),
+            prepared: self.prepared.clone(),
+        }
+    }
+}
+
+impl IndexedCertifier for MirrorCertifier {
+    fn apply_committed(&mut self, pos: Position, payload: &Payload) {
+        self.committed
+            .entry(pos.as_u64())
+            .or_insert_with(|| payload.clone());
+    }
+
+    fn prepare(&mut self, pos: Position, payload: &Payload) {
+        self.prepared
+            .entry(pos.as_u64())
+            .or_insert_with(|| payload.clone());
+    }
+
+    fn release(&mut self, pos: Position) {
+        self.prepared.remove(&pos.as_u64());
+    }
+
+    fn certify_committed(&self, payload: &Payload) -> Decision {
+        let refs: Vec<&Payload> = self.committed.values().collect();
+        self.certifier.certify_committed(&refs, payload)
+    }
+
+    fn certify_prepared(&self, payload: &Payload) -> Decision {
+        let refs: Vec<&Payload> = self.prepared.values().collect();
+        self.certifier.certify_prepared(&refs, payload)
+    }
+
+    fn reset(&mut self) {
+        self.committed.clear();
+        self.prepared.clear();
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexedCertifier> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Executable property checks
 // ---------------------------------------------------------------------------
 
@@ -299,7 +737,9 @@ pub mod properties {
         union.extend_from_slice(left);
         union.extend_from_slice(right);
         policy.certify(&union, payload)
-            == policy.certify(left, payload).meet(policy.certify(right, payload))
+            == policy
+                .certify(left, payload)
+                .meet(policy.certify(right, payload))
     }
 
     /// Distributivity (1) for the shard-local function `f_s`.
@@ -385,14 +825,13 @@ pub mod properties {
         !certifier
             .certify_prepared(&[pending], candidate)
             .is_commit()
-            || certifier.certify_committed(&[candidate], pending).is_commit()
+            || certifier
+                .certify_committed(&[candidate], pending)
+                .is_commit()
     }
 
     /// The empty payload `ε` always certifies to commit against any committed set.
-    pub fn empty_payload_commits(
-        certifier: &dyn ShardCertifier,
-        committed: &[&Payload],
-    ) -> bool {
+    pub fn empty_payload_commits(certifier: &dyn ShardCertifier, committed: &[&Payload]) -> bool {
         certifier
             .certify_committed(committed, &Payload::empty())
             .is_commit()
@@ -465,10 +904,16 @@ mod tests {
         let committed = payload(&[("x", 0)], &[("x", "1")], 5);
         // A pure reader of a stale version still commits under write-conflict.
         let stale_reader = payload(&[("x", 3)], &[], 0);
-        assert_eq!(policy.certify(&[&committed], &stale_reader), Decision::Commit);
+        assert_eq!(
+            policy.certify(&[&committed], &stale_reader),
+            Decision::Commit
+        );
         // A stale writer of the same key aborts.
         let stale_writer = payload(&[("x", 3)], &[("x", "2")], 4);
-        assert_eq!(policy.certify(&[&committed], &stale_writer), Decision::Abort);
+        assert_eq!(
+            policy.certify(&[&committed], &stale_writer),
+            Decision::Abort
+        );
     }
 
     #[test]
@@ -549,8 +994,18 @@ mod tests {
         let c2 = payload(&[("y", 0)], &[("y", "1")], 3);
         let conflicting = payload(&[("x", 0)], &[], 0);
         let clean = payload(&[("x", 2), ("y", 3)], &[], 0);
-        assert!(properties::matching(&policy, &sharding, &[&c1, &c2], &conflicting));
-        assert!(properties::matching(&policy, &sharding, &[&c1, &c2], &clean));
+        assert!(properties::matching(
+            &policy,
+            &sharding,
+            &[&c1, &c2],
+            &conflicting
+        ));
+        assert!(properties::matching(
+            &policy,
+            &sharding,
+            &[&c1, &c2],
+            &clean
+        ));
     }
 
     #[test]
@@ -558,8 +1013,156 @@ mod tests {
         let certifier = SerializabilityShard;
         let pending = payload(&[("x", 0)], &[("x", "1")], 2);
         let candidate = payload(&[("y", 0)], &[("y", "2")], 3);
-        assert!(properties::prepared_no_weaker(&certifier, &[&pending], &candidate));
+        assert!(properties::prepared_no_weaker(
+            &certifier,
+            &[&pending],
+            &candidate
+        ));
         assert!(properties::commutation(&certifier, &pending, &candidate));
+    }
+
+    /// Replays `(committed, prepared)` into an indexed certifier and checks
+    /// its vote against the set-based reference for `candidate`.
+    fn assert_indexed_matches_reference(
+        policy: &dyn CertificationPolicy,
+        committed: &[Payload],
+        prepared: &[Payload],
+        candidate: &Payload,
+    ) {
+        let certifier = policy.shard_certifier(ShardId::new(0));
+        let mut indexed = policy.indexed_certifier(ShardId::new(0));
+        let mut pos = 0u64;
+        for p in committed {
+            indexed.apply_committed(Position::new(pos), p);
+            pos += 1;
+        }
+        for p in prepared {
+            indexed.prepare(Position::new(pos), p);
+            pos += 1;
+        }
+        let committed_refs: Vec<&Payload> = committed.iter().collect();
+        let prepared_refs: Vec<&Payload> = prepared.iter().collect();
+        assert_eq!(
+            indexed.vote(candidate),
+            certifier.vote(&committed_refs, &prepared_refs, candidate),
+            "indexed vote diverged from reference for {candidate}"
+        );
+    }
+
+    #[test]
+    fn indexed_serializability_matches_reference_on_examples() {
+        let committed = vec![
+            payload(&[("x", 0)], &[("x", "1")], 5),
+            payload(&[("y", 0)], &[("y", "1")], 3),
+        ];
+        let prepared = vec![payload(&[("z", 0)], &[("z", "2")], 7)];
+        for candidate in [
+            payload(&[("x", 3)], &[], 0),
+            payload(&[("x", 5)], &[], 0),
+            payload(&[("z", 0)], &[], 0),
+            payload(&[("w", 0)], &[("w", "9")], 9),
+            payload(&[("z", 0)], &[("z", "9")], 9),
+            Payload::empty(),
+        ] {
+            assert_indexed_matches_reference(
+                &Serializability::new(),
+                &committed,
+                &prepared,
+                &candidate,
+            );
+            assert_indexed_matches_reference(
+                &WriteConflict::new(),
+                &committed,
+                &prepared,
+                &candidate,
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_release_drops_locks() {
+        let mut indexed = Serializability::new().indexed_certifier(ShardId::new(0));
+        let pending = payload(&[("x", 0)], &[("x", "1")], 2);
+        indexed.prepare(Position::new(0), &pending);
+        let reader = payload(&[("x", 0)], &[], 0);
+        assert_eq!(indexed.vote(&reader), Decision::Abort);
+        indexed.release(Position::new(0));
+        assert_eq!(indexed.vote(&reader), Decision::Commit);
+    }
+
+    #[test]
+    fn indexed_refcounts_survive_partial_release() {
+        let mut indexed = Serializability::new().indexed_certifier(ShardId::new(0));
+        let a = payload(&[("x", 0)], &[("x", "1")], 2);
+        let b = payload(&[("x", 0)], &[("x", "2")], 3);
+        indexed.prepare(Position::new(0), &a);
+        indexed.prepare(Position::new(1), &b);
+        indexed.release(Position::new(0));
+        // b still write-locks x.
+        let reader = payload(&[("x", 0)], &[], 0);
+        assert_eq!(indexed.vote(&reader), Decision::Abort);
+        indexed.release(Position::new(1));
+        assert_eq!(indexed.vote(&reader), Decision::Commit);
+    }
+
+    #[test]
+    fn indexed_transitions_are_idempotent() {
+        let mut indexed = Serializability::new().indexed_certifier(ShardId::new(0));
+        let pending = payload(&[("x", 0)], &[("x", "1")], 2);
+        indexed.prepare(Position::new(0), &pending);
+        indexed.prepare(Position::new(0), &pending);
+        indexed.release(Position::new(0));
+        let reader = payload(&[("x", 0)], &[], 0);
+        // A single release suffices even after a duplicated prepare.
+        assert_eq!(indexed.vote(&reader), Decision::Commit);
+        let committed = payload(&[("y", 0)], &[("y", "1")], 4);
+        indexed.apply_committed(Position::new(1), &committed);
+        indexed.apply_committed(Position::new(1), &committed);
+        let stale = payload(&[("y", 1)], &[], 0);
+        assert_eq!(indexed.vote(&stale), Decision::Abort);
+    }
+
+    #[test]
+    fn indexed_reset_clears_all_state() {
+        let mut indexed = WriteConflict::new().indexed_certifier(ShardId::new(0));
+        indexed.apply_committed(Position::new(0), &payload(&[("x", 0)], &[("x", "1")], 5));
+        indexed.prepare(Position::new(1), &payload(&[("y", 0)], &[("y", "1")], 6));
+        indexed.reset();
+        let candidate = payload(&[("x", 0), ("y", 0)], &[("x", "2"), ("y", "2")], 9);
+        assert_eq!(indexed.vote(&candidate), Decision::Commit);
+    }
+
+    #[test]
+    fn mirror_certifier_is_reference_equivalent() {
+        #[derive(Debug)]
+        struct Custom;
+        impl CertificationPolicy for Custom {
+            fn certify(&self, committed: &[&Payload], payload: &Payload) -> Decision {
+                Serializability::new().certify(committed, payload)
+            }
+            fn shard_certifier(&self, _shard: ShardId) -> Arc<dyn ShardCertifier> {
+                Arc::new(SerializabilityShard)
+            }
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+        }
+        // A policy without an override gets the mirror, which must agree with
+        // the pure functions.
+        let committed = vec![payload(&[("x", 0)], &[("x", "1")], 5)];
+        let prepared = vec![payload(&[("y", 0)], &[("y", "1")], 6)];
+        for candidate in [payload(&[("x", 2)], &[], 0), payload(&[("y", 0)], &[], 0)] {
+            assert_indexed_matches_reference(&Custom, &committed, &prepared, &candidate);
+        }
+    }
+
+    #[test]
+    fn indexed_clone_box_preserves_state() {
+        let mut indexed = Serializability::new().indexed_certifier(ShardId::new(0));
+        indexed.prepare(Position::new(0), &payload(&[("x", 0)], &[("x", "1")], 2));
+        let cloned = indexed.clone_box();
+        let reader = payload(&[("x", 0)], &[], 0);
+        assert_eq!(cloned.vote(&reader), Decision::Abort);
     }
 
     #[test]

@@ -25,9 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Decision::Commit & Decision::Abort, Decision::Abort);
 /// assert_eq!(Decision::meet_all([Decision::Commit, Decision::Commit]), Decision::Commit);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Decision {
     /// The transaction must abort.
     Abort,
@@ -54,9 +52,7 @@ impl Decision {
     where
         I: IntoIterator<Item = Decision>,
     {
-        decisions
-            .into_iter()
-            .fold(Decision::Commit, Decision::meet)
+        decisions.into_iter().fold(Decision::Commit, Decision::meet)
     }
 
     /// Returns `true` if this decision is `Commit`.

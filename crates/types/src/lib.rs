@@ -49,7 +49,8 @@ pub mod sharding;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::certify::{
-        CertificationPolicy, Serializability, ShardCertifier, WriteConflict,
+        CertificationPolicy, IndexedCertifier, IndexedSerializability, IndexedWriteConflict,
+        MirrorCertifier, Serializability, ShardCertifier, WriteConflict,
     };
     pub use crate::decision::{Decision, Vote};
     pub use crate::history::{HistoryAction, TcsHistory};
@@ -58,7 +59,10 @@ pub mod prelude {
     pub use crate::sharding::{ExplicitSharding, HashSharding, ShardMap};
 }
 
-pub use certify::{CertificationPolicy, Serializability, ShardCertifier, WriteConflict};
+pub use certify::{
+    CertificationPolicy, IndexedCertifier, IndexedSerializability, IndexedWriteConflict,
+    MirrorCertifier, Serializability, ShardCertifier, WriteConflict,
+};
 pub use decision::{Decision, Vote};
 pub use history::{HistoryAction, TcsHistory};
 pub use ids::{Epoch, Key, Position, ProcessId, ShardId, TxId, Value, Version};

@@ -7,8 +7,8 @@
 //! ([`HashSharding`]) and an explicit table ([`ExplicitSharding`]) used by
 //! tests that need full control over object placement.
 
-use std::collections::BTreeMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};

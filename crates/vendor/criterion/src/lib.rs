@@ -1,0 +1,276 @@
+//! Minimal in-tree benchmark harness with a criterion-compatible API.
+//!
+//! The workspace builds offline, so the real `criterion` crate is
+//! unavailable. This stub implements the subset of the API the RATC benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a straightforward wall-clock measurement loop:
+//!
+//! 1. warm up for ~50 ms,
+//! 2. calibrate an iteration batch that takes ≥ ~5 ms,
+//! 3. collect `sample_size` batches and report min/mean/max ns per iteration.
+//!
+//! Output is one line per benchmark, e.g.
+//! `e5_certification_function/1000  time: [712.3 ns 724.9 ns 741.0 ns]`,
+//! intentionally close to criterion's own format so humans and scripts can
+//! eyeball speedups the same way. Statistical analysis (outlier rejection,
+//! regression against saved baselines) is out of scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point holding global benchmark settings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 20, |b| f(b));
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id built from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of related benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Number of iterations the routine should run when timing.
+    iters: u64,
+    /// Wall-clock time spent inside [`Bencher::iter`] in timing mode.
+    elapsed: Duration,
+}
+
+enum BencherMode {
+    /// Run the routine `iters` times and record the elapsed time.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in a tight loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn time_batch<F>(f: &mut F, iters: u64) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode: BencherMode::Measure,
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration: find an iteration count whose batch takes at
+    // least ~5 ms (or give up doubling once a single batch is slow enough).
+    let mut iters: u64 = 1;
+    let warmup_deadline = Instant::now() + Duration::from_millis(50);
+    loop {
+        let elapsed = time_batch(&mut f, iters);
+        if elapsed >= Duration::from_millis(5) || Instant::now() >= warmup_deadline {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let elapsed = time_batch(&mut f, iters);
+        samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let max = samples_ns.last().copied().unwrap_or(0.0);
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len().max(1) as f64;
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("vote", 10).id, "vote/10");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal in-tree replacement for the parts of `rand` 0.8 that RATC uses.
+//!
+//! The workspace builds offline, so the real `rand` crate is unavailable.
+//! This stub reproduces exactly the API surface the simulator and workload
+//! generators call — [`Rng::gen_range`] over integer and float ranges,
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`] and
+//! [`distributions::Uniform`]/[`distributions::Distribution`] — with the same
+//! determinism guarantee: a generator seeded with the same value produces the
+//! same sequence on every run and platform. The statistical quality is that of
+//! the underlying generator (see `rand_chacha`'s stub), which is more than
+//! adequate for workload generation and latency sampling; cryptographic use is
+//! out of scope.
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// sequences.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (which must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a float uniform in `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform distributions over ranges, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over the half-open interval `[low, high)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: uniform::SampleUniform> Uniform<X> {
+        /// Creates a uniform distribution over `[low, high)`.
+        ///
+        /// # Panics
+        /// Panics if the interval is empty.
+        pub fn new(low: X, high: X) -> Self {
+            assert!(low < high, "Uniform::new called with an empty range");
+            Uniform { low, high }
+        }
+    }
+
+    impl<X: uniform::SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_half_open(self.low, self.high, rng)
+        }
+    }
+
+    /// Range sampling machinery, mirroring `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::{unit_f64 as unit, RngCore};
+
+        /// Types that can be sampled uniformly between two bounds.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Uniform sample from `[low, high)`.
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            /// Uniform sample from `[low, high]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low < high, "gen_range called with an empty range");
+                        let span = (high as u128).wrapping_sub(low as u128);
+                        low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low <= high, "gen_range called with an empty range");
+                        let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1);
+                        if span == 0 {
+                            // The full u128-representable span: every value is fair game.
+                            return rng.next_u64() as $t;
+                        }
+                        low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                low + (high - low) * unit(rng.next_u64())
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                Self::sample_half_open(low, high, rng)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                low + (high - low) * unit(rng.next_u64()) as f32
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                Self::sample_half_open(low, high, rng)
+            }
+        }
+
+        /// Ranges acceptable to [`super::super::super::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Draws one sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::{Rng, RngCore};
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        let dist = Uniform::new(0.0, 1.0);
+        let mut rng = Counter(9);
+        for _ in 0..1000 {
+            let u: f64 = dist.sample(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Marker-trait in-tree replacement for `serde`.
+//!
+//! The workspace builds in a fully offline environment, so the real `serde`
+//! crate is unavailable. The RATC stack runs on a deterministic in-process
+//! simulator that passes messages by value and never serialises them;
+//! `Serialize`/`Deserialize` bounds therefore only need to *exist*, not do
+//! anything. This stub keeps the exact import surface the code already uses
+//! (`use serde::{Deserialize, Serialize};` plus the derive macros) while
+//! implementing the traits as blanket markers.
+//!
+//! Swapping the `crates/vendor` path dependencies for the crates.io versions
+//! restores real serialisation without touching any other code.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker replacement for `serde::Serialize`, implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker replacement for `serde::Deserialize`, implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker replacement for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of the `serde::de` module path for `DeserializeOwned` imports.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

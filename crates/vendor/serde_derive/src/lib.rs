@@ -1,0 +1,26 @@
+//! No-op in-tree replacement for `serde_derive`.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! `serde_derive` crate is not available. The RATC crates only use
+//! `#[derive(Serialize, Deserialize)]` as a marker (the deterministic
+//! simulator passes messages by value and never serialises them), so the
+//! derive macros here expand to nothing: the companion `serde` stub crate
+//! provides blanket implementations of the `Serialize`/`Deserialize` marker
+//! traits for every type.
+//!
+//! If real wire serialisation is ever needed, replace the `crates/vendor`
+//! stubs with the crates.io dependencies and everything keeps compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

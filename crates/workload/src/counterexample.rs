@@ -255,6 +255,9 @@ mod tests {
             "the stale coordinator must not receive an acknowledgement"
         );
         assert_eq!(outcome.client_violations, 0);
-        assert!(outcome.rdma_writes_rejected > 0, "the late write must be rejected");
+        assert!(
+            outcome.rdma_writes_rejected > 0,
+            "the late write must be rejected"
+        );
     }
 }

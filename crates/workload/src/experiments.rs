@@ -82,7 +82,12 @@ impl fmt::Display for LatencyResult {
 
 /// E1: measures client-visible decision latency in message delays for the
 /// given protocol on a disjoint (conflict-free) workload.
-pub fn latency_experiment(protocol: Protocol, shards: u32, tx_count: usize, seed: u64) -> LatencyResult {
+pub fn latency_experiment(
+    protocol: Protocol,
+    shards: u32,
+    tx_count: usize,
+    seed: u64,
+) -> LatencyResult {
     let payload = |i: usize| {
         Payload::builder()
             .read(Key::new(format!("k{i}")), Version::ZERO)
@@ -93,9 +98,8 @@ pub fn latency_experiment(protocol: Protocol, shards: u32, tx_count: usize, seed
     };
     match protocol {
         Protocol::RatcMp => {
-            let mut cluster = Cluster::new(
-                ClusterConfig::default().with_shards(shards).with_seed(seed),
-            );
+            let mut cluster =
+                Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
             for i in 0..tx_count {
                 cluster.submit(TxId::new(i as u64 + 1), payload(i));
             }
@@ -244,9 +248,8 @@ pub fn leader_load_experiment(
     let txs = spec.generate(&mut rng);
     match protocol {
         Protocol::RatcMp | Protocol::RatcRdma => {
-            let mut cluster = Cluster::new(
-                ClusterConfig::default().with_shards(shards).with_seed(seed),
-            );
+            let mut cluster =
+                Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
             for (tx, payload) in txs {
                 cluster.submit(tx, payload);
             }
@@ -408,7 +411,12 @@ impl fmt::Display for ScalingResult {
 
 /// E4: throughput and latency of the RATC message-passing protocol as the
 /// number of shards touched per transaction grows.
-pub fn scaling_experiment(shards: u32, keys_per_tx: usize, tx_count: usize, seed: u64) -> ScalingResult {
+pub fn scaling_experiment(
+    shards: u32,
+    keys_per_tx: usize,
+    tx_count: usize,
+    seed: u64,
+) -> ScalingResult {
     let spec = WorkloadSpec {
         key_count: 50_000,
         keys_per_tx,
@@ -426,8 +434,8 @@ pub fn scaling_experiment(shards: u32, keys_per_tx: usize, tx_count: usize, seed
     let committed = cluster.history().committed().count();
     let sim_millis = cluster.world.now().as_millis_f64().max(0.001);
     let latencies = cluster.latencies();
-    let mean_latency_micros = latencies.values().map(|l| l.micros as f64).sum::<f64>()
-        / latencies.len().max(1) as f64;
+    let mean_latency_micros =
+        latencies.values().map(|l| l.micros as f64).sum::<f64>() / latencies.len().max(1) as f64;
     ScalingResult {
         shards,
         keys_per_tx,
@@ -499,8 +507,7 @@ pub fn abort_rate_experiment(
             (history.committed().count(), history.aborted().count())
         }
         _ => {
-            let mut cluster =
-                Cluster::new(ClusterConfig::default().with_shards(4).with_seed(seed));
+            let mut cluster = Cluster::new(ClusterConfig::default().with_shards(4).with_seed(seed));
             for (tx, payload) in txs {
                 cluster.submit(tx, payload);
             }
@@ -620,8 +627,11 @@ pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> Reconfigurat
             }
         }
         Protocol::Baseline => {
-            let mut cluster =
-                BaselineCluster::new(BaselineClusterConfig::default().with_shards(1).with_seed(seed));
+            let mut cluster = BaselineCluster::new(
+                BaselineClusterConfig::default()
+                    .with_shards(1)
+                    .with_seed(seed),
+            );
             let shard = ShardId::new(0);
             for i in 0..5u64 {
                 cluster.submit(TxId::new(i + 1), payload(i));
@@ -636,10 +646,7 @@ pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> Reconfigurat
             cluster.run_to_quiescence();
             let hops = cluster.decision_hops();
             let history = cluster.history();
-            let committed_after = history
-                .committed()
-                .filter(|tx| tx.as_u64() > 5)
-                .count();
+            let committed_after = history.committed().filter(|tx| tx.as_u64() > 5).count();
             // The failure is masked: the first post-crash transaction commits
             // with normal latency. Convert its hop count to an approximate
             // latency using the mean network delay (50us).

@@ -203,7 +203,11 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(3);
         for (_, payload) in spec.generate(&mut rng) {
             let key = payload.reads().next().expect("one key").0.clone();
-            let index: usize = key.as_str().trim_start_matches("key-").parse().expect("index");
+            let index: usize = key
+                .as_str()
+                .trim_start_matches("key-")
+                .parse()
+                .expect("index");
             assert!(index < 3);
         }
     }

@@ -43,7 +43,10 @@ fn main() {
         }
         let tx = TxId::new(i + 1);
         let mut t = store.begin(tx);
-        let from_balance = t.read(account_key(from)).map(|v| balance_of(&v)).unwrap_or(0);
+        let from_balance = t
+            .read(account_key(from))
+            .map(|v| balance_of(&v))
+            .unwrap_or(0);
         let to_balance = t.read(account_key(to)).map(|v| balance_of(&v)).unwrap_or(0);
         let amount = 1 + i % 5;
         if from_balance < amount {
@@ -79,7 +82,10 @@ fn main() {
                 .unwrap_or(0)
         })
         .sum();
-    println!("total balance: {total} (expected {})", ACCOUNTS * INITIAL_BALANCE);
+    println!(
+        "total balance: {total} (expected {})",
+        ACCOUNTS * INITIAL_BALANCE
+    );
     assert_eq!(total, ACCOUNTS * INITIAL_BALANCE);
 
     // The committed history is conflict-serializable.

@@ -32,7 +32,10 @@ fn main() {
         cluster.submit(TxId::new(i + 1), payload(i));
     }
     cluster.run_to_quiescence();
-    println!("committed before any failure: {}", cluster.history().committed().count());
+    println!(
+        "committed before any failure: {}",
+        cluster.history().committed().count()
+    );
 
     // 1. Crash the follower; the leader initiates reconfiguration and a spare
     //    replica is brought in.

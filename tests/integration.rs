@@ -21,7 +21,10 @@ fn transfer_payload(store: &KvStore, tx: TxId, from: &str, to: &str, amount: u64
     };
     let from_balance = read(t.read(Key::new(from)));
     let to_balance = read(t.read(Key::new(to)));
-    t.write(Key::new(from), Value::from(from_balance.saturating_sub(amount)));
+    t.write(
+        Key::new(from),
+        Value::from(from_balance.saturating_sub(amount)),
+    );
     t.write(Key::new(to), Value::from(to_balance + amount));
     t.into_payload().expect("well-formed payload")
 }
@@ -107,7 +110,8 @@ fn all_three_protocols_agree_on_a_contended_workload() {
     assert_eq!(rdma_history.decide_count(), 30);
 
     // Baseline 2PC over Paxos.
-    let mut baseline = BaselineCluster::new(BaselineClusterConfig::default().with_shards(2).with_seed(5));
+    let mut baseline =
+        BaselineCluster::new(BaselineClusterConfig::default().with_shards(2).with_seed(5));
     for (tx, p) in &payloads {
         baseline.submit(*tx, p.clone());
     }
@@ -124,7 +128,10 @@ fn all_three_protocols_agree_on_a_contended_workload() {
                 .committed()
                 .filter(|tx| (tx.as_u64() - 1) % 5 == hot)
                 .count();
-            assert!(committed_on_key <= 1, "key hot-{hot}: {committed_on_key} commits");
+            assert!(
+                committed_on_key <= 1,
+                "key hot-{hot}: {committed_on_key} commits"
+            );
         }
     }
 }
@@ -215,6 +222,10 @@ fn reconfiguration_mid_stream_preserves_the_specification() {
     assert!(cluster.client_violations().is_empty());
     // Transactions submitted after recovery must all be decided.
     for i in 15..25u64 {
-        assert!(history.decision(TxId::new(i + 1)).is_some(), "t{} undecided", i + 1);
+        assert!(
+            history.decision(TxId::new(i + 1)).is_some(),
+            "t{} undecided",
+            i + 1
+        );
     }
 }
