@@ -227,6 +227,13 @@ impl BaselineCluster {
             .unwrap_or(&[])
     }
 
+    /// Downcast access to a shard replica's state.
+    pub fn shard_replica(&self, pid: ProcessId) -> &BaselineShardReplica {
+        self.world
+            .actor::<BaselineShardReplica>(pid)
+            .expect("shard replica")
+    }
+
     /// Total number of replica processes (excluding the client).
     pub fn replica_count(&self) -> usize {
         self.shard_groups.values().map(Vec::len).sum::<usize>() + self.tm_group.len()
@@ -307,6 +314,39 @@ mod tests {
             .commit_version(Version::new(1))
             .build()
             .expect("well-formed")
+    }
+
+    #[test]
+    fn decided_payloads_are_pruned_from_shard_replicas() {
+        let mut cluster = BaselineCluster::new(BaselineClusterConfig::default().with_seed(17));
+        let total = 60u64;
+        for i in 0..total {
+            cluster.submit(TxId::new(i + 1), rw(&format!("k{i}")));
+            cluster.run_to_quiescence();
+        }
+        assert_eq!(cluster.history().decide_count(), total as usize);
+        for shard in [ShardId::new(0), ShardId::new(1)] {
+            let leader = cluster.shard_leader(shard);
+            let replica = cluster.shard_replica(leader);
+            // Every decided transaction's payload was dropped: only the
+            // compact decision map grows with the history.
+            assert_eq!(
+                replica.retained_payloads(),
+                0,
+                "shard {shard} leader retains payloads after all decisions"
+            );
+            assert!(replica.decided_count() > 0);
+        }
+        // Conflict detection still works off the committed residue: a stale
+        // re-writer of a pruned key must be aborted.
+        cluster.submit(TxId::new(total + 1), rw("k0"));
+        cluster.run_to_quiescence();
+        assert_eq!(
+            cluster.history().decision(TxId::new(total + 1)),
+            Some(Decision::Abort),
+            "re-writing a pruned key at its stale version must abort"
+        );
+        assert!(cluster.client_violations().is_empty());
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Baseline shard replicas: certification + a Multi-Paxos log per shard.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
 use ratc_sim::{Actor, Context};
+#[cfg(debug_assertions)]
+use ratc_types::MirrorCertifier;
 use ratc_types::{
-    CertificationPolicy, Decision, IndexedCertifier, Payload, Position, ProcessId, ShardCertifier,
-    ShardId, TxId,
+    CertificationPolicy, Decision, IndexedCertifier, Payload, Position, ProcessId, ShardId, TxId,
 };
 
 use crate::messages::{BaselineMsg, ShardCommand};
@@ -18,29 +18,40 @@ use crate::messages::{BaselineMsg, ShardCommand};
 /// leader additionally certifies transactions and proposes the resulting votes
 /// to the group. A vote is reported to the transaction manager only once it is
 /// chosen, i.e. durable at a majority of the `2f + 1` replicas.
+///
+/// # Bounded memory
+///
+/// Mirroring the checkpointed truncation of the RATC stacks, a decided
+/// transaction's *payload* is dropped as soon as its decision arrives: the
+/// incremental certifier already folded a committed payload into its per-key
+/// summary, so only the compact `decisions` map (the 2PC outcome log recovery
+/// still needs) is retained. `prepared`/`in_flight` therefore hold payloads
+/// only for the undecided window, not the whole history.
 pub struct BaselineShardReplica {
     id: ProcessId,
     shard: ShardId,
     is_leader: bool,
     tm: ProcessId,
     group: Vec<ProcessId>,
-    /// Set-based certifier used by the debug-build differential cross-check
-    /// of every indexed vote (`reference_vote`); release builds vote through
-    /// the index alone.
-    #[cfg_attr(not(debug_assertions), allow(dead_code))]
-    certifier: Arc<dyn ShardCertifier>,
     /// Incremental certifier answering votes in O(|payload|). Transitions are
     /// keyed by transaction id (transaction ids are globally unique, so they
-    /// serve as positions); the set-based maps below remain the reference
-    /// state for recovery and debug cross-checking.
+    /// serve as positions).
     index: Box<dyn IndexedCertifier>,
+    /// Debug builds keep a full set-based [`MirrorCertifier`] in lockstep and
+    /// cross-check every vote against it; release builds drop it so decided
+    /// payload memory is actually freed.
+    #[cfg(debug_assertions)]
+    mirror: MirrorCertifier,
     acceptor: Acceptor<ShardCommand>,
     proposer: Option<Proposer<ShardCommand>>,
     log: ReplicatedLog<ShardCommand>,
-    /// Chosen (prepared) votes: tx -> (payload, vote, decided?).
-    prepared: BTreeMap<TxId, (Payload, Decision, Option<Decision>)>,
+    /// Chosen votes of *undecided* transactions: tx -> (payload, vote).
+    prepared: BTreeMap<TxId, (Payload, Decision)>,
     /// Transactions proposed but whose vote is not chosen yet.
     in_flight: BTreeMap<TxId, (Payload, Decision)>,
+    /// Final decisions (payload-free): the only per-transaction state kept
+    /// for the whole history.
+    decisions: BTreeMap<TxId, Decision>,
     phase1_started: bool,
 }
 
@@ -57,13 +68,15 @@ impl BaselineShardReplica {
             is_leader: false,
             tm: ProcessId::new(u64::MAX),
             group: Vec::new(),
-            certifier: policy.shard_certifier(shard),
             index: policy.indexed_certifier(shard),
+            #[cfg(debug_assertions)]
+            mirror: MirrorCertifier::new(policy.shard_certifier(shard)),
             acceptor: Acceptor::new(ProcessId::new(u64::MAX)),
             proposer: None,
             log: ReplicatedLog::new(),
             prepared: BTreeMap::new(),
             in_flight: BTreeMap::new(),
+            decisions: BTreeMap::new(),
             phase1_started: false,
         }
     }
@@ -96,6 +109,18 @@ impl BaselineShardReplica {
         self.log.len()
     }
 
+    /// Number of payload-bearing entries currently retained (undecided
+    /// window). Bounded regardless of history length; decided transactions
+    /// keep only their entry in the compact decision map.
+    pub fn retained_payloads(&self) -> usize {
+        self.prepared.len() + self.in_flight.len()
+    }
+
+    /// Number of decided transactions recorded (payload-free).
+    pub fn decided_count(&self) -> usize {
+        self.decisions.len()
+    }
+
     fn route(
         &self,
         ctx: &mut Context<'_, BaselineMsg>,
@@ -119,29 +144,25 @@ impl BaselineShardReplica {
         Position::new(tx.as_u64())
     }
 
-    /// Set-based reference vote over the `prepared`/`in_flight` maps — the
-    /// paper's formulation, kept as a debug cross-check of the index.
-    #[cfg(debug_assertions)]
-    fn reference_vote(&self, payload: &Payload) -> Decision {
-        let committed: Vec<&Payload> = self
-            .prepared
-            .values()
-            .filter(|(_, _, dec)| *dec == Some(Decision::Commit))
-            .map(|(p, _, _)| p)
-            .collect();
-        let pending: Vec<&Payload> = self
-            .prepared
-            .values()
-            .filter(|(_, vote, dec)| dec.is_none() && *vote == Decision::Commit)
-            .map(|(p, _, _)| p)
-            .chain(
-                self.in_flight
-                    .values()
-                    .filter(|(_, vote)| *vote == Decision::Commit)
-                    .map(|(p, _)| p),
-            )
-            .collect();
-        self.certifier.vote(&committed, &pending, payload)
+    // -- certifier transitions, applied to the index and (in debug builds)
+    //    the set-based mirror in lockstep -----------------------------------
+
+    fn certifier_prepare(&mut self, tx: TxId, payload: &Payload) {
+        self.index.prepare(Self::index_pos(tx), payload);
+        #[cfg(debug_assertions)]
+        self.mirror.prepare(Self::index_pos(tx), payload);
+    }
+
+    fn certifier_release(&mut self, tx: TxId) {
+        self.index.release(Self::index_pos(tx));
+        #[cfg(debug_assertions)]
+        self.mirror.release(Self::index_pos(tx));
+    }
+
+    fn certifier_commit(&mut self, tx: TxId, payload: &Payload) {
+        self.index.apply_committed(Self::index_pos(tx), payload);
+        #[cfg(debug_assertions)]
+        self.mirror.apply_committed(Self::index_pos(tx), payload);
     }
 
     fn certify_and_propose(
@@ -153,18 +174,21 @@ impl BaselineShardReplica {
         if !self.is_leader {
             return;
         }
-        if self.prepared.contains_key(&tx) || self.in_flight.contains_key(&tx) {
+        if self.prepared.contains_key(&tx)
+            || self.in_flight.contains_key(&tx)
+            || self.decisions.contains_key(&tx)
+        {
             return;
         }
         let vote = self.index.vote(&payload);
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             vote,
-            self.reference_vote(&payload),
-            "indexed vote diverged from the set-based reference for {tx}"
+            self.mirror.vote(&payload),
+            "indexed vote diverged from the set-based mirror for {tx}"
         );
         if vote == Decision::Commit {
-            self.index.prepare(Self::index_pos(tx), &payload);
+            self.certifier_prepare(tx, &payload);
         }
         self.in_flight.insert(tx, (payload.clone(), vote));
         if !self.phase1_started {
@@ -181,26 +205,27 @@ impl BaselineShardReplica {
         self.route(ctx, out);
     }
 
-    /// Acquires the prepared-set lock for a chosen commit-voted command —
-    /// idempotently (the leader already holds it from `certify_and_propose`;
-    /// learners acquire it here so a future leader handover starts from a
-    /// warm index) — unless the transaction is already decided: `Chosen` can
-    /// be re-delivered after a ballot change (phase-1 recovery re-broadcasts
-    /// accepted slots), and re-locking a released transaction would leave its
-    /// keys locked forever.
-    fn index_prepare_if_undecided(&mut self, command: &ShardCommand) {
-        if command.vote != Decision::Commit {
+    /// Folds a chosen command into the replica state: acquires the
+    /// prepared-set lock for a commit-voted undecided command — idempotently
+    /// (the leader already holds it from `certify_and_propose`; learners
+    /// acquire it here so a future leader handover starts from a warm index).
+    /// `Chosen` can be re-delivered after a ballot change (phase-1 recovery
+    /// re-broadcasts accepted slots); an already-decided transaction must not
+    /// be re-locked (its payload is pruned and its locks released), so for
+    /// those the command only (idempotently) refreshes the committed summary.
+    fn apply_chosen(&mut self, command: &ShardCommand) {
+        if let Some(decision) = self.decisions.get(&command.tx).copied() {
+            if decision == Decision::Commit {
+                self.certifier_commit(command.tx, &command.payload);
+            }
             return;
         }
-        if self
-            .prepared
-            .get(&command.tx)
-            .is_some_and(|entry| entry.2.is_some())
-        {
-            return;
+        if command.vote == Decision::Commit {
+            self.certifier_prepare(command.tx, &command.payload);
         }
-        self.index
-            .prepare(Self::index_pos(command.tx), &command.payload);
+        self.prepared
+            .entry(command.tx)
+            .or_insert((command.payload.clone(), command.vote));
     }
 
     fn handle_paxos(
@@ -215,12 +240,7 @@ impl BaselineShardReplica {
         // Learner role.
         if let PaxosMsg::Chosen { slot, command } = &msg {
             self.log.record_chosen(*slot, command.clone());
-            self.index_prepare_if_undecided(command);
-            self.prepared.entry(command.tx).or_insert((
-                command.payload.clone(),
-                command.vote,
-                None,
-            ));
+            self.apply_chosen(&command.clone());
         }
         // Proposer role (leader only).
         if let Some(proposer) = self.proposer.as_mut() {
@@ -229,12 +249,7 @@ impl BaselineShardReplica {
             for (slot, command) in chosen {
                 self.log.record_chosen(slot, command.clone());
                 self.in_flight.remove(&command.tx);
-                self.index_prepare_if_undecided(&command);
-                self.prepared.entry(command.tx).or_insert((
-                    command.payload.clone(),
-                    command.vote,
-                    None,
-                ));
+                self.apply_chosen(&command);
                 // The vote is now durable at a majority: report it to the TM.
                 to_send.push(BaselineMsg::Vote {
                     shard: self.shard,
@@ -265,17 +280,24 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
                 self.handle_paxos(from, msg, ctx)
             }
             BaselineMsg::Decision { tx, decision } => {
-                if let Some(entry) = self.prepared.get_mut(&tx) {
-                    if entry.2.is_none() {
-                        // First decision: the transaction leaves the prepared
-                        // set; a commit enters the committed set.
-                        self.index.release(Self::index_pos(tx));
-                        if decision == Decision::Commit {
-                            self.index.apply_committed(Self::index_pos(tx), &entry.0);
-                        }
-                    }
-                    entry.2 = Some(decision);
+                // First decision wins; duplicates from a retrying TM are
+                // no-ops (the payload is already pruned).
+                if self.decisions.contains_key(&tx) {
+                    return;
                 }
+                if let Some((payload, _vote)) = self.prepared.remove(&tx) {
+                    // The transaction leaves the prepared set; a commit enters
+                    // the committed summary. Its payload is dropped — the
+                    // index keeps the per-key residue, the decision map keeps
+                    // the outcome.
+                    self.certifier_release(tx);
+                    if decision == Decision::Commit {
+                        self.certifier_commit(tx, &payload);
+                    }
+                }
+                // Recorded even if the vote is not chosen here yet: a later
+                // `Chosen` for a decided transaction must not re-lock it.
+                self.decisions.insert(tx, decision);
             }
             _ => {}
         }

@@ -19,6 +19,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ratc_core::log::{CertificationLog, LogEntry, TxPhase};
 use ratc_types::prelude::*;
 
+/// Decisions trail appends by this many slots in the E7 steady-state model.
+const E7_DECIDE_LAG: usize = 64;
+/// Truncation folds the decided prefix in batches of this many slots.
+const E7_TRUNCATE_BATCH: u64 = 256;
+
 fn payloads(n: usize) -> Vec<Payload> {
     (0..n)
         .map(|i| {
@@ -72,6 +77,55 @@ fn candidate() -> Payload {
         .expect("well-formed")
 }
 
+/// Replays an `n`-transaction history through a leader-style indexed log in
+/// which decisions trail appends by [`E7_DECIDE_LAG`] slots, truncating the
+/// decided prefix (batch [`E7_TRUNCATE_BATCH`]) when asked to. This is the
+/// steady state of the E2/E4 long-history experiments.
+fn windowed_log(history: &[Payload], truncate: bool) -> CertificationLog {
+    let mut log =
+        CertificationLog::with_certifier(Serializability::new().indexed_certifier(ShardId::new(0)));
+    for (i, payload) in history.iter().enumerate() {
+        log.append(entry(i as u64 + 1, payload.clone()));
+        if i >= E7_DECIDE_LAG {
+            log.decide(Position::new((i - E7_DECIDE_LAG) as u64), Decision::Commit);
+        }
+        if truncate && log.decided_frontier().as_u64() >= log.base().as_u64() + E7_TRUNCATE_BATCH {
+            log.truncate_to(log.decided_frontier());
+        }
+    }
+    log
+}
+
+/// E7: steady-state memory and vote latency with checkpointed truncation on
+/// vs off, at 10k and 100k payloads. The retained-slot counts (the memory
+/// side of the experiment) are printed alongside the timing output: with
+/// truncation the log holds only the undecided window plus at most one fold
+/// batch, regardless of history length.
+fn bench_truncation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_truncation");
+    let candidate = candidate();
+    for size in [10_000usize, 100_000] {
+        let history = payloads(size);
+        for (label, truncate) in [("off", false), ("on", true)] {
+            let log = windowed_log(&history, truncate);
+            println!(
+                "e7_truncation/{label}/{size}: retained log slots = {} (base {}, next {})",
+                log.len(),
+                log.base(),
+                log.next()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("vote_truncation_{label}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| log.vote_at(log.next(), &candidate));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_certification(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_certification_function");
     let candidate = candidate();
@@ -108,5 +162,5 @@ fn bench_certification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_certification);
+criterion_group!(benches, bench_certification, bench_truncation);
 criterion_main!(benches);

@@ -19,7 +19,7 @@ use ratc_types::{
 use crate::client::{ClientActor, DecisionLatency};
 use crate::config_service::ConfigServiceActor;
 use crate::messages::Msg;
-use crate::replica::Replica;
+use crate::replica::{Replica, TruncationConfig};
 
 /// Configuration of a simulated RATC deployment.
 #[derive(Clone)]
@@ -33,6 +33,9 @@ pub struct ClusterConfig {
     pub spares_per_shard: usize,
     /// The certification policy (isolation level).
     pub policy: Arc<dyn CertificationPolicy>,
+    /// Checkpointed log truncation (default: enabled, batch 32), applied to
+    /// every replica and spare.
+    pub truncation: TruncationConfig,
     /// Simulation parameters (seed, latency model, tracing).
     pub sim: SimConfig,
 }
@@ -44,6 +47,7 @@ impl Default for ClusterConfig {
             replicas_per_shard: 2,
             spares_per_shard: 2,
             policy: Arc::new(Serializability::new()),
+            truncation: TruncationConfig::default(),
             sim: SimConfig::default(),
         }
     }
@@ -82,6 +86,12 @@ impl ClusterConfig {
     /// Returns a copy with the given certification policy.
     pub fn with_policy(mut self, policy: Arc<dyn CertificationPolicy>) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given checkpointed-truncation policy.
+    pub fn with_truncation(mut self, truncation: TruncationConfig) -> Self {
+        self.truncation = truncation;
         self
     }
 
@@ -175,16 +185,14 @@ impl Cluster {
         // Install the initial view at every replica (members and spares).
         for (shard, shard_members) in &members {
             for pid in shard_members {
-                world
-                    .actor_mut::<Replica>(*pid)
-                    .expect("replica")
-                    .install_initial_config(*pid, cs, &initial, true);
+                let replica = world.actor_mut::<Replica>(*pid).expect("replica");
+                replica.install_initial_config(*pid, cs, &initial, true);
+                replica.set_truncation(config.truncation);
             }
             for pid in &spares[shard] {
-                world
-                    .actor_mut::<Replica>(*pid)
-                    .expect("spare replica")
-                    .install_initial_config(*pid, cs, &initial, false);
+                let replica = world.actor_mut::<Replica>(*pid).expect("spare replica");
+                replica.install_initial_config(*pid, cs, &initial, false);
+                replica.set_truncation(config.truncation);
             }
         }
 
@@ -435,6 +443,182 @@ mod tests {
         cluster.run_to_quiescence();
         let history = cluster.history();
         assert_eq!(history.committed().count(), 20);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn long_history_is_truncated_to_a_bounded_log() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(1)
+                .with_seed(7)
+                .with_truncation(TruncationConfig::with_batch(8)),
+        );
+        let total = 200u64;
+        for i in 0..total {
+            cluster.submit(TxId::new(i + 1), rw_payload(&format!("k{i}"), 0, 1));
+            cluster.run_to_quiescence();
+        }
+        assert_eq!(cluster.history().decide_count(), total as usize);
+        assert!(cluster.client_violations().is_empty());
+        let shard = ShardId::new(0);
+        for pid in cluster.initial_members(shard).to_vec() {
+            let log = cluster.replica(pid).log();
+            assert!(
+                log.base().as_u64() > 0,
+                "member {pid} never truncated its log"
+            );
+            assert!(
+                log.len() < 64,
+                "member {pid} retains {} slots of a {total}-tx history",
+                log.len()
+            );
+            // Logical positions and decisions survive the physical fold.
+            assert_eq!(log.next().as_u64(), total);
+            assert!(log.position_of(TxId::new(1)).is_some());
+        }
+        let violations = crate::invariants::check_cluster(&cluster);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn prepare_for_truncated_transaction_returns_the_decision() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(1)
+                .with_seed(13)
+                .with_truncation(TruncationConfig::with_batch(1)),
+        );
+        for i in 0..10u64 {
+            cluster.submit(TxId::new(i + 1), rw_payload(&format!("k{i}"), 0, 1));
+            cluster.run_to_quiescence();
+        }
+        let shard = ShardId::new(0);
+        let leader = cluster.current_leader(shard);
+        assert_eq!(
+            cluster
+                .replica(leader)
+                .log()
+                .truncated_decision(TxId::new(1)),
+            Some(Decision::Commit),
+            "t1 must be decided and truncated at the leader"
+        );
+        // A recovery coordinator re-prepares the truncated transaction with
+        // the ⊥ payload: the leader answers with the recorded decision
+        // instead of re-certifying it as new, and the coordinator forwards
+        // the (benign duplicate) decision to the client.
+        let other = *cluster
+            .initial_members(shard)
+            .iter()
+            .find(|p| **p != leader)
+            .expect("another member");
+        let client = cluster.client_id();
+        cluster.world.send_from(
+            other,
+            leader,
+            Msg::Prepare {
+                tx: TxId::new(1),
+                payload: None,
+                shards: vec![shard],
+                client,
+            },
+        );
+        cluster.run_to_quiescence();
+        assert!(cluster.client_violations().is_empty());
+        assert_eq!(
+            cluster.history().decision(TxId::new(1)),
+            Some(Decision::Commit)
+        );
+    }
+
+    /// A shard that missed a transaction's `DECISION` and still holds it as
+    /// prepared must learn the decision when a recovery coordinator is
+    /// answered with `TxDecided` by a shard that already truncated it —
+    /// otherwise the slot (and its `L2` locks) stay stranded forever.
+    #[test]
+    fn tx_decided_recovery_unsticks_prepared_slots_at_other_shards() {
+        use ratc_types::ShardMap;
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(2)
+                .with_seed(19)
+                .with_truncation(TruncationConfig::with_batch(1)),
+        );
+        let s0 = ShardId::new(0);
+        let s1 = ShardId::new(1);
+        let key_on = |shard: ShardId, cluster: &Cluster| {
+            (0..10_000)
+                .map(|i| Key::new(format!("k{i}")))
+                .find(|k| cluster.sharding().shard_of(k) == shard)
+                .expect("hash sharding covers every shard")
+        };
+        // Two shard-0 transactions: the second's decision floor truncates the
+        // first out of every shard-0 log.
+        let k0 = key_on(s0, &cluster);
+        cluster.submit(TxId::new(1), rw_payload(k0.as_str(), 0, 1));
+        cluster.run_to_quiescence();
+        cluster.submit(TxId::new(2), rw_payload(&format!("{}x", k0.as_str()), 0, 1));
+        cluster.run_to_quiescence();
+        let l0 = cluster.current_leader(s0);
+        assert_eq!(
+            cluster.replica(l0).log().truncated_decision(TxId::new(1)),
+            Some(Decision::Commit)
+        );
+
+        // Shard 1 "missed the decision": inject a prepare of t1 at shard 1,
+        // coordinated by shard-1's follower, with no shard-0 progress — both
+        // shard-1 members end up holding t1 as Prepared, undecided.
+        let l1 = cluster.current_leader(s1);
+        let f1 = *cluster
+            .initial_members(s1)
+            .iter()
+            .find(|p| **p != l1)
+            .expect("follower");
+        let k1 = key_on(s1, &cluster);
+        let client = cluster.client_id();
+        cluster.world.send_from(
+            f1,
+            l1,
+            Msg::Prepare {
+                tx: TxId::new(1),
+                payload: Some(
+                    Payload::builder()
+                        .read(Key::new(k1.as_str()), ratc_types::Version::new(0))
+                        .build()
+                        .expect("well-formed"),
+                ),
+                shards: vec![s0, s1],
+                client,
+            },
+        );
+        cluster.run_to_quiescence();
+        let pos1 = cluster
+            .replica(l1)
+            .log()
+            .position_of(TxId::new(1))
+            .expect("t1 prepared at shard 1");
+        assert_eq!(
+            cluster.replica(l1).log().get(pos1).unwrap().phase,
+            crate::log::TxPhase::Prepared,
+            "precondition: t1 stranded as prepared at shard 1"
+        );
+
+        // Recovery: the follower re-coordinates t1. Shard 0 answers with
+        // TxDecided (slot truncated); the decision must reach shard 1.
+        cluster.retry(f1, TxId::new(1));
+        cluster.run_to_quiescence();
+        for pid in [l1, f1] {
+            let entry = cluster
+                .replica(pid)
+                .log()
+                .get(pos1)
+                .expect("slot still present");
+            assert_eq!(
+                entry.dec,
+                Some(Decision::Commit),
+                "{pid} still holds t1 undecided after TxDecided recovery"
+            );
+        }
         assert!(cluster.client_violations().is_empty());
     }
 

@@ -136,7 +136,10 @@ fn check_follower_prefix(
 
 /// Invariant 4a + vote agreement: replicas of the same shard that have filled
 /// the same certification-order slot agree on the transaction, vote, payload
-/// and (if present) decision at that slot.
+/// and (if present) decision at that slot. Checkpoint-aware: a replica that
+/// truncated a slot still exposes its transaction identity and final decision
+/// through the checkpoint, and those must agree with every peer's view of the
+/// slot (retained or truncated).
 fn check_slot_agreement(
     shard: ShardId,
     replicas: &[(ProcessId, &Replica)],
@@ -160,32 +163,56 @@ fn check_slot_agreement(
             .unwrap_or(0);
         for slot in 0..max_len {
             let pos = Position::new(slot);
+            // Full comparison between retained entries (payload and vote).
             let mut seen: Option<(ProcessId, &crate::log::LogEntry)> = None;
+            // Identity comparison across retained and truncated views.
+            let mut seen_id: Option<(ProcessId, ratc_types::TxId)> = None;
+            let mut seen_dec: Option<(ProcessId, ratc_types::Decision)> = None;
             for (pid, replica) in &group {
-                let Some(entry) = replica.log().get(pos) else {
+                if let Some(entry) = replica.log().get(pos) {
+                    match seen {
+                        None => seen = Some((*pid, entry)),
+                        Some((first_pid, first)) => {
+                            if first.tx != entry.tx
+                                || first.vote != entry.vote
+                                || first.payload != entry.payload
+                            {
+                                violations.push(InvariantViolation {
+                                    invariant: "slot-agreement (Invariants 1/2/6)",
+                                    details: format!(
+                                        "shard {shard} epoch {epoch} slot {pos}: {first_pid} and {pid} disagree ({:?}/{:?} vs {:?}/{:?})",
+                                        first.tx, first.vote, entry.tx, entry.vote
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                let Some((tx, dec)) = replica.log().slot_identity(pos) else {
                     continue;
                 };
-                match seen {
-                    None => seen = Some((*pid, entry)),
-                    Some((first_pid, first)) => {
-                        if first.tx != entry.tx
-                            || first.vote != entry.vote
-                            || first.payload != entry.payload
-                        {
+                match seen_id {
+                    None => seen_id = Some((*pid, tx)),
+                    Some((first_pid, first_tx)) => {
+                        if first_tx != tx {
                             violations.push(InvariantViolation {
                                 invariant: "slot-agreement (Invariants 1/2/6)",
                                 details: format!(
-                                    "shard {shard} epoch {epoch} slot {pos}: {first_pid} and {pid} disagree ({:?}/{:?} vs {:?}/{:?})",
-                                    first.tx, first.vote, entry.tx, entry.vote
+                                    "shard {shard} epoch {epoch} slot {pos}: {first_pid} stored {first_tx} but {pid} stored {tx} (checkpoint-aware)"
                                 ),
                             });
                         }
-                        if let (Some(d1), Some(d2)) = (first.dec, entry.dec) {
-                            if d1 != d2 {
+                    }
+                }
+                if let Some(dec) = dec {
+                    match seen_dec {
+                        None => seen_dec = Some((*pid, dec)),
+                        Some((first_pid, first_dec)) => {
+                            if first_dec != dec {
                                 violations.push(InvariantViolation {
                                     invariant: "decision-agreement (Invariant 4a)",
                                     details: format!(
-                                        "shard {shard} epoch {epoch} slot {pos}: {first_pid} decided {d1} but {pid} decided {d2}"
+                                        "shard {shard} epoch {epoch} slot {pos}: {first_pid} decided {first_dec} but {pid} decided {dec}"
                                     ),
                                 });
                             }

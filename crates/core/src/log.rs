@@ -23,14 +23,62 @@
 //!   [`IndexedCertifier::apply_committed`] when the decision is commit
 //!   (entry enters `L1`);
 //! * wholesale replacement (`NEW_STATE`) → [`CertificationLog::set_certifier`]
-//!   rebuilds the index from the slots.
+//!   rebuilds the index from the checkpoint and the slots.
 //!
 //! Decides may arrive out of order and slots may be holes; both are fine
 //! because the index transitions are per-position, idempotent, and
 //! order-insensitive (certification functions are set-based). With the index
 //! in place, [`CertificationLog::vote_at`] answers the vote in O(|payload|).
+//!
+//! # Checkpointed truncation
+//!
+//! The paper (§6) assumes decided log prefixes are garbage-collected; without
+//! that, long-running histories are memory-bound rather than protocol-bound.
+//! [`CertificationLog::truncate_to`] folds a *fully-decided, hole-free*
+//! prefix into a [`Checkpoint`] and frees the physical slots. The checkpoint
+//! keeps exactly the certification-relevant residue:
+//!
+//! * **per-position decisions** — `(txn, dec)` of every truncated slot, so no
+//!   decision recovery might still need is ever lost (recovery coordinators
+//!   that re-PREPARE a truncated transaction are answered with its final
+//!   decision instead of a re-ack);
+//! * **per-key newest committed writer** — the summary `f_s` needs for `L1`;
+//!   by distributivity (property (1) of the paper) the per-key maxima are
+//!   equivalent to the full set of truncated committed payloads;
+//! * **no lock state** — `g_s`'s read/write locks belong to *undecided*
+//!   transactions, and undecided slots are never truncated (the truncation
+//!   point is clamped to [`CertificationLog::decided_frontier`]), so the
+//!   entire `L2` summary lives in the retained suffix.
+//!
+//! Invariants maintained by truncation:
+//!
+//! 1. `base ≤ decided_frontier ≤ next`: every position below `base` is folded
+//!    into the checkpoint; every position below `decided_frontier` is either
+//!    folded or a retained, decided slot.
+//! 2. [`CertificationLog::vote_at`] is unaffected: the incremental index
+//!    already summarised the truncated entries when they were live.
+//! 3. [`CertificationLog::get`] returns `None` below `base`;
+//!    [`CertificationLog::phase`] reports [`TxPhase::Decided`] there, and
+//!    [`CertificationLog::decide`]/[`CertificationLog::store_at`] below
+//!    `base` are no-ops (stale messages for truncated slots are harmless).
+//! 4. [`CertificationLog::position_of`] answers over checkpoint + suffix in
+//!    O(1) via tx→position maps maintained on both sides of `base`.
+//! 5. State transfer (`NEW_STATE`) clones checkpoint + suffix;
+//!    [`CertificationLog::set_certifier`] rebuilds an index from the
+//!    checkpoint residue plus the retained entries, which votes identically
+//!    to an index that saw the whole history.
+//!
+//! The set-based accessor [`CertificationLog::committed_payloads_before`]
+//! *under-approximates* `L1` after truncation (the payloads are gone); it
+//! remains exact for untruncated logs, which is the only place the protocols
+//! use it as a vote fallback. `L2` ([`CertificationLog::prepared_payloads_before`])
+//! stays exact always, per the no-lock-state invariant above.
 
-use ratc_types::{Decision, IndexedCertifier, Payload, Position, ProcessId, ShardId, TxId};
+use std::collections::{BTreeMap, HashMap};
+
+use ratc_types::{
+    Decision, IndexedCertifier, Key, Payload, Position, ProcessId, ShardId, TxId, Version,
+};
 use serde::{Deserialize, Serialize};
 
 /// The phase of a certification-order slot (the paper's `phase` array).
@@ -64,22 +112,104 @@ pub struct LogEntry {
     pub client: ProcessId,
 }
 
+/// Summary of a truncated, fully-decided, hole-free log prefix (see the
+/// module docs for the invariants).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// One past the last truncated position: slots in `[0, base)` are folded
+    /// into this checkpoint; physical storage starts at `base`.
+    base: Position,
+    /// Final decision of every truncated slot, by position.
+    decided: BTreeMap<Position, (TxId, Decision)>,
+    /// Position of every truncated transaction (O(1) `position_of`).
+    by_tx: HashMap<TxId, Position>,
+    /// Newest committed writer version per key — the `f_s` residue.
+    newest_writers: BTreeMap<Key, Version>,
+}
+
+impl Checkpoint {
+    /// One past the last truncated position (the log's low-water mark).
+    pub fn base(&self) -> Position {
+        self.base
+    }
+
+    /// Whether `pos` has been folded into this checkpoint.
+    pub fn covers(&self, pos: Position) -> bool {
+        pos < self.base
+    }
+
+    /// The transaction and final decision folded at `pos`, if covered.
+    pub fn decision_at(&self, pos: Position) -> Option<(TxId, Decision)> {
+        self.decided.get(&pos).copied()
+    }
+
+    /// The folded position and final decision of `tx`, if truncated.
+    pub fn decision_of(&self, tx: TxId) -> Option<(Position, Decision)> {
+        let pos = *self.by_tx.get(&tx)?;
+        let (_, decision) = self.decided.get(&pos)?;
+        Some((pos, *decision))
+    }
+
+    /// Iterates over the folded `(position, transaction, decision)` triples.
+    pub fn decisions(&self) -> impl Iterator<Item = (Position, TxId, Decision)> + '_ {
+        self.decided
+            .iter()
+            .map(|(pos, (tx, dec))| (*pos, *tx, *dec))
+    }
+
+    /// Number of transactions folded into this checkpoint.
+    pub fn decided_count(&self) -> usize {
+        self.decided.len()
+    }
+
+    /// Iterates over the per-key newest-committed-writer residue.
+    pub fn newest_writers(&self) -> impl Iterator<Item = (&Key, Version)> + '_ {
+        self.newest_writers.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Folds one decided slot into the summary.
+    fn fold(&mut self, pos: Position, entry: LogEntry) {
+        let decision = entry
+            .dec
+            .expect("only decided slots are folded into a checkpoint");
+        if decision == Decision::Commit {
+            let vc = entry.payload.commit_version();
+            for (key, _) in entry.payload.writes() {
+                self.newest_writers
+                    .entry(key.clone())
+                    .and_modify(|v| *v = (*v).max(vc))
+                    .or_insert(vc);
+            }
+        }
+        self.by_tx.insert(entry.tx, pos);
+        self.decided.insert(pos, (entry.tx, decision));
+    }
+}
+
 /// The certification log of one replica.
 ///
-/// Equality compares the paper-visible state (the slots); the hole counter
-/// and the certification index are derived caches and do not participate.
+/// Equality compares the paper-visible state (the checkpoint and the retained
+/// slots); the hole counter, the tx→position map and the certification index
+/// are derived caches and do not participate.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CertificationLog {
+    /// Folded summary of the truncated prefix `[0, base)`.
+    checkpoint: Checkpoint,
+    /// Physical slots for positions `base..next`.
     slots: Vec<Option<LogEntry>>,
     /// Number of `None` slots, maintained incrementally (O(1) `hole_count`).
     holes: usize,
+    /// The decided frontier: every position below it is folded or decided.
+    frontier: Position,
+    /// Position of every retained transaction (O(1) `position_of`).
+    by_tx: HashMap<TxId, Position>,
     /// Incremental certifier kept in lockstep with the slot phases, if any.
     index: Option<Box<dyn IndexedCertifier>>,
 }
 
 impl PartialEq for CertificationLog {
     fn eq(&self, other: &Self) -> bool {
-        self.slots == other.slots
+        self.checkpoint == other.checkpoint && self.slots == other.slots
     }
 }
 
@@ -94,9 +224,8 @@ impl CertificationLog {
     /// O(|payload|) [`CertificationLog::vote_at`].
     pub fn with_certifier(index: Box<dyn IndexedCertifier>) -> Self {
         CertificationLog {
-            slots: Vec::new(),
-            holes: 0,
             index: Some(index),
+            ..CertificationLog::default()
         }
     }
 
@@ -106,10 +235,14 @@ impl CertificationLog {
     }
 
     /// Installs (or replaces) the certification index and rebuilds it from
-    /// the current slots. Used when a follower installs a transferred log
-    /// that arrived without an index, and by tests.
+    /// the checkpoint residue and the current slots. Used when a follower
+    /// installs a transferred log that arrived without an index, and by
+    /// tests.
     pub fn set_certifier(&mut self, mut index: Box<dyn IndexedCertifier>) {
         index.reset();
+        for (key, version) in self.checkpoint.newest_writers() {
+            index.apply_committed_residue(key, version);
+        }
         for (pos, entry) in self.entries() {
             Self::index_fill(&mut index, pos, entry);
         }
@@ -131,40 +264,88 @@ impl CertificationLog {
         }
     }
 
-    /// The paper's `next`: the index one past the last filled slot.
-    pub fn next(&self) -> Position {
-        Position::new(self.slots.len() as u64)
+    /// The physical slot index of `pos`, if it is not below the checkpoint.
+    fn physical(&self, pos: Position) -> Option<usize> {
+        pos.as_usize()
+            .checked_sub(self.checkpoint.base().as_usize())
     }
 
-    /// Number of slots (filled or holes).
+    /// The paper's `next`: the index one past the last filled slot.
+    pub fn next(&self) -> Position {
+        Position::new(self.checkpoint.base().as_u64() + self.slots.len() as u64)
+    }
+
+    /// Number of *retained* slots (filled or holes) — the physical suffix
+    /// above the checkpoint. Bounded by the undecided window once truncation
+    /// runs, regardless of history length.
     pub fn len(&self) -> usize {
         self.slots.len()
     }
 
-    /// Returns `true` if the log has no slots at all.
+    /// Returns `true` if the log retains no slots (it may still cover a
+    /// truncated prefix; see [`CertificationLog::checkpoint`]).
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
 
-    /// The entry at `pos`, if that slot is filled.
-    pub fn get(&self, pos: Position) -> Option<&LogEntry> {
-        self.slots.get(pos.as_usize()).and_then(Option::as_ref)
+    /// The checkpoint summarising the truncated prefix.
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
     }
 
-    /// The phase of the slot at `pos` (`Start` for holes and out-of-range
-    /// positions).
+    /// One past the last truncated position (`checkpoint().base()`).
+    pub fn base(&self) -> Position {
+        self.checkpoint.base()
+    }
+
+    /// The decided frontier: the largest position such that every slot below
+    /// it is decided (or already folded into the checkpoint), with no holes.
+    /// This is the replica's safe truncation point, gossiped to peers.
+    pub fn decided_frontier(&self) -> Position {
+        self.frontier
+    }
+
+    /// The entry at `pos`, if that slot is retained and filled.
+    pub fn get(&self, pos: Position) -> Option<&LogEntry> {
+        self.physical(pos)
+            .and_then(|idx| self.slots.get(idx))
+            .and_then(Option::as_ref)
+    }
+
+    /// The phase of the slot at `pos`: `Start` for holes and out-of-range
+    /// positions, `Decided` for positions folded into the checkpoint.
     pub fn phase(&self, pos: Position) -> TxPhase {
+        if self.checkpoint.covers(pos) {
+            return TxPhase::Decided;
+        }
         self.get(pos).map(|e| e.phase).unwrap_or(TxPhase::Start)
     }
 
-    /// The position of transaction `tx`, if it appears in the log
-    /// (the `∃k. t = txn[k]` test of line 6).
+    /// The position of transaction `tx`, if it appears in the log — retained
+    /// or folded into the checkpoint (the `∃k. t = txn[k]` test of line 6).
+    /// O(1) via the tx→position maps.
     pub fn position_of(&self, tx: TxId) -> Option<Position> {
-        self.slots.iter().enumerate().find_map(|(i, slot)| {
-            slot.as_ref()
-                .filter(|e| e.tx == tx)
-                .map(|_| Position::new(i as u64))
-        })
+        self.by_tx
+            .get(&tx)
+            .copied()
+            .or_else(|| self.checkpoint.decision_of(tx).map(|(pos, _)| pos))
+    }
+
+    /// The final decision of `tx` if its slot has been folded into the
+    /// checkpoint. Leaders answer re-PREPAREs of truncated transactions with
+    /// this instead of a re-ack.
+    pub fn truncated_decision(&self, tx: TxId) -> Option<Decision> {
+        self.checkpoint.decision_of(tx).map(|(_, dec)| dec)
+    }
+
+    /// The transaction and (optional) decision visible at `pos`, whether the
+    /// slot is retained or folded into the checkpoint. Used by the invariant
+    /// checkers to compare replicas across different truncation frontiers.
+    pub fn slot_identity(&self, pos: Position) -> Option<(TxId, Option<Decision>)> {
+        if let Some((tx, dec)) = self.checkpoint.decision_at(pos) {
+            return Some((tx, Some(dec)));
+        }
+        self.get(pos).map(|e| (e.tx, e.dec))
     }
 
     /// The leader's vote of line 12 for a payload about to occupy `pos`:
@@ -175,6 +356,8 @@ impl CertificationLog {
     /// the set-based scans). `pos` must be [`CertificationLog::next`]: the
     /// index summarises every filled slot, which is exactly the prefix before
     /// `next` — votes at interior positions would need a historical snapshot.
+    /// Truncation does not affect this method: the index summarised the
+    /// truncated entries while they were live.
     pub fn vote_at(&self, pos: Position, payload: &Payload) -> Option<Decision> {
         debug_assert_eq!(
             pos,
@@ -191,15 +374,20 @@ impl CertificationLog {
         if let Some(index) = self.index.as_mut() {
             Self::index_fill(index, pos, &entry);
         }
+        self.by_tx.insert(entry.tx, pos);
         self.slots.push(Some(entry));
+        self.advance_frontier();
         pos
     }
 
     /// Stores an entry at an arbitrary position (line 24 at a follower),
     /// growing the log with holes as needed. Returns `false` if the slot was
-    /// already filled (the `phase[k] = start` precondition failed).
+    /// already filled (the `phase[k] = start` precondition failed) or has
+    /// been folded into the checkpoint (stale message for a decided slot).
     pub fn store_at(&mut self, pos: Position, entry: LogEntry) -> bool {
-        let idx = pos.as_usize();
+        let Some(idx) = self.physical(pos) else {
+            return false;
+        };
         if idx >= self.slots.len() {
             self.holes += idx - self.slots.len();
             self.slots.resize(idx + 1, None);
@@ -211,18 +399,24 @@ impl CertificationLog {
         if let Some(index) = self.index.as_mut() {
             Self::index_fill(index, pos, &entry);
         }
+        self.by_tx.insert(entry.tx, pos);
         self.slots[idx] = Some(entry);
+        self.advance_frontier();
         true
     }
 
     /// Records the final decision for the slot at `pos` (line 32). Deciding a
     /// hole is ignored (the replica has not yet stored the transaction; a
     /// later `NEW_STATE` will supply it), and so is re-deciding an already
-    /// decided slot: decisions are unique per transaction (TCS specification),
-    /// so the first decision wins and duplicates from retrying coordinators
-    /// are no-ops.
+    /// decided or truncated slot: decisions are unique per transaction (TCS
+    /// specification), so the first decision wins and duplicates from
+    /// retrying coordinators are no-ops.
     pub fn decide(&mut self, pos: Position, decision: Decision) {
-        let Some(entry) = self.slots.get_mut(pos.as_usize()).and_then(Option::as_mut) else {
+        let Some(entry) = self
+            .physical(pos)
+            .and_then(|idx| self.slots.get_mut(idx))
+            .and_then(Option::as_mut)
+        else {
             return;
         };
         if entry.phase == TxPhase::Decided {
@@ -236,22 +430,64 @@ impl CertificationLog {
                 index.apply_committed(pos, &entry.payload);
             }
         }
+        self.advance_frontier();
     }
 
-    /// Iterates over the filled slots with their positions.
+    /// Advances the decided frontier over retained, decided slots.
+    fn advance_frontier(&mut self) {
+        let base = self.checkpoint.base().as_usize();
+        loop {
+            let idx = self.frontier.as_usize() - base;
+            match self.slots.get(idx) {
+                Some(Some(entry)) if entry.phase == TxPhase::Decided => {
+                    self.frontier = self.frontier.next();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Folds the fully-decided, hole-free prefix below `pos` into the
+    /// checkpoint and frees the physical slots. The truncation point is
+    /// clamped to the [`CertificationLog::decided_frontier`], so the call is
+    /// always safe: undecided slots and holes are never lost, whatever
+    /// (possibly stale) `pos` a peer gossiped. Returns the number of slots
+    /// freed.
+    pub fn truncate_to(&mut self, pos: Position) -> usize {
+        let target = pos.min(self.frontier);
+        if target <= self.checkpoint.base() {
+            return 0;
+        }
+        let base = self.checkpoint.base().as_u64();
+        let n = (target.as_u64() - base) as usize;
+        for (i, slot) in self.slots.drain(..n).enumerate() {
+            let entry = slot.expect("the decided frontier never crosses a hole");
+            debug_assert_eq!(entry.phase, TxPhase::Decided);
+            self.by_tx.remove(&entry.tx);
+            self.checkpoint.fold(Position::new(base + i as u64), entry);
+        }
+        self.checkpoint.base = target;
+        n
+    }
+
+    /// Iterates over the retained filled slots with their positions.
     pub fn entries(&self) -> impl Iterator<Item = (Position, &LogEntry)> + '_ {
+        let base = self.checkpoint.base().as_u64();
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, slot)| slot.as_ref().map(|e| (Position::new(i as u64), e)))
+            .filter_map(move |(i, slot)| slot.as_ref().map(|e| (Position::new(base + i as u64), e)))
     }
 
     /// The payloads used as `L1` at line 12: payloads of transactions decided
-    /// to commit in slots strictly before `before`.
+    /// to commit in *retained* slots strictly before `before`.
     ///
     /// This is the set-based reference path — O(|log|) per call. The vote
     /// hot path uses [`CertificationLog::vote_at`] instead; this accessor
     /// remains for the differential tests and for logs without an index.
+    /// After truncation it under-approximates `L1` (truncated payloads are
+    /// gone — their residue lives in the checkpoint); it is exact only for
+    /// untruncated logs.
     pub fn committed_payloads_before(&self, before: Position) -> Vec<&Payload> {
         self.entries()
             .filter(|(pos, e)| {
@@ -266,6 +502,8 @@ impl CertificationLog {
     /// `before`.
     ///
     /// Set-based reference path; see [`CertificationLog::committed_payloads_before`].
+    /// Unlike `L1` this stays exact after truncation: undecided slots are
+    /// never truncated.
     pub fn prepared_payloads_before(&self, before: Position) -> Vec<&Payload> {
         self.entries()
             .filter(|(pos, e)| {
@@ -275,8 +513,8 @@ impl CertificationLog {
             .collect()
     }
 
-    /// Number of holes (slots still in the `Start` phase below `next`),
-    /// maintained incrementally — O(1).
+    /// Number of holes (retained slots still in the `Start` phase below
+    /// `next`), maintained incrementally — O(1).
     pub fn hole_count(&self) -> usize {
         debug_assert_eq!(
             self.holes,
@@ -286,8 +524,10 @@ impl CertificationLog {
     }
 
     /// Checks the `≺` relation of Figure 3 against another log: this log's
-    /// prefix of length `len` must agree with `other` on every slot where this
-    /// log is filled (holes are allowed).
+    /// prefix of length `len` must agree with `other` on every slot where
+    /// this log has information (holes are allowed). Checkpoint-aware: a slot
+    /// either side has folded is compared by transaction identity and final
+    /// decision (payload and vote were validated before folding).
     pub fn is_prefix_with_holes_of(&self, other: &CertificationLog, len: Position) -> bool {
         for (pos, entry) in self.entries() {
             if pos >= len {
@@ -299,6 +539,26 @@ impl CertificationLog {
                         || other_entry.vote != entry.vote
                         || other_entry.payload != entry.payload
                     {
+                        return false;
+                    }
+                }
+                None => match other.checkpoint.decision_at(pos) {
+                    Some((tx, dec)) => {
+                        if tx != entry.tx || entry.dec.is_some_and(|d| d != dec) {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                },
+            }
+        }
+        for (pos, tx, dec) in self.checkpoint.decisions() {
+            if pos >= len {
+                continue;
+            }
+            match other.slot_identity(pos) {
+                Some((other_tx, other_dec)) => {
+                    if other_tx != tx || other_dec.is_some_and(|d| d != dec) {
                         return false;
                     }
                 }
@@ -541,7 +801,7 @@ mod tests {
             cloned.vote_at(cloned.next(), &candidate),
             Some(Decision::Abort)
         );
-        // Logs compare by slots; the derived caches do not participate.
+        // Logs compare by checkpoint + slots; derived caches do not participate.
         assert_eq!(log, cloned);
         assert_eq!(log, {
             let mut plain = CertificationLog::new();
@@ -555,5 +815,201 @@ mod tests {
         let log = CertificationLog::new();
         let candidate = Payload::empty();
         assert_eq!(log.vote_at(log.next(), &candidate), None);
+    }
+
+    // -- checkpointed truncation ---------------------------------------------
+
+    #[test]
+    fn decided_frontier_tracks_holes_and_decides() {
+        let mut log = CertificationLog::new();
+        assert_eq!(log.decided_frontier(), Position::ZERO);
+        let p0 = log.append(entry(1));
+        let p1 = log.append(entry(2));
+        assert_eq!(log.decided_frontier(), Position::ZERO);
+        // Deciding out of order does not advance past the undecided slot.
+        log.decide(p1, Decision::Commit);
+        assert_eq!(log.decided_frontier(), Position::ZERO);
+        log.decide(p0, Decision::Abort);
+        assert_eq!(log.decided_frontier(), Position::new(2));
+        // A hole blocks the frontier even after later slots are decided.
+        log.store_at(Position::new(3), entry(4));
+        log.decide(Position::new(3), Decision::Commit);
+        assert_eq!(log.decided_frontier(), Position::new(2));
+        log.store_at(Position::new(2), entry(3));
+        assert_eq!(log.decided_frontier(), Position::new(2));
+        log.decide(Position::new(2), Decision::Commit);
+        assert_eq!(log.decided_frontier(), Position::new(4));
+    }
+
+    #[test]
+    fn truncate_folds_decided_prefix_and_frees_slots() {
+        let mut log = indexed_log();
+        let p0 = log.append(rw_entry(1, "x", 0, 4));
+        let p1 = log.append(rw_entry(2, "y", 0, 6));
+        let p2 = log.append(rw_entry(3, "z", 0, 8));
+        log.decide(p0, Decision::Commit);
+        log.decide(p1, Decision::Abort);
+
+        // Only the decided prefix [0, 2) can be folded, whatever is asked.
+        assert_eq!(log.truncate_to(Position::new(99)), 2);
+        assert_eq!(log.base(), Position::new(2));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.next(), Position::new(3));
+
+        // Physical slots are gone; phases and identities survive.
+        assert_eq!(log.get(p0), None);
+        assert_eq!(log.phase(p0), TxPhase::Decided);
+        assert_eq!(log.phase(p1), TxPhase::Decided);
+        assert_eq!(log.get(p2).unwrap().tx, TxId::new(3));
+        assert_eq!(
+            log.slot_identity(p0),
+            Some((TxId::new(1), Some(Decision::Commit)))
+        );
+        assert_eq!(
+            log.slot_identity(p1),
+            Some((TxId::new(2), Some(Decision::Abort)))
+        );
+
+        // position_of and the truncated decision are answered from the
+        // checkpoint (satellite regression: O(1) map survives truncation).
+        assert_eq!(log.position_of(TxId::new(1)), Some(p0));
+        assert_eq!(log.position_of(TxId::new(2)), Some(p1));
+        assert_eq!(log.position_of(TxId::new(3)), Some(p2));
+        assert_eq!(log.truncated_decision(TxId::new(1)), Some(Decision::Commit));
+        assert_eq!(log.truncated_decision(TxId::new(2)), Some(Decision::Abort));
+        assert_eq!(log.truncated_decision(TxId::new(3)), None);
+
+        // Stale messages for the truncated prefix are no-ops.
+        assert!(!log.store_at(p0, rw_entry(9, "q", 0, 1)));
+        log.decide(p1, Decision::Commit); // first decision (abort) wins
+        assert_eq!(
+            log.slot_identity(p1),
+            Some((TxId::new(2), Some(Decision::Abort)))
+        );
+
+        // Votes are unaffected: the committed writer of "x" is still seen.
+        let stale = Payload::builder()
+            .read(Key::new("x"), Version::new(0))
+            .build()
+            .expect("well-formed");
+        assert_eq!(log.vote_at(log.next(), &stale), Some(Decision::Abort));
+        // "y" was aborted: reading version 0 of it is fine, but "z" is still
+        // write-locked by the prepared transaction at p2.
+        let fine = Payload::builder()
+            .read(Key::new("y"), Version::new(0))
+            .build()
+            .expect("well-formed");
+        assert_eq!(log.vote_at(log.next(), &fine), Some(Decision::Commit));
+
+        // A second truncation with nothing new decided is a no-op.
+        assert_eq!(log.truncate_to(Position::new(99)), 0);
+    }
+
+    #[test]
+    fn truncate_never_crosses_holes_or_undecided_slots() {
+        let mut log = indexed_log();
+        let p0 = log.append(rw_entry(1, "a", 0, 2));
+        log.decide(p0, Decision::Commit);
+        log.store_at(Position::new(2), rw_entry(3, "c", 0, 3));
+        log.decide(Position::new(2), Decision::Commit);
+        // Hole at 1: only [0, 1) is truncatable.
+        assert_eq!(log.truncate_to(Position::new(3)), 1);
+        assert_eq!(log.base(), Position::new(1));
+        assert_eq!(log.hole_count(), 1);
+        // Fill and decide the hole; now the rest can go.
+        assert!(log.store_at(Position::new(1), rw_entry(2, "b", 0, 4)));
+        log.decide(Position::new(1), Decision::Abort);
+        assert_eq!(log.truncate_to(Position::new(3)), 2);
+        assert_eq!(log.base(), Position::new(3));
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.next(), Position::new(3));
+        assert_eq!(log.checkpoint().decided_count(), 3);
+    }
+
+    #[test]
+    fn set_certifier_rebuilds_from_checkpoint_and_suffix() {
+        // A truncated log whose index is rebuilt from scratch must vote like a
+        // log that never truncated.
+        let mut full = indexed_log();
+        let mut truncated = indexed_log();
+        for (i, key) in ["x", "y", "z"].iter().enumerate() {
+            let e = rw_entry(i as u64 + 1, key, 0, 4 + i as u64);
+            let p_full = full.append(e.clone());
+            let p_trunc = truncated.append(e);
+            full.decide(p_full, Decision::Commit);
+            truncated.decide(p_trunc, Decision::Commit);
+        }
+        full.append(rw_entry(4, "w", 0, 9));
+        truncated.append(rw_entry(4, "w", 0, 9));
+        truncated.truncate_to(Position::new(3));
+        assert_eq!(truncated.len(), 1);
+
+        // Rebuild the truncated log's index from checkpoint + suffix.
+        truncated.set_certifier(Serializability::new().indexed_certifier(ShardId::new(0)));
+        for key in ["x", "y", "z", "w", "cold"] {
+            for version in [0, 4, 5, 6] {
+                let candidate = Payload::builder()
+                    .read(Key::new(key), Version::new(version))
+                    .build()
+                    .expect("well-formed");
+                assert_eq!(
+                    truncated.vote_at(truncated.next(), &candidate),
+                    full.vote_at(full.next(), &candidate),
+                    "diverged for {key}@{version}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_with_holes_is_checkpoint_aware() {
+        // Leader decides and truncates; a follower that still retains the
+        // prefix must remain a prefix-with-holes of it, and vice versa.
+        let mut leader = CertificationLog::new();
+        let mut follower = CertificationLog::new();
+        for i in 1..=3u64 {
+            let e = entry(i);
+            let pos = leader.append(e.clone());
+            follower.store_at(pos, e);
+        }
+        for i in 0..3u64 {
+            leader.decide(Position::new(i), Decision::Commit);
+        }
+        leader.truncate_to(Position::new(2));
+        assert!(follower.is_prefix_with_holes_of(&leader, leader.next()));
+
+        // Follower learns the decisions and truncates further than nothing —
+        // both directions hold across different frontiers.
+        for i in 0..3u64 {
+            follower.decide(Position::new(i), Decision::Commit);
+        }
+        follower.truncate_to(Position::new(3));
+        assert!(follower.is_prefix_with_holes_of(&leader, leader.next()));
+        assert!(leader.is_prefix_with_holes_of(&follower, leader.next()));
+
+        // A diverging retained entry under the leader's checkpoint is caught.
+        let mut bad = CertificationLog::new();
+        bad.store_at(Position::new(0), entry(9));
+        assert!(!bad.is_prefix_with_holes_of(&leader, leader.next()));
+    }
+
+    #[test]
+    fn equality_distinguishes_checkpoints() {
+        let mut a = CertificationLog::new();
+        let mut b = CertificationLog::new();
+        for i in 1..=2u64 {
+            let e = entry(i);
+            a.append(e.clone());
+            b.append(e);
+        }
+        a.decide(Position::new(0), Decision::Commit);
+        b.decide(Position::new(0), Decision::Commit);
+        assert_eq!(a, b);
+        a.truncate_to(Position::new(1));
+        // Same logical history, different physical state: not equal (the
+        // checkpoint is paper-visible state after truncation).
+        assert_ne!(a, b);
+        b.truncate_to(Position::new(1));
+        assert_eq!(a, b);
     }
 }

@@ -6,6 +6,13 @@
 //! submitting client (`client : T → P`). Carrying them in `PREPARE`,
 //! `PREPARE_ACK` and `ACCEPT` lets any replica act as a recovery coordinator
 //! without a shared directory, and does not change the protocol's behaviour.
+//!
+//! For checkpointed log truncation (§6's garbage collection), replicas gossip
+//! their *decided frontier* on the existing exchanges: the leader's frontier
+//! rides on `PREPARE_ACK`, each follower's on `ACCEPT_ACK`, and the
+//! coordinator folds them into a cluster-wide minimum that rides on
+//! `DECISION` back to the shard's members — zero additional messages on the
+//! commit path.
 
 use ratc_config::ShardConfiguration;
 use ratc_types::{Decision, Epoch, Payload, Position, ProcessId, ShardId, TxId};
@@ -60,6 +67,8 @@ pub enum Msg {
         shards: Vec<ShardId>,
         /// `client(t)`, echoed for recovery coordinators.
         client: ProcessId,
+        /// The leader's decided frontier, gossiped for log truncation.
+        frontier: Position,
     },
     /// `ACCEPT(e, k, t, l, d)` from the coordinator to the followers of a
     /// shard (line 20).
@@ -94,6 +103,8 @@ pub enum Msg {
         tx: TxId,
         /// The vote being acknowledged.
         vote: Decision,
+        /// The follower's decided frontier, gossiped for log truncation.
+        frontier: Position,
     },
     /// `DECISION(e, k, d)` from the coordinator to the members of a shard
     /// (line 29).
@@ -104,6 +115,10 @@ pub enum Msg {
         pos: Position,
         /// The final decision.
         decision: Decision,
+        /// Cluster-wide minimum decided frontier the coordinator observed for
+        /// this shard: members may safely truncate their log below it (each
+        /// clamps to its own decided frontier anyway).
+        truncate_to: Position,
     },
     /// `DECISION(t, d)` from the coordinator to the client (line 27).
     DecisionClient {
@@ -117,6 +132,19 @@ pub enum Msg {
     Retry {
         /// Transaction to re-coordinate.
         tx: TxId,
+    },
+    /// Reply to `PREPARE` for a transaction already folded into the leader's
+    /// checkpoint: it is decided and its slot was truncated, so the final
+    /// decision is returned directly (nothing remains to re-ack). Gray &
+    /// Lamport's requirement that truncation never lose a decision recovery
+    /// still needs is met by the checkpoint's per-transaction decision map.
+    TxDecided {
+        /// The truncated transaction.
+        tx: TxId,
+        /// Its final decision.
+        decision: Decision,
+        /// `client(t)`, so the coordinator can forward the decision.
+        client: ProcessId,
     },
 
     // ------------------------------------------------------------------
@@ -243,6 +271,7 @@ impl Msg {
             Msg::DecisionShard { .. } => "decision_shard",
             Msg::DecisionClient { .. } => "decision_client",
             Msg::Retry { .. } => "retry",
+            Msg::TxDecided { .. } => "tx_decided",
             Msg::StartReconfigure { .. } => "start_reconfigure",
             Msg::Probe { .. } => "probe",
             Msg::ProbeAck { .. } => "probe_ack",

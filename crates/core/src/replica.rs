@@ -27,6 +27,49 @@ use crate::messages::Msg;
 /// Timer tag used for the coordinator's re-transmission tick.
 const RETRY_TICK: TimerTag = 1;
 
+/// Policy for checkpointed log truncation (§6's garbage collection).
+///
+/// Members truncate their certification log at the cluster-wide minimum
+/// decided frontier gossiped on the existing message exchanges (see
+/// `crate::messages`), clamped to their own decided frontier. `batch`
+/// amortises the fold: a replica truncates only once at least that many
+/// decided slots can be freed at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationConfig {
+    /// Whether replicas truncate at all.
+    pub enabled: bool,
+    /// Minimum number of slots to fold per truncation.
+    pub batch: u64,
+}
+
+impl Default for TruncationConfig {
+    fn default() -> Self {
+        TruncationConfig {
+            enabled: true,
+            batch: 32,
+        }
+    }
+}
+
+impl TruncationConfig {
+    /// Truncation switched off: the log grows without bound (the seed
+    /// behaviour; useful for A/B benchmarks and the differential suites).
+    pub fn disabled() -> Self {
+        TruncationConfig {
+            enabled: false,
+            batch: u64::MAX,
+        }
+    }
+
+    /// Truncation with the given fold batch.
+    pub fn with_batch(batch: u64) -> Self {
+        TruncationConfig {
+            enabled: true,
+            batch: batch.max(1),
+        }
+    }
+}
+
 /// The status of a replica within its shard (the paper's `status` variable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -45,6 +88,10 @@ struct ShardProgress {
     pos: Option<Position>,
     vote: Option<Decision>,
     acks: BTreeSet<ProcessId>,
+    /// Decided frontiers gossiped by the shard's members (leader via
+    /// `PREPARE_ACK`, followers via `ACCEPT_ACK`); the minimum over the full
+    /// membership is the shard's safe truncation point.
+    frontiers: BTreeMap<ProcessId, Position>,
 }
 
 /// Coordinator-side state for one transaction.
@@ -58,6 +105,11 @@ struct CoordState {
     /// Progress per shard per epoch.
     progress: BTreeMap<ShardId, BTreeMap<Epoch, ShardProgress>>,
     decided: bool,
+    /// A decision learned out-of-band from a `TxDecided` reply (the
+    /// transaction was truncated at some shard). Shards that still hold the
+    /// transaction as prepared must be told it, or their slots (and lock
+    /// tables) stay stranded forever.
+    known_decision: Option<Decision>,
 }
 
 /// Phase of an in-flight reconfiguration driven by this replica.
@@ -113,6 +165,7 @@ pub struct Replica {
     recon: Option<ReconState>,
     retry_interval: SimDuration,
     retry_timer_armed: bool,
+    truncation: TruncationConfig,
 }
 
 impl Replica {
@@ -142,7 +195,18 @@ impl Replica {
             recon: None,
             retry_interval: SimDuration::from_millis(20),
             retry_timer_armed: false,
+            truncation: TruncationConfig::default(),
         }
+    }
+
+    /// Sets the checkpointed-truncation policy (default: enabled, batch 32).
+    pub fn set_truncation(&mut self, truncation: TruncationConfig) {
+        self.truncation = truncation;
+    }
+
+    /// The replica's checkpointed-truncation policy.
+    pub fn truncation(&self) -> TruncationConfig {
+        self.truncation
     }
 
     /// Installs the initial configuration view at this replica: its own
@@ -292,19 +356,28 @@ impl Replica {
             if !required.is_subset(&progress.acks) {
                 return;
             }
+            // Cluster-wide minimum decided frontier of the shard: defined
+            // only once every current member has gossiped one (a member the
+            // coordinator has not heard from pins the floor at zero).
+            let floor = self
+                .members_of(*shard)
+                .iter()
+                .map(|m| progress.frontiers.get(m).copied().unwrap_or(Position::ZERO))
+                .min()
+                .unwrap_or(Position::ZERO);
             votes.push(vote);
-            positions.push((*shard, epoch, pos));
+            positions.push((*shard, epoch, pos, floor));
         }
         let decision = Decision::meet_all(votes);
         let client = coord.client;
-        let shard_targets: Vec<(ShardId, Epoch, Position)> = positions;
+        let shard_targets: Vec<(ShardId, Epoch, Position, Position)> = positions;
         if let Some(coord) = self.coordinating.get_mut(&tx) {
             coord.decided = true;
         }
         ctx.add_counter("coordinator_decisions", 1);
         ctx.record_sample("coordinator_decision_hops", f64::from(ctx.hops()));
         ctx.send(client, Msg::DecisionClient { tx, decision });
-        for (shard, _epoch, pos) in shard_targets {
+        for (shard, _epoch, pos, truncate_to) in shard_targets {
             let epoch = self.epoch.get(&shard).copied().unwrap_or(Epoch::ZERO);
             let members = self.members_of(shard).to_vec();
             ctx.send_to_many(
@@ -313,6 +386,7 @@ impl Replica {
                     epoch,
                     pos,
                     decision,
+                    truncate_to,
                 },
             );
         }
@@ -330,6 +404,7 @@ impl Replica {
             shards,
             progress: BTreeMap::new(),
             decided: false,
+            known_decision: None,
         })
     }
 
@@ -361,6 +436,7 @@ impl Replica {
             shards: shards.clone(),
             progress: BTreeMap::new(),
             decided: false,
+            known_decision: None,
         });
         coord.payload = Some(payload);
         coord.client = client;
@@ -383,13 +459,28 @@ impl Replica {
             return; // line 5 precondition
         }
         let epoch = self.epoch_of(self.shard);
+        // A transaction whose slot was folded into the checkpoint is decided:
+        // answer the recovery coordinator with the final decision directly
+        // (there is no slot left to re-ack, and re-certifying it as new would
+        // contradict the recorded decision).
+        if let Some(decision) = self.log.truncated_decision(tx) {
+            ctx.send(
+                from,
+                Msg::TxDecided {
+                    tx,
+                    decision,
+                    client,
+                },
+            );
+            return;
+        }
         // Line 6: the transaction is already in the certification order —
         // resend the stored PREPARE_ACK (this serves recovery coordinators).
         if let Some(pos) = self.log.position_of(tx) {
             let entry = self
                 .log
                 .get(pos)
-                .expect("position_of returned a filled slot");
+                .expect("position_of returned a retained slot");
             ctx.send(
                 from,
                 Msg::PrepareAck {
@@ -401,6 +492,7 @@ impl Replica {
                     vote: entry.vote,
                     shards: entry.shards.clone(),
                     client: entry.client,
+                    frontier: self.log.decided_frontier(),
                 },
             );
             return;
@@ -442,6 +534,7 @@ impl Replica {
                 vote,
                 shards,
                 client,
+                frontier: self.log.decided_frontier(),
             },
         );
     }
@@ -451,6 +544,7 @@ impl Replica {
     #[allow(clippy::too_many_arguments)]
     fn handle_prepare_ack(
         &mut self,
+        from: ProcessId,
         epoch: Epoch,
         shard: ShardId,
         pos: Position,
@@ -459,6 +553,7 @@ impl Replica {
         vote: Decision,
         shards: Vec<ShardId>,
         client: ProcessId,
+        frontier: Position,
         ctx: &mut Context<'_, Msg>,
     ) {
         // Line 19 precondition: the coordinator's view of the shard's epoch
@@ -475,6 +570,7 @@ impl Replica {
             .or_default();
         progress.pos = Some(pos);
         progress.vote = Some(vote);
+        progress.frontiers.insert(from, frontier);
         // Line 20: persist the vote at the followers.
         let leader = self.leader.get(&shard).copied();
         let followers: Vec<ProcessId> = self
@@ -496,6 +592,10 @@ impl Replica {
                 client,
             },
         );
+        // A late re-ack for a transaction whose decision was already learned
+        // out-of-band (`TxDecided`): tell this shard the decision now that
+        // its position is known.
+        self.flush_known_decision(tx, shard, ctx);
         // With f = 0 (no followers) the transaction may already be complete.
         self.check_completion(tx, ctx);
     }
@@ -546,6 +646,7 @@ impl Replica {
                 pos,
                 tx,
                 vote,
+                frontier: self.log.decided_frontier(),
             },
         );
     }
@@ -560,6 +661,7 @@ impl Replica {
         pos: Position,
         tx: TxId,
         vote: Decision,
+        frontier: Position,
         ctx: &mut Context<'_, Msg>,
     ) {
         let Some(coord) = self.coordinating.get_mut(&tx) else {
@@ -572,6 +674,7 @@ impl Replica {
             .entry(epoch)
             .or_default();
         progress.acks.insert(from);
+        progress.frontiers.insert(from, frontier);
         if progress.pos.is_none() {
             progress.pos = Some(pos);
         }
@@ -581,8 +684,17 @@ impl Replica {
         self.check_completion(tx, ctx);
     }
 
-    /// Lines 30–32: record the final decision for a certification-order slot.
-    fn handle_decision_shard(&mut self, epoch: Epoch, pos: Position, decision: Decision) {
+    /// Lines 30–32: record the final decision for a certification-order slot,
+    /// then fold the decided prefix below the gossiped cluster-wide floor
+    /// into the checkpoint.
+    fn handle_decision_shard(
+        &mut self,
+        epoch: Epoch,
+        pos: Position,
+        decision: Decision,
+        truncate_to: Position,
+        ctx: &mut Context<'_, Msg>,
+    ) {
         if self.status == Status::Reconfiguring {
             return; // line 31 precondition: status ∈ {leader, follower}
         }
@@ -590,6 +702,84 @@ impl Replica {
             return; // line 31 precondition: epoch[s0] ≥ e
         }
         self.log.decide(pos, decision);
+        self.maybe_truncate(truncate_to, ctx);
+    }
+
+    /// Truncates the log at `floor` (clamped to the own decided frontier by
+    /// the log itself) once at least a batch of slots can be freed.
+    fn maybe_truncate(&mut self, floor: Position, ctx: &mut Context<'_, Msg>) {
+        if !self.truncation.enabled {
+            return;
+        }
+        let target = floor.min(self.log.decided_frontier());
+        if target.as_u64() >= self.log.base().as_u64() + self.truncation.batch {
+            let freed = self.log.truncate_to(target);
+            ctx.add_counter("log_slots_truncated", freed as u64);
+        }
+    }
+
+    /// A shard leader answered a `PREPARE` for a transaction it has already
+    /// decided and truncated: adopt the decision, report it to the client
+    /// (duplicate identical decisions are benign there), and propagate it to
+    /// every shard whose certification position this coordinator knows —
+    /// shards that missed the original `DECISION` still hold the transaction
+    /// as prepared, and without this their slots and `L2` locks would stay
+    /// stranded forever. Shards whose `PREPARE_ACK` has not arrived yet are
+    /// flushed from `handle_prepare_ack` via `known_decision`.
+    fn handle_tx_decided(
+        &mut self,
+        tx: TxId,
+        decision: Decision,
+        client: ProcessId,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        if let Some(coord) = self.coordinating.get_mut(&tx) {
+            if coord.known_decision.is_some() {
+                return;
+            }
+            coord.known_decision = Some(decision);
+            let was_decided = coord.decided;
+            coord.decided = true;
+            let shards = coord.shards.clone();
+            for shard in shards {
+                self.flush_known_decision(tx, shard, ctx);
+            }
+            if was_decided {
+                return;
+            }
+        }
+        ctx.send(client, Msg::DecisionClient { tx, decision });
+    }
+
+    /// Re-sends `DECISION` for a transaction with an out-of-band decision to
+    /// the members of `shard`, if this coordinator knows the transaction's
+    /// position there in the shard's current epoch.
+    fn flush_known_decision(&mut self, tx: TxId, shard: ShardId, ctx: &mut Context<'_, Msg>) {
+        let Some(coord) = self.coordinating.get(&tx) else {
+            return;
+        };
+        let Some(decision) = coord.known_decision else {
+            return;
+        };
+        let epoch = self.epoch_of(shard);
+        let Some(pos) = coord
+            .progress
+            .get(&shard)
+            .and_then(|m| m.get(&epoch))
+            .and_then(|p| p.pos)
+        else {
+            return;
+        };
+        let members = self.members_of(shard).to_vec();
+        ctx.send_to_many(
+            members,
+            Msg::DecisionShard {
+                epoch,
+                pos,
+                decision,
+                truncate_to: Position::ZERO,
+            },
+        );
     }
 
     /// Lines 70–73: become a recovery coordinator for a prepared transaction.
@@ -597,7 +787,11 @@ impl Replica {
         let Some(pos) = self.log.position_of(tx) else {
             return;
         };
-        let entry = self.log.get(pos).expect("filled");
+        // A truncated slot is decided (line 71 precondition fails), so
+        // `get` returning `None` below the checkpoint is also a no-op.
+        let Some(entry) = self.log.get(pos) else {
+            return;
+        };
         if entry.phase != TxPhase::Prepared {
             return; // line 71 precondition
         }
@@ -974,7 +1168,10 @@ impl Actor<Msg> for Replica {
                 vote,
                 shards,
                 client,
-            } => self.handle_prepare_ack(epoch, shard, pos, tx, payload, vote, shards, client, ctx),
+                frontier,
+            } => self.handle_prepare_ack(
+                from, epoch, shard, pos, tx, payload, vote, shards, client, frontier, ctx,
+            ),
             Msg::Accept {
                 epoch,
                 shard,
@@ -993,14 +1190,21 @@ impl Actor<Msg> for Replica {
                 pos,
                 tx,
                 vote,
-            } => self.handle_accept_ack(from, shard, epoch, pos, tx, vote, ctx),
+                frontier,
+            } => self.handle_accept_ack(from, shard, epoch, pos, tx, vote, frontier, ctx),
             Msg::DecisionShard {
                 epoch,
                 pos,
                 decision,
-            } => self.handle_decision_shard(epoch, pos, decision),
+                truncate_to,
+            } => self.handle_decision_shard(epoch, pos, decision, truncate_to, ctx),
             Msg::DecisionClient { .. } => {}
             Msg::Retry { tx } => self.handle_retry(tx, ctx),
+            Msg::TxDecided {
+                tx,
+                decision,
+                client,
+            } => self.handle_tx_decided(tx, decision, client, ctx),
             Msg::StartReconfigure {
                 shard,
                 spares,

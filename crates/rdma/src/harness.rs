@@ -15,6 +15,7 @@ use ratc_types::{
 use crate::config_service::GlobalConfigServiceActor;
 use crate::messages::RdmaMsg;
 use crate::replica::{RdmaReplica, ReconfigMode};
+use ratc_core::replica::TruncationConfig;
 
 /// Configuration of a simulated RDMA deployment.
 #[derive(Clone)]
@@ -31,6 +32,8 @@ pub struct RdmaClusterConfig {
     pub sim: SimConfig,
     /// Reconfiguration mode (correct global, or naive per-shard).
     pub mode: ReconfigMode,
+    /// Checkpointed log truncation (default: enabled, batch 32).
+    pub truncation: TruncationConfig,
 }
 
 impl Default for RdmaClusterConfig {
@@ -42,6 +45,7 @@ impl Default for RdmaClusterConfig {
             policy: Arc::new(Serializability::new()),
             sim: SimConfig::default(),
             mode: ReconfigMode::GlobalCorrect,
+            truncation: TruncationConfig::default(),
         }
     }
 }
@@ -72,6 +76,12 @@ impl RdmaClusterConfig {
     /// Returns a copy with the given random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.sim.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given checkpointed-truncation policy.
+    pub fn with_truncation(mut self, truncation: TruncationConfig) -> Self {
+        self.truncation = truncation;
         self
     }
 }
@@ -218,16 +228,14 @@ impl RdmaCluster {
         let all_members: Vec<ProcessId> = initial.all_processes();
         for (shard, shard_members) in &members {
             for pid in shard_members {
-                world
-                    .actor_mut::<RdmaReplica>(*pid)
-                    .expect("replica")
-                    .install_initial_config(*pid, cs, &initial, true);
+                let replica = world.actor_mut::<RdmaReplica>(*pid).expect("replica");
+                replica.install_initial_config(*pid, cs, &initial, true);
+                replica.set_truncation(config.truncation);
             }
             for pid in &spares[shard] {
-                world
-                    .actor_mut::<RdmaReplica>(*pid)
-                    .expect("spare")
-                    .install_initial_config(*pid, cs, &initial, false);
+                let replica = world.actor_mut::<RdmaReplica>(*pid).expect("spare");
+                replica.install_initial_config(*pid, cs, &initial, false);
+                replica.set_truncation(config.truncation);
             }
         }
         for owner in &all_members {

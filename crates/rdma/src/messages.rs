@@ -53,6 +53,11 @@ pub enum RdmaMsg {
         shards: Vec<ShardId>,
         /// `client(t)`.
         client: ProcessId,
+        /// The leader's decided frontier, gossiped for log truncation.
+        /// Followers acknowledge RDMA writes in hardware (no payload), so the
+        /// leader's frontier is the only one the coordinator learns; members
+        /// clamp the resulting truncation hint to their own decided frontier.
+        frontier: Position,
     },
     /// `ACCEPT(k, t, l, d)` written into a follower's memory by RDMA
     /// (line 93). Note: no epoch and no acknowledgement message — the NIC-level
@@ -79,6 +84,10 @@ pub enum RdmaMsg {
         pos: Position,
         /// Final decision.
         decision: Decision,
+        /// Truncation hint: the shard leader's decided frontier as observed
+        /// by the coordinator. Receivers clamp to their own frontier before
+        /// folding the prefix into their checkpoint.
+        truncate_to: Position,
     },
     /// `DECISION(t, d)` to the client (line 98).
     DecisionClient {
@@ -91,6 +100,16 @@ pub enum RdmaMsg {
     Retry {
         /// Transaction to re-coordinate.
         tx: TxId,
+    },
+    /// Reply to `PREPARE` for a transaction already folded into the leader's
+    /// checkpoint: its final decision, answered directly (see `ratc-core`).
+    TxDecided {
+        /// The truncated transaction.
+        tx: TxId,
+        /// Its final decision.
+        decision: Decision,
+        /// `client(t)`, so the coordinator can forward the decision.
+        client: ProcessId,
     },
 
     /// External trigger for `reconfigure()` (line 103). In the correct mode
@@ -208,6 +227,7 @@ impl RdmaMsg {
             RdmaMsg::DecisionShard { .. } => "decision_shard",
             RdmaMsg::DecisionClient { .. } => "decision_client",
             RdmaMsg::Retry { .. } => "retry",
+            RdmaMsg::TxDecided { .. } => "tx_decided",
             RdmaMsg::StartReconfigure { .. } => "start_reconfigure",
             RdmaMsg::Probe { .. } => "probe",
             RdmaMsg::ProbeAck { .. } => "probe_ack",

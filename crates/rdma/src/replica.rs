@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use ratc_config::{GlobalConfiguration, MembershipPlanner};
 use ratc_core::log::{LogEntry, TxPhase};
+use ratc_core::replica::TruncationConfig;
 use ratc_sim::rdma::RdmaToken;
 use ratc_sim::{Actor, Context, SimDuration, TimerTag};
 use ratc_types::{
@@ -50,6 +51,9 @@ struct ShardProgress {
     vote: Option<Decision>,
     /// Followers whose RDMA acknowledgement has been received.
     acked: BTreeSet<ProcessId>,
+    /// The shard leader's decided frontier, gossiped on `PREPARE_ACK` (RDMA
+    /// hardware acks carry no payload, so followers cannot gossip theirs).
+    leader_frontier: Option<Position>,
 }
 
 #[derive(Debug, Clone)]
@@ -60,6 +64,10 @@ struct CoordState {
     /// Progress per shard per (global) epoch.
     progress: BTreeMap<ShardId, BTreeMap<Epoch, ShardProgress>>,
     decided: bool,
+    /// A decision learned out-of-band from a `TxDecided` reply (the
+    /// transaction was truncated at some shard); propagated to shards that
+    /// still hold the transaction as prepared (see `flush_known_decision`).
+    known_decision: Option<Decision>,
 }
 
 /// What an outstanding RDMA write was for.
@@ -122,6 +130,7 @@ pub struct RdmaReplica {
     recon: Option<ReconState>,
     retry_interval: SimDuration,
     retry_timer_armed: bool,
+    truncation: TruncationConfig,
 }
 
 impl RdmaReplica {
@@ -155,7 +164,13 @@ impl RdmaReplica {
             recon: None,
             retry_interval: SimDuration::from_millis(20),
             retry_timer_armed: false,
+            truncation: TruncationConfig::default(),
         }
+    }
+
+    /// Sets the checkpointed-truncation policy (default: enabled, batch 32).
+    pub fn set_truncation(&mut self, truncation: TruncationConfig) {
+        self.truncation = truncation;
     }
 
     /// Installs the initial configuration, own identifier and configuration
@@ -216,6 +231,21 @@ impl RdmaReplica {
     /// The replica's current view of the global configuration.
     pub fn config(&self) -> Option<&GlobalConfiguration> {
         self.config.as_ref()
+    }
+
+    /// Number of transactions this replica is currently coordinating without
+    /// a final decision.
+    pub fn undecided_coordinated(&self) -> usize {
+        self.coordinating.values().filter(|c| !c.decided).count()
+    }
+
+    /// The transactions this replica coordinates that have no final decision.
+    pub fn undecided_transactions(&self) -> Vec<TxId> {
+        self.coordinating
+            .iter()
+            .filter(|(_, c)| !c.decided)
+            .map(|(tx, _)| *tx)
+            .collect()
     }
 
     // -- helpers -------------------------------------------------------------
@@ -297,11 +327,70 @@ impl RdmaReplica {
                     },
                 );
             }
-            // Line 101–102.
-            RdmaMsg::DecisionShard { pos, decision } => {
+            // Line 101–102, plus checkpointed truncation at the hinted floor.
+            RdmaMsg::DecisionShard {
+                pos,
+                decision,
+                truncate_to,
+            } => {
                 self.log.decide(pos, decision);
+                self.maybe_truncate(truncate_to);
             }
             _ => {}
+        }
+    }
+
+    /// Writes `DECISION` for a transaction with an out-of-band decision
+    /// (learned via `TxDecided`) into the members of `shard`, if this
+    /// coordinator knows the transaction's position there in the current
+    /// epoch. Without this, shards that missed the original decision would
+    /// hold the transaction prepared (and its keys locked) forever.
+    fn flush_known_decision(&mut self, tx: TxId, shard: ShardId, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some(coord) = self.coordinating.get(&tx) else {
+            return;
+        };
+        let Some(decision) = coord.known_decision else {
+            return;
+        };
+        let Some(pos) = coord
+            .progress
+            .get(&shard)
+            .and_then(|m| m.get(&self.epoch))
+            .and_then(|p| p.pos)
+        else {
+            return;
+        };
+        let members = self
+            .config
+            .as_ref()
+            .map(|c| c.members_of(shard).to_vec())
+            .unwrap_or_default();
+        for member in members {
+            if member == self.id {
+                self.log.decide(pos, decision);
+                continue;
+            }
+            let token = ctx.rdma_send(
+                member,
+                RdmaMsg::DecisionShard {
+                    pos,
+                    decision,
+                    truncate_to: Position::ZERO,
+                },
+            );
+            self.pending_writes.insert(token, PendingWrite::Other);
+        }
+    }
+
+    /// Truncates the log at `floor` (clamped to the own decided frontier by
+    /// the log itself) once at least a batch of slots can be freed.
+    fn maybe_truncate(&mut self, floor: Position) {
+        if !self.truncation.enabled {
+            return;
+        }
+        let target = floor.min(self.log.decided_frontier());
+        if target.as_u64() >= self.log.base().as_u64() + self.truncation.batch {
+            self.log.truncate_to(target);
         }
     }
 
@@ -328,7 +417,11 @@ impl RdmaReplica {
                 return;
             }
             votes.push(vote);
-            positions.push((*shard, pos));
+            positions.push((
+                *shard,
+                pos,
+                progress.leader_frontier.unwrap_or(Position::ZERO),
+            ));
         }
         let decision = Decision::meet_all(votes);
         let client = coord.client;
@@ -337,7 +430,7 @@ impl RdmaReplica {
         }
         ctx.add_counter("coordinator_decisions", 1);
         ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
-        for (shard, pos) in positions {
+        for (shard, pos, truncate_to) in positions {
             let members = self
                 .config
                 .as_ref()
@@ -346,9 +439,17 @@ impl RdmaReplica {
             for member in members {
                 if member == self.id {
                     self.log.decide(pos, decision);
+                    self.maybe_truncate(truncate_to);
                     continue;
                 }
-                let token = ctx.rdma_send(member, RdmaMsg::DecisionShard { pos, decision });
+                let token = ctx.rdma_send(
+                    member,
+                    RdmaMsg::DecisionShard {
+                        pos,
+                        decision,
+                        truncate_to,
+                    },
+                );
                 self.pending_writes.insert(token, PendingWrite::Other);
             }
         }
@@ -380,6 +481,7 @@ impl RdmaReplica {
             shards: shards.clone(),
             progress: BTreeMap::new(),
             decided: false,
+            known_decision: None,
         });
         coord.payload = Some(payload);
         coord.client = client;
@@ -401,8 +503,21 @@ impl RdmaReplica {
         if self.status != RdmaStatus::Leader {
             return;
         }
+        // A truncated transaction is decided: answer with the recorded
+        // decision instead of re-certifying it as new (see `ratc-core`).
+        if let Some(decision) = self.log.truncated_decision(tx) {
+            ctx.send(
+                from,
+                RdmaMsg::TxDecided {
+                    tx,
+                    decision,
+                    client,
+                },
+            );
+            return;
+        }
         if let Some(pos) = self.log.position_of(tx) {
-            let entry = self.log.get(pos).expect("filled");
+            let entry = self.log.get(pos).expect("retained");
             ctx.send(
                 from,
                 RdmaMsg::PrepareAck {
@@ -414,6 +529,7 @@ impl RdmaReplica {
                     vote: entry.vote,
                     shards: entry.shards.clone(),
                     client: entry.client,
+                    frontier: self.log.decided_frontier(),
                 },
             );
             return;
@@ -452,6 +568,7 @@ impl RdmaReplica {
                 vote,
                 shards,
                 client,
+                frontier: self.log.decided_frontier(),
             },
         );
     }
@@ -468,6 +585,7 @@ impl RdmaReplica {
         vote: Decision,
         shards: Vec<ShardId>,
         client: ProcessId,
+        frontier: Position,
         ctx: &mut Context<'_, RdmaMsg>,
     ) {
         // Line 92 precondition: the coordinator is in the same (global) epoch
@@ -481,6 +599,7 @@ impl RdmaReplica {
             shards: shards.clone(),
             progress: BTreeMap::new(),
             decided: false,
+            known_decision: None,
         });
         let progress = coord
             .progress
@@ -490,6 +609,7 @@ impl RdmaReplica {
             .or_default();
         progress.pos = Some(pos);
         progress.vote = Some(vote);
+        progress.leader_frontier = Some(frontier);
         let followers = self.followers_of(shard);
         let mut self_is_follower = false;
         for follower in followers {
@@ -542,6 +662,10 @@ impl RdmaReplica {
                     .insert(self.id);
             }
         }
+        // A late re-ack for a transaction whose decision was already learned
+        // out-of-band (`TxDecided`): tell this shard the decision now that
+        // its position is known.
+        self.flush_known_decision(tx, shard, ctx);
         self.check_completion(tx, ctx);
     }
 
@@ -549,7 +673,10 @@ impl RdmaReplica {
         let Some(pos) = self.log.position_of(tx) else {
             return;
         };
-        let entry = self.log.get(pos).expect("filled");
+        // A truncated slot is decided; nothing to recover.
+        let Some(entry) = self.log.get(pos) else {
+            return;
+        };
         if entry.phase != TxPhase::Prepared {
             return;
         }
@@ -561,6 +688,7 @@ impl RdmaReplica {
             shards,
             progress: BTreeMap::new(),
             decided: false,
+            known_decision: None,
         });
         let coord = coord.clone();
         self.send_prepares(ctx, tx, &coord, None);
@@ -610,14 +738,22 @@ impl RdmaReplica {
         config: GlobalConfiguration,
         ctx: &mut Context<'_, RdmaMsg>,
     ) {
-        if config.epoch <= self.epoch || config.all_processes().contains(&self.id) {
+        // Members of the current configuration complete their transactions
+        // through the normal path; only an *excluded* process must hand off.
+        // The check is on membership, not on seeing a newer epoch: a process
+        // that already adopted the configuration it was dropped from would
+        // otherwise retry new transactions into closed connections forever
+        // (its RDMA writes are rejected by every member).
+        if config.epoch < self.epoch || config.all_processes().contains(&self.id) {
             return;
         }
-        self.epoch = config.epoch;
-        if self.new_epoch < config.epoch {
-            self.new_epoch = config.epoch;
+        if config.epoch > self.epoch {
+            self.epoch = config.epoch;
+            if self.new_epoch < config.epoch {
+                self.new_epoch = config.epoch;
+            }
+            self.config = Some(config.clone());
         }
-        self.config = Some(config.clone());
         let stalled: Vec<(TxId, Vec<ShardId>)> = self
             .coordinating
             .iter()
@@ -1077,9 +1213,34 @@ impl Actor<RdmaMsg> for RdmaReplica {
                 vote,
                 shards,
                 client,
-            } => self.handle_prepare_ack(epoch, shard, pos, tx, payload, vote, shards, client, ctx),
+                frontier,
+            } => self.handle_prepare_ack(
+                epoch, shard, pos, tx, payload, vote, shards, client, frontier, ctx,
+            ),
             RdmaMsg::DecisionClient { .. } => {}
             RdmaMsg::Retry { tx } => self.handle_retry(tx, ctx),
+            RdmaMsg::TxDecided {
+                tx,
+                decision,
+                client,
+            } => {
+                let mut notify_client = true;
+                if let Some(coord) = self.coordinating.get_mut(&tx) {
+                    if coord.known_decision.is_some() {
+                        return;
+                    }
+                    coord.known_decision = Some(decision);
+                    notify_client = !coord.decided;
+                    coord.decided = true;
+                    let shards = coord.shards.clone();
+                    for shard in shards {
+                        self.flush_known_decision(tx, shard, ctx);
+                    }
+                }
+                if notify_client {
+                    ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
+                }
+            }
             RdmaMsg::StartReconfigure {
                 suspected_shard,
                 spares,

@@ -19,7 +19,10 @@
 //! * [`serializability`] — an end-to-end conflict-serializability check over
 //!   committed read/write payloads, used by the key-value store examples;
 //! * [`indexed`] — differential testing of the incremental certification
-//!   index against the paper's set-based certification functions.
+//!   index against the paper's set-based certification functions;
+//! * [`truncation`] — differential testing of checkpointed log truncation:
+//!   a truncating log must agree vote-for-vote (and position-for-position)
+//!   with an untruncated mirror on randomized schedules.
 //!
 //! These are runtime checkers, not proofs: they are run over every simulated
 //! execution produced by the test suites, the property-based tests and the
@@ -33,8 +36,10 @@ pub mod correctness;
 pub mod indexed;
 pub mod serializability;
 pub mod tcsll;
+pub mod truncation;
 
 pub use correctness::{check_history, SpecViolation};
 pub use indexed::{differential_vote_check, DifferentialReport};
 pub use serializability::check_conflict_serializable;
 pub use tcsll::{ShardCertificationData, TcsLlViolation};
+pub use truncation::{differential_truncation_check, TruncationReport};

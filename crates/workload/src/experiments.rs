@@ -447,6 +447,101 @@ pub fn scaling_experiment(
 }
 
 // ---------------------------------------------------------------------------
+// E7: bounded-memory long histories via checkpointed truncation
+// ---------------------------------------------------------------------------
+
+/// Result of the log-truncation experiment (E7).
+#[derive(Debug, Clone)]
+pub struct TruncationResult {
+    /// Transactions submitted.
+    pub tx_count: usize,
+    /// Transactions decided.
+    pub decided: usize,
+    /// Whether checkpointed truncation was enabled.
+    pub truncation_enabled: bool,
+    /// Maximum retained (physical) log slots over all shard members at the
+    /// end of the run.
+    pub max_retained_slots: usize,
+    /// Maximum logical log length (`next`) over all shard members — what the
+    /// retained count would be without truncation.
+    pub max_log_next: u64,
+    /// Total slots folded into checkpoints across the cluster.
+    pub slots_truncated: u64,
+}
+
+impl fmt::Display for TruncationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truncation={:<5} txs={:<6} decided={:<6} retained_slots={:<6} logical_len={:<6} folded={}",
+            self.truncation_enabled,
+            self.tx_count,
+            self.decided,
+            self.max_retained_slots,
+            self.max_log_next,
+            self.slots_truncated
+        )
+    }
+}
+
+/// E7: drives a long paced history through the message-passing cluster and
+/// reports how much certification-log memory the shard members actually
+/// retain. With truncation enabled the retained slot count is bounded by the
+/// undecided window plus the fold batch, regardless of `tx_count`; disabled,
+/// it equals the whole history — which is what made 100k+-transaction E2/E4
+/// runs memory-bound before checkpointing.
+pub fn truncation_experiment(
+    shards: u32,
+    tx_count: usize,
+    truncation: Option<u64>,
+    seed: u64,
+) -> TruncationResult {
+    use ratc_core::replica::TruncationConfig;
+    let spec = WorkloadSpec {
+        key_count: 10_000,
+        keys_per_tx: 2,
+        write_fraction: 0.5,
+        tx_count,
+        distribution: KeyDistribution::Uniform,
+    };
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let txs = spec.generate(&mut rng);
+    let config = ClusterConfig::default()
+        .with_shards(shards)
+        .with_seed(seed)
+        .with_truncation(match truncation {
+            Some(batch) => TruncationConfig::with_batch(batch),
+            None => TruncationConfig::disabled(),
+        });
+    let mut cluster = Cluster::new(config);
+    // Pace submissions in small waves so decisions (and the gossiped decided
+    // frontiers) interleave with new transactions, as in a live system.
+    for wave in txs.chunks(8) {
+        for (tx, payload) in wave {
+            cluster.submit(*tx, payload.clone());
+        }
+        cluster.run_to_quiescence();
+    }
+    let mut max_retained_slots = 0usize;
+    let mut max_log_next = 0u64;
+    for shard in cluster.shards() {
+        for pid in cluster.current_members(shard) {
+            let log = cluster.replica(pid).log();
+            max_retained_slots = max_retained_slots.max(log.len());
+            max_log_next = max_log_next.max(log.next().as_u64());
+        }
+    }
+    TruncationResult {
+        tx_count,
+        decided: cluster.history().decide_count(),
+        truncation_enabled: truncation.is_some(),
+        max_retained_slots,
+        max_log_next,
+        slots_truncated: cluster.world.metrics().counter("log_slots_truncated"),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // E5: abort rate vs contention
 // ---------------------------------------------------------------------------
 
@@ -798,6 +893,24 @@ mod tests {
             baseline.recovery_micros < ratc.recovery_micros,
             "the 2f+1 baseline masks the failure while f+1 RATC must reconfigure first"
         );
+    }
+
+    #[test]
+    fn e7_truncation_bounds_log_memory() {
+        let on = truncation_experiment(2, 300, Some(8), 7);
+        let off = truncation_experiment(2, 300, None, 7);
+        assert_eq!(on.decided, 300);
+        assert_eq!(off.decided, 300);
+        assert!(on.slots_truncated > 0, "nothing was truncated: {on}");
+        // Disabled: the members retain the whole per-shard history.
+        assert_eq!(off.max_retained_slots as u64, off.max_log_next);
+        // Enabled: retention is bounded by the undecided window + batch,
+        // far below the logical history length.
+        assert!(
+            (on.max_retained_slots as u64) < on.max_log_next / 2,
+            "retention not bounded: {on}"
+        );
+        assert!(on.max_retained_slots < 100, "retention not bounded: {on}");
     }
 
     #[test]

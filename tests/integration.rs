@@ -4,6 +4,7 @@
 use ratc::baseline::{BaselineCluster, BaselineClusterConfig};
 use ratc::core::harness::{Cluster, ClusterConfig};
 use ratc::core::invariants::check_cluster;
+use ratc::core::replica::TruncationConfig;
 use ratc::kv::KvStore;
 use ratc::rdma::{RdmaCluster, RdmaClusterConfig};
 use ratc::spec::{check_conflict_serializable, check_history};
@@ -175,6 +176,125 @@ fn write_conflict_policy_commits_more_than_serializability() {
         write_conflict_commits > serializable_commits,
         "write-conflict ({write_conflict_commits}) must admit more commits than serializability ({serializable_commits})"
     );
+}
+
+/// A mildly contended payload stream: distinct keys repeat every 8
+/// transactions, with read versions chosen so that repeats conflict and
+/// abort, exercising both outcomes in the truncated prefix.
+fn contended_payload(i: u64) -> Payload {
+    Payload::builder()
+        .read(Key::new(format!("hot-{}", i % 8)), Version::ZERO)
+        .write(Key::new(format!("hot-{}", i % 8)), Value::from("v"))
+        .commit_version(Version::new(i + 1))
+        .build()
+        .expect("well-formed")
+}
+
+#[test]
+fn crash_recovery_from_checkpoint_and_suffix_loses_no_decisions() {
+    // Aggressive truncation so the prefix is folded well before the crash.
+    let mut cluster = Cluster::new(
+        ClusterConfig::default()
+            .with_shards(2)
+            .with_seed(41)
+            .with_truncation(TruncationConfig::with_batch(4)),
+    );
+    for i in 0..40u64 {
+        cluster.submit(TxId::new(i + 1), contended_payload(i));
+        cluster.run_to_quiescence();
+    }
+    let shard = ShardId::new(0);
+    let leader = cluster.current_leader(shard);
+    assert!(
+        cluster.replica(leader).log().base().as_u64() > 0,
+        "the leader must have truncated before the crash"
+    );
+
+    // Kill a follower mid-history and recover through reconfiguration: the
+    // spare is initialised from NEW_STATE carrying Checkpoint + suffix.
+    let follower = *cluster
+        .initial_members(shard)
+        .iter()
+        .find(|p| **p != leader)
+        .expect("follower");
+    cluster.crash(follower);
+    cluster.start_reconfiguration(shard, leader, vec![follower]);
+    cluster.run_to_quiescence();
+
+    let new_members = cluster.current_members(shard);
+    assert!(!new_members.contains(&follower));
+    let recovered = *new_members
+        .iter()
+        .find(|p| !cluster.initial_members(shard).contains(p))
+        .expect("a spare joined the configuration");
+    let recovered_log = cluster.replica(recovered).log();
+    assert!(
+        recovered_log.base().as_u64() > 0,
+        "state transfer must carry the checkpoint, not the whole log"
+    );
+    // Decisions folded before the crash are still answerable at the spare.
+    let (tx, dec) = recovered_log
+        .checkpoint()
+        .decisions()
+        .map(|(_, tx, dec)| (tx, dec))
+        .next()
+        .expect("checkpoint has folded decisions");
+    assert_eq!(recovered_log.truncated_decision(tx), Some(dec));
+
+    // Keep certifying after recovery.
+    for i in 40..60u64 {
+        cluster.submit(TxId::new(i + 1), contended_payload(i));
+        cluster.run_to_quiescence();
+    }
+
+    // The merged history (before + after the crash) must satisfy the TCS
+    // specification and stay conflict-serializable: no decision and no
+    // conflict edge was lost to truncation.
+    let history = cluster.history();
+    assert_eq!(history.decide_count(), 60);
+    assert!(check_history(&history, &Serializability::new()).is_empty());
+    assert!(check_conflict_serializable(&history).is_ok());
+    assert!(check_cluster(&cluster).is_empty());
+    assert!(cluster.client_violations().is_empty());
+}
+
+#[test]
+fn rdma_crash_recovery_with_truncation_preserves_the_specification() {
+    let mut cluster = RdmaCluster::new(
+        RdmaClusterConfig::default()
+            .with_shards(2)
+            .with_seed(23)
+            .with_truncation(TruncationConfig::with_batch(4)),
+    );
+    for i in 0..30u64 {
+        cluster.submit(TxId::new(i + 1), contended_payload(i));
+        cluster.run_to_quiescence();
+    }
+    let shard = ShardId::new(0);
+    let config = cluster.current_config();
+    let leader = config.leader_of(shard).expect("leader");
+    assert!(
+        cluster.replica(leader).log().base().as_u64() > 0,
+        "the RDMA leader must have truncated before the crash"
+    );
+    let follower = *config
+        .members_of(shard)
+        .iter()
+        .find(|p| **p != leader)
+        .expect("follower");
+    cluster.crash(follower);
+    cluster.start_reconfiguration(shard, leader, vec![follower]);
+    cluster.run_to_quiescence();
+
+    for i in 30..45u64 {
+        cluster.submit(TxId::new(i + 1), contended_payload(i));
+        cluster.run_to_quiescence();
+    }
+    let history = cluster.history();
+    assert_eq!(history.decide_count(), 45);
+    assert!(check_history(&history, &Serializability::new()).is_empty());
+    assert!(check_conflict_serializable(&history).is_ok());
+    assert!(cluster.client_violations().is_empty());
 }
 
 #[test]
