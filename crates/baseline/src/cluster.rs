@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use ratc_core::batch::BatchingConfig;
 use ratc_sim::{Actor, Context, SimConfig, SimDuration, SimTime, World};
 use ratc_types::{
     CertificationPolicy, Decision, HashSharding, Payload, ProcessId, Serializability, ShardId,
@@ -23,6 +24,9 @@ pub struct BaselineClusterConfig {
     pub f: usize,
     /// Certification policy.
     pub policy: Arc<dyn CertificationPolicy>,
+    /// Batched log appends (default: disabled): shard leaders coalesce
+    /// certified votes into one Multi-Paxos command per batch.
+    pub batching: BatchingConfig,
     /// Simulation parameters.
     pub sim: SimConfig,
 }
@@ -33,6 +37,7 @@ impl Default for BaselineClusterConfig {
             shards: 2,
             f: 1,
             policy: Arc::new(Serializability::new()),
+            batching: BatchingConfig::default(),
             sim: SimConfig::default(),
         }
     }
@@ -63,6 +68,12 @@ impl BaselineClusterConfig {
     /// Returns a copy with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.sim.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given batching-pipeline knobs.
+    pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
+        self.batching = batching;
         self
     }
 }
@@ -170,10 +181,11 @@ impl BaselineCluster {
 
         for (shard, group) in &shard_groups {
             for pid in group {
-                world
+                let replica = world
                     .actor_mut::<BaselineShardReplica>(*pid)
-                    .expect("replica")
-                    .install(*pid, group.clone(), *pid == shard_leaders[shard], tm_leader);
+                    .expect("replica");
+                replica.install(*pid, group.clone(), *pid == shard_leaders[shard], tm_leader);
+                replica.set_batching(config.batching);
             }
         }
         for pid in &tm_group {
@@ -403,6 +415,50 @@ mod tests {
         }
         cluster.run_to_quiescence();
         assert_eq!(cluster.history().committed().count(), 10);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn batched_log_appends_commit_and_occupy_fewer_paxos_slots() {
+        let run = |batch: usize| {
+            let mut cluster = BaselineCluster::new(
+                BaselineClusterConfig::default()
+                    .with_shards(1)
+                    .with_seed(23)
+                    .with_batching(BatchingConfig::with_batch(batch)),
+            );
+            for i in 0..32u64 {
+                cluster.submit(TxId::new(i + 1), rw(&format!("k{i}")));
+            }
+            cluster.run_to_quiescence();
+            assert_eq!(cluster.history().committed().count(), 32);
+            assert!(cluster.client_violations().is_empty());
+            let leader = cluster.shard_leader(ShardId::new(0));
+            cluster.shard_replica(leader).chosen_slots()
+        };
+        let unbatched_slots = run(1);
+        let batched_slots = run(8);
+        assert_eq!(unbatched_slots, 32, "one Paxos slot per transaction");
+        assert!(
+            batched_slots * 4 <= unbatched_slots,
+            "batched appends must occupy far fewer slots ({batched_slots} vs {unbatched_slots})"
+        );
+    }
+
+    #[test]
+    fn batched_baseline_preserves_conflict_decisions() {
+        let mut cluster = BaselineCluster::new(
+            BaselineClusterConfig::default()
+                .with_shards(1)
+                .with_seed(29)
+                .with_batching(BatchingConfig::with_batch(4)),
+        );
+        cluster.submit(TxId::new(1), rw("hot"));
+        cluster.submit(TxId::new(2), rw("hot"));
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert!(history.committed().count() <= 1);
+        assert_eq!(history.decide_count(), 2);
         assert!(cluster.client_violations().is_empty());
     }
 

@@ -3,16 +3,25 @@
 use ratc_paxos::PaxosMsg;
 use ratc_types::{Decision, Payload, ProcessId, ShardId, TxId};
 
-/// Command replicated in a shard's Multi-Paxos log: the shard's prepared vote
-/// on a transaction.
+/// One certified vote inside a [`ShardCommand`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardCommand {
+pub struct ShardVote {
     /// The transaction.
     pub tx: TxId,
     /// The shard-restricted payload.
     pub payload: Payload,
     /// The leader's vote.
     pub vote: Decision,
+}
+
+/// Command replicated in a shard's Multi-Paxos log: a *batch* of prepared
+/// votes occupying one log slot (batched log appends — the batching pipeline
+/// of `ratc_core::batch` applied to the baseline). With batching disabled
+/// every command carries exactly one vote, which is the seed behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCommand {
+    /// The batched votes, in certification order.
+    pub items: Vec<ShardVote>,
 }
 
 /// Command replicated in the transaction manager's Multi-Paxos log: the final
@@ -48,15 +57,15 @@ pub enum BaselineMsg {
         /// Shard-restricted payload.
         payload: Payload,
     },
-    /// A shard's vote, sent to the transaction manager once the vote is
-    /// *chosen* in the shard's Paxos log.
-    Vote {
+    /// All votes of one chosen [`ShardCommand`] batch, reported to the
+    /// transaction manager in a single message once the command is *chosen*
+    /// in the shard's Paxos log (a singleton batch when batching is
+    /// disabled).
+    VoteBatch {
         /// The voting shard.
         shard: ShardId,
-        /// Transaction identifier.
-        tx: TxId,
-        /// The replicated vote.
-        vote: Decision,
+        /// The replicated `(transaction, vote)` pairs.
+        votes: Vec<(TxId, Decision)>,
     },
     /// Final decision distributed to the shard leaders once it is chosen in
     /// the transaction manager's Paxos log.
@@ -93,7 +102,7 @@ impl BaselineMsg {
         match self {
             BaselineMsg::Certify { .. } => "certify",
             BaselineMsg::Prepare { .. } => "prepare",
-            BaselineMsg::Vote { .. } => "vote",
+            BaselineMsg::VoteBatch { .. } => "vote_batch",
             BaselineMsg::Decision { .. } => "decision",
             BaselineMsg::DecisionClient { .. } => "decision_client",
             BaselineMsg::ShardPaxos { .. } => "shard_paxos",

@@ -2,15 +2,19 @@
 
 use std::collections::BTreeMap;
 
+use ratc_core::batch::{BatchingConfig, VoteBatcher};
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, Context};
+use ratc_sim::{Actor, Context, TimerTag};
 #[cfg(debug_assertions)]
 use ratc_types::MirrorCertifier;
 use ratc_types::{
     CertificationPolicy, Decision, IndexedCertifier, Payload, Position, ProcessId, ShardId, TxId,
 };
 
-use crate::messages::{BaselineMsg, ShardCommand};
+use crate::messages::{BaselineMsg, ShardCommand, ShardVote};
+
+/// Timer tag used to flush a partially filled proposal batch.
+const BATCH_TICK: TimerTag = 11;
 
 /// A replica of one shard in the baseline design.
 ///
@@ -53,6 +57,13 @@ pub struct BaselineShardReplica {
     /// for the whole history.
     decisions: BTreeMap<TxId, Decision>,
     phase1_started: bool,
+    /// Batched log appends (see `ratc_core::batch`): certified votes are
+    /// coalesced here and proposed as one Multi-Paxos command per batch.
+    /// With batching disabled the batcher flushes on every push, i.e. one
+    /// command per transaction — the seed behaviour.
+    batching: BatchingConfig,
+    batcher: VoteBatcher<ShardVote>,
+    batch_timer_armed: bool,
 }
 
 impl BaselineShardReplica {
@@ -78,7 +89,16 @@ impl BaselineShardReplica {
             in_flight: BTreeMap::new(),
             decisions: BTreeMap::new(),
             phase1_started: false,
+            batching: BatchingConfig::default(),
+            batcher: VoteBatcher::new(BatchingConfig::default()),
+            batch_timer_armed: false,
         }
+    }
+
+    /// Sets the batching-pipeline knobs (default: disabled).
+    pub fn set_batching(&mut self, batching: BatchingConfig) {
+        self.batching = batching;
+        self.batcher.set_config(batching);
     }
 
     /// Installs the replica's identity, the shard's Paxos group, whether this
@@ -104,8 +124,10 @@ impl BaselineShardReplica {
         self.is_leader
     }
 
-    /// Number of votes chosen (replicated) at this replica's log view.
-    pub fn chosen_votes(&self) -> usize {
+    /// Number of Multi-Paxos log slots chosen (replicated) at this replica's
+    /// log view. With batched log appends each slot carries up to
+    /// `max_batch` votes, so this counts commands, not transactions.
+    pub fn chosen_slots(&self) -> usize {
         self.log.len()
     }
 
@@ -191,6 +213,30 @@ impl BaselineShardReplica {
             self.certifier_prepare(tx, &payload);
         }
         self.in_flight.insert(tx, (payload.clone(), vote));
+        // Batched log appends: coalesce certified votes into one Multi-Paxos
+        // command. Disabled batching flushes on every push (one command per
+        // transaction); a partially filled batch is flushed by the timer.
+        if self.batcher.push(ShardVote { tx, payload, vote }) {
+            self.flush_proposals(ctx);
+        } else {
+            self.arm_batch_timer(ctx);
+        }
+    }
+
+    fn arm_batch_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        if !self.batch_timer_armed && !self.batcher.is_empty() {
+            ctx.set_timer(self.batching.max_delay, BATCH_TICK);
+            self.batch_timer_armed = true;
+        }
+    }
+
+    /// Proposes the pending batch as a single command occupying one Paxos
+    /// log slot.
+    fn flush_proposals(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        let items = self.batcher.drain();
+        if items.is_empty() {
+            return;
+        }
         if !self.phase1_started {
             self.phase1_started = true;
             let out = self
@@ -201,31 +247,34 @@ impl BaselineShardReplica {
             self.route(ctx, out);
         }
         let proposer = self.proposer.as_mut().expect("leader has a proposer");
-        let out = proposer.propose(ShardCommand { tx, payload, vote });
+        let out = proposer.propose(ShardCommand { items });
         self.route(ctx, out);
     }
 
-    /// Folds a chosen command into the replica state: acquires the
-    /// prepared-set lock for a commit-voted undecided command — idempotently
-    /// (the leader already holds it from `certify_and_propose`; learners
-    /// acquire it here so a future leader handover starts from a warm index).
-    /// `Chosen` can be re-delivered after a ballot change (phase-1 recovery
-    /// re-broadcasts accepted slots); an already-decided transaction must not
-    /// be re-locked (its payload is pruned and its locks released), so for
-    /// those the command only (idempotently) refreshes the committed summary.
+    /// Folds a chosen command (a batch of votes) into the replica state:
+    /// acquires the prepared-set lock for each commit-voted undecided item —
+    /// idempotently (the leader already holds it from `certify_and_propose`;
+    /// learners acquire it here so a future leader handover starts from a
+    /// warm index). `Chosen` can be re-delivered after a ballot change
+    /// (phase-1 recovery re-broadcasts accepted slots); an already-decided
+    /// transaction must not be re-locked (its payload is pruned and its locks
+    /// released), so for those the item only (idempotently) refreshes the
+    /// committed summary.
     fn apply_chosen(&mut self, command: &ShardCommand) {
-        if let Some(decision) = self.decisions.get(&command.tx).copied() {
-            if decision == Decision::Commit {
-                self.certifier_commit(command.tx, &command.payload);
+        for item in &command.items {
+            if let Some(decision) = self.decisions.get(&item.tx).copied() {
+                if decision == Decision::Commit {
+                    self.certifier_commit(item.tx, &item.payload);
+                }
+                continue;
             }
-            return;
+            if item.vote == Decision::Commit {
+                self.certifier_prepare(item.tx, &item.payload);
+            }
+            self.prepared
+                .entry(item.tx)
+                .or_insert((item.payload.clone(), item.vote));
         }
-        if command.vote == Decision::Commit {
-            self.certifier_prepare(command.tx, &command.payload);
-        }
-        self.prepared
-            .entry(command.tx)
-            .or_insert((command.payload.clone(), command.vote));
     }
 
     fn handle_paxos(
@@ -248,13 +297,17 @@ impl BaselineShardReplica {
             let mut to_send = Vec::new();
             for (slot, command) in chosen {
                 self.log.record_chosen(slot, command.clone());
-                self.in_flight.remove(&command.tx);
+                let mut votes = Vec::with_capacity(command.items.len());
+                for item in &command.items {
+                    self.in_flight.remove(&item.tx);
+                    votes.push((item.tx, item.vote));
+                }
                 self.apply_chosen(&command);
-                // The vote is now durable at a majority: report it to the TM.
-                to_send.push(BaselineMsg::Vote {
+                // The whole batch is now durable at a majority: report every
+                // vote to the TM in one message.
+                to_send.push(BaselineMsg::VoteBatch {
                     shard: self.shard,
-                    tx: command.tx,
-                    vote: command.vote,
+                    votes,
                 });
             }
             self.route(ctx, out);
@@ -300,6 +353,13 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
                 self.decisions.insert(tx, decision);
             }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, BaselineMsg>) {
+        if tag == BATCH_TICK {
+            self.batch_timer_armed = false;
+            self.flush_proposals(ctx);
         }
     }
 }

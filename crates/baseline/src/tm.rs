@@ -240,7 +240,11 @@ impl Actor<BaselineMsg> for TransactionManager {
                 payload,
                 client,
             } => self.handle_certify(tx, payload, client, ctx),
-            BaselineMsg::Vote { shard, tx, vote } => self.handle_vote(shard, tx, vote, ctx),
+            BaselineMsg::VoteBatch { shard, votes } => {
+                for (tx, vote) in votes {
+                    self.handle_vote(shard, tx, vote, ctx);
+                }
+            }
             BaselineMsg::TmPaxos { msg } => self.handle_paxos(from, msg, ctx),
             _ => {}
         }

@@ -1,0 +1,17 @@
+//! E8 (batching): leader message amortisation of the batched certification
+//! pipeline.
+
+use ratc_workload::batching_experiment;
+
+fn main() {
+    ratc_bench::header(
+        "E8",
+        "batched certification pipeline",
+        "coalescing PREPARE/ACCEPT/DECISION rounds across transactions divides the \
+         shard leader's per-transaction message load by the batch size while every \
+         per-transaction vote and decision stays individually correct",
+    );
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        println!("{}", batching_experiment(512, batch, 42));
+    }
+}

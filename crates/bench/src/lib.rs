@@ -3,13 +3,15 @@
 //! This crate contains no library logic of its own; it hosts
 //!
 //! * one binary per experiment of EXPERIMENTS.md (`exp_e1_latency` …
-//!   `exp_e8_invariants`), each of which runs the corresponding driver from
-//!   `ratc-workload` and prints the table recorded in EXPERIMENTS.md, and
+//!   `exp_e8_invariants`, plus `exp_e8_batching` for the batched
+//!   certification pipeline), each of which runs the corresponding driver
+//!   from `ratc-workload` and prints the table recorded in EXPERIMENTS.md,
+//!   and
 //! * Criterion benchmarks (`benches/`) measuring the wall-clock cost of the
 //!   simulated protocols and of the certification functions themselves.
 //!
 //! Run all experiment binaries with
-//! `for b in e1_latency e2_leader_load e3_replication_cost e4_scaling e5_aborts e6_reconfig e7_counterexample e8_invariants; do cargo run --release -p ratc-bench --bin exp_$b; done`.
+//! `for b in e1_latency e2_leader_load e3_replication_cost e4_scaling e5_aborts e6_reconfig e7_counterexample e8_invariants e8_batching; do cargo run --release -p ratc-bench --bin exp_$b; done`.
 
 #![deny(missing_docs)]
 

@@ -16,6 +16,7 @@ use ratc_types::{
     ShardMap, TcsHistory, TxId,
 };
 
+use crate::batch::BatchingConfig;
 use crate::client::{ClientActor, DecisionLatency};
 use crate::config_service::ConfigServiceActor;
 use crate::messages::Msg;
@@ -36,6 +37,9 @@ pub struct ClusterConfig {
     /// Checkpointed log truncation (default: enabled, batch 32), applied to
     /// every replica and spare.
     pub truncation: TruncationConfig,
+    /// Batched certification pipeline (default: disabled), applied to every
+    /// replica and spare.
+    pub batching: BatchingConfig,
     /// Simulation parameters (seed, latency model, tracing).
     pub sim: SimConfig,
 }
@@ -48,6 +52,7 @@ impl Default for ClusterConfig {
             spares_per_shard: 2,
             policy: Arc::new(Serializability::new()),
             truncation: TruncationConfig::default(),
+            batching: BatchingConfig::default(),
             sim: SimConfig::default(),
         }
     }
@@ -92,6 +97,12 @@ impl ClusterConfig {
     /// Returns a copy with the given checkpointed-truncation policy.
     pub fn with_truncation(mut self, truncation: TruncationConfig) -> Self {
         self.truncation = truncation;
+        self
+    }
+
+    /// Returns a copy with the given batching-pipeline knobs.
+    pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -188,11 +199,13 @@ impl Cluster {
                 let replica = world.actor_mut::<Replica>(*pid).expect("replica");
                 replica.install_initial_config(*pid, cs, &initial, true);
                 replica.set_truncation(config.truncation);
+                replica.set_batching(config.batching);
             }
             for pid in &spares[shard] {
                 let replica = world.actor_mut::<Replica>(*pid).expect("spare replica");
                 replica.install_initial_config(*pid, cs, &initial, false);
                 replica.set_truncation(config.truncation);
+                replica.set_batching(config.batching);
             }
         }
 
@@ -618,6 +631,114 @@ mod tests {
                 Some(Decision::Commit),
                 "{pid} still holds t1 undecided after TxDecided recovery"
             );
+        }
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn batched_pipeline_commits_disjoint_transactions() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(2)
+                .with_seed(21)
+                .with_batching(BatchingConfig::with_batch(8)),
+        );
+        // Fixed coordinator so certifies actually coalesce into batches.
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        for i in 0..32u64 {
+            cluster.submit_via(
+                TxId::new(i + 1),
+                rw_payload(&format!("k{i}"), 0, 1),
+                coordinator,
+            );
+        }
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert_eq!(history.committed().count(), 32);
+        assert!(cluster.client_violations().is_empty());
+        assert!(
+            cluster.world.metrics().counter("prepare_batches_sent") > 0,
+            "the batcher never coalesced anything"
+        );
+        let violations = crate::invariants::check_cluster(&cluster);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn batched_pipeline_preserves_conflict_decisions() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(1)
+                .with_seed(23)
+                .with_batching(BatchingConfig::with_batch(4)),
+        );
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        // Both read version 0 of the same key and write it: they land in the
+        // same batch, and at most one may commit.
+        cluster.submit_via(TxId::new(1), rw_payload("hot", 0, 1), coordinator);
+        cluster.submit_via(TxId::new(2), rw_payload("hot", 0, 2), coordinator);
+        cluster.submit_via(TxId::new(3), rw_payload("cold", 0, 3), coordinator);
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert_eq!(history.decide_count(), 3);
+        assert!(history.committed().count() <= 2);
+        assert_eq!(history.decision(TxId::new(3)), Some(Decision::Commit));
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn partially_filled_batches_are_flushed_by_the_batch_timer() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(1)
+                .with_seed(29)
+                .with_batching(BatchingConfig::with_batch(64)),
+        );
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        // Far fewer submissions than max_batch: only the delay timer can
+        // flush them.
+        for i in 0..5u64 {
+            cluster.submit_via(
+                TxId::new(i + 1),
+                rw_payload(&format!("k{i}"), 0, 1),
+                coordinator,
+            );
+        }
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.history().committed().count(), 5);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn batching_interoperates_with_truncation() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(1)
+                .with_seed(31)
+                .with_truncation(TruncationConfig::with_batch(8))
+                .with_batching(BatchingConfig::with_batch(8)),
+        );
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        let total = 128u64;
+        for wave in 0..(total / 8) {
+            for i in 0..8u64 {
+                let n = wave * 8 + i;
+                cluster.submit_via(
+                    TxId::new(n + 1),
+                    rw_payload(&format!("k{n}"), 0, 1),
+                    coordinator,
+                );
+            }
+            cluster.run_to_quiescence();
+        }
+        assert_eq!(cluster.history().decide_count(), total as usize);
+        for pid in cluster.initial_members(ShardId::new(0)).to_vec() {
+            let log = cluster.replica(pid).log();
+            assert!(
+                log.base().as_u64() > 0,
+                "member {pid} never truncated under batching"
+            );
+            assert!(log.len() < 64, "member {pid} retains {} slots", log.len());
         }
         assert!(cluster.client_violations().is_empty());
     }

@@ -26,6 +26,9 @@
 //! # Crate layout
 //!
 //! * [`messages`] — the protocol message vocabulary ([`Msg`]);
+//! * [`batch`] — the batched certification pipeline: the `VoteBatcher`
+//!   coalescing buffer, the size/delay knobs ([`BatchingConfig`]) and the
+//!   per-slot item types carried by the `*_BATCH` message variants;
 //! * [`log`] — the per-shard certification log (`txn`, `payload`, `vote`,
 //!   `dec`, `phase` arrays of the paper);
 //! * [`replica`] — the replica state machine: transaction processing,
@@ -61,6 +64,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod batch;
 pub mod client;
 pub mod config_service;
 pub mod harness;
@@ -69,6 +73,7 @@ pub mod log;
 pub mod messages;
 pub mod replica;
 
+pub use batch::{BatchingConfig, PrepareBatch, VoteBatcher};
 pub use client::ClientActor;
 pub use config_service::ConfigServiceActor;
 pub use harness::{Cluster, ClusterConfig};

@@ -13,10 +13,16 @@
 //! coordinator folds them into a cluster-wide minimum that rides on
 //! `DECISION` back to the shard's members — zero additional messages on the
 //! commit path.
+//!
+//! The batched certification pipeline (see [`crate::batch`]) adds `*_BATCH`
+//! variants of the four commit-path messages, each carrying per-position
+//! items so one round certifies many transactions; frontier gossip rides the
+//! batched messages exactly as it rides the singles.
 
 use ratc_config::ShardConfiguration;
 use ratc_types::{Decision, Epoch, Payload, Position, ProcessId, ShardId, TxId};
 
+use crate::batch::{AcceptAckItem, DecisionItem, PrepareBatch, PreparedItem};
 use crate::log::CertificationLog;
 
 /// Messages of the message-passing atomic commit protocol.
@@ -148,6 +154,64 @@ pub enum Msg {
     },
 
     // ------------------------------------------------------------------
+    // Batched certification pipeline (see `crate::batch`)
+    // ------------------------------------------------------------------
+    /// `PREPARE_BATCH`: many `PREPARE`s coalesced by a coordinator's
+    /// `VoteBatcher` into one message per shard leader. The leader certifies
+    /// the items in order, assigning fresh entries a contiguous position
+    /// range.
+    PrepareBatch {
+        /// The coalesced batch, items in submission order.
+        batch: PrepareBatch,
+    },
+    /// `PREPARE_ACK_BATCH`: the leader's votes for a whole batch, one
+    /// message back to the coordinator. Items carry individual positions and
+    /// votes; `TxDecided` replies for truncated transactions are sent
+    /// separately so that fast path stays per-transaction.
+    PrepareAckBatch {
+        /// The leader's epoch for its shard.
+        epoch: Epoch,
+        /// The leader's shard.
+        shard: ShardId,
+        /// Per-slot positions, payloads and votes.
+        items: Vec<PreparedItem>,
+        /// The leader's decided frontier, gossiped for log truncation.
+        frontier: Position,
+    },
+    /// `ACCEPT_BATCH`: one message per follower persisting a whole batch of
+    /// votes (line 20, amortised).
+    AcceptBatch {
+        /// Epoch of the shard the followers must be in.
+        epoch: Epoch,
+        /// The shard being addressed.
+        shard: ShardId,
+        /// Per-slot positions, payloads and votes.
+        items: Vec<PreparedItem>,
+    },
+    /// `ACCEPT_ACK_BATCH`: a follower's acknowledgement of a whole batch
+    /// (line 25, amortised).
+    AcceptAckBatch {
+        /// The follower's shard.
+        shard: ShardId,
+        /// The follower's epoch.
+        epoch: Epoch,
+        /// Per-slot acknowledgements.
+        items: Vec<AcceptAckItem>,
+        /// The follower's decided frontier, gossiped for log truncation.
+        frontier: Position,
+    },
+    /// `DECISION_BATCH`: the final decisions of every batch transaction that
+    /// completed together, one message per shard member (line 29, amortised).
+    DecisionBatch {
+        /// The shard's epoch as known to the coordinator.
+        epoch: Epoch,
+        /// Per-slot decisions.
+        items: Vec<DecisionItem>,
+        /// Cluster-wide minimum decided frontier (see [`Msg::DecisionShard`]).
+        truncate_to: Position,
+    },
+
+    // ------------------------------------------------------------------
     // Reconfiguration (Figure 2b)
     // ------------------------------------------------------------------
     /// External trigger for `reconfigure(s)` (line 33).
@@ -272,6 +336,11 @@ impl Msg {
             Msg::DecisionClient { .. } => "decision_client",
             Msg::Retry { .. } => "retry",
             Msg::TxDecided { .. } => "tx_decided",
+            Msg::PrepareBatch { .. } => "prepare_batch",
+            Msg::PrepareAckBatch { .. } => "prepare_ack_batch",
+            Msg::AcceptBatch { .. } => "accept_batch",
+            Msg::AcceptAckBatch { .. } => "accept_ack_batch",
+            Msg::DecisionBatch { .. } => "decision_batch",
             Msg::StartReconfigure { .. } => "start_reconfigure",
             Msg::Probe { .. } => "probe",
             Msg::ProbeAck { .. } => "probe_ack",

@@ -21,11 +21,22 @@ use ratc_types::{
     ShardCertifier, ShardId, ShardMap, TxId,
 };
 
+use crate::batch::{
+    AcceptAckItem, BatchingConfig, DecisionItem, PrepareBatch, PrepareItem, PreparedItem,
+    VoteBatcher,
+};
 use crate::log::{CertificationLog, LogEntry, TxPhase};
 use crate::messages::Msg;
 
 /// Timer tag used for the coordinator's re-transmission tick.
 const RETRY_TICK: TimerTag = 1;
+
+/// Timer tag used to flush a partially filled prepare batch.
+const BATCH_TICK: TimerTag = 2;
+
+/// The data needed to distribute a completed transaction's decision: the
+/// client, the decision, and per-shard `(position, truncation floor)` targets.
+type Completion = (ProcessId, Decision, Vec<(ShardId, Position, Position)>);
 
 /// Policy for checkpointed log truncation (§6's garbage collection).
 ///
@@ -166,6 +177,9 @@ pub struct Replica {
     retry_interval: SimDuration,
     retry_timer_armed: bool,
     truncation: TruncationConfig,
+    batching: BatchingConfig,
+    batcher: VoteBatcher<TxId>,
+    batch_timer_armed: bool,
 }
 
 impl Replica {
@@ -196,6 +210,9 @@ impl Replica {
             retry_interval: SimDuration::from_millis(20),
             retry_timer_armed: false,
             truncation: TruncationConfig::default(),
+            batching: BatchingConfig::default(),
+            batcher: VoteBatcher::new(BatchingConfig::default()),
+            batch_timer_armed: false,
         }
     }
 
@@ -207,6 +224,17 @@ impl Replica {
     /// The replica's checkpointed-truncation policy.
     pub fn truncation(&self) -> TruncationConfig {
         self.truncation
+    }
+
+    /// Sets the batching-pipeline knobs (default: disabled).
+    pub fn set_batching(&mut self, batching: BatchingConfig) {
+        self.batching = batching;
+        self.batcher.set_config(batching);
+    }
+
+    /// The replica's batching-pipeline knobs.
+    pub fn batching(&self) -> BatchingConfig {
+        self.batching
     }
 
     /// Installs the initial configuration view at this replica: its own
@@ -326,26 +354,22 @@ impl Replica {
         }
     }
 
-    /// Line 26: once, for every shard of `tx`, the coordinator has the shard's
-    /// vote and an `ACCEPT_ACK` from every follower of the shard's current
-    /// configuration, it computes and distributes the final decision.
-    fn check_completion(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
-        let Some(coord) = self.coordinating.get(&tx) else {
-            return;
-        };
+    /// Line 26 precondition, evaluated without side effects: once, for every
+    /// shard of `tx`, the coordinator has the shard's vote and an
+    /// `ACCEPT_ACK` from every follower of the shard's current configuration,
+    /// returns the client, the final decision and the per-shard
+    /// `(position, truncation floor)` targets.
+    fn completion_of(&self, tx: TxId) -> Option<Completion> {
+        let coord = self.coordinating.get(&tx)?;
         if coord.decided {
-            return;
+            return None;
         }
         let mut votes = Vec::new();
         let mut positions = Vec::new();
         for shard in &coord.shards {
             let epoch = self.epoch.get(shard).copied().unwrap_or(Epoch::ZERO);
-            let Some(progress) = coord.progress.get(shard).and_then(|m| m.get(&epoch)) else {
-                return;
-            };
-            let (Some(vote), Some(pos)) = (progress.vote, progress.pos) else {
-                return;
-            };
+            let progress = coord.progress.get(shard).and_then(|m| m.get(&epoch))?;
+            let (vote, pos) = (progress.vote?, progress.pos?);
             let leader = self.leader.get(shard).copied();
             let required: BTreeSet<ProcessId> = self
                 .members_of(*shard)
@@ -354,7 +378,7 @@ impl Replica {
                 .filter(|p| Some(*p) != leader)
                 .collect();
             if !required.is_subset(&progress.acks) {
-                return;
+                return None;
             }
             // Cluster-wide minimum decided frontier of the shard: defined
             // only once every current member has gossiped one (a member the
@@ -366,18 +390,29 @@ impl Replica {
                 .min()
                 .unwrap_or(Position::ZERO);
             votes.push(vote);
-            positions.push((*shard, epoch, pos, floor));
+            positions.push((*shard, pos, floor));
         }
-        let decision = Decision::meet_all(votes);
-        let client = coord.client;
-        let shard_targets: Vec<(ShardId, Epoch, Position, Position)> = positions;
+        Some((coord.client, Decision::meet_all(votes), positions))
+    }
+
+    /// Marks `tx` decided and records the coordinator-side decision metrics.
+    fn mark_decided(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
         if let Some(coord) = self.coordinating.get_mut(&tx) {
             coord.decided = true;
         }
         ctx.add_counter("coordinator_decisions", 1);
         ctx.record_sample("coordinator_decision_hops", f64::from(ctx.hops()));
+    }
+
+    /// Line 26: computes and distributes the final decision of `tx` once it
+    /// is complete, one `DECISION` per shard member.
+    fn check_completion(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
+        let Some((client, decision, targets)) = self.completion_of(tx) else {
+            return;
+        };
+        self.mark_decided(tx, ctx);
         ctx.send(client, Msg::DecisionClient { tx, decision });
-        for (shard, _epoch, pos, truncate_to) in shard_targets {
+        for (shard, pos, truncate_to) in targets {
             let epoch = self.epoch.get(&shard).copied().unwrap_or(Epoch::ZERO);
             let members = self.members_of(shard).to_vec();
             ctx.send_to_many(
@@ -386,6 +421,52 @@ impl Replica {
                     epoch,
                     pos,
                     decision,
+                    truncate_to,
+                },
+            );
+        }
+    }
+
+    /// Batched line 26: completes every transaction of `txs` that is done and
+    /// coalesces their `DECISION`s into one `DECISION_BATCH` per shard (the
+    /// per-shard truncation floor is the minimum over the batch, which is
+    /// always safe — receivers clamp to their own decided frontier anyway).
+    /// Clients are still notified individually. Falls back to per-transaction
+    /// `DECISION`s when batching is disabled.
+    fn complete_batch(&mut self, txs: &[TxId], ctx: &mut Context<'_, Msg>) {
+        if !self.batching.enabled {
+            for &tx in txs {
+                self.check_completion(tx, ctx);
+            }
+            return;
+        }
+        let mut per_shard: BTreeMap<ShardId, (Vec<DecisionItem>, Position)> = BTreeMap::new();
+        let mut seen: BTreeSet<TxId> = BTreeSet::new();
+        for &tx in txs {
+            if !seen.insert(tx) {
+                continue;
+            }
+            let Some((client, decision, targets)) = self.completion_of(tx) else {
+                continue;
+            };
+            self.mark_decided(tx, ctx);
+            ctx.send(client, Msg::DecisionClient { tx, decision });
+            for (shard, pos, floor) in targets {
+                let entry = per_shard
+                    .entry(shard)
+                    .or_insert_with(|| (Vec::new(), Position::new(u64::MAX)));
+                entry.0.push(DecisionItem { pos, decision });
+                entry.1 = entry.1.min(floor);
+            }
+        }
+        for (shard, (items, truncate_to)) in per_shard {
+            let epoch = self.epoch.get(&shard).copied().unwrap_or(Epoch::ZERO);
+            let members = self.members_of(shard).to_vec();
+            ctx.send_to_many(
+                members,
+                Msg::DecisionBatch {
+                    epoch,
+                    items,
                     truncate_to,
                 },
             );
@@ -440,9 +521,323 @@ impl Replica {
         });
         coord.payload = Some(payload);
         coord.client = client;
+        if self.batching.enabled {
+            // Coalesce into the pending batch instead of sending a PREPARE
+            // per shard now; the batch flushes when full or when the batch
+            // timer expires. The retry timer stays armed as a safety net (its
+            // re-sends use the unbatched path).
+            if self.batcher.push(tx) {
+                self.flush_prepare_batch(ctx);
+            } else {
+                self.arm_batch_timer(ctx);
+            }
+            self.arm_retry_timer(ctx);
+            return;
+        }
         let coord = coord.clone();
         self.send_prepares(ctx, tx, &coord, None);
         self.arm_retry_timer(ctx);
+    }
+
+    // -- batched certification pipeline (see `crate::batch`) -----------------
+
+    fn arm_batch_timer(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.batch_timer_armed && !self.batcher.is_empty() {
+            ctx.set_timer(self.batching.max_delay, BATCH_TICK);
+            self.batch_timer_armed = true;
+        }
+    }
+
+    /// Drains the pending batch and sends one `PREPARE_BATCH` per involved
+    /// shard leader, with each transaction's payload restricted per shard.
+    fn flush_prepare_batch(&mut self, ctx: &mut Context<'_, Msg>) {
+        let txs = self.batcher.drain();
+        if txs.is_empty() {
+            return;
+        }
+        let mut per_leader: BTreeMap<ProcessId, Vec<PrepareItem>> = BTreeMap::new();
+        for tx in txs {
+            let Some(coord) = self.coordinating.get(&tx) else {
+                continue;
+            };
+            if coord.decided {
+                continue;
+            }
+            for shard in &coord.shards {
+                let Some(leader) = self.leader.get(shard).copied() else {
+                    continue;
+                };
+                let restricted = coord
+                    .payload
+                    .as_ref()
+                    .map(|p| p.restrict(*shard, self.sharding.as_ref()));
+                per_leader.entry(leader).or_default().push(PrepareItem {
+                    tx,
+                    payload: restricted,
+                    shards: coord.shards.clone(),
+                    client: coord.client,
+                });
+            }
+        }
+        for (leader, items) in per_leader {
+            ctx.add_counter("prepare_batches_sent", 1);
+            ctx.send(
+                leader,
+                Msg::PrepareBatch {
+                    batch: PrepareBatch { items },
+                },
+            );
+        }
+    }
+
+    /// Batched lines 4–17: the shard leader certifies a whole batch in one
+    /// pass. Fresh transactions are appended at a contiguous position range
+    /// (in batch order); already-certified ones are re-acked inside the batch
+    /// reply, and truncated ones get the per-transaction `TxDecided` fast
+    /// path, exactly as in the unbatched exchange.
+    fn handle_prepare_batch(
+        &mut self,
+        from: ProcessId,
+        items: Vec<PrepareItem>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        if self.status != Status::Leader {
+            return; // line 5 precondition
+        }
+        let epoch = self.epoch_of(self.shard);
+        let mut acks: Vec<PreparedItem> = Vec::with_capacity(items.len());
+        for item in items {
+            if let Some(decision) = self.log.truncated_decision(item.tx) {
+                ctx.send(
+                    from,
+                    Msg::TxDecided {
+                        tx: item.tx,
+                        decision,
+                        client: item.client,
+                    },
+                );
+                continue;
+            }
+            if let Some(pos) = self.log.position_of(item.tx) {
+                let entry = self
+                    .log
+                    .get(pos)
+                    .expect("position_of returned a retained slot");
+                acks.push(PreparedItem {
+                    pos,
+                    tx: item.tx,
+                    payload: entry.payload.clone(),
+                    vote: entry.vote,
+                    shards: entry.shards.clone(),
+                    client: entry.client,
+                });
+                continue;
+            }
+            let (vote, stored_payload) = match item.payload {
+                Some(l) => {
+                    let next = self.log.next();
+                    let vote = self.log.vote_at(next, &l).unwrap_or_else(|| {
+                        let committed = self.log.committed_payloads_before(next);
+                        let prepared = self.log.prepared_payloads_before(next);
+                        self.certifier.vote(&committed, &prepared, &l)
+                    });
+                    (vote, l)
+                }
+                None => (Decision::Abort, Payload::empty()),
+            };
+            let pos = self.log.append(LogEntry {
+                tx: item.tx,
+                payload: stored_payload.clone(),
+                vote,
+                dec: None,
+                phase: TxPhase::Prepared,
+                shards: item.shards.clone(),
+                client: item.client,
+            });
+            ctx.add_counter("leader_prepared", 1);
+            acks.push(PreparedItem {
+                pos,
+                tx: item.tx,
+                payload: stored_payload,
+                vote,
+                shards: item.shards,
+                client: item.client,
+            });
+        }
+        if !acks.is_empty() {
+            ctx.add_counter("leader_prepared_batches", 1);
+            ctx.send(
+                from,
+                Msg::PrepareAckBatch {
+                    epoch,
+                    shard: self.shard,
+                    items: acks,
+                    frontier: self.log.decided_frontier(),
+                },
+            );
+        }
+    }
+
+    /// Batched lines 18–20: the coordinator records the leader's votes for a
+    /// whole batch and persists it at every follower with one `ACCEPT_BATCH`
+    /// each.
+    fn handle_prepare_ack_batch(
+        &mut self,
+        from: ProcessId,
+        epoch: Epoch,
+        shard: ShardId,
+        items: Vec<PreparedItem>,
+        frontier: Position,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        // Line 19 precondition, once for the whole batch: every item was
+        // certified by the same leader in the same epoch.
+        if self.epoch_of(shard) != epoch {
+            return;
+        }
+        let mut txs = Vec::with_capacity(items.len());
+        for item in &items {
+            let coord = self.coord_entry(item.tx, item.client, item.shards.clone());
+            let progress = coord
+                .progress
+                .entry(shard)
+                .or_default()
+                .entry(epoch)
+                .or_default();
+            progress.pos = Some(item.pos);
+            progress.vote = Some(item.vote);
+            progress.frontiers.insert(from, frontier);
+            txs.push(item.tx);
+        }
+        let leader = self.leader.get(&shard).copied();
+        let followers: Vec<ProcessId> = self
+            .members_of(shard)
+            .iter()
+            .copied()
+            .filter(|p| Some(*p) != leader)
+            .collect();
+        for follower in followers {
+            ctx.send(
+                follower,
+                Msg::AcceptBatch {
+                    epoch,
+                    shard,
+                    items: items.clone(),
+                },
+            );
+        }
+        for &tx in &txs {
+            self.flush_known_decision(tx, shard, ctx);
+        }
+        // With f = 0 (no followers) the whole batch may already be complete.
+        self.complete_batch(&txs, ctx);
+    }
+
+    /// Batched lines 21–25: a follower stores a whole batch of votes and
+    /// acknowledges it with one message.
+    fn handle_accept_batch(
+        &mut self,
+        from: ProcessId,
+        epoch: Epoch,
+        shard: ShardId,
+        items: Vec<PreparedItem>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        // Line 22 precondition, once for the whole batch.
+        if self.status != Status::Follower
+            || shard != self.shard
+            || self.epoch_of(self.shard) != epoch
+        {
+            return;
+        }
+        let mut acks = Vec::with_capacity(items.len());
+        for item in items {
+            // Line 23–24 per item: store only if the slot is still a hole.
+            if self.log.phase(item.pos) == TxPhase::Start {
+                self.log.store_at(
+                    item.pos,
+                    LogEntry {
+                        tx: item.tx,
+                        payload: item.payload,
+                        vote: item.vote,
+                        dec: None,
+                        phase: TxPhase::Prepared,
+                        shards: item.shards,
+                        client: item.client,
+                    },
+                );
+            }
+            acks.push(AcceptAckItem {
+                pos: item.pos,
+                tx: item.tx,
+                vote: item.vote,
+            });
+        }
+        ctx.send(
+            from,
+            Msg::AcceptAckBatch {
+                shard: self.shard,
+                epoch,
+                items: acks,
+                frontier: self.log.decided_frontier(),
+            },
+        );
+    }
+
+    /// Batched line 26 bookkeeping: record a follower's acknowledgement of a
+    /// whole batch, then complete every transaction that is done.
+    fn handle_accept_ack_batch(
+        &mut self,
+        from: ProcessId,
+        shard: ShardId,
+        epoch: Epoch,
+        items: Vec<AcceptAckItem>,
+        frontier: Position,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let mut txs = Vec::with_capacity(items.len());
+        for item in items {
+            let Some(coord) = self.coordinating.get_mut(&item.tx) else {
+                continue;
+            };
+            let progress = coord
+                .progress
+                .entry(shard)
+                .or_default()
+                .entry(epoch)
+                .or_default();
+            progress.acks.insert(from);
+            progress.frontiers.insert(from, frontier);
+            if progress.pos.is_none() {
+                progress.pos = Some(item.pos);
+            }
+            if progress.vote.is_none() {
+                progress.vote = Some(item.vote);
+            }
+            txs.push(item.tx);
+        }
+        self.complete_batch(&txs, ctx);
+    }
+
+    /// Batched lines 30–32: record the final decisions of a whole batch, then
+    /// truncate at the gossiped floor once.
+    fn handle_decision_batch(
+        &mut self,
+        epoch: Epoch,
+        items: Vec<DecisionItem>,
+        truncate_to: Position,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        if self.status == Status::Reconfiguring {
+            return; // line 31 precondition
+        }
+        if self.epoch_of(self.shard) < epoch {
+            return; // line 31 precondition
+        }
+        for item in &items {
+            self.log.decide(item.pos, item.decision);
+        }
+        self.maybe_truncate(truncate_to, ctx);
     }
 
     /// Lines 4–17: the shard leader prepares a transaction and votes on it.
@@ -1205,6 +1600,29 @@ impl Actor<Msg> for Replica {
                 decision,
                 client,
             } => self.handle_tx_decided(tx, decision, client, ctx),
+            Msg::PrepareBatch { batch } => self.handle_prepare_batch(from, batch.items, ctx),
+            Msg::PrepareAckBatch {
+                epoch,
+                shard,
+                items,
+                frontier,
+            } => self.handle_prepare_ack_batch(from, epoch, shard, items, frontier, ctx),
+            Msg::AcceptBatch {
+                epoch,
+                shard,
+                items,
+            } => self.handle_accept_batch(from, epoch, shard, items, ctx),
+            Msg::AcceptAckBatch {
+                shard,
+                epoch,
+                items,
+                frontier,
+            } => self.handle_accept_ack_batch(from, shard, epoch, items, frontier, ctx),
+            Msg::DecisionBatch {
+                epoch,
+                items,
+                truncate_to,
+            } => self.handle_decision_batch(epoch, items, truncate_to, ctx),
             Msg::StartReconfigure {
                 shard,
                 spares,
@@ -1250,6 +1668,9 @@ impl Actor<Msg> for Replica {
     fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, Msg>) {
         if tag == RETRY_TICK {
             self.handle_retry_tick(ctx);
+        } else if tag == BATCH_TICK {
+            self.batch_timer_armed = false;
+            self.flush_prepare_batch(ctx);
         }
     }
 }

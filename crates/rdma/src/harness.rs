@@ -15,6 +15,7 @@ use ratc_types::{
 use crate::config_service::GlobalConfigServiceActor;
 use crate::messages::RdmaMsg;
 use crate::replica::{RdmaReplica, ReconfigMode};
+use ratc_core::batch::BatchingConfig;
 use ratc_core::replica::TruncationConfig;
 
 /// Configuration of a simulated RDMA deployment.
@@ -34,6 +35,8 @@ pub struct RdmaClusterConfig {
     pub mode: ReconfigMode,
     /// Checkpointed log truncation (default: enabled, batch 32).
     pub truncation: TruncationConfig,
+    /// Batched certification pipeline (default: disabled).
+    pub batching: BatchingConfig,
 }
 
 impl Default for RdmaClusterConfig {
@@ -46,6 +49,7 @@ impl Default for RdmaClusterConfig {
             sim: SimConfig::default(),
             mode: ReconfigMode::GlobalCorrect,
             truncation: TruncationConfig::default(),
+            batching: BatchingConfig::default(),
         }
     }
 }
@@ -82,6 +86,12 @@ impl RdmaClusterConfig {
     /// Returns a copy with the given checkpointed-truncation policy.
     pub fn with_truncation(mut self, truncation: TruncationConfig) -> Self {
         self.truncation = truncation;
+        self
+    }
+
+    /// Returns a copy with the given batching-pipeline knobs.
+    pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
+        self.batching = batching;
         self
     }
 }
@@ -231,11 +241,13 @@ impl RdmaCluster {
                 let replica = world.actor_mut::<RdmaReplica>(*pid).expect("replica");
                 replica.install_initial_config(*pid, cs, &initial, true);
                 replica.set_truncation(config.truncation);
+                replica.set_batching(config.batching);
             }
             for pid in &spares[shard] {
                 let replica = world.actor_mut::<RdmaReplica>(*pid).expect("spare");
                 replica.install_initial_config(*pid, cs, &initial, false);
                 replica.set_truncation(config.truncation);
+                replica.set_batching(config.batching);
             }
         }
         for owner in &all_members {
@@ -447,6 +459,85 @@ mod tests {
         }
         cluster.run_to_quiescence();
         assert_eq!(cluster.history().committed().count(), 20);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    #[test]
+    fn batched_pipeline_commits_over_rdma() {
+        let mut cluster = RdmaCluster::new(
+            RdmaClusterConfig::default()
+                .with_shards(2)
+                .with_seed(13)
+                .with_batching(BatchingConfig::with_batch(8)),
+        );
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        for i in 0..32u64 {
+            cluster.submit_via(TxId::new(i + 1), rw_payload(&format!("k{i}")), coordinator);
+        }
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.history().committed().count(), 32);
+        assert!(cluster.client_violations().is_empty());
+        assert_eq!(cluster.world.rdma_rejected(), 0);
+        assert!(
+            cluster.world.metrics().counter("prepare_batches_sent") > 0,
+            "the batcher never coalesced anything"
+        );
+    }
+
+    #[test]
+    fn batched_pipeline_preserves_conflict_decisions_over_rdma() {
+        let mut cluster = RdmaCluster::new(
+            RdmaClusterConfig::default()
+                .with_shards(1)
+                .with_seed(17)
+                .with_batching(BatchingConfig::with_batch(4)),
+        );
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        cluster.submit_via(TxId::new(1), rw_payload("hot"), coordinator);
+        cluster.submit_via(TxId::new(2), rw_payload("hot"), coordinator);
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert!(history.committed().count() <= 1);
+        assert_eq!(history.decide_count(), 2);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    /// Satellite regression: the member-to-member frontier exchange lets RDMA
+    /// followers truncate at the true cluster minimum. With only the clamped
+    /// leader hint (the PR 2 behaviour), the hint gossiped on the *last*
+    /// decisions always lags the final frontier, so followers retained the
+    /// tail of the history forever.
+    #[test]
+    fn frontier_exchange_truncates_followers_at_the_cluster_minimum() {
+        use ratc_core::replica::TruncationConfig;
+        let batch = 8u64;
+        let mut cluster = RdmaCluster::new(
+            RdmaClusterConfig::default()
+                .with_shards(1)
+                .with_seed(19)
+                .with_truncation(TruncationConfig::with_batch(batch)),
+        );
+        let total = 96u64;
+        for i in 0..total {
+            cluster.submit(TxId::new(i + 1), rw_payload(&format!("k{i}")));
+            cluster.run_to_quiescence();
+        }
+        assert_eq!(cluster.history().decide_count(), total as usize);
+        assert!(
+            cluster.world.metrics().counter("frontier_exchanges") > 0,
+            "members never exchanged frontiers"
+        );
+        let config = cluster.current_config();
+        for pid in config.members_of(ShardId::new(0)).to_vec() {
+            let log = cluster.replica(pid).log();
+            let lag = log.decided_frontier().as_u64() - log.base().as_u64();
+            assert!(
+                lag < 2 * batch,
+                "member {pid} truncated only to {} with frontier {} (lag {lag})",
+                log.base(),
+                log.decided_frontier()
+            );
+        }
         assert!(cluster.client_violations().is_empty());
     }
 

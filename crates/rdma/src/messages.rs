@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use ratc_config::GlobalConfiguration;
+use ratc_core::batch::{DecisionItem, PrepareBatch, PreparedItem};
 use ratc_types::{Decision, Epoch, Payload, Position, ProcessId, ShardId, TxId};
 
 use crate::replica::RdmaLog;
@@ -110,6 +111,62 @@ pub enum RdmaMsg {
         decision: Decision,
         /// `client(t)`, so the coordinator can forward the decision.
         client: ProcessId,
+    },
+
+    // ------------------------------------------------------------------
+    // Batched certification pipeline (see `ratc_core::batch`)
+    // ------------------------------------------------------------------
+    /// `PREPARE_BATCH`: many `PREPARE`s coalesced into one message per shard
+    /// leader (ordinary message, like `PREPARE`).
+    PrepareBatch {
+        /// The coalesced batch, items in submission order.
+        batch: PrepareBatch,
+    },
+    /// `PREPARE_ACK_BATCH`: the leader's votes for a whole batch (ordinary
+    /// message back to the coordinator).
+    PrepareAckBatch {
+        /// The leader's (global) epoch.
+        epoch: Epoch,
+        /// The leader's shard.
+        shard: ShardId,
+        /// Per-slot positions, payloads and votes.
+        items: Vec<PreparedItem>,
+        /// The leader's decided frontier, gossiped for log truncation.
+        frontier: Position,
+    },
+    /// `ACCEPT_BATCH`: a whole batch of votes packed into **one RDMA write**
+    /// per follower. Each item carries its own position, transaction, payload
+    /// and vote, so per-slot votes remain individually recoverable from the
+    /// memory region the batch landed in (a `flush` that drains a batch write
+    /// replays each slot exactly as it would a single `ACCEPT`).
+    AcceptBatch {
+        /// The target shard (metadata for the log).
+        shard: ShardId,
+        /// Per-slot positions, payloads and votes.
+        items: Vec<PreparedItem>,
+    },
+    /// `DECISION_BATCH`: the decisions of every batch transaction that
+    /// completed together, packed into one `DecisionShard`-style RDMA write
+    /// per shard member.
+    DecisionBatch {
+        /// Per-slot decisions.
+        items: Vec<DecisionItem>,
+        /// Truncation hint, clamped by receivers to their own frontier.
+        truncate_to: Position,
+    },
+
+    /// Member-to-member decided-frontier exchange for checkpointed
+    /// truncation. RDMA hardware acks carry no payload, so followers cannot
+    /// gossip their frontiers on the data path the way `ratc-core` followers
+    /// do on `ACCEPT_ACK`; instead every shard member broadcasts its frontier
+    /// to its peers whenever it has advanced by a truncation batch, and each
+    /// member truncates at the minimum over the whole membership — the true
+    /// cluster minimum instead of the clamped leader hint.
+    FrontierExchange {
+        /// The sender's shard.
+        shard: ShardId,
+        /// The sender's decided frontier.
+        frontier: Position,
     },
 
     /// External trigger for `reconfigure()` (line 103). In the correct mode
@@ -228,6 +285,11 @@ impl RdmaMsg {
             RdmaMsg::DecisionClient { .. } => "decision_client",
             RdmaMsg::Retry { .. } => "retry",
             RdmaMsg::TxDecided { .. } => "tx_decided",
+            RdmaMsg::PrepareBatch { .. } => "prepare_batch",
+            RdmaMsg::PrepareAckBatch { .. } => "prepare_ack_batch",
+            RdmaMsg::AcceptBatch { .. } => "accept_batch",
+            RdmaMsg::DecisionBatch { .. } => "decision_batch",
+            RdmaMsg::FrontierExchange { .. } => "frontier_exchange",
             RdmaMsg::StartReconfigure { .. } => "start_reconfigure",
             RdmaMsg::Probe { .. } => "probe",
             RdmaMsg::ProbeAck { .. } => "probe_ack",

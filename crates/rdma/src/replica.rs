@@ -4,6 +4,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ratc_config::{GlobalConfiguration, MembershipPlanner};
+use ratc_core::batch::{
+    BatchingConfig, DecisionItem, PrepareBatch, PrepareItem, PreparedItem, VoteBatcher,
+};
 use ratc_core::log::{LogEntry, TxPhase};
 use ratc_core::replica::TruncationConfig;
 use ratc_sim::rdma::RdmaToken;
@@ -21,6 +24,13 @@ pub type RdmaLog = ratc_core::log::CertificationLog;
 
 /// Timer tag used for the coordinator's re-transmission tick.
 const RETRY_TICK: TimerTag = 1;
+
+/// Timer tag used to flush a partially filled prepare batch.
+const BATCH_TICK: TimerTag = 2;
+
+/// The data needed to distribute a completed transaction's decision: the
+/// client, the decision, and per-shard `(position, truncation floor)` targets.
+type Completion = (ProcessId, Decision, Vec<(ShardId, Position, Position)>);
 
 /// How reconfiguration is performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +89,15 @@ enum PendingWrite {
         follower: ProcessId,
         epoch: Epoch,
     },
+    /// A whole batch of votes packed into one write (see
+    /// `ratc_core::batch`): the hardware acknowledgement acknowledges every
+    /// slot of the batch at once.
+    AcceptBatch {
+        txs: Vec<TxId>,
+        shard: ShardId,
+        follower: ProcessId,
+        epoch: Epoch,
+    },
     Other,
 }
 
@@ -131,6 +150,16 @@ pub struct RdmaReplica {
     retry_interval: SimDuration,
     retry_timer_armed: bool,
     truncation: TruncationConfig,
+    batching: BatchingConfig,
+    batcher: VoteBatcher<TxId>,
+    batch_timer_armed: bool,
+    /// Decided frontiers gossiped by the other members of this replica's
+    /// shard via `FrontierExchange` (RDMA hardware acks carry no payload, so
+    /// the data path cannot carry them).
+    peer_frontiers: BTreeMap<ProcessId, Position>,
+    /// The frontier this replica last broadcast to its peers; a new exchange
+    /// is sent once the frontier advances by a full truncation batch.
+    last_gossiped_frontier: Position,
 }
 
 impl RdmaReplica {
@@ -165,12 +194,23 @@ impl RdmaReplica {
             retry_interval: SimDuration::from_millis(20),
             retry_timer_armed: false,
             truncation: TruncationConfig::default(),
+            batching: BatchingConfig::default(),
+            batcher: VoteBatcher::new(BatchingConfig::default()),
+            batch_timer_armed: false,
+            peer_frontiers: BTreeMap::new(),
+            last_gossiped_frontier: Position::ZERO,
         }
     }
 
     /// Sets the checkpointed-truncation policy (default: enabled, batch 32).
     pub fn set_truncation(&mut self, truncation: TruncationConfig) {
         self.truncation = truncation;
+    }
+
+    /// Sets the batching-pipeline knobs (default: disabled).
+    pub fn set_batching(&mut self, batching: BatchingConfig) {
+        self.batching = batching;
+        self.batcher.set_config(batching);
     }
 
     /// Installs the initial configuration, own identifier and configuration
@@ -327,6 +367,26 @@ impl RdmaReplica {
                     },
                 );
             }
+            // A batch write: per-slot votes are recoverable individually, so
+            // replay each item exactly like a single `ACCEPT`.
+            RdmaMsg::AcceptBatch { shard: _, items } => {
+                for item in items {
+                    if self.log.phase(item.pos) == TxPhase::Start {
+                        self.log.store_at(
+                            item.pos,
+                            LogEntry {
+                                tx: item.tx,
+                                payload: item.payload,
+                                vote: item.vote,
+                                dec: None,
+                                phase: TxPhase::Prepared,
+                                shards: item.shards,
+                                client: item.client,
+                            },
+                        );
+                    }
+                }
+            }
             // Line 101–102, plus checkpointed truncation at the hinted floor.
             RdmaMsg::DecisionShard {
                 pos,
@@ -336,8 +396,89 @@ impl RdmaReplica {
                 self.log.decide(pos, decision);
                 self.maybe_truncate(truncate_to);
             }
+            RdmaMsg::DecisionBatch { items, truncate_to } => {
+                for item in &items {
+                    self.log.decide(item.pos, item.decision);
+                }
+                self.maybe_truncate(truncate_to);
+            }
             _ => {}
         }
+    }
+
+    // -- member-to-member frontier exchange (see `RdmaMsg::FrontierExchange`) --
+
+    /// Broadcasts this member's decided frontier to its shard peers once it
+    /// has advanced by a full truncation batch since the last broadcast.
+    /// Event-driven rather than wall-clock-periodic so a quiescent cluster
+    /// stays quiescent; "periodic" in position space.
+    fn maybe_gossip_frontier(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        if !self.truncation.enabled || !self.initialized || self.status == RdmaStatus::Reconfiguring
+        {
+            return;
+        }
+        let frontier = self.log.decided_frontier();
+        if frontier.as_u64() < self.last_gossiped_frontier.as_u64() + self.truncation.batch {
+            return;
+        }
+        self.last_gossiped_frontier = frontier;
+        let peers: Vec<ProcessId> = self
+            .config
+            .as_ref()
+            .map(|c| {
+                c.members_of(self.shard)
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.id)
+                    .collect()
+            })
+            .unwrap_or_default();
+        ctx.add_counter("frontier_exchanges", peers.len() as u64);
+        ctx.send_to_many(
+            peers,
+            RdmaMsg::FrontierExchange {
+                shard: self.shard,
+                frontier,
+            },
+        );
+    }
+
+    /// The cluster-wide minimum decided frontier of this replica's shard:
+    /// its own frontier met with every peer's last gossiped one (a member
+    /// never heard from pins the floor at zero — safe, it just delays
+    /// truncation until everyone has gossiped).
+    fn cluster_frontier_floor(&self) -> Position {
+        let members = self
+            .config
+            .as_ref()
+            .map(|c| c.members_of(self.shard).to_vec())
+            .unwrap_or_default();
+        members
+            .iter()
+            .map(|m| {
+                if *m == self.id {
+                    self.log.decided_frontier()
+                } else {
+                    self.peer_frontiers
+                        .get(m)
+                        .copied()
+                        .unwrap_or(Position::ZERO)
+                }
+            })
+            .min()
+            .unwrap_or(Position::ZERO)
+    }
+
+    /// A shard peer gossiped its decided frontier: record it and truncate at
+    /// the true cluster minimum (instead of waiting for a clamped leader
+    /// hint on the next `DecisionShard` write).
+    fn handle_frontier_exchange(&mut self, from: ProcessId, shard: ShardId, frontier: Position) {
+        if shard != self.shard {
+            return;
+        }
+        self.peer_frontiers.insert(from, frontier);
+        let floor = self.cluster_frontier_floor();
+        self.maybe_truncate(floor);
     }
 
     /// Writes `DECISION` for a transaction with an out-of-band decision
@@ -368,6 +509,7 @@ impl RdmaReplica {
         for member in members {
             if member == self.id {
                 self.log.decide(pos, decision);
+                self.maybe_gossip_frontier(ctx);
                 continue;
             }
             let token = ctx.rdma_send(
@@ -394,27 +536,23 @@ impl RdmaReplica {
         }
     }
 
-    /// Lines 96–100: completion check driven by RDMA acknowledgements.
-    fn check_completion(&mut self, tx: TxId, ctx: &mut Context<'_, RdmaMsg>) {
-        let Some(coord) = self.coordinating.get(&tx) else {
-            return;
-        };
+    /// Lines 96–100 precondition, evaluated without side effects: the
+    /// client, decision and per-shard `(position, truncation floor)` targets
+    /// of `tx`, once every shard has a vote and full RDMA acknowledgements.
+    fn completion_of(&self, tx: TxId) -> Option<Completion> {
+        let coord = self.coordinating.get(&tx)?;
         if coord.decided {
-            return;
+            return None;
         }
         let epoch = self.epoch;
         let mut votes = Vec::new();
         let mut positions = Vec::new();
         for shard in &coord.shards {
-            let Some(progress) = coord.progress.get(shard).and_then(|m| m.get(&epoch)) else {
-                return;
-            };
-            let (Some(vote), Some(pos)) = (progress.vote, progress.pos) else {
-                return;
-            };
+            let progress = coord.progress.get(shard).and_then(|m| m.get(&epoch))?;
+            let (vote, pos) = (progress.vote?, progress.pos?);
             let required: BTreeSet<ProcessId> = self.followers_of(*shard).into_iter().collect();
             if !required.is_subset(&progress.acked) {
-                return;
+                return None;
             }
             votes.push(vote);
             positions.push((
@@ -423,14 +561,20 @@ impl RdmaReplica {
                 progress.leader_frontier.unwrap_or(Position::ZERO),
             ));
         }
-        let decision = Decision::meet_all(votes);
-        let client = coord.client;
+        Some((coord.client, Decision::meet_all(votes), positions))
+    }
+
+    /// Lines 96–100: completion check driven by RDMA acknowledgements.
+    fn check_completion(&mut self, tx: TxId, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some((client, decision, targets)) = self.completion_of(tx) else {
+            return;
+        };
         if let Some(coord) = self.coordinating.get_mut(&tx) {
             coord.decided = true;
         }
         ctx.add_counter("coordinator_decisions", 1);
         ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
-        for (shard, pos, truncate_to) in positions {
+        for (shard, pos, truncate_to) in targets {
             let members = self
                 .config
                 .as_ref()
@@ -440,6 +584,7 @@ impl RdmaReplica {
                 if member == self.id {
                     self.log.decide(pos, decision);
                     self.maybe_truncate(truncate_to);
+                    self.maybe_gossip_frontier(ctx);
                     continue;
                 }
                 let token = ctx.rdma_send(
@@ -447,6 +592,65 @@ impl RdmaReplica {
                     RdmaMsg::DecisionShard {
                         pos,
                         decision,
+                        truncate_to,
+                    },
+                );
+                self.pending_writes.insert(token, PendingWrite::Other);
+            }
+        }
+    }
+
+    /// Batched lines 96–100: completes every done transaction of `txs` and
+    /// packs their decisions into one `DecisionShard`-style `DECISION_BATCH`
+    /// write per shard member. Clients are still notified individually.
+    fn complete_batch(&mut self, txs: &[TxId], ctx: &mut Context<'_, RdmaMsg>) {
+        if !self.batching.enabled {
+            for &tx in txs {
+                self.check_completion(tx, ctx);
+            }
+            return;
+        }
+        let mut per_shard: BTreeMap<ShardId, (Vec<DecisionItem>, Position)> = BTreeMap::new();
+        let mut seen: BTreeSet<TxId> = BTreeSet::new();
+        for &tx in txs {
+            if !seen.insert(tx) {
+                continue;
+            }
+            let Some((client, decision, targets)) = self.completion_of(tx) else {
+                continue;
+            };
+            if let Some(coord) = self.coordinating.get_mut(&tx) {
+                coord.decided = true;
+            }
+            ctx.add_counter("coordinator_decisions", 1);
+            ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
+            for (shard, pos, floor) in targets {
+                let entry = per_shard
+                    .entry(shard)
+                    .or_insert_with(|| (Vec::new(), Position::new(u64::MAX)));
+                entry.0.push(DecisionItem { pos, decision });
+                entry.1 = entry.1.min(floor);
+            }
+        }
+        for (shard, (items, truncate_to)) in per_shard {
+            let members = self
+                .config
+                .as_ref()
+                .map(|c| c.members_of(shard).to_vec())
+                .unwrap_or_default();
+            for member in members {
+                if member == self.id {
+                    for item in &items {
+                        self.log.decide(item.pos, item.decision);
+                    }
+                    self.maybe_truncate(truncate_to);
+                    self.maybe_gossip_frontier(ctx);
+                    continue;
+                }
+                let token = ctx.rdma_send(
+                    member,
+                    RdmaMsg::DecisionBatch {
+                        items: items.clone(),
                         truncate_to,
                     },
                 );
@@ -485,9 +689,232 @@ impl RdmaReplica {
         });
         coord.payload = Some(payload);
         coord.client = client;
+        if self.batching.enabled {
+            if self.batcher.push(tx) {
+                self.flush_prepare_batch(ctx);
+            } else {
+                self.arm_batch_timer(ctx);
+            }
+            self.arm_retry_timer(ctx);
+            return;
+        }
         let coord = coord.clone();
         self.send_prepares(ctx, tx, &coord, None);
         self.arm_retry_timer(ctx);
+    }
+
+    // -- batched certification pipeline (see `ratc_core::batch`) -------------
+
+    fn arm_batch_timer(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        if !self.batch_timer_armed && !self.batcher.is_empty() {
+            ctx.set_timer(self.batching.max_delay, BATCH_TICK);
+            self.batch_timer_armed = true;
+        }
+    }
+
+    /// Drains the pending batch into one `PREPARE_BATCH` per involved shard
+    /// leader.
+    fn flush_prepare_batch(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        let txs = self.batcher.drain();
+        if txs.is_empty() {
+            return;
+        }
+        let mut per_leader: BTreeMap<ProcessId, Vec<PrepareItem>> = BTreeMap::new();
+        for tx in txs {
+            let Some(coord) = self.coordinating.get(&tx) else {
+                continue;
+            };
+            if coord.decided {
+                continue;
+            }
+            for shard in &coord.shards {
+                let Some(leader) = self.leader_of(*shard) else {
+                    continue;
+                };
+                let restricted = coord
+                    .payload
+                    .as_ref()
+                    .map(|p| p.restrict(*shard, self.sharding.as_ref()));
+                per_leader.entry(leader).or_default().push(PrepareItem {
+                    tx,
+                    payload: restricted,
+                    shards: coord.shards.clone(),
+                    client: coord.client,
+                });
+            }
+        }
+        for (leader, items) in per_leader {
+            ctx.add_counter("prepare_batches_sent", 1);
+            ctx.send(
+                leader,
+                RdmaMsg::PrepareBatch {
+                    batch: PrepareBatch { items },
+                },
+            );
+        }
+    }
+
+    /// Batched lines 77–90: the leader certifies a whole batch in one pass,
+    /// appending fresh entries at a contiguous position range. Truncated
+    /// transactions keep the per-transaction `TxDecided` fast path.
+    fn handle_prepare_batch(
+        &mut self,
+        from: ProcessId,
+        items: Vec<PrepareItem>,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if self.status != RdmaStatus::Leader {
+            return;
+        }
+        let mut acks: Vec<PreparedItem> = Vec::with_capacity(items.len());
+        for item in items {
+            if let Some(decision) = self.log.truncated_decision(item.tx) {
+                ctx.send(
+                    from,
+                    RdmaMsg::TxDecided {
+                        tx: item.tx,
+                        decision,
+                        client: item.client,
+                    },
+                );
+                continue;
+            }
+            if let Some(pos) = self.log.position_of(item.tx) {
+                let entry = self.log.get(pos).expect("retained");
+                acks.push(PreparedItem {
+                    pos,
+                    tx: item.tx,
+                    payload: entry.payload.clone(),
+                    vote: entry.vote,
+                    shards: entry.shards.clone(),
+                    client: entry.client,
+                });
+                continue;
+            }
+            let (vote, stored_payload) = match item.payload {
+                Some(l) => {
+                    let next = self.log.next();
+                    let vote = self.log.vote_at(next, &l).unwrap_or_else(|| {
+                        let committed = self.log.committed_payloads_before(next);
+                        let prepared = self.log.prepared_payloads_before(next);
+                        self.certifier.vote(&committed, &prepared, &l)
+                    });
+                    (vote, l)
+                }
+                None => (Decision::Abort, Payload::empty()),
+            };
+            let pos = self.log.append(LogEntry {
+                tx: item.tx,
+                payload: stored_payload.clone(),
+                vote,
+                dec: None,
+                phase: TxPhase::Prepared,
+                shards: item.shards.clone(),
+                client: item.client,
+            });
+            acks.push(PreparedItem {
+                pos,
+                tx: item.tx,
+                payload: stored_payload,
+                vote,
+                shards: item.shards,
+                client: item.client,
+            });
+        }
+        if !acks.is_empty() {
+            ctx.send(
+                from,
+                RdmaMsg::PrepareAckBatch {
+                    epoch: self.epoch,
+                    shard: self.shard,
+                    items: acks,
+                    frontier: self.log.decided_frontier(),
+                },
+            );
+        }
+    }
+
+    /// Batched lines 91–93: persist a whole batch of votes with **one RDMA
+    /// write per follower**; the hardware acknowledgement of that write
+    /// acknowledges every slot of the batch at once.
+    fn handle_prepare_ack_batch(
+        &mut self,
+        epoch: Epoch,
+        shard: ShardId,
+        items: Vec<PreparedItem>,
+        frontier: Position,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
+        if epoch != self.epoch {
+            return;
+        }
+        let mut txs = Vec::with_capacity(items.len());
+        for item in &items {
+            let coord = self
+                .coordinating
+                .entry(item.tx)
+                .or_insert_with(|| CoordState {
+                    client: item.client,
+                    payload: None,
+                    shards: item.shards.clone(),
+                    progress: BTreeMap::new(),
+                    decided: false,
+                    known_decision: None,
+                });
+            let progress = coord
+                .progress
+                .entry(shard)
+                .or_default()
+                .entry(epoch)
+                .or_default();
+            progress.pos = Some(item.pos);
+            progress.vote = Some(item.vote);
+            progress.leader_frontier = Some(frontier);
+            txs.push(item.tx);
+        }
+        let followers = self.followers_of(shard);
+        let mut self_is_follower = false;
+        for follower in followers {
+            if follower == self.id {
+                self_is_follower = true;
+                continue;
+            }
+            let token = ctx.rdma_send(
+                follower,
+                RdmaMsg::AcceptBatch {
+                    shard,
+                    items: items.clone(),
+                },
+            );
+            self.pending_writes.insert(
+                token,
+                PendingWrite::AcceptBatch {
+                    txs: txs.clone(),
+                    shard,
+                    follower,
+                    epoch,
+                },
+            );
+        }
+        if self_is_follower {
+            self.apply_rdma_payload(RdmaMsg::AcceptBatch { shard, items });
+            for &tx in &txs {
+                if let Some(coord) = self.coordinating.get_mut(&tx) {
+                    coord
+                        .progress
+                        .entry(shard)
+                        .or_default()
+                        .entry(epoch)
+                        .or_default()
+                        .acked
+                        .insert(self.id);
+                }
+            }
+        }
+        for &tx in &txs {
+            self.flush_known_decision(tx, shard, ctx);
+        }
+        self.complete_batch(&txs, ctx);
     }
 
     /// Lines 77–90: identical to the message-passing protocol's leader logic.
@@ -1074,6 +1501,9 @@ impl RdmaReplica {
         for (_, msg) in flushed {
             self.apply_rdma_payload(msg);
         }
+        // A new epoch: stale peer frontiers must not unlock truncation for a
+        // membership they no longer describe.
+        self.peer_frontiers.clear();
         self.status = RdmaStatus::Leader;
         self.new_epoch = config.epoch;
         self.epoch = config.epoch;
@@ -1119,6 +1549,7 @@ impl RdmaReplica {
         self.new_epoch = config.epoch;
         self.epoch = config.epoch;
         self.initialized = true;
+        self.peer_frontiers.clear();
         self.log = log;
         if !self.log.has_index() {
             self.log.set_certifier(self.index_factory.clone_box());
@@ -1217,6 +1648,16 @@ impl Actor<RdmaMsg> for RdmaReplica {
             } => self.handle_prepare_ack(
                 epoch, shard, pos, tx, payload, vote, shards, client, frontier, ctx,
             ),
+            RdmaMsg::PrepareBatch { batch } => self.handle_prepare_batch(from, batch.items, ctx),
+            RdmaMsg::PrepareAckBatch {
+                epoch,
+                shard,
+                items,
+                frontier,
+            } => self.handle_prepare_ack_batch(epoch, shard, items, frontier, ctx),
+            RdmaMsg::FrontierExchange { shard, frontier } => {
+                self.handle_frontier_exchange(from, shard, frontier)
+            }
             RdmaMsg::DecisionClient { .. } => {}
             RdmaMsg::Retry { tx } => self.handle_retry(tx, ctx),
             RdmaMsg::TxDecided {
@@ -1267,48 +1708,79 @@ impl Actor<RdmaMsg> for RdmaReplica {
             RdmaMsg::CsGetReply { epoch, config } => self.handle_cs_get_reply(epoch, config, ctx),
             RdmaMsg::CsCasReply { ok, config } => self.handle_cs_cas_reply(ok, config, ctx),
             RdmaMsg::NaiveConfigChange { config } => self.handle_naive_config_change(config),
-            // Accept/DecisionShard only ever arrive through RDMA; requests to
-            // the configuration service are ignored by replicas.
+            // Accept/DecisionShard (and their batch forms) only ever arrive
+            // through RDMA; requests to the configuration service are ignored
+            // by replicas.
             RdmaMsg::Accept { .. }
+            | RdmaMsg::AcceptBatch { .. }
             | RdmaMsg::DecisionShard { .. }
+            | RdmaMsg::DecisionBatch { .. }
             | RdmaMsg::CsGetLast
             | RdmaMsg::CsGet { .. }
             | RdmaMsg::CsCas { .. } => {}
         }
     }
 
-    fn on_rdma_deliver(&mut self, _from: ProcessId, msg: RdmaMsg, _ctx: &mut Context<'_, RdmaMsg>) {
+    fn on_rdma_deliver(&mut self, _from: ProcessId, msg: RdmaMsg, ctx: &mut Context<'_, RdmaMsg>) {
         self.apply_rdma_payload(msg);
+        // Decisions may have advanced the decided frontier: gossip it to the
+        // shard peers once it has moved by a full truncation batch.
+        self.maybe_gossip_frontier(ctx);
     }
 
     fn on_rdma_ack(&mut self, token: RdmaToken, _to: ProcessId, ctx: &mut Context<'_, RdmaMsg>) {
         let Some(pending) = self.pending_writes.remove(&token) else {
             return;
         };
-        if let PendingWrite::Accept {
-            tx,
-            shard,
-            follower,
-            epoch,
-        } = pending
-        {
-            if let Some(coord) = self.coordinating.get_mut(&tx) {
-                coord
-                    .progress
-                    .entry(shard)
-                    .or_default()
-                    .entry(epoch)
-                    .or_default()
-                    .acked
-                    .insert(follower);
+        match pending {
+            PendingWrite::Accept {
+                tx,
+                shard,
+                follower,
+                epoch,
+            } => {
+                if let Some(coord) = self.coordinating.get_mut(&tx) {
+                    coord
+                        .progress
+                        .entry(shard)
+                        .or_default()
+                        .entry(epoch)
+                        .or_default()
+                        .acked
+                        .insert(follower);
+                }
+                self.check_completion(tx, ctx);
             }
-            self.check_completion(tx, ctx);
+            PendingWrite::AcceptBatch {
+                txs,
+                shard,
+                follower,
+                epoch,
+            } => {
+                for &tx in &txs {
+                    if let Some(coord) = self.coordinating.get_mut(&tx) {
+                        coord
+                            .progress
+                            .entry(shard)
+                            .or_default()
+                            .entry(epoch)
+                            .or_default()
+                            .acked
+                            .insert(follower);
+                    }
+                }
+                self.complete_batch(&txs, ctx);
+            }
+            PendingWrite::Other => {}
         }
     }
 
     fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, RdmaMsg>) {
         if tag == RETRY_TICK {
             self.handle_retry_tick(ctx);
+        } else if tag == BATCH_TICK {
+            self.batch_timer_armed = false;
+            self.flush_prepare_batch(ctx);
         }
     }
 }

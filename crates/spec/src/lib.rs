@@ -22,7 +22,12 @@
 //!   index against the paper's set-based certification functions;
 //! * [`truncation`] — differential testing of checkpointed log truncation:
 //!   a truncating log must agree vote-for-vote (and position-for-position)
-//!   with an untruncated mirror on randomized schedules.
+//!   with an untruncated mirror on randomized schedules;
+//! * [`batching`] — differential testing of the batched certification
+//!   pipeline: a batched and an unbatched cluster replaying the same
+//!   workload must produce identical histories, votes and certification
+//!   orders, including runs interleaved with truncation and
+//!   reconfiguration.
 //!
 //! These are runtime checkers, not proofs: they are run over every simulated
 //! execution produced by the test suites, the property-based tests and the
@@ -32,12 +37,14 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod batching;
 pub mod correctness;
 pub mod indexed;
 pub mod serializability;
 pub mod tcsll;
 pub mod truncation;
 
+pub use batching::{differential_batching_check, BatchingReport, BatchingScenario};
 pub use correctness::{check_history, SpecViolation};
 pub use indexed::{differential_vote_check, DifferentialReport};
 pub use serializability::check_conflict_serializable;

@@ -8,6 +8,7 @@
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -222,20 +223,36 @@ impl From<u64> for Position {
 
 /// A database object identifier (the set `Obj` of the paper).
 ///
-/// Keys are short strings; cloning is cheap enough for the simulation workloads
-/// used in this repository.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
-pub struct Key(String);
+/// Keys are interned behind an `Arc<str>`: a [`Key::clone`] is a reference
+/// count bump, never a string copy. This matters on the vote hot path — the
+/// certification index and its lock tables store one key per read/write of
+/// every prepared payload, so with plain `String` keys every vote paid one
+/// heap allocation per payload key. Equality, ordering and hashing compare
+/// the string contents, exactly as before.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(Arc<str>);
 
 impl Key {
-    /// Creates a key from anything convertible to a `String`.
+    /// Creates a key from anything convertible to a string.
     pub fn new(raw: impl Into<String>) -> Self {
-        Key(raw.into())
+        Key(Arc::from(raw.into()))
     }
 
     /// Returns the key as a string slice.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+
+    /// Number of live clones of this key (1 = unshared). Exposed so tests can
+    /// assert that indexes intern rather than copy.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl Default for Key {
+    fn default() -> Self {
+        Key(Arc::from(""))
     }
 }
 
@@ -247,13 +264,13 @@ impl fmt::Display for Key {
 
 impl From<&str> for Key {
     fn from(raw: &str) -> Self {
-        Key(raw.to_owned())
+        Key(Arc::from(raw))
     }
 }
 
 impl From<String> for Key {
     fn from(raw: String) -> Self {
-        Key(raw)
+        Key(Arc::from(raw))
     }
 }
 
@@ -406,6 +423,20 @@ mod tests {
         use std::collections::HashSet;
         let set: HashSet<TxId> = (0..10).map(TxId::new).collect();
         assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn key_clones_are_interned_not_copied() {
+        let k = Key::new("hot-key");
+        assert_eq!(k.ref_count(), 1);
+        let clones: Vec<Key> = (0..10).map(|_| k.clone()).collect();
+        assert_eq!(k.ref_count(), 11);
+        drop(clones);
+        assert_eq!(k.ref_count(), 1);
+        // Contents, not pointers, drive equality/ordering/hashing.
+        assert_eq!(k, Key::new("hot-key"));
+        assert!(Key::new("a") < Key::new("b"));
+        assert_eq!(Key::default().as_str(), "");
     }
 
     #[test]

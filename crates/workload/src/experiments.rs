@@ -762,7 +762,95 @@ pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> Reconfigurat
 }
 
 // ---------------------------------------------------------------------------
-// E8: randomized invariant checking
+// E8: batched certification pipeline
+// ---------------------------------------------------------------------------
+
+/// Result of the batching experiment (E8) for one batch size.
+#[derive(Debug, Clone)]
+pub struct BatchingResult {
+    /// Batch size measured (1 = batching disabled, the paper's exchange).
+    pub batch_size: usize,
+    /// Transactions submitted.
+    pub tx_count: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Messages handled (sent + received) by the measured shard leader per
+    /// decided transaction — the E2 metric the batching pipeline amortises.
+    pub leader_msgs_per_txn: f64,
+    /// Committed transactions per simulation event step — a proxy for how
+    /// much total cluster work one commit costs.
+    pub commits_per_step: f64,
+    /// `PREPARE_BATCH` messages actually sent.
+    pub prepare_batches: u64,
+}
+
+impl fmt::Display for BatchingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch={:<3} txns={:<5} committed={:<5} leader_msgs/txn={:<7.3} commits/step={:<7.4} batches={}",
+            self.batch_size,
+            self.tx_count,
+            self.committed,
+            self.leader_msgs_per_txn,
+            self.commits_per_step,
+            self.prepare_batches
+        )
+    }
+}
+
+/// E8: leader message load and per-commit work of the message-passing
+/// protocol as the batch size grows.
+///
+/// The deployment pins every transaction to shard 0 and coordinates through
+/// a shard-1 member, so the measured shard-0 leader handles only leader-role
+/// traffic: without batching that is one `PREPARE` in, one `PREPARE_ACK` out
+/// and one `DECISION` in per transaction; with batch size `B` the same three
+/// messages serve `B` transactions.
+pub fn batching_experiment(tx_count: usize, batch_size: usize, seed: u64) -> BatchingResult {
+    use ratc_core::batch::BatchingConfig;
+    use ratc_types::ShardMap;
+    let mut cluster = Cluster::new(
+        ClusterConfig::default()
+            .with_shards(2)
+            .with_seed(seed)
+            .with_batching(BatchingConfig::with_batch(batch_size)),
+    );
+    let measured_shard = ShardId::new(0);
+    // Coordinate from a shard-1 *follower*: not a member of the measured
+    // shard, and not shard 1's leader either.
+    let coordinator = cluster.initial_members(ShardId::new(1))[1];
+    let keys: Vec<Key> = (0..)
+        .map(|i: u64| Key::new(format!("k{i}")))
+        .filter(|k| cluster.sharding().shard_of(k) == measured_shard)
+        .take(tx_count)
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let payload = Payload::builder()
+            .read(key.clone(), Version::ZERO)
+            .write(key.clone(), Value::from("v"))
+            .commit_version(Version::new(1))
+            .build()
+            .expect("well-formed");
+        cluster.submit_via(TxId::new(i as u64 + 1), payload, coordinator);
+    }
+    cluster.run_to_quiescence();
+    let decided = cluster.history().decide_count().max(1);
+    let leader = cluster.current_leader(measured_shard);
+    let handled = cluster.world.metrics().process(leader).handled() as f64;
+    let committed = cluster.history().committed().count();
+    BatchingResult {
+        batch_size: batch_size.max(1),
+        tx_count,
+        committed,
+        leader_msgs_per_txn: handled / decided as f64,
+        commits_per_step: committed as f64 / cluster.world.steps().max(1) as f64,
+        prepare_batches: cluster.world.metrics().counter("prepare_batches_sent"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8 (invariants): randomized invariant checking
 // ---------------------------------------------------------------------------
 
 /// Result of the randomized invariant-checking experiment (E8).
@@ -919,5 +1007,47 @@ mod tests {
         assert_eq!(result.invariant_violations, 0);
         assert_eq!(result.spec_violations, 0);
         assert!(result.committed > 0);
+    }
+
+    /// Acceptance criterion of the batching pipeline: leader msgs/tx falls
+    /// monotonically with the batch size, and batch 16 is at least 4x below
+    /// batch 1.
+    #[test]
+    fn e8_batching_amortises_leader_messages() {
+        let tx_count = 192;
+        let results: Vec<BatchingResult> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|b| batching_experiment(tx_count, *b, 11))
+            .collect();
+        for result in &results {
+            assert_eq!(
+                result.committed, tx_count,
+                "disjoint transactions must all commit: {result}"
+            );
+        }
+        for pair in results.windows(2) {
+            assert!(
+                pair[1].leader_msgs_per_txn <= pair[0].leader_msgs_per_txn,
+                "leader msgs/tx must fall monotonically with batch size: {} then {}",
+                pair[0],
+                pair[1]
+            );
+            assert!(
+                pair[1].commits_per_step >= pair[0].commits_per_step,
+                "commits/step must rise monotonically with batch size: {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        let unbatched = &results[0];
+        let batch16 = results.last().expect("non-empty");
+        assert!(
+            unbatched.leader_msgs_per_txn >= 4.0 * batch16.leader_msgs_per_txn,
+            "batch 16 must cut leader msgs/tx at least 4x ({} vs {})",
+            unbatched.leader_msgs_per_txn,
+            batch16.leader_msgs_per_txn
+        );
+        assert_eq!(unbatched.prepare_batches, 0, "batch 1 must not batch");
+        assert!(batch16.prepare_batches > 0);
     }
 }

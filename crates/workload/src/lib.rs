@@ -20,9 +20,9 @@ pub mod generator;
 
 pub use counterexample::{run_counterexample, CounterexampleOutcome};
 pub use experiments::{
-    abort_rate_experiment, invariants_experiment, latency_experiment, leader_load_experiment,
-    reconfiguration_experiment, replication_cost_experiment, scaling_experiment, AbortRateResult,
-    InvariantsResult, LatencyResult, LeaderLoadResult, Protocol, ReconfigurationResult,
-    ReplicationCostResult, ScalingResult,
+    abort_rate_experiment, batching_experiment, invariants_experiment, latency_experiment,
+    leader_load_experiment, reconfiguration_experiment, replication_cost_experiment,
+    scaling_experiment, AbortRateResult, BatchingResult, InvariantsResult, LatencyResult,
+    LeaderLoadResult, Protocol, ReconfigurationResult, ReplicationCostResult, ScalingResult,
 };
 pub use generator::{KeyDistribution, WorkloadSpec};
