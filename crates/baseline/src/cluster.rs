@@ -216,6 +216,11 @@ impl BaselineCluster {
         &self.sharding
     }
 
+    /// The client process.
+    pub fn client_id(&self) -> ProcessId {
+        self.client
+    }
+
     /// The transaction-manager leader.
     pub fn tm_leader(&self) -> ProcessId {
         self.tm_leader
@@ -273,6 +278,29 @@ impl BaselineCluster {
     /// Crashes a process.
     pub fn crash(&mut self, pid: ProcessId) {
         self.world.crash(pid);
+    }
+
+    /// Restarts a crashed process: shard replicas and TM members recover
+    /// from their durable Paxos state. Returns `false` if `pid` was not
+    /// crashed.
+    pub fn restart(&mut self, pid: ProcessId) -> bool {
+        self.world.restart(pid)
+    }
+
+    /// Re-submits a transaction without re-recording it in the client
+    /// history: used by recovery drivers when the original decision (or the
+    /// transaction itself) was lost to an injected fault.
+    pub fn resubmit(&mut self, tx: TxId, payload: Payload) {
+        let client = self.client;
+        let tm = self.tm_leader;
+        self.world.send_external(
+            tm,
+            BaselineMsg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
     }
 
     /// Runs the simulation until no events remain.
@@ -459,6 +487,25 @@ mod tests {
         let history = cluster.history();
         assert!(history.committed().count() <= 1);
         assert_eq!(history.decide_count(), 2);
+        assert!(cluster.client_violations().is_empty());
+    }
+
+    /// Pinned regression: the TM's retry and retransmission timers are
+    /// capped, so `run_to_quiescence` terminates even when a shard is
+    /// permanently unrecoverable (a whole Paxos group crashed with no
+    /// restart). Without the cap the retry tick re-arms forever and the
+    /// event queue never drains.
+    #[test]
+    fn run_to_quiescence_terminates_with_a_shard_permanently_down() {
+        let mut cluster = BaselineCluster::new(BaselineClusterConfig::default().with_seed(7));
+        for pid in cluster.shard_group(ShardId::new(0)).to_vec() {
+            cluster.crash(pid);
+        }
+        cluster.submit(TxId::new(1), rw("k-on-any-shard"));
+        cluster.run_to_quiescence();
+        // The transaction touching the dead shard may stay undecided — the
+        // point is that the call returned.
+        assert!(cluster.history().certify_count() == 1);
         assert!(cluster.client_violations().is_empty());
     }
 

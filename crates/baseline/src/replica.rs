@@ -16,6 +16,18 @@ use crate::messages::{BaselineMsg, ShardCommand, ShardVote};
 /// Timer tag used to flush a partially filled proposal batch.
 const BATCH_TICK: TimerTag = 11;
 
+/// Timer tag re-sending outstanding Paxos messages (lost `Accept`s would
+/// otherwise strand their slots forever on lossy links).
+const RETRANSMIT_TICK: TimerTag = 12;
+
+/// Retransmission interval for outstanding Paxos work.
+const RETRANSMIT: ratc_sim::SimDuration = ratc_sim::SimDuration::from_millis(20);
+
+/// Consecutive retransmission ticks after which the leader stops re-arming
+/// (20 simulated seconds — the Paxos majority looks permanently gone); any
+/// new proposal re-arms the timer.
+const RETRANSMIT_CAP: u32 = 1000;
+
 /// A replica of one shard in the baseline design.
 ///
 /// Every replica is a Paxos acceptor of its shard's group; the distinguished
@@ -41,11 +53,17 @@ pub struct BaselineShardReplica {
     /// keyed by transaction id (transaction ids are globally unique, so they
     /// serve as positions).
     index: Box<dyn IndexedCertifier>,
+    /// Pristine (empty) clone of the certifier, used by crash-restart
+    /// recovery to rebuild the in-memory index from the durable Paxos log.
+    index_factory: Box<dyn IndexedCertifier>,
     /// Debug builds keep a full set-based [`MirrorCertifier`] in lockstep and
     /// cross-check every vote against it; release builds drop it so decided
     /// payload memory is actually freed.
     #[cfg(debug_assertions)]
     mirror: MirrorCertifier,
+    /// Pristine clone of the mirror for crash-restart recovery.
+    #[cfg(debug_assertions)]
+    mirror_factory: MirrorCertifier,
     acceptor: Acceptor<ShardCommand>,
     proposer: Option<Proposer<ShardCommand>>,
     log: ReplicatedLog<ShardCommand>,
@@ -57,6 +75,16 @@ pub struct BaselineShardReplica {
     /// for the whole history.
     decisions: BTreeMap<TxId, Decision>,
     phase1_started: bool,
+    /// Ballot round of the current proposer incarnation; bumped on restart so
+    /// a restarted leader re-establishes leadership with a fresh ballot.
+    ballot_round: u64,
+    /// `true` between a leader restart and the completion of Paxos log
+    /// recovery (phase 1 plus re-choosing every recovered slot). While set,
+    /// fresh certifications are deferred: commands accepted before the crash
+    /// carry votes whose certifier locks are only re-established when the
+    /// recovered slots are chosen, so certifying against the not-yet-caught-up
+    /// index could approve conflicting transactions.
+    recovering: bool,
     /// Batched log appends (see `ratc_core::batch`): certified votes are
     /// coalesced here and proposed as one Multi-Paxos command per batch.
     /// With batching disabled the batcher flushes on every push, i.e. one
@@ -64,6 +92,9 @@ pub struct BaselineShardReplica {
     batching: BatchingConfig,
     batcher: VoteBatcher<ShardVote>,
     batch_timer_armed: bool,
+    retransmit_armed: bool,
+    /// Consecutive retransmission ticks; capped by [`RETRANSMIT_CAP`].
+    retransmit_ticks: u32,
 }
 
 impl BaselineShardReplica {
@@ -80,8 +111,11 @@ impl BaselineShardReplica {
             tm: ProcessId::new(u64::MAX),
             group: Vec::new(),
             index: policy.indexed_certifier(shard),
+            index_factory: policy.indexed_certifier(shard),
             #[cfg(debug_assertions)]
             mirror: MirrorCertifier::new(policy.shard_certifier(shard)),
+            #[cfg(debug_assertions)]
+            mirror_factory: MirrorCertifier::new(policy.shard_certifier(shard)),
             acceptor: Acceptor::new(ProcessId::new(u64::MAX)),
             proposer: None,
             log: ReplicatedLog::new(),
@@ -89,9 +123,13 @@ impl BaselineShardReplica {
             in_flight: BTreeMap::new(),
             decisions: BTreeMap::new(),
             phase1_started: false,
+            ballot_round: 0,
+            recovering: false,
             batching: BatchingConfig::default(),
             batcher: VoteBatcher::new(BatchingConfig::default()),
             batch_timer_armed: false,
+            retransmit_armed: false,
+            retransmit_ticks: 0,
         }
     }
 
@@ -196,11 +234,33 @@ impl BaselineShardReplica {
         if !self.is_leader {
             return;
         }
-        if self.prepared.contains_key(&tx)
-            || self.in_flight.contains_key(&tx)
-            || self.decisions.contains_key(&tx)
-        {
+        // Duplicate or re-transmitted PREPARE (lossy links, TM retries): the
+        // vote must be *re-reported*, not swallowed — the original VOTE
+        // message to the TM may have been the thing that was lost.
+        if let Some((_, vote)) = self.prepared.get(&tx) {
+            ctx.send(
+                self.tm,
+                BaselineMsg::VoteBatch {
+                    shard: self.shard,
+                    votes: vec![(tx, *vote)],
+                },
+            );
             return;
+        }
+        if self.in_flight.contains_key(&tx) || self.decisions.contains_key(&tx) {
+            // Still replicating (the vote is reported once chosen), or
+            // already decided (the TM re-externalises decisions itself).
+            return;
+        }
+        // A restarted leader must finish Paxos log recovery before certifying
+        // anything new; the TM's retry tick re-delivers this PREPARE later.
+        if self.recovering {
+            let recovered = self.proposer.as_ref().map(|p| !p.has_pending()) == Some(true);
+            if !recovered {
+                self.arm_retransmit_timer(ctx);
+                return;
+            }
+            self.recovering = false;
         }
         let vote = self.index.vote(&payload);
         #[cfg(debug_assertions)]
@@ -249,6 +309,42 @@ impl BaselineShardReplica {
         let proposer = self.proposer.as_mut().expect("leader has a proposer");
         let out = proposer.propose(ShardCommand { items });
         self.route(ctx, out);
+        self.arm_retransmit_timer(ctx);
+    }
+
+    fn arm_retransmit_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        // Called whenever new work arrives, which also resets the
+        // fruitless-tick budget.
+        self.retransmit_ticks = 0;
+        let pending = self.proposer.as_ref().map(Proposer::has_pending) == Some(true);
+        if !self.retransmit_armed && pending {
+            ctx.set_timer(RETRANSMIT, RETRANSMIT_TICK);
+            self.retransmit_armed = true;
+        }
+    }
+
+    /// Re-sends outstanding Paxos messages: a dropped `Prepare`/`Accept`
+    /// would otherwise strand its ballot or slot forever. Repeats are
+    /// idempotent at the acceptors.
+    fn handle_retransmit_tick(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        self.retransmit_armed = false;
+        self.retransmit_ticks += 1;
+        if self.retransmit_ticks > RETRANSMIT_CAP {
+            ctx.add_counter("retransmits_abandoned", 1);
+            return;
+        }
+        let Some(proposer) = self.proposer.as_mut() else {
+            return;
+        };
+        if !proposer.has_pending() {
+            return;
+        }
+        let out = proposer.retransmit();
+        self.route(ctx, out);
+        if !self.retransmit_armed {
+            ctx.set_timer(RETRANSMIT, RETRANSMIT_TICK);
+            self.retransmit_armed = true;
+        }
     }
 
     /// Folds a chosen command (a batch of votes) into the replica state:
@@ -360,6 +456,63 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
         if tag == BATCH_TICK {
             self.batch_timer_armed = false;
             self.flush_proposals(ctx);
+        } else if tag == RETRANSMIT_TICK {
+            self.handle_retransmit_tick(ctx);
         }
+    }
+
+    /// Crash-restart recovery: the Paxos acceptor state, the chosen-command
+    /// log and the decision map are durable; the certification index, the
+    /// prepared set and all proposer state are volatile and rebuilt by
+    /// replaying the durable log against the decision map. A restarted leader
+    /// re-establishes leadership under a fresh, higher ballot, which re-chooses
+    /// any value a majority had accepted (phase-1 recovery).
+    fn on_restart(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        self.in_flight.clear();
+        self.prepared.clear();
+        self.batcher = VoteBatcher::new(self.batching);
+        self.batch_timer_armed = false;
+        self.retransmit_armed = false;
+        self.phase1_started = false;
+        self.ballot_round += 1;
+        if self.is_leader {
+            let mut proposer = Proposer::new(self.id, self.group.clone(), self.ballot_round);
+            // Start log recovery immediately: phase 1 re-discovers commands
+            // accepted before the crash and re-chooses them, re-establishing
+            // their certifier locks through `apply_chosen`. Until that
+            // finishes, `certify_and_propose` defers fresh certifications.
+            let out = proposer.start_phase1();
+            self.phase1_started = true;
+            self.recovering = true;
+            self.proposer = Some(proposer);
+            self.route(ctx, out);
+            self.arm_retransmit_timer(ctx);
+        }
+        self.index = self.index_factory.clone_box();
+        #[cfg(debug_assertions)]
+        {
+            self.mirror = self.mirror_factory.clone();
+        }
+        let commands: Vec<ShardCommand> = self.log.iter().map(|(_, c)| c.clone()).collect();
+        for command in &commands {
+            self.apply_chosen(command);
+        }
+        // Re-report every still-undecided chosen vote to the TM: the original
+        // VOTE may have died with us.
+        let votes: Vec<(ratc_types::TxId, Decision)> = self
+            .prepared
+            .iter()
+            .map(|(tx, (_, vote))| (*tx, *vote))
+            .collect();
+        if self.is_leader && !votes.is_empty() {
+            ctx.send(
+                self.tm,
+                BaselineMsg::VoteBatch {
+                    shard: self.shard,
+                    votes,
+                },
+            );
+        }
+        ctx.add_counter("replica_restarts", 1);
     }
 }

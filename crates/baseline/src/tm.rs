@@ -4,15 +4,28 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, Context};
+use ratc_sim::{Actor, Context, SimDuration, TimerTag};
 use ratc_types::{Decision, Payload, ProcessId, ShardId, ShardMap, TxId};
 
 use crate::messages::{BaselineMsg, TmCommand};
+
+/// Timer tag re-driving in-flight transactions (re-sending `PREPARE` to
+/// shards whose vote is missing and re-transmitting outstanding Paxos work).
+const TM_RETRY_TICK: TimerTag = 21;
+
+/// Retry interval of the transaction manager.
+const TM_RETRY: SimDuration = SimDuration::from_millis(20);
+
+/// Consecutive fruitless retry ticks after which the TM stops re-arming (20
+/// simulated seconds), so `World::run` terminates even when a shard is
+/// permanently unrecoverable; any new `certify` re-arms the timer.
+const TM_RETRY_CAP: u32 = 1000;
 
 /// State of one in-flight transaction at the transaction manager.
 #[derive(Debug, Clone)]
 struct PendingTx {
     client: ProcessId,
+    payload: Payload,
     shards: Vec<ShardId>,
     votes: BTreeMap<ShardId, Decision>,
     proposed: bool,
@@ -38,7 +51,19 @@ pub struct TransactionManager {
     log: ReplicatedLog<TmCommand>,
     pending: BTreeMap<TxId, PendingTx>,
     decided: BTreeMap<TxId, Decision>,
+    /// Clients of decided transactions, kept so a re-submitted `certify` of a
+    /// decided transaction can be answered directly.
+    decided_clients: BTreeMap<TxId, (ProcessId, Vec<ShardId>)>,
     phase1_started: bool,
+    ballot_round: u64,
+    retry_armed: bool,
+    /// Consecutive retry ticks without new work; capped by [`TM_RETRY_CAP`].
+    retry_ticks: u32,
+    /// `true` between a TM-leader restart and the completion of Paxos log
+    /// recovery: until every decision accepted before the crash has been
+    /// re-chosen, starting 2PC for a re-submitted transaction could commit a
+    /// *second*, possibly different decision for it.
+    recovering: bool,
 }
 
 impl TransactionManager {
@@ -55,7 +80,12 @@ impl TransactionManager {
             log: ReplicatedLog::new(),
             pending: BTreeMap::new(),
             decided: BTreeMap::new(),
+            decided_clients: BTreeMap::new(),
             phase1_started: false,
+            ballot_round: 0,
+            retry_armed: false,
+            retry_ticks: 0,
+            recovering: false,
         }
     }
 
@@ -105,7 +135,32 @@ impl TransactionManager {
         client: ProcessId,
         ctx: &mut Context<'_, BaselineMsg>,
     ) {
-        if !self.is_leader || self.pending.contains_key(&tx) || self.decided.contains_key(&tx) {
+        if !self.is_leader {
+            return;
+        }
+        // A re-submitted `certify` of a decided transaction (the client's
+        // DECISION was lost, or the TM restarted and the client retried):
+        // re-externalise the durable decision instead of swallowing it.
+        if let Some(decision) = self.decided.get(&tx).copied() {
+            self.externalize(tx, decision, Some(client), ctx);
+            return;
+        }
+        // A restarted TM leader must finish Paxos log recovery first: a
+        // decision accepted before the crash may exist for this transaction,
+        // and starting fresh 2PC now could commit a second, different one.
+        // The client's recovery retry re-delivers the request later.
+        if self.recovering {
+            let recovered = self.proposer.as_ref().map(|p| !p.has_pending()) == Some(true);
+            if !recovered {
+                self.arm_retry_timer(ctx);
+                return;
+            }
+            self.recovering = false;
+        }
+        if self.pending.contains_key(&tx) {
+            // Already in flight: re-drive the missing votes now instead of
+            // waiting for the retry tick.
+            self.redrive(tx, ctx);
             return;
         }
         let shards = payload.shards(self.sharding.as_ref());
@@ -123,6 +178,7 @@ impl TransactionManager {
             tx,
             PendingTx {
                 client,
+                payload: payload.clone(),
                 shards: shards.clone(),
                 votes: BTreeMap::new(),
                 proposed: false,
@@ -139,6 +195,105 @@ impl TransactionManager {
                     payload: payload.restrict(shard, self.sharding.as_ref()),
                 },
             );
+        }
+        self.arm_retry_timer(ctx);
+    }
+
+    /// Re-sends `PREPARE` to every shard of `tx` whose vote is missing.
+    fn redrive(&mut self, tx: TxId, ctx: &mut Context<'_, BaselineMsg>) {
+        let Some(pending) = self.pending.get(&tx) else {
+            return;
+        };
+        if pending.proposed {
+            return;
+        }
+        let missing: Vec<ShardId> = pending
+            .shards
+            .iter()
+            .copied()
+            .filter(|s| !pending.votes.contains_key(s))
+            .collect();
+        let payload = pending.payload.clone();
+        for shard in missing {
+            if let Some(leader) = self.shard_leaders.get(&shard) {
+                ctx.send(
+                    *leader,
+                    BaselineMsg::Prepare {
+                        tx,
+                        payload: payload.restrict(shard, self.sharding.as_ref()),
+                    },
+                );
+            }
+        }
+    }
+
+    fn arm_retry_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        // Called whenever new work arrives, which also resets the
+        // fruitless-tick budget.
+        self.retry_ticks = 0;
+        let proposer_pending = self.proposer.as_ref().map(Proposer::has_pending) == Some(true);
+        if !self.retry_armed && (!self.pending.is_empty() || proposer_pending) {
+            ctx.set_timer(TM_RETRY, TM_RETRY_TICK);
+            self.retry_armed = true;
+        }
+    }
+
+    /// Retry tick: re-drive PREPAREs for votes still missing and re-transmit
+    /// outstanding Paxos messages. Everything re-sent is idempotent at the
+    /// receivers (shard leaders re-report chosen votes, acceptors tolerate
+    /// ballot repeats).
+    fn handle_retry_tick(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        self.retry_armed = false;
+        self.retry_ticks += 1;
+        if self.retry_ticks > TM_RETRY_CAP {
+            // Nothing has budged for a long time: the missing participants
+            // look permanently gone. Stop keeping the event queue alive; a
+            // later certify (e.g. a client retry after repair) re-arms.
+            ctx.add_counter("tm_retries_abandoned", 1);
+            return;
+        }
+        let txs: Vec<TxId> = self.pending.keys().copied().collect();
+        for tx in txs {
+            self.redrive(tx, ctx);
+        }
+        if let Some(proposer) = self.proposer.as_mut() {
+            if proposer.has_pending() {
+                let out = proposer.retransmit();
+                self.route(ctx, out);
+            }
+        }
+        // Re-arm directly (not via `arm_retry_timer`, which would reset the
+        // fruitless-tick budget this tick just spent).
+        let proposer_pending = self.proposer.as_ref().map(Proposer::has_pending) == Some(true);
+        if !self.retry_armed && (!self.pending.is_empty() || proposer_pending) {
+            ctx.set_timer(TM_RETRY, TM_RETRY_TICK);
+            self.retry_armed = true;
+        }
+    }
+
+    /// Sends the durable decision of `tx` to the shards and (optionally) a
+    /// client.
+    fn externalize(
+        &mut self,
+        tx: TxId,
+        decision: Decision,
+        client: Option<ProcessId>,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        let (stored_client, shards) = self
+            .decided_clients
+            .get(&tx)
+            .cloned()
+            .unwrap_or((ProcessId::new(u64::MAX), Vec::new()));
+        if let Some(client) = client.or(Some(stored_client)) {
+            if client != ProcessId::new(u64::MAX) {
+                ctx.send(client, BaselineMsg::DecisionClient { tx, decision });
+            }
+        }
+        for shard in shards {
+            if let Some(leader) = self.shard_leaders.get(&shard) {
+                ctx.send(*leader, BaselineMsg::Decision { tx, decision });
+            }
         }
     }
 
@@ -182,6 +337,7 @@ impl TransactionManager {
             .expect("leader has a proposer")
             .propose(command);
         self.route(ctx, out);
+        self.arm_retry_timer(ctx);
     }
 
     fn handle_paxos(
@@ -195,20 +351,29 @@ impl TransactionManager {
         if let PaxosMsg::Chosen { slot, command } = &msg {
             self.log.record_chosen(*slot, command.clone());
             self.decided.entry(command.tx).or_insert(command.decision);
+            self.decided_clients
+                .entry(command.tx)
+                .or_insert_with(|| (command.client, command.shards.clone()));
         }
         if let Some(proposer) = self.proposer.as_mut() {
             let (out, chosen) = proposer.handle(msg);
             self.route(ctx, out);
             for (slot, command) in chosen {
                 self.log.record_chosen(slot, command.clone());
-                self.decided.entry(command.tx).or_insert(command.decision);
+                // First decision wins: retries around a TM restart can choose
+                // a second command for the same transaction; only the first
+                // recorded decision is ever externalised.
+                let decision = *self.decided.entry(command.tx).or_insert(command.decision);
+                self.decided_clients
+                    .entry(command.tx)
+                    .or_insert_with(|| (command.client, command.shards.clone()));
                 self.pending.remove(&command.tx);
                 // The decision is durable: externalise it.
                 ctx.send(
                     command.client,
                     BaselineMsg::DecisionClient {
                         tx: command.tx,
-                        decision: command.decision,
+                        decision,
                     },
                 );
                 for shard in &command.shards {
@@ -217,7 +382,7 @@ impl TransactionManager {
                             *leader,
                             BaselineMsg::Decision {
                                 tx: command.tx,
-                                decision: command.decision,
+                                decision,
                             },
                         );
                     }
@@ -248,5 +413,35 @@ impl Actor<BaselineMsg> for TransactionManager {
             BaselineMsg::TmPaxos { msg } => self.handle_paxos(from, msg, ctx),
             _ => {}
         }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, BaselineMsg>) {
+        if tag == TM_RETRY_TICK {
+            self.handle_retry_tick(ctx);
+        }
+    }
+
+    /// Crash-restart recovery: the Paxos acceptor, the chosen-command log and
+    /// the decision map (rebuilt from the log) are durable; in-flight 2PC
+    /// state is volatile and lost — clients re-drive undecided transactions
+    /// by re-submitting, which either restarts 2PC (undecided) or
+    /// re-externalises the durable outcome (decided).
+    fn on_restart(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        self.pending.clear();
+        self.retry_armed = false;
+        self.phase1_started = false;
+        self.ballot_round += 1;
+        if self.is_leader {
+            let mut proposer = Proposer::new(self.id, self.group.clone(), self.ballot_round);
+            // Start log recovery immediately; `handle_certify` defers fresh
+            // 2PC until it completes.
+            let out = proposer.start_phase1();
+            self.phase1_started = true;
+            self.recovering = true;
+            self.proposer = Some(proposer);
+            self.route(ctx, out);
+            self.arm_retry_timer(ctx);
+        }
+        ctx.add_counter("tm_restarts", 1);
     }
 }

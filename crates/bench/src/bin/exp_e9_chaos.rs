@@ -1,0 +1,22 @@
+//! E9 (availability): commit throughput and recovery time vs. fault
+//! intensity, for all three stacks under the chaos nemesis.
+
+use ratc_chaos::{availability_experiment, Stack};
+
+fn main() {
+    ratc_bench::header(
+        "E9",
+        "availability under randomized fault injection",
+        "a seed-driven nemesis crashes and restarts leaders, followers and \
+         coordinators, partitions shards and triggers mid-flight reconfigurations \
+         under drop/duplicate/delay noise; throughput degrades gracefully with \
+         fault intensity, every run stays safe, and all submitted transactions \
+         are decided once faults lift",
+    );
+    for stack in [Stack::Core, Stack::Rdma, Stack::Baseline] {
+        for intensity in [0u8, 20, 40, 60, 80] {
+            println!("{}", availability_experiment(stack, intensity, 42));
+        }
+        println!();
+    }
+}

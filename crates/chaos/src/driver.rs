@@ -1,0 +1,224 @@
+//! The soak driver: paced workload + fault plan → safety/liveness report.
+//!
+//! A soak interleaves a paced `ratc-workload` transaction stream with the
+//! discrete events of a [`FaultPlan`] on one simulated cluster, then lifts
+//! the faults and drives recovery:
+//!
+//! 1. heal every link fault and partition, restart every crashed process;
+//! 2. repeatedly quiesce, re-drive reconfigurations until every shard is
+//!    operational ([`ChaosHarness::stabilize`]), and re-submit transactions
+//!    the client never saw decided (the client retry of the TCS model);
+//! 3. check the observed history with the `ratc-spec` chaos checkers.
+//!
+//! Everything is deterministic per `(stack, seed, plan)`.
+
+use std::fmt;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use ratc_sim::SimDuration;
+use ratc_types::{Serializability, TxId};
+use ratc_workload::WorkloadSpec;
+
+use crate::harness::ChaosHarness;
+use crate::plan::FaultPlan;
+
+/// Configuration of one soak run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// Seed for the workload generator (fault plans carry their own seed).
+    pub seed: u64,
+    /// Number of transactions to submit.
+    pub txs: usize,
+    /// Number of distinct keys (smaller = more conflicts).
+    pub keys: usize,
+    /// Keys per transaction (2+ makes most transactions cross-shard).
+    pub keys_per_tx: usize,
+    /// Mean spacing between submissions, in microseconds.
+    pub interval_micros: u64,
+    /// Recovery rounds after faults lift before liveness is judged.
+    pub recovery_rounds: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 0,
+            txs: 40,
+            keys: 64,
+            keys_per_tx: 2,
+            interval_micros: 800,
+            recovery_rounds: 12,
+        }
+    }
+}
+
+/// Outcome of one soak run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// The stack that ran.
+    pub stack: String,
+    /// The workload seed.
+    pub seed: u64,
+    /// Transactions submitted.
+    pub submitted: usize,
+    /// Transactions decided by the end of recovery.
+    pub decided: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Safety violations (client-observed + history checker). Empty in a
+    /// correct run.
+    pub safety_violations: Vec<String>,
+    /// Transactions still undecided after recovery (liveness violations).
+    pub undecided: Vec<TxId>,
+    /// Discrete fault events applied.
+    pub fault_events: usize,
+    /// Simulated time from the end of the fault window to full recovery, in
+    /// microseconds.
+    pub recovery_micros: u64,
+    /// Total simulation events executed (a determinism fingerprint).
+    pub steps: u64,
+}
+
+impl SoakReport {
+    /// `true` if no safety violation was observed.
+    pub fn safe(&self) -> bool {
+        self.safety_violations.is_empty()
+    }
+
+    /// `true` if every submitted transaction was decided.
+    pub fn live(&self) -> bool {
+        self.undecided.is_empty()
+    }
+
+    /// `true` if the soak was both safe and live.
+    pub fn ok(&self) -> bool {
+        self.safe() && self.live()
+    }
+}
+
+impl fmt::Display for SoakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} seed={:<4} txs={:<4} decided={:<4} committed={:<4} faults={:<3} \
+             recovery={:>6}us safe={} live={}",
+            self.stack,
+            self.seed,
+            self.submitted,
+            self.decided,
+            self.committed,
+            self.fault_events,
+            self.recovery_micros,
+            self.safe(),
+            self.live()
+        )
+    }
+}
+
+/// Lets the cluster settle: advances time in bounded slices until a whole
+/// slice executes no event. Unlike an unbounded run-to-quiescence this
+/// terminates even while retry or reconfiguration timers are still looping
+/// (a broken shard keeps its repair timers alive until `stabilize` fixes it,
+/// which is exactly what the recovery loop interleaves with).
+fn settle(harness: &mut dyn ChaosHarness) {
+    for _ in 0..200 {
+        let before = harness.steps();
+        harness.run_for(SimDuration::from_millis(25));
+        if harness.steps() == before {
+            return;
+        }
+    }
+}
+
+/// Runs one soak: `config`'s workload under `plan`'s faults on `harness`.
+pub fn run_soak(
+    harness: &mut dyn ChaosHarness,
+    config: &SoakConfig,
+    plan: &FaultPlan,
+) -> SoakReport {
+    let spec = WorkloadSpec {
+        key_count: config.keys,
+        keys_per_tx: config.keys_per_tx,
+        write_fraction: 1.0,
+        tx_count: config.txs,
+        distribution: ratc_workload::KeyDistribution::Uniform,
+    };
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let arrivals = spec.generate_paced(
+        &mut rng,
+        SimDuration::from_micros(config.interval_micros.max(1)),
+    );
+
+    harness.set_noise(plan.noise);
+
+    // Merge the submission timeline with the fault timeline.
+    let start = harness.now_micros();
+    let mut submissions = arrivals.into_iter().peekable();
+    let mut faults = plan.events.iter().peekable();
+    let mut applied = 0usize;
+    loop {
+        let next_submit = submissions.peek().map(|(at, _, _)| at.as_micros());
+        let next_fault = faults.peek().map(|f| f.at_micros);
+        let next = match (next_submit, next_fault) {
+            (None, None) => break,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        let target = start + next;
+        let now = harness.now_micros();
+        if target > now {
+            harness.run_for(SimDuration::from_micros(target - now));
+        }
+        if next_submit == Some(next) {
+            let (_, tx, payload) = submissions.next().expect("peeked");
+            harness.submit(tx, payload);
+        } else {
+            let fault = faults.next().expect("peeked");
+            harness.apply(&fault.event);
+            applied += 1;
+        }
+    }
+
+    // Fault window over: lift the noise, heal everything and drive recovery.
+    let fault_end = harness.now_micros();
+    harness.set_noise(None);
+    harness.heal();
+    let mut recovered_at = fault_end;
+    for _ in 0..config.recovery_rounds.max(1) {
+        settle(harness);
+        let stable = harness.stabilize();
+        settle(harness);
+        recovered_at = harness.now_micros();
+        let undecided: Vec<TxId> = harness.history().undecided().collect();
+        if stable && undecided.is_empty() {
+            break;
+        }
+        for tx in undecided {
+            harness.resubmit(tx);
+        }
+    }
+    // The final round may have re-submitted transactions: give them one last
+    // settle before judging liveness, so that work is not dead on the queue.
+    settle(harness);
+
+    let history = harness.history();
+    let verdict = ratc_spec::check_chaos_run(
+        &history,
+        &Serializability::new(),
+        &harness.client_violations(),
+    );
+    SoakReport {
+        stack: harness.stack().to_string(),
+        seed: config.seed,
+        submitted: history.certify_count(),
+        decided: history.decide_count(),
+        committed: history.committed().count(),
+        safety_violations: verdict.safety_violations,
+        undecided: verdict.undecided,
+        fault_events: applied,
+        recovery_micros: recovered_at.saturating_sub(fault_end),
+        steps: harness.steps(),
+    }
+}

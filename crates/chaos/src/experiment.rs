@@ -1,0 +1,79 @@
+//! E9: availability under fault injection — throughput and recovery time vs.
+//! fault intensity, for all three stacks.
+
+use std::fmt;
+
+use crate::driver::{run_soak, SoakConfig, SoakReport};
+use crate::harness::{build_harness, Stack};
+use crate::nemesis::{Nemesis, NemesisConfig, Profile};
+
+/// Result of one E9 cell: one stack at one fault intensity.
+#[derive(Debug, Clone)]
+pub struct AvailabilityResult {
+    /// The stack measured.
+    pub stack: Stack,
+    /// Fault intensity in `[0, 100]` (scales noise and event count).
+    pub intensity: u8,
+    /// Transactions submitted.
+    pub submitted: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Commit throughput during the fault window, in commits per simulated
+    /// millisecond.
+    pub commits_per_milli: f64,
+    /// Simulated recovery time after faults lift, in microseconds.
+    pub recovery_micros: u64,
+    /// Whether the run was safe and live.
+    pub ok: bool,
+}
+
+impl fmt::Display for AvailabilityResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} intensity={:<3} committed={:>3}/{:<3} throughput={:>6.2}/ms \
+             recovery={:>7}us ok={}",
+            self.stack.to_string(),
+            self.intensity,
+            self.committed,
+            self.submitted,
+            self.commits_per_milli,
+            self.recovery_micros,
+            self.ok
+        )
+    }
+}
+
+/// Runs one E9 cell: a fixed-seed soak of `stack` at `intensity`.
+pub fn availability_experiment(stack: Stack, intensity: u8, seed: u64) -> AvailabilityResult {
+    let soak = SoakConfig {
+        seed,
+        txs: 60,
+        keys: 96,
+        keys_per_tx: 2,
+        interval_micros: 700,
+        recovery_rounds: 12,
+    };
+    let nemesis = NemesisConfig {
+        seed,
+        shards: 2,
+        members_per_shard: 2,
+        window_micros: soak.txs as u64 * soak.interval_micros,
+        events: 2 + (usize::from(intensity) / 12),
+        intensity,
+        profile: Profile::Default,
+    };
+    let plan = Nemesis::generate(&nemesis);
+    let mut harness = build_harness(stack, 2, seed, None);
+    let report: SoakReport = run_soak(harness.as_mut(), &soak, &plan);
+    let window_millis = (nemesis.window_micros as f64 / 1_000.0).max(f64::EPSILON);
+    AvailabilityResult {
+        stack,
+        intensity,
+        submitted: report.submitted,
+        committed: report.committed,
+        commits_per_milli: report.committed as f64 / window_millis,
+        recovery_micros: report.recovery_micros,
+        ok: report.ok(),
+    }
+}

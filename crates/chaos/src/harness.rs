@@ -1,0 +1,939 @@
+//! The [`ChaosHarness`] trait and its adapters for the three TCS stacks.
+//!
+//! A chaos harness wraps one deployed cluster and exposes exactly what the
+//! soak driver and the nemesis need: paced submission, fault application,
+//! time control, healing/stabilisation, and the observed history. Fault
+//! events name roles (leaders, roster indices); each adapter resolves them
+//! against its stack.
+//!
+//! The client process is marked fault-exempt in every adapter: it is the
+//! measurement apparatus recording the history that safety and liveness are
+//! judged by, not a protocol participant. Everything else — including the
+//! configuration service — runs over faultable links.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ratc_baseline::{BaselineCluster, BaselineClusterConfig};
+use ratc_core::harness::{Cluster, ClusterConfig};
+use ratc_core::log::TxPhase;
+use ratc_core::replica::{Replica, Status, TruncationConfig};
+use ratc_rdma::replica::RdmaStatus;
+use ratc_rdma::{RdmaCluster, RdmaClusterConfig, RdmaReplica, ReconfigMode};
+use ratc_sim::faults::{FaultScope, LinkFault};
+use ratc_sim::SimDuration;
+use ratc_types::{Payload, ProcessId, ShardId, TcsHistory, TxId};
+
+use crate::plan::{FaultEvent, LinkNoise};
+
+/// Cap on how many prepared transactions one `RetryPrepared` event re-drives.
+const RETRY_CAP: usize = 64;
+
+/// Which TCS stack a harness drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stack {
+    /// The message-passing RATC protocol (`ratc-core`).
+    Core,
+    /// The RDMA protocol with correct global reconfiguration (`ratc-rdma`).
+    Rdma,
+    /// The RDMA protocol with the **incorrect** naive per-shard
+    /// reconfiguration — the Figure 4a hunting ground.
+    RdmaNaive,
+    /// The 2PC-over-Paxos baseline (`ratc-baseline`).
+    Baseline,
+}
+
+impl fmt::Display for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stack::Core => f.write_str("ratc-mp"),
+            Stack::Rdma => f.write_str("ratc-rdma"),
+            Stack::RdmaNaive => f.write_str("ratc-rdma-naive"),
+            Stack::Baseline => f.write_str("2pc-paxos"),
+        }
+    }
+}
+
+/// What the soak driver needs from a cluster under chaos.
+pub trait ChaosHarness {
+    /// The stack under test.
+    fn stack(&self) -> Stack;
+    /// Submits a fresh transaction (recorded in the client history).
+    fn submit(&mut self, tx: TxId, payload: Payload);
+    /// Re-drives an already-submitted transaction without re-recording it.
+    fn resubmit(&mut self, tx: TxId);
+    /// Applies one fault event, resolving role targets against the cluster.
+    fn apply(&mut self, event: &FaultEvent);
+    /// Installs (or clears) fabric-wide background noise.
+    fn set_noise(&mut self, noise: Option<LinkNoise>);
+    /// Advances simulated time by `d`.
+    fn run_for(&mut self, d: SimDuration);
+    /// Runs until no events remain.
+    fn run_to_quiescence(&mut self);
+    /// Current simulated time in microseconds.
+    fn now_micros(&self) -> u64;
+    /// Events executed so far (a determinism fingerprint).
+    fn steps(&self) -> u64;
+    /// Heals every injected fault and restarts every crashed process.
+    fn heal(&mut self);
+    /// Post-heal repair: re-drives reconfigurations until every shard is
+    /// operational again. Returns `true` once the cluster looks operational.
+    fn stabilize(&mut self) -> bool;
+    /// The client-observed history.
+    fn history(&self) -> TcsHistory;
+    /// Structural violations the client observed (contradictory decisions).
+    fn client_violations(&self) -> Vec<String>;
+}
+
+fn noise_fault(noise: &LinkNoise) -> LinkFault {
+    LinkFault {
+        drop: noise.drop,
+        duplicate: noise.duplicate,
+        delay: noise.delay,
+        delay_micros: (0, noise.max_delay_micros),
+        scope: FaultScope::All,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ratc-core adapter
+// ---------------------------------------------------------------------------
+
+/// Chaos adapter for the message-passing stack.
+pub struct CoreChaos {
+    cluster: Cluster,
+    payloads: BTreeMap<TxId, Payload>,
+    replicas: Vec<ProcessId>,
+    roster: BTreeMap<ShardId, Vec<ProcessId>>,
+    coordinator: Option<ProcessId>,
+    partition_seq: u64,
+    next_coordinator: usize,
+}
+
+impl CoreChaos {
+    /// Builds a core cluster for chaos testing. `coordinator` optionally
+    /// routes every submission through one fixed replica (shard, roster
+    /// index); otherwise submissions round-robin.
+    pub fn new(shards: u32, seed: u64, coordinator: Option<(ShardId, usize)>) -> Self {
+        let cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(shards)
+                .with_seed(seed)
+                .with_truncation(TruncationConfig::with_batch(8)),
+        );
+        let mut roster = BTreeMap::new();
+        let mut replicas = Vec::new();
+        for shard in cluster.shards() {
+            let members = cluster.initial_members(shard).to_vec();
+            replicas.extend(members.iter().copied());
+            replicas.extend(cluster.spares(shard).iter().copied());
+            roster.insert(shard, members);
+        }
+        let coordinator =
+            coordinator.map(|(shard, index)| roster[&shard][index % roster[&shard].len()]);
+        let mut this = CoreChaos {
+            cluster,
+            payloads: BTreeMap::new(),
+            replicas,
+            roster,
+            coordinator,
+            partition_seq: 0,
+            next_coordinator: 0,
+        };
+        let client = this.cluster.client_id();
+        this.cluster.world.mark_fault_exempt(client);
+        this
+    }
+
+    /// The wrapped cluster (read access for tests and debugging).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn member(&self, shard: ShardId, index: usize) -> ProcessId {
+        let roster = &self.roster[&shard];
+        roster[index % roster.len()]
+    }
+
+    fn live_initiator(&self, shard: ShardId) -> Option<ProcessId> {
+        let mut candidates = self.cluster.current_members(shard);
+        candidates.extend(self.roster[&shard].iter().copied());
+        candidates.extend(self.cluster.spares(shard).to_vec());
+        candidates.into_iter().find(|p| {
+            !self.cluster.world.is_crashed(*p)
+                && self
+                    .cluster
+                    .world
+                    .actor::<Replica>(*p)
+                    .map(|r| r.is_initialized() && !r.reconfiguration_in_flight())
+                    .unwrap_or(false)
+        })
+    }
+
+    fn reconfigure(&mut self, shard: ShardId) {
+        let Some(initiator) = self.live_initiator(shard) else {
+            return;
+        };
+        let exclude: Vec<ProcessId> = self
+            .cluster
+            .current_members(shard)
+            .into_iter()
+            .filter(|p| self.cluster.world.is_crashed(*p))
+            .collect();
+        self.cluster
+            .start_reconfiguration(shard, initiator, exclude);
+    }
+
+    fn shard_operational(&self, shard: ShardId) -> bool {
+        let members = self.cluster.current_members(shard);
+        if members.is_empty() {
+            return false;
+        }
+        let leader = self.cluster.current_leader(shard);
+        let epoch = self.cluster.current_epoch(shard);
+        members.iter().all(|m| {
+            if self.cluster.world.is_crashed(*m) {
+                return false;
+            }
+            let Some(replica) = self.cluster.world.actor::<Replica>(*m) else {
+                return false;
+            };
+            let expected = if *m == leader {
+                Status::Leader
+            } else {
+                Status::Follower
+            };
+            replica.is_initialized()
+                && replica.epoch_of(shard) == epoch
+                && replica.status() == expected
+        })
+    }
+}
+
+impl ChaosHarness for CoreChaos {
+    fn stack(&self) -> Stack {
+        Stack::Core
+    }
+
+    fn submit(&mut self, tx: TxId, payload: Payload) {
+        self.payloads.insert(tx, payload.clone());
+        // Fixed coordinator if configured, else round-robin over live
+        // replicas. With everything crashed, submit to a crashed process:
+        // the message is dropped (the cluster is down), the transaction
+        // stays in the history undecided, and recovery re-drives it.
+        let target = self.coordinator.unwrap_or_else(|| {
+            let live: Vec<ProcessId> = self
+                .replicas
+                .iter()
+                .copied()
+                .filter(|p| !self.cluster.world.is_crashed(*p))
+                .collect();
+            let pool = if live.is_empty() {
+                &self.replicas
+            } else {
+                &live
+            };
+            let target = pool[self.next_coordinator % pool.len()];
+            self.next_coordinator += 1;
+            target
+        });
+        self.cluster.submit_via(tx, payload, target);
+    }
+
+    fn resubmit(&mut self, tx: TxId) {
+        let Some(payload) = self.payloads.get(&tx).cloned() else {
+            return;
+        };
+        let shards = payload.shards(self.cluster.sharding());
+        let Some(first) = shards.first().copied() else {
+            return;
+        };
+        let target = self.cluster.current_leader(first);
+        if self.cluster.world.is_crashed(target) {
+            return;
+        }
+        let client = self.cluster.client_id();
+        self.cluster.world.send_external(
+            target,
+            ratc_core::messages::Msg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
+    }
+
+    fn apply(&mut self, event: &FaultEvent) {
+        match event {
+            FaultEvent::CrashLeader { shard } => {
+                let leader = self.cluster.current_leader(*shard);
+                self.cluster.crash(leader);
+            }
+            FaultEvent::CrashFollower { shard, index } => {
+                let leader = self.cluster.current_leader(*shard);
+                let followers: Vec<ProcessId> = self
+                    .cluster
+                    .current_members(*shard)
+                    .into_iter()
+                    .filter(|p| *p != leader)
+                    .collect();
+                if !followers.is_empty() {
+                    self.cluster.crash(followers[index % followers.len()]);
+                }
+            }
+            FaultEvent::CrashCoordinator => {
+                let target = self
+                    .coordinator
+                    .unwrap_or_else(|| self.roster.values().next().expect("shards")[0]);
+                self.cluster.crash(target);
+            }
+            FaultEvent::RestartCrashed => {
+                for pid in self.replicas.clone() {
+                    if self.cluster.world.is_crashed(pid) {
+                        self.cluster.restart(pid);
+                    }
+                }
+            }
+            FaultEvent::IsolateInbound { shard, index } => {
+                let victim = self.member(*shard, *index);
+                let cs = self.cluster.config_service_id();
+                for from in self.replicas.clone().into_iter().chain([cs]) {
+                    if from != victim {
+                        self.cluster.world.set_link_fault(
+                            from,
+                            victim,
+                            LinkFault::cut(FaultScope::MessagesOnly),
+                        );
+                    }
+                }
+            }
+            FaultEvent::DelayRdmaOutbound {
+                shard,
+                index,
+                delay_micros,
+            } => {
+                // The message-passing stack has no RDMA fabric; the scoped
+                // fault is installed but never fires.
+                let victim = self.member(*shard, *index);
+                for to in self.replicas.clone() {
+                    if to != victim {
+                        self.cluster.world.set_link_fault(
+                            victim,
+                            to,
+                            LinkFault::delay_all(*delay_micros, FaultScope::RdmaOnly),
+                        );
+                    }
+                }
+            }
+            FaultEvent::PartitionLeader { shard } => {
+                let leader = self.cluster.current_leader(*shard);
+                let others: Vec<ProcessId> = self
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != leader)
+                    .collect();
+                self.partition_seq += 1;
+                let name = format!("part-{}", self.partition_seq);
+                self.cluster
+                    .world
+                    .install_partition(&name, vec![vec![leader], others]);
+            }
+            FaultEvent::HealFaults => self.cluster.world.heal_all_faults(),
+            FaultEvent::Reconfigure { shard } => self.reconfigure(*shard),
+            FaultEvent::GlobalReconfigure => {
+                for shard in self.cluster.shards() {
+                    self.reconfigure(shard);
+                }
+            }
+            FaultEvent::RetryPrepared { shard } => {
+                let leader = self.cluster.current_leader(*shard);
+                if self.cluster.world.is_crashed(leader) {
+                    return;
+                }
+                let prepared: Vec<TxId> = self
+                    .cluster
+                    .replica(leader)
+                    .log()
+                    .entries()
+                    .filter(|(_, e)| e.phase == TxPhase::Prepared)
+                    .map(|(_, e)| e.tx)
+                    .take(RETRY_CAP)
+                    .collect();
+                for tx in prepared {
+                    self.cluster.retry(leader, tx);
+                }
+            }
+        }
+    }
+
+    fn set_noise(&mut self, noise: Option<LinkNoise>) {
+        self.cluster
+            .world
+            .set_default_link_fault(noise.as_ref().map(noise_fault));
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        self.cluster.run_for(d);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        self.cluster.run_to_quiescence();
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.cluster.world.now().as_micros()
+    }
+
+    fn steps(&self) -> u64 {
+        self.cluster.world.steps()
+    }
+
+    fn heal(&mut self) {
+        self.cluster.world.heal_all_faults();
+        self.apply(&FaultEvent::RestartCrashed);
+    }
+
+    fn stabilize(&mut self) -> bool {
+        let mut all_ok = true;
+        for shard in self.cluster.shards() {
+            if !self.shard_operational(shard) {
+                all_ok = false;
+                self.reconfigure(shard);
+            }
+        }
+        all_ok
+    }
+
+    fn history(&self) -> TcsHistory {
+        self.cluster.history()
+    }
+
+    fn client_violations(&self) -> Vec<String> {
+        self.cluster.client_violations()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ratc-rdma adapter
+// ---------------------------------------------------------------------------
+
+/// Chaos adapter for the RDMA stack (correct or naive reconfiguration mode).
+pub struct RdmaChaos {
+    cluster: RdmaCluster,
+    mode: ReconfigMode,
+    payloads: BTreeMap<TxId, Payload>,
+    replicas: Vec<ProcessId>,
+    roster: BTreeMap<ShardId, Vec<ProcessId>>,
+    coordinator: Option<ProcessId>,
+    partition_seq: u64,
+    next_coordinator: usize,
+}
+
+impl RdmaChaos {
+    /// Builds an RDMA cluster for chaos testing in the given mode.
+    pub fn new(
+        shards: u32,
+        seed: u64,
+        mode: ReconfigMode,
+        coordinator: Option<(ShardId, usize)>,
+    ) -> Self {
+        let cluster = RdmaCluster::new(
+            RdmaClusterConfig::default()
+                .with_shards(shards)
+                .with_seed(seed)
+                .with_mode(mode)
+                .with_truncation(TruncationConfig::with_batch(8)),
+        );
+        let config = cluster.current_config();
+        let mut roster = BTreeMap::new();
+        let mut replicas = Vec::new();
+        for (shard, members) in &config.members {
+            replicas.extend(members.iter().copied());
+            replicas.extend(cluster.spares(*shard).to_vec());
+            roster.insert(*shard, members.clone());
+        }
+        let coordinator =
+            coordinator.map(|(shard, index)| roster[&shard][index % roster[&shard].len()]);
+        let mut this = RdmaChaos {
+            cluster,
+            mode,
+            payloads: BTreeMap::new(),
+            replicas,
+            roster,
+            coordinator,
+            partition_seq: 0,
+            next_coordinator: 0,
+        };
+        let client = this.cluster.client_id();
+        this.cluster.world.mark_fault_exempt(client);
+        this
+    }
+
+    /// The wrapped cluster (read access for tests and debugging).
+    pub fn cluster(&self) -> &RdmaCluster {
+        &self.cluster
+    }
+
+    fn member(&self, shard: ShardId, index: usize) -> ProcessId {
+        let roster = &self.roster[&shard];
+        roster[index % roster.len()]
+    }
+
+    fn current_leader(&self, shard: ShardId) -> Option<ProcessId> {
+        self.cluster.current_config().leader_of(shard)
+    }
+
+    fn live_initiator(&self, shard: ShardId) -> Option<ProcessId> {
+        let config = self.cluster.current_config();
+        let mut candidates: Vec<ProcessId> = config.members_of(shard).to_vec();
+        candidates.extend(self.roster[&shard].iter().copied());
+        candidates.extend(self.cluster.spares(shard).to_vec());
+        candidates.into_iter().find(|p| {
+            !self.cluster.world.is_crashed(*p)
+                && self
+                    .cluster
+                    .world
+                    .actor::<RdmaReplica>(*p)
+                    .map(|r| r.is_initialized() && !r.reconfiguration_in_flight())
+                    .unwrap_or(false)
+        })
+    }
+
+    fn reconfigure(&mut self, shard: ShardId) {
+        let Some(initiator) = self.live_initiator(shard) else {
+            return;
+        };
+        let config = self.cluster.current_config();
+        let exclude: Vec<ProcessId> = config
+            .members
+            .values()
+            .flatten()
+            .copied()
+            .filter(|p| self.cluster.world.is_crashed(*p))
+            .collect();
+        self.cluster
+            .start_reconfiguration(shard, initiator, exclude);
+    }
+
+    fn shard_operational(&self, shard: ShardId) -> bool {
+        let config = self.cluster.current_config();
+        let members = config.members_of(shard);
+        if members.is_empty() {
+            return false;
+        }
+        let leader = config.leader_of(shard);
+        members.iter().all(|m| {
+            if self.cluster.world.is_crashed(*m) {
+                return false;
+            }
+            let Some(replica) = self.cluster.world.actor::<RdmaReplica>(*m) else {
+                return false;
+            };
+            let expected = if Some(*m) == leader {
+                RdmaStatus::Leader
+            } else {
+                RdmaStatus::Follower
+            };
+            replica.is_initialized()
+                && replica.epoch() == config.epoch
+                && replica.status() == expected
+        })
+    }
+}
+
+impl ChaosHarness for RdmaChaos {
+    fn stack(&self) -> Stack {
+        match self.mode {
+            ReconfigMode::GlobalCorrect => Stack::Rdma,
+            ReconfigMode::NaivePerShard => Stack::RdmaNaive,
+        }
+    }
+
+    fn submit(&mut self, tx: TxId, payload: Payload) {
+        self.payloads.insert(tx, payload.clone());
+        let target = self.coordinator.unwrap_or_else(|| {
+            let live: Vec<ProcessId> = self
+                .replicas
+                .iter()
+                .copied()
+                .filter(|p| !self.cluster.world.is_crashed(*p))
+                .collect();
+            let pool = if live.is_empty() {
+                &self.replicas
+            } else {
+                &live
+            };
+            let target = pool[self.next_coordinator % pool.len()];
+            self.next_coordinator += 1;
+            target
+        });
+        self.cluster.submit_via(tx, payload, target);
+    }
+
+    fn resubmit(&mut self, tx: TxId) {
+        let Some(payload) = self.payloads.get(&tx).cloned() else {
+            return;
+        };
+        let shards = payload.shards(self.cluster.sharding());
+        let Some(target) = shards.first().and_then(|s| self.current_leader(*s)) else {
+            return;
+        };
+        if self.cluster.world.is_crashed(target) {
+            return;
+        }
+        let client = self.cluster.client_id();
+        self.cluster.world.send_external(
+            target,
+            ratc_rdma::RdmaMsg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
+    }
+
+    fn apply(&mut self, event: &FaultEvent) {
+        match event {
+            FaultEvent::CrashLeader { shard } => {
+                if let Some(leader) = self.current_leader(*shard) {
+                    self.cluster.crash(leader);
+                }
+            }
+            FaultEvent::CrashFollower { shard, index } => {
+                let followers = self.cluster.current_config().followers_of(*shard);
+                if !followers.is_empty() {
+                    self.cluster.crash(followers[index % followers.len()]);
+                }
+            }
+            FaultEvent::CrashCoordinator => {
+                let target = self
+                    .coordinator
+                    .unwrap_or_else(|| self.roster.values().next().expect("shards")[0]);
+                self.cluster.crash(target);
+            }
+            FaultEvent::RestartCrashed => {
+                for pid in self.replicas.clone() {
+                    if self.cluster.world.is_crashed(pid) {
+                        self.cluster.restart(pid);
+                    }
+                }
+            }
+            FaultEvent::IsolateInbound { shard, index } => {
+                let victim = self.member(*shard, *index);
+                let cs = self.cluster.config_service_id();
+                for from in self.replicas.clone().into_iter().chain([cs]) {
+                    if from != victim {
+                        self.cluster.world.set_link_fault(
+                            from,
+                            victim,
+                            LinkFault::cut(FaultScope::MessagesOnly),
+                        );
+                    }
+                }
+            }
+            FaultEvent::DelayRdmaOutbound {
+                shard,
+                index,
+                delay_micros,
+            } => {
+                let victim = self.member(*shard, *index);
+                for to in self.replicas.clone() {
+                    if to != victim {
+                        self.cluster.world.set_link_fault(
+                            victim,
+                            to,
+                            LinkFault::delay_all(*delay_micros, FaultScope::RdmaOnly),
+                        );
+                    }
+                }
+            }
+            FaultEvent::PartitionLeader { shard } => {
+                let Some(leader) = self.current_leader(*shard) else {
+                    return;
+                };
+                let others: Vec<ProcessId> = self
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != leader)
+                    .collect();
+                self.partition_seq += 1;
+                let name = format!("part-{}", self.partition_seq);
+                self.cluster
+                    .world
+                    .install_partition(&name, vec![vec![leader], others]);
+            }
+            FaultEvent::HealFaults => self.cluster.world.heal_all_faults(),
+            FaultEvent::Reconfigure { shard } => self.reconfigure(*shard),
+            FaultEvent::GlobalReconfigure => {
+                let shard = *self.roster.keys().next().expect("shards");
+                self.reconfigure(shard);
+            }
+            FaultEvent::RetryPrepared { shard } => {
+                let Some(leader) = self.current_leader(*shard) else {
+                    return;
+                };
+                if self.cluster.world.is_crashed(leader) {
+                    return;
+                }
+                let prepared: Vec<TxId> = self
+                    .cluster
+                    .replica(leader)
+                    .log()
+                    .entries()
+                    .filter(|(_, e)| e.phase == TxPhase::Prepared)
+                    .map(|(_, e)| e.tx)
+                    .take(RETRY_CAP)
+                    .collect();
+                for tx in prepared {
+                    self.cluster.retry(leader, tx);
+                }
+            }
+        }
+    }
+
+    fn set_noise(&mut self, noise: Option<LinkNoise>) {
+        self.cluster
+            .world
+            .set_default_link_fault(noise.as_ref().map(noise_fault));
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        self.cluster.run_for(d);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        self.cluster.run_to_quiescence();
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.cluster.world.now().as_micros()
+    }
+
+    fn steps(&self) -> u64 {
+        self.cluster.world.steps()
+    }
+
+    fn heal(&mut self) {
+        self.cluster.world.heal_all_faults();
+        self.apply(&FaultEvent::RestartCrashed);
+    }
+
+    fn stabilize(&mut self) -> bool {
+        let config = self.cluster.current_config();
+        let mut all_ok = true;
+        for shard in config.members.keys().copied().collect::<Vec<_>>() {
+            if !self.shard_operational(shard) {
+                all_ok = false;
+                self.reconfigure(shard);
+            }
+        }
+        all_ok
+    }
+
+    fn history(&self) -> TcsHistory {
+        self.cluster.history()
+    }
+
+    fn client_violations(&self) -> Vec<String> {
+        self.cluster.client_violations()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// baseline adapter
+// ---------------------------------------------------------------------------
+
+/// Chaos adapter for the 2PC-over-Paxos baseline. The baseline has no
+/// reconfiguration: `Reconfigure`/`GlobalReconfigure`/`RetryPrepared` are
+/// no-ops, and crashed processes recover only by restarting (which the
+/// recovery phase guarantees). Paxos masks minority follower crashes.
+pub struct BaselineChaos {
+    cluster: BaselineCluster,
+    payloads: BTreeMap<TxId, Payload>,
+    processes: Vec<ProcessId>,
+    partition_seq: u64,
+}
+
+impl BaselineChaos {
+    /// Builds a baseline cluster for chaos testing.
+    pub fn new(shards: u32, seed: u64) -> Self {
+        let cluster = BaselineCluster::new(
+            BaselineClusterConfig::default()
+                .with_shards(shards)
+                .with_seed(seed),
+        );
+        let mut processes: Vec<ProcessId> = Vec::new();
+        for shard_idx in 0..shards {
+            processes.extend(cluster.shard_group(ShardId::new(shard_idx)).to_vec());
+        }
+        processes.extend(cluster.tm_group().to_vec());
+        let mut this = BaselineChaos {
+            cluster,
+            payloads: BTreeMap::new(),
+            processes,
+            partition_seq: 0,
+        };
+        let client = this.cluster.client_id();
+        this.cluster.world.mark_fault_exempt(client);
+        this
+    }
+
+    /// The wrapped cluster (read access for tests and debugging).
+    pub fn cluster(&self) -> &BaselineCluster {
+        &self.cluster
+    }
+
+    fn group(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.cluster.shard_group(shard).to_vec()
+    }
+}
+
+impl ChaosHarness for BaselineChaos {
+    fn stack(&self) -> Stack {
+        Stack::Baseline
+    }
+
+    fn submit(&mut self, tx: TxId, payload: Payload) {
+        self.payloads.insert(tx, payload.clone());
+        self.cluster.submit(tx, payload);
+    }
+
+    fn resubmit(&mut self, tx: TxId) {
+        if let Some(payload) = self.payloads.get(&tx).cloned() {
+            self.cluster.resubmit(tx, payload);
+        }
+    }
+
+    fn apply(&mut self, event: &FaultEvent) {
+        match event {
+            FaultEvent::CrashLeader { shard } => {
+                let leader = self.cluster.shard_leader(*shard);
+                self.cluster.crash(leader);
+            }
+            FaultEvent::CrashFollower { shard, index } => {
+                let leader = self.cluster.shard_leader(*shard);
+                let followers: Vec<ProcessId> = self
+                    .group(*shard)
+                    .into_iter()
+                    .filter(|p| *p != leader)
+                    .collect();
+                if !followers.is_empty() {
+                    self.cluster.crash(followers[index % followers.len()]);
+                }
+            }
+            FaultEvent::CrashCoordinator => {
+                let tm = self.cluster.tm_leader();
+                self.cluster.crash(tm);
+            }
+            FaultEvent::RestartCrashed => {
+                for pid in self.processes.clone() {
+                    if self.cluster.world.is_crashed(pid) {
+                        self.cluster.restart(pid);
+                    }
+                }
+            }
+            FaultEvent::IsolateInbound { shard, index } => {
+                let group = self.group(*shard);
+                let victim = group[index % group.len()];
+                for from in self.processes.clone() {
+                    if from != victim {
+                        self.cluster.world.set_link_fault(
+                            from,
+                            victim,
+                            LinkFault::cut(FaultScope::MessagesOnly),
+                        );
+                    }
+                }
+            }
+            FaultEvent::DelayRdmaOutbound { .. } => {
+                // The baseline has no RDMA fabric.
+            }
+            FaultEvent::PartitionLeader { shard } => {
+                let leader = self.cluster.shard_leader(*shard);
+                let others: Vec<ProcessId> = self
+                    .processes
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != leader)
+                    .collect();
+                self.partition_seq += 1;
+                let name = format!("part-{}", self.partition_seq);
+                self.cluster
+                    .world
+                    .install_partition(&name, vec![vec![leader], others]);
+            }
+            FaultEvent::HealFaults => self.cluster.world.heal_all_faults(),
+            FaultEvent::Reconfigure { .. }
+            | FaultEvent::GlobalReconfigure
+            | FaultEvent::RetryPrepared { .. } => {
+                // No reconfiguration machinery in the baseline.
+            }
+        }
+    }
+
+    fn set_noise(&mut self, noise: Option<LinkNoise>) {
+        self.cluster
+            .world
+            .set_default_link_fault(noise.as_ref().map(noise_fault));
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        self.cluster.run_for(d);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        self.cluster.run_to_quiescence();
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.cluster.world.now().as_micros()
+    }
+
+    fn steps(&self) -> u64 {
+        self.cluster.world.steps()
+    }
+
+    fn heal(&mut self) {
+        self.cluster.world.heal_all_faults();
+        self.apply(&FaultEvent::RestartCrashed);
+    }
+
+    fn stabilize(&mut self) -> bool {
+        true
+    }
+
+    fn history(&self) -> TcsHistory {
+        self.cluster.history()
+    }
+
+    fn client_violations(&self) -> Vec<String> {
+        self.cluster.client_violations()
+    }
+}
+
+/// Builds the chaos harness for `stack`.
+pub fn build_harness(
+    stack: Stack,
+    shards: u32,
+    seed: u64,
+    coordinator: Option<(ShardId, usize)>,
+) -> Box<dyn ChaosHarness> {
+    match stack {
+        Stack::Core => Box::new(CoreChaos::new(shards, seed, coordinator)),
+        Stack::Rdma => Box::new(RdmaChaos::new(
+            shards,
+            seed,
+            ReconfigMode::GlobalCorrect,
+            coordinator,
+        )),
+        Stack::RdmaNaive => Box::new(RdmaChaos::new(
+            shards,
+            seed,
+            ReconfigMode::NaivePerShard,
+            coordinator,
+        )),
+        Stack::Baseline => Box::new(BaselineChaos::new(shards, seed)),
+    }
+}

@@ -354,6 +354,13 @@ impl Cluster {
         self.world.crash(pid);
     }
 
+    /// Restarts a crashed replica: it recovers from its certification log
+    /// (checkpoint + suffix, the modelled stable storage) and rejoins with
+    /// all volatile state lost. Returns `false` if `pid` was not crashed.
+    pub fn restart(&mut self, pid: ProcessId) -> bool {
+        self.world.restart(pid)
+    }
+
     /// Runs the simulation until no events remain.
     pub fn run_to_quiescence(&mut self) {
         self.world.run();

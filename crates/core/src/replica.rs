@@ -34,6 +34,30 @@ const RETRY_TICK: TimerTag = 1;
 /// Timer tag used to flush a partially filled prepare batch.
 const BATCH_TICK: TimerTag = 2;
 
+/// Timer tag ending the probe grace period: once an initialised responder is
+/// known, the reconfigurer briefly waits for further in-flight probe replies
+/// before drafting spares (see `handle_probe_ack`).
+const PROBE_GRACE_TICK: TimerTag = 3;
+
+/// Timer tag re-driving a reconfiguration whose probes were lost (probe
+/// messages travel over faultable links; the configuration service does not).
+const RECON_RETRY_TICK: TimerTag = 4;
+
+/// How long a reconfigurer waits for more probe replies after the first
+/// initialised responder. A couple of network round trips: long enough for
+/// replies already in flight, short enough not to hurt recovery time.
+const PROBE_GRACE: SimDuration = SimDuration::from_micros(500);
+
+/// Interval after which a still-unfinished reconfiguration restarts its
+/// probing from scratch.
+const RECON_RETRY: SimDuration = SimDuration::from_millis(50);
+
+/// Probe restarts after which a reconfiguration is abandoned (10 simulated
+/// seconds): far beyond any recoverable outage in the test workloads, but
+/// bounds the event queue when a shard is unrecoverable, so
+/// `World::run`/`run_to_quiescence` still terminate.
+const RECON_RETRY_CAP: u32 = 200;
+
 /// The data needed to distribute a completed transaction's decision: the
 /// client, the decision, and per-shard `(position, truncation floor)` targets.
 type Completion = (ProcessId, Decision, Vec<(ShardId, Position, Position)>);
@@ -116,6 +140,11 @@ struct CoordState {
     /// Progress per shard per epoch.
     progress: BTreeMap<ShardId, BTreeMap<Epoch, ShardProgress>>,
     decided: bool,
+    /// The final decision this coordinator computed or learned, kept so a
+    /// re-submitted `certify` of an already-decided transaction (e.g. the
+    /// client's `DECISION` was lost to a network fault) is answered directly
+    /// instead of silently swallowed.
+    decision: Option<Decision>,
     /// A decision learned out-of-band from a `TxDecided` reply (the
     /// transaction was truncated at some shard). Shards that still hold the
     /// transaction as prepared must be told it, or their slots (and lock
@@ -149,6 +178,19 @@ struct ReconState {
     probed_epoch: Epoch,
     probed_members: Vec<ProcessId>,
     responders: Vec<ProcessId>,
+    /// Responders that reported themselves initialised, in arrival order.
+    initialized: Vec<ProcessId>,
+    /// The leader of the latest configuration returned by `get_last`:
+    /// preferred as the new leader if it responds initialised, so a warm
+    /// leader (and its certification log) is not discarded for a spare.
+    prev_leader: Option<ProcessId>,
+    /// The armed probe grace timer (see `handle_probe_ack`); cancelled when
+    /// probing restarts so a stale tick cannot finish the new round early.
+    grace_timer: Option<ratc_sim::actor::TimerId>,
+    /// How many times this reconfiguration has restarted probing; abandoned
+    /// after [`RECON_RETRY_CAP`] attempts so an unrecoverable shard does not
+    /// keep the event queue alive forever.
+    retries: u32,
     descended_for_current: bool,
     spares: Vec<ProcessId>,
     target_size: usize,
@@ -313,6 +355,20 @@ impl Replica {
         self.coordinating.values().filter(|c| !c.decided).count()
     }
 
+    /// The transactions this replica coordinates that have no final decision.
+    pub fn undecided_transactions(&self) -> Vec<TxId> {
+        self.coordinating
+            .iter()
+            .filter(|(_, c)| !c.decided)
+            .map(|(tx, _)| *tx)
+            .collect()
+    }
+
+    /// Whether this replica is currently driving a reconfiguration.
+    pub fn reconfiguration_in_flight(&self) -> bool {
+        self.recon.is_some()
+    }
+
     // -- helpers -------------------------------------------------------------
 
     fn arm_retry_timer(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -396,9 +452,10 @@ impl Replica {
     }
 
     /// Marks `tx` decided and records the coordinator-side decision metrics.
-    fn mark_decided(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
+    fn mark_decided(&mut self, tx: TxId, decision: Decision, ctx: &mut Context<'_, Msg>) {
         if let Some(coord) = self.coordinating.get_mut(&tx) {
             coord.decided = true;
+            coord.decision = Some(decision);
         }
         ctx.add_counter("coordinator_decisions", 1);
         ctx.record_sample("coordinator_decision_hops", f64::from(ctx.hops()));
@@ -410,7 +467,7 @@ impl Replica {
         let Some((client, decision, targets)) = self.completion_of(tx) else {
             return;
         };
-        self.mark_decided(tx, ctx);
+        self.mark_decided(tx, decision, ctx);
         ctx.send(client, Msg::DecisionClient { tx, decision });
         for (shard, pos, truncate_to) in targets {
             let epoch = self.epoch.get(&shard).copied().unwrap_or(Epoch::ZERO);
@@ -449,7 +506,7 @@ impl Replica {
             let Some((client, decision, targets)) = self.completion_of(tx) else {
                 continue;
             };
-            self.mark_decided(tx, ctx);
+            self.mark_decided(tx, decision, ctx);
             ctx.send(client, Msg::DecisionClient { tx, decision });
             for (shard, pos, floor) in targets {
                 let entry = per_shard
@@ -485,6 +542,7 @@ impl Replica {
             shards,
             progress: BTreeMap::new(),
             decided: false,
+            decision: None,
             known_decision: None,
         })
     }
@@ -517,8 +575,17 @@ impl Replica {
             shards: shards.clone(),
             progress: BTreeMap::new(),
             decided: false,
+            decision: None,
             known_decision: None,
         });
+        // A re-submitted `certify` of a transaction this coordinator already
+        // decided (the client's `DECISION` was lost to a fault, or the client
+        // retried against the same coordinator): answer with the recorded
+        // decision instead of silently swallowing the request.
+        if let Some(decision) = coord.decision {
+            ctx.send(client, Msg::DecisionClient { tx, decision });
+            return;
+        }
         coord.payload = Some(payload);
         coord.client = client;
         if self.batching.enabled {
@@ -1135,6 +1202,7 @@ impl Replica {
             coord.known_decision = Some(decision);
             let was_decided = coord.decided;
             coord.decided = true;
+            coord.decision.get_or_insert(decision);
             let shards = coord.shards.clone();
             for shard in shards {
                 self.flush_known_decision(tx, shard, ctx);
@@ -1223,12 +1291,19 @@ impl Replica {
             probed_epoch: Epoch::ZERO,
             probed_members: Vec::new(),
             responders: Vec::new(),
+            initialized: Vec::new(),
+            prev_leader: None,
+            grace_timer: None,
+            retries: 0,
             descended_for_current: false,
             spares,
             target_size,
             exclude,
         });
         ctx.send(self.cs, Msg::CsGetLast { shard });
+        // Probes travel over faultable links; if they (or their replies) are
+        // lost, restart the whole probe from scratch after a while.
+        ctx.set_timer(RECON_RETRY, RECON_RETRY_TICK);
     }
 
     /// Line 36 continued: the configuration service returned the latest
@@ -1239,15 +1314,26 @@ impl Replica {
         config: ShardConfiguration,
         ctx: &mut Context<'_, Msg>,
     ) {
+        let recon_matches = self
+            .recon
+            .as_ref()
+            .map(|r| r.shard == shard && matches!(r.phase, ReconPhase::AwaitingGetLast))
+            .unwrap_or(false);
+        if !recon_matches {
+            // Not (this) reconfiguration's reply: a stalled coordinator's
+            // view-refresh poll (see `handle_retry_tick`). The lazy
+            // CONFIG_CHANGE of lines 67–69 may have been lost to a fault, so
+            // adopt the fresher view here.
+            self.handle_stale_view_refresh(shard, config);
+            return;
+        }
         let Some(recon) = self.recon.as_mut() else {
             return;
         };
-        if recon.shard != shard || !matches!(recon.phase, ReconPhase::AwaitingGetLast) {
-            return;
-        }
         recon.probed_epoch = config.epoch;
         recon.probed_members = config.members.clone();
         recon.recon_epoch = config.epoch.next();
+        recon.prev_leader = Some(config.leader);
         recon.phase = ReconPhase::Probing;
         recon.descended_for_current = false;
         let epoch = recon.recon_epoch;
@@ -1296,32 +1382,27 @@ impl Replica {
             recon.responders.push(from);
         }
         if initialized {
-            // Lines 45–50: end probing, compute the new membership, CAS it.
-            let mut planner =
-                MembershipPlanner::new(recon.target_size, recon.spares.iter().copied());
-            let responders: Vec<ProcessId> = recon
-                .responders
+            if !recon.initialized.contains(&from) {
+                recon.initialized.push(from);
+            }
+            // Lines 45–50, refined: an initialised responder makes the new
+            // epoch viable, but finishing immediately would draft spares in
+            // place of warm replicas whose probe replies are still in flight.
+            // Finish at once only when every probed member has answered;
+            // otherwise wait out a short grace period for the stragglers.
+            let all_answered = recon
+                .probed_members
                 .iter()
-                .copied()
-                .filter(|p| *p != from)
-                .collect();
-            let members = planner.plan(from, &responders, &recon.exclude);
-            let config = ShardConfiguration::new(recon.recon_epoch, members, from);
-            let expected = recon
-                .recon_epoch
-                .prev()
-                .expect("recon_epoch is always a successor");
-            recon.phase = ReconPhase::AwaitingCas { new_leader: from };
-            let shard = recon.shard;
-            ctx.send(
-                self.cs,
-                Msg::CsCas {
-                    shard,
-                    expected,
-                    config,
-                },
-            );
-        } else if !recon.descended_for_current && recon.probed_members.contains(&from) {
+                .all(|p| recon.responders.contains(p));
+            if all_answered {
+                self.finish_probe(ctx);
+            } else if recon.grace_timer.is_none() {
+                recon.grace_timer = Some(ctx.set_timer(PROBE_GRACE, PROBE_GRACE_TICK));
+            }
+        } else if recon.initialized.is_empty()
+            && !recon.descended_for_current
+            && recon.probed_members.contains(&from)
+        {
             // Lines 51–55: the probed epoch is not operational; probe the
             // preceding epoch.
             recon.descended_for_current = true;
@@ -1340,6 +1421,99 @@ impl Replica {
                 }
             }
         }
+    }
+
+    /// Lines 45–50: end probing, compute the new membership and CAS it.
+    ///
+    /// The new leader is the previous epoch's leader when it responded
+    /// initialised, otherwise the first initialised responder. The membership
+    /// prefers initialised responders over other responders over spares, so
+    /// warm replicas (which already hold the shard's certification log) are
+    /// never discarded in favour of fresh processes that would need a full
+    /// state transfer.
+    fn finish_probe(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::Probing) || recon.initialized.is_empty() {
+            return;
+        }
+        let excluded: BTreeSet<ProcessId> = recon.exclude.iter().copied().collect();
+        let leader = recon
+            .prev_leader
+            .filter(|p| recon.initialized.contains(p) && !excluded.contains(p))
+            .unwrap_or(recon.initialized[0]);
+        // Initialised responders first, then the rest; `plan` skips the
+        // duplicates this chaining produces.
+        let preferred: Vec<ProcessId> = recon
+            .initialized
+            .iter()
+            .chain(recon.responders.iter())
+            .copied()
+            .filter(|p| *p != leader)
+            .collect();
+        let mut planner = MembershipPlanner::new(recon.target_size, recon.spares.iter().copied());
+        let members = planner.plan(leader, &preferred, &recon.exclude);
+        let config = ShardConfiguration::new(recon.recon_epoch, members, leader);
+        let expected = recon
+            .recon_epoch
+            .prev()
+            .expect("recon_epoch is always a successor");
+        recon.phase = ReconPhase::AwaitingCas { new_leader: leader };
+        let shard = recon.shard;
+        ctx.send(
+            self.cs,
+            Msg::CsCas {
+                shard,
+                expected,
+                config,
+            },
+        );
+    }
+
+    /// The probe grace period elapsed: finish with the replies received.
+    fn handle_probe_grace_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(recon) = self.recon.as_mut() {
+            recon.grace_timer = None;
+        }
+        self.finish_probe(ctx);
+    }
+
+    /// The reconfiguration retry timer fired with the reconfiguration still
+    /// unfinished: some message of the probe exchange (a probe, a reply, the
+    /// CAS request or its reply) was lost to a link fault or a crash.
+    /// Restart the whole attempt from `get_last`. This is safe in every
+    /// phase: probes are idempotent, and if a CAS actually succeeded while
+    /// its reply was lost, `get_last` now returns the installed epoch and
+    /// the fresh probe targets its members with the next one.
+    fn handle_recon_retry_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        recon.retries += 1;
+        if recon.retries > RECON_RETRY_CAP {
+            // The shard looks unrecoverable; stop keeping the event queue
+            // alive. A later `StartReconfigure` can always try again.
+            if let Some(id) = recon.grace_timer.take() {
+                ctx.cancel_timer(id);
+            }
+            self.recon = None;
+            ctx.add_counter("reconfiguration_abandoned", 1);
+            return;
+        }
+        let shard = recon.shard;
+        recon.phase = ReconPhase::AwaitingGetLast;
+        recon.responders.clear();
+        recon.initialized.clear();
+        // A grace timer armed by the abandoned round must not fire into the
+        // new one and finish it early with a partial responder set.
+        if let Some(id) = recon.grace_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        recon.descended_for_current = false;
+        ctx.add_counter("reconfiguration_reprobes", 1);
+        ctx.send(self.cs, Msg::CsGetLast { shard });
+        ctx.set_timer(RECON_RETRY, RECON_RETRY_TICK);
     }
 
     /// Line 54 continued: the configuration service returned the membership of
@@ -1480,6 +1654,39 @@ impl Replica {
         }
     }
 
+    /// A `get_last` reply that did not belong to an active reconfiguration:
+    /// adopt the configuration if it is newer than the local view (the pushed
+    /// `CONFIG_CHANGE` of lines 67–69 travels over faultable links and may
+    /// have been lost).
+    ///
+    /// For the replica's *own* shard, adopting the view matters when this
+    /// process has been excluded from the membership (it crashed and was
+    /// replaced): it must stop acting as a leader or follower of a stale
+    /// epoch — answering `PREPARE`s with a new-epoch tag from outside the
+    /// membership would be unsafe — so it retires into `Reconfiguring` until
+    /// some future configuration re-drafts it. Its coordinated transactions
+    /// keep completing through the (now refreshed) view of the new members.
+    fn handle_stale_view_refresh(&mut self, shard: ShardId, config: ShardConfiguration) {
+        if config.epoch <= self.epoch_of(shard) {
+            return;
+        }
+        if shard == self.shard {
+            if config.members.contains(&self.id) {
+                // We are a member of the newer epoch: NEW_STATE/NEW_CONFIG is
+                // in flight (or was lost and a re-reconfiguration will supply
+                // it); the epoch switch happens there, not here.
+                return;
+            }
+            self.status = Status::Reconfiguring;
+            if self.new_epoch < config.epoch {
+                self.new_epoch = config.epoch;
+            }
+        }
+        self.epoch.insert(shard, config.epoch);
+        self.members.insert(shard, config.members.clone());
+        self.leader.insert(shard, config.leader);
+    }
+
     /// Lines 67–69: learn about another shard's new configuration.
     fn handle_config_change(
         &mut self,
@@ -1507,6 +1714,21 @@ impl Replica {
             .filter(|(_, c)| !c.decided)
             .map(|(tx, _)| *tx)
             .collect();
+        // A stalled coordinator may be working from a stale view: the pushed
+        // CONFIG_CHANGE travels over faultable links. Refresh the view of
+        // every shard a pending transaction touches from the configuration
+        // service (replies are handled by `handle_stale_view_refresh`).
+        if !pending.is_empty() {
+            let mut stale_shards: BTreeSet<ShardId> = BTreeSet::new();
+            for tx in &pending {
+                if let Some(coord) = self.coordinating.get(tx) {
+                    stale_shards.extend(coord.shards.iter().copied());
+                }
+            }
+            for shard in stale_shards {
+                ctx.send(self.cs, Msg::CsGetLast { shard });
+            }
+        }
         for tx in pending {
             let coord = self.coordinating.get(&tx).expect("pending").clone();
             // Resend only to shards that are not yet complete in the current epoch.
@@ -1671,6 +1893,27 @@ impl Actor<Msg> for Replica {
         } else if tag == BATCH_TICK {
             self.batch_timer_armed = false;
             self.flush_prepare_batch(ctx);
+        } else if tag == PROBE_GRACE_TICK {
+            self.handle_probe_grace_tick(ctx);
+        } else if tag == RECON_RETRY_TICK {
+            self.handle_recon_retry_tick(ctx);
         }
+    }
+
+    /// Crash-restart recovery (the PR 2 recovery path, now exercised by the
+    /// chaos nemesis): the certification log — checkpoint plus retained
+    /// suffix — is the replica's stable storage; everything else is volatile.
+    /// The in-memory certification index is rebuilt from the checkpoint's
+    /// committed residue and the suffix, exactly as a `NEW_STATE` transfer
+    /// would. Coordinator state is lost: clients (or recovery coordinators)
+    /// re-drive undecided transactions.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.coordinating.clear();
+        self.recon = None;
+        self.retry_timer_armed = false;
+        self.batcher = VoteBatcher::new(self.batching);
+        self.batch_timer_armed = false;
+        self.log.set_certifier(self.index_factory.clone_box());
+        ctx.add_counter("replica_restarts", 1);
     }
 }

@@ -61,7 +61,14 @@ impl<C: Clone> Acceptor<C> {
                         .iter()
                         .map(|(slot, (b, c))| (*slot, *b, c.clone()))
                         .collect();
-                    vec![(from, PaxosMsg::Promise { ballot, accepted })]
+                    vec![(
+                        from,
+                        PaxosMsg::Promise {
+                            ballot,
+                            acceptor: self.id,
+                            accepted,
+                        },
+                    )]
                 } else {
                     vec![(
                         from,

@@ -41,6 +41,13 @@ impl<C> ReplicatedLog<C> {
         self.chosen.get(&slot)
     }
 
+    /// Iterates over every chosen `(slot, command)` pair in slot order
+    /// (including slots beyond the first gap). Used by crash-restart recovery
+    /// to replay the durable log into fresh in-memory state.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &C)> + '_ {
+        self.chosen.iter().map(|(slot, c)| (*slot, c))
+    }
+
     /// Number of slots known to be chosen.
     pub fn len(&self) -> usize {
         self.chosen.len()

@@ -25,6 +25,10 @@ pub enum PaxosMsg<C> {
     Promise {
         /// The ballot being promised.
         ballot: Ballot,
+        /// The acceptor making the promise. Carried explicitly so the
+        /// proposer counts *distinct* acceptors — a duplicated or re-sent
+        /// promise must not count towards the quorum twice.
+        acceptor: ProcessId,
         /// Previously accepted `(slot, ballot, command)` triples.
         accepted: Vec<(Slot, Ballot, C)>,
     },
@@ -88,6 +92,7 @@ mod tests {
         assert_eq!(
             PaxosMsg::<u8>::Promise {
                 ballot: b,
+                acceptor: ProcessId::new(1),
                 accepted: vec![]
             }
             .kind(),

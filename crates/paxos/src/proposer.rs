@@ -140,11 +140,61 @@ impl<C: Clone> Proposer<C> {
             .collect()
     }
 
+    /// Returns `true` while the proposer is waiting for something: phase 1
+    /// completion, or acceptances of in-flight slots. Embedding protocols use
+    /// this to decide whether to arm a retransmission timer, and to tell when
+    /// post-restart log recovery (phase 1 plus re-choosing every recovered
+    /// slot) has finished.
+    pub fn has_pending(&self) -> bool {
+        self.phase == Phase::Preparing || !self.pending.is_empty()
+    }
+
+    /// Re-sends every message whose reply is still outstanding: the phase-1
+    /// `Prepare` while preparing, and a phase-2 `Accept` for every in-flight
+    /// slot. Safe under message loss, duplication and reordering — acceptors
+    /// treat repeats of the same ballot idempotently — and required for
+    /// liveness on lossy links, where a single dropped `Accept` would
+    /// otherwise strand its slot forever.
+    pub fn retransmit(&mut self) -> Vec<(ProcessId, PaxosMsg<C>)> {
+        let mut out = Vec::new();
+        match self.phase {
+            Phase::Preparing => {
+                for a in &self.acceptors {
+                    out.push((
+                        *a,
+                        PaxosMsg::Prepare {
+                            ballot: self.ballot,
+                        },
+                    ));
+                }
+            }
+            Phase::Leading => {
+                for (slot, (command, _)) in &self.pending {
+                    for a in &self.acceptors {
+                        out.push((
+                            *a,
+                            PaxosMsg::Accept {
+                                ballot: self.ballot,
+                                slot: *slot,
+                                command: command.clone(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Handles one message addressed to the proposer. Returns the messages to
     /// send and the `(slot, command)` pairs newly learned to be chosen.
     pub fn handle(&mut self, msg: PaxosMsg<C>) -> (Outgoing<C>, Vec<(Slot, C)>) {
         match msg {
-            PaxosMsg::Promise { ballot, accepted } => {
+            PaxosMsg::Promise {
+                ballot,
+                acceptor,
+                accepted,
+            } => {
                 if ballot != self.ballot || self.phase == Phase::Leading {
                     return (Vec::new(), Vec::new());
                 }
@@ -158,14 +208,10 @@ impl<C: Clone> Proposer<C> {
                         self.phase1_accepted.insert(slot, (b, c));
                     }
                 }
-                // The promise sender is implicit in our transports (the
-                // message itself carries no sender); count distinct promises
-                // by using an opaque counter derived from the set size. To be
-                // safe against duplicates we require the caller to deliver
-                // each acceptor's promise at most once, which the FIFO
-                // channels of the simulator guarantee.
-                let synthetic = ProcessId::new(self.promises.len() as u64);
-                self.promises.insert(synthetic);
+                // Count *distinct* acceptors: a duplicated or re-transmitted
+                // promise must not reach quorum with fewer than a majority of
+                // real acceptors (lossy/duplicating networks deliver both).
+                self.promises.insert(acceptor);
                 if self.promises.len() >= quorum(self.acceptors.len()) {
                     self.phase = Phase::Leading;
                     let mut out = Vec::new();
@@ -354,6 +400,64 @@ mod tests {
         let retry = proposer.advance_ballot();
         assert_eq!(retry.len(), 3);
         assert!(proposer.ballot() > Ballot::new(5, pid(2)));
+    }
+
+    /// Pinned regression (chaos nemesis finding): a *duplicated* promise from
+    /// one acceptor must not count towards the phase-1 quorum twice. The old
+    /// implementation counted promises with a synthetic counter, so one
+    /// duplicated promise let a proposer lead with a single real acceptor.
+    #[test]
+    fn duplicated_promise_does_not_reach_quorum() {
+        let ids = vec![pid(0), pid(1), pid(2)];
+        let mut proposer: Proposer<u32> = Proposer::new(pid(0), ids, 0);
+        let _ = proposer.start_phase1();
+        let promise = PaxosMsg::Promise {
+            ballot: proposer.ballot(),
+            acceptor: pid(1),
+            accepted: vec![],
+        };
+        let _ = proposer.handle(promise.clone());
+        let _ = proposer.handle(promise);
+        assert!(
+            !proposer.is_leading(),
+            "one acceptor promising twice is not a majority of three"
+        );
+        // A second, distinct acceptor completes the quorum.
+        let _ = proposer.handle(PaxosMsg::Promise {
+            ballot: proposer.ballot(),
+            acceptor: pid(2),
+            accepted: vec![],
+        });
+        assert!(proposer.is_leading());
+    }
+
+    #[test]
+    fn retransmit_repeats_outstanding_work_and_recovers_lost_accepts() {
+        let (mut proposer, mut acceptors) = setup();
+        // Phase 1 never delivered: retransmit re-sends Prepare to everyone.
+        let _ = proposer.start_phase1();
+        assert!(proposer.has_pending() || proposer.retransmit().len() == 3);
+        let outbox = proposer.retransmit();
+        assert_eq!(outbox.len(), 3);
+        assert!(outbox
+            .iter()
+            .all(|(_, m)| matches!(m, PaxosMsg::Prepare { .. })));
+        let chosen = run_to_quiescence(&mut proposer, &mut acceptors, outbox);
+        assert!(chosen.is_empty());
+        assert!(proposer.is_leading());
+
+        // An Accept is "lost" (never delivered): the slot stays pending, and
+        // retransmission alone drives it to chosen.
+        let lost = proposer.propose(9);
+        drop(lost);
+        assert!(proposer.has_pending());
+        let retry = proposer.retransmit();
+        assert!(retry
+            .iter()
+            .all(|(_, m)| matches!(m, PaxosMsg::Accept { slot: 0, .. })));
+        let chosen = run_to_quiescence(&mut proposer, &mut acceptors, retry);
+        assert_eq!(chosen, vec![(0, 9)]);
+        assert!(!proposer.has_pending());
     }
 
     #[test]

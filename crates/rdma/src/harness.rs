@@ -372,6 +372,13 @@ impl RdmaCluster {
         self.world.crash(pid);
     }
 
+    /// Restarts a crashed replica: it recovers from its certification log
+    /// (checkpoint + suffix) and re-establishes its RDMA connections.
+    /// Returns `false` if `pid` was not crashed.
+    pub fn restart(&mut self, pid: ProcessId) -> bool {
+        self.world.restart(pid)
+    }
+
     /// Runs until no events remain.
     pub fn run_to_quiescence(&mut self) {
         self.world.run();

@@ -28,6 +28,36 @@ const RETRY_TICK: TimerTag = 1;
 /// Timer tag used to flush a partially filled prepare batch.
 const BATCH_TICK: TimerTag = 2;
 
+/// Timer tag ending the probe grace period (see `handle_probe_ack`).
+const PROBE_GRACE_TICK: TimerTag = 3;
+
+/// Timer tag re-driving a reconfiguration whose probes were lost.
+const RECON_RETRY_TICK: TimerTag = 4;
+
+/// Timer tag re-driving the post-restart `Connect` handshake until every
+/// peer has answered (the handshake itself travels over faultable links).
+const CONNECT_RETRY_TICK: TimerTag = 5;
+
+/// Interval between `Connect` handshake retries.
+const CONNECT_RETRY: SimDuration = SimDuration::from_millis(25);
+
+/// Handshake retries after which unanswered peers are given up on (10
+/// simulated seconds): bounds the event queue when a peer is gone for good;
+/// a later restart or reconfiguration starts a fresh round.
+const CONNECT_RETRY_CAP: u32 = 400;
+
+/// Probe restarts after which a reconfiguration is abandoned (10 simulated
+/// seconds), so an unrecoverable cluster does not keep the event queue
+/// alive forever. A later `StartReconfigure` can always try again.
+const RECON_RETRY_CAP: u32 = 200;
+
+/// How long the reconfigurer waits for further in-flight probe replies after
+/// every probed shard has an initialised responder.
+const PROBE_GRACE: SimDuration = SimDuration::from_micros(500);
+
+/// Interval after which a still-unfinished reconfiguration restarts probing.
+const RECON_RETRY: SimDuration = SimDuration::from_millis(50);
+
 /// The data needed to distribute a completed transaction's decision: the
 /// client, the decision, and per-shard `(position, truncation floor)` targets.
 type Completion = (ProcessId, Decision, Vec<(ShardId, Position, Position)>);
@@ -74,6 +104,10 @@ struct CoordState {
     /// Progress per shard per (global) epoch.
     progress: BTreeMap<ShardId, BTreeMap<Epoch, ShardProgress>>,
     decided: bool,
+    /// The final decision this coordinator computed or learned, kept so a
+    /// re-submitted `certify` of an already-decided transaction is answered
+    /// directly (the original `DECISION` may have been lost to a fault).
+    decision: Option<Decision>,
     /// A decision learned out-of-band from a `TxDecided` reply (the
     /// transaction was truncated at some shard); propagated to shards that
     /// still hold the transaction as prepared (see `flush_known_decision`).
@@ -117,9 +151,18 @@ struct ReconState {
     /// Per shard: the epoch currently being probed and its members.
     probed_epoch: BTreeMap<ShardId, Epoch>,
     probed_members: BTreeMap<ShardId, Vec<ProcessId>>,
-    /// Per shard: responders and whether an initialised responder was found.
+    /// Per shard: responders, in arrival order.
     responders: BTreeMap<ShardId, Vec<ProcessId>>,
-    initialized_responder: BTreeMap<ShardId, ProcessId>,
+    /// Per shard: responders that reported themselves initialised.
+    initialized: BTreeMap<ShardId, Vec<ProcessId>>,
+    /// Per shard: the leader of the configuration returned by `get_last`,
+    /// preferred as the shard's new leader if it responds initialised.
+    prev_leaders: BTreeMap<ShardId, ProcessId>,
+    /// The armed probe grace timer (see `handle_probe_ack`); cancelled when
+    /// probing restarts so a stale tick cannot finish the new round early.
+    grace_timer: Option<ratc_sim::actor::TimerId>,
+    /// Probe restarts so far; abandoned past [`RECON_RETRY_CAP`].
+    retries: u32,
     config_prepare_acks: BTreeSet<ProcessId>,
     spares: BTreeMap<ShardId, Vec<ProcessId>>,
     target_size: usize,
@@ -153,6 +196,12 @@ pub struct RdmaReplica {
     batching: BatchingConfig,
     batcher: VoteBatcher<TxId>,
     batch_timer_armed: bool,
+    /// Peers whose `Connect`/`ConnectAck` is still outstanding after a
+    /// restart; the handshake is retried until this empties (or the retry
+    /// cap gives up on permanently unreachable peers).
+    pending_connects: BTreeSet<ProcessId>,
+    connect_retry_armed: bool,
+    connect_attempts: u32,
     /// Decided frontiers gossiped by the other members of this replica's
     /// shard via `FrontierExchange` (RDMA hardware acks carry no payload, so
     /// the data path cannot carry them).
@@ -197,6 +246,9 @@ impl RdmaReplica {
             batching: BatchingConfig::default(),
             batcher: VoteBatcher::new(BatchingConfig::default()),
             batch_timer_armed: false,
+            pending_connects: BTreeSet::new(),
+            connect_retry_armed: false,
+            connect_attempts: 0,
             peer_frontiers: BTreeMap::new(),
             last_gossiped_frontier: Position::ZERO,
         }
@@ -277,6 +329,11 @@ impl RdmaReplica {
     /// a final decision.
     pub fn undecided_coordinated(&self) -> usize {
         self.coordinating.values().filter(|c| !c.decided).count()
+    }
+
+    /// Whether this replica is currently driving a reconfiguration.
+    pub fn reconfiguration_in_flight(&self) -> bool {
+        self.recon.is_some()
     }
 
     /// The transactions this replica coordinates that have no final decision.
@@ -571,6 +628,7 @@ impl RdmaReplica {
         };
         if let Some(coord) = self.coordinating.get_mut(&tx) {
             coord.decided = true;
+            coord.decision = Some(decision);
         }
         ctx.add_counter("coordinator_decisions", 1);
         ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
@@ -621,6 +679,7 @@ impl RdmaReplica {
             };
             if let Some(coord) = self.coordinating.get_mut(&tx) {
                 coord.decided = true;
+                coord.decision = Some(decision);
             }
             ctx.add_counter("coordinator_decisions", 1);
             ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
@@ -685,8 +744,23 @@ impl RdmaReplica {
             shards: shards.clone(),
             progress: BTreeMap::new(),
             decided: false,
+            decision: None,
             known_decision: None,
         });
+        // A re-submitted `certify` of an already-decided transaction (the
+        // client's `DECISION` was lost to a fault): answer with the recorded
+        // decision instead of silently swallowing the request.
+        if let Some(decision) = coord.decision {
+            ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
+            return;
+        }
+        // `decided` without a decision marks a coordination handed off to the
+        // members of a newer configuration (`handle_stale_view_refresh`). If
+        // the client is re-driving the transaction, the handoff `RETRY` was
+        // lost: coordinate it afresh.
+        if coord.decided {
+            coord.decided = false;
+        }
         coord.payload = Some(payload);
         coord.client = client;
         if self.batching.enabled {
@@ -859,6 +933,7 @@ impl RdmaReplica {
                     shards: item.shards.clone(),
                     progress: BTreeMap::new(),
                     decided: false,
+                    decision: None,
                     known_decision: None,
                 });
             let progress = coord
@@ -1026,6 +1101,7 @@ impl RdmaReplica {
             shards: shards.clone(),
             progress: BTreeMap::new(),
             decided: false,
+            decision: None,
             known_decision: None,
         });
         let progress = coord
@@ -1115,6 +1191,7 @@ impl RdmaReplica {
             shards,
             progress: BTreeMap::new(),
             decided: false,
+            decision: None,
             known_decision: None,
         });
         let coord = coord.clone();
@@ -1222,13 +1299,19 @@ impl RdmaReplica {
             probed_epoch: BTreeMap::new(),
             probed_members: BTreeMap::new(),
             responders: BTreeMap::new(),
-            initialized_responder: BTreeMap::new(),
+            initialized: BTreeMap::new(),
+            prev_leaders: BTreeMap::new(),
+            grace_timer: None,
+            retries: 0,
             config_prepare_acks: BTreeSet::new(),
             spares,
             target_size,
             exclude,
         });
         ctx.send(self.cs, RdmaMsg::CsGetLast);
+        // Probes travel over faultable links; restart probing if they are
+        // lost (the configuration service itself is reliable).
+        ctx.set_timer(RECON_RETRY, RECON_RETRY_TICK);
     }
 
     fn handle_cs_get_last_reply(
@@ -1259,6 +1342,9 @@ impl RdmaReplica {
             recon
                 .probed_members
                 .insert(*shard, config.members_of(*shard).to_vec());
+            if let Some(leader) = config.leader_of(*shard) {
+                recon.prev_leaders.insert(*shard, leader);
+            }
             targets.extend(config.members_of(*shard).iter().copied());
         }
         targets.sort_unstable();
@@ -1311,10 +1397,16 @@ impl RdmaReplica {
         if !recon.probed_epoch.contains_key(&shard) {
             return;
         }
-        recon.responders.entry(shard).or_default().push(from);
+        let responders = recon.responders.entry(shard).or_default();
+        if !responders.contains(&from) {
+            responders.push(from);
+        }
         if initialized {
-            recon.initialized_responder.entry(shard).or_insert(from);
-        } else if !recon.initialized_responder.contains_key(&shard) {
+            let inits = recon.initialized.entry(shard).or_default();
+            if !inits.contains(&from) {
+                inits.push(from);
+            }
+        } else if !recon.initialized.contains_key(&shard) {
             // Descend to the previous epoch of this shard (simplified: ask the
             // CS for the previous configuration and probe its members).
             let current = recon.probed_epoch[&shard];
@@ -1327,29 +1419,67 @@ impl RdmaReplica {
         let all_found = recon
             .probed_epoch
             .keys()
-            .all(|s| recon.initialized_responder.contains_key(s));
+            .all(|s| recon.initialized.contains_key(s));
         if !all_found {
             return;
         }
-        // Compute the new configuration: per shard, the initialised responder
-        // leads; members are drawn from responders and spares.
+        // The new epoch is viable. Finish at once only when every probed
+        // member of every shard has answered; otherwise briefly wait for
+        // replies still in flight, so warm replicas are not discarded in
+        // favour of spares that would need a full state transfer.
+        let all_answered = recon.probed_members.iter().all(|(s, probed)| {
+            let answered = recon.responders.get(s);
+            probed
+                .iter()
+                .all(|p| answered.map(|a| a.contains(p)).unwrap_or(false))
+        });
+        if all_answered {
+            self.finish_probe(ctx);
+        } else if recon.grace_timer.is_none() {
+            recon.grace_timer = Some(ctx.set_timer(PROBE_GRACE, PROBE_GRACE_TICK));
+        }
+    }
+
+    /// Lines 117–130 continued: compute the new configuration and CAS it.
+    /// Per shard, the previous leader is preferred if it responded
+    /// initialised; members prefer initialised responders over other
+    /// responders over spares.
+    fn finish_probe(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        if !matches!(recon.phase, ReconPhase::Probing) {
+            return;
+        }
+        let all_found = recon
+            .probed_epoch
+            .keys()
+            .all(|s| recon.initialized.contains_key(s));
+        if !all_found {
+            return;
+        }
+        let excluded: BTreeSet<ProcessId> = recon.exclude.iter().copied().collect();
         let mut members = BTreeMap::new();
         let mut leaders = BTreeMap::new();
         let base = self.config.clone();
-        for (s, leader) in recon.initialized_responder.clone() {
+        for (s, inits) in recon.initialized.clone() {
+            let leader = recon
+                .prev_leaders
+                .get(&s)
+                .copied()
+                .filter(|p| inits.contains(p) && !excluded.contains(p))
+                .unwrap_or(inits[0]);
             let mut planner = MembershipPlanner::new(
                 recon.target_size,
                 recon.spares.get(&s).cloned().unwrap_or_default(),
             );
-            let responders: Vec<ProcessId> = recon
-                .responders
-                .get(&s)
-                .cloned()
-                .unwrap_or_default()
-                .into_iter()
+            let preferred: Vec<ProcessId> = inits
+                .iter()
+                .chain(recon.responders.get(&s).map(Vec::as_slice).unwrap_or(&[]))
+                .copied()
                 .filter(|p| *p != leader)
                 .collect();
-            members.insert(s, planner.plan(leader, &responders, &recon.exclude));
+            members.insert(s, planner.plan(leader, &preferred, &recon.exclude));
             leaders.insert(s, leader);
         }
         // Shards that were not probed (naive mode) keep their configuration.
@@ -1373,6 +1503,63 @@ impl RdmaReplica {
         );
     }
 
+    /// The probe grace period elapsed: finish with the replies received.
+    fn handle_probe_grace_tick(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        if let Some(recon) = self.recon.as_mut() {
+            recon.grace_timer = None;
+        }
+        self.finish_probe(ctx);
+    }
+
+    /// The reconfiguration retry timer fired: restart probing from scratch if
+    /// it is still unfinished (probes or replies may have been lost). The
+    /// `AwaitingCas`/`Installing` phases talk to the reliable configuration
+    /// service or wait for `CONFIG_PREPARE` acks, which are re-driven by this
+    /// same tick re-sending `CONFIG_PREPARE`.
+    fn handle_recon_retry_tick(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        let Some(recon) = self.recon.as_mut() else {
+            return;
+        };
+        recon.retries += 1;
+        if recon.retries > RECON_RETRY_CAP {
+            if let Some(id) = recon.grace_timer.take() {
+                ctx.cancel_timer(id);
+            }
+            self.recon = None;
+            ctx.add_counter("reconfiguration_abandoned", 1);
+            return;
+        }
+        match recon.phase.clone() {
+            ReconPhase::AwaitingCas => {}
+            ReconPhase::Installing { config } => {
+                // Re-send CONFIG_PREPARE to members that have not acked yet.
+                let missing: Vec<ProcessId> = config
+                    .all_processes()
+                    .into_iter()
+                    .filter(|p| !recon.config_prepare_acks.contains(p))
+                    .collect();
+                ctx.send_to_many(missing, RdmaMsg::ConfigPrepare { config });
+            }
+            _ => {
+                recon.phase = ReconPhase::AwaitingGetLast;
+                recon.probed_epoch.clear();
+                recon.probed_members.clear();
+                recon.responders.clear();
+                recon.initialized.clear();
+                recon.prev_leaders.clear();
+                // A grace timer armed by the abandoned round must not fire
+                // into the new one and finish it with a partial responder
+                // set.
+                if let Some(id) = recon.grace_timer.take() {
+                    ctx.cancel_timer(id);
+                }
+                ctx.add_counter("reconfiguration_reprobes", 1);
+                ctx.send(self.cs, RdmaMsg::CsGetLast);
+            }
+        }
+        ctx.set_timer(RECON_RETRY, RECON_RETRY_TICK);
+    }
+
     fn handle_cs_get_reply(
         &mut self,
         _epoch: Epoch,
@@ -1392,7 +1579,7 @@ impl RdmaReplica {
         // returned (older) configuration.
         let mut targets = Vec::new();
         for (shard, probed) in recon.probed_epoch.clone() {
-            if recon.initialized_responder.contains_key(&shard) {
+            if recon.initialized.contains_key(&shard) {
                 continue;
             }
             if probed == config.epoch {
@@ -1446,7 +1633,16 @@ impl RdmaReplica {
         }
     }
 
-    /// Lines 131–136.
+    /// Lines 131–136. `CONFIG_PREPARE` only *persists* the configuration and
+    /// raises `new_epoch`; it must not replace the replica's active view.
+    /// In-flight coordinations of the current epoch keep evaluating their
+    /// completion condition against the membership they were started in —
+    /// mixing the old epoch's progress with the new epoch's membership lets
+    /// a coordinator whose follower set shrank declare a transaction
+    /// persisted at processes the new configuration never transfers state
+    /// from (a safety violation the chaos nemesis found unscripted). The
+    /// active view switches at `NEW_CONFIG`/`NEW_STATE`, which carry the
+    /// configuration again.
     fn handle_config_prepare(
         &mut self,
         from: ProcessId,
@@ -1457,7 +1653,6 @@ impl RdmaReplica {
             return;
         }
         self.new_epoch = config.epoch;
-        self.config = Some(config.clone());
         ctx.send(
             from,
             RdmaMsg::ConfigPrepareAck {
@@ -1519,17 +1714,9 @@ impl RdmaReplica {
                 },
             );
         }
-        // Line 147: open connections to every other member of the new epoch.
-        for peer in config.all_processes() {
-            if peer != self.id {
-                ctx.send(
-                    peer,
-                    RdmaMsg::Connect {
-                        epoch: config.epoch,
-                    },
-                );
-            }
-        }
+        // Line 147: open connections to every other member of the new epoch,
+        // retrying the handshake until everyone has answered.
+        self.begin_connect_round(config.all_processes(), ctx);
         ctx.add_counter("became_leader", 1);
     }
 
@@ -1555,18 +1742,10 @@ impl RdmaReplica {
             self.log.set_certifier(self.index_factory.clone_box());
         }
         self.config = Some(config.clone());
-        // Line 153: connect to the processes outside the own shard (the leader
-        // already initiates connections to shard members).
-        for peer in config.all_processes() {
-            if peer != self.id && !config.members_of(self.shard).contains(&peer) {
-                ctx.send(
-                    peer,
-                    RdmaMsg::Connect {
-                        epoch: config.epoch,
-                    },
-                );
-            }
-        }
+        // Line 153: connect to the other processes of the new epoch (the
+        // leader initiates in-shard connections too; the handshake is
+        // idempotent and retried until everyone has answered).
+        self.begin_connect_round(config.all_processes(), ctx);
     }
 
     /// Lines 154–162. A connection request for an epoch at least as high as
@@ -1580,16 +1759,74 @@ impl RdmaReplica {
         ctx: &mut Context<'_, RdmaMsg>,
         is_ack: bool,
     ) {
-        if (self.status == RdmaStatus::Reconfiguring && epoch < self.new_epoch)
-            || self.connections.contains(&from)
-        {
+        if self.status == RdmaStatus::Reconfiguring && epoch < self.new_epoch {
             return;
         }
+        // Never re-admit a peer from an *older* epoch: reconfiguration
+        // deliberately closed its connections to fence its stale writes (the
+        // crux of §5's correctness), and a crash-restarted process still in
+        // an old epoch must first catch up — via its configuration-service
+        // poll, a probe, or `NEW_STATE` — before its handshake (sent with
+        // its then-current epoch) is accepted.
+        if epoch < self.epoch {
+            return;
+        }
+        // Re-open even if the peer was already believed connected: the peer
+        // may have crashed and restarted, in which case its NIC lost every
+        // permission and the old connection state is meaningless. `open` is
+        // idempotent, and a `ConnectAck` never triggers a further reply, so
+        // repeats cannot loop.
         ctx.rdma_open(from);
         self.connections.insert(from);
+        // Either direction of the handshake completes a pending post-restart
+        // reconnect to `from`.
+        self.pending_connects.remove(&from);
         if !is_ack {
             ctx.send(from, RdmaMsg::ConnectAck { epoch: self.epoch });
         }
+    }
+
+    /// Starts (or restarts) a `Connect` handshake round with `peers`,
+    /// retried until every peer has answered with `Connect`/`ConnectAck`.
+    /// Used after a crash-restart and when joining a new configuration: the
+    /// handshake travels over faultable links, and a permanently missing
+    /// connection means every future write to that peer is silently
+    /// rejected.
+    fn begin_connect_round(&mut self, peers: Vec<ProcessId>, ctx: &mut Context<'_, RdmaMsg>) {
+        self.connect_attempts = 0;
+        self.pending_connects = peers.into_iter().filter(|p| *p != self.id).collect();
+        for peer in self.pending_connects.clone() {
+            ctx.send(peer, RdmaMsg::Connect { epoch: self.epoch });
+        }
+        if !self.pending_connects.is_empty() && !self.connect_retry_armed {
+            ctx.set_timer(CONNECT_RETRY, CONNECT_RETRY_TICK);
+            self.connect_retry_armed = true;
+        }
+    }
+
+    /// Re-sends `Connect` to every peer that has not answered since the last
+    /// restart. The handshake travels over faultable links, so a single
+    /// attempt can be lost — and a permanently missing connection means every
+    /// future write to that peer is silently rejected.
+    fn handle_connect_retry_tick(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        self.connect_retry_armed = false;
+        if self.pending_connects.is_empty() {
+            return;
+        }
+        self.connect_attempts += 1;
+        if self.connect_attempts > CONNECT_RETRY_CAP {
+            // The remaining peers look permanently gone; stop keeping the
+            // event queue alive. A restart or reconfiguration starts a
+            // fresh round.
+            self.pending_connects.clear();
+            ctx.add_counter("connect_rounds_abandoned", 1);
+            return;
+        }
+        for peer in self.pending_connects.clone() {
+            ctx.send(peer, RdmaMsg::Connect { epoch: self.epoch });
+        }
+        ctx.set_timer(CONNECT_RETRY, CONNECT_RETRY_TICK);
+        self.connect_retry_armed = true;
     }
 
     /// Naive mode only: lazily learn about a new configuration (mirrors §3's
@@ -1673,6 +1910,7 @@ impl Actor<RdmaMsg> for RdmaReplica {
                     coord.known_decision = Some(decision);
                     notify_client = !coord.decided;
                     coord.decided = true;
+                    coord.decision.get_or_insert(decision);
                     let shards = coord.shards.clone();
                     for shard in shards {
                         self.flush_known_decision(tx, shard, ctx);
@@ -1781,6 +2019,46 @@ impl Actor<RdmaMsg> for RdmaReplica {
         } else if tag == BATCH_TICK {
             self.batch_timer_armed = false;
             self.flush_prepare_batch(ctx);
+        } else if tag == PROBE_GRACE_TICK {
+            self.handle_probe_grace_tick(ctx);
+        } else if tag == RECON_RETRY_TICK {
+            self.handle_recon_retry_tick(ctx);
+        } else if tag == CONNECT_RETRY_TICK {
+            self.handle_connect_retry_tick(ctx);
         }
+    }
+
+    /// Crash-restart recovery: the certification log (checkpoint + suffix)
+    /// and the configuration view are stable storage; coordinator state,
+    /// outstanding writes and the in-memory certification index are volatile.
+    /// The index is rebuilt exactly as a `NEW_STATE` transfer would, and RDMA
+    /// connections — lost with the NIC — are re-established by re-running the
+    /// `Connect` handshake with every process of the current view.
+    fn on_restart(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        self.coordinating.clear();
+        self.pending_writes.clear();
+        self.recon = None;
+        self.retry_timer_armed = false;
+        self.batcher = VoteBatcher::new(self.batching);
+        self.batch_timer_armed = false;
+        self.peer_frontiers.clear();
+        // Writes that reached the persistent region were acknowledged to
+        // their senders — they count as persisted here, even across the
+        // crash. Recover them before rebuilding the index (the `flush` of
+        // §5, the same call leader promotion uses).
+        let flushed = ctx.rdma_flush();
+        for (_, msg) in flushed {
+            self.apply_rdma_payload(msg);
+        }
+        self.last_gossiped_frontier = self.log.decided_frontier();
+        self.log.set_certifier(self.index_factory.clone_box());
+        self.connections.clear();
+        self.connect_retry_armed = false;
+        if let Some(config) = self.config.clone() {
+            self.begin_connect_round(config.all_processes(), ctx);
+        } else {
+            self.pending_connects.clear();
+        }
+        ctx.add_counter("replica_restarts", 1);
     }
 }

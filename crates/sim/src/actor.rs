@@ -63,6 +63,16 @@ pub trait Actor<M>: Any {
     /// Called when the process crashes (for bookkeeping in tests; a crashed
     /// actor receives no further events).
     fn on_crash(&mut self) {}
+
+    /// Called when the process is restarted after a crash (see
+    /// [`World::restart`](crate::world::World::restart)). Implementations
+    /// must discard volatile state and recover from whatever they model as
+    /// stable storage (e.g. a checkpointed certification log); timers set
+    /// before the crash never fire in the new incarnation, so long-lived
+    /// timers must be re-armed here.
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
 }
 
 /// An effect requested by an actor during a handler invocation.

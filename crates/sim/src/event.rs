@@ -20,11 +20,14 @@ pub(crate) enum EventKind<M> {
         msg: M,
         hops: u32,
     },
-    /// Fire a timer.
+    /// Fire a timer. `incarnation` is the crash-restart incarnation of the
+    /// process at the time the timer was set; a timer set before a crash never
+    /// fires in a later incarnation.
     Timer {
         at: ProcessId,
         id: TimerId,
         tag: TimerTag,
+        incarnation: u64,
     },
     /// An RDMA write reaches the target NIC.
     RdmaArrive {

@@ -13,6 +13,9 @@
 //!   acknowledgements, and a context for sending messages, setting timers and
 //!   manipulating RDMA connections.
 //! * [`latency`] — pluggable message latency models.
+//! * [`faults`] — per-link fault injection: seeded message drops, duplicates
+//!   and delays (which double as reordering), asymmetric cuts and named
+//!   partitions, plus crash–restart support in the world (`World::restart`).
 //! * [`rdma`] — the simulated RDMA primitive of §5: `send-rdma`, `ack-rdma`,
 //!   `deliver-rdma`, `open`, `close` and `flush`, with the exact semantics the
 //!   correctness argument relies on (an acknowledgement means the message is
@@ -60,6 +63,7 @@
 
 pub mod actor;
 pub mod event;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod rdma;
@@ -70,6 +74,7 @@ pub mod world;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::actor::{Actor, Context, TimerTag};
+    pub use crate::faults::{FaultScope, LinkFault};
     pub use crate::latency::LatencyModel;
     pub use crate::metrics::Metrics;
     pub use crate::rdma::RdmaSendOutcome;
@@ -79,6 +84,7 @@ pub mod prelude {
 }
 
 pub use actor::{Actor, Context, TimerTag};
+pub use faults::{FaultScope, LinkFault};
 pub use latency::LatencyModel;
 pub use metrics::Metrics;
 pub use rdma::RdmaSendOutcome;

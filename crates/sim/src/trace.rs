@@ -34,6 +34,10 @@ pub enum TraceKind {
     Timer,
     /// A process crashed.
     Crash,
+    /// A crashed process was restarted.
+    Restart,
+    /// A send was dropped by injected faults (link fault, cut or partition).
+    DropFault,
 }
 
 impl fmt::Display for TraceKind {
@@ -48,6 +52,8 @@ impl fmt::Display for TraceKind {
             TraceKind::RdmaDeliver => "rdma-deliver",
             TraceKind::Timer => "timer",
             TraceKind::Crash => "crash",
+            TraceKind::Restart => "restart",
+            TraceKind::DropFault => "drop-fault",
         };
         f.write_str(s)
     }

@@ -11,6 +11,7 @@ use ratc_types::ProcessId;
 
 use crate::actor::{Actor, Context, Effect, TimerId};
 use crate::event::{EventKind, QueuedEvent};
+use crate::faults::{FaultDecision, FaultPlane, LinkFault};
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::rdma::{RdmaFabric, RdmaToken};
@@ -98,6 +99,10 @@ pub struct World<M> {
     next_timer_id: u64,
     next_rdma_token: u64,
     cancelled_timers: BTreeSet<TimerId>,
+    faults: FaultPlane,
+    /// Crash-restart incarnation per process; timers never survive into a
+    /// later incarnation.
+    incarnations: BTreeMap<ProcessId, u64>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -137,6 +142,8 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             next_timer_id: 0,
             next_rdma_token: 0,
             cancelled_timers: BTreeSet::new(),
+            faults: FaultPlane::default(),
+            incarnations: BTreeMap::new(),
         }
     }
 
@@ -248,6 +255,81 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         self.push_event(at, EventKind::Crash { at: pid });
     }
 
+    /// Restarts a crashed process: it keeps its actor state (whatever the
+    /// actor models as stable storage) but loses everything volatile —
+    /// pending timers never fire in the new incarnation, and the RDMA
+    /// permissions it had granted are gone (the crash closed them, like QPs
+    /// dying with the NIC). The RDMA memory region itself *persists*: §5's
+    /// correctness argument counts an acknowledged write as persisted at the
+    /// target, so the region models non-volatile memory, and a restarting
+    /// actor recovers its content with [`Context::rdma_flush`].
+    /// [`Actor::on_restart`] runs with a fresh context so the actor can
+    /// recover (e.g. rebuild its certification index from checkpoint +
+    /// suffix) and re-establish connections. Returns `false` if `pid` was
+    /// not crashed.
+    pub fn restart(&mut self, pid: ProcessId) -> bool {
+        if !self.crashed.remove(&pid) {
+            return false;
+        }
+        *self.incarnations.entry(pid).or_insert(0) += 1;
+        self.record_trace(TraceKind::Restart, pid, pid, "restart".to_owned(), 0);
+        self.with_actor(pid, 0, |actor, ctx| actor.on_restart(ctx));
+        true
+    }
+
+    // -- fault injection (see [`crate::faults`]) -----------------------------
+
+    /// Installs (or clears, with `None`) fabric-wide background noise applied
+    /// to every non-exempt link that has no per-link override.
+    pub fn set_default_link_fault(&mut self, fault: Option<LinkFault>) {
+        self.faults.set_default(fault);
+    }
+
+    /// Installs a probabilistic fault on the directed link `from -> to`.
+    pub fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        self.faults.set_link(from, to, fault);
+    }
+
+    /// Removes the per-link fault on `from -> to` (the default, if any, then
+    /// applies again).
+    pub fn clear_link_fault(&mut self, from: ProcessId, to: ProcessId) {
+        self.faults.clear_link(from, to);
+    }
+
+    /// Cuts the directed link `from -> to` entirely (asymmetric link
+    /// failure): every send in both transports is dropped until
+    /// [`World::clear_link_fault`] or [`World::heal_all_faults`].
+    pub fn cut_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.faults
+            .set_link(from, to, LinkFault::cut(crate::faults::FaultScope::All));
+    }
+
+    /// Installs a named partition: traffic between different groups is
+    /// dropped until the partition is healed. Processes not listed in any
+    /// group are unaffected by this partition.
+    pub fn install_partition(&mut self, name: &str, groups: Vec<Vec<ProcessId>>) {
+        self.faults.install_partition(name, groups);
+    }
+
+    /// Heals the named partition.
+    pub fn heal_partition(&mut self, name: &str) {
+        self.faults.heal_partition(name);
+    }
+
+    /// Heals every per-link fault, cut and partition. Fabric-wide background
+    /// noise installed with [`World::set_default_link_fault`] stays in place
+    /// until cleared explicitly.
+    pub fn heal_all_faults(&mut self) {
+        self.faults.heal_all();
+    }
+
+    /// Marks `pid` as fault-exempt: links to and from it are never faulted.
+    /// Harnesses exempt the configuration service and the client, which play
+    /// the paper's reliable external services.
+    pub fn mark_fault_exempt(&mut self, pid: ProcessId) {
+        self.faults.mark_exempt(pid);
+    }
+
     /// Grants `peer` the right to RDMA-write into `owner`'s memory, as part of
     /// test or experiment setup (actors normally use
     /// [`Context::rdma_open`]).
@@ -325,7 +407,16 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         }
     }
 
-    fn schedule_message(&mut self, from: ProcessId, to: ProcessId, msg: M, hops: u32) {
+    fn schedule_message(&mut self, from: ProcessId, to: ProcessId, msg: M, hops: u32)
+    where
+        M: Clone,
+    {
+        let fault = self.fault_decision(from, to, false);
+        if fault.drop {
+            self.metrics.add_counter("faults_msg_dropped", 1);
+            self.record_trace(TraceKind::DropFault, from, to, label_of(&msg), hops);
+            return;
+        }
         let latency = self.config.latency.sample(&mut self.rng);
         let earliest = self.now + latency;
         let fifo_floor = self
@@ -334,8 +425,38 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             .map(|t| *t + SimDuration::from_micros(1))
             .unwrap_or(SimTime::ZERO);
         let delivery = earliest.max(fifo_floor);
-        self.fifo_last.insert((from, to), delivery);
         self.record_trace(TraceKind::Send, from, to, label_of(&msg), hops);
+        if fault.duplicate {
+            // The duplicate gets an independent latency and does not advance
+            // the FIFO floor (it is a spurious extra copy).
+            self.metrics.add_counter("faults_msg_duplicated", 1);
+            let dup_latency = self.config.latency.sample(&mut self.rng);
+            self.push_event(
+                delivery + dup_latency,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    hops,
+                },
+            );
+        }
+        if let Some(extra) = fault.extra_delay {
+            // Delivered late without advancing the FIFO floor, so later sends
+            // on the same channel may overtake it (delay implies reordering).
+            self.metrics.add_counter("faults_msg_delayed", 1);
+            self.push_event(
+                delivery + extra,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    hops,
+                },
+            );
+            return;
+        }
+        self.fifo_last.insert((from, to), delivery);
         self.push_event(
             delivery,
             EventKind::Deliver {
@@ -354,7 +475,16 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         msg: M,
         hops: u32,
         token: RdmaToken,
-    ) {
+    ) where
+        M: Clone,
+    {
+        let fault = self.fault_decision(from, to, true);
+        if fault.drop {
+            // The write is lost on the wire: no arrival, no acknowledgement.
+            self.metrics.add_counter("faults_rdma_dropped", 1);
+            self.record_trace(TraceKind::DropFault, from, to, label_of(&msg), hops);
+            return;
+        }
         let latency = self.config.rdma_write_latency.sample(&mut self.rng);
         let earliest = self.now + latency;
         // RDMA writes into a ring buffer are FIFO per sender/receiver pair,
@@ -365,6 +495,37 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             .map(|t| *t + SimDuration::from_micros(1))
             .unwrap_or(SimTime::ZERO);
         let arrival = earliest.max(fifo_floor);
+        if fault.duplicate {
+            // The NIC sees the same write twice; both copies land (and both
+            // produce an acknowledgement for the same token, the second of
+            // which the sender ignores).
+            self.metrics.add_counter("faults_rdma_duplicated", 1);
+            let dup_latency = self.config.rdma_write_latency.sample(&mut self.rng);
+            self.push_event(
+                arrival + dup_latency,
+                EventKind::RdmaArrive {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    hops: hops + 1,
+                    token,
+                },
+            );
+        }
+        if let Some(extra) = fault.extra_delay {
+            self.metrics.add_counter("faults_rdma_delayed", 1);
+            self.push_event(
+                arrival + extra,
+                EventKind::RdmaArrive {
+                    from,
+                    to,
+                    msg,
+                    hops: hops + 1,
+                    token,
+                },
+            );
+            return;
+        }
         self.fifo_last.insert((from, to), arrival);
         self.push_event(
             arrival,
@@ -376,6 +537,15 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 token,
             },
         );
+    }
+
+    fn fault_decision(&mut self, from: ProcessId, to: ProcessId, is_rdma: bool) -> FaultDecision {
+        if from == EXTERNAL {
+            // Externally injected traffic models the test driver, not a
+            // network link.
+            return FaultDecision::CLEAN;
+        }
+        self.faults.decide(from, to, is_rdma, &mut self.rng)
     }
 
     fn apply_effects(&mut self, pid: ProcessId, hops: u32, effects: Vec<Effect<M>>) {
@@ -390,7 +560,16 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 Effect::RdmaCloseAll => self.rdma.close_all(pid),
                 Effect::SetTimer { delay, tag, id } => {
                     let at = self.now + delay;
-                    self.push_event(at, EventKind::Timer { at: pid, id, tag });
+                    let incarnation = self.incarnations.get(&pid).copied().unwrap_or(0);
+                    self.push_event(
+                        at,
+                        EventKind::Timer {
+                            at: pid,
+                            id,
+                            tag,
+                            incarnation,
+                        },
+                    );
                 }
                 Effect::CancelTimer { id } => {
                     self.cancelled_timers.insert(id);
@@ -442,6 +621,9 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
     fn execute_crash(&mut self, pid: ProcessId) {
         if self.crashed.insert(pid) {
             self.record_trace(TraceKind::Crash, pid, pid, "crash".to_owned(), 0);
+            // The NIC dies with the process: every permission it had granted
+            // is revoked, and a later restart must re-open connections.
+            self.rdma.close_all(pid);
             if let Some(Some(actor)) = self.actors.get_mut(&pid) {
                 actor.on_crash();
             }
@@ -464,8 +646,18 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 self.metrics.on_receive(to);
                 self.with_actor(to, hops, |actor, ctx| actor.on_message(from, msg, ctx));
             }
-            EventKind::Timer { at, id, tag } => {
+            EventKind::Timer {
+                at,
+                id,
+                tag,
+                incarnation,
+            } => {
                 if self.cancelled_timers.remove(&id) || self.crashed.contains(&at) {
+                    return;
+                }
+                if self.incarnations.get(&at).copied().unwrap_or(0) != incarnation {
+                    // The timer was set by an earlier incarnation of a
+                    // crashed-and-restarted process; it died with the crash.
                     return;
                 }
                 self.record_trace(TraceKind::Timer, at, at, format!("timer#{tag}"), 0);
@@ -807,6 +999,209 @@ mod tests {
         assert!(w.actor::<Recorder>(a).is_some());
         assert!(w.actor_mut::<Recorder>(a).is_some());
         assert!(w.actor::<Recorder>(ProcessId::new(999)).is_none());
+    }
+
+    #[test]
+    fn cut_link_drops_messages_one_way() {
+        let mut w = world();
+        let a = w.add_actor(Recorder::default());
+        let b = w.add_actor(Recorder::default());
+        w.cut_link(a, b);
+        w.send_from(a, b, Msg::Note(1));
+        w.send_from(b, a, Msg::Note(2));
+        w.run();
+        assert!(w.actor::<Recorder>(b).expect("b").messages.is_empty());
+        assert_eq!(
+            w.actor::<Recorder>(a).expect("a").messages,
+            vec![(b, Msg::Note(2))]
+        );
+        assert_eq!(w.metrics().counter("faults_msg_dropped"), 1);
+        assert!(w.trace().iter().any(|e| e.kind == TraceKind::DropFault));
+        w.clear_link_fault(a, b);
+        w.send_from(a, b, Msg::Note(3));
+        w.run();
+        assert_eq!(
+            w.actor::<Recorder>(b).expect("b").messages,
+            vec![(a, Msg::Note(3))]
+        );
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_healed() {
+        let mut w = world();
+        let a = w.add_actor(Recorder::default());
+        let b = w.add_actor(Recorder::default());
+        let c = w.add_actor(Recorder::default());
+        w.install_partition("split", vec![vec![a], vec![b]]);
+        w.send_from(a, b, Msg::Note(1));
+        w.send_from(a, c, Msg::Note(2));
+        w.run();
+        assert!(w.actor::<Recorder>(b).expect("b").messages.is_empty());
+        assert_eq!(w.actor::<Recorder>(c).expect("c").messages.len(), 1);
+        w.heal_partition("split");
+        w.send_from(a, b, Msg::Note(3));
+        w.run();
+        assert_eq!(w.actor::<Recorder>(b).expect("b").messages.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let mut w = world();
+        let a = w.add_actor(Recorder::default());
+        let b = w.add_actor(Recorder::default());
+        w.set_link_fault(
+            a,
+            b,
+            crate::faults::LinkFault {
+                drop: 0.0,
+                duplicate: 1.0,
+                delay: 0.0,
+                delay_micros: (0, 0),
+                scope: crate::faults::FaultScope::All,
+            },
+        );
+        w.send_from(a, b, Msg::Note(7));
+        w.run();
+        assert_eq!(
+            w.actor::<Recorder>(b).expect("b").messages,
+            vec![(a, Msg::Note(7)), (a, Msg::Note(7))]
+        );
+        assert_eq!(w.metrics().counter("faults_msg_duplicated"), 1);
+    }
+
+    #[test]
+    fn delay_fault_reorders_later_sends_past_the_delayed_one() {
+        let mut w = world();
+        let a = w.add_actor(Recorder::default());
+        let b = w.add_actor(Recorder::default());
+        w.set_link_fault(
+            a,
+            b,
+            crate::faults::LinkFault::delay_all(10_000, crate::faults::FaultScope::All),
+        );
+        w.send_from(a, b, Msg::Note(1));
+        w.clear_link_fault(a, b);
+        w.send_from(a, b, Msg::Note(2));
+        w.run();
+        let notes: Vec<u64> = w
+            .actor::<Recorder>(b)
+            .expect("b")
+            .messages
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::Note(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes, vec![2, 1], "the delayed first send arrives last");
+        assert_eq!(w.metrics().counter("faults_msg_delayed"), 1);
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_actor_and_kills_stale_timers() {
+        struct Restartable {
+            restarts: u64,
+            timers: Vec<TimerTag>,
+        }
+        impl Actor<Msg> for Restartable {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_micros(50), 1);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: Msg, _c: &mut Context<'_, Msg>) {}
+            fn on_timer(&mut self, tag: TimerTag, _ctx: &mut Context<'_, Msg>) {
+                self.timers.push(tag);
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+                self.restarts += 1;
+                ctx.set_timer(SimDuration::from_micros(50), 2);
+            }
+        }
+        let mut w = world();
+        let a = w.add_actor(Restartable {
+            restarts: 0,
+            timers: Vec::new(),
+        });
+        w.crash(a);
+        assert!(w.is_crashed(a));
+        assert!(w.restart(a));
+        assert!(!w.is_crashed(a));
+        assert!(!w.restart(a), "restarting a live process is a no-op");
+        w.run();
+        let actor = w.actor::<Restartable>(a).expect("actor");
+        assert_eq!(actor.restarts, 1);
+        // The pre-crash timer (tag 1) died with the old incarnation; only the
+        // re-armed tag-2 timer fired.
+        assert_eq!(actor.timers, vec![2]);
+        assert!(w.trace().iter().any(|e| e.kind == TraceKind::Restart));
+    }
+
+    #[test]
+    fn crash_revokes_rdma_permissions_but_memory_persists_across_restart() {
+        let mut w = world();
+        let receiver = w.add_actor(Recorder::default());
+        struct RdmaSender {
+            to: ProcessId,
+        }
+        impl Actor<Msg> for RdmaSender {
+            fn on_message(&mut self, _f: ProcessId, _m: Msg, ctx: &mut Context<'_, Msg>) {
+                ctx.rdma_send(self.to, Msg::Note(5));
+            }
+        }
+        let driver = w.add_actor(RdmaSender { to: receiver });
+        w.rdma_open(receiver, driver);
+        // A write lands (and is acknowledged) before the crash, but its
+        // delivery poll happens while the receiver is down.
+        w.send_external(driver, Msg::Ping);
+        let arrival = w.run_until(SimTime::from_micros(25));
+        assert!(arrival > 0);
+        w.crash(receiver);
+        w.run();
+        assert_eq!(w.metrics().process(driver).rdma_acks, 1, "write was acked");
+        assert!(w
+            .actor::<Recorder>(receiver)
+            .expect("r")
+            .rdma_messages
+            .is_empty());
+        w.restart(receiver);
+        // The region is persistent: the acknowledged write is recoverable by
+        // a flush after restart (here triggered via an actor context).
+        let mut inbox = w.rdma.take_inbox(receiver);
+        let recovered = inbox.drain_undelivered();
+        w.rdma.put_inbox(receiver, inbox);
+        assert_eq!(recovered, vec![(driver, Msg::Note(5))]);
+        // The crash revoked the permission the receiver had granted: new
+        // writes are rejected until a fresh open.
+        w.send_external(driver, Msg::Ping);
+        w.run();
+        assert_eq!(w.rdma_rejected(), 1);
+        w.rdma_open(receiver, driver);
+        w.send_external(driver, Msg::Ping);
+        w.run();
+        assert_eq!(
+            w.actor::<Recorder>(receiver).expect("r").rdma_messages,
+            vec![(driver, Msg::Note(5))]
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut w = World::<Msg>::new(SimConfig::default().with_seed(seed).with_trace());
+            let a = w.add_actor(Recorder::default());
+            let b = w.add_actor(Recorder::default());
+            w.set_default_link_fault(Some(crate::faults::LinkFault::noise(0.2, 0.2, 0.2, 500)));
+            for i in 0..40 {
+                w.send_from(a, b, Msg::Note(i));
+                w.send_from(b, a, Msg::Note(100 + i));
+            }
+            w.run();
+            w.trace().to_vec()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(
+            run(11).iter().map(|e| e.time).collect::<Vec<_>>(),
+            run(12).iter().map(|e| e.time).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Safety and liveness checking for chaos (fault-injection) runs.
+//!
+//! A chaos soak (see the `ratc-chaos` crate) subjects a cluster to crashes,
+//! restarts, message loss/duplication/reordering, link cuts, partitions and
+//! mid-flight reconfigurations, then lifts the faults and lets the cluster
+//! quiesce. Two properties must hold of the client-observed history:
+//!
+//! * **safety** — the history satisfies the TCS specification (§2): at most
+//!   one decision per transaction, and the committed projection has a legal
+//!   linearization under the certification function. Structural violations
+//!   observed while *recording* (contradictory `DECISION`s reaching the
+//!   client) are collected by the client actors themselves and folded in
+//!   here.
+//! * **liveness** — once faults lift and the cluster quiesces, every
+//!   submitted transaction is decided (the paper's liveness guarantee under
+//!   Assumption 1: eventually reconfigurations complete and messages between
+//!   live processes are delivered).
+//!
+//! These checkers are pure functions over recorded histories, so they run
+//! identically against all three stacks.
+
+use ratc_types::{CertificationPolicy, TcsHistory, TxId};
+
+use crate::correctness::check_history;
+
+/// The verdict of [`check_chaos_run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosVerdict {
+    /// Safety violations: structural client-side violations plus every
+    /// specification violation found by the history checker. Empty in a
+    /// correct run.
+    pub safety_violations: Vec<String>,
+    /// Transactions submitted but never decided — a liveness violation if
+    /// the cluster was given the chance to quiesce after faults lifted.
+    pub undecided: Vec<TxId>,
+}
+
+impl ChaosVerdict {
+    /// `true` if the run was safe (no contradictory or spec-violating
+    /// decisions).
+    pub fn safe(&self) -> bool {
+        self.safety_violations.is_empty()
+    }
+
+    /// `true` if every submitted transaction was decided.
+    pub fn live(&self) -> bool {
+        self.undecided.is_empty()
+    }
+
+    /// `true` if the run was both safe and live.
+    pub fn ok(&self) -> bool {
+        self.safe() && self.live()
+    }
+}
+
+/// Returns every submitted-but-undecided transaction of `history` (the
+/// liveness check, to be run after faults lift and the cluster quiesces).
+pub fn check_liveness(history: &TcsHistory) -> Vec<TxId> {
+    history.undecided().collect()
+}
+
+/// Checks a chaos run end to end: structural violations recorded by the
+/// client while the run executed (`client_violations`), the TCS history
+/// checker under `policy`, and liveness.
+pub fn check_chaos_run<P>(
+    history: &TcsHistory,
+    policy: &P,
+    client_violations: &[String],
+) -> ChaosVerdict
+where
+    P: CertificationPolicy + ?Sized,
+{
+    let mut safety_violations: Vec<String> = client_violations.to_vec();
+    safety_violations.extend(
+        check_history(history, policy)
+            .into_iter()
+            .map(|v| v.to_string()),
+    );
+    ChaosVerdict {
+        safety_violations,
+        undecided: check_liveness(history),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Decision, Key, Payload, Serializability, Version};
+
+    fn rw(key: &str, read: u64, commit: u64) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(read))
+            .write(Key::new(key), ratc_types::Value::from("v"))
+            .commit_version(Version::new(commit))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn complete_correct_history_is_safe_and_live() {
+        let mut h = TcsHistory::new();
+        h.record_certify(TxId::new(1), rw("x", 0, 1)).unwrap();
+        h.record_decide(TxId::new(1), Decision::Commit).unwrap();
+        h.record_certify(TxId::new(2), rw("x", 1, 2)).unwrap();
+        h.record_decide(TxId::new(2), Decision::Commit).unwrap();
+        let verdict = check_chaos_run(&h, &Serializability::new(), &[]);
+        assert!(verdict.ok(), "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn undecided_transactions_fail_liveness_but_not_safety() {
+        let mut h = TcsHistory::new();
+        h.record_certify(TxId::new(1), rw("x", 0, 1)).unwrap();
+        h.record_certify(TxId::new(2), rw("y", 0, 2)).unwrap();
+        h.record_decide(TxId::new(1), Decision::Abort).unwrap();
+        let verdict = check_chaos_run(&h, &Serializability::new(), &[]);
+        assert!(verdict.safe());
+        assert!(!verdict.live());
+        assert_eq!(verdict.undecided, vec![TxId::new(2)]);
+        assert_eq!(check_liveness(&h), vec![TxId::new(2)]);
+    }
+
+    #[test]
+    fn client_violations_are_folded_into_safety() {
+        let h = TcsHistory::new();
+        let verdict = check_chaos_run(
+            &h,
+            &Serializability::new(),
+            &["contradictory decisions for t1: commit and then abort".to_owned()],
+        );
+        assert!(!verdict.safe());
+        assert!(verdict.live());
+        assert!(!verdict.ok());
+    }
+
+    #[test]
+    fn spec_violating_commits_fail_safety() {
+        // Both transactions read version 0 of the same key and commit — no
+        // legal linearization exists under serializability.
+        let mut h = TcsHistory::new();
+        h.record_certify(TxId::new(1), rw("hot", 0, 1)).unwrap();
+        h.record_certify(TxId::new(2), rw("hot", 0, 2)).unwrap();
+        h.record_decide(TxId::new(1), Decision::Commit).unwrap();
+        h.record_decide(TxId::new(2), Decision::Commit).unwrap();
+        let verdict = check_chaos_run(&h, &Serializability::new(), &[]);
+        assert!(!verdict.safe());
+        assert!(verdict.live());
+    }
+}

@@ -27,7 +27,11 @@
 //!   pipeline: a batched and an unbatched cluster replaying the same
 //!   workload must produce identical histories, votes and certification
 //!   orders, including runs interleaved with truncation and
-//!   reconfiguration.
+//!   reconfiguration;
+//! * [`chaos`] — safety and liveness verdicts for fault-injection (chaos
+//!   nemesis) runs: the history must stay spec-conformant under crashes,
+//!   restarts, message loss/duplication/reordering and partitions, and every
+//!   submitted transaction must be decided once faults lift.
 //!
 //! These are runtime checkers, not proofs: they are run over every simulated
 //! execution produced by the test suites, the property-based tests and the
@@ -38,6 +42,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod batching;
+pub mod chaos;
 pub mod correctness;
 pub mod indexed;
 pub mod serializability;
@@ -45,6 +50,7 @@ pub mod tcsll;
 pub mod truncation;
 
 pub use batching::{differential_batching_check, BatchingReport, BatchingScenario};
+pub use chaos::{check_chaos_run, check_liveness, ChaosVerdict};
 pub use correctness::{check_history, SpecViolation};
 pub use indexed::{differential_vote_check, DifferentialReport};
 pub use serializability::check_conflict_serializable;

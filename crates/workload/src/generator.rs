@@ -3,6 +3,7 @@
 use rand::distributions::Distribution;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
+use ratc_sim::SimDuration;
 use ratc_types::{Key, Payload, TxId, Value, Version};
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,32 @@ impl WorkloadSpec {
         }
         out
     }
+
+    /// Generates the workload as a *paced arrival schedule*: transaction `i`
+    /// arrives at offset `i * interval` plus a uniform jitter of up to one
+    /// interval. Used by soak drivers (e.g. the chaos nemesis) that submit
+    /// traffic over simulated time while faults fire, instead of injecting
+    /// everything at time zero.
+    pub fn generate_paced(
+        &self,
+        rng: &mut ChaCha12Rng,
+        interval: SimDuration,
+    ) -> Vec<(SimDuration, TxId, Payload)> {
+        let payloads = self.generate(rng);
+        let step = interval.as_micros().max(1);
+        payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, payload))| {
+                let jitter = rng.gen_range(0..step);
+                (
+                    SimDuration::from_micros(i as u64 * step + jitter),
+                    tx,
+                    payload,
+                )
+            })
+            .collect()
+    }
 }
 
 /// Samples key indices according to a [`KeyDistribution`].
@@ -168,6 +195,28 @@ mod tests {
         assert_eq!(a, b);
         let c = spec.generate(&mut ChaCha12Rng::seed_from_u64(8));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paced_arrivals_are_monotone_and_deterministic() {
+        let spec = WorkloadSpec {
+            tx_count: 20,
+            ..WorkloadSpec::default()
+        };
+        let a = spec.generate_paced(
+            &mut ChaCha12Rng::seed_from_u64(5),
+            SimDuration::from_micros(200),
+        );
+        let b = spec.generate_paced(
+            &mut ChaCha12Rng::seed_from_u64(5),
+            SimDuration::from_micros(200),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        for window in a.windows(2) {
+            assert!(window[0].0 < window[1].0, "arrival offsets are monotone");
+        }
+        assert!(a[0].0 < SimDuration::from_micros(200));
     }
 
     #[test]

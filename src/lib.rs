@@ -13,7 +13,9 @@
 //! * [`baseline`] — the vanilla 2PC-over-Paxos baseline;
 //! * [`spec`] — TCS specification checkers;
 //! * [`kv`] — a transactional key-value store driving the TCS;
-//! * [`workload`] — workload generators and experiment drivers.
+//! * [`workload`] — workload generators and experiment drivers;
+//! * [`chaos`] — the chaos nemesis: randomized fault injection,
+//!   crash-restart recovery and automatic schedule shrinking.
 //!
 //! See the runnable programs in `examples/` and the experiment binaries in
 //! `crates/bench` for end-to-end usage, and DESIGN.md / EXPERIMENTS.md for the
@@ -41,6 +43,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use ratc_baseline as baseline;
+pub use ratc_chaos as chaos;
 pub use ratc_config as config;
 pub use ratc_core as core;
 pub use ratc_kv as kv;
