@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ratc_core::batch::BatchingConfig;
+use ratc_core::client::DecisionLatency;
 use ratc_sim::{Actor, Context, SimConfig, SimDuration, SimTime, World};
 use ratc_types::{
     CertificationPolicy, Decision, HashSharding, Payload, ProcessId, Serializability, ShardId,
@@ -83,7 +84,7 @@ impl BaselineClusterConfig {
 pub struct BaselineClientActor {
     history: TcsHistory,
     submit_times: BTreeMap<TxId, SimTime>,
-    hops: BTreeMap<TxId, u32>,
+    latencies: BTreeMap<TxId, DecisionLatency>,
     violations: Vec<String>,
 }
 
@@ -101,9 +102,10 @@ impl BaselineClientActor {
         &self.history
     }
 
-    /// Message delays per decided transaction.
-    pub fn hops(&self) -> &BTreeMap<TxId, u32> {
-        &self.hops
+    /// Latency (message delays, simulated time, decision) of each decided
+    /// transaction.
+    pub fn latencies(&self) -> &BTreeMap<TxId, DecisionLatency> {
+        &self.latencies
     }
 
     /// Violations (contradictory decisions); empty in a correct run.
@@ -124,7 +126,16 @@ impl Actor<BaselineMsg> for BaselineClientActor {
                 self.violations.push(err.to_string());
                 return;
             }
-            self.hops.entry(tx).or_insert(ctx.hops());
+            let micros = self
+                .submit_times
+                .get(&tx)
+                .map(|t| ctx.now().since(*t).as_micros())
+                .unwrap_or(0);
+            self.latencies.entry(tx).or_insert(DecisionLatency {
+                hops: ctx.hops(),
+                micros,
+                decision,
+            });
             ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
             match decision {
                 Decision::Commit => ctx.add_counter("client_commits", 1),
@@ -192,12 +203,7 @@ impl BaselineCluster {
             world
                 .actor_mut::<TransactionManager>(*pid)
                 .expect("tm member")
-                .install(
-                    *pid,
-                    tm_group.clone(),
-                    *pid == tm_leader,
-                    shard_leaders.clone(),
-                );
+                .install(*pid, tm_group.clone(), tm_leader, shard_leaders.clone());
         }
 
         BaselineCluster {
@@ -256,17 +262,27 @@ impl BaselineCluster {
         self.shard_groups.values().map(Vec::len).sum::<usize>() + self.tm_group.len()
     }
 
-    /// Submits a transaction for certification.
-    pub fn submit(&mut self, tx: TxId, payload: Payload) {
+    /// Submits a transaction for certification through the
+    /// transaction-manager leader. Returns the coordinating process (the TM
+    /// leader), mirroring the RATC harnesses.
+    pub fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId {
+        let tm = self.tm_leader;
+        self.submit_via(tx, payload, tm);
+        tm
+    }
+
+    /// Submits a transaction through a specific transaction-manager group
+    /// member. Non-leader members forward the request to the group leader,
+    /// so any member of [`BaselineCluster::tm_group`] is a valid coordinator.
+    pub fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId) {
         let now = self.world.now();
         self.world
             .actor_mut::<BaselineClientActor>(self.client)
             .expect("client")
             .record_certify(tx, payload.clone(), now);
         let client = self.client;
-        let tm = self.tm_leader;
         self.world.send_external(
-            tm,
+            coordinator,
             BaselineMsg::Certify {
                 tx,
                 payload,
@@ -314,6 +330,11 @@ impl BaselineCluster {
         self.world.run_until(until);
     }
 
+    /// Runs the simulation until the given absolute simulated time.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.world.run_until(until);
+    }
+
     /// The client's recorded history.
     pub fn history(&self) -> TcsHistory {
         self.world
@@ -323,13 +344,22 @@ impl BaselineCluster {
             .clone()
     }
 
-    /// Message delays per decided transaction.
-    pub fn decision_hops(&self) -> BTreeMap<TxId, u32> {
+    /// Latency (message delays, simulated time, decision) per decided
+    /// transaction.
+    pub fn latencies(&self) -> BTreeMap<TxId, DecisionLatency> {
         self.world
             .actor::<BaselineClientActor>(self.client)
             .expect("client")
-            .hops()
+            .latencies()
             .clone()
+    }
+
+    /// Message delays per decided transaction.
+    pub fn decision_hops(&self) -> BTreeMap<TxId, u32> {
+        self.latencies()
+            .into_iter()
+            .map(|(tx, l)| (tx, l.hops))
+            .collect()
     }
 
     /// Violations observed by the client (empty in a correct run).

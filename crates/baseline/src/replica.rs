@@ -429,8 +429,23 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
                 self.handle_paxos(from, msg, ctx)
             }
             BaselineMsg::Decision { tx, decision } => {
+                // The TM addresses decisions to the shard leader; relay them
+                // to the followers so they prune the decided payload from
+                // their prepared sets too — otherwise learner memory grows
+                // with the whole history instead of the undecided window.
+                // Relayed on every receipt (not just the first), so a TM
+                // re-externalisation doubles as the retry for a relay lost
+                // to a faulty link; followers never relay, so there is no
+                // amplification loop.
+                if self.is_leader {
+                    for peer in self.group.clone() {
+                        if peer != self.id {
+                            ctx.send(peer, BaselineMsg::Decision { tx, decision });
+                        }
+                    }
+                }
                 // First decision wins; duplicates from a retrying TM are
-                // no-ops (the payload is already pruned).
+                // otherwise no-ops (the payload is already pruned).
                 if self.decisions.contains_key(&tx) {
                     return;
                 }

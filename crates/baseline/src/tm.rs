@@ -43,6 +43,10 @@ struct PendingTx {
 pub struct TransactionManager {
     id: ProcessId,
     is_leader: bool,
+    /// The leader of the transaction-manager group; non-leader members
+    /// forward `CERTIFY` requests here, so a client (or the unified harness)
+    /// may submit through any group member.
+    leader: ProcessId,
     group: Vec<ProcessId>,
     shard_leaders: BTreeMap<ShardId, ProcessId>,
     sharding: Arc<dyn ShardMap + Send + Sync>,
@@ -72,6 +76,7 @@ impl TransactionManager {
         TransactionManager {
             id: ProcessId::new(u64::MAX),
             is_leader: false,
+            leader: ProcessId::new(u64::MAX),
             group: Vec::new(),
             shard_leaders: BTreeMap::new(),
             sharding,
@@ -89,21 +94,22 @@ impl TransactionManager {
         }
     }
 
-    /// Installs identity, group membership, leadership and the shard-leader
-    /// directory.
+    /// Installs identity, group membership, the group leader and the
+    /// shard-leader directory.
     pub fn install(
         &mut self,
         id: ProcessId,
         group: Vec<ProcessId>,
-        leader: bool,
+        leader: ProcessId,
         shard_leaders: BTreeMap<ShardId, ProcessId>,
     ) {
         self.id = id;
         self.acceptor = Acceptor::new(id);
         self.group = group.clone();
-        self.is_leader = leader;
+        self.leader = leader;
+        self.is_leader = id == leader;
         self.shard_leaders = shard_leaders;
-        if leader {
+        if self.is_leader {
             self.proposer = Some(Proposer::new(id, group, 0));
         }
     }
@@ -136,6 +142,19 @@ impl TransactionManager {
         ctx: &mut Context<'_, BaselineMsg>,
     ) {
         if !self.is_leader {
+            // Any group member accepts `CERTIFY` and forwards it to the
+            // leader, mirroring the RATC stacks where every replica can be
+            // handed a submission.
+            if self.leader != ProcessId::new(u64::MAX) {
+                ctx.send(
+                    self.leader,
+                    BaselineMsg::Certify {
+                        tx,
+                        payload,
+                        client,
+                    },
+                );
+            }
             return;
         }
         // A re-submitted `certify` of a decided transaction (the client's

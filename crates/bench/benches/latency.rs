@@ -3,19 +3,15 @@
 //! message-delay counts reported to stdout by `exp_e1_latency`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ratc_workload::{latency_experiment, Protocol};
+use ratc_workload::{latency_experiment, StackKind};
 
 fn bench_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_decision_latency");
     group.sample_size(10);
-    for protocol in [Protocol::RatcMp, Protocol::RatcRdma, Protocol::Baseline] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, protocol| {
-                b.iter(|| latency_experiment(*protocol, 2, 20, 42));
-            },
-        );
+    for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+        group.bench_with_input(BenchmarkId::from_parameter(stack), &stack, |b, stack| {
+            b.iter(|| latency_experiment(*stack, 2, 20, 42));
+        });
     }
     group.finish();
 }

@@ -2,19 +2,15 @@
 //! cycle for the f+1 protocol and of a masked failure for the 2f+1 baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ratc_workload::{reconfiguration_experiment, Protocol};
+use ratc_workload::{reconfiguration_experiment, StackKind};
 
 fn bench_reconfiguration(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_reconfiguration");
     group.sample_size(10);
-    for protocol in [Protocol::RatcMp, Protocol::Baseline] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, protocol| {
-                b.iter(|| reconfiguration_experiment(*protocol, 3));
-            },
-        );
+    for stack in [StackKind::Core, StackKind::Baseline] {
+        group.bench_with_input(BenchmarkId::from_parameter(stack), &stack, |b, stack| {
+            b.iter(|| reconfiguration_experiment(*stack, 3));
+        });
     }
     group.finish();
 }

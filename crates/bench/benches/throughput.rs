@@ -2,14 +2,14 @@
 //! as the number of shards grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ratc_workload::scaling_experiment;
+use ratc_workload::{scaling_experiment, StackKind};
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_scaling");
     group.sample_size(10);
     for shards in [2u32, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, shards| {
-            b.iter(|| scaling_experiment(*shards, 2, 100, 42));
+            b.iter(|| scaling_experiment(StackKind::Core, *shards, 2, 100, 42));
         });
     }
     group.finish();

@@ -1,6 +1,6 @@
 //! E1: client-visible decision latency in message delays.
 
-use ratc_workload::{latency_experiment, Protocol};
+use ratc_workload::{latency_experiment, StackKind};
 
 fn main() {
     ratc_bench::header(
@@ -10,8 +10,8 @@ fn main() {
          the vanilla 2PC-over-Paxos baseline needs 7 (§1, §3)",
     );
     for shards in [2, 4, 8] {
-        for protocol in [Protocol::RatcMp, Protocol::RatcRdma, Protocol::Baseline] {
-            println!("{}", latency_experiment(protocol, shards, 50, 42));
+        for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+            println!("{}", latency_experiment(stack, shards, 50, 42));
         }
         println!();
     }

@@ -1,6 +1,6 @@
 //! E2: messages handled by shard leaders per transaction.
 
-use ratc_workload::{leader_load_experiment, Protocol};
+use ratc_workload::{leader_load_experiment, StackKind};
 
 fn main() {
     ratc_bench::header(
@@ -9,7 +9,7 @@ fn main() {
         "each RATC leader only receives one PREPARE and one DECISION and sends one \
          PREPARE_ACK per transaction; Paxos leaders in the baseline handle far more (§3)",
     );
-    for protocol in [Protocol::RatcMp, Protocol::Baseline] {
-        println!("{}", leader_load_experiment(protocol, 4, 500, 42));
+    for stack in [StackKind::Core, StackKind::Baseline] {
+        println!("{}", leader_load_experiment(stack, 4, 500, 42));
     }
 }

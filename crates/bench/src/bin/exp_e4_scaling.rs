@@ -1,6 +1,6 @@
 //! E4: throughput/latency as the number of shards per transaction grows.
 
-use ratc_workload::scaling_experiment;
+use ratc_workload::{scaling_experiment, StackKind};
 
 fn main() {
     ratc_bench::header(
@@ -12,7 +12,10 @@ fn main() {
     );
     for shards in [2u32, 4, 8] {
         for keys_per_tx in [1usize, 2, 4] {
-            println!("{}", scaling_experiment(shards, keys_per_tx, 300, 42));
+            println!(
+                "{}",
+                scaling_experiment(StackKind::Core, shards, keys_per_tx, 300, 42)
+            );
         }
         println!();
     }

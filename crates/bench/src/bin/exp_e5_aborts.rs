@@ -1,6 +1,6 @@
 //! E5: abort rate under contention, message-passing vs RDMA data path.
 
-use ratc_workload::{abort_rate_experiment, KeyDistribution, Protocol};
+use ratc_workload::{abort_rate_experiment, KeyDistribution, StackKind};
 
 fn main() {
     ratc_bench::header(
@@ -15,8 +15,8 @@ fn main() {
         KeyDistribution::Zipfian { theta: 1.2 },
         KeyDistribution::Hotspot { hot_keys: 4 },
     ] {
-        for protocol in [Protocol::RatcMp, Protocol::RatcRdma] {
-            println!("{}", abort_rate_experiment(protocol, distribution, 300, 42));
+        for stack in [StackKind::Core, StackKind::Rdma] {
+            println!("{}", abort_rate_experiment(stack, distribution, 300, 42));
         }
         println!();
     }

@@ -1,7 +1,7 @@
 //! E6: availability after a replica failure — f+1 with reconfiguration vs
 //! 2f+1 with failure masking.
 
-use ratc_workload::{reconfiguration_experiment, Protocol};
+use ratc_workload::{reconfiguration_experiment, StackKind};
 
 fn main() {
     ratc_bench::header(
@@ -10,9 +10,9 @@ fn main() {
         "with f+1 replicas a single failure blocks the shard until reconfiguration \
          completes; with 2f+1 the baseline masks it (§1, §6, Theorems 4.2-4.4)",
     );
-    for protocol in [Protocol::RatcMp, Protocol::Baseline] {
+    for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
         for seed in [1u64, 2, 3] {
-            println!("{}", reconfiguration_experiment(protocol, seed));
+            println!("{}", reconfiguration_experiment(stack, seed));
         }
     }
 }

@@ -1,7 +1,7 @@
 //! E8 (batching): leader message amortisation of the batched certification
 //! pipeline.
 
-use ratc_workload::batching_experiment;
+use ratc_workload::{batching_experiment, StackKind};
 
 fn main() {
     ratc_bench::header(
@@ -12,6 +12,9 @@ fn main() {
          per-transaction vote and decision stays individually correct",
     );
     for batch in [1usize, 2, 4, 8, 16, 32] {
-        println!("{}", batching_experiment(512, batch, 42));
+        for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+            println!("{}", batching_experiment(stack, 512, batch, 42));
+        }
+        println!();
     }
 }

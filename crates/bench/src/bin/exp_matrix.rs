@@ -1,0 +1,32 @@
+//! Facade smoke: one generic experiment per stack through the unified
+//! `TcsCluster` API — the experiment × stack matrix the `ratc-harness`
+//! facade opened up. Runs E1 (latency), E7 (log retention) and E8 (batching
+//! amortisation) on the message-passing, RDMA and 2PC-over-Paxos stacks
+//! from the same generic drivers; CI runs this binary as the unified-API
+//! smoke job.
+
+use ratc_workload::{batching_experiment, latency_experiment, truncation_experiment, StackKind};
+
+fn main() {
+    ratc_bench::header(
+        "MATRIX",
+        "experiment x stack matrix through the unified facade",
+        "one TCS abstraction admits interchangeable implementations; every \
+         experiment runs on every stack from one generic code path",
+    );
+    let stacks = [StackKind::Core, StackKind::Rdma, StackKind::Baseline];
+    println!("E1: decision latency");
+    for stack in stacks {
+        println!("  {}", latency_experiment(stack, 2, 30, 42));
+    }
+    println!("\nE7: bounded log retention");
+    for stack in stacks {
+        println!("  {}", truncation_experiment(stack, 2, 64, Some(8), 42));
+    }
+    println!("\nE8: batching amortisation");
+    for stack in stacks {
+        for batch in [1usize, 8] {
+            println!("  {}", batching_experiment(stack, 64, batch, 42));
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! 1. heal every link fault and partition, restart every crashed process;
 //! 2. repeatedly quiesce, re-drive reconfigurations until every shard is
-//!    operational ([`ChaosHarness::stabilize`]), and re-submit transactions
+//!    operational ([`ChaosHarness::stabilize`]) and re-submit transactions
 //!    the client never saw decided (the client retry of the TCS model);
 //! 3. check the observed history with the `ratc-spec` chaos checkers.
 //!
@@ -121,7 +121,7 @@ impl fmt::Display for SoakReport {
 /// terminates even while retry or reconfiguration timers are still looping
 /// (a broken shard keeps its repair timers alive until `stabilize` fixes it,
 /// which is exactly what the recovery loop interleaves with).
-fn settle(harness: &mut dyn ChaosHarness) {
+fn settle(harness: &mut ChaosHarness) {
     for _ in 0..200 {
         let before = harness.steps();
         harness.run_for(SimDuration::from_millis(25));
@@ -132,11 +132,7 @@ fn settle(harness: &mut dyn ChaosHarness) {
 }
 
 /// Runs one soak: `config`'s workload under `plan`'s faults on `harness`.
-pub fn run_soak(
-    harness: &mut dyn ChaosHarness,
-    config: &SoakConfig,
-    plan: &FaultPlan,
-) -> SoakReport {
+pub fn run_soak(harness: &mut ChaosHarness, config: &SoakConfig, plan: &FaultPlan) -> SoakReport {
     let spec = WorkloadSpec {
         key_count: config.keys,
         keys_per_tx: config.keys_per_tx,

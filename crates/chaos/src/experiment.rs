@@ -65,7 +65,7 @@ pub fn availability_experiment(stack: Stack, intensity: u8, seed: u64) -> Availa
     };
     let plan = Nemesis::generate(&nemesis);
     let mut harness = build_harness(stack, 2, seed, None);
-    let report: SoakReport = run_soak(harness.as_mut(), &soak, &plan);
+    let report: SoakReport = run_soak(&mut harness, &soak, &plan);
     let window_millis = (nemesis.window_micros as f64 / 1_000.0).max(f64::EPSILON);
     AvailabilityResult {
         stack,

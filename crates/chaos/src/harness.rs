@@ -1,89 +1,38 @@
-//! The [`ChaosHarness`] trait and its adapters for the three TCS stacks.
+//! The [`ChaosHarness`]: one stack-agnostic adapter between the soak driver
+//! and a cluster under chaos.
 //!
-//! A chaos harness wraps one deployed cluster and exposes exactly what the
-//! soak driver and the nemesis need: paced submission, fault application,
-//! time control, healing/stabilisation, and the observed history. Fault
-//! events name roles (leaders, roster indices); each adapter resolves them
-//! against its stack.
+//! Before the unified [`TcsCluster`] facade existed this module carried three
+//! near-identical per-stack adapters (~900 lines); the shared trait collapsed
+//! them into this single struct. The harness resolves the role-addressed
+//! targets of [`FaultEvent`]s (current leaders, roster indices) against the
+//! cluster's introspection queries, paces submissions through a fixed or
+//! round-robin coordinator, and drives post-fault recovery
+//! ([`ChaosHarness::heal`] / [`ChaosHarness::stabilize`]). The real semantic
+//! differences between the stacks are behind the trait's capability probes:
+//! the baseline ignores reconfiguration events, the §5 RDMA protocol
+//! reconfigures globally, and only the RATC stacks let arbitrary replicas
+//! coordinate.
 //!
-//! The client process is marked fault-exempt in every adapter: it is the
-//! measurement apparatus recording the history that safety and liveness are
-//! judged by, not a protocol participant. Everything else — including the
-//! configuration service — runs over faultable links.
+//! The client process is marked fault-exempt: it is the measurement apparatus
+//! recording the history that safety and liveness are judged by, not a
+//! protocol participant. Everything else — including the configuration
+//! service — runs over faultable links.
 
 use std::collections::BTreeMap;
-use std::fmt;
 
-use ratc_baseline::{BaselineCluster, BaselineClusterConfig};
-use ratc_core::harness::{Cluster, ClusterConfig};
-use ratc_core::log::TxPhase;
-use ratc_core::replica::{Replica, Status, TruncationConfig};
-use ratc_rdma::replica::RdmaStatus;
-use ratc_rdma::{RdmaCluster, RdmaClusterConfig, RdmaReplica, ReconfigMode};
+use ratc_core::replica::TruncationConfig;
+use ratc_harness::{ClusterSpec, TcsCluster};
 use ratc_sim::faults::{FaultScope, LinkFault};
 use ratc_sim::SimDuration;
 use ratc_types::{Payload, ProcessId, ShardId, TcsHistory, TxId};
 
 use crate::plan::{FaultEvent, LinkNoise};
 
+/// Which TCS stack a harness drives (the facade's stack selector).
+pub use ratc_harness::StackKind as Stack;
+
 /// Cap on how many prepared transactions one `RetryPrepared` event re-drives.
 const RETRY_CAP: usize = 64;
-
-/// Which TCS stack a harness drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Stack {
-    /// The message-passing RATC protocol (`ratc-core`).
-    Core,
-    /// The RDMA protocol with correct global reconfiguration (`ratc-rdma`).
-    Rdma,
-    /// The RDMA protocol with the **incorrect** naive per-shard
-    /// reconfiguration — the Figure 4a hunting ground.
-    RdmaNaive,
-    /// The 2PC-over-Paxos baseline (`ratc-baseline`).
-    Baseline,
-}
-
-impl fmt::Display for Stack {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Stack::Core => f.write_str("ratc-mp"),
-            Stack::Rdma => f.write_str("ratc-rdma"),
-            Stack::RdmaNaive => f.write_str("ratc-rdma-naive"),
-            Stack::Baseline => f.write_str("2pc-paxos"),
-        }
-    }
-}
-
-/// What the soak driver needs from a cluster under chaos.
-pub trait ChaosHarness {
-    /// The stack under test.
-    fn stack(&self) -> Stack;
-    /// Submits a fresh transaction (recorded in the client history).
-    fn submit(&mut self, tx: TxId, payload: Payload);
-    /// Re-drives an already-submitted transaction without re-recording it.
-    fn resubmit(&mut self, tx: TxId);
-    /// Applies one fault event, resolving role targets against the cluster.
-    fn apply(&mut self, event: &FaultEvent);
-    /// Installs (or clears) fabric-wide background noise.
-    fn set_noise(&mut self, noise: Option<LinkNoise>);
-    /// Advances simulated time by `d`.
-    fn run_for(&mut self, d: SimDuration);
-    /// Runs until no events remain.
-    fn run_to_quiescence(&mut self);
-    /// Current simulated time in microseconds.
-    fn now_micros(&self) -> u64;
-    /// Events executed so far (a determinism fingerprint).
-    fn steps(&self) -> u64;
-    /// Heals every injected fault and restarts every crashed process.
-    fn heal(&mut self);
-    /// Post-heal repair: re-drives reconfigurations until every shard is
-    /// operational again. Returns `true` once the cluster looks operational.
-    fn stabilize(&mut self) -> bool;
-    /// The client-observed history.
-    fn history(&self) -> TcsHistory;
-    /// Structural violations the client observed (contradictory decisions).
-    fn client_violations(&self) -> Vec<String>;
-}
 
 fn noise_fault(noise: &LinkNoise) -> LinkFault {
     LinkFault {
@@ -95,475 +44,98 @@ fn noise_fault(noise: &LinkNoise) -> LinkFault {
     }
 }
 
-// ---------------------------------------------------------------------------
-// ratc-core adapter
-// ---------------------------------------------------------------------------
-
-/// Chaos adapter for the message-passing stack.
-pub struct CoreChaos {
-    cluster: Cluster,
+/// A cluster under chaos: fault application, paced submission, time control,
+/// healing/stabilisation and history observation for any [`TcsCluster`].
+pub struct ChaosHarness {
+    cluster: Box<dyn TcsCluster>,
     payloads: BTreeMap<TxId, Payload>,
-    replicas: Vec<ProcessId>,
+    /// Initial roster per shard (fault events address replicas by roster
+    /// index so plans replay against a freshly built cluster).
     roster: BTreeMap<ShardId, Vec<ProcessId>>,
+    /// Every faultable protocol process, in shard order.
+    processes: Vec<ProcessId>,
+    /// The submission pool, captured once at construction (the cluster's
+    /// coordinator pool is membership-stable).
+    pool: Vec<ProcessId>,
+    /// Fixed submission coordinator, if configured (and supported).
     coordinator: Option<ProcessId>,
     partition_seq: u64,
     next_coordinator: usize,
 }
 
-impl CoreChaos {
-    /// Builds a core cluster for chaos testing. `coordinator` optionally
-    /// routes every submission through one fixed replica (shard, roster
-    /// index); otherwise submissions round-robin.
-    pub fn new(shards: u32, seed: u64, coordinator: Option<(ShardId, usize)>) -> Self {
-        let cluster = Cluster::new(
-            ClusterConfig::default()
-                .with_shards(shards)
-                .with_seed(seed)
-                .with_truncation(TruncationConfig::with_batch(8)),
-        );
-        let mut roster = BTreeMap::new();
-        let mut replicas = Vec::new();
-        for shard in cluster.shards() {
-            let members = cluster.initial_members(shard).to_vec();
-            replicas.extend(members.iter().copied());
-            replicas.extend(cluster.spares(shard).iter().copied());
-            roster.insert(shard, members);
-        }
-        let coordinator =
-            coordinator.map(|(shard, index)| roster[&shard][index % roster[&shard].len()]);
-        let mut this = CoreChaos {
-            cluster,
-            payloads: BTreeMap::new(),
-            replicas,
-            roster,
-            coordinator,
-            partition_seq: 0,
-            next_coordinator: 0,
-        };
-        let client = this.cluster.client_id();
-        this.cluster.world.mark_fault_exempt(client);
-        this
+impl ChaosHarness {
+    /// Deploys `spec` and wraps it for chaos testing. `coordinator`
+    /// optionally routes every submission through one fixed replica (shard,
+    /// roster index); stacks with a dedicated transaction-manager group
+    /// ignore it (their coordinator is the TM leader).
+    pub fn new(spec: &ClusterSpec, coordinator: Option<(ShardId, usize)>) -> Self {
+        let cluster = spec.build();
+        Self::from_cluster(cluster, coordinator)
     }
 
-    /// The wrapped cluster (read access for tests and debugging).
-    pub fn cluster(&self) -> &Cluster {
-        &self.cluster
-    }
-
-    fn member(&self, shard: ShardId, index: usize) -> ProcessId {
-        let roster = &self.roster[&shard];
-        roster[index % roster.len()]
-    }
-
-    fn live_initiator(&self, shard: ShardId) -> Option<ProcessId> {
-        let mut candidates = self.cluster.current_members(shard);
-        candidates.extend(self.roster[&shard].iter().copied());
-        candidates.extend(self.cluster.spares(shard).to_vec());
-        candidates.into_iter().find(|p| {
-            !self.cluster.world.is_crashed(*p)
-                && self
-                    .cluster
-                    .world
-                    .actor::<Replica>(*p)
-                    .map(|r| r.is_initialized() && !r.reconfiguration_in_flight())
-                    .unwrap_or(false)
-        })
-    }
-
-    fn reconfigure(&mut self, shard: ShardId) {
-        let Some(initiator) = self.live_initiator(shard) else {
-            return;
-        };
-        let exclude: Vec<ProcessId> = self
-            .cluster
-            .current_members(shard)
-            .into_iter()
-            .filter(|p| self.cluster.world.is_crashed(*p))
-            .collect();
-        self.cluster
-            .start_reconfiguration(shard, initiator, exclude);
-    }
-
-    fn shard_operational(&self, shard: ShardId) -> bool {
-        let members = self.cluster.current_members(shard);
-        if members.is_empty() {
-            return false;
-        }
-        let leader = self.cluster.current_leader(shard);
-        let epoch = self.cluster.current_epoch(shard);
-        members.iter().all(|m| {
-            if self.cluster.world.is_crashed(*m) {
-                return false;
-            }
-            let Some(replica) = self.cluster.world.actor::<Replica>(*m) else {
-                return false;
-            };
-            let expected = if *m == leader {
-                Status::Leader
-            } else {
-                Status::Follower
-            };
-            replica.is_initialized()
-                && replica.epoch_of(shard) == epoch
-                && replica.status() == expected
-        })
-    }
-}
-
-impl ChaosHarness for CoreChaos {
-    fn stack(&self) -> Stack {
-        Stack::Core
-    }
-
-    fn submit(&mut self, tx: TxId, payload: Payload) {
-        self.payloads.insert(tx, payload.clone());
-        // Fixed coordinator if configured, else round-robin over live
-        // replicas. With everything crashed, submit to a crashed process:
-        // the message is dropped (the cluster is down), the transaction
-        // stays in the history undecided, and recovery re-drives it.
-        let target = self.coordinator.unwrap_or_else(|| {
-            let live: Vec<ProcessId> = self
-                .replicas
-                .iter()
-                .copied()
-                .filter(|p| !self.cluster.world.is_crashed(*p))
-                .collect();
-            let pool = if live.is_empty() {
-                &self.replicas
-            } else {
-                &live
-            };
-            let target = pool[self.next_coordinator % pool.len()];
-            self.next_coordinator += 1;
-            target
-        });
-        self.cluster.submit_via(tx, payload, target);
-    }
-
-    fn resubmit(&mut self, tx: TxId) {
-        let Some(payload) = self.payloads.get(&tx).cloned() else {
-            return;
-        };
-        let shards = payload.shards(self.cluster.sharding());
-        let Some(first) = shards.first().copied() else {
-            return;
-        };
-        let target = self.cluster.current_leader(first);
-        if self.cluster.world.is_crashed(target) {
-            return;
-        }
-        let client = self.cluster.client_id();
-        self.cluster.world.send_external(
-            target,
-            ratc_core::messages::Msg::Certify {
-                tx,
-                payload,
-                client,
-            },
-        );
-    }
-
-    fn apply(&mut self, event: &FaultEvent) {
-        match event {
-            FaultEvent::CrashLeader { shard } => {
-                let leader = self.cluster.current_leader(*shard);
-                self.cluster.crash(leader);
-            }
-            FaultEvent::CrashFollower { shard, index } => {
-                let leader = self.cluster.current_leader(*shard);
-                let followers: Vec<ProcessId> = self
-                    .cluster
-                    .current_members(*shard)
-                    .into_iter()
-                    .filter(|p| *p != leader)
-                    .collect();
-                if !followers.is_empty() {
-                    self.cluster.crash(followers[index % followers.len()]);
-                }
-            }
-            FaultEvent::CrashCoordinator => {
-                let target = self
-                    .coordinator
-                    .unwrap_or_else(|| self.roster.values().next().expect("shards")[0]);
-                self.cluster.crash(target);
-            }
-            FaultEvent::RestartCrashed => {
-                for pid in self.replicas.clone() {
-                    if self.cluster.world.is_crashed(pid) {
-                        self.cluster.restart(pid);
-                    }
-                }
-            }
-            FaultEvent::IsolateInbound { shard, index } => {
-                let victim = self.member(*shard, *index);
-                let cs = self.cluster.config_service_id();
-                for from in self.replicas.clone().into_iter().chain([cs]) {
-                    if from != victim {
-                        self.cluster.world.set_link_fault(
-                            from,
-                            victim,
-                            LinkFault::cut(FaultScope::MessagesOnly),
-                        );
-                    }
-                }
-            }
-            FaultEvent::DelayRdmaOutbound {
-                shard,
-                index,
-                delay_micros,
-            } => {
-                // The message-passing stack has no RDMA fabric; the scoped
-                // fault is installed but never fires.
-                let victim = self.member(*shard, *index);
-                for to in self.replicas.clone() {
-                    if to != victim {
-                        self.cluster.world.set_link_fault(
-                            victim,
-                            to,
-                            LinkFault::delay_all(*delay_micros, FaultScope::RdmaOnly),
-                        );
-                    }
-                }
-            }
-            FaultEvent::PartitionLeader { shard } => {
-                let leader = self.cluster.current_leader(*shard);
-                let others: Vec<ProcessId> = self
-                    .replicas
-                    .iter()
-                    .copied()
-                    .filter(|p| *p != leader)
-                    .collect();
-                self.partition_seq += 1;
-                let name = format!("part-{}", self.partition_seq);
-                self.cluster
-                    .world
-                    .install_partition(&name, vec![vec![leader], others]);
-            }
-            FaultEvent::HealFaults => self.cluster.world.heal_all_faults(),
-            FaultEvent::Reconfigure { shard } => self.reconfigure(*shard),
-            FaultEvent::GlobalReconfigure => {
-                for shard in self.cluster.shards() {
-                    self.reconfigure(shard);
-                }
-            }
-            FaultEvent::RetryPrepared { shard } => {
-                let leader = self.cluster.current_leader(*shard);
-                if self.cluster.world.is_crashed(leader) {
-                    return;
-                }
-                let prepared: Vec<TxId> = self
-                    .cluster
-                    .replica(leader)
-                    .log()
-                    .entries()
-                    .filter(|(_, e)| e.phase == TxPhase::Prepared)
-                    .map(|(_, e)| e.tx)
-                    .take(RETRY_CAP)
-                    .collect();
-                for tx in prepared {
-                    self.cluster.retry(leader, tx);
-                }
-            }
-        }
-    }
-
-    fn set_noise(&mut self, noise: Option<LinkNoise>) {
-        self.cluster
-            .world
-            .set_default_link_fault(noise.as_ref().map(noise_fault));
-    }
-
-    fn run_for(&mut self, d: SimDuration) {
-        self.cluster.run_for(d);
-    }
-
-    fn run_to_quiescence(&mut self) {
-        self.cluster.run_to_quiescence();
-    }
-
-    fn now_micros(&self) -> u64 {
-        self.cluster.world.now().as_micros()
-    }
-
-    fn steps(&self) -> u64 {
-        self.cluster.world.steps()
-    }
-
-    fn heal(&mut self) {
-        self.cluster.world.heal_all_faults();
-        self.apply(&FaultEvent::RestartCrashed);
-    }
-
-    fn stabilize(&mut self) -> bool {
-        let mut all_ok = true;
-        for shard in self.cluster.shards() {
-            if !self.shard_operational(shard) {
-                all_ok = false;
-                self.reconfigure(shard);
-            }
-        }
-        all_ok
-    }
-
-    fn history(&self) -> TcsHistory {
-        self.cluster.history()
-    }
-
-    fn client_violations(&self) -> Vec<String> {
-        self.cluster.client_violations()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// ratc-rdma adapter
-// ---------------------------------------------------------------------------
-
-/// Chaos adapter for the RDMA stack (correct or naive reconfiguration mode).
-pub struct RdmaChaos {
-    cluster: RdmaCluster,
-    mode: ReconfigMode,
-    payloads: BTreeMap<TxId, Payload>,
-    replicas: Vec<ProcessId>,
-    roster: BTreeMap<ShardId, Vec<ProcessId>>,
-    coordinator: Option<ProcessId>,
-    partition_seq: u64,
-    next_coordinator: usize,
-}
-
-impl RdmaChaos {
-    /// Builds an RDMA cluster for chaos testing in the given mode.
-    pub fn new(
-        shards: u32,
-        seed: u64,
-        mode: ReconfigMode,
+    /// Wraps an already-built cluster for chaos testing.
+    pub fn from_cluster(
+        mut cluster: Box<dyn TcsCluster>,
         coordinator: Option<(ShardId, usize)>,
     ) -> Self {
-        let cluster = RdmaCluster::new(
-            RdmaClusterConfig::default()
-                .with_shards(shards)
-                .with_seed(seed)
-                .with_mode(mode)
-                .with_truncation(TruncationConfig::with_batch(8)),
-        );
-        let config = cluster.current_config();
         let mut roster = BTreeMap::new();
-        let mut replicas = Vec::new();
-        for (shard, members) in &config.members {
-            replicas.extend(members.iter().copied());
-            replicas.extend(cluster.spares(*shard).to_vec());
-            roster.insert(*shard, members.clone());
+        let mut processes = Vec::new();
+        for shard in cluster.shards() {
+            let members = cluster.roster_of(shard);
+            processes.extend(members.iter().copied());
+            processes.extend(cluster.spares_of(shard));
+            roster.insert(shard, members);
         }
-        let coordinator =
-            coordinator.map(|(shard, index)| roster[&shard][index % roster[&shard].len()]);
-        let mut this = RdmaChaos {
+        let pool = cluster.coordinator_pool();
+        let coordinator = if cluster.replicas_coordinate() {
+            coordinator.map(|(shard, index)| roster[&shard][index % roster[&shard].len()])
+        } else {
+            // A dedicated TM group coordinates; include it in the faultable
+            // set (`all_processes` covers it) and pin submissions to its
+            // leader (the pool head) for plan-replay stability.
+            processes = cluster.all_processes();
+            Some(pool[0])
+        };
+        let client = cluster.client_id();
+        cluster.mark_fault_exempt(client);
+        ChaosHarness {
             cluster,
-            mode,
             payloads: BTreeMap::new(),
-            replicas,
             roster,
+            processes,
+            pool,
             coordinator,
             partition_seq: 0,
             next_coordinator: 0,
-        };
-        let client = this.cluster.client_id();
-        this.cluster.world.mark_fault_exempt(client);
-        this
+        }
     }
 
     /// The wrapped cluster (read access for tests and debugging).
-    pub fn cluster(&self) -> &RdmaCluster {
-        &self.cluster
+    pub fn cluster(&self) -> &dyn TcsCluster {
+        self.cluster.as_ref()
     }
 
-    fn member(&self, shard: ShardId, index: usize) -> ProcessId {
-        let roster = &self.roster[&shard];
-        roster[index % roster.len()]
+    /// The stack under test.
+    pub fn stack(&self) -> Stack {
+        self.cluster.stack()
     }
 
-    fn current_leader(&self, shard: ShardId) -> Option<ProcessId> {
-        self.cluster.current_config().leader_of(shard)
-    }
-
-    fn live_initiator(&self, shard: ShardId) -> Option<ProcessId> {
-        let config = self.cluster.current_config();
-        let mut candidates: Vec<ProcessId> = config.members_of(shard).to_vec();
-        candidates.extend(self.roster[&shard].iter().copied());
-        candidates.extend(self.cluster.spares(shard).to_vec());
-        candidates.into_iter().find(|p| {
-            !self.cluster.world.is_crashed(*p)
-                && self
-                    .cluster
-                    .world
-                    .actor::<RdmaReplica>(*p)
-                    .map(|r| r.is_initialized() && !r.reconfiguration_in_flight())
-                    .unwrap_or(false)
-        })
-    }
-
-    fn reconfigure(&mut self, shard: ShardId) {
-        let Some(initiator) = self.live_initiator(shard) else {
-            return;
-        };
-        let config = self.cluster.current_config();
-        let exclude: Vec<ProcessId> = config
-            .members
-            .values()
-            .flatten()
-            .copied()
-            .filter(|p| self.cluster.world.is_crashed(*p))
-            .collect();
-        self.cluster
-            .start_reconfiguration(shard, initiator, exclude);
-    }
-
-    fn shard_operational(&self, shard: ShardId) -> bool {
-        let config = self.cluster.current_config();
-        let members = config.members_of(shard);
-        if members.is_empty() {
-            return false;
-        }
-        let leader = config.leader_of(shard);
-        members.iter().all(|m| {
-            if self.cluster.world.is_crashed(*m) {
-                return false;
-            }
-            let Some(replica) = self.cluster.world.actor::<RdmaReplica>(*m) else {
-                return false;
-            };
-            let expected = if Some(*m) == leader {
-                RdmaStatus::Leader
-            } else {
-                RdmaStatus::Follower
-            };
-            replica.is_initialized()
-                && replica.epoch() == config.epoch
-                && replica.status() == expected
-        })
-    }
-}
-
-impl ChaosHarness for RdmaChaos {
-    fn stack(&self) -> Stack {
-        match self.mode {
-            ReconfigMode::GlobalCorrect => Stack::Rdma,
-            ReconfigMode::NaivePerShard => Stack::RdmaNaive,
-        }
-    }
-
-    fn submit(&mut self, tx: TxId, payload: Payload) {
+    /// Submits a fresh transaction (recorded in the client history) through
+    /// the fixed coordinator if configured, else round-robin over live
+    /// coordinators. With everything crashed, the submission goes to a
+    /// crashed process: the message is dropped (the cluster is down), the
+    /// transaction stays in the history undecided, and recovery re-drives
+    /// it.
+    pub fn submit(&mut self, tx: TxId, payload: Payload) {
         self.payloads.insert(tx, payload.clone());
         let target = self.coordinator.unwrap_or_else(|| {
             let live: Vec<ProcessId> = self
-                .replicas
+                .pool
                 .iter()
                 .copied()
-                .filter(|p| !self.cluster.world.is_crashed(*p))
+                .filter(|p| !self.cluster.is_crashed(*p))
                 .collect();
-            let pool = if live.is_empty() {
-                &self.replicas
-            } else {
-                &live
-            };
+            let pool = if live.is_empty() { &self.pool } else { &live };
             let target = pool[self.next_coordinator % pool.len()];
             self.next_coordinator += 1;
             target
@@ -571,275 +143,90 @@ impl ChaosHarness for RdmaChaos {
         self.cluster.submit_via(tx, payload, target);
     }
 
-    fn resubmit(&mut self, tx: TxId) {
-        let Some(payload) = self.payloads.get(&tx).cloned() else {
-            return;
-        };
-        let shards = payload.shards(self.cluster.sharding());
-        let Some(target) = shards.first().and_then(|s| self.current_leader(*s)) else {
-            return;
-        };
-        if self.cluster.world.is_crashed(target) {
-            return;
-        }
-        let client = self.cluster.client_id();
-        self.cluster.world.send_external(
-            target,
-            ratc_rdma::RdmaMsg::Certify {
-                tx,
-                payload,
-                client,
-            },
-        );
-    }
-
-    fn apply(&mut self, event: &FaultEvent) {
-        match event {
-            FaultEvent::CrashLeader { shard } => {
-                if let Some(leader) = self.current_leader(*shard) {
-                    self.cluster.crash(leader);
-                }
-            }
-            FaultEvent::CrashFollower { shard, index } => {
-                let followers = self.cluster.current_config().followers_of(*shard);
-                if !followers.is_empty() {
-                    self.cluster.crash(followers[index % followers.len()]);
-                }
-            }
-            FaultEvent::CrashCoordinator => {
-                let target = self
-                    .coordinator
-                    .unwrap_or_else(|| self.roster.values().next().expect("shards")[0]);
-                self.cluster.crash(target);
-            }
-            FaultEvent::RestartCrashed => {
-                for pid in self.replicas.clone() {
-                    if self.cluster.world.is_crashed(pid) {
-                        self.cluster.restart(pid);
-                    }
-                }
-            }
-            FaultEvent::IsolateInbound { shard, index } => {
-                let victim = self.member(*shard, *index);
-                let cs = self.cluster.config_service_id();
-                for from in self.replicas.clone().into_iter().chain([cs]) {
-                    if from != victim {
-                        self.cluster.world.set_link_fault(
-                            from,
-                            victim,
-                            LinkFault::cut(FaultScope::MessagesOnly),
-                        );
-                    }
-                }
-            }
-            FaultEvent::DelayRdmaOutbound {
-                shard,
-                index,
-                delay_micros,
-            } => {
-                let victim = self.member(*shard, *index);
-                for to in self.replicas.clone() {
-                    if to != victim {
-                        self.cluster.world.set_link_fault(
-                            victim,
-                            to,
-                            LinkFault::delay_all(*delay_micros, FaultScope::RdmaOnly),
-                        );
-                    }
-                }
-            }
-            FaultEvent::PartitionLeader { shard } => {
-                let Some(leader) = self.current_leader(*shard) else {
-                    return;
-                };
-                let others: Vec<ProcessId> = self
-                    .replicas
-                    .iter()
-                    .copied()
-                    .filter(|p| *p != leader)
-                    .collect();
-                self.partition_seq += 1;
-                let name = format!("part-{}", self.partition_seq);
-                self.cluster
-                    .world
-                    .install_partition(&name, vec![vec![leader], others]);
-            }
-            FaultEvent::HealFaults => self.cluster.world.heal_all_faults(),
-            FaultEvent::Reconfigure { shard } => self.reconfigure(*shard),
-            FaultEvent::GlobalReconfigure => {
-                let shard = *self.roster.keys().next().expect("shards");
-                self.reconfigure(shard);
-            }
-            FaultEvent::RetryPrepared { shard } => {
-                let Some(leader) = self.current_leader(*shard) else {
-                    return;
-                };
-                if self.cluster.world.is_crashed(leader) {
-                    return;
-                }
-                let prepared: Vec<TxId> = self
-                    .cluster
-                    .replica(leader)
-                    .log()
-                    .entries()
-                    .filter(|(_, e)| e.phase == TxPhase::Prepared)
-                    .map(|(_, e)| e.tx)
-                    .take(RETRY_CAP)
-                    .collect();
-                for tx in prepared {
-                    self.cluster.retry(leader, tx);
-                }
-            }
-        }
-    }
-
-    fn set_noise(&mut self, noise: Option<LinkNoise>) {
-        self.cluster
-            .world
-            .set_default_link_fault(noise.as_ref().map(noise_fault));
-    }
-
-    fn run_for(&mut self, d: SimDuration) {
-        self.cluster.run_for(d);
-    }
-
-    fn run_to_quiescence(&mut self) {
-        self.cluster.run_to_quiescence();
-    }
-
-    fn now_micros(&self) -> u64 {
-        self.cluster.world.now().as_micros()
-    }
-
-    fn steps(&self) -> u64 {
-        self.cluster.world.steps()
-    }
-
-    fn heal(&mut self) {
-        self.cluster.world.heal_all_faults();
-        self.apply(&FaultEvent::RestartCrashed);
-    }
-
-    fn stabilize(&mut self) -> bool {
-        let config = self.cluster.current_config();
-        let mut all_ok = true;
-        for shard in config.members.keys().copied().collect::<Vec<_>>() {
-            if !self.shard_operational(shard) {
-                all_ok = false;
-                self.reconfigure(shard);
-            }
-        }
-        all_ok
-    }
-
-    fn history(&self) -> TcsHistory {
-        self.cluster.history()
-    }
-
-    fn client_violations(&self) -> Vec<String> {
-        self.cluster.client_violations()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// baseline adapter
-// ---------------------------------------------------------------------------
-
-/// Chaos adapter for the 2PC-over-Paxos baseline. The baseline has no
-/// reconfiguration: `Reconfigure`/`GlobalReconfigure`/`RetryPrepared` are
-/// no-ops, and crashed processes recover only by restarting (which the
-/// recovery phase guarantees). Paxos masks minority follower crashes.
-pub struct BaselineChaos {
-    cluster: BaselineCluster,
-    payloads: BTreeMap<TxId, Payload>,
-    processes: Vec<ProcessId>,
-    partition_seq: u64,
-}
-
-impl BaselineChaos {
-    /// Builds a baseline cluster for chaos testing.
-    pub fn new(shards: u32, seed: u64) -> Self {
-        let cluster = BaselineCluster::new(
-            BaselineClusterConfig::default()
-                .with_shards(shards)
-                .with_seed(seed),
-        );
-        let mut processes: Vec<ProcessId> = Vec::new();
-        for shard_idx in 0..shards {
-            processes.extend(cluster.shard_group(ShardId::new(shard_idx)).to_vec());
-        }
-        processes.extend(cluster.tm_group().to_vec());
-        let mut this = BaselineChaos {
-            cluster,
-            payloads: BTreeMap::new(),
-            processes,
-            partition_seq: 0,
-        };
-        let client = this.cluster.client_id();
-        this.cluster.world.mark_fault_exempt(client);
-        this
-    }
-
-    /// The wrapped cluster (read access for tests and debugging).
-    pub fn cluster(&self) -> &BaselineCluster {
-        &self.cluster
-    }
-
-    fn group(&self, shard: ShardId) -> Vec<ProcessId> {
-        self.cluster.shard_group(shard).to_vec()
-    }
-}
-
-impl ChaosHarness for BaselineChaos {
-    fn stack(&self) -> Stack {
-        Stack::Baseline
-    }
-
-    fn submit(&mut self, tx: TxId, payload: Payload) {
-        self.payloads.insert(tx, payload.clone());
-        self.cluster.submit(tx, payload);
-    }
-
-    fn resubmit(&mut self, tx: TxId) {
+    /// Re-drives an already-submitted transaction without re-recording it.
+    pub fn resubmit(&mut self, tx: TxId) {
         if let Some(payload) = self.payloads.get(&tx).cloned() {
             self.cluster.resubmit(tx, payload);
         }
     }
 
-    fn apply(&mut self, event: &FaultEvent) {
+    fn member(&self, shard: ShardId, index: usize) -> ProcessId {
+        let roster = &self.roster[&shard];
+        roster[index % roster.len()]
+    }
+
+    fn reconfigure(&mut self, shard: ShardId) {
+        if !self.cluster.supports_reconfiguration() {
+            return;
+        }
+        let mut candidates = self.cluster.members_of(shard);
+        candidates.extend(self.roster[&shard].iter().copied());
+        candidates.extend(self.cluster.spares_of(shard));
+        let Some(initiator) = candidates
+            .into_iter()
+            .find(|p| !self.cluster.is_crashed(*p) && self.cluster.replica_ready(*p))
+        else {
+            return;
+        };
+        // A global reconfiguration must exclude crashed members of *every*
+        // shard (the probe touches the whole system); per-shard modes only
+        // exclude within the suspected shard.
+        let exclude_shards: Vec<ShardId> = if self.cluster.reconfiguration_is_global() {
+            self.cluster.shards()
+        } else {
+            vec![shard]
+        };
+        let exclude: Vec<ProcessId> = exclude_shards
+            .into_iter()
+            .flat_map(|s| self.cluster.members_of(s))
+            .filter(|p| self.cluster.is_crashed(*p))
+            .collect();
+        self.cluster
+            .start_reconfiguration(shard, initiator, exclude);
+    }
+
+    /// Applies one fault event, resolving role targets against the cluster.
+    pub fn apply(&mut self, event: &FaultEvent) {
         match event {
             FaultEvent::CrashLeader { shard } => {
-                let leader = self.cluster.shard_leader(*shard);
-                self.cluster.crash(leader);
+                if let Some(leader) = self.cluster.leader_of(*shard) {
+                    self.cluster.crash(leader);
+                }
             }
             FaultEvent::CrashFollower { shard, index } => {
-                let leader = self.cluster.shard_leader(*shard);
+                let leader = self.cluster.leader_of(*shard);
                 let followers: Vec<ProcessId> = self
-                    .group(*shard)
+                    .cluster
+                    .members_of(*shard)
                     .into_iter()
-                    .filter(|p| *p != leader)
+                    .filter(|p| Some(*p) != leader)
                     .collect();
                 if !followers.is_empty() {
                     self.cluster.crash(followers[index % followers.len()]);
                 }
             }
             FaultEvent::CrashCoordinator => {
-                let tm = self.cluster.tm_leader();
-                self.cluster.crash(tm);
+                let target = self.coordinator.unwrap_or(self.pool[0]);
+                self.cluster.crash(target);
             }
             FaultEvent::RestartCrashed => {
                 for pid in self.processes.clone() {
-                    if self.cluster.world.is_crashed(pid) {
+                    if self.cluster.is_crashed(pid) {
                         self.cluster.restart(pid);
                     }
                 }
             }
             FaultEvent::IsolateInbound { shard, index } => {
-                let group = self.group(*shard);
-                let victim = group[index % group.len()];
-                for from in self.processes.clone() {
+                let victim = self.member(*shard, *index);
+                let sources: Vec<ProcessId> = self
+                    .processes
+                    .iter()
+                    .copied()
+                    .chain(self.cluster.config_service_id())
+                    .collect();
+                for from in sources {
                     if from != victim {
-                        self.cluster.world.set_link_fault(
+                        self.cluster.set_link_fault(
                             from,
                             victim,
                             LinkFault::cut(FaultScope::MessagesOnly),
@@ -847,11 +234,28 @@ impl ChaosHarness for BaselineChaos {
                     }
                 }
             }
-            FaultEvent::DelayRdmaOutbound { .. } => {
-                // The baseline has no RDMA fabric.
+            FaultEvent::DelayRdmaOutbound {
+                shard,
+                index,
+                delay_micros,
+            } => {
+                // Scoped to the RDMA fabric: on stacks without one the fault
+                // is installed but never fires (and consumes no randomness).
+                let victim = self.member(*shard, *index);
+                for to in self.processes.clone() {
+                    if to != victim {
+                        self.cluster.set_link_fault(
+                            victim,
+                            to,
+                            LinkFault::delay_all(*delay_micros, FaultScope::RdmaOnly),
+                        );
+                    }
+                }
             }
             FaultEvent::PartitionLeader { shard } => {
-                let leader = self.cluster.shard_leader(*shard);
+                let Some(leader) = self.cluster.leader_of(*shard) else {
+                    return;
+                };
                 let others: Vec<ProcessId> = self
                     .processes
                     .iter()
@@ -861,79 +265,112 @@ impl ChaosHarness for BaselineChaos {
                 self.partition_seq += 1;
                 let name = format!("part-{}", self.partition_seq);
                 self.cluster
-                    .world
                     .install_partition(&name, vec![vec![leader], others]);
             }
-            FaultEvent::HealFaults => self.cluster.world.heal_all_faults(),
-            FaultEvent::Reconfigure { .. }
-            | FaultEvent::GlobalReconfigure
-            | FaultEvent::RetryPrepared { .. } => {
-                // No reconfiguration machinery in the baseline.
+            FaultEvent::HealFaults => self.cluster.heal_all_faults(),
+            FaultEvent::Reconfigure { shard } => self.reconfigure(*shard),
+            FaultEvent::GlobalReconfigure => {
+                if self.cluster.reconfiguration_is_global() {
+                    // One probe reconfigures the whole system.
+                    let shard = *self.roster.keys().next().expect("shards");
+                    self.reconfigure(shard);
+                } else {
+                    for shard in self.cluster.shards() {
+                        self.reconfigure(shard);
+                    }
+                }
+            }
+            FaultEvent::RetryPrepared { shard } => {
+                let Some(leader) = self.cluster.leader_of(*shard) else {
+                    return;
+                };
+                if self.cluster.is_crashed(leader) {
+                    return;
+                }
+                let prepared: Vec<TxId> = self
+                    .cluster
+                    .prepared_transactions(*shard)
+                    .into_iter()
+                    .take(RETRY_CAP)
+                    .collect();
+                for tx in prepared {
+                    self.cluster.retry(leader, tx);
+                }
             }
         }
     }
 
-    fn set_noise(&mut self, noise: Option<LinkNoise>) {
+    /// Installs (or clears) fabric-wide background noise.
+    pub fn set_noise(&mut self, noise: Option<LinkNoise>) {
         self.cluster
-            .world
             .set_default_link_fault(noise.as_ref().map(noise_fault));
     }
 
-    fn run_for(&mut self, d: SimDuration) {
+    /// Advances simulated time by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
         self.cluster.run_for(d);
     }
 
-    fn run_to_quiescence(&mut self) {
+    /// Runs until no events remain.
+    pub fn run_to_quiescence(&mut self) {
         self.cluster.run_to_quiescence();
     }
 
-    fn now_micros(&self) -> u64 {
-        self.cluster.world.now().as_micros()
+    /// Current simulated time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.cluster.now().as_micros()
     }
 
-    fn steps(&self) -> u64 {
-        self.cluster.world.steps()
+    /// Events executed so far (a determinism fingerprint).
+    pub fn steps(&self) -> u64 {
+        self.cluster.steps()
     }
 
-    fn heal(&mut self) {
-        self.cluster.world.heal_all_faults();
+    /// Heals every injected fault and restarts every crashed process.
+    pub fn heal(&mut self) {
+        self.cluster.heal_all_faults();
         self.apply(&FaultEvent::RestartCrashed);
     }
 
-    fn stabilize(&mut self) -> bool {
-        true
+    /// Post-heal repair: re-drives reconfigurations until every shard is
+    /// operational again. Returns `true` once the cluster looks operational.
+    pub fn stabilize(&mut self) -> bool {
+        if !self.cluster.supports_reconfiguration() {
+            return true;
+        }
+        let mut all_ok = true;
+        for shard in self.cluster.shards() {
+            if !self.cluster.shard_operational(shard) {
+                all_ok = false;
+                self.reconfigure(shard);
+            }
+        }
+        all_ok
     }
 
-    fn history(&self) -> TcsHistory {
+    /// The client-observed history.
+    pub fn history(&self) -> TcsHistory {
         self.cluster.history()
     }
 
-    fn client_violations(&self) -> Vec<String> {
+    /// Structural violations the client observed (contradictory decisions).
+    pub fn client_violations(&self) -> Vec<String> {
         self.cluster.client_violations()
     }
 }
 
-/// Builds the chaos harness for `stack`.
+/// Builds the chaos harness for `stack`: checkpointed truncation with fold
+/// batch 8 (so soaks exercise the truncation/fault interplay), default
+/// batching, and an optional fixed submission coordinator.
 pub fn build_harness(
     stack: Stack,
     shards: u32,
     seed: u64,
     coordinator: Option<(ShardId, usize)>,
-) -> Box<dyn ChaosHarness> {
-    match stack {
-        Stack::Core => Box::new(CoreChaos::new(shards, seed, coordinator)),
-        Stack::Rdma => Box::new(RdmaChaos::new(
-            shards,
-            seed,
-            ReconfigMode::GlobalCorrect,
-            coordinator,
-        )),
-        Stack::RdmaNaive => Box::new(RdmaChaos::new(
-            shards,
-            seed,
-            ReconfigMode::NaivePerShard,
-            coordinator,
-        )),
-        Stack::Baseline => Box::new(BaselineChaos::new(shards, seed)),
-    }
+) -> ChaosHarness {
+    let spec = ClusterSpec::new(stack)
+        .with_shards(shards)
+        .with_seed(seed)
+        .with_truncation(TruncationConfig::with_batch(8));
+    ChaosHarness::new(&spec, coordinator)
 }

@@ -4,7 +4,8 @@
 //! schedule (`ratc-workload::counterexample`). The nemesis instead
 //! *rediscovers* the violation class by random search: seed-driven
 //! [`Profile::NaiveHunt`](crate::nemesis::Profile) plans against the RDMA
-//! stack under [`ReconfigMode::NaivePerShard`], until some seed's schedule
+//! stack under [`ReconfigMode::NaivePerShard`](ratc_rdma::ReconfigMode),
+//! until some seed's schedule
 //! lines a slow stale coordinator up with a per-shard reconfiguration and an
 //! environment retry — at which point the client observes contradictory
 //! decisions. The found schedule is then shrunk to a minimal counterexample.
@@ -76,7 +77,7 @@ fn hunt_coordinator(plan: &FaultPlan) -> (ShardId, usize) {
 /// returns whether the client observed contradictory decisions.
 pub fn reproduces_violation(stack: Stack, seed: u64, plan: &FaultPlan) -> (bool, SoakReport) {
     let mut harness = build_harness(stack, 2, seed, Some(hunt_coordinator(plan)));
-    let report = run_soak(harness.as_mut(), &hunt_soak_config(seed), plan);
+    let report = run_soak(&mut harness, &hunt_soak_config(seed), plan);
     let contradictory = report
         .safety_violations
         .iter()

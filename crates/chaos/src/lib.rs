@@ -12,8 +12,9 @@
 //!   global reconfigurations, environment-driven retries, plus fabric-wide
 //!   drop/duplicate/delay noise;
 //! * [`nemesis`] — the seed-driven plan generator (same seed, same plan);
-//! * [`harness`] — one adapter per stack resolving role-based fault targets
-//!   and driving recovery;
+//! * [`harness`] — one stack-agnostic adapter over the unified
+//!   [`TcsCluster`](ratc_harness::TcsCluster) facade, resolving role-based
+//!   fault targets and driving recovery on any stack;
 //! * [`driver`] — the soak loop: paced `ratc-workload` traffic under a fault
 //!   plan, then heal → restart → stabilise → re-submit, judged by the
 //!   `ratc-spec::chaos` safety and liveness checkers;
@@ -41,7 +42,7 @@ pub mod shrink;
 
 pub use driver::{run_soak, SoakConfig, SoakReport};
 pub use experiment::{availability_experiment, AvailabilityResult};
-pub use harness::{build_harness, BaselineChaos, ChaosHarness, CoreChaos, RdmaChaos, Stack};
+pub use harness::{build_harness, ChaosHarness, Stack};
 pub use hunt::{find_naive_violation, reproduces_violation, HuntResult};
 pub use nemesis::{Nemesis, NemesisConfig, Profile};
 pub use plan::{FaultEvent, FaultPlan, LinkNoise, TimedFault};

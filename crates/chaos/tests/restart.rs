@@ -4,12 +4,11 @@
 //! models as stable storage (checkpoint + suffix of the certification log,
 //! or the durable Paxos state), re-establishes its connections, and the
 //! cluster finishes every transaction without a reconfiguration being
-//! strictly necessary.
+//! strictly necessary. All four suites drive the same stack-agnostic
+//! [`ChaosHarness`](ratc_chaos::ChaosHarness); only the stack selector and
+//! the assertions differ.
 
-use ratc_chaos::{
-    run_soak, BaselineChaos, CoreChaos, FaultEvent, FaultPlan, RdmaChaos, SoakConfig, TimedFault,
-};
-use ratc_rdma::ReconfigMode;
+use ratc_chaos::{build_harness, run_soak, FaultEvent, FaultPlan, SoakConfig, Stack, TimedFault};
 use ratc_types::ShardId;
 
 fn restart_plan(events: &[(u64, FaultEvent)]) -> FaultPlan {
@@ -53,7 +52,7 @@ fn config() -> SoakConfig {
 
 #[test]
 fn core_replicas_recover_from_checkpoint_and_suffix_under_load() {
-    let mut harness = CoreChaos::new(2, 11, None);
+    let mut harness = build_harness(Stack::Core, 2, 11, None);
     let report = run_soak(&mut harness, &config(), &leader_and_follower_restart_plan());
     assert!(
         report.ok(),
@@ -65,19 +64,14 @@ fn core_replicas_recover_from_checkpoint_and_suffix_under_load() {
     // by `Replica::on_restart`, which rebuilds the certification index from
     // checkpoint + suffix).
     assert!(
-        harness
-            .cluster()
-            .world
-            .metrics()
-            .counter("replica_restarts")
-            >= 3,
+        harness.cluster().counter("replica_restarts") >= 3,
         "expected at least three replica restarts"
     );
 }
 
 #[test]
 fn rdma_replicas_reconnect_and_recover_under_load() {
-    let mut harness = RdmaChaos::new(2, 11, ReconfigMode::GlobalCorrect, None);
+    let mut harness = build_harness(Stack::Rdma, 2, 11, None);
     let report = run_soak(&mut harness, &config(), &leader_and_follower_restart_plan());
     assert!(
         report.ok(),
@@ -85,8 +79,7 @@ fn rdma_replicas_reconnect_and_recover_under_load() {
         report.safety_violations,
         report.undecided
     );
-    let metrics = harness.cluster().world.metrics();
-    assert!(metrics.counter("replica_restarts") >= 3);
+    assert!(harness.cluster().counter("replica_restarts") >= 3);
 }
 
 #[test]
@@ -108,7 +101,7 @@ fn baseline_masks_a_follower_crash_and_recovers_leaders_by_restart() {
         (20_000, FaultEvent::CrashCoordinator), // the TM leader
         (26_000, FaultEvent::RestartCrashed),
     ]);
-    let mut harness = BaselineChaos::new(2, 11);
+    let mut harness = build_harness(Stack::Baseline, 2, 11, None);
     let report = run_soak(&mut harness, &config(), &plan);
     assert!(
         report.ok(),
@@ -116,8 +109,8 @@ fn baseline_masks_a_follower_crash_and_recovers_leaders_by_restart() {
         report.safety_violations,
         report.undecided
     );
-    let metrics = harness.cluster().world.metrics();
-    assert!(metrics.counter("replica_restarts") + metrics.counter("tm_restarts") >= 3);
+    let cluster = harness.cluster();
+    assert!(cluster.counter("replica_restarts") + cluster.counter("tm_restarts") >= 3);
 }
 
 /// A leader that crashes and restarts resumes leadership from its persisted
@@ -129,7 +122,7 @@ fn core_leader_restart_resumes_without_reconfiguration() {
         (6_000, FaultEvent::CrashLeader { shard: s0 }),
         (12_000, FaultEvent::RestartCrashed),
     ]);
-    let mut harness = CoreChaos::new(2, 23, None);
+    let mut harness = build_harness(Stack::Core, 2, 23, None);
     let report = run_soak(&mut harness, &config(), &plan);
     assert!(
         report.ok(),
@@ -138,7 +131,7 @@ fn core_leader_restart_resumes_without_reconfiguration() {
         report.undecided
     );
     assert_eq!(
-        harness.cluster().current_epoch(s0).as_u64(),
+        harness.cluster().epoch_of(s0).as_u64(),
         0,
         "no reconfiguration should have been needed"
     );

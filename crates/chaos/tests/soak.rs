@@ -8,9 +8,12 @@
 //! lift.
 
 use ratc_chaos::{
-    build_harness, run_soak, FaultPlan, LinkNoise, Nemesis, NemesisConfig, SoakConfig, SoakReport,
-    Stack,
+    build_harness, run_soak, ChaosHarness, FaultPlan, LinkNoise, Nemesis, NemesisConfig,
+    SoakConfig, SoakReport, Stack,
 };
+use ratc_core::batch::BatchingConfig;
+use ratc_core::replica::TruncationConfig;
+use ratc_harness::ClusterSpec;
 
 fn soak(stack: Stack, seed: u64, intensity: u8) -> SoakReport {
     let nemesis = NemesisConfig {
@@ -22,7 +25,7 @@ fn soak(stack: Stack, seed: u64, intensity: u8) -> SoakReport {
     let plan = Nemesis::generate(&nemesis);
     let mut harness = build_harness(stack, 2, seed, None);
     run_soak(
-        harness.as_mut(),
+        &mut harness,
         &SoakConfig {
             seed,
             ..SoakConfig::default()
@@ -118,7 +121,7 @@ fn duplicate_and_reorder_storms_are_harmless() {
             };
             let mut harness = build_harness(stack, 2, 7, None);
             let report = run_soak(
-                harness.as_mut(),
+                &mut harness,
                 &SoakConfig {
                     seed: 7,
                     ..SoakConfig::default()
@@ -128,6 +131,52 @@ fn duplicate_and_reorder_storms_are_harmless() {
             assert!(
                 report.ok(),
                 "{stack} under {name} noise: violations={:?} undecided={:?}",
+                report.safety_violations,
+                report.undecided
+            );
+        }
+    }
+}
+
+/// The batching × chaos soak matrix (ROADMAP item): the batched
+/// certification pipeline under the nemesis, on every stack. Batched
+/// re-delivery (duplicated `*_BATCH` messages), batch-timer races with
+/// crashes and the truncation interplay must stay safe and fully live.
+/// Submissions go through a fixed coordinator on the RATC stacks so
+/// certifies actually coalesce into batches.
+#[test]
+fn batched_soaks_are_safe_and_live_on_all_stacks() {
+    for stack in [Stack::Core, Stack::Rdma, Stack::Baseline] {
+        for seed in 0..3u64 {
+            let nemesis = NemesisConfig {
+                seed,
+                intensity: 40,
+                events: 8,
+                ..NemesisConfig::default()
+            };
+            let plan = Nemesis::generate(&nemesis);
+            let spec = ClusterSpec::new(stack)
+                .with_shards(2)
+                .with_seed(seed)
+                .with_truncation(TruncationConfig::with_batch(8))
+                .with_batching(BatchingConfig::with_batch(8));
+            let coordinator = if stack == Stack::Baseline {
+                None
+            } else {
+                Some((ratc_types::ShardId::new(1), 1))
+            };
+            let mut harness = ChaosHarness::new(&spec, coordinator);
+            let report = run_soak(
+                &mut harness,
+                &SoakConfig {
+                    seed,
+                    ..SoakConfig::default()
+                },
+                &plan,
+            );
+            assert!(
+                report.ok(),
+                "{stack} seed={seed} batched: violations={:?} undecided={:?}",
                 report.safety_violations,
                 report.undecided
             );

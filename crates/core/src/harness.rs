@@ -349,6 +349,29 @@ impl Cluster {
         self.world.send_external(replica, Msg::Retry { tx });
     }
 
+    /// Re-submits a transaction to the current leader of its first shard
+    /// without re-recording it in the client history: the client retry of
+    /// the TCS model, used by recovery drivers.
+    pub fn resubmit(&mut self, tx: TxId, payload: Payload) {
+        let shards = payload.shards(self.sharding.as_ref());
+        let Some(first) = shards.first().copied() else {
+            return;
+        };
+        let target = self.current_leader(first);
+        if self.world.is_crashed(target) {
+            return;
+        }
+        let client = self.client;
+        self.world.send_external(
+            target,
+            Msg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
+    }
+
     /// Crashes a process immediately.
     pub fn crash(&mut self, pid: ProcessId) {
         self.world.crash(pid);

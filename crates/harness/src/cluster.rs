@@ -1,0 +1,932 @@
+//! The [`TcsCluster`] trait and its implementations for the three stacks.
+//!
+//! Each implementation delegates to the stack's own deployment harness; the
+//! trait adds no protocol logic. Capability probes
+//! ([`TcsCluster::supports_reconfiguration`],
+//! [`TcsCluster::reconfiguration_is_global`],
+//! [`TcsCluster::replicas_coordinate`]) let generic drivers (experiments,
+//! chaos, conformance suites) handle the real semantic differences between
+//! the protocols — everything else is the same one-liner on every stack.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ratc_baseline::{BaselineCluster, BaselineShardReplica};
+use ratc_core::client::DecisionLatency;
+use ratc_core::harness::Cluster;
+use ratc_core::log::TxPhase;
+use ratc_core::replica::{Replica, Status};
+use ratc_rdma::replica::RdmaStatus;
+use ratc_rdma::{RdmaCluster, RdmaReplica, ReconfigMode};
+use ratc_sim::faults::LinkFault;
+use ratc_sim::{SimDuration, SimTime};
+use ratc_types::{Epoch, HashSharding, Payload, ProcessId, ShardId, ShardMap, TcsHistory, TxId};
+
+/// Which TCS implementation a cluster (or an experiment, or a chaos run)
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StackKind {
+    /// The message-passing RATC protocol (`ratc-core`, §3, Figure 1):
+    /// `f + 1` replicas per shard, 5-message-delay decisions, per-shard
+    /// Vertical-Paxos-style reconfiguration.
+    Core,
+    /// The RDMA-based RATC protocol (`ratc-rdma`, §5, Figures 7–8) with the
+    /// correct whole-system reconfiguration: votes and decisions persisted
+    /// by NIC-acknowledged RDMA writes, global epochs, probing closes stale
+    /// coordinators' connections.
+    Rdma,
+    /// The RDMA data path combined with the **incorrect** naive per-shard
+    /// reconfiguration of §3 — the Figure 4a counter-example's hunting
+    /// ground. Unsafe by design; exists to reproduce the violation class.
+    RdmaNaive,
+    /// The vanilla 2PC-over-Paxos baseline (`ratc-baseline`, §1): `2f + 1`
+    /// replicas per group, 7-message-delay decisions, failures masked by
+    /// Paxos quorums instead of reconfiguration (the lineage of Gray &
+    /// Lamport's *Consensus on Transaction Commit*).
+    Baseline,
+}
+
+impl fmt::Display for StackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackKind::Core => f.write_str("ratc-mp"),
+            StackKind::Rdma => f.write_str("ratc-rdma"),
+            StackKind::RdmaNaive => f.write_str("ratc-rdma-naive"),
+            StackKind::Baseline => f.write_str("2pc-paxos"),
+        }
+    }
+}
+
+/// One deployed TCS cluster, whatever the stack.
+///
+/// The trait captures the full operator surface the workspace's consumers
+/// need: experiments drive `submit`/`run_*`/`latencies`, the chaos nemesis
+/// adds `crash`/`restart`/link faults/`start_reconfiguration`, and the spec
+/// suites observe `history` and the introspection queries. Implementations
+/// exist for [`Cluster`] (§3 message passing), [`RdmaCluster`] (§5 RDMA) and
+/// [`BaselineCluster`] (2PC over Paxos); construct them uniformly with
+/// [`ClusterSpec`](crate::ClusterSpec).
+pub trait TcsCluster {
+    /// The stack this cluster implements.
+    fn stack(&self) -> StackKind;
+
+    // --- submission -------------------------------------------------------
+
+    /// Submits a transaction for certification, letting the harness choose a
+    /// coordinator (round-robin over live replicas on the RATC stacks, the
+    /// transaction-manager leader on the baseline). Returns the coordinator.
+    fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId;
+
+    /// Submits a transaction through a specific coordinator — any replica on
+    /// the RATC stacks, any transaction-manager group member on the baseline
+    /// (non-leader members forward to the leader).
+    fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId);
+
+    /// Re-drives an already-submitted transaction without re-recording it in
+    /// the client history (the client retry of the TCS model).
+    fn resubmit(&mut self, tx: TxId, payload: Payload);
+
+    /// Asks `replica` to act as a recovery coordinator for `tx` (the `retry`
+    /// function of Figure 1). No-op on the baseline, whose transaction
+    /// manager re-drives 2PC through its own retry timer.
+    fn retry(&mut self, replica: ProcessId, tx: TxId);
+
+    // --- faults and membership change -------------------------------------
+
+    /// Crashes a process immediately (volatile state lost).
+    fn crash(&mut self, pid: ProcessId);
+
+    /// Restarts a crashed process from its modelled stable storage. Returns
+    /// `false` if `pid` was not crashed.
+    fn restart(&mut self, pid: ProcessId) -> bool;
+
+    /// Asks `initiator` to start reconfiguring `shard`, excluding `exclude`
+    /// and drawing replacements from the spare pool. No-op on stacks without
+    /// reconfiguration (see [`TcsCluster::supports_reconfiguration`]).
+    fn start_reconfiguration(
+        &mut self,
+        shard: ShardId,
+        initiator: ProcessId,
+        exclude: Vec<ProcessId>,
+    );
+
+    // --- simulated time ----------------------------------------------------
+
+    /// Runs the simulation until no events remain.
+    fn run_to_quiescence(&mut self);
+
+    /// Runs the simulation for `duration` of simulated time.
+    fn run_for(&mut self, duration: SimDuration);
+
+    /// Runs the simulation until the given absolute simulated time.
+    fn run_until(&mut self, until: SimTime);
+
+    /// The current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Events executed so far — a determinism fingerprint.
+    fn steps(&self) -> u64;
+
+    // --- observation -------------------------------------------------------
+
+    /// The client-observed TCS history.
+    fn history(&self) -> TcsHistory;
+
+    /// Latency (message delays, simulated microseconds, decision) of every
+    /// decided transaction, as observed by the client.
+    fn latencies(&self) -> BTreeMap<TxId, DecisionLatency>;
+
+    /// Structural specification violations the client observed (duplicate
+    /// certifies, contradictory decisions). Empty in a correct run.
+    fn client_violations(&self) -> Vec<String>;
+
+    /// A named metrics counter of the underlying simulation world.
+    fn counter(&self, name: &str) -> u64;
+
+    /// Mean of a named metrics sample series, if any samples were recorded.
+    fn sample_mean(&self, name: &str) -> Option<f64>;
+
+    /// Messages handled (sent + received) by one process.
+    fn process_handled(&self, pid: ProcessId) -> u64;
+
+    // --- topology introspection --------------------------------------------
+
+    /// All shards of this cluster.
+    fn shards(&self) -> Vec<ShardId>;
+
+    /// The shard map used by this cluster.
+    fn sharding(&self) -> &HashSharding;
+
+    /// The history-recording client process.
+    fn client_id(&self) -> ProcessId;
+
+    /// The configuration-service process, on stacks that have one.
+    fn config_service_id(&self) -> Option<ProcessId>;
+
+    /// The *current* members of `shard` (after any reconfigurations).
+    fn members_of(&self, shard: ShardId) -> Vec<ProcessId>;
+
+    /// The *current* leader of `shard`, if the shard has a configuration.
+    fn leader_of(&self, shard: ShardId) -> Option<ProcessId>;
+
+    /// The current epoch of `shard`. Global-epoch stacks report the global
+    /// epoch for every shard; the baseline has no reconfiguration and always
+    /// reports [`Epoch::ZERO`].
+    fn epoch_of(&self, shard: ShardId) -> Epoch;
+
+    /// The initial roster of `shard` (its members at construction time).
+    fn roster_of(&self, shard: ShardId) -> Vec<ProcessId>;
+
+    /// The spare (fresh) replicas of `shard` available to reconfiguration.
+    fn spares_of(&self, shard: ShardId) -> Vec<ProcessId>;
+
+    /// The processes a harness may hand submissions to: every replica and
+    /// spare on the RATC stacks, the transaction-manager leader on the
+    /// baseline.
+    fn coordinator_pool(&self) -> Vec<ProcessId>;
+
+    /// Every faultable protocol process (replicas, spares, and the
+    /// transaction-manager group on the baseline) — excludes the client and
+    /// the configuration service.
+    fn all_processes(&self) -> Vec<ProcessId>;
+
+    /// Whether `pid` is currently crashed.
+    fn is_crashed(&self, pid: ProcessId) -> bool;
+
+    // --- capabilities and protocol state ------------------------------------
+
+    /// Whether the stack recovers from failures by reconfiguring (`f + 1`
+    /// RATC stacks) rather than masking them with a quorum (the `2f + 1`
+    /// baseline).
+    fn supports_reconfiguration(&self) -> bool;
+
+    /// Whether one reconfiguration involves the whole system (the §5 RDMA
+    /// protocol) instead of a single shard.
+    fn reconfiguration_is_global(&self) -> bool;
+
+    /// Whether arbitrary replicas coordinate transactions (RATC) as opposed
+    /// to a dedicated transaction-manager group (baseline).
+    fn replicas_coordinate(&self) -> bool;
+
+    /// Whether `pid` is ready to initiate work: initialised in the current
+    /// configuration with no reconfiguration of its own in flight. On the
+    /// baseline every non-crashed process is ready.
+    fn replica_ready(&self, pid: ProcessId) -> bool;
+
+    /// Whether `shard` looks fully operational: every current member live,
+    /// initialised, at the current epoch, with the expected leader/follower
+    /// status. Always `true` on the baseline (failures are masked; recovery
+    /// is restart-driven).
+    fn shard_operational(&self, shard: ShardId) -> bool;
+
+    /// Transactions the current leader of `shard` holds prepared but
+    /// undecided. Empty on the baseline (votes are decided by the TM).
+    fn prepared_transactions(&self, shard: ShardId) -> Vec<TxId>;
+
+    /// Physical certification-log slots (or undecided payloads, on the
+    /// baseline) retained by `pid`, if `pid` keeps a shard log.
+    fn retained_log_slots(&self, pid: ProcessId) -> Option<usize>;
+
+    /// Logical certification-log length at `pid` — what retention would be
+    /// without truncation/pruning — if `pid` keeps a shard log.
+    fn logical_log_len(&self, pid: ProcessId) -> Option<u64>;
+
+    // --- fault plane --------------------------------------------------------
+
+    /// Installs a probabilistic fault on the directed link `from → to`.
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault);
+
+    /// Installs (or clears) fabric-wide background noise.
+    fn set_default_link_fault(&mut self, fault: Option<LinkFault>);
+
+    /// Installs a named partition: traffic between different groups drops.
+    fn install_partition(&mut self, name: &str, groups: Vec<Vec<ProcessId>>);
+
+    /// Heals every link fault, cut and partition (crashed processes stay
+    /// crashed).
+    fn heal_all_faults(&mut self);
+
+    /// Exempts a process from all fault injection (used for the
+    /// history-recording client — the measurement apparatus).
+    fn mark_fault_exempt(&mut self, pid: ProcessId);
+}
+
+// ---------------------------------------------------------------------------
+// ratc-core (§3 message passing)
+// ---------------------------------------------------------------------------
+
+impl TcsCluster for Cluster {
+    fn stack(&self) -> StackKind {
+        StackKind::Core
+    }
+
+    fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId {
+        Cluster::submit(self, tx, payload)
+    }
+
+    fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId) {
+        Cluster::submit_via(self, tx, payload, coordinator);
+    }
+
+    fn resubmit(&mut self, tx: TxId, payload: Payload) {
+        Cluster::resubmit(self, tx, payload);
+    }
+
+    fn retry(&mut self, replica: ProcessId, tx: TxId) {
+        Cluster::retry(self, replica, tx);
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        Cluster::crash(self, pid);
+    }
+
+    fn restart(&mut self, pid: ProcessId) -> bool {
+        Cluster::restart(self, pid)
+    }
+
+    fn start_reconfiguration(
+        &mut self,
+        shard: ShardId,
+        initiator: ProcessId,
+        exclude: Vec<ProcessId>,
+    ) {
+        Cluster::start_reconfiguration(self, shard, initiator, exclude);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        Cluster::run_to_quiescence(self);
+    }
+
+    fn run_for(&mut self, duration: SimDuration) {
+        Cluster::run_for(self, duration);
+    }
+
+    fn run_until(&mut self, until: SimTime) {
+        Cluster::run_until(self, until);
+    }
+
+    fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    fn steps(&self) -> u64 {
+        self.world.steps()
+    }
+
+    fn history(&self) -> TcsHistory {
+        Cluster::history(self)
+    }
+
+    fn latencies(&self) -> BTreeMap<TxId, DecisionLatency> {
+        Cluster::latencies(self)
+    }
+
+    fn client_violations(&self) -> Vec<String> {
+        Cluster::client_violations(self)
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.world.metrics().counter(name)
+    }
+
+    fn sample_mean(&self, name: &str) -> Option<f64> {
+        self.world.metrics().summary(name).map(|s| s.mean())
+    }
+
+    fn process_handled(&self, pid: ProcessId) -> u64 {
+        self.world.metrics().process(pid).handled()
+    }
+
+    fn shards(&self) -> Vec<ShardId> {
+        Cluster::shards(self)
+    }
+
+    fn sharding(&self) -> &HashSharding {
+        Cluster::sharding(self)
+    }
+
+    fn client_id(&self) -> ProcessId {
+        Cluster::client_id(self)
+    }
+
+    fn config_service_id(&self) -> Option<ProcessId> {
+        Some(Cluster::config_service_id(self))
+    }
+
+    fn members_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.current_members(shard)
+    }
+
+    fn leader_of(&self, shard: ShardId) -> Option<ProcessId> {
+        if self.current_members(shard).is_empty() {
+            None
+        } else {
+            Some(self.current_leader(shard))
+        }
+    }
+
+    fn epoch_of(&self, shard: ShardId) -> Epoch {
+        if self.current_members(shard).is_empty() {
+            Epoch::ZERO
+        } else {
+            self.current_epoch(shard)
+        }
+    }
+
+    fn roster_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.initial_members(shard).to_vec()
+    }
+
+    fn spares_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        Cluster::spares(self, shard).to_vec()
+    }
+
+    fn coordinator_pool(&self) -> Vec<ProcessId> {
+        TcsCluster::all_processes(self)
+    }
+
+    fn all_processes(&self) -> Vec<ProcessId> {
+        let mut all = Vec::new();
+        for shard in Cluster::shards(self) {
+            all.extend(self.initial_members(shard));
+            all.extend(Cluster::spares(self, shard));
+        }
+        all
+    }
+
+    fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.world.is_crashed(pid)
+    }
+
+    fn supports_reconfiguration(&self) -> bool {
+        true
+    }
+
+    fn reconfiguration_is_global(&self) -> bool {
+        false
+    }
+
+    fn replicas_coordinate(&self) -> bool {
+        true
+    }
+
+    fn replica_ready(&self, pid: ProcessId) -> bool {
+        self.world
+            .actor::<Replica>(pid)
+            .map(|r| r.is_initialized() && !r.reconfiguration_in_flight())
+            .unwrap_or(false)
+    }
+
+    fn shard_operational(&self, shard: ShardId) -> bool {
+        let members = self.current_members(shard);
+        if members.is_empty() {
+            return false;
+        }
+        let leader = self.current_leader(shard);
+        let epoch = self.current_epoch(shard);
+        members.iter().all(|m| {
+            if self.world.is_crashed(*m) {
+                return false;
+            }
+            let Some(replica) = self.world.actor::<Replica>(*m) else {
+                return false;
+            };
+            let expected = if *m == leader {
+                Status::Leader
+            } else {
+                Status::Follower
+            };
+            replica.is_initialized()
+                && replica.epoch_of(shard) == epoch
+                && replica.status() == expected
+        })
+    }
+
+    fn prepared_transactions(&self, shard: ShardId) -> Vec<TxId> {
+        let Some(leader) = TcsCluster::leader_of(self, shard) else {
+            return Vec::new();
+        };
+        self.replica(leader)
+            .log()
+            .entries()
+            .filter(|(_, e)| e.phase == TxPhase::Prepared)
+            .map(|(_, e)| e.tx)
+            .collect()
+    }
+
+    fn retained_log_slots(&self, pid: ProcessId) -> Option<usize> {
+        self.world.actor::<Replica>(pid).map(|r| r.log().len())
+    }
+
+    fn logical_log_len(&self, pid: ProcessId) -> Option<u64> {
+        self.world
+            .actor::<Replica>(pid)
+            .map(|r| r.log().next().as_u64())
+    }
+
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        self.world.set_link_fault(from, to, fault);
+    }
+
+    fn set_default_link_fault(&mut self, fault: Option<LinkFault>) {
+        self.world.set_default_link_fault(fault);
+    }
+
+    fn install_partition(&mut self, name: &str, groups: Vec<Vec<ProcessId>>) {
+        self.world.install_partition(name, groups);
+    }
+
+    fn heal_all_faults(&mut self) {
+        self.world.heal_all_faults();
+    }
+
+    fn mark_fault_exempt(&mut self, pid: ProcessId) {
+        self.world.mark_fault_exempt(pid);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ratc-rdma (§5 RDMA, correct global or naive per-shard reconfiguration)
+// ---------------------------------------------------------------------------
+
+impl TcsCluster for RdmaCluster {
+    fn stack(&self) -> StackKind {
+        match self.mode() {
+            ReconfigMode::GlobalCorrect => StackKind::Rdma,
+            ReconfigMode::NaivePerShard => StackKind::RdmaNaive,
+        }
+    }
+
+    fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId {
+        RdmaCluster::submit(self, tx, payload)
+    }
+
+    fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId) {
+        RdmaCluster::submit_via(self, tx, payload, coordinator);
+    }
+
+    fn resubmit(&mut self, tx: TxId, payload: Payload) {
+        RdmaCluster::resubmit(self, tx, payload);
+    }
+
+    fn retry(&mut self, replica: ProcessId, tx: TxId) {
+        RdmaCluster::retry(self, replica, tx);
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        RdmaCluster::crash(self, pid);
+    }
+
+    fn restart(&mut self, pid: ProcessId) -> bool {
+        RdmaCluster::restart(self, pid)
+    }
+
+    fn start_reconfiguration(
+        &mut self,
+        shard: ShardId,
+        initiator: ProcessId,
+        exclude: Vec<ProcessId>,
+    ) {
+        RdmaCluster::start_reconfiguration(self, shard, initiator, exclude);
+    }
+
+    fn run_to_quiescence(&mut self) {
+        RdmaCluster::run_to_quiescence(self);
+    }
+
+    fn run_for(&mut self, duration: SimDuration) {
+        RdmaCluster::run_for(self, duration);
+    }
+
+    fn run_until(&mut self, until: SimTime) {
+        RdmaCluster::run_until(self, until);
+    }
+
+    fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    fn steps(&self) -> u64 {
+        self.world.steps()
+    }
+
+    fn history(&self) -> TcsHistory {
+        RdmaCluster::history(self)
+    }
+
+    fn latencies(&self) -> BTreeMap<TxId, DecisionLatency> {
+        RdmaCluster::latencies(self)
+    }
+
+    fn client_violations(&self) -> Vec<String> {
+        RdmaCluster::client_violations(self)
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.world.metrics().counter(name)
+    }
+
+    fn sample_mean(&self, name: &str) -> Option<f64> {
+        self.world.metrics().summary(name).map(|s| s.mean())
+    }
+
+    fn process_handled(&self, pid: ProcessId) -> u64 {
+        self.world.metrics().process(pid).handled()
+    }
+
+    fn shards(&self) -> Vec<ShardId> {
+        self.current_config().members.keys().copied().collect()
+    }
+
+    fn sharding(&self) -> &HashSharding {
+        RdmaCluster::sharding(self)
+    }
+
+    fn client_id(&self) -> ProcessId {
+        RdmaCluster::client_id(self)
+    }
+
+    fn config_service_id(&self) -> Option<ProcessId> {
+        Some(RdmaCluster::config_service_id(self))
+    }
+
+    fn members_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.current_config().members_of(shard).to_vec()
+    }
+
+    fn leader_of(&self, shard: ShardId) -> Option<ProcessId> {
+        self.current_config().leader_of(shard)
+    }
+
+    fn epoch_of(&self, _shard: ShardId) -> Epoch {
+        // The §5 protocol maintains one global epoch for the whole system.
+        self.current_config().epoch
+    }
+
+    fn roster_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.initial_members(shard).to_vec()
+    }
+
+    fn spares_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        RdmaCluster::spares(self, shard).to_vec()
+    }
+
+    fn coordinator_pool(&self) -> Vec<ProcessId> {
+        TcsCluster::all_processes(self)
+    }
+
+    fn all_processes(&self) -> Vec<ProcessId> {
+        let mut all = Vec::new();
+        for shard in TcsCluster::shards(self) {
+            all.extend(self.initial_members(shard));
+            all.extend(RdmaCluster::spares(self, shard));
+        }
+        all
+    }
+
+    fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.world.is_crashed(pid)
+    }
+
+    fn supports_reconfiguration(&self) -> bool {
+        true
+    }
+
+    fn reconfiguration_is_global(&self) -> bool {
+        // Both modes share the §5 entry point: one `StartReconfigure`
+        // carries the spare pools of every shard and excludes crashed
+        // members system-wide. What differs is the *activation*: the naive
+        // mode then (incorrectly) installs configurations per shard — the
+        // Figure 4a bug under study — while the correct mode probes the
+        // whole system.
+        true
+    }
+
+    fn replicas_coordinate(&self) -> bool {
+        true
+    }
+
+    fn replica_ready(&self, pid: ProcessId) -> bool {
+        self.world
+            .actor::<RdmaReplica>(pid)
+            .map(|r| r.is_initialized() && !r.reconfiguration_in_flight())
+            .unwrap_or(false)
+    }
+
+    fn shard_operational(&self, shard: ShardId) -> bool {
+        let config = self.current_config();
+        let members = config.members_of(shard);
+        if members.is_empty() {
+            return false;
+        }
+        let leader = config.leader_of(shard);
+        members.iter().all(|m| {
+            if self.world.is_crashed(*m) {
+                return false;
+            }
+            let Some(replica) = self.world.actor::<RdmaReplica>(*m) else {
+                return false;
+            };
+            let expected = if Some(*m) == leader {
+                RdmaStatus::Leader
+            } else {
+                RdmaStatus::Follower
+            };
+            replica.is_initialized()
+                && replica.epoch() == config.epoch
+                && replica.status() == expected
+        })
+    }
+
+    fn prepared_transactions(&self, shard: ShardId) -> Vec<TxId> {
+        let Some(leader) = TcsCluster::leader_of(self, shard) else {
+            return Vec::new();
+        };
+        self.replica(leader)
+            .log()
+            .entries()
+            .filter(|(_, e)| e.phase == TxPhase::Prepared)
+            .map(|(_, e)| e.tx)
+            .collect()
+    }
+
+    fn retained_log_slots(&self, pid: ProcessId) -> Option<usize> {
+        self.world.actor::<RdmaReplica>(pid).map(|r| r.log().len())
+    }
+
+    fn logical_log_len(&self, pid: ProcessId) -> Option<u64> {
+        self.world
+            .actor::<RdmaReplica>(pid)
+            .map(|r| r.log().next().as_u64())
+    }
+
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        self.world.set_link_fault(from, to, fault);
+    }
+
+    fn set_default_link_fault(&mut self, fault: Option<LinkFault>) {
+        self.world.set_default_link_fault(fault);
+    }
+
+    fn install_partition(&mut self, name: &str, groups: Vec<Vec<ProcessId>>) {
+        self.world.install_partition(name, groups);
+    }
+
+    fn heal_all_faults(&mut self) {
+        self.world.heal_all_faults();
+    }
+
+    fn mark_fault_exempt(&mut self, pid: ProcessId) {
+        self.world.mark_fault_exempt(pid);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ratc-baseline (2PC over Multi-Paxos)
+// ---------------------------------------------------------------------------
+
+impl TcsCluster for BaselineCluster {
+    fn stack(&self) -> StackKind {
+        StackKind::Baseline
+    }
+
+    fn submit(&mut self, tx: TxId, payload: Payload) -> ProcessId {
+        BaselineCluster::submit(self, tx, payload)
+    }
+
+    fn submit_via(&mut self, tx: TxId, payload: Payload, coordinator: ProcessId) {
+        BaselineCluster::submit_via(self, tx, payload, coordinator);
+    }
+
+    fn resubmit(&mut self, tx: TxId, payload: Payload) {
+        BaselineCluster::resubmit(self, tx, payload);
+    }
+
+    fn retry(&mut self, _replica: ProcessId, _tx: TxId) {
+        // The baseline's transaction manager re-drives in-flight 2PC through
+        // its own retry timer; there is no per-replica recovery coordinator.
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        BaselineCluster::crash(self, pid);
+    }
+
+    fn restart(&mut self, pid: ProcessId) -> bool {
+        BaselineCluster::restart(self, pid)
+    }
+
+    fn start_reconfiguration(
+        &mut self,
+        _shard: ShardId,
+        _initiator: ProcessId,
+        _exclude: Vec<ProcessId>,
+    ) {
+        // No reconfiguration machinery: `2f + 1` Paxos quorums mask
+        // failures, and crashed processes recover only by restarting.
+    }
+
+    fn run_to_quiescence(&mut self) {
+        BaselineCluster::run_to_quiescence(self);
+    }
+
+    fn run_for(&mut self, duration: SimDuration) {
+        BaselineCluster::run_for(self, duration);
+    }
+
+    fn run_until(&mut self, until: SimTime) {
+        BaselineCluster::run_until(self, until);
+    }
+
+    fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    fn steps(&self) -> u64 {
+        self.world.steps()
+    }
+
+    fn history(&self) -> TcsHistory {
+        BaselineCluster::history(self)
+    }
+
+    fn latencies(&self) -> BTreeMap<TxId, DecisionLatency> {
+        BaselineCluster::latencies(self)
+    }
+
+    fn client_violations(&self) -> Vec<String> {
+        BaselineCluster::client_violations(self)
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.world.metrics().counter(name)
+    }
+
+    fn sample_mean(&self, name: &str) -> Option<f64> {
+        self.world.metrics().summary(name).map(|s| s.mean())
+    }
+
+    fn process_handled(&self, pid: ProcessId) -> u64 {
+        self.world.metrics().process(pid).handled()
+    }
+
+    fn shards(&self) -> Vec<ShardId> {
+        ShardMap::shards(BaselineCluster::sharding(self))
+    }
+
+    fn sharding(&self) -> &HashSharding {
+        BaselineCluster::sharding(self)
+    }
+
+    fn client_id(&self) -> ProcessId {
+        BaselineCluster::client_id(self)
+    }
+
+    fn config_service_id(&self) -> Option<ProcessId> {
+        None
+    }
+
+    fn members_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.shard_group(shard).to_vec()
+    }
+
+    fn leader_of(&self, shard: ShardId) -> Option<ProcessId> {
+        if self.shard_group(shard).is_empty() {
+            None
+        } else {
+            Some(self.shard_leader(shard))
+        }
+    }
+
+    fn epoch_of(&self, _shard: ShardId) -> Epoch {
+        // Static membership: configurations never change.
+        Epoch::ZERO
+    }
+
+    fn roster_of(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.shard_group(shard).to_vec()
+    }
+
+    fn spares_of(&self, _shard: ShardId) -> Vec<ProcessId> {
+        Vec::new()
+    }
+
+    fn coordinator_pool(&self) -> Vec<ProcessId> {
+        // The whole group coordinates: the leader directly, every other
+        // member by forwarding `CERTIFY` to it. The leader comes first so
+        // callers wanting the cheapest coordinator can take the pool head.
+        let mut pool = vec![self.tm_leader()];
+        pool.extend(self.tm_group().iter().filter(|p| **p != self.tm_leader()));
+        pool
+    }
+
+    fn all_processes(&self) -> Vec<ProcessId> {
+        let mut all = Vec::new();
+        for shard in TcsCluster::shards(self) {
+            all.extend(self.shard_group(shard));
+        }
+        all.extend(self.tm_group());
+        all
+    }
+
+    fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.world.is_crashed(pid)
+    }
+
+    fn supports_reconfiguration(&self) -> bool {
+        false
+    }
+
+    fn reconfiguration_is_global(&self) -> bool {
+        false
+    }
+
+    fn replicas_coordinate(&self) -> bool {
+        false
+    }
+
+    fn replica_ready(&self, pid: ProcessId) -> bool {
+        !self.world.is_crashed(pid)
+    }
+
+    fn shard_operational(&self, _shard: ShardId) -> bool {
+        // Minority failures are masked by the Paxos quorum; anything worse
+        // is repaired by restarting, not by reconfiguration.
+        true
+    }
+
+    fn prepared_transactions(&self, _shard: ShardId) -> Vec<TxId> {
+        Vec::new()
+    }
+
+    fn retained_log_slots(&self, pid: ProcessId) -> Option<usize> {
+        self.world
+            .actor::<BaselineShardReplica>(pid)
+            .map(|r| r.retained_payloads())
+    }
+
+    fn logical_log_len(&self, pid: ProcessId) -> Option<u64> {
+        self.world
+            .actor::<BaselineShardReplica>(pid)
+            .map(|r| r.chosen_slots() as u64)
+    }
+
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: LinkFault) {
+        self.world.set_link_fault(from, to, fault);
+    }
+
+    fn set_default_link_fault(&mut self, fault: Option<LinkFault>) {
+        self.world.set_default_link_fault(fault);
+    }
+
+    fn install_partition(&mut self, name: &str, groups: Vec<Vec<ProcessId>>) {
+        self.world.install_partition(name, groups);
+    }
+
+    fn heal_all_faults(&mut self) {
+        self.world.heal_all_faults();
+    }
+
+    fn mark_fault_exempt(&mut self, pid: ProcessId) {
+        self.world.mark_fault_exempt(pid);
+    }
+}

@@ -1,0 +1,57 @@
+//! Stack-agnostic cluster facade for the RATC workspace.
+//!
+//! The paper's central claim is that one Transaction Certification Service
+//! abstraction admits several interchangeable implementations: the
+//! message-passing protocol of §3 (`ratc-core`), the RDMA-based protocol of
+//! §5 (`ratc-rdma`), and the vanilla 2PC-over-Paxos baseline of §1
+//! (`ratc-baseline`, the design lineage of Gray & Lamport's *Consensus on
+//! Transaction Commit*). This crate makes that interchangeability a
+//! first-class API instead of a family of look-alike harnesses:
+//!
+//! * [`TcsCluster`] — the one trait every deployed cluster implements:
+//!   submission (`submit` / `submit_via` / `resubmit` / `retry`), fault
+//!   injection (`crash` / `restart`, link faults, partitions),
+//!   reconfiguration, simulated-time control, and uniform observation
+//!   (history, latencies, membership/leader/epoch introspection, violation
+//!   queries);
+//! * [`StackKind`] — the stack selector naming which paper protocol a
+//!   cluster realises;
+//! * [`ClusterSpec`] — one builder (shards, failures tolerated, spares,
+//!   certification policy, truncation, batching, simulation seed) that
+//!   constructs any stack, replacing the three divergent `*ClusterConfig`
+//!   builders for stack-generic code.
+//!
+//! Consumers that need exactly one concrete stack (white-box invariant
+//! checkers, log-differential suites) can still reach it through
+//! [`ClusterSpec::build_core`] / [`ClusterSpec::build_rdma`] /
+//! [`ClusterSpec::build_baseline`], sharing the spec with the generic path.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ratc_harness::{ClusterSpec, StackKind};
+//! use ratc_types::prelude::*;
+//!
+//! for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+//!     let mut cluster = ClusterSpec::new(stack).with_seed(7).build();
+//!     let payload = Payload::builder()
+//!         .read(Key::new("x"), Version::new(0))
+//!         .write(Key::new("x"), Value::from("1"))
+//!         .commit_version(Version::new(1))
+//!         .build()?;
+//!     cluster.submit(TxId::new(1), payload);
+//!     cluster.run_to_quiescence();
+//!     assert_eq!(cluster.history().decision(TxId::new(1)), Some(Decision::Commit));
+//! }
+//! # Ok::<(), PayloadError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cluster;
+pub mod spec;
+
+pub use cluster::{StackKind, TcsCluster};
+pub use ratc_core::client::DecisionLatency;
+pub use spec::ClusterSpec;

@@ -1,0 +1,273 @@
+//! [`ClusterSpec`]: one builder that deploys any of the three stacks.
+
+use std::sync::Arc;
+
+use ratc_baseline::{BaselineCluster, BaselineClusterConfig};
+use ratc_core::batch::BatchingConfig;
+use ratc_core::harness::{Cluster, ClusterConfig};
+use ratc_core::replica::TruncationConfig;
+use ratc_rdma::{RdmaCluster, RdmaClusterConfig, ReconfigMode};
+use ratc_sim::SimConfig;
+use ratc_types::{CertificationPolicy, Serializability};
+
+use crate::cluster::{StackKind, TcsCluster};
+
+/// A stack-agnostic deployment specification.
+///
+/// One spec describes a TCS deployment in protocol-neutral terms — number of
+/// shards, failures to tolerate per shard (`f`), spare replicas, the
+/// certification policy, the truncation/batching knobs and the simulation
+/// seed — and [`ClusterSpec::build`] turns it into any of the three stacks:
+///
+/// * [`StackKind::Core`] / [`StackKind::Rdma`] / [`StackKind::RdmaNaive`]
+///   deploy `f + 1` replicas per shard (the paper's replication-cost
+///   headline);
+/// * [`StackKind::Baseline`] deploys `2f + 1` replicas per shard plus a
+///   `2f + 1`-member transaction-manager group.
+///
+/// Knobs a stack does not have are ignored where they are meaningless: the
+/// baseline has no spares (no reconfiguration) and prunes decided payloads
+/// unconditionally instead of using [`TruncationConfig`].
+#[derive(Clone)]
+pub struct ClusterSpec {
+    /// The stack to deploy.
+    pub stack: StackKind,
+    /// Number of shards.
+    pub shards: u32,
+    /// Failures tolerated per shard (`f`).
+    pub failures: usize,
+    /// Spare (fresh) replicas per shard available to reconfiguration.
+    pub spares_per_shard: usize,
+    /// The certification policy (isolation level).
+    pub policy: Arc<dyn CertificationPolicy>,
+    /// Checkpointed log truncation (RATC stacks; default enabled, batch 32).
+    pub truncation: TruncationConfig,
+    /// Batched certification pipeline (default disabled).
+    pub batching: BatchingConfig,
+    /// Simulation parameters (seed, latency model, tracing).
+    pub sim: SimConfig,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            stack: StackKind::Core,
+            shards: 2,
+            failures: 1,
+            spares_per_shard: 2,
+            policy: Arc::new(Serializability::new()),
+            truncation: TruncationConfig::default(),
+            batching: BatchingConfig::default(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSpec")
+            .field("stack", &self.stack)
+            .field("shards", &self.shards)
+            .field("failures", &self.failures)
+            .field("spares_per_shard", &self.spares_per_shard)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl ClusterSpec {
+    /// A default spec for the given stack.
+    pub fn new(stack: StackKind) -> Self {
+        ClusterSpec {
+            stack,
+            ..ClusterSpec::default()
+        }
+    }
+
+    /// Returns a copy targeting a different stack (everything else kept).
+    pub fn with_stack(mut self, stack: StackKind) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Returns a copy with the given number of shards.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy tolerating `f` failures per shard (`f + 1` replicas on
+    /// the RATC stacks, `2f + 1` on the baseline).
+    pub fn with_failures(mut self, f: usize) -> Self {
+        self.failures = f;
+        self
+    }
+
+    /// Returns a copy with the given number of spares per shard.
+    pub fn with_spares_per_shard(mut self, spares: usize) -> Self {
+        self.spares_per_shard = spares;
+        self
+    }
+
+    /// Returns a copy with the given certification policy.
+    pub fn with_policy(mut self, policy: Arc<dyn CertificationPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given checkpointed-truncation policy.
+    pub fn with_truncation(mut self, truncation: TruncationConfig) -> Self {
+        self.truncation = truncation;
+        self
+    }
+
+    /// Returns a copy with the given batching-pipeline knobs.
+    pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given simulation configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Returns a copy with the given random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Replicas this spec deploys per shard on its stack.
+    pub fn replicas_per_shard(&self) -> usize {
+        match self.stack {
+            StackKind::Core | StackKind::Rdma | StackKind::RdmaNaive => self.failures + 1,
+            StackKind::Baseline => 2 * self.failures + 1,
+        }
+    }
+
+    /// Builds the spec's stack behind the unified [`TcsCluster`] facade.
+    pub fn build(&self) -> Box<dyn TcsCluster> {
+        match self.stack {
+            StackKind::Core => Box::new(self.build_core()),
+            StackKind::Rdma | StackKind::RdmaNaive => Box::new(self.build_rdma()),
+            StackKind::Baseline => Box::new(self.build_baseline()),
+        }
+    }
+
+    /// Builds a concrete message-passing cluster from this spec (for
+    /// white-box consumers such as the invariant checkers and the
+    /// log-differential suites). Ignores [`ClusterSpec::stack`].
+    pub fn build_core(&self) -> Cluster {
+        Cluster::new(ClusterConfig {
+            shards: self.shards,
+            replicas_per_shard: self.failures + 1,
+            spares_per_shard: self.spares_per_shard,
+            policy: self.policy.clone(),
+            truncation: self.truncation,
+            batching: self.batching,
+            sim: self.sim.clone(),
+        })
+    }
+
+    /// Builds a concrete RDMA cluster from this spec, in naive per-shard
+    /// mode when [`ClusterSpec::stack`] is [`StackKind::RdmaNaive`] and
+    /// correct global mode otherwise.
+    pub fn build_rdma(&self) -> RdmaCluster {
+        let mode = if self.stack == StackKind::RdmaNaive {
+            ReconfigMode::NaivePerShard
+        } else {
+            ReconfigMode::GlobalCorrect
+        };
+        RdmaCluster::new(RdmaClusterConfig {
+            shards: self.shards,
+            replicas_per_shard: self.failures + 1,
+            spares_per_shard: self.spares_per_shard,
+            policy: self.policy.clone(),
+            sim: self.sim.clone(),
+            mode,
+            truncation: self.truncation,
+            batching: self.batching,
+        })
+    }
+
+    /// Builds a concrete baseline cluster from this spec. Ignores
+    /// [`ClusterSpec::stack`], the spare pool and the truncation knob (the
+    /// baseline prunes decided payloads unconditionally).
+    pub fn build_baseline(&self) -> BaselineCluster {
+        BaselineCluster::new(BaselineClusterConfig {
+            shards: self.shards,
+            f: self.failures,
+            policy: self.policy.clone(),
+            batching: self.batching,
+            sim: self.sim.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratc_types::{Decision, Key, Payload, TxId, Value, Version};
+
+    fn rw(key: &str) -> Payload {
+        Payload::builder()
+            .read(Key::new(key), Version::new(0))
+            .write(Key::new(key), Value::from("v"))
+            .commit_version(Version::new(1))
+            .build()
+            .expect("well-formed")
+    }
+
+    #[test]
+    fn one_spec_builds_all_stacks_and_they_all_commit() {
+        for stack in [
+            StackKind::Core,
+            StackKind::Rdma,
+            StackKind::RdmaNaive,
+            StackKind::Baseline,
+        ] {
+            let mut cluster = ClusterSpec::new(stack).with_seed(3).build();
+            assert_eq!(cluster.stack(), stack);
+            let coordinator = cluster.submit(TxId::new(1), rw("x"));
+            cluster.run_to_quiescence();
+            assert_eq!(
+                cluster.history().decision(TxId::new(1)),
+                Some(Decision::Commit),
+                "{stack}: transaction undecided or aborted"
+            );
+            let latency = cluster.latencies()[&TxId::new(1)];
+            assert!(latency.hops > 0 && latency.micros > 0, "{stack}");
+            assert!(cluster.client_violations().is_empty(), "{stack}");
+            assert!(cluster.coordinator_pool().contains(&coordinator), "{stack}");
+        }
+    }
+
+    #[test]
+    fn replica_counts_follow_the_paper() {
+        let ratc = ClusterSpec::new(StackKind::Core).with_failures(2);
+        assert_eq!(ratc.replicas_per_shard(), 3);
+        let baseline = ratc.clone().with_stack(StackKind::Baseline);
+        assert_eq!(baseline.replicas_per_shard(), 5);
+        let cluster = baseline.build();
+        assert_eq!(cluster.members_of(ratc_types::ShardId::new(0)).len(), 5);
+    }
+
+    #[test]
+    fn introspection_is_consistent_across_stacks() {
+        for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+            let cluster = ClusterSpec::new(stack).with_shards(3).build();
+            assert_eq!(cluster.shards().len(), 3);
+            for shard in cluster.shards() {
+                let members = cluster.members_of(shard);
+                assert_eq!(members.len(), cluster.roster_of(shard).len());
+                let leader = cluster.leader_of(shard).expect("leader");
+                assert!(members.contains(&leader), "{stack}: leader not a member");
+                assert_eq!(cluster.epoch_of(shard), ratc_types::Epoch::ZERO);
+            }
+            assert!(!cluster.all_processes().is_empty());
+            assert!(!cluster.coordinator_pool().is_empty());
+        }
+    }
+}

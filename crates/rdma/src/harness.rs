@@ -16,6 +16,7 @@ use crate::config_service::GlobalConfigServiceActor;
 use crate::messages::RdmaMsg;
 use crate::replica::{RdmaReplica, ReconfigMode};
 use ratc_core::batch::BatchingConfig;
+use ratc_core::client::DecisionLatency;
 use ratc_core::replica::TruncationConfig;
 
 /// Configuration of a simulated RDMA deployment.
@@ -101,7 +102,7 @@ impl RdmaClusterConfig {
 pub struct RdmaClientActor {
     history: TcsHistory,
     submit_times: BTreeMap<TxId, SimTime>,
-    hops: BTreeMap<TxId, u32>,
+    latencies: BTreeMap<TxId, DecisionLatency>,
     violations: Vec<String>,
 }
 
@@ -119,9 +120,10 @@ impl RdmaClientActor {
         &self.history
     }
 
-    /// Message-delay count of each decided transaction.
-    pub fn hops(&self) -> &BTreeMap<TxId, u32> {
-        &self.hops
+    /// Latency (message delays, simulated time, decision) of each decided
+    /// transaction.
+    pub fn latencies(&self) -> &BTreeMap<TxId, DecisionLatency> {
+        &self.latencies
     }
 
     /// Specification violations (contradictory decisions). Empty in a correct
@@ -138,7 +140,16 @@ impl Actor<RdmaMsg> for RdmaClientActor {
                 self.violations.push(err.to_string());
                 return;
             }
-            self.hops.entry(tx).or_insert(ctx.hops());
+            let micros = self
+                .submit_times
+                .get(&tx)
+                .map(|t| ctx.now().since(*t).as_micros())
+                .unwrap_or(0);
+            self.latencies.entry(tx).or_insert(DecisionLatency {
+                hops: ctx.hops(),
+                micros,
+                decision,
+            });
             ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
             match decision {
                 Decision::Commit => ctx.add_counter("client_commits", 1),
@@ -186,6 +197,7 @@ pub struct RdmaCluster {
     spares: BTreeMap<ShardId, Vec<ProcessId>>,
     replicas_per_shard: usize,
     next_coordinator: usize,
+    mode: ReconfigMode,
 }
 
 impl RdmaCluster {
@@ -267,12 +279,18 @@ impl RdmaCluster {
             spares,
             replicas_per_shard: config.replicas_per_shard,
             next_coordinator: 0,
+            mode: config.mode,
         }
     }
 
     /// The shard map of this cluster.
     pub fn sharding(&self) -> &HashSharding {
         &self.sharding
+    }
+
+    /// The reconfiguration mode this cluster was built with.
+    pub fn mode(&self) -> ReconfigMode {
+        self.mode
     }
 
     /// The client process.
@@ -367,6 +385,31 @@ impl RdmaCluster {
         self.world.send_external(replica, RdmaMsg::Retry { tx });
     }
 
+    /// Re-submits a transaction to the current leader of its first shard
+    /// without re-recording it in the client history: the client retry of
+    /// the TCS model, used by recovery drivers.
+    pub fn resubmit(&mut self, tx: TxId, payload: Payload) {
+        let shards = payload.shards(self.sharding.as_ref());
+        let Some(target) = shards
+            .first()
+            .and_then(|s| self.current_config().leader_of(*s))
+        else {
+            return;
+        };
+        if self.world.is_crashed(target) {
+            return;
+        }
+        let client = self.client;
+        self.world.send_external(
+            target,
+            RdmaMsg::Certify {
+                tx,
+                payload,
+                client,
+            },
+        );
+    }
+
     /// Crashes a process.
     pub fn crash(&mut self, pid: ProcessId) {
         self.world.crash(pid);
@@ -390,6 +433,11 @@ impl RdmaCluster {
         self.world.run_until(until);
     }
 
+    /// Runs the simulation until the given absolute simulated time.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.world.run_until(until);
+    }
+
     /// The client's recorded history.
     pub fn history(&self) -> TcsHistory {
         self.world
@@ -399,13 +447,22 @@ impl RdmaCluster {
             .clone()
     }
 
-    /// Message-delay counts per decided transaction.
-    pub fn decision_hops(&self) -> BTreeMap<TxId, u32> {
+    /// Latency (message delays, simulated time, decision) per decided
+    /// transaction.
+    pub fn latencies(&self) -> BTreeMap<TxId, DecisionLatency> {
         self.world
             .actor::<RdmaClientActor>(self.client)
             .expect("client")
-            .hops()
+            .latencies()
             .clone()
+    }
+
+    /// Message-delay counts per decided transaction.
+    pub fn decision_hops(&self) -> BTreeMap<TxId, u32> {
+        self.latencies()
+            .into_iter()
+            .map(|(tx, l)| (tx, l.hops))
+            .collect()
     }
 
     /// Specification violations observed by the client.

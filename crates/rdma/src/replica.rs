@@ -399,7 +399,7 @@ impl RdmaReplica {
 
     /// Applies a message that was found in local memory (either polled by the
     /// simulator's `deliver-rdma` or drained by `flush`).
-    fn apply_rdma_payload(&mut self, msg: RdmaMsg) {
+    fn apply_rdma_payload(&mut self, msg: RdmaMsg, ctx: &mut Context<'_, RdmaMsg>) {
         match msg {
             // Line 94–95: store unconditionally; followers cannot reject.
             RdmaMsg::Accept {
@@ -451,13 +451,13 @@ impl RdmaReplica {
                 truncate_to,
             } => {
                 self.log.decide(pos, decision);
-                self.maybe_truncate(truncate_to);
+                self.maybe_truncate(truncate_to, ctx);
             }
             RdmaMsg::DecisionBatch { items, truncate_to } => {
                 for item in &items {
                     self.log.decide(item.pos, item.decision);
                 }
-                self.maybe_truncate(truncate_to);
+                self.maybe_truncate(truncate_to, ctx);
             }
             _ => {}
         }
@@ -529,13 +529,19 @@ impl RdmaReplica {
     /// A shard peer gossiped its decided frontier: record it and truncate at
     /// the true cluster minimum (instead of waiting for a clamped leader
     /// hint on the next `DecisionShard` write).
-    fn handle_frontier_exchange(&mut self, from: ProcessId, shard: ShardId, frontier: Position) {
+    fn handle_frontier_exchange(
+        &mut self,
+        from: ProcessId,
+        shard: ShardId,
+        frontier: Position,
+        ctx: &mut Context<'_, RdmaMsg>,
+    ) {
         if shard != self.shard {
             return;
         }
         self.peer_frontiers.insert(from, frontier);
         let floor = self.cluster_frontier_floor();
-        self.maybe_truncate(floor);
+        self.maybe_truncate(floor, ctx);
     }
 
     /// Writes `DECISION` for a transaction with an out-of-band decision
@@ -583,13 +589,14 @@ impl RdmaReplica {
 
     /// Truncates the log at `floor` (clamped to the own decided frontier by
     /// the log itself) once at least a batch of slots can be freed.
-    fn maybe_truncate(&mut self, floor: Position) {
+    fn maybe_truncate(&mut self, floor: Position, ctx: &mut Context<'_, RdmaMsg>) {
         if !self.truncation.enabled {
             return;
         }
         let target = floor.min(self.log.decided_frontier());
         if target.as_u64() >= self.log.base().as_u64() + self.truncation.batch {
-            self.log.truncate_to(target);
+            let freed = self.log.truncate_to(target);
+            ctx.add_counter("log_slots_truncated", freed as u64);
         }
     }
 
@@ -641,7 +648,7 @@ impl RdmaReplica {
             for member in members {
                 if member == self.id {
                     self.log.decide(pos, decision);
-                    self.maybe_truncate(truncate_to);
+                    self.maybe_truncate(truncate_to, ctx);
                     self.maybe_gossip_frontier(ctx);
                     continue;
                 }
@@ -702,7 +709,7 @@ impl RdmaReplica {
                     for item in &items {
                         self.log.decide(item.pos, item.decision);
                     }
-                    self.maybe_truncate(truncate_to);
+                    self.maybe_truncate(truncate_to, ctx);
                     self.maybe_gossip_frontier(ctx);
                     continue;
                 }
@@ -972,7 +979,7 @@ impl RdmaReplica {
             );
         }
         if self_is_follower {
-            self.apply_rdma_payload(RdmaMsg::AcceptBatch { shard, items });
+            self.apply_rdma_payload(RdmaMsg::AcceptBatch { shard, items }, ctx);
             for &tx in &txs {
                 if let Some(coord) = self.coordinating.get_mut(&tx) {
                     coord
@@ -1145,15 +1152,18 @@ impl RdmaReplica {
             );
         }
         if self_is_follower {
-            self.apply_rdma_payload(RdmaMsg::Accept {
-                shard,
-                pos,
-                tx,
-                payload,
-                vote,
-                shards,
-                client,
-            });
+            self.apply_rdma_payload(
+                RdmaMsg::Accept {
+                    shard,
+                    pos,
+                    tx,
+                    payload,
+                    vote,
+                    shards,
+                    client,
+                },
+                ctx,
+            );
             if let Some(coord) = self.coordinating.get_mut(&tx) {
                 coord
                     .progress
@@ -1694,7 +1704,7 @@ impl RdmaReplica {
         }
         let flushed = ctx.rdma_flush();
         for (_, msg) in flushed {
-            self.apply_rdma_payload(msg);
+            self.apply_rdma_payload(msg, ctx);
         }
         // A new epoch: stale peer frontiers must not unlock truncation for a
         // membership they no longer describe.
@@ -1893,7 +1903,7 @@ impl Actor<RdmaMsg> for RdmaReplica {
                 frontier,
             } => self.handle_prepare_ack_batch(epoch, shard, items, frontier, ctx),
             RdmaMsg::FrontierExchange { shard, frontier } => {
-                self.handle_frontier_exchange(from, shard, frontier)
+                self.handle_frontier_exchange(from, shard, frontier, ctx)
             }
             RdmaMsg::DecisionClient { .. } => {}
             RdmaMsg::Retry { tx } => self.handle_retry(tx, ctx),
@@ -1960,7 +1970,7 @@ impl Actor<RdmaMsg> for RdmaReplica {
     }
 
     fn on_rdma_deliver(&mut self, _from: ProcessId, msg: RdmaMsg, ctx: &mut Context<'_, RdmaMsg>) {
-        self.apply_rdma_payload(msg);
+        self.apply_rdma_payload(msg, ctx);
         // Decisions may have advanced the decided frontier: gossip it to the
         // shard peers once it has moved by a full truncation batch.
         self.maybe_gossip_frontier(ctx);
@@ -2048,7 +2058,7 @@ impl Actor<RdmaMsg> for RdmaReplica {
         // §5, the same call leader promotion uses).
         let flushed = ctx.rdma_flush();
         for (_, msg) in flushed {
-            self.apply_rdma_payload(msg);
+            self.apply_rdma_payload(msg, ctx);
         }
         self.last_gossiped_frontier = self.log.decided_frontier();
         self.log.set_certifier(self.index_factory.clone_box());

@@ -26,8 +26,9 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use ratc_core::batch::BatchingConfig;
-use ratc_core::harness::{Cluster, ClusterConfig};
+use ratc_core::harness::Cluster;
 use ratc_core::replica::TruncationConfig;
+use ratc_harness::{ClusterSpec, StackKind};
 use ratc_types::{Payload, ShardId, TxId};
 
 use crate::indexed::random_payload;
@@ -66,13 +67,14 @@ fn build_cluster(scenario: &BatchingScenario, batching: BatchingConfig) -> Clust
         Some(batch) => TruncationConfig::with_batch(batch),
         None => TruncationConfig::disabled(),
     };
-    Cluster::new(
-        ClusterConfig::default()
-            .with_shards(scenario.shards)
-            .with_seed(scenario.seed)
-            .with_truncation(truncation)
-            .with_batching(batching),
-    )
+    // Built from the unified spec, but as the *concrete* core cluster: the
+    // differential below compares per-slot log state, which is white-box.
+    ClusterSpec::new(StackKind::Core)
+        .with_shards(scenario.shards)
+        .with_seed(scenario.seed)
+        .with_truncation(truncation)
+        .with_batching(batching)
+        .build_core()
 }
 
 /// Replays one scenario through an unbatched and a batched cluster and

@@ -31,7 +31,12 @@
 //! * [`chaos`] — safety and liveness verdicts for fault-injection (chaos
 //!   nemesis) runs: the history must stay spec-conformant under crashes,
 //!   restarts, message loss/duplication/reordering and partitions, and every
-//!   submitted transaction must be decided once faults lift.
+//!   submitted transaction must be decided once faults lift;
+//! * [`conformance`] — the trait-conformance suite of the unified
+//!   `ratc-harness::TcsCluster` facade: one generic driver instantiated for
+//!   all three stacks, asserting identical observable semantics for
+//!   submit/decide, coordinator handoff, crash/restart and reconfiguration
+//!   on a fixed seeded workload.
 //!
 //! These are runtime checkers, not proofs: they are run over every simulated
 //! execution produced by the test suites, the property-based tests and the
@@ -43,6 +48,7 @@
 
 pub mod batching;
 pub mod chaos;
+pub mod conformance;
 pub mod correctness;
 pub mod indexed;
 pub mod serializability;
@@ -51,6 +57,7 @@ pub mod truncation;
 
 pub use batching::{differential_batching_check, BatchingReport, BatchingScenario};
 pub use chaos::{check_chaos_run, check_liveness, ChaosVerdict};
+pub use conformance::{check_conformance, ConformanceReport};
 pub use correctness::{check_history, SpecViolation};
 pub use indexed::{differential_vote_check, DifferentialReport};
 pub use serializability::check_conflict_serializable;

@@ -168,7 +168,7 @@ pub mod distributions {
             }
         }
 
-        /// Ranges acceptable to [`super::super::super::Rng::gen_range`].
+        /// Ranges acceptable to [`Rng::gen_range`](crate::Rng::gen_range).
         pub trait SampleRange<T> {
             /// Draws one sample from the range.
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;

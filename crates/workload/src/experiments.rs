@@ -1,39 +1,25 @@
 //! Experiment drivers: one function per experiment of EXPERIMENTS.md.
+//!
+//! Every experiment is **generic over the stack**: it takes a
+//! [`StackKind`], deploys it through the unified [`ClusterSpec`] builder and
+//! drives it through the [`TcsCluster`] facade, so E1–E8 run on the
+//! message-passing protocol, the RDMA protocol and the 2PC-over-Paxos
+//! baseline from one code path. The few real per-protocol differences
+//! (the baseline's Paxos phase-1 warm-up in E1, reconfiguration vs failure
+//! masking in E6) are explicit branches on capability probes or the stack
+//! selector — not separate implementations.
 
 use std::fmt;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use ratc_baseline::{BaselineCluster, BaselineClusterConfig};
-use ratc_core::harness::{Cluster, ClusterConfig};
 use ratc_core::invariants;
-use ratc_rdma::{RdmaCluster, RdmaClusterConfig};
+use ratc_harness::{ClusterSpec, StackKind, TcsCluster};
 use ratc_sim::SimDuration;
 use ratc_spec::check_history;
-use ratc_types::{Key, Payload, Serializability, ShardId, TxId, Value, Version};
+use ratc_types::{Key, Payload, Serializability, ShardId, ShardMap, TxId, Value, Version};
 
 use crate::generator::{KeyDistribution, WorkloadSpec};
-
-/// Which TCS implementation an experiment runs against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Protocol {
-    /// The message-passing RATC protocol (`ratc-core`, §3).
-    RatcMp,
-    /// The RDMA-based RATC protocol (`ratc-rdma`, §5).
-    RatcRdma,
-    /// The vanilla 2PC-over-Paxos baseline (`ratc-baseline`).
-    Baseline,
-}
-
-impl fmt::Display for Protocol {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Protocol::RatcMp => f.write_str("ratc-mp"),
-            Protocol::RatcRdma => f.write_str("ratc-rdma"),
-            Protocol::Baseline => f.write_str("2pc-paxos"),
-        }
-    }
-}
 
 fn median(mut values: Vec<f64>) -> f64 {
     if values.is_empty() {
@@ -43,6 +29,13 @@ fn median(mut values: Vec<f64>) -> f64 {
     values[values.len() / 2]
 }
 
+fn build(stack: StackKind, shards: u32, seed: u64) -> Box<dyn TcsCluster> {
+    ClusterSpec::new(stack)
+        .with_shards(shards)
+        .with_seed(seed)
+        .build()
+}
+
 // ---------------------------------------------------------------------------
 // E1: decision latency in message delays
 // ---------------------------------------------------------------------------
@@ -50,8 +43,8 @@ fn median(mut values: Vec<f64>) -> f64 {
 /// Result of the latency experiment (E1).
 #[derive(Debug, Clone)]
 pub struct LatencyResult {
-    /// Protocol measured.
-    pub protocol: Protocol,
+    /// Stack measured.
+    pub stack: StackKind,
     /// Number of shards in the deployment.
     pub shards: u32,
     /// Transactions measured.
@@ -70,7 +63,7 @@ impl fmt::Display for LatencyResult {
         write!(
             f,
             "{:<10} shards={:<2} txns={:<4} median_delays={:<4} colocated={:<4} mean_us={:.0}",
-            self.protocol.to_string(),
+            self.stack.to_string(),
             self.shards,
             self.transactions,
             self.median_hops,
@@ -81,9 +74,9 @@ impl fmt::Display for LatencyResult {
 }
 
 /// E1: measures client-visible decision latency in message delays for the
-/// given protocol on a disjoint (conflict-free) workload.
+/// given stack on a disjoint (conflict-free) workload.
 pub fn latency_experiment(
-    protocol: Protocol,
+    stack: StackKind,
     shards: u32,
     tx_count: usize,
     seed: u64,
@@ -96,106 +89,49 @@ pub fn latency_experiment(
             .build()
             .expect("well-formed")
     };
-    match protocol {
-        Protocol::RatcMp => {
-            let mut cluster =
-                Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
-            for i in 0..tx_count {
-                cluster.submit(TxId::new(i as u64 + 1), payload(i));
-            }
+    let mut cluster = build(stack, shards, seed);
+    if stack == StackKind::Baseline {
+        // Warm-up: one transaction per shard pays that shard's Paxos phase 1
+        // (and the transaction manager's) exactly once, so the measured
+        // transactions see the steady-state 7-delay critical path.
+        let mut warmups = 0u64;
+        for shard_idx in 0..shards {
+            let shard = ShardId::new(shard_idx);
+            let key = (0..100_000)
+                .map(|i| Key::new(format!("warm-{i}")))
+                .find(|k| cluster.sharding().shard_of(k) == shard)
+                .expect("hash sharding covers every shard");
+            warmups += 1;
+            let warm_payload = Payload::builder()
+                .read(key.clone(), Version::ZERO)
+                .write(key, Value::from("w"))
+                .commit_version(Version::new(1))
+                .build()
+                .expect("well-formed");
+            cluster.submit(TxId::new(u64::MAX - warmups), warm_payload);
             cluster.run_to_quiescence();
-            let latencies = cluster.latencies();
-            let hops: Vec<f64> = latencies.values().map(|l| f64::from(l.hops)).collect();
-            let micros: Vec<f64> = latencies.values().map(|l| l.micros as f64).collect();
-            let coord = cluster
-                .world
-                .metrics()
-                .summary("coordinator_decision_hops")
-                .map(|s| s.mean())
-                .unwrap_or(0.0);
-            LatencyResult {
-                protocol,
-                shards,
-                transactions: latencies.len(),
-                median_hops: median(hops),
-                median_coordinator_hops: coord,
-                mean_micros: micros.iter().sum::<f64>() / micros.len().max(1) as f64,
-            }
         }
-        Protocol::RatcRdma => {
-            let mut cluster = RdmaCluster::new(
-                RdmaClusterConfig::default()
-                    .with_shards(shards)
-                    .with_seed(seed),
-            );
-            for i in 0..tx_count {
-                cluster.submit(TxId::new(i as u64 + 1), payload(i));
-            }
-            cluster.run_to_quiescence();
-            let hops: Vec<f64> = cluster
-                .decision_hops()
-                .values()
-                .map(|h| f64::from(*h))
-                .collect();
-            let count = hops.len();
-            LatencyResult {
-                protocol,
-                shards,
-                transactions: count,
-                median_hops: median(hops),
-                median_coordinator_hops: 0.0,
-                mean_micros: 0.0,
-            }
-        }
-        Protocol::Baseline => {
-            let mut cluster = BaselineCluster::new(
-                BaselineClusterConfig::default()
-                    .with_shards(shards)
-                    .with_seed(seed),
-            );
-            // Warm-up: one transaction per shard pays that shard's Paxos
-            // phase 1 (and the transaction manager's) exactly once, so the
-            // measured transactions see the steady-state critical path.
-            let mut warmups = 0u64;
-            for shard_idx in 0..shards {
-                let shard = ShardId::new(shard_idx);
-                let key = (0..100_000)
-                    .map(|i| Key::new(format!("warm-{i}")))
-                    .find(|k| {
-                        use ratc_types::ShardMap;
-                        cluster.sharding().shard_of(k) == shard
-                    })
-                    .expect("hash sharding covers every shard");
-                warmups += 1;
-                let warm_payload = Payload::builder()
-                    .read(key.clone(), Version::ZERO)
-                    .write(key, Value::from("w"))
-                    .commit_version(Version::new(1))
-                    .build()
-                    .expect("well-formed");
-                cluster.submit(TxId::new(u64::MAX - warmups), warm_payload);
-                cluster.run_to_quiescence();
-            }
-            for i in 0..tx_count {
-                cluster.submit(TxId::new(i as u64 + 1), payload(i));
-            }
-            cluster.run_to_quiescence();
-            let hops: Vec<f64> = cluster
-                .decision_hops()
-                .iter()
-                .filter(|(tx, _)| tx.as_u64() <= tx_count as u64)
-                .map(|(_, h)| f64::from(*h))
-                .collect();
-            let count = hops.len();
-            LatencyResult {
-                protocol,
-                shards,
-                transactions: count,
-                median_hops: median(hops),
-                median_coordinator_hops: 0.0,
-                mean_micros: 0.0,
-            }
-        }
+    }
+    for i in 0..tx_count {
+        cluster.submit(TxId::new(i as u64 + 1), payload(i));
+    }
+    cluster.run_to_quiescence();
+    let latencies = cluster.latencies();
+    let measured: Vec<_> = latencies
+        .iter()
+        .filter(|(tx, _)| tx.as_u64() <= tx_count as u64)
+        .collect();
+    let hops: Vec<f64> = measured.iter().map(|(_, l)| f64::from(l.hops)).collect();
+    let micros: Vec<f64> = measured.iter().map(|(_, l)| l.micros as f64).collect();
+    LatencyResult {
+        stack,
+        shards,
+        transactions: measured.len(),
+        median_hops: median(hops),
+        median_coordinator_hops: cluster
+            .sample_mean("coordinator_decision_hops")
+            .unwrap_or(0.0),
+        mean_micros: micros.iter().sum::<f64>() / micros.len().max(1) as f64,
     }
 }
 
@@ -206,8 +142,8 @@ pub fn latency_experiment(
 /// Result of the leader-load experiment (E2).
 #[derive(Debug, Clone)]
 pub struct LeaderLoadResult {
-    /// Protocol measured.
-    pub protocol: Protocol,
+    /// Stack measured.
+    pub stack: StackKind,
     /// Committed transactions.
     pub committed: usize,
     /// Mean messages handled (sent + received) per shard leader per decided
@@ -222,7 +158,7 @@ impl fmt::Display for LeaderLoadResult {
         write!(
             f,
             "{:<10} committed={:<5} leader_msgs/txn={:<6.2} follower_msgs/txn={:<6.2}",
-            self.protocol.to_string(),
+            self.stack.to_string(),
             self.committed,
             self.leader_msgs_per_txn,
             self.follower_msgs_per_txn
@@ -232,7 +168,7 @@ impl fmt::Display for LeaderLoadResult {
 
 /// E2: messages handled by shard leaders vs followers per transaction.
 pub fn leader_load_experiment(
-    protocol: Protocol,
+    stack: StackKind,
     shards: u32,
     tx_count: usize,
     seed: u64,
@@ -246,81 +182,34 @@ pub fn leader_load_experiment(
     };
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let txs = spec.generate(&mut rng);
-    match protocol {
-        Protocol::RatcMp | Protocol::RatcRdma => {
-            let mut cluster =
-                Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
-            for (tx, payload) in txs {
-                cluster.submit(tx, payload);
-            }
-            cluster.run_to_quiescence();
-            let decided = cluster.history().decide_count().max(1);
-            let leaders: Vec<_> = cluster
-                .shards()
-                .iter()
-                .map(|s| cluster.current_leader(*s))
-                .collect();
-            let mut leader_total = 0.0;
-            let mut follower_total = 0.0;
-            let mut follower_count = 0usize;
-            for shard in cluster.shards() {
-                for pid in cluster.initial_members(shard) {
-                    let handled = cluster.world.metrics().process(*pid).handled() as f64;
-                    if leaders.contains(pid) {
-                        leader_total += handled;
-                    } else {
-                        follower_total += handled;
-                        follower_count += 1;
-                    }
-                }
-            }
-            LeaderLoadResult {
-                protocol: Protocol::RatcMp,
-                committed: cluster.history().committed().count(),
-                leader_msgs_per_txn: leader_total / leaders.len().max(1) as f64 / decided as f64,
-                follower_msgs_per_txn: follower_total
-                    / follower_count.max(1) as f64
-                    / decided as f64,
+    let mut cluster = build(stack, shards, seed);
+    for (tx, payload) in txs {
+        cluster.submit(tx, payload);
+    }
+    cluster.run_to_quiescence();
+    let decided = cluster.history().decide_count().max(1);
+    let mut leader_total = 0.0;
+    let mut leader_count = 0usize;
+    let mut follower_total = 0.0;
+    let mut follower_count = 0usize;
+    for shard in cluster.shards() {
+        let leader = cluster.leader_of(shard);
+        for pid in cluster.members_of(shard) {
+            let handled = cluster.process_handled(pid) as f64;
+            if Some(pid) == leader {
+                leader_total += handled;
+                leader_count += 1;
+            } else {
+                follower_total += handled;
+                follower_count += 1;
             }
         }
-        Protocol::Baseline => {
-            let mut cluster = BaselineCluster::new(
-                BaselineClusterConfig::default()
-                    .with_shards(shards)
-                    .with_seed(seed),
-            );
-            for (tx, payload) in txs {
-                cluster.submit(tx, payload);
-            }
-            cluster.run_to_quiescence();
-            let decided = cluster.history().decide_count().max(1);
-            let mut leader_total = 0.0;
-            let mut leader_count = 0usize;
-            let mut follower_total = 0.0;
-            let mut follower_count = 0usize;
-            for shard_idx in 0..shards {
-                let shard = ShardId::new(shard_idx);
-                let leader = cluster.shard_leader(shard);
-                for pid in cluster.shard_group(shard) {
-                    let handled = cluster.world.metrics().process(*pid).handled() as f64;
-                    if *pid == leader {
-                        leader_total += handled;
-                        leader_count += 1;
-                    } else {
-                        follower_total += handled;
-                        follower_count += 1;
-                    }
-                }
-            }
-            LeaderLoadResult {
-                protocol,
-                committed: cluster.history().committed().count(),
-                leader_msgs_per_txn: leader_total / leader_count.max(1) as f64 / decided as f64,
-                follower_msgs_per_txn: follower_total
-                    / follower_count.max(1) as f64
-                    / decided as f64,
-            }
-        }
+    }
+    LeaderLoadResult {
+        stack,
+        committed: cluster.history().committed().count(),
+        leader_msgs_per_txn: leader_total / leader_count.max(1) as f64 / decided as f64,
+        follower_msgs_per_txn: follower_total / follower_count.max(1) as f64 / decided as f64,
     }
 }
 
@@ -359,11 +248,14 @@ impl fmt::Display for ReplicationCostResult {
 }
 
 /// E3: replicas needed per shard (and for a fixed 4-shard deployment) as a
-/// function of the number of tolerated failures.
+/// function of the number of tolerated failures, straight off the
+/// [`ClusterSpec`] replica arithmetic.
 pub fn replication_cost_experiment(f: usize) -> ReplicationCostResult {
     const SHARDS: usize = 4;
-    let ratc_replicas = f + 1;
-    let baseline_replicas = 2 * f + 1;
+    let ratc = ClusterSpec::new(StackKind::Core).with_failures(f);
+    let baseline = ClusterSpec::new(StackKind::Baseline).with_failures(f);
+    let ratc_replicas = ratc.replicas_per_shard();
+    let baseline_replicas = baseline.replicas_per_shard();
     ReplicationCostResult {
         f,
         ratc_replicas,
@@ -380,6 +272,8 @@ pub fn replication_cost_experiment(f: usize) -> ReplicationCostResult {
 /// Result of the scaling experiment (E4).
 #[derive(Debug, Clone)]
 pub struct ScalingResult {
+    /// Stack measured.
+    pub stack: StackKind,
     /// Number of shards in the deployment.
     pub shards: u32,
     /// Keys (and therefore roughly shards) touched per transaction.
@@ -398,7 +292,8 @@ impl fmt::Display for ScalingResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shards={:<3} keys/txn={:<2} committed={:<5} sim_ms={:<8.2} throughput/ms={:<7.2} mean_us={:.0}",
+            "{:<10} shards={:<3} keys/txn={:<2} committed={:<5} sim_ms={:<8.2} throughput/ms={:<7.2} mean_us={:.0}",
+            self.stack.to_string(),
             self.shards,
             self.keys_per_tx,
             self.committed,
@@ -409,9 +304,10 @@ impl fmt::Display for ScalingResult {
     }
 }
 
-/// E4: throughput and latency of the RATC message-passing protocol as the
-/// number of shards touched per transaction grows.
+/// E4: throughput and latency of the given stack as the number of shards
+/// touched per transaction grows.
 pub fn scaling_experiment(
+    stack: StackKind,
     shards: u32,
     keys_per_tx: usize,
     tx_count: usize,
@@ -426,17 +322,18 @@ pub fn scaling_experiment(
     };
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let txs = spec.generate(&mut rng);
-    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(shards).with_seed(seed));
+    let mut cluster = build(stack, shards, seed);
     for (tx, payload) in txs {
         cluster.submit(tx, payload);
     }
     cluster.run_to_quiescence();
     let committed = cluster.history().committed().count();
-    let sim_millis = cluster.world.now().as_millis_f64().max(0.001);
+    let sim_millis = cluster.now().as_millis_f64().max(0.001);
     let latencies = cluster.latencies();
     let mean_latency_micros =
         latencies.values().map(|l| l.micros as f64).sum::<f64>() / latencies.len().max(1) as f64;
     ScalingResult {
+        stack,
         shards,
         keys_per_tx,
         committed,
@@ -453,19 +350,22 @@ pub fn scaling_experiment(
 /// Result of the log-truncation experiment (E7).
 #[derive(Debug, Clone)]
 pub struct TruncationResult {
+    /// Stack measured.
+    pub stack: StackKind,
     /// Transactions submitted.
     pub tx_count: usize,
     /// Transactions decided.
     pub decided: usize,
-    /// Whether checkpointed truncation was enabled.
+    /// Whether checkpointed truncation was enabled (the baseline prunes
+    /// decided payloads unconditionally instead).
     pub truncation_enabled: bool,
     /// Maximum retained (physical) log slots over all shard members at the
     /// end of the run.
     pub max_retained_slots: usize,
-    /// Maximum logical log length (`next`) over all shard members — what the
-    /// retained count would be without truncation.
+    /// Maximum logical log length over all shard members — what the retained
+    /// count would be without truncation/pruning.
     pub max_log_next: u64,
-    /// Total slots folded into checkpoints across the cluster.
+    /// Total slots folded into checkpoints across the cluster (RATC stacks).
     pub slots_truncated: u64,
 }
 
@@ -473,7 +373,8 @@ impl fmt::Display for TruncationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "truncation={:<5} txs={:<6} decided={:<6} retained_slots={:<6} logical_len={:<6} folded={}",
+            "{:<10} truncation={:<5} txs={:<6} decided={:<6} retained_slots={:<6} logical_len={:<6} folded={}",
+            self.stack.to_string(),
             self.truncation_enabled,
             self.tx_count,
             self.decided,
@@ -484,13 +385,15 @@ impl fmt::Display for TruncationResult {
     }
 }
 
-/// E7: drives a long paced history through the message-passing cluster and
-/// reports how much certification-log memory the shard members actually
-/// retain. With truncation enabled the retained slot count is bounded by the
-/// undecided window plus the fold batch, regardless of `tx_count`; disabled,
-/// it equals the whole history — which is what made 100k+-transaction E2/E4
-/// runs memory-bound before checkpointing.
+/// E7: drives a long paced history through the given stack and reports how
+/// much certification-log memory the shard members actually retain. With
+/// truncation enabled the retained slot count is bounded by the undecided
+/// window plus the fold batch, regardless of `tx_count`; disabled, it equals
+/// the whole history — which is what made 100k+-transaction E2/E4 runs
+/// memory-bound before checkpointing. The baseline reports its unconditional
+/// decided-payload pruning through the same probe.
 pub fn truncation_experiment(
+    stack: StackKind,
     shards: u32,
     tx_count: usize,
     truncation: Option<u64>,
@@ -506,14 +409,14 @@ pub fn truncation_experiment(
     };
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let txs = spec.generate(&mut rng);
-    let config = ClusterConfig::default()
+    let mut cluster = ClusterSpec::new(stack)
         .with_shards(shards)
         .with_seed(seed)
         .with_truncation(match truncation {
             Some(batch) => TruncationConfig::with_batch(batch),
             None => TruncationConfig::disabled(),
-        });
-    let mut cluster = Cluster::new(config);
+        })
+        .build();
     // Pace submissions in small waves so decisions (and the gossiped decided
     // frontiers) interleave with new transactions, as in a live system.
     for wave in txs.chunks(8) {
@@ -525,19 +428,23 @@ pub fn truncation_experiment(
     let mut max_retained_slots = 0usize;
     let mut max_log_next = 0u64;
     for shard in cluster.shards() {
-        for pid in cluster.current_members(shard) {
-            let log = cluster.replica(pid).log();
-            max_retained_slots = max_retained_slots.max(log.len());
-            max_log_next = max_log_next.max(log.next().as_u64());
+        for pid in cluster.members_of(shard) {
+            if let Some(retained) = cluster.retained_log_slots(pid) {
+                max_retained_slots = max_retained_slots.max(retained);
+            }
+            if let Some(next) = cluster.logical_log_len(pid) {
+                max_log_next = max_log_next.max(next);
+            }
         }
     }
     TruncationResult {
+        stack,
         tx_count,
         decided: cluster.history().decide_count(),
         truncation_enabled: truncation.is_some(),
         max_retained_slots,
         max_log_next,
-        slots_truncated: cluster.world.metrics().counter("log_slots_truncated"),
+        slots_truncated: cluster.counter("log_slots_truncated"),
     }
 }
 
@@ -548,8 +455,8 @@ pub fn truncation_experiment(
 /// Result of the abort-rate experiment (E5).
 #[derive(Debug, Clone)]
 pub struct AbortRateResult {
-    /// Protocol measured.
-    pub protocol: Protocol,
+    /// Stack measured.
+    pub stack: StackKind,
     /// Key distribution used.
     pub distribution: KeyDistribution,
     /// Committed transactions.
@@ -565,7 +472,7 @@ impl fmt::Display for AbortRateResult {
         write!(
             f,
             "{:<10} {:<24} committed={:<5} aborted={:<5} abort_rate={:.3}",
-            self.protocol.to_string(),
+            self.stack.to_string(),
             format!("{:?}", self.distribution),
             self.committed,
             self.aborted,
@@ -574,9 +481,9 @@ impl fmt::Display for AbortRateResult {
     }
 }
 
-/// E5: abort rate under contention for the message-passing and RDMA variants.
+/// E5: abort rate under contention for the given stack.
 pub fn abort_rate_experiment(
-    protocol: Protocol,
+    stack: StackKind,
     distribution: KeyDistribution,
     tx_count: usize,
     seed: u64,
@@ -590,30 +497,16 @@ pub fn abort_rate_experiment(
     };
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let txs = spec.generate(&mut rng);
-    let (committed, aborted) = match protocol {
-        Protocol::RatcRdma => {
-            let mut cluster =
-                RdmaCluster::new(RdmaClusterConfig::default().with_shards(4).with_seed(seed));
-            for (tx, payload) in txs {
-                cluster.submit(tx, payload);
-            }
-            cluster.run_to_quiescence();
-            let history = cluster.history();
-            (history.committed().count(), history.aborted().count())
-        }
-        _ => {
-            let mut cluster = Cluster::new(ClusterConfig::default().with_shards(4).with_seed(seed));
-            for (tx, payload) in txs {
-                cluster.submit(tx, payload);
-            }
-            cluster.run_to_quiescence();
-            let history = cluster.history();
-            (history.committed().count(), history.aborted().count())
-        }
-    };
+    let mut cluster = build(stack, 4, seed);
+    for (tx, payload) in txs {
+        cluster.submit(tx, payload);
+    }
+    cluster.run_to_quiescence();
+    let history = cluster.history();
+    let (committed, aborted) = (history.committed().count(), history.aborted().count());
     let decided = (committed + aborted).max(1);
     AbortRateResult {
-        protocol,
+        stack,
         distribution,
         committed,
         aborted,
@@ -628,8 +521,8 @@ pub fn abort_rate_experiment(
 /// Result of the reconfiguration experiment (E6).
 #[derive(Debug, Clone)]
 pub struct ReconfigurationResult {
-    /// Protocol measured.
-    pub protocol: Protocol,
+    /// Stack measured.
+    pub stack: StackKind,
     /// Whether a replica failure required a reconfiguration (RATC) or was
     /// masked by the quorum (baseline).
     pub reconfiguration_required: bool,
@@ -645,7 +538,7 @@ impl fmt::Display for ReconfigurationResult {
         write!(
             f,
             "{:<10} reconfig_required={:<5} committed_after_crash={:<4} recovery_us={}",
-            self.protocol.to_string(),
+            self.stack.to_string(),
             self.reconfiguration_required,
             self.committed_after_crash,
             self.recovery_micros
@@ -653,10 +546,12 @@ impl fmt::Display for ReconfigurationResult {
     }
 }
 
-/// E6: availability after a single follower crash. RATC (`f + 1`) must
-/// reconfigure before the affected shard certifies again; the baseline
-/// (`2f + 1`) masks the failure.
-pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> ReconfigurationResult {
+/// E6: availability after a single replica crash. The RATC stacks (`f + 1`)
+/// must reconfigure before the affected shard certifies again; the baseline
+/// (`2f + 1`) masks the failure — the capability probe
+/// [`TcsCluster::supports_reconfiguration`] decides which recovery the
+/// driver exercises.
+pub fn reconfiguration_experiment(stack: StackKind, seed: u64) -> ReconfigurationResult {
     // A payload pinned to one specific key so every transaction involves the
     // crashed replica's shard.
     let payload = |i: u64| {
@@ -667,97 +562,54 @@ pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> Reconfigurat
             .build()
             .expect("well-formed")
     };
-    match protocol {
-        Protocol::RatcMp | Protocol::RatcRdma => {
-            let mut cluster = Cluster::new(ClusterConfig::default().with_shards(1).with_seed(seed));
-            let shard = ShardId::new(0);
-            // Commit a few transactions, then crash the follower.
-            for i in 0..5u64 {
-                cluster.submit(TxId::new(i + 1), payload(i));
-            }
-            cluster.run_to_quiescence();
-            let leader = cluster.current_leader(shard);
-            let follower = *cluster
-                .initial_members(shard)
-                .iter()
-                .find(|p| **p != leader)
-                .expect("follower");
-            let crash_time = cluster.world.now();
-            cluster.crash(follower);
-            // Submit transactions during the outage.
-            for i in 5..15u64 {
-                cluster.submit(TxId::new(i + 1), payload(i));
-                cluster.run_for(SimDuration::from_millis(1));
-            }
-            // Failure detection + reconfiguration.
-            cluster.start_reconfiguration(shard, leader, vec![follower]);
-            cluster.run_to_quiescence();
-            // Submit more after recovery.
-            for i in 15..20u64 {
-                cluster.submit(TxId::new(i + 1), payload(i));
-            }
-            cluster.run_to_quiescence();
-            let latencies = cluster.latencies();
-            let committed_after = latencies
-                .iter()
-                .filter(|(tx, l)| tx.as_u64() > 5 && l.decision.is_commit())
-                .count();
-            // Recovery time: the earliest decision among transactions submitted
-            // after the crash, measured from the crash.
-            let recovery_micros = latencies
-                .iter()
-                .filter(|(tx, _)| tx.as_u64() > 5)
-                .map(|(tx, l)| {
-                    let submit_offset = (tx.as_u64() - 6) * 1_000; // 1 ms pacing
-                    submit_offset + l.micros
-                })
-                .min()
-                .unwrap_or(0);
-            let _ = crash_time;
-            ReconfigurationResult {
-                protocol: Protocol::RatcMp,
-                reconfiguration_required: true,
-                committed_after_crash: committed_after,
-                recovery_micros,
-            }
-        }
-        Protocol::Baseline => {
-            let mut cluster = BaselineCluster::new(
-                BaselineClusterConfig::default()
-                    .with_shards(1)
-                    .with_seed(seed),
-            );
-            let shard = ShardId::new(0);
-            for i in 0..5u64 {
-                cluster.submit(TxId::new(i + 1), payload(i));
-            }
-            cluster.run_to_quiescence();
-            let victim = cluster.shard_group(shard)[1];
-            cluster.crash(victim);
-            for i in 5..15u64 {
-                cluster.submit(TxId::new(i + 1), payload(i));
-                cluster.run_for(SimDuration::from_millis(1));
-            }
-            cluster.run_to_quiescence();
-            let hops = cluster.decision_hops();
-            let history = cluster.history();
-            let committed_after = history.committed().filter(|tx| tx.as_u64() > 5).count();
-            // The failure is masked: the first post-crash transaction commits
-            // with normal latency. Convert its hop count to an approximate
-            // latency using the mean network delay (50us).
-            let recovery_micros = hops
-                .iter()
-                .filter(|(tx, _)| tx.as_u64() == 6)
-                .map(|(_, h)| u64::from(*h) * 50)
-                .next()
-                .unwrap_or(0);
-            ReconfigurationResult {
-                protocol,
-                reconfiguration_required: false,
-                committed_after_crash: committed_after,
-                recovery_micros,
-            }
-        }
+    let mut cluster = build(stack, 1, seed);
+    let shard = ShardId::new(0);
+    let reconfigures = cluster.supports_reconfiguration();
+    // Commit a few transactions, then crash a non-leader replica.
+    for i in 0..5u64 {
+        cluster.submit(TxId::new(i + 1), payload(i));
+    }
+    cluster.run_to_quiescence();
+    let leader = cluster.leader_of(shard).expect("leader");
+    let follower = cluster
+        .members_of(shard)
+        .into_iter()
+        .find(|p| *p != leader)
+        .expect("follower");
+    cluster.crash(follower);
+    // Submit transactions during the outage.
+    for i in 5..15u64 {
+        cluster.submit(TxId::new(i + 1), payload(i));
+        cluster.run_for(SimDuration::from_millis(1));
+    }
+    if reconfigures {
+        // Failure detection + reconfiguration; the baseline needs neither.
+        cluster.start_reconfiguration(shard, leader, vec![follower]);
+    }
+    cluster.run_to_quiescence();
+    // Submit more after recovery.
+    for i in 15..20u64 {
+        cluster.submit(TxId::new(i + 1), payload(i));
+    }
+    cluster.run_to_quiescence();
+    let latencies = cluster.latencies();
+    let committed_after = latencies
+        .iter()
+        .filter(|(tx, l)| tx.as_u64() > 5 && l.decision.is_commit())
+        .count();
+    // Recovery time: the earliest decision among transactions submitted
+    // after the crash, measured from the crash (1 ms submission pacing).
+    let recovery_micros = latencies
+        .iter()
+        .filter(|(tx, _)| tx.as_u64() > 5)
+        .map(|(tx, l)| (tx.as_u64() - 6) * 1_000 + l.micros)
+        .min()
+        .unwrap_or(0);
+    ReconfigurationResult {
+        stack,
+        reconfiguration_required: reconfigures,
+        committed_after_crash: committed_after,
+        recovery_micros,
     }
 }
 
@@ -768,6 +620,8 @@ pub fn reconfiguration_experiment(protocol: Protocol, seed: u64) -> Reconfigurat
 /// Result of the batching experiment (E8) for one batch size.
 #[derive(Debug, Clone)]
 pub struct BatchingResult {
+    /// Stack measured.
+    pub stack: StackKind,
     /// Batch size measured (1 = batching disabled, the paper's exchange).
     pub batch_size: usize,
     /// Transactions submitted.
@@ -780,7 +634,8 @@ pub struct BatchingResult {
     /// Committed transactions per simulation event step — a proxy for how
     /// much total cluster work one commit costs.
     pub commits_per_step: f64,
-    /// `PREPARE_BATCH` messages actually sent.
+    /// `PREPARE_BATCH` messages actually sent (RATC stacks; the baseline
+    /// batches inside its Paxos log appends instead).
     pub prepare_batches: u64,
 }
 
@@ -788,7 +643,8 @@ impl fmt::Display for BatchingResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "batch={:<3} txns={:<5} committed={:<5} leader_msgs/txn={:<7.3} commits/step={:<7.4} batches={}",
+            "{:<10} batch={:<3} txns={:<5} committed={:<5} leader_msgs/txn={:<7.3} commits/step={:<7.4} batches={}",
+            self.stack.to_string(),
             self.batch_size,
             self.tx_count,
             self.committed,
@@ -799,27 +655,37 @@ impl fmt::Display for BatchingResult {
     }
 }
 
-/// E8: leader message load and per-commit work of the message-passing
-/// protocol as the batch size grows.
+/// E8: leader message load and per-commit work of the given stack as the
+/// batch size grows.
 ///
-/// The deployment pins every transaction to shard 0 and coordinates through
-/// a shard-1 member, so the measured shard-0 leader handles only leader-role
-/// traffic: without batching that is one `PREPARE` in, one `PREPARE_ACK` out
-/// and one `DECISION` in per transaction; with batch size `B` the same three
-/// messages serve `B` transactions.
-pub fn batching_experiment(tx_count: usize, batch_size: usize, seed: u64) -> BatchingResult {
+/// The deployment pins every transaction to shard 0 and, on the RATC stacks,
+/// coordinates through a shard-1 member, so the measured shard-0 leader
+/// handles only leader-role traffic: without batching that is one `PREPARE`
+/// in, one `PREPARE_ACK` out and one `DECISION` in per transaction; with
+/// batch size `B` the same three messages serve `B` transactions. The
+/// baseline submits through its transaction manager (the only coordinator it
+/// has) and amortises by packing a vote batch into one Multi-Paxos slot.
+pub fn batching_experiment(
+    stack: StackKind,
+    tx_count: usize,
+    batch_size: usize,
+    seed: u64,
+) -> BatchingResult {
     use ratc_core::batch::BatchingConfig;
-    use ratc_types::ShardMap;
-    let mut cluster = Cluster::new(
-        ClusterConfig::default()
-            .with_shards(2)
-            .with_seed(seed)
-            .with_batching(BatchingConfig::with_batch(batch_size)),
-    );
+    let mut cluster = ClusterSpec::new(stack)
+        .with_shards(2)
+        .with_seed(seed)
+        .with_batching(BatchingConfig::with_batch(batch_size))
+        .build();
     let measured_shard = ShardId::new(0);
     // Coordinate from a shard-1 *follower*: not a member of the measured
-    // shard, and not shard 1's leader either.
-    let coordinator = cluster.initial_members(ShardId::new(1))[1];
+    // shard, and not shard 1's leader either. Stacks with a dedicated
+    // coordinator group (the baseline TM) coordinate there instead.
+    let coordinator = if cluster.replicas_coordinate() {
+        cluster.roster_of(ShardId::new(1))[1]
+    } else {
+        cluster.coordinator_pool()[0]
+    };
     let keys: Vec<Key> = (0..)
         .map(|i: u64| Key::new(format!("k{i}")))
         .filter(|k| cluster.sharding().shard_of(k) == measured_shard)
@@ -836,16 +702,17 @@ pub fn batching_experiment(tx_count: usize, batch_size: usize, seed: u64) -> Bat
     }
     cluster.run_to_quiescence();
     let decided = cluster.history().decide_count().max(1);
-    let leader = cluster.current_leader(measured_shard);
-    let handled = cluster.world.metrics().process(leader).handled() as f64;
+    let leader = cluster.leader_of(measured_shard).expect("leader");
+    let handled = cluster.process_handled(leader) as f64;
     let committed = cluster.history().committed().count();
     BatchingResult {
+        stack,
         batch_size: batch_size.max(1),
         tx_count,
         committed,
         leader_msgs_per_txn: handled / decided as f64,
-        commits_per_step: committed as f64 / cluster.world.steps().max(1) as f64,
-        prepare_batches: cluster.world.metrics().counter("prepare_batches_sent"),
+        commits_per_step: committed as f64 / cluster.steps().max(1) as f64,
+        prepare_batches: cluster.counter("prepare_batches_sent"),
     }
 }
 
@@ -887,7 +754,9 @@ impl fmt::Display for InvariantsResult {
 
 /// E8: runs `runs` randomized executions of the message-passing protocol with
 /// random contention, random crashes and reconfigurations, checking the
-/// white-box invariants and the black-box TCS specification on each.
+/// white-box invariants and the black-box TCS specification on each. Stays
+/// on the concrete core cluster ([`ClusterSpec::build_core`]) because the
+/// Figure 3 invariant checkers inspect live replica state.
 pub fn invariants_experiment(runs: usize, txs_per_run: usize, base_seed: u64) -> InvariantsResult {
     let mut result = InvariantsResult::default();
     for run in 0..runs {
@@ -901,7 +770,10 @@ pub fn invariants_experiment(runs: usize, txs_per_run: usize, base_seed: u64) ->
             distribution: KeyDistribution::Uniform,
         };
         let txs = spec.generate(&mut rng);
-        let mut cluster = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(seed));
+        let mut cluster = ClusterSpec::new(StackKind::Core)
+            .with_shards(2)
+            .with_seed(seed)
+            .build_core();
         let crash_at = rng.gen_range(0..txs.len().max(1));
         let inject_crash = rng.gen_bool(0.6);
         for (i, (tx, payload)) in txs.into_iter().enumerate() {
@@ -940,19 +812,24 @@ mod tests {
 
     #[test]
     fn e1_latency_shapes_match_the_paper() {
-        let mp = latency_experiment(Protocol::RatcMp, 2, 20, 1);
-        let baseline = latency_experiment(Protocol::Baseline, 2, 20, 1);
+        let mp = latency_experiment(StackKind::Core, 2, 20, 1);
+        let baseline = latency_experiment(StackKind::Baseline, 2, 20, 1);
         assert_eq!(mp.median_hops, 5.0, "RATC-MP decision latency");
         assert_eq!(baseline.median_hops, 7.0, "baseline decision latency");
         assert!(mp.median_coordinator_hops <= 4.5, "co-located latency ~4");
-        let rdma = latency_experiment(Protocol::RatcRdma, 2, 20, 1);
-        assert!(rdma.median_hops <= mp.median_hops);
+        let rdma = latency_experiment(StackKind::Rdma, 2, 20, 1);
+        assert!(
+            rdma.median_hops <= mp.median_hops,
+            "RDMA must not be slower than message passing ({} vs {})",
+            rdma.median_hops,
+            mp.median_hops
+        );
     }
 
     #[test]
     fn e2_leader_load_is_lower_for_ratc() {
-        let ratc = leader_load_experiment(Protocol::RatcMp, 2, 100, 2);
-        let baseline = leader_load_experiment(Protocol::Baseline, 2, 100, 2);
+        let ratc = leader_load_experiment(StackKind::Core, 2, 100, 2);
+        let baseline = leader_load_experiment(StackKind::Baseline, 2, 100, 2);
         assert!(
             ratc.leader_msgs_per_txn < baseline.leader_msgs_per_txn,
             "RATC leaders must handle fewer messages per transaction ({} vs {})",
@@ -971,8 +848,8 @@ mod tests {
 
     #[test]
     fn e6_reconfiguration_blocks_ratc_but_not_baseline() {
-        let ratc = reconfiguration_experiment(Protocol::RatcMp, 3);
-        let baseline = reconfiguration_experiment(Protocol::Baseline, 3);
+        let ratc = reconfiguration_experiment(StackKind::Core, 3);
+        let baseline = reconfiguration_experiment(StackKind::Baseline, 3);
         assert!(ratc.reconfiguration_required);
         assert!(!baseline.reconfiguration_required);
         assert!(ratc.committed_after_crash > 0, "RATC must recover");
@@ -985,8 +862,8 @@ mod tests {
 
     #[test]
     fn e7_truncation_bounds_log_memory() {
-        let on = truncation_experiment(2, 300, Some(8), 7);
-        let off = truncation_experiment(2, 300, None, 7);
+        let on = truncation_experiment(StackKind::Core, 2, 300, Some(8), 7);
+        let off = truncation_experiment(StackKind::Core, 2, 300, None, 7);
         assert_eq!(on.decided, 300);
         assert_eq!(off.decided, 300);
         assert!(on.slots_truncated > 0, "nothing was truncated: {on}");
@@ -999,6 +876,27 @@ mod tests {
             "retention not bounded: {on}"
         );
         assert!(on.max_retained_slots < 100, "retention not bounded: {on}");
+    }
+
+    /// The unified facade's acceptance criterion: the previously core-only
+    /// E7 produces results on every stack through the one generic driver.
+    #[test]
+    fn e7_truncation_runs_on_all_three_stacks() {
+        for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+            let result = truncation_experiment(stack, 2, 64, Some(8), 7);
+            assert_eq!(result.decided, 64, "{stack}: lost decisions: {result}");
+            assert!(
+                result.max_retained_slots as u64 <= result.max_log_next.max(1),
+                "{stack}: nonsensical retention: {result}"
+            );
+            // Every stack bounds its retained state: checkpointed truncation
+            // on the RATC stacks, unconditional decided-payload pruning on
+            // the baseline.
+            assert!(
+                (result.max_retained_slots as u64) < result.max_log_next,
+                "{stack}: retention not bounded: {result}"
+            );
+        }
     }
 
     #[test]
@@ -1017,7 +915,7 @@ mod tests {
         let tx_count = 192;
         let results: Vec<BatchingResult> = [1usize, 2, 4, 8, 16]
             .iter()
-            .map(|b| batching_experiment(tx_count, *b, 11))
+            .map(|b| batching_experiment(StackKind::Core, tx_count, *b, 11))
             .collect();
         for result in &results {
             assert_eq!(
@@ -1049,5 +947,24 @@ mod tests {
         );
         assert_eq!(unbatched.prepare_batches, 0, "batch 1 must not batch");
         assert!(batch16.prepare_batches > 0);
+    }
+
+    /// The unified facade's acceptance criterion: the previously core-only
+    /// E8 produces results on every stack, and batching reduces the measured
+    /// leader's per-transaction message load on each of them.
+    #[test]
+    fn e8_batching_runs_on_all_three_stacks() {
+        for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+            let unbatched = batching_experiment(stack, 64, 1, 11);
+            let batched = batching_experiment(stack, 64, 8, 11);
+            assert_eq!(unbatched.committed, 64, "{stack}: {unbatched}");
+            assert_eq!(batched.committed, 64, "{stack}: {batched}");
+            assert!(
+                batched.leader_msgs_per_txn <= unbatched.leader_msgs_per_txn,
+                "{stack}: batching must not increase leader load ({} vs {})",
+                batched.leader_msgs_per_txn,
+                unbatched.leader_msgs_per_txn
+            );
+        }
     }
 }

@@ -5,9 +5,13 @@
 //! metrics the paper's claims are stated in (message delays, messages per
 //! leader, replicas per shard, abort rates, recovery time, safety violations),
 //! and returns a plain-data result that the `ratc-bench` binaries print and
-//! that EXPERIMENTS.md records. [`generator`] produces the transaction
-//! workloads (uniform and Zipfian key popularity, configurable read/write
-//! mixes); [`counterexample`] reproduces the Figure 4a schedule.
+//! that EXPERIMENTS.md records. Experiments are generic over the stack: they
+//! take a [`StackKind`] and deploy it through the unified
+//! `ratc-harness` facade, so the same driver measures the message-passing
+//! protocol, the RDMA protocol and the 2PC-over-Paxos baseline. [`generator`]
+//! produces the transaction workloads (uniform and Zipfian key popularity,
+//! configurable read/write mixes); [`counterexample`] reproduces the Figure
+//! 4a schedule.
 //!
 //! Every experiment is deterministic given its seed.
 
@@ -22,7 +26,9 @@ pub use counterexample::{run_counterexample, CounterexampleOutcome};
 pub use experiments::{
     abort_rate_experiment, batching_experiment, invariants_experiment, latency_experiment,
     leader_load_experiment, reconfiguration_experiment, replication_cost_experiment,
-    scaling_experiment, AbortRateResult, BatchingResult, InvariantsResult, LatencyResult,
-    LeaderLoadResult, Protocol, ReconfigurationResult, ReplicationCostResult, ScalingResult,
+    scaling_experiment, truncation_experiment, AbortRateResult, BatchingResult, InvariantsResult,
+    LatencyResult, LeaderLoadResult, ReconfigurationResult, ReplicationCostResult, ScalingResult,
+    TruncationResult,
 };
 pub use generator::{KeyDistribution, WorkloadSpec};
+pub use ratc_harness::{ClusterSpec, StackKind, TcsCluster};

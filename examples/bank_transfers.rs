@@ -1,10 +1,12 @@
-//! A small banking workload on top of the RATC stack: optimistic execution in
-//! the versioned key-value store (`ratc-kv`), certification through the
-//! message-passing protocol, and an end-to-end serializability check.
+//! A small banking workload on top of the RATC stacks: optimistic execution
+//! in the versioned key-value store (`ratc-kv`), certification through the
+//! unified `TcsCluster` facade — so the *same* banking code runs on the
+//! message-passing protocol, the RDMA protocol and the 2PC-over-Paxos
+//! baseline — and an end-to-end serializability check.
 //!
 //! Run with: `cargo run --example bank_transfers`
 
-use ratc::core::harness::{Cluster, ClusterConfig};
+use ratc::harness::{ClusterSpec, StackKind, TcsCluster};
 use ratc::kv::KvStore;
 use ratc::spec::check_conflict_serializable;
 use ratc::types::prelude::*;
@@ -23,13 +25,12 @@ fn balance_of(value: &Value) -> u64 {
     u64::from_be_bytes(bytes)
 }
 
-fn main() {
+/// Runs the banking workload against one cluster, whatever its stack.
+fn run_bank(cluster: &mut dyn TcsCluster) {
     let mut store = KvStore::new();
     for i in 0..ACCOUNTS {
         store.seed(account_key(i), Value::from(INITIAL_BALANCE));
     }
-
-    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(4).with_seed(11));
 
     // Execute transfers optimistically against the *current* committed state,
     // submit each for certification, apply the writes of committed ones, and
@@ -91,4 +92,13 @@ fn main() {
     // The committed history is conflict-serializable.
     let order = check_conflict_serializable(&history).expect("serializable");
     println!("serialization order has {} transactions", order.len());
+}
+
+fn main() {
+    for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+        println!("=== {stack} ===");
+        let mut cluster = ClusterSpec::new(stack).with_shards(4).with_seed(11).build();
+        run_bank(cluster.as_mut());
+        println!();
+    }
 }

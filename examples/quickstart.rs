@@ -1,62 +1,70 @@
-//! Quickstart: certify a handful of transactions through the RATC
-//! message-passing protocol and print the decisions and their latency in
-//! message delays.
+//! Quickstart: certify the same handful of transactions through **all
+//! three** TCS stacks using the unified `ClusterSpec`/`TcsCluster` facade,
+//! and print the decisions and their latency in message delays.
+//!
+//! The message-passing protocol decides in 5 delays, the RDMA protocol in
+//! fewer, and the 2PC-over-Paxos baseline in 7 — same API, same workload,
+//! three implementations.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ratc::core::harness::{Cluster, ClusterConfig};
+use ratc::harness::{ClusterSpec, StackKind};
 use ratc::spec::check_history;
 use ratc::types::prelude::*;
 
 fn main() {
-    // 3 shards, f = 1 (two replicas per shard), serializability.
-    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(3).with_seed(7));
+    for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+        // 3 shards, f = 1, serializability — one spec, any stack.
+        let mut cluster = ClusterSpec::new(stack).with_shards(3).with_seed(7).build();
 
-    // Submit ten transactions: five disjoint ones and five contending on the
-    // same key (so some of them must abort under serializability).
-    for i in 0..5u64 {
-        let payload = Payload::builder()
-            .read(Key::new(format!("private-{i}")), Version::ZERO)
-            .write(Key::new(format!("private-{i}")), Value::from("1"))
-            .commit_version(Version::new(1))
-            .build()
-            .expect("well-formed payload");
-        cluster.submit(TxId::new(i + 1), payload);
+        // Submit ten transactions: five disjoint ones and five contending on
+        // the same key (so some of them must abort under serializability).
+        for i in 0..5u64 {
+            let payload = Payload::builder()
+                .read(Key::new(format!("private-{i}")), Version::ZERO)
+                .write(Key::new(format!("private-{i}")), Value::from("1"))
+                .commit_version(Version::new(1))
+                .build()
+                .expect("well-formed payload");
+            cluster.submit(TxId::new(i + 1), payload);
+        }
+        for i in 5..10u64 {
+            let payload = Payload::builder()
+                .read(Key::new("hot"), Version::ZERO)
+                .write(Key::new("hot"), Value::from(format!("{i}")))
+                .commit_version(Version::new(i))
+                .build()
+                .expect("well-formed payload");
+            cluster.submit(TxId::new(i + 1), payload);
+        }
+
+        cluster.run_to_quiescence();
+
+        let history = cluster.history();
+        let latencies = cluster.latencies();
+        println!("=== {stack} ===");
+        println!("tx      decision   message delays   simulated latency");
+        for (tx, _) in history.certified() {
+            let decision = history
+                .decision(tx)
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "undecided".to_owned());
+            let (hops, micros) = latencies
+                .get(&tx)
+                .map(|l| (l.hops.to_string(), format!("{} us", l.micros)))
+                .unwrap_or_else(|| ("-".to_owned(), "-".to_owned()));
+            println!("{tx:<7} {decision:<10} {hops:<16} {micros}");
+        }
+        println!(
+            "committed: {}, aborted: {}",
+            history.committed().count(),
+            history.aborted().count()
+        );
+
+        // Check the run against the TCS specification.
+        let violations = check_history(&history, &Serializability::new());
+        println!("specification violations: {}\n", violations.len());
+        assert!(violations.is_empty());
+        assert!(cluster.client_violations().is_empty());
     }
-    for i in 5..10u64 {
-        let payload = Payload::builder()
-            .read(Key::new("hot"), Version::ZERO)
-            .write(Key::new("hot"), Value::from(format!("{i}")))
-            .commit_version(Version::new(i))
-            .build()
-            .expect("well-formed payload");
-        cluster.submit(TxId::new(i + 1), payload);
-    }
-
-    cluster.run_to_quiescence();
-
-    let history = cluster.history();
-    let latencies = cluster.latencies();
-    println!("tx      decision   message delays   simulated latency");
-    for (tx, _) in history.certified() {
-        let decision = history
-            .decision(tx)
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "undecided".to_owned());
-        let (hops, micros) = latencies
-            .get(&tx)
-            .map(|l| (l.hops.to_string(), format!("{} us", l.micros)))
-            .unwrap_or_else(|| ("-".to_owned(), "-".to_owned()));
-        println!("{tx:<7} {decision:<10} {hops:<16} {micros}");
-    }
-    println!(
-        "\ncommitted: {}, aborted: {}",
-        history.committed().count(),
-        history.aborted().count()
-    );
-
-    // Check the run against the TCS specification.
-    let violations = check_history(&history, &Serializability::new());
-    println!("specification violations: {}", violations.len());
-    assert!(violations.is_empty());
 }

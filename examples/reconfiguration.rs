@@ -2,10 +2,15 @@
 //! shard, reconfigure through the configuration service each time, and keep
 //! certifying transactions — with only `f + 1 = 2` replicas per shard.
 //!
+//! The cluster is deployed from the unified `ClusterSpec` and driven through
+//! the stack-agnostic `TcsCluster` introspection (`epoch_of` / `leader_of` /
+//! `members_of`); only the final white-box invariant check needs the
+//! concrete core cluster, which the same spec also builds.
+//!
 //! Run with: `cargo run --example reconfiguration`
 
-use ratc::core::harness::{Cluster, ClusterConfig};
 use ratc::core::invariants::check_cluster;
+use ratc::harness::{ClusterSpec, StackKind, TcsCluster};
 use ratc::types::prelude::*;
 
 fn payload(i: u64) -> Payload {
@@ -18,14 +23,17 @@ fn payload(i: u64) -> Payload {
 }
 
 fn main() {
-    let mut cluster = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(3));
+    let mut cluster = ClusterSpec::new(StackKind::Core)
+        .with_shards(2)
+        .with_seed(3)
+        .build_core();
     let shard = ShardId::new(0);
 
     println!(
         "initial configuration of {shard}: epoch {}, leader {}, members {:?}",
-        cluster.current_epoch(shard),
-        cluster.current_leader(shard),
-        cluster.current_members(shard)
+        cluster.epoch_of(shard),
+        cluster.leader_of(shard).expect("leader"),
+        cluster.members_of(shard)
     );
 
     for i in 0..10 {
@@ -39,11 +47,11 @@ fn main() {
 
     // 1. Crash the follower; the leader initiates reconfiguration and a spare
     //    replica is brought in.
-    let leader = cluster.current_leader(shard);
-    let follower = *cluster
-        .current_members(shard)
-        .iter()
-        .find(|p| **p != leader)
+    let leader = cluster.leader_of(shard).expect("leader");
+    let follower = cluster
+        .members_of(shard)
+        .into_iter()
+        .find(|p| *p != leader)
         .expect("follower");
     println!("\ncrashing follower {follower} of {shard}");
     cluster.crash(follower);
@@ -51,9 +59,9 @@ fn main() {
     cluster.run_to_quiescence();
     println!(
         "after reconfiguration 1: epoch {}, leader {}, members {:?}",
-        cluster.current_epoch(shard),
-        cluster.current_leader(shard),
-        cluster.current_members(shard)
+        cluster.epoch_of(shard),
+        cluster.leader_of(shard).expect("leader"),
+        cluster.members_of(shard)
     );
 
     for i in 10..20 {
@@ -63,11 +71,11 @@ fn main() {
 
     // 2. Crash the leader; the surviving follower probes, becomes the new
     //    leader and brings in another spare.
-    let leader = cluster.current_leader(shard);
-    let survivor = *cluster
-        .current_members(shard)
-        .iter()
-        .find(|p| **p != leader)
+    let leader = cluster.leader_of(shard).expect("leader");
+    let survivor = cluster
+        .members_of(shard)
+        .into_iter()
+        .find(|p| *p != leader)
         .expect("survivor");
     println!("\ncrashing leader {leader} of {shard}");
     cluster.crash(leader);
@@ -75,9 +83,9 @@ fn main() {
     cluster.run_to_quiescence();
     println!(
         "after reconfiguration 2: epoch {}, leader {}, members {:?}",
-        cluster.current_epoch(shard),
-        cluster.current_leader(shard),
-        cluster.current_members(shard)
+        cluster.epoch_of(shard),
+        cluster.leader_of(shard).expect("leader"),
+        cluster.members_of(shard)
     );
 
     for i in 20..30 {

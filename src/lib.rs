@@ -11,6 +11,10 @@
 //! * [`core`] — the message-passing RATC protocol (§3, Figure 1);
 //! * [`rdma`] — the RDMA-based RATC protocol (§5, Figures 7–8);
 //! * [`baseline`] — the vanilla 2PC-over-Paxos baseline;
+//! * [`harness`] — the **unified cluster API**: the stack-agnostic
+//!   [`TcsCluster`](harness::TcsCluster) trait and the
+//!   [`ClusterSpec`](harness::ClusterSpec) builder that deploys any of the
+//!   three stacks;
 //! * [`spec`] — TCS specification checkers;
 //! * [`kv`] — a transactional key-value store driving the TCS;
 //! * [`workload`] — workload generators and experiment drivers;
@@ -23,19 +27,23 @@
 //!
 //! # Quick start
 //!
+//! The unified facade runs the same code against any stack:
+//!
 //! ```
-//! use ratc::core::harness::{Cluster, ClusterConfig};
+//! use ratc::harness::{ClusterSpec, StackKind};
 //! use ratc::types::prelude::*;
 //!
-//! let mut cluster = Cluster::new(ClusterConfig::default());
-//! let payload = Payload::builder()
-//!     .read(Key::new("x"), Version::new(0))
-//!     .write(Key::new("x"), Value::from("1"))
-//!     .commit_version(Version::new(1))
-//!     .build()?;
-//! cluster.submit(TxId::new(1), payload);
-//! cluster.run_to_quiescence();
-//! assert_eq!(cluster.history().decision(TxId::new(1)), Some(Decision::Commit));
+//! for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+//!     let mut cluster = ClusterSpec::new(stack).build();
+//!     let payload = Payload::builder()
+//!         .read(Key::new("x"), Version::new(0))
+//!         .write(Key::new("x"), Value::from("1"))
+//!         .commit_version(Version::new(1))
+//!         .build()?;
+//!     cluster.submit(TxId::new(1), payload);
+//!     cluster.run_to_quiescence();
+//!     assert_eq!(cluster.history().decision(TxId::new(1)), Some(Decision::Commit));
+//! }
 //! # Ok::<(), PayloadError>(())
 //! ```
 
@@ -46,6 +54,7 @@ pub use ratc_baseline as baseline;
 pub use ratc_chaos as chaos;
 pub use ratc_config as config;
 pub use ratc_core as core;
+pub use ratc_harness as harness;
 pub use ratc_kv as kv;
 pub use ratc_paxos as paxos;
 pub use ratc_rdma as rdma;

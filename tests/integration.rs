@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: every TCS implementation is driven through
 //! the key-value layer and checked against the black-box specification.
 
-use ratc::baseline::{BaselineCluster, BaselineClusterConfig};
 use ratc::core::harness::{Cluster, ClusterConfig};
 use ratc::core::invariants::check_cluster;
 use ratc::core::replica::TruncationConfig;
+use ratc::harness::{ClusterSpec, StackKind};
 use ratc::kv::KvStore;
 use ratc::rdma::{RdmaCluster, RdmaClusterConfig};
 use ratc::spec::{check_conflict_serializable, check_history};
@@ -72,7 +72,8 @@ fn kv_store_over_ratc_mp_is_serializable_and_conserves_money() {
 #[test]
 fn all_three_protocols_agree_on_a_contended_workload() {
     // The same deterministic workload of 30 transactions over 5 hot keys is
-    // run against every TCS implementation. Exact decisions may differ (they
+    // run against every TCS implementation — through the unified facade, so
+    // the driver is written exactly once. Exact decisions may differ (they
     // depend on message timing), but every history must satisfy the TCS
     // specification and conflicting transactions must never both commit.
     let payloads: Vec<(TxId, Payload)> = (0..30u64)
@@ -90,40 +91,22 @@ fn all_three_protocols_agree_on_a_contended_workload() {
         })
         .collect();
 
-    // RATC message-passing.
-    let mut mp = Cluster::new(ClusterConfig::default().with_shards(2).with_seed(5));
-    for (tx, p) in &payloads {
-        mp.submit(*tx, p.clone());
-    }
-    mp.run_to_quiescence();
-    let mp_history = mp.history();
-    assert!(check_history(&mp_history, &Serializability::new()).is_empty());
-    assert_eq!(mp_history.decide_count(), 30);
+    for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+        let mut cluster = ClusterSpec::new(stack).with_shards(2).with_seed(5).build();
+        for (tx, p) in &payloads {
+            cluster.submit(*tx, p.clone());
+        }
+        cluster.run_to_quiescence();
+        let history = cluster.history();
+        assert!(
+            check_history(&history, &Serializability::new()).is_empty(),
+            "{stack}: specification violated"
+        );
+        assert_eq!(history.decide_count(), 30, "{stack}: lost decisions");
+        assert!(cluster.client_violations().is_empty(), "{stack}");
 
-    // RATC over RDMA.
-    let mut rdma = RdmaCluster::new(RdmaClusterConfig::default().with_shards(2).with_seed(5));
-    for (tx, p) in &payloads {
-        rdma.submit(*tx, p.clone());
-    }
-    rdma.run_to_quiescence();
-    let rdma_history = rdma.history();
-    assert!(check_history(&rdma_history, &Serializability::new()).is_empty());
-    assert_eq!(rdma_history.decide_count(), 30);
-
-    // Baseline 2PC over Paxos.
-    let mut baseline =
-        BaselineCluster::new(BaselineClusterConfig::default().with_shards(2).with_seed(5));
-    for (tx, p) in &payloads {
-        baseline.submit(*tx, p.clone());
-    }
-    baseline.run_to_quiescence();
-    let baseline_history = baseline.history();
-    assert!(check_history(&baseline_history, &Serializability::new()).is_empty());
-    assert_eq!(baseline_history.decide_count(), 30);
-
-    // At most one transaction per hot key can commit under serializability
-    // when all of them read version 0.
-    for history in [&mp_history, &rdma_history, &baseline_history] {
+        // At most one transaction per hot key can commit under
+        // serializability when all of them read version 0.
         for hot in 0..5u64 {
             let committed_on_key = history
                 .committed()
@@ -131,7 +114,7 @@ fn all_three_protocols_agree_on_a_contended_workload() {
                 .count();
             assert!(
                 committed_on_key <= 1,
-                "key hot-{hot}: {committed_on_key} commits"
+                "{stack} key hot-{hot}: {committed_on_key} commits"
             );
         }
     }
