@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ratc_core::batch::BatchingConfig;
 use ratc_core::client::DecisionLatency;
-use ratc_sim::{Actor, Context, SimConfig, SimDuration, SimTime, World};
+use ratc_sim::{Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, World};
 use ratc_types::{
     CertificationPolicy, Decision, HashSharding, Payload, ProcessId, Serializability, ShardId,
     ShardMap, TcsHistory, TxId,
@@ -30,6 +30,9 @@ pub struct BaselineClusterConfig {
     pub batching: BatchingConfig,
     /// Simulation parameters.
     pub sim: SimConfig,
+    /// Which engine drives the actors: the deterministic simulator or one OS
+    /// thread per process (see [`ExecutionMode`]).
+    pub execution: ExecutionMode,
 }
 
 impl Default for BaselineClusterConfig {
@@ -40,6 +43,7 @@ impl Default for BaselineClusterConfig {
             policy: Arc::new(Serializability::new()),
             batching: BatchingConfig::default(),
             sim: SimConfig::default(),
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -75,6 +79,12 @@ impl BaselineClusterConfig {
     /// Returns a copy with the given batching-pipeline knobs.
     pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given execution mode.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -156,6 +166,7 @@ pub struct BaselineCluster {
     tm_group: Vec<ProcessId>,
     shard_groups: BTreeMap<ShardId, Vec<ProcessId>>,
     shard_leaders: BTreeMap<ShardId, ProcessId>,
+    execution: ExecutionMode,
 }
 
 impl BaselineCluster {
@@ -214,6 +225,7 @@ impl BaselineCluster {
             tm_group,
             shard_groups,
             shard_leaders,
+            execution: config.execution,
         }
     }
 
@@ -319,20 +331,35 @@ impl BaselineCluster {
         );
     }
 
-    /// Runs the simulation until no events remain.
+    /// Runs until no events remain (on the configured [`ExecutionMode`]).
     pub fn run_to_quiescence(&mut self) {
-        self.world.run();
+        match self.execution {
+            ExecutionMode::Sim => {
+                self.world.run();
+            }
+            ExecutionMode::Threads => {
+                self.world.run_threaded();
+            }
+        }
     }
 
-    /// Runs for `duration` of simulated time.
+    /// Runs for `duration` (simulated time on the simulator, wall-clock time
+    /// on the threaded backend).
     pub fn run_for(&mut self, duration: SimDuration) {
         let until = self.world.now() + duration;
-        self.world.run_until(until);
+        self.run_until(until);
     }
 
-    /// Runs the simulation until the given absolute simulated time.
+    /// Runs the cluster until the given absolute time on the cluster's clock.
     pub fn run_until(&mut self, until: SimTime) {
-        self.world.run_until(until);
+        match self.execution {
+            ExecutionMode::Sim => {
+                self.world.run_until(until);
+            }
+            ExecutionMode::Threads => {
+                self.world.run_threaded_until(until);
+            }
+        }
     }
 
     /// The client's recorded history.

@@ -4,29 +4,60 @@
 //! amortisation) on the message-passing, RDMA and 2PC-over-Paxos stacks
 //! from the same generic drivers; CI runs this binary as the unified-API
 //! smoke job.
+//!
+//! `--json` replaces the table with one machine-readable JSON object (the
+//! format committed in `BENCH_*.json`).
 
 use ratc_workload::{batching_experiment, latency_experiment, truncation_experiment, StackKind};
 
 fn main() {
+    let json = std::env::args().any(|arg| arg == "--json");
+    let stacks = [StackKind::Core, StackKind::Rdma, StackKind::Baseline];
+    let latency: Vec<_> = stacks
+        .iter()
+        .map(|&stack| latency_experiment(stack, 2, 30, 42))
+        .collect();
+    let truncation: Vec<_> = stacks
+        .iter()
+        .map(|&stack| truncation_experiment(stack, 2, 64, Some(8), 42))
+        .collect();
+    let batching: Vec<_> = stacks
+        .iter()
+        .flat_map(|&stack| [1usize, 8].map(|batch| batching_experiment(stack, 64, batch, 42)))
+        .collect();
+
+    if json {
+        let latency_rows: Vec<String> = latency.iter().map(ratc_bench::json::latency).collect();
+        let truncation_rows: Vec<String> = truncation
+            .iter()
+            .map(ratc_bench::json::truncation)
+            .collect();
+        let batching_rows: Vec<String> = batching.iter().map(ratc_bench::json::batching).collect();
+        println!(
+            r#"{{"experiment":"matrix","latency":{},"truncation":{},"batching":{}}}"#,
+            ratc_bench::json::array(&latency_rows),
+            ratc_bench::json::array(&truncation_rows),
+            ratc_bench::json::array(&batching_rows)
+        );
+        return;
+    }
+
     ratc_bench::header(
         "MATRIX",
         "experiment x stack matrix through the unified facade",
         "one TCS abstraction admits interchangeable implementations; every \
          experiment runs on every stack from one generic code path",
     );
-    let stacks = [StackKind::Core, StackKind::Rdma, StackKind::Baseline];
     println!("E1: decision latency");
-    for stack in stacks {
-        println!("  {}", latency_experiment(stack, 2, 30, 42));
+    for result in &latency {
+        println!("  {result}");
     }
     println!("\nE7: bounded log retention");
-    for stack in stacks {
-        println!("  {}", truncation_experiment(stack, 2, 64, Some(8), 42));
+    for result in &truncation {
+        println!("  {result}");
     }
     println!("\nE8: batching amortisation");
-    for stack in stacks {
-        for batch in [1usize, 8] {
-            println!("  {}", batching_experiment(stack, 64, batch, 42));
-        }
+    for result in &batching {
+        println!("  {result}");
     }
 }

@@ -1,0 +1,119 @@
+//! E9: wall-clock throughput on the threaded execution backend — the repo's
+//! first *real* performance numbers (committed as `BENCH_6.json`).
+//!
+//! Two regimes per stack:
+//!
+//! * **open loop** (capacity): every transaction is submitted up front, so
+//!   the host's cores are saturated and committed-tx/s measures raw protocol
+//!   cost. On a single-core host this number is CPU-bound and roughly flat
+//!   in the shard count; parallel speedup needs parallel hardware.
+//! * **closed loop** (scaling): a bounded number of outstanding transactions
+//!   per shard, kept below the batch size so every round waits out the
+//!   batcher's flush timer. Per-shard throughput is latency-bound — the
+//!   group-commit regime — so aggregate committed-tx/s scales with the
+//!   shard count even on one core, because shards wait out their (real,
+//!   sleeping) flush timers concurrently. The ≥2× 1→4-shard acceptance
+//!   criterion is evaluated on this regime for the message-passing stack.
+//!
+//! `--json` replaces the table with one machine-readable JSON object.
+
+use ratc_workload::{
+    wallclock_experiment, wallclock_scaling_experiment, StackKind, WallclockResult,
+};
+
+const STACKS: [StackKind; 3] = [StackKind::Core, StackKind::Rdma, StackKind::Baseline];
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+const SEED: u64 = 42;
+/// Open-loop transactions per run.
+const OPEN_TXS: usize = 2_000;
+/// Closed-loop outstanding transactions per shard (below every batch size,
+/// so each round exercises the partial-batch flush timer).
+const OUTSTANDING: usize = 8;
+/// Closed-loop rounds per run.
+const WAVES: usize = 150;
+/// Batch size of the batched configurations.
+const BATCH: usize = 32;
+
+fn main() {
+    let json = std::env::args().any(|arg| arg == "--json");
+    if !json {
+        ratc_bench::header(
+            "E9",
+            "wall-clock throughput (threaded backend)",
+            "the protocols are transport-agnostic message handlers; on real \
+             threads they decide at hardware speed and shards scale \
+             independently",
+        );
+    }
+
+    let mut open: Vec<WallclockResult> = Vec::new();
+    for stack in STACKS {
+        for shards in SHARD_COUNTS {
+            for batch in [1usize, BATCH] {
+                open.push(wallclock_experiment(stack, shards, batch, OPEN_TXS, SEED));
+            }
+        }
+    }
+    let mut closed: Vec<WallclockResult> = Vec::new();
+    for stack in STACKS {
+        for shards in SHARD_COUNTS {
+            closed.push(wallclock_scaling_experiment(
+                stack,
+                shards,
+                OUTSTANDING,
+                WAVES,
+                BATCH,
+                SEED,
+            ));
+        }
+    }
+
+    let rate = |results: &[WallclockResult], stack: StackKind, shards: u32| {
+        results
+            .iter()
+            .find(|r| r.stack == stack && r.shards == shards)
+            .map(|r| r.committed_per_sec)
+            .unwrap_or(0.0)
+    };
+    let one = rate(&closed, StackKind::Core, 1);
+    let four = rate(&closed, StackKind::Core, 4);
+    let speedup = if one > 0.0 { four / one } else { 0.0 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    if json {
+        let open_rows: Vec<String> = open.iter().map(ratc_bench::json::wallclock).collect();
+        let closed_rows: Vec<String> = closed.iter().map(ratc_bench::json::wallclock).collect();
+        println!(
+            r#"{{"experiment":"wallclock","backend":"threads","host_parallelism":{},"open_loop":{},"closed_loop":{},"scaling":{{"stack":"{}","closed_loop_tx_s_1_shard":{},"closed_loop_tx_s_4_shards":{},"speedup_1_to_4":{}}}}}"#,
+            cores,
+            ratc_bench::json::array(&open_rows),
+            ratc_bench::json::array(&closed_rows),
+            StackKind::Core,
+            one,
+            four,
+            speedup
+        );
+        return;
+    }
+
+    println!("host parallelism: {cores}");
+    println!("\nopen loop (capacity: all {OPEN_TXS} transactions queued up front)");
+    for result in &open {
+        println!("  {result}");
+    }
+    println!(
+        "\nclosed loop (scaling: {OUTSTANDING} outstanding per shard x {WAVES} rounds, batch {BATCH})"
+    );
+    for result in &closed {
+        println!("  {result}");
+    }
+    println!(
+        "\nscaling ({}, closed loop): 1 shard = {:.0} tx/s, 4 shards = {:.0} tx/s, speedup = {:.2}x",
+        StackKind::Core,
+        one,
+        four,
+        speedup
+    );
+}

@@ -21,3 +21,104 @@ pub fn header(id: &str, title: &str, paper_claim: &str) {
     println!("paper: {paper_claim}");
     println!();
 }
+
+/// Hand-rolled JSON rendering of experiment results for the `--json` flags
+/// of `exp_matrix` and `exp_wallclock` (and the committed `BENCH_*.json`
+/// trajectory). The workspace deliberately carries no JSON dependency, and
+/// the result structs are flat records of numbers and short known strings,
+/// so `format!` is all the serialisation needed.
+pub mod json {
+    use ratc_workload::{BatchingResult, LatencyResult, TruncationResult, WallclockResult};
+
+    /// Joins already-rendered JSON values into an array.
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(","))
+    }
+
+    /// One E1 latency row.
+    pub fn latency(r: &LatencyResult) -> String {
+        format!(
+            r#"{{"stack":"{}","shards":{},"transactions":{},"median_hops":{},"median_coordinator_hops":{},"mean_micros":{}}}"#,
+            r.stack,
+            r.shards,
+            r.transactions,
+            r.median_hops,
+            r.median_coordinator_hops,
+            r.mean_micros
+        )
+    }
+
+    /// One E7 log-retention row.
+    pub fn truncation(r: &TruncationResult) -> String {
+        format!(
+            r#"{{"stack":"{}","tx_count":{},"decided":{},"truncation_enabled":{},"max_retained_slots":{},"max_log_next":{},"slots_truncated":{}}}"#,
+            r.stack,
+            r.tx_count,
+            r.decided,
+            r.truncation_enabled,
+            r.max_retained_slots,
+            r.max_log_next,
+            r.slots_truncated
+        )
+    }
+
+    /// One E8 batching row.
+    pub fn batching(r: &BatchingResult) -> String {
+        format!(
+            r#"{{"stack":"{}","batch_size":{},"tx_count":{},"committed":{},"leader_msgs_per_txn":{},"commits_per_step":{},"prepare_batches":{}}}"#,
+            r.stack,
+            r.batch_size,
+            r.tx_count,
+            r.committed,
+            r.leader_msgs_per_txn,
+            r.commits_per_step,
+            r.prepare_batches
+        )
+    }
+
+    /// One E9 wall-clock throughput row.
+    pub fn wallclock(r: &WallclockResult) -> String {
+        format!(
+            r#"{{"stack":"{}","shards":{},"batch":{},"closed_loop":{},"transactions":{},"committed":{},"aborted":{},"undecided":{},"wall_secs":{},"committed_per_sec":{},"mean_latency_micros":{}}}"#,
+            r.stack,
+            r.shards,
+            r.batch,
+            r.closed_loop,
+            r.transactions,
+            r.committed,
+            r.aborted,
+            r.undecided,
+            r.wall_secs,
+            r.committed_per_sec,
+            r.mean_latency_micros
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use ratc_workload::StackKind;
+
+        #[test]
+        fn wallclock_rows_render_flat_json_objects() {
+            let row = wallclock(&WallclockResult {
+                stack: StackKind::Core,
+                shards: 4,
+                batch: 32,
+                closed_loop: true,
+                transactions: 100,
+                committed: 100,
+                aborted: 0,
+                undecided: 0,
+                wall_secs: 0.5,
+                committed_per_sec: 200.0,
+                mean_latency_micros: 1234.5,
+            });
+            assert!(row.starts_with('{') && row.ends_with('}'), "{row}");
+            assert!(row.contains(r#""stack":"ratc-mp""#), "{row}");
+            assert!(row.contains(r#""closed_loop":true"#), "{row}");
+            assert!(row.contains(r#""committed_per_sec":200"#), "{row}");
+            assert_eq!(array(&[String::from("1"), String::from("2")]), "[1,2]");
+        }
+    }
+}

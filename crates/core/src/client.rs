@@ -20,7 +20,13 @@ pub struct DecisionLatency {
     /// Message delays between submission and the decision arriving at the
     /// client (the unit of the paper's latency claims).
     pub hops: u32,
-    /// Simulated microseconds between submission and the decision.
+    /// Microseconds between submission and the decision, on the cluster's
+    /// clock: *simulated* microseconds under
+    /// [`ExecutionMode::Sim`](ratc_sim::ExecutionMode) (a function of the
+    /// configured latency model, not of the host), *wall-clock* (monotonic
+    /// [`std::time::Instant`]) microseconds under
+    /// [`ExecutionMode::Threads`](ratc_sim::ExecutionMode). Same field, same
+    /// unit — but only the threaded numbers measure real hardware.
     pub micros: u64,
     /// The decision itself.
     pub decision: Decision,
@@ -33,12 +39,22 @@ pub struct ClientActor {
     submit_times: BTreeMap<TxId, SimTime>,
     latencies: BTreeMap<TxId, DecisionLatency>,
     violations: Vec<String>,
+    /// Acknowledge received decisions back to their sender (decision-map
+    /// compaction, leg 1). Off by default: the ack is not part of the paper's
+    /// message vocabulary and must not perturb default schedules.
+    ack_decisions: bool,
 }
 
 impl ClientActor {
     /// Creates a client with an empty history.
     pub fn new() -> Self {
         ClientActor::default()
+    }
+
+    /// Enables or disables decision acknowledgements (see
+    /// [`crate::replica::TruncationConfig::compaction`]).
+    pub fn set_ack_decisions(&mut self, ack: bool) {
+        self.ack_decisions = ack;
     }
 
     /// Records the `certify(t, l)` action. Called by the deployment harness at
@@ -79,11 +95,17 @@ impl ClientActor {
 }
 
 impl Actor<Msg> for ClientActor {
-    fn on_message(&mut self, _from: ratc_types::ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+    fn on_message(&mut self, from: ratc_types::ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         if let Msg::DecisionClient { tx, decision } = msg {
             if let Err(err) = self.history.record_decide(tx, decision) {
                 self.violations.push(err.to_string());
                 return;
+            }
+            if self.ack_decisions {
+                // Compaction leg 1: tell the sender (original or recovery
+                // coordinator — whoever delivered this copy) the decision
+                // arrived. Idempotent at the receiver, so duplicates are fine.
+                ctx.send(from, Msg::DecisionAck { tx });
             }
             let micros = self
                 .submit_times

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ratc_config::ShardConfiguration;
-use ratc_sim::{SimConfig, SimDuration, SimTime, World};
+use ratc_sim::{ExecutionMode, SimConfig, SimDuration, SimTime, World};
 use ratc_types::{
     CertificationPolicy, Epoch, HashSharding, Payload, ProcessId, Serializability, ShardId,
     ShardMap, TcsHistory, TxId,
@@ -42,6 +42,9 @@ pub struct ClusterConfig {
     pub batching: BatchingConfig,
     /// Simulation parameters (seed, latency model, tracing).
     pub sim: SimConfig,
+    /// Which engine drives the actors: the deterministic simulator or one OS
+    /// thread per process (see [`ExecutionMode`]).
+    pub execution: ExecutionMode,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +57,7 @@ impl Default for ClusterConfig {
             truncation: TruncationConfig::default(),
             batching: BatchingConfig::default(),
             sim: SimConfig::default(),
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -117,6 +121,12 @@ impl ClusterConfig {
         self.sim.seed = seed;
         self
     }
+
+    /// Returns a copy with the given execution mode.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
+    }
 }
 
 /// A fully wired simulated deployment of the message-passing protocol.
@@ -131,6 +141,7 @@ pub struct Cluster {
     spares: BTreeMap<ShardId, Vec<ProcessId>>,
     replicas_per_shard: usize,
     next_coordinator: usize,
+    execution: ExecutionMode,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -192,6 +203,12 @@ impl Cluster {
             initial.iter().map(|(s, c)| (*s, c.clone())),
         ));
         let client = world.add_actor(ClientActor::new());
+        if config.truncation.compaction {
+            world
+                .actor_mut::<ClientActor>(client)
+                .expect("client")
+                .set_ack_decisions(true);
+        }
 
         // Install the initial view at every replica (members and spares).
         for (shard, shard_members) in &members {
@@ -218,6 +235,7 @@ impl Cluster {
             spares,
             replicas_per_shard: config.replicas_per_shard,
             next_coordinator: 0,
+            execution: config.execution,
         }
     }
 
@@ -384,20 +402,36 @@ impl Cluster {
         self.world.restart(pid)
     }
 
-    /// Runs the simulation until no events remain.
+    /// Runs the cluster until no events remain (on the configured
+    /// [`ExecutionMode`]: simulated or threaded).
     pub fn run_to_quiescence(&mut self) {
-        self.world.run();
+        match self.execution {
+            ExecutionMode::Sim => {
+                self.world.run();
+            }
+            ExecutionMode::Threads => {
+                self.world.run_threaded();
+            }
+        }
     }
 
-    /// Runs the simulation for `duration` of simulated time.
+    /// Runs the cluster for `duration` (simulated time on the simulator,
+    /// wall-clock time on the threaded backend).
     pub fn run_for(&mut self, duration: SimDuration) {
         let until = self.world.now() + duration;
-        self.world.run_until(until);
+        self.run_until(until);
     }
 
-    /// Runs the simulation until the given absolute simulated time.
+    /// Runs the cluster until the given absolute time on the cluster's clock.
     pub fn run_until(&mut self, until: SimTime) {
-        self.world.run_until(until);
+        match self.execution {
+            ExecutionMode::Sim => {
+                self.world.run_until(until);
+            }
+            ExecutionMode::Threads => {
+                self.world.run_threaded_until(until);
+            }
+        }
     }
 
     /// The client's recorded TCS history.
@@ -771,6 +805,63 @@ mod tests {
             assert!(log.len() < 64, "member {pid} retains {} slots", log.len());
         }
         assert!(cluster.client_violations().is_empty());
+    }
+
+    /// Decision-map compaction regression: on a 10k-transaction history the
+    /// checkpoint's per-position decision map must stay bounded (without
+    /// compaction it grows linearly — one record per truncated transaction).
+    #[test]
+    fn compaction_bounds_the_checkpoint_on_a_10k_tx_history() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::default()
+                .with_shards(1)
+                .with_seed(37)
+                .with_truncation(TruncationConfig::with_batch(8).with_compaction())
+                .with_batching(BatchingConfig::with_batch(32)),
+        );
+        let coordinator = cluster.initial_members(ShardId::new(0))[1];
+        let total = 10_000u64;
+        let wave = 100u64;
+        for w in 0..(total / wave) {
+            for i in 0..wave {
+                let n = w * wave + i;
+                cluster.submit_via(
+                    TxId::new(n + 1),
+                    rw_payload(&format!("k{n}"), 0, 1),
+                    coordinator,
+                );
+            }
+            cluster.run_to_quiescence();
+        }
+        assert_eq!(cluster.history().decide_count(), total as usize);
+        assert!(cluster.client_violations().is_empty());
+        for pid in cluster.initial_members(ShardId::new(0)).to_vec() {
+            let log = cluster.replica(pid).log();
+            assert!(
+                log.base().as_u64() > total - 256,
+                "member {pid} truncated only to {}",
+                log.base()
+            );
+            assert!(log.len() < 256, "member {pid} retains {} slots", log.len());
+            // The point of the satellite: the decision map does not scale
+            // with history length once every decision has been acked.
+            assert!(
+                log.checkpoint().decided_count() < 64,
+                "member {pid} retains {} checkpoint records of a {total}-tx history",
+                log.checkpoint().decided_count()
+            );
+            assert!(
+                log.acked_pending() < 256,
+                "member {pid} holds {} pending acks",
+                log.acked_pending()
+            );
+        }
+        // Every decision was acknowledged end to end exactly once, and the
+        // coordinator dropped its per-transaction state on the way.
+        assert_eq!(cluster.world.metrics().counter("decisions_acked"), total);
+        assert_eq!(cluster.replica(coordinator).undecided_coordinated(), 0);
+        let violations = crate::invariants::check_cluster(&cluster);
+        assert!(violations.is_empty(), "violations: {violations:?}");
     }
 
     #[test]

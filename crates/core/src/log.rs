@@ -73,8 +73,20 @@
 //! remains exact for untruncated logs, which is the only place the protocols
 //! use it as a vote fallback. `L2` ([`CertificationLog::prepared_payloads_before`])
 //! stays exact always, per the no-lock-state invariant above.
+//!
+//! # Decision-map compaction
+//!
+//! The checkpoint's per-position decision map itself grows with history
+//! length — it exists only so recovery can still learn a truncated
+//! transaction's decision. Once the decision has been acknowledged end to end
+//! (client and coordinator), recovery is impossible by the TCS specification
+//! and the record is dead weight: [`CertificationLog::ack_decided`] drops it,
+//! keeping only the per-key newest-writer residue. The replica-level ack
+//! exchange that drives this is opt-in (see
+//! `crate::replica::TruncationConfig`) so default deployments stay
+//! bit-identical to the paper's message schedule.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ratc_types::{
     Decision, IndexedCertifier, Key, Payload, Position, ProcessId, ShardId, TxId, Version,
@@ -167,8 +179,13 @@ impl Checkpoint {
         self.newest_writers.iter().map(|(k, v)| (k, *v))
     }
 
-    /// Folds one decided slot into the summary.
-    fn fold(&mut self, pos: Position, entry: LogEntry) {
+    /// Folds one decided slot into the summary. With `forget`, the per-key
+    /// newest-writer residue is still accumulated (certification needs it
+    /// forever) but the `(tx, position, decision)` record is dropped: the
+    /// decision has been acknowledged by its client and coordinator, so no
+    /// recovery will ever ask for it again (see
+    /// [`CertificationLog::ack_decided`]).
+    fn fold(&mut self, pos: Position, entry: LogEntry, forget: bool) {
         let decision = entry
             .dec
             .expect("only decided slots are folded into a checkpoint");
@@ -181,8 +198,21 @@ impl Checkpoint {
                     .or_insert(vc);
             }
         }
-        self.by_tx.insert(entry.tx, pos);
-        self.decided.insert(pos, (entry.tx, decision));
+        if !forget {
+            self.by_tx.insert(entry.tx, pos);
+            self.decided.insert(pos, (entry.tx, decision));
+        }
+    }
+
+    /// Drops the `(tx, position, decision)` record of an acknowledged,
+    /// already-folded transaction. The newest-writer residue is untouched.
+    /// Returns `true` if a record was removed.
+    fn prune(&mut self, tx: TxId) -> bool {
+        let Some(pos) = self.by_tx.remove(&tx) else {
+            return false;
+        };
+        self.decided.remove(&pos);
+        true
     }
 }
 
@@ -203,6 +233,11 @@ pub struct CertificationLog {
     frontier: Position,
     /// Position of every retained transaction (O(1) `position_of`).
     by_tx: HashMap<TxId, Position>,
+    /// Retained transactions whose decision has been fully acknowledged
+    /// (client and coordinator): folded without a decision record when their
+    /// slots are truncated (decision-map compaction, see
+    /// [`CertificationLog::ack_decided`]). Drained by `truncate_to`.
+    acked: BTreeSet<TxId>,
     /// Incremental certifier kept in lockstep with the slot phases, if any.
     index: Option<Box<dyn IndexedCertifier>>,
 }
@@ -464,10 +499,44 @@ impl CertificationLog {
             let entry = slot.expect("the decided frontier never crosses a hole");
             debug_assert_eq!(entry.phase, TxPhase::Decided);
             self.by_tx.remove(&entry.tx);
-            self.checkpoint.fold(Position::new(base + i as u64), entry);
+            let forget = self.acked.remove(&entry.tx);
+            self.checkpoint
+                .fold(Position::new(base + i as u64), entry, forget);
         }
         self.checkpoint.base = target;
         n
+    }
+
+    /// Decision-map compaction: the decision of `tx` has been acknowledged by
+    /// its client and coordinator, so no recovery coordinator will ever
+    /// re-drive it — its `(tx, position, decision)` record may be dropped.
+    /// If the slot is already folded, the checkpoint record is pruned now;
+    /// if it is still retained, the transaction is remembered and folded
+    /// without a record when truncation reaches it. The per-key newest-writer
+    /// residue is kept either way (certification needs it forever).
+    ///
+    /// Returns `true` if a checkpoint record was pruned immediately.
+    ///
+    /// After pruning, [`CertificationLog::position_of`] and
+    /// [`CertificationLog::truncated_decision`] no longer answer for `tx`: a
+    /// leader receiving a `PREPARE` for it would re-certify it as new. The
+    /// compaction protocol (see `crate::replica::TruncationConfig`) only acks
+    /// once the client has the decision, which is exactly when the TCS
+    /// specification guarantees no such `PREPARE` will be sent.
+    pub fn ack_decided(&mut self, tx: TxId) -> bool {
+        if self.checkpoint.prune(tx) {
+            return true;
+        }
+        if self.by_tx.contains_key(&tx) {
+            self.acked.insert(tx);
+        }
+        false
+    }
+
+    /// Number of acknowledged transactions still retained (waiting to be
+    /// folded without a record). Bounded by the retained suffix.
+    pub fn acked_pending(&self) -> usize {
+        self.acked.len()
     }
 
     /// Iterates over the retained filled slots with their positions.
@@ -548,7 +617,14 @@ impl CertificationLog {
                             return false;
                         }
                     }
-                    None => return false,
+                    // A folded position without a record was compacted away
+                    // after full acknowledgement (see `ack_decided`): decided
+                    // and agreed, nothing left to compare.
+                    None => {
+                        if !other.checkpoint.covers(pos) {
+                            return false;
+                        }
+                    }
                 },
             }
         }
@@ -562,7 +638,12 @@ impl CertificationLog {
                         return false;
                     }
                 }
-                None => return false,
+                // Compacted on the other side (see above): compatible.
+                None => {
+                    if !other.checkpoint.covers(pos) {
+                        return false;
+                    }
+                }
             }
         }
         true
@@ -991,6 +1072,87 @@ mod tests {
         let mut bad = CertificationLog::new();
         bad.store_at(Position::new(0), entry(9));
         assert!(!bad.is_prefix_with_holes_of(&leader, leader.next()));
+    }
+
+    #[test]
+    fn ack_decided_prunes_folded_records_and_keeps_the_residue() {
+        let mut log = indexed_log();
+        let p0 = log.append(rw_entry(1, "x", 0, 4));
+        let p1 = log.append(rw_entry(2, "y", 0, 6));
+        log.decide(p0, Decision::Commit);
+        log.decide(p1, Decision::Commit);
+        log.truncate_to(Position::new(2));
+        assert_eq!(log.checkpoint().decided_count(), 2);
+
+        // Ack after the fold: the record is pruned immediately.
+        assert!(log.ack_decided(TxId::new(1)));
+        assert_eq!(log.checkpoint().decided_count(), 1);
+        assert_eq!(log.position_of(TxId::new(1)), None);
+        assert_eq!(log.truncated_decision(TxId::new(1)), None);
+        // The unacked record and the base are untouched.
+        assert_eq!(log.truncated_decision(TxId::new(2)), Some(Decision::Commit));
+        assert_eq!(log.base(), Position::new(2));
+        // Pruned positions still count as covered: stale messages stay no-ops.
+        assert_eq!(log.phase(p0), TxPhase::Decided);
+        assert!(!log.store_at(p0, rw_entry(9, "q", 0, 1)));
+        // The newest-writer residue survives: a stale read of "x" still aborts.
+        let stale = Payload::builder()
+            .read(Key::new("x"), Version::new(0))
+            .build()
+            .expect("well-formed");
+        assert_eq!(log.vote_at(log.next(), &stale), Some(Decision::Abort));
+        // Duplicate acks are idempotent.
+        assert!(!log.ack_decided(TxId::new(1)));
+    }
+
+    #[test]
+    fn ack_decided_before_truncation_folds_without_a_record() {
+        let mut log = indexed_log();
+        let p0 = log.append(rw_entry(1, "x", 0, 4));
+        let p1 = log.append(rw_entry(2, "y", 0, 6));
+        log.decide(p0, Decision::Commit);
+        log.decide(p1, Decision::Commit);
+        // Ack while the slots are still retained: remembered, not yet pruned.
+        assert!(!log.ack_decided(TxId::new(1)));
+        assert_eq!(log.acked_pending(), 1);
+        // Unknown transactions are ignored entirely.
+        assert!(!log.ack_decided(TxId::new(77)));
+        assert_eq!(log.acked_pending(), 1);
+
+        log.truncate_to(Position::new(2));
+        // The acked slot was folded without a record, the other with one.
+        assert_eq!(log.acked_pending(), 0);
+        assert_eq!(log.checkpoint().decided_count(), 1);
+        assert_eq!(log.truncated_decision(TxId::new(1)), None);
+        assert_eq!(log.truncated_decision(TxId::new(2)), Some(Decision::Commit));
+        // Residue is intact either way.
+        let stale = Payload::builder()
+            .read(Key::new("x"), Version::new(0))
+            .build()
+            .expect("well-formed");
+        assert_eq!(log.vote_at(log.next(), &stale), Some(Decision::Abort));
+    }
+
+    #[test]
+    fn prefix_with_holes_tolerates_compacted_records() {
+        let mut full = CertificationLog::new();
+        let mut compacted = CertificationLog::new();
+        for i in 1..=3u64 {
+            let e = entry(i);
+            full.append(e.clone());
+            compacted.append(e);
+        }
+        for i in 0..3u64 {
+            full.decide(Position::new(i), Decision::Commit);
+            compacted.decide(Position::new(i), Decision::Commit);
+        }
+        full.truncate_to(Position::new(2));
+        compacted.truncate_to(Position::new(2));
+        compacted.ack_decided(TxId::new(1));
+        // A pruned record on either side compares as compatible (it was
+        // decided and fully acknowledged), in both directions.
+        assert!(full.is_prefix_with_holes_of(&compacted, full.next()));
+        assert!(compacted.is_prefix_with_holes_of(&full, full.next()));
     }
 
     #[test]

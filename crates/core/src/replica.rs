@@ -75,6 +75,23 @@ pub struct TruncationConfig {
     pub enabled: bool,
     /// Minimum number of slots to fold per truncation.
     pub batch: u64,
+    /// Checkpoint decision-map compaction (**opt-in, default off**). When
+    /// enabled, clients acknowledge each received `DECISION` back to its
+    /// sender (`DECISION_ACK`), and the coordinator relays the full
+    /// acknowledgement to every member of every shard of the transaction
+    /// (`ACK_DECIDED`), which then drops the transaction's
+    /// `(tx, position, decision)` checkpoint record — the decision can never
+    /// be asked for again once the client has it, so the record is dead
+    /// weight (see [`crate::log::CertificationLog::ack_decided`]). The
+    /// coordinator also drops its own per-transaction state, bounding
+    /// coordinator memory the same way.
+    ///
+    /// Off by default because the two extra message legs are not part of the
+    /// paper's vocabulary: enabling them perturbs the simulated schedule, and
+    /// same-seed runs must stay bit-identical to the paper's protocol unless
+    /// a deployment explicitly asks for compaction. Only the message-passing
+    /// stack implements the ack exchange; the flag is inert elsewhere.
+    pub compaction: bool,
 }
 
 impl Default for TruncationConfig {
@@ -82,6 +99,7 @@ impl Default for TruncationConfig {
         TruncationConfig {
             enabled: true,
             batch: 32,
+            compaction: false,
         }
     }
 }
@@ -93,6 +111,7 @@ impl TruncationConfig {
         TruncationConfig {
             enabled: false,
             batch: u64::MAX,
+            compaction: false,
         }
     }
 
@@ -101,7 +120,14 @@ impl TruncationConfig {
         TruncationConfig {
             enabled: true,
             batch: batch.max(1),
+            compaction: false,
         }
+    }
+
+    /// Returns a copy with decision-map compaction switched on.
+    pub fn with_compaction(mut self) -> Self {
+        self.compaction = true;
+        self
     }
 }
 
@@ -1180,6 +1206,36 @@ impl Replica {
         }
     }
 
+    /// Compaction leg 1 received: the client acknowledged the decision of
+    /// `tx`. Relay the full acknowledgement to every member of every shard of
+    /// the transaction, then drop the coordinator state — neither the client
+    /// (it has the decision) nor a recovery coordinator (no member still
+    /// holds the transaction prepared once it is decided everywhere) will
+    /// ever ask this coordinator about `tx` again.
+    fn handle_decision_ack(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
+        let Some(coord) = self.coordinating.get(&tx) else {
+            return;
+        };
+        if !coord.decided {
+            return; // stray ack for a transaction still in flight
+        }
+        let shards = coord.shards.clone();
+        for shard in shards {
+            let members = self.members_of(shard).to_vec();
+            ctx.send_to_many(members, Msg::AckDecided { tx });
+        }
+        self.coordinating.remove(&tx);
+        ctx.add_counter("decisions_acked", 1);
+    }
+
+    /// Compaction leg 2 received: drop the transaction's checkpoint decision
+    /// record (or mark it to be folded without one).
+    fn handle_ack_decided(&mut self, tx: TxId, ctx: &mut Context<'_, Msg>) {
+        if self.log.ack_decided(tx) {
+            ctx.add_counter("checkpoint_records_pruned", 1);
+        }
+    }
+
     /// A shard leader answered a `PREPARE` for a transaction it has already
     /// decided and truncated: adopt the decision, report it to the client
     /// (duplicate identical decisions are benign there), and propagate it to
@@ -1817,6 +1873,8 @@ impl Actor<Msg> for Replica {
             } => self.handle_decision_shard(epoch, pos, decision, truncate_to, ctx),
             Msg::DecisionClient { .. } => {}
             Msg::Retry { tx } => self.handle_retry(tx, ctx),
+            Msg::DecisionAck { tx } => self.handle_decision_ack(tx, ctx),
+            Msg::AckDecided { tx } => self.handle_ack_decided(tx, ctx),
             Msg::TxDecided {
                 tx,
                 decision,

@@ -54,4 +54,5 @@ pub mod spec;
 
 pub use cluster::{StackKind, TcsCluster};
 pub use ratc_core::client::DecisionLatency;
+pub use ratc_sim::ExecutionMode;
 pub use spec::ClusterSpec;

@@ -7,7 +7,7 @@ use ratc_core::batch::BatchingConfig;
 use ratc_core::harness::{Cluster, ClusterConfig};
 use ratc_core::replica::TruncationConfig;
 use ratc_rdma::{RdmaCluster, RdmaClusterConfig, ReconfigMode};
-use ratc_sim::SimConfig;
+use ratc_sim::{ExecutionMode, SimConfig};
 use ratc_types::{CertificationPolicy, Serializability};
 
 use crate::cluster::{StackKind, TcsCluster};
@@ -46,6 +46,9 @@ pub struct ClusterSpec {
     pub batching: BatchingConfig,
     /// Simulation parameters (seed, latency model, tracing).
     pub sim: SimConfig,
+    /// Which engine drives the cluster's actors: the deterministic simulator
+    /// (default) or one OS thread per process (see [`ExecutionMode`]).
+    pub execution: ExecutionMode,
 }
 
 impl Default for ClusterSpec {
@@ -59,6 +62,7 @@ impl Default for ClusterSpec {
             truncation: TruncationConfig::default(),
             batching: BatchingConfig::default(),
             sim: SimConfig::default(),
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -139,6 +143,12 @@ impl ClusterSpec {
         self
     }
 
+    /// Returns a copy with the given execution mode (simulated or threaded).
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Replicas this spec deploys per shard on its stack.
     pub fn replicas_per_shard(&self) -> usize {
         match self.stack {
@@ -168,6 +178,7 @@ impl ClusterSpec {
             truncation: self.truncation,
             batching: self.batching,
             sim: self.sim.clone(),
+            execution: self.execution,
         })
     }
 
@@ -189,6 +200,7 @@ impl ClusterSpec {
             mode,
             truncation: self.truncation,
             batching: self.batching,
+            execution: self.execution,
         })
     }
 
@@ -202,6 +214,7 @@ impl ClusterSpec {
             policy: self.policy.clone(),
             batching: self.batching,
             sim: self.sim.clone(),
+            execution: self.execution,
         })
     }
 }

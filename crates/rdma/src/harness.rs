@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use ratc_config::GlobalConfiguration;
 use ratc_sim::rdma::RdmaToken;
-use ratc_sim::{Actor, Context, SimConfig, SimDuration, SimTime, World};
+use ratc_sim::{Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, World};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, HashSharding, Payload, ProcessId, Serializability,
     ShardId, ShardMap, TcsHistory, TxId,
@@ -38,6 +38,9 @@ pub struct RdmaClusterConfig {
     pub truncation: TruncationConfig,
     /// Batched certification pipeline (default: disabled).
     pub batching: BatchingConfig,
+    /// Which engine drives the actors: the deterministic simulator or one OS
+    /// thread per process (see [`ExecutionMode`]).
+    pub execution: ExecutionMode,
 }
 
 impl Default for RdmaClusterConfig {
@@ -51,6 +54,7 @@ impl Default for RdmaClusterConfig {
             mode: ReconfigMode::GlobalCorrect,
             truncation: TruncationConfig::default(),
             batching: BatchingConfig::default(),
+            execution: ExecutionMode::default(),
         }
     }
 }
@@ -93,6 +97,12 @@ impl RdmaClusterConfig {
     /// Returns a copy with the given batching-pipeline knobs.
     pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given execution mode.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -198,6 +208,7 @@ pub struct RdmaCluster {
     replicas_per_shard: usize,
     next_coordinator: usize,
     mode: ReconfigMode,
+    execution: ExecutionMode,
 }
 
 impl RdmaCluster {
@@ -280,6 +291,7 @@ impl RdmaCluster {
             replicas_per_shard: config.replicas_per_shard,
             next_coordinator: 0,
             mode: config.mode,
+            execution: config.execution,
         }
     }
 
@@ -422,20 +434,35 @@ impl RdmaCluster {
         self.world.restart(pid)
     }
 
-    /// Runs until no events remain.
+    /// Runs until no events remain (on the configured [`ExecutionMode`]).
     pub fn run_to_quiescence(&mut self) {
-        self.world.run();
+        match self.execution {
+            ExecutionMode::Sim => {
+                self.world.run();
+            }
+            ExecutionMode::Threads => {
+                self.world.run_threaded();
+            }
+        }
     }
 
-    /// Runs for `duration` of simulated time.
+    /// Runs for `duration` (simulated time on the simulator, wall-clock time
+    /// on the threaded backend).
     pub fn run_for(&mut self, duration: SimDuration) {
         let until = self.world.now() + duration;
-        self.world.run_until(until);
+        self.run_until(until);
     }
 
-    /// Runs the simulation until the given absolute simulated time.
+    /// Runs the cluster until the given absolute time on the cluster's clock.
     pub fn run_until(&mut self, until: SimTime) {
-        self.world.run_until(until);
+        match self.execution {
+            ExecutionMode::Sim => {
+                self.world.run_until(until);
+            }
+            ExecutionMode::Threads => {
+                self.world.run_threaded_until(until);
+            }
+        }
     }
 
     /// The client's recorded history.

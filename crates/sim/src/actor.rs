@@ -32,7 +32,10 @@ pub struct TimerId(pub(crate) u64);
 /// Actors must be `'static` (they are owned by the world) and implement
 /// [`Any`] so that tests and experiment harnesses can downcast them back to
 /// their concrete type via [`World::actor`](crate::world::World::actor).
-pub trait Actor<M>: Any {
+/// They must also be [`Send`]: the threaded execution backend
+/// ([`crate::rt`]) moves each actor onto its own OS thread for the duration
+/// of a run.
+pub trait Actor<M>: Any + Send {
     /// Called once when the actor is added to the world.
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
         let _ = ctx;
@@ -72,6 +75,46 @@ pub trait Actor<M>: Any {
     /// timers must be re-armed here.
     fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
         let _ = ctx;
+    }
+}
+
+/// A single upcall into an actor, in transport-neutral form.
+///
+/// Both execution backends — the deterministic simulator
+/// ([`World`](crate::world::World)) and the threaded runtime
+/// ([`crate::rt`]) — reduce their events to an `Upcall` and drive the actor
+/// through [`dispatch`], so the actor-facing semantics cannot drift between
+/// backends.
+#[derive(Debug)]
+pub(crate) enum Upcall<M> {
+    /// The actor was just added to its world.
+    Start,
+    /// A network message arrived.
+    Message { from: ProcessId, msg: M },
+    /// A timer fired.
+    Timer { tag: TimerTag },
+    /// An RDMA write issued by this actor reached the remote memory.
+    RdmaAck { token: RdmaToken, to: ProcessId },
+    /// The local poller picked an RDMA message out of this actor's memory.
+    RdmaDeliver { from: ProcessId, msg: M },
+    /// The process was restarted after a crash.
+    Restart,
+}
+
+/// Invokes the handler matching `upcall` on `actor`. The single dispatch
+/// point shared by both execution backends.
+pub(crate) fn dispatch<M: 'static>(
+    actor: &mut dyn Actor<M>,
+    upcall: Upcall<M>,
+    ctx: &mut Context<'_, M>,
+) {
+    match upcall {
+        Upcall::Start => actor.on_start(ctx),
+        Upcall::Message { from, msg } => actor.on_message(from, msg, ctx),
+        Upcall::Timer { tag } => actor.on_timer(tag, ctx),
+        Upcall::RdmaAck { token, to } => actor.on_rdma_ack(token, to, ctx),
+        Upcall::RdmaDeliver { from, msg } => actor.on_rdma_deliver(from, msg, ctx),
+        Upcall::Restart => actor.on_restart(ctx),
     }
 }
 

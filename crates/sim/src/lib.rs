@@ -67,6 +67,7 @@ pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod rdma;
+pub mod rt;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::latency::LatencyModel;
     pub use crate::metrics::Metrics;
     pub use crate::rdma::RdmaSendOutcome;
+    pub use crate::rt::ExecutionMode;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceEvent, TraceKind};
     pub use crate::world::{SimConfig, World};
@@ -88,6 +90,7 @@ pub use faults::{FaultScope, LinkFault};
 pub use latency::LatencyModel;
 pub use metrics::Metrics;
 pub use rdma::RdmaSendOutcome;
+pub use rt::ExecutionMode;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceKind};
 pub use world::{SimConfig, World};

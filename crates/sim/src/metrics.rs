@@ -184,6 +184,42 @@ impl Metrics {
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
+
+    /// Folds another collector into this one: counters and summaries add up,
+    /// raw samples are appended. Used by the threaded backend
+    /// ([`crate::rt`]) to merge the per-thread collectors back into the
+    /// world's collector after a run. Sample ordering across processes is
+    /// unspecified (it already is meaningless across actors in the
+    /// simulator); percentiles and means are unaffected.
+    pub fn absorb(&mut self, other: Metrics) {
+        for (pid, counters) in other.per_process {
+            let mine = self.per_process.entry(pid).or_default();
+            mine.sent += counters.sent;
+            mine.received += counters.received;
+            mine.rdma_writes += counters.rdma_writes;
+            mine.rdma_acks += counters.rdma_acks;
+            mine.rdma_delivered += counters.rdma_delivered;
+        }
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_default() += value;
+        }
+        for (name, summary) in other.samples {
+            let mine = self.samples.entry(name).or_default();
+            if mine.count == 0 {
+                *mine = summary;
+            } else if summary.count > 0 {
+                mine.min = mine.min.min(summary.min);
+                mine.max = mine.max.max(summary.max);
+                mine.count += summary.count;
+                mine.sum += summary.sum;
+            }
+        }
+        for (name, mut raw) in other.raw_samples {
+            self.raw_samples.entry(name).or_default().append(&mut raw);
+        }
+        self.total_delivered += other.total_delivered;
+        self.rdma_rejected += other.rdma_rejected;
+    }
 }
 
 #[cfg(test)]

@@ -211,6 +211,34 @@ impl<M> RdmaFabric<M> {
     pub(crate) fn rejected_count(&self) -> u64 {
         self.rejected
     }
+
+    /// Decomposes the fabric into its parts so the threaded backend
+    /// ([`crate::rt`]) can share them across threads for the duration of a
+    /// run: `(permissions, inboxes, rejected-count)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+        BTreeMap<ProcessId, RdmaInbox<M>>,
+        u64,
+    ) {
+        (self.allowed, self.inboxes, self.rejected)
+    }
+
+    /// Reassembles a fabric from parts returned by
+    /// [`RdmaFabric::into_parts`].
+    pub(crate) fn from_parts(
+        allowed: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+        inboxes: BTreeMap<ProcessId, RdmaInbox<M>>,
+        rejected: u64,
+    ) -> Self {
+        RdmaFabric {
+            allowed,
+            inboxes,
+            rejected,
+        }
+    }
 }
 
 #[cfg(test)]

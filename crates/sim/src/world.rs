@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use ratc_types::ProcessId;
 
-use crate::actor::{Actor, Context, Effect, TimerId};
+use crate::actor::{dispatch, Actor, Context, Effect, TimerId, Upcall};
 use crate::event::{EventKind, QueuedEvent};
 use crate::faults::{FaultDecision, FaultPlane, LinkFault};
 use crate::latency::LatencyModel;
@@ -84,25 +84,25 @@ impl SimConfig {
 /// See the [crate-level documentation](crate) for an overview and an example.
 pub struct World<M> {
     config: SimConfig,
-    now: SimTime,
+    pub(crate) now: SimTime,
     seq: u64,
-    steps: u64,
-    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
-    actors: BTreeMap<ProcessId, Option<Box<dyn Actor<M>>>>,
+    pub(crate) steps: u64,
+    pub(crate) queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    pub(crate) actors: BTreeMap<ProcessId, Option<Box<dyn Actor<M>>>>,
     next_pid: u64,
-    crashed: BTreeSet<ProcessId>,
+    pub(crate) crashed: BTreeSet<ProcessId>,
     fifo_last: BTreeMap<(ProcessId, ProcessId), SimTime>,
     rng: ChaCha12Rng,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     trace: Vec<TraceEvent>,
-    rdma: RdmaFabric<M>,
-    next_timer_id: u64,
-    next_rdma_token: u64,
-    cancelled_timers: BTreeSet<TimerId>,
+    pub(crate) rdma: RdmaFabric<M>,
+    pub(crate) next_timer_id: u64,
+    pub(crate) next_rdma_token: u64,
+    pub(crate) cancelled_timers: BTreeSet<TimerId>,
     faults: FaultPlane,
     /// Crash-restart incarnation per process; timers never survive into a
     /// later incarnation.
-    incarnations: BTreeMap<ProcessId, u64>,
+    pub(crate) incarnations: BTreeMap<ProcessId, u64>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -158,7 +158,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         let pid = ProcessId::new(self.next_pid);
         self.next_pid += 1;
         self.actors.insert(pid, Some(actor));
-        self.with_actor(pid, 0, |actor, ctx| actor.on_start(ctx));
+        self.with_actor(pid, 0, Upcall::Start);
         pid
     }
 
@@ -273,7 +273,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         }
         *self.incarnations.entry(pid).or_insert(0) += 1;
         self.record_trace(TraceKind::Restart, pid, pid, "restart".to_owned(), 0);
-        self.with_actor(pid, 0, |actor, ctx| actor.on_restart(ctx));
+        self.with_actor(pid, 0, Upcall::Restart);
         true
     }
 
@@ -381,7 +381,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
 
     // -- internals ---------------------------------------------------------
 
-    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+    pub(crate) fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
@@ -578,13 +578,10 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         }
     }
 
-    /// Runs `f` on the actor `pid` with a fresh context, then applies the
-    /// effects it produced. Returns `false` if the actor does not exist or has
-    /// crashed.
-    fn with_actor<F>(&mut self, pid: ProcessId, hops: u32, f: F) -> bool
-    where
-        F: FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
-    {
+    /// Drives the actor `pid` through the shared [`dispatch`] seam with a
+    /// fresh context, then applies the effects it produced. Returns `false`
+    /// if the actor does not exist or has crashed.
+    fn with_actor(&mut self, pid: ProcessId, hops: u32, upcall: Upcall<M>) -> bool {
         if self.crashed.contains(&pid) {
             return false;
         }
@@ -607,7 +604,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 next_timer_id: &mut self.next_timer_id,
                 next_rdma_token: &mut self.next_rdma_token,
             };
-            f(actor.as_mut(), &mut ctx);
+            dispatch(actor.as_mut(), upcall, &mut ctx);
             effects = std::mem::take(&mut ctx.effects);
         }
         self.rdma.put_inbox(pid, inbox);
@@ -644,7 +641,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 }
                 self.record_trace(TraceKind::Deliver, from, to, label_of(&msg), hops);
                 self.metrics.on_receive(to);
-                self.with_actor(to, hops, |actor, ctx| actor.on_message(from, msg, ctx));
+                self.with_actor(to, hops, Upcall::Message { from, msg });
             }
             EventKind::Timer {
                 at,
@@ -661,7 +658,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                     return;
                 }
                 self.record_trace(TraceKind::Timer, at, at, format!("timer#{tag}"), 0);
-                self.with_actor(at, 0, |actor, ctx| actor.on_timer(tag, ctx));
+                self.with_actor(at, 0, Upcall::Timer { tag });
             }
             EventKind::RdmaArrive {
                 from,
@@ -723,9 +720,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                     hops,
                 );
                 self.metrics.on_rdma_ack(sender);
-                self.with_actor(sender, hops, |actor, ctx| {
-                    actor.on_rdma_ack(token, target, ctx)
-                });
+                self.with_actor(sender, hops, Upcall::RdmaAck { token, to: target });
             }
             EventKind::RdmaDeliver { at, index, hops } => {
                 if self.crashed.contains(&at) {
@@ -739,11 +734,31 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 if let Some((from, msg)) = entry {
                     self.record_trace(TraceKind::RdmaDeliver, from, at, label_of(&msg), hops);
                     self.metrics.on_rdma_deliver(at);
-                    self.with_actor(at, hops, |actor, ctx| actor.on_rdma_deliver(from, msg, ctx));
+                    self.with_actor(at, hops, Upcall::RdmaDeliver { from, msg });
                 }
             }
             EventKind::Crash { at } => self.execute_crash(at),
         }
+    }
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
+    /// Runs the world on the threaded backend ([`crate::rt`]) until every
+    /// in-flight message and armed timer has drained, bounded by
+    /// [`crate::rt::QUIESCENCE_TIMEOUT`]. One OS thread per live process,
+    /// real time, wall-clock timers; see the [`crate::rt`] module docs for
+    /// the exact semantics and how they differ from [`World::run`].
+    /// Returns the number of events executed by this call.
+    pub fn run_threaded(&mut self) -> u64 {
+        crate::rt::run_threaded(self, None)
+    }
+
+    /// Runs the world on the threaded backend until it quiesces or until
+    /// virtual time reaches `until`, whichever comes first (the threaded
+    /// counterpart of [`World::run_until`]). Afterwards the clock is at
+    /// least `until`. Returns the number of events executed by this call.
+    pub fn run_threaded_until(&mut self, until: SimTime) -> u64 {
+        crate::rt::run_threaded(self, Some(until))
     }
 }
 

@@ -23,7 +23,7 @@
 //! which transaction of a conflicting pair wins (message timing), decision
 //! latency (5 vs 7 delays), and whether recovery needs a reconfiguration.
 
-use ratc_harness::{ClusterSpec, StackKind};
+use ratc_harness::{ClusterSpec, ExecutionMode, StackKind};
 use ratc_types::{Decision, Epoch, Key, Payload, Serializability, ShardId, TxId, Value, Version};
 
 use crate::correctness::check_history;
@@ -54,16 +54,36 @@ fn err(stack: StackKind, scenario: &str, detail: String) -> String {
     format!("{stack} / {scenario}: {detail}")
 }
 
-/// Runs the full conformance scenario sequence against `stack` with `seed`.
+/// Runs the full conformance scenario sequence against `stack` with `seed`
+/// on the deterministic simulator.
 ///
 /// # Errors
 ///
 /// Returns a description of the first observable divergence from the shared
 /// TCS semantics.
 pub fn check_conformance(stack: StackKind, seed: u64) -> Result<ConformanceReport, String> {
+    check_conformance_with(stack, seed, ExecutionMode::Sim)
+}
+
+/// Runs the full conformance scenario sequence against `stack` with `seed`
+/// on the given execution backend. The scenarios, assertions and allowed
+/// divergences are identical on both backends: the suite checks the
+/// protocol-level contract, which must not depend on the engine driving the
+/// actors.
+///
+/// # Errors
+///
+/// Returns a description of the first observable divergence from the shared
+/// TCS semantics.
+pub fn check_conformance_with(
+    stack: StackKind,
+    seed: u64,
+    execution: ExecutionMode,
+) -> Result<ConformanceReport, String> {
     let mut cluster = ClusterSpec::new(stack)
         .with_shards(2)
         .with_seed(seed)
+        .with_execution(execution)
         .build();
     if cluster.stack() != stack {
         return Err(err(stack, "build", format!("built {}", cluster.stack())));
@@ -277,6 +297,97 @@ mod tests {
     #[test]
     fn baseline_conforms_to_the_tcs_cluster_contract() {
         conforms(StackKind::Baseline);
+    }
+
+    fn conforms_threaded(stack: StackKind) {
+        let report = check_conformance_with(stack, 1, ExecutionMode::Threads)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.decided > 0 && report.committed > 0);
+        assert_eq!(report.reconfigured, stack != StackKind::Baseline);
+    }
+
+    #[test]
+    fn core_conforms_on_the_threaded_backend() {
+        conforms_threaded(StackKind::Core);
+    }
+
+    #[test]
+    fn rdma_conforms_on_the_threaded_backend() {
+        conforms_threaded(StackKind::Rdma);
+    }
+
+    #[test]
+    fn baseline_conforms_on_the_threaded_backend() {
+        conforms_threaded(StackKind::Baseline);
+    }
+
+    /// Runs a workload whose per-transaction outcomes are *forced* (disjoint
+    /// transactions must commit; a read of an already-overwritten version
+    /// must abort) and returns the decision of every transaction.
+    fn forced_workload(stack: StackKind, execution: ExecutionMode) -> Vec<(TxId, Decision)> {
+        let mut cluster = ClusterSpec::new(stack)
+            .with_shards(2)
+            .with_seed(5)
+            .with_execution(execution)
+            .build();
+        let mut txs = Vec::new();
+        // Ten disjoint transactions: every stack must commit all of them.
+        for i in 0..10u64 {
+            let tx = TxId::new(i + 1);
+            cluster.submit(tx, rw(&format!("agree-{i}"), 1));
+            txs.push(tx);
+        }
+        cluster.run_to_quiescence();
+        // Sequential conflicts: the second read of version 0 happens after
+        // version 1 committed, so it must abort — on every backend.
+        for i in 0..3u64 {
+            let winner = TxId::new(100 + i);
+            cluster.submit(winner, rw(&format!("stale-{i}"), 1));
+            cluster.run_to_quiescence();
+            let loser = TxId::new(200 + i);
+            cluster.submit(loser, rw(&format!("stale-{i}"), 2));
+            cluster.run_to_quiescence();
+            txs.push(winner);
+            txs.push(loser);
+        }
+        assert!(
+            cluster.client_violations().is_empty(),
+            "{stack}/{execution}"
+        );
+        let history = cluster.history();
+        let violations = check_history(&history, &Serializability::new());
+        assert!(violations.is_empty(), "{stack}/{execution}: {violations:?}");
+        txs.into_iter()
+            .map(|tx| {
+                let decision = history
+                    .decision(tx)
+                    .unwrap_or_else(|| panic!("{stack}/{execution}: {tx} undecided"));
+                (tx, decision)
+            })
+            .collect()
+    }
+
+    /// The same seeded workload, run once on the simulator and once on the
+    /// threaded backend, reaches the identical per-transaction commit/abort
+    /// decisions on every stack — the execution engine is not observable at
+    /// the TCS level.
+    #[test]
+    fn sim_and_threaded_backends_agree_on_forced_decisions() {
+        for stack in [StackKind::Core, StackKind::Rdma, StackKind::Baseline] {
+            let sim = forced_workload(stack, ExecutionMode::Sim);
+            let threaded = forced_workload(stack, ExecutionMode::Threads);
+            assert_eq!(sim, threaded, "{stack}: backends diverged");
+            // The forced outcomes themselves: disjoint all commit, every
+            // sequential stale read aborts.
+            for (tx, decision) in &sim {
+                let expected = if tx.as_u64() >= 200 {
+                    Decision::Abort
+                } else {
+                    Decision::Commit
+                };
+                assert_eq!(decision, &expected, "{stack}: {tx}");
+            }
+        }
     }
 
     /// The same disjoint seeded workload produces the identical committed

@@ -13,7 +13,10 @@
 //! configurable read/write mixes); [`counterexample`] reproduces the Figure
 //! 4a schedule.
 //!
-//! Every experiment is deterministic given its seed.
+//! Every simulated experiment is deterministic given its seed; the E9
+//! wall-clock drivers ([`wallclock_experiment`],
+//! [`wallclock_scaling_experiment`]) run on the threaded backend instead and
+//! report real, host-dependent committed-tx/s.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -26,9 +29,9 @@ pub use counterexample::{run_counterexample, CounterexampleOutcome};
 pub use experiments::{
     abort_rate_experiment, batching_experiment, invariants_experiment, latency_experiment,
     leader_load_experiment, reconfiguration_experiment, replication_cost_experiment,
-    scaling_experiment, truncation_experiment, AbortRateResult, BatchingResult, InvariantsResult,
-    LatencyResult, LeaderLoadResult, ReconfigurationResult, ReplicationCostResult, ScalingResult,
-    TruncationResult,
+    scaling_experiment, truncation_experiment, wallclock_experiment, wallclock_scaling_experiment,
+    AbortRateResult, BatchingResult, InvariantsResult, LatencyResult, LeaderLoadResult,
+    ReconfigurationResult, ReplicationCostResult, ScalingResult, TruncationResult, WallclockResult,
 };
 pub use generator::{KeyDistribution, WorkloadSpec};
 pub use ratc_harness::{ClusterSpec, StackKind, TcsCluster};
