@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use ratc_core::batch::BatchingConfig;
 use ratc_core::client::DecisionLatency;
+use ratc_core::flow::FlowControlConfig;
 use ratc_sim::{Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, World};
 use ratc_types::{
     CertificationPolicy, Decision, HashSharding, Payload, ProcessId, Serializability, ShardId,
@@ -28,6 +29,10 @@ pub struct BaselineClusterConfig {
     /// Batched log appends (default: disabled): shard leaders coalesce
     /// certified votes into one Multi-Paxos command per batch.
     pub batching: BatchingConfig,
+    /// Flow control (default: on): TM admission window, retry backoff and
+    /// Paxos retransmit backoff. [`FlowControlConfig::legacy`] reproduces the
+    /// pre-fix congestive collapse.
+    pub flow: FlowControlConfig,
     /// Simulation parameters.
     pub sim: SimConfig,
     /// Which engine drives the actors: the deterministic simulator or one OS
@@ -42,6 +47,7 @@ impl Default for BaselineClusterConfig {
             f: 1,
             policy: Arc::new(Serializability::new()),
             batching: BatchingConfig::default(),
+            flow: FlowControlConfig::default(),
             sim: SimConfig::default(),
             execution: ExecutionMode::default(),
         }
@@ -79,6 +85,12 @@ impl BaselineClusterConfig {
     /// Returns a copy with the given batching-pipeline knobs.
     pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given flow-control knobs.
+    pub fn with_flow(mut self, flow: FlowControlConfig) -> Self {
+        self.flow = flow;
         self
     }
 
@@ -208,13 +220,15 @@ impl BaselineCluster {
                     .expect("replica");
                 replica.install(*pid, group.clone(), *pid == shard_leaders[shard], tm_leader);
                 replica.set_batching(config.batching);
+                replica.set_flow(config.flow);
             }
         }
         for pid in &tm_group {
-            world
+            let tm = world
                 .actor_mut::<TransactionManager>(*pid)
-                .expect("tm member")
-                .install(*pid, tm_group.clone(), tm_leader, shard_leaders.clone());
+                .expect("tm member");
+            tm.install(*pid, tm_group.clone(), tm_leader, shard_leaders.clone());
+            tm.set_flow(config.flow);
         }
 
         BaselineCluster {
@@ -564,6 +578,49 @@ mod tests {
         // point is that the call returned.
         assert!(cluster.history().certify_count() == 1);
         assert!(cluster.client_violations().is_empty());
+    }
+
+    /// Deterministic reproduction of the PR 6 congestive collapse, entirely
+    /// in virtual time. The simulator's default zero-cost handlers masked the
+    /// collapse (retries were free), so the world is given a per-message
+    /// service time, making every process a single-server queue. Under a
+    /// deep open-loop flood the legacy fixed-interval retry tick re-drives
+    /// every pending transaction every 20 ms — more work per tick than the
+    /// shard leader can serve per tick — and transactions stay undecided for
+    /// the whole (bounded) virtual-time budget. The same flood under the
+    /// flow-control layer (admission window + retry backoff) fully decides.
+    #[test]
+    fn flow_control_fixes_the_simulated_congestive_collapse() {
+        let run = |flow: FlowControlConfig| {
+            let mut config = BaselineClusterConfig::default()
+                .with_shards(1)
+                .with_seed(41)
+                .with_flow(flow)
+                .with_batching(BatchingConfig::disabled());
+            config.sim = config.sim.with_service_micros(200);
+            let mut cluster = BaselineCluster::new(config);
+            // Supercritical: re-driving every pending transaction costs the
+            // shard leader `total * service` = 200 ms of work per 20 ms tick.
+            let total = 1000u64;
+            for i in 0..total {
+                cluster.submit(TxId::new(i + 1), rw(&format!("k{i}")));
+            }
+            // Bounded virtual-time budget: ample for a healthy cluster, far
+            // past the point where a collapsing one would have recovered.
+            cluster.run_until(SimTime::ZERO + SimDuration::from_millis(5_000));
+            assert!(cluster.client_violations().is_empty());
+            total as usize - cluster.history().decide_count()
+        };
+        let undecided_legacy = run(FlowControlConfig::legacy());
+        assert!(
+            undecided_legacy > 0,
+            "pre-fix configuration must reproduce the collapse (all decided?)"
+        );
+        let undecided_fixed = run(FlowControlConfig::default());
+        assert_eq!(
+            undecided_fixed, 0,
+            "flow control must fully decide the same flood"
+        );
     }
 
     #[test]

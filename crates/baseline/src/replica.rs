@@ -3,8 +3,9 @@
 use std::collections::BTreeMap;
 
 use ratc_core::batch::{BatchingConfig, VoteBatcher};
+use ratc_core::flow::FlowControlConfig;
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, Context, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, TimerTag};
 #[cfg(debug_assertions)]
 use ratc_types::MirrorCertifier;
 use ratc_types::{
@@ -95,6 +96,11 @@ pub struct BaselineShardReplica {
     retransmit_armed: bool,
     /// Consecutive retransmission ticks; capped by [`RETRANSMIT_CAP`].
     retransmit_ticks: u32,
+    /// Flow-control knobs (here: the Paxos retransmit backoff schedule).
+    flow: FlowControlConfig,
+    /// Backoff gating retransmissions; reset whenever a slot is chosen or a
+    /// fresh command is proposed.
+    retransmit_backoff: BackoffState,
 }
 
 impl BaselineShardReplica {
@@ -130,6 +136,8 @@ impl BaselineShardReplica {
             batch_timer_armed: false,
             retransmit_armed: false,
             retransmit_ticks: 0,
+            flow: FlowControlConfig::default(),
+            retransmit_backoff: BackoffState::default(),
         }
     }
 
@@ -137,6 +145,11 @@ impl BaselineShardReplica {
     pub fn set_batching(&mut self, batching: BatchingConfig) {
         self.batching = batching;
         self.batcher.set_config(batching);
+    }
+
+    /// Installs the flow-control configuration (retransmit backoff).
+    pub fn set_flow(&mut self, flow: FlowControlConfig) {
+        self.flow = flow;
     }
 
     /// Installs the replica's identity, the shard's Paxos group, whether this
@@ -275,9 +288,13 @@ impl BaselineShardReplica {
         self.in_flight.insert(tx, (payload.clone(), vote));
         // Batched log appends: coalesce certified votes into one Multi-Paxos
         // command. Disabled batching flushes on every push (one command per
-        // transaction); a partially filled batch is flushed by the timer.
+        // transaction); a partially filled batch is flushed by the timer. A
+        // flush-on-full is queue pressure, so an adaptive batcher grows its
+        // target batch (`drain_full`); a timer flush of a partial batch means
+        // the pipeline is idle and the target shrinks (`drain_idle`).
         if self.batcher.push(ShardVote { tx, payload, vote }) {
-            self.flush_proposals(ctx);
+            let items = self.batcher.drain_full();
+            self.flush_proposals(items, ctx);
         } else {
             self.arm_batch_timer(ctx);
         }
@@ -290,10 +307,9 @@ impl BaselineShardReplica {
         }
     }
 
-    /// Proposes the pending batch as a single command occupying one Paxos
+    /// Proposes a drained batch as a single command occupying one Paxos
     /// log slot.
-    fn flush_proposals(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
-        let items = self.batcher.drain();
+    fn flush_proposals(&mut self, items: Vec<ShardVote>, ctx: &mut Context<'_, BaselineMsg>) {
         if items.is_empty() {
             return;
         }
@@ -309,6 +325,11 @@ impl BaselineShardReplica {
         let proposer = self.proposer.as_mut().expect("leader has a proposer");
         let out = proposer.propose(ShardCommand { items });
         self.route(ctx, out);
+        // A fresh proposal is progress: retransmits return to the fast
+        // schedule.
+        let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+        self.retransmit_backoff
+            .reset(&backoff, salt, ctx.now().as_micros());
         self.arm_retransmit_timer(ctx);
     }
 
@@ -333,14 +354,23 @@ impl BaselineShardReplica {
             ctx.add_counter("retransmits_abandoned", 1);
             return;
         }
-        let Some(proposer) = self.proposer.as_mut() else {
-            return;
-        };
-        if !proposer.has_pending() {
+        let now = ctx.now().as_micros();
+        let due = !self.flow.enabled || self.retransmit_backoff.due(now);
+        let pending = self.proposer.as_ref().map(Proposer::has_pending) == Some(true);
+        if !pending {
             return;
         }
-        let out = proposer.retransmit();
-        self.route(ctx, out);
+        if due {
+            let proposer = self.proposer.as_mut().expect("checked above");
+            let out = proposer.retransmit();
+            self.route(ctx, out);
+            if self.flow.enabled {
+                let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+                self.retransmit_backoff.fired(&backoff, salt, now);
+            }
+        }
+        // Keep ticking while work is outstanding: the backoff deadline, not
+        // the tick, decides when the next retransmit actually goes out.
         if !self.retransmit_armed {
             ctx.set_timer(RETRANSMIT, RETRANSMIT_TICK);
             self.retransmit_armed = true;
@@ -407,8 +437,15 @@ impl BaselineShardReplica {
                 });
             }
             self.route(ctx, out);
+            let made_progress = !to_send.is_empty();
             for msg in to_send {
                 ctx.send(self.tm, msg);
+            }
+            if made_progress {
+                // Slots were chosen: retransmits return to the fast schedule.
+                let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+                self.retransmit_backoff
+                    .reset(&backoff, salt, ctx.now().as_micros());
             }
         }
     }
@@ -470,7 +507,10 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
     fn on_timer(&mut self, tag: TimerTag, ctx: &mut Context<'_, BaselineMsg>) {
         if tag == BATCH_TICK {
             self.batch_timer_armed = false;
-            self.flush_proposals(ctx);
+            // A timer flush of a partial batch = idle pipeline: an adaptive
+            // batcher shrinks back toward the unbatched fast path.
+            let items = self.batcher.drain_idle();
+            self.flush_proposals(items, ctx);
         } else if tag == RETRANSMIT_TICK {
             self.handle_retransmit_tick(ctx);
         }
@@ -488,6 +528,9 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
         self.batcher = VoteBatcher::new(self.batching);
         self.batch_timer_armed = false;
         self.retransmit_armed = false;
+        let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+        self.retransmit_backoff
+            .reset(&backoff, salt, ctx.now().as_micros());
         self.phase1_started = false;
         self.ballot_round += 1;
         if self.is_leader {

@@ -3,8 +3,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use ratc_core::flow::{AdmissionQueue, FlowControlConfig};
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, Context, SimDuration, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag};
 use ratc_types::{Decision, Payload, ProcessId, ShardId, ShardMap, TxId};
 
 use crate::messages::{BaselineMsg, TmCommand};
@@ -29,6 +30,8 @@ struct PendingTx {
     shards: Vec<ShardId>,
     votes: BTreeMap<ShardId, Decision>,
     proposed: bool,
+    /// When this transaction's next certify-retry is due (flow control only).
+    backoff: BackoffState,
 }
 
 /// The transaction manager of the baseline TCS (and, with `is_leader = false`,
@@ -68,6 +71,12 @@ pub struct TransactionManager {
     /// re-chosen, starting 2PC for a re-submitted transaction could commit a
     /// *second*, possibly different decision for it.
     recovering: bool,
+    /// Flow-control knobs: admission window and retry backoff.
+    flow: FlowControlConfig,
+    /// Submissions waiting for an admission-window slot (FIFO, deduplicated).
+    admission: AdmissionQueue<(Payload, ProcessId)>,
+    /// Backoff gating Paxos retransmissions (per proposer, reset on progress).
+    paxos_backoff: BackoffState,
 }
 
 impl TransactionManager {
@@ -91,7 +100,21 @@ impl TransactionManager {
             retry_armed: false,
             retry_ticks: 0,
             recovering: false,
+            flow: FlowControlConfig::default(),
+            admission: AdmissionQueue::new(),
+            paxos_backoff: BackoffState::default(),
         }
+    }
+
+    /// Installs the flow-control configuration (admission window, backoff).
+    pub fn set_flow(&mut self, flow: FlowControlConfig) {
+        self.flow = flow;
+    }
+
+    /// Per-transaction jitter salt: decorrelates this TM's retry schedule for
+    /// `tx` from every other transaction's without consuming shared RNG state.
+    fn salt(&self, tx: TxId) -> u64 {
+        tx.as_u64() ^ self.id.as_u64().rotate_left(17)
     }
 
     /// Installs identity, group membership, the group leader and the
@@ -177,11 +200,55 @@ impl TransactionManager {
             self.recovering = false;
         }
         if self.pending.contains_key(&tx) {
-            // Already in flight: re-drive the missing votes now instead of
-            // waiting for the retry tick.
-            self.redrive(tx, ctx);
+            if !self.flow.enabled {
+                // Legacy: re-drive the missing votes now instead of waiting
+                // for the retry tick. Under a flood of client retries this is
+                // exactly the duplicate-PREPARE amplification of the
+                // collapse, which is why flow control supersedes instead.
+                self.redrive(tx, ctx);
+                return;
+            }
+            // A retry supersedes the in-flight attempt: refresh the reply
+            // address and let the scheduled backoff decide when to re-drive,
+            // instead of stacking another PREPARE volley on top of it.
+            let now = ctx.now().as_micros();
+            let due = {
+                let pending = self.pending.get_mut(&tx).expect("checked above");
+                pending.client = client;
+                !pending.proposed && pending.backoff.due(now)
+            };
+            if due {
+                self.redrive(tx, ctx);
+                let (backoff, salt) = (self.flow.backoff, self.salt(tx));
+                if let Some(pending) = self.pending.get_mut(&tx) {
+                    pending.backoff.fired(&backoff, salt, now);
+                }
+            }
             return;
         }
+        if !self.flow.admits(self.pending.len()) {
+            // Admission window full: park the submission at the edge. A
+            // queued transaction costs memory, not certification work; it is
+            // admitted the moment an in-flight transaction decides.
+            self.admission.enqueue(tx, (payload, client));
+            ctx.add_counter("tm_admission_queued", 1);
+            // New work arrived: reset the fruitless-tick budget and keep the
+            // retry timer alive so the queued work is eventually driven.
+            self.arm_retry_timer(ctx);
+            return;
+        }
+        self.start_tx(tx, payload, client, ctx);
+    }
+
+    /// Starts 2PC for an admitted transaction: records it in flight and sends
+    /// `PREPARE` to the leader of every involved shard.
+    fn start_tx(
+        &mut self,
+        tx: TxId,
+        payload: Payload,
+        client: ProcessId,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         let shards = payload.shards(self.sharding.as_ref());
         if shards.is_empty() {
             ctx.send(
@@ -193,6 +260,7 @@ impl TransactionManager {
             );
             return;
         }
+        let backoff = BackoffState::armed(&self.flow.backoff, self.salt(tx), ctx.now().as_micros());
         self.pending.insert(
             tx,
             PendingTx {
@@ -201,6 +269,7 @@ impl TransactionManager {
                 shards: shards.clone(),
                 votes: BTreeMap::new(),
                 proposed: false,
+                backoff,
             },
         );
         for shard in shards {
@@ -216,6 +285,20 @@ impl TransactionManager {
             );
         }
         self.arm_retry_timer(ctx);
+    }
+
+    /// Admits queued submissions into freed window slots (oldest first).
+    fn drain_admission(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        while self.flow.admits(self.pending.len()) {
+            let Some((tx, (payload, client))) = self.admission.pop() else {
+                break;
+            };
+            if let Some(decision) = self.decided.get(&tx).copied() {
+                self.externalize(tx, decision, Some(client), ctx);
+                continue;
+            }
+            self.start_tx(tx, payload, client, ctx);
+        }
     }
 
     /// Re-sends `PREPARE` to every shard of `tx` whose vote is missing.
@@ -251,7 +334,9 @@ impl TransactionManager {
         // fruitless-tick budget.
         self.retry_ticks = 0;
         let proposer_pending = self.proposer.as_ref().map(Proposer::has_pending) == Some(true);
-        if !self.retry_armed && (!self.pending.is_empty() || proposer_pending) {
+        if !self.retry_armed
+            && (!self.pending.is_empty() || proposer_pending || !self.admission.is_empty())
+        {
             ctx.set_timer(TM_RETRY, TM_RETRY_TICK);
             self.retry_armed = true;
         }
@@ -271,20 +356,50 @@ impl TransactionManager {
             ctx.add_counter("tm_retries_abandoned", 1);
             return;
         }
-        let txs: Vec<TxId> = self.pending.keys().copied().collect();
+        let now = ctx.now().as_micros();
+        let txs: Vec<TxId> = if self.flow.enabled {
+            // Backoff: only transactions whose deadline has passed re-drive
+            // this tick; the rest keep waiting. This is the fix for the
+            // per-tick full-pending volley that caused the collapse.
+            self.pending
+                .iter()
+                .filter(|(_, p)| !p.proposed && p.backoff.due(now))
+                .map(|(tx, _)| *tx)
+                .collect()
+        } else {
+            self.pending.keys().copied().collect()
+        };
         for tx in txs {
             self.redrive(tx, ctx);
-        }
-        if let Some(proposer) = self.proposer.as_mut() {
-            if proposer.has_pending() {
-                let out = proposer.retransmit();
-                self.route(ctx, out);
+            if self.flow.enabled {
+                let (backoff, salt) = (self.flow.backoff, self.salt(tx));
+                if let Some(pending) = self.pending.get_mut(&tx) {
+                    pending.backoff.fired(&backoff, salt, now);
+                }
             }
         }
+        let paxos_due = !self.flow.enabled || self.paxos_backoff.due(now);
+        if paxos_due {
+            if let Some(proposer) = self.proposer.as_mut() {
+                if proposer.has_pending() {
+                    let out = proposer.retransmit();
+                    self.route(ctx, out);
+                    if self.flow.enabled {
+                        let salt = self.id.as_u64();
+                        self.paxos_backoff.fired(&self.flow.backoff, salt, now);
+                    }
+                }
+            }
+        }
+        // Safety net: admit queued submissions if the window has room (the
+        // normal admission point is the decision path in `handle_paxos`).
+        self.drain_admission(ctx);
         // Re-arm directly (not via `arm_retry_timer`, which would reset the
         // fruitless-tick budget this tick just spent).
         let proposer_pending = self.proposer.as_ref().map(Proposer::has_pending) == Some(true);
-        if !self.retry_armed && (!self.pending.is_empty() || proposer_pending) {
+        if !self.retry_armed
+            && (!self.pending.is_empty() || proposer_pending || !self.admission.is_empty())
+        {
             ctx.set_timer(TM_RETRY, TM_RETRY_TICK);
             self.retry_armed = true;
         }
@@ -356,6 +471,11 @@ impl TransactionManager {
             .expect("leader has a proposer")
             .propose(command);
         self.route(ctx, out);
+        // A fresh proposal is progress: return retransmits to the fast
+        // schedule.
+        let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+        self.paxos_backoff
+            .reset(&backoff, salt, ctx.now().as_micros());
         self.arm_retry_timer(ctx);
     }
 
@@ -387,6 +507,12 @@ impl TransactionManager {
                     .entry(command.tx)
                     .or_insert_with(|| (command.client, command.shards.clone()));
                 self.pending.remove(&command.tx);
+                self.admission.remove(command.tx);
+                // A slot was chosen: the proposer is making headway, so its
+                // retransmit backoff returns to the fast schedule.
+                let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+                self.paxos_backoff
+                    .reset(&backoff, salt, ctx.now().as_micros());
                 // The decision is durable: externalise it.
                 ctx.send(
                     command.client,
@@ -408,6 +534,8 @@ impl TransactionManager {
                 }
             }
         }
+        // Decisions freed admission-window slots: admit waiting submissions.
+        self.drain_admission(ctx);
     }
 }
 
@@ -447,6 +575,10 @@ impl Actor<BaselineMsg> for TransactionManager {
     /// re-externalises the durable outcome (decided).
     fn on_restart(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
         self.pending.clear();
+        self.admission.clear();
+        let (backoff, salt) = (self.flow.backoff, self.id.as_u64());
+        self.paxos_backoff
+            .reset(&backoff, salt, ctx.now().as_micros());
         self.retry_armed = false;
         self.phase1_started = false;
         self.ballot_round += 1;

@@ -28,7 +28,9 @@ pub fn header(id: &str, title: &str, paper_claim: &str) {
 /// the result structs are flat records of numbers and short known strings,
 /// so `format!` is all the serialisation needed.
 pub mod json {
-    use ratc_workload::{BatchingResult, LatencyResult, TruncationResult, WallclockResult};
+    use ratc_workload::{
+        BatchingResult, LatencyResult, OverloadResult, TruncationResult, WallclockResult,
+    };
 
     /// Joins already-rendered JSON values into an array.
     pub fn array(items: &[String]) -> String {
@@ -91,6 +93,22 @@ pub mod json {
             r.wall_secs,
             r.committed_per_sec,
             r.mean_latency_micros
+        )
+    }
+
+    /// One E10 overload-sweep row.
+    pub fn overload(r: &OverloadResult) -> String {
+        format!(
+            r#"{{"stack":"{}","shards":{},"flow_enabled":{},"depth":{},"committed":{},"aborted":{},"undecided":{},"wall_secs":{},"goodput_per_sec":{}}}"#,
+            r.stack,
+            r.shards,
+            r.flow_enabled,
+            r.depth,
+            r.committed,
+            r.aborted,
+            r.undecided,
+            r.wall_secs,
+            r.goodput_per_sec
         )
     }
 

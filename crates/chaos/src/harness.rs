@@ -24,7 +24,7 @@ use ratc_core::replica::TruncationConfig;
 use ratc_harness::{ClusterSpec, TcsCluster};
 use ratc_sim::faults::{FaultScope, LinkFault};
 use ratc_sim::SimDuration;
-use ratc_types::{Payload, ProcessId, ShardId, TcsHistory, TxId};
+use ratc_types::{Key, Payload, ProcessId, ShardId, TcsHistory, TxId, Value, Version};
 
 use crate::plan::{FaultEvent, LinkNoise};
 
@@ -61,6 +61,9 @@ pub struct ChaosHarness {
     coordinator: Option<ProcessId>,
     partition_seq: u64,
     next_coordinator: usize,
+    /// Transactions injected by `OverloadBurst` events so far (bursts use a
+    /// dedicated high TxId range that never collides with the workload's).
+    burst_seq: u64,
 }
 
 impl ChaosHarness {
@@ -107,6 +110,7 @@ impl ChaosHarness {
             coordinator,
             partition_seq: 0,
             next_coordinator: 0,
+            burst_seq: 0,
         }
     }
 
@@ -295,6 +299,20 @@ impl ChaosHarness {
                     .collect();
                 for tx in prepared {
                     self.cluster.retry(leader, tx);
+                }
+            }
+            FaultEvent::OverloadBurst { depth } => {
+                for _ in 0..*depth {
+                    self.burst_seq += 1;
+                    let seq = self.burst_seq;
+                    let tx = TxId::new(1_000_000 + seq);
+                    let payload = Payload::builder()
+                        .read(Key::new(format!("burst-{seq}")), Version::ZERO)
+                        .write(Key::new(format!("burst-{seq}")), Value::from("b"))
+                        .commit_version(Version::new(1))
+                        .build()
+                        .expect("well-formed");
+                    self.submit(tx, payload);
                 }
             }
         }

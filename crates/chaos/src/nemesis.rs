@@ -26,6 +26,12 @@ pub enum Profile {
     /// decisions). One of each core ingredient is always drawn, at
     /// independent random times — the *schedule* is entirely seed-driven.
     NaiveHunt,
+    /// The overload soak: open-loop [`FaultEvent::OverloadBurst`]s — always
+    /// at least one — interleaved with crashes, restarts and partitions, so
+    /// the flow-control layer absorbs bursts *while* the cluster is also
+    /// failing over. No background noise: every burst transaction must
+    /// decide, so drops would turn the liveness check into noise-chasing.
+    Overload,
 }
 
 /// Configuration of a nemesis.
@@ -160,6 +166,40 @@ impl Nemesis {
                     });
                 }
             }
+            Profile::Overload => {
+                let window = config.window_micros.max(10);
+                events.push(TimedFault {
+                    at_micros: rng.gen_range(0..window),
+                    event: FaultEvent::OverloadBurst {
+                        depth: rng.gen_range(100..=300),
+                    },
+                });
+                let extras = config.events.saturating_sub(1);
+                for _ in 0..extras {
+                    let event = match rng.gen_range(0..6u32) {
+                        0 => FaultEvent::OverloadBurst {
+                            depth: rng.gen_range(50..=200),
+                        },
+                        1 => FaultEvent::CrashFollower {
+                            shard: shard(&mut rng, config),
+                            index: index(&mut rng, config),
+                        },
+                        2 => FaultEvent::CrashLeader {
+                            shard: shard(&mut rng, config),
+                        },
+                        3 | 4 => FaultEvent::RestartCrashed,
+                        _ => FaultEvent::HealFaults,
+                    };
+                    events.push(TimedFault {
+                        at_micros: rng.gen_range(0..window),
+                        event,
+                    });
+                }
+                events.push(TimedFault {
+                    at_micros: window,
+                    event: FaultEvent::RestartCrashed,
+                });
+            }
         }
         events.sort_by_key(|f| f.at_micros);
         let noise = match config.profile {
@@ -221,5 +261,32 @@ mod tests {
         assert!(has(|e| matches!(e, FaultEvent::CrashLeader { .. })));
         assert!(has(|e| matches!(e, FaultEvent::Reconfigure { .. })));
         assert!(has(|e| matches!(e, FaultEvent::RetryPrepared { .. })));
+    }
+
+    #[test]
+    fn overload_profile_always_draws_a_burst() {
+        for seed in 0..8u64 {
+            let config = NemesisConfig {
+                seed,
+                events: 6,
+                profile: Profile::Overload,
+                ..NemesisConfig::default()
+            };
+            let plan = Nemesis::generate(&config);
+            assert!(
+                plan.noise.is_none(),
+                "bursts must not race dropped decisions"
+            );
+            assert!(
+                plan.events
+                    .iter()
+                    .any(|e| matches!(e.event, FaultEvent::OverloadBurst { .. })),
+                "seed {seed}: no burst drawn"
+            );
+            assert!(plan
+                .events
+                .iter()
+                .any(|f| f.event == FaultEvent::RestartCrashed));
+        }
     }
 }

@@ -105,6 +105,14 @@ pub enum FaultEvent {
         /// The targeted shard.
         shard: ShardId,
     },
+    /// Flood the cluster with `depth` disjoint transactions submitted in one
+    /// burst (open loop): overload as a first-class fault. The flow-control
+    /// layer must absorb the burst — every burst transaction still decides
+    /// and the soak's safety/liveness checks apply to it like any other.
+    OverloadBurst {
+        /// Number of transactions in the burst.
+        depth: u32,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -129,6 +137,7 @@ impl fmt::Display for FaultEvent {
             FaultEvent::Reconfigure { shard } => write!(f, "reconfigure({shard})"),
             FaultEvent::GlobalReconfigure => write!(f, "global-reconfigure"),
             FaultEvent::RetryPrepared { shard } => write!(f, "retry-prepared({shard})"),
+            FaultEvent::OverloadBurst { depth } => write!(f, "overload-burst({depth})"),
         }
     }
 }

@@ -8,8 +8,8 @@
 //! lift.
 
 use ratc_chaos::{
-    build_harness, run_soak, ChaosHarness, FaultPlan, LinkNoise, Nemesis, NemesisConfig,
-    SoakConfig, SoakReport, Stack,
+    build_harness, run_soak, ChaosHarness, FaultEvent, FaultPlan, LinkNoise, Nemesis,
+    NemesisConfig, Profile, SoakConfig, SoakReport, Stack, TimedFault,
 };
 use ratc_core::batch::BatchingConfig;
 use ratc_core::replica::TruncationConfig;
@@ -193,6 +193,94 @@ fn high_intensity_smoke() {
             assert!(
                 report.ok(),
                 "{stack} seed={seed}: violations={:?} undecided={:?}",
+                report.safety_violations,
+                report.undecided
+            );
+        }
+    }
+}
+
+/// Overload as a first-class fault (hand-written plan): two open-loop bursts
+/// land while a follower is down, on every stack. The flow-control layer —
+/// admission windows, retry backoff, adaptive batching — must absorb the
+/// bursts without a single safety violation, and every burst transaction
+/// must decide once the crash heals: the soak's liveness check covers the
+/// burst range like any other submission.
+#[test]
+fn overload_bursts_under_crashes_stay_safe_and_live() {
+    let plan = FaultPlan {
+        noise: None,
+        events: vec![
+            TimedFault {
+                at_micros: 5_000,
+                event: FaultEvent::OverloadBurst { depth: 300 },
+            },
+            TimedFault {
+                at_micros: 10_000,
+                event: FaultEvent::CrashFollower {
+                    shard: ratc_types::ShardId::new(0),
+                    index: 0,
+                },
+            },
+            TimedFault {
+                at_micros: 20_000,
+                event: FaultEvent::OverloadBurst { depth: 200 },
+            },
+            TimedFault {
+                at_micros: 30_000,
+                event: FaultEvent::RestartCrashed,
+            },
+        ],
+    };
+    for stack in [Stack::Core, Stack::Rdma, Stack::Baseline] {
+        let mut harness = build_harness(stack, 2, 11, None);
+        let report = run_soak(
+            &mut harness,
+            &SoakConfig {
+                seed: 11,
+                ..SoakConfig::default()
+            },
+            &plan,
+        );
+        assert!(
+            report.submitted > 500,
+            "{stack}: bursts not recorded ({} submissions)",
+            report.submitted
+        );
+        assert!(
+            report.ok(),
+            "{stack} overload: violations={:?} undecided={:?}",
+            report.safety_violations,
+            report.undecided
+        );
+    }
+}
+
+/// The randomized overload soak: `Profile::Overload` plans (bursts mixed
+/// with crashes, restarts and partitions) across seeds and stacks.
+#[test]
+fn overload_profile_soaks_are_safe_and_live() {
+    for stack in [Stack::Core, Stack::Rdma, Stack::Baseline] {
+        for seed in 0..3u64 {
+            let nemesis = NemesisConfig {
+                seed,
+                events: 5,
+                profile: Profile::Overload,
+                ..NemesisConfig::default()
+            };
+            let plan = Nemesis::generate(&nemesis);
+            let mut harness = build_harness(stack, 2, seed, None);
+            let report = run_soak(
+                &mut harness,
+                &SoakConfig {
+                    seed,
+                    ..SoakConfig::default()
+                },
+                &plan,
+            );
+            assert!(
+                report.ok(),
+                "{stack} seed={seed} overload-profile: violations={:?} undecided={:?}",
                 report.safety_violations,
                 report.undecided
             );

@@ -30,7 +30,9 @@
 //! exactly the order the items were submitted in, which is what the
 //! `ratc-spec::batching` differential suite checks end to end.
 
-use ratc_sim::SimDuration;
+/// Re-exported so `BatchingConfig::with_delay` is usable without a direct
+/// `ratc-sim` dependency.
+pub use ratc_sim::SimDuration;
 use ratc_types::{Decision, Payload, Position, ProcessId, ShardId, TxId};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +48,15 @@ pub struct BatchingConfig {
     /// How long a partially filled batch may wait for more transactions
     /// before it is flushed by the batch timer.
     pub max_delay: SimDuration,
+    /// Adaptive sizing (the flow-control layer's group-commit mode): the
+    /// batcher keeps a *current target* that starts at 1, doubles each time a
+    /// batch fills to target (queue pressure — the pipeline is producing
+    /// faster than it drains) up to `max_batch`, and halves each time the
+    /// flush timer fires on a partial batch (idle — waiting longer only adds
+    /// latency). Idle clusters therefore run the unbatched fast path with no
+    /// flush-timer tax, while sustained load converges to `max_batch`
+    /// amortisation. Self-clocking: no rate measurement, no extra timers.
+    pub adaptive: bool,
 }
 
 impl Default for BatchingConfig {
@@ -64,6 +75,7 @@ impl BatchingConfig {
             enabled: false,
             max_batch: 1,
             max_delay: SimDuration::from_micros(0),
+            adaptive: false,
         }
     }
 
@@ -77,6 +89,23 @@ impl BatchingConfig {
             enabled: true,
             max_batch,
             max_delay: SimDuration::from_millis(1),
+            adaptive: false,
+        }
+    }
+
+    /// Adaptive batching up to `max_batch` (see [`BatchingConfig::adaptive`]):
+    /// grows under queue pressure, shrinks toward the unbatched fast path
+    /// when idle. A `max_batch` of 1 (or 0) degenerates to the unbatched
+    /// exchange.
+    pub fn adaptive(max_batch: usize) -> Self {
+        if max_batch <= 1 {
+            return BatchingConfig::disabled();
+        }
+        BatchingConfig {
+            enabled: true,
+            max_batch,
+            max_delay: SimDuration::from_millis(1),
+            adaptive: true,
         }
     }
 
@@ -96,14 +125,26 @@ impl BatchingConfig {
 pub struct VoteBatcher<T> {
     config: BatchingConfig,
     pending: Vec<T>,
+    /// Current flush threshold: `max_batch` for fixed configs, the adaptive
+    /// target (1..=`max_batch`) for adaptive ones.
+    target: usize,
 }
 
 impl<T> VoteBatcher<T> {
     /// Creates an empty batcher with the given knobs.
     pub fn new(config: BatchingConfig) -> Self {
         VoteBatcher {
+            target: Self::initial_target(config),
             config,
             pending: Vec::new(),
+        }
+    }
+
+    fn initial_target(config: BatchingConfig) -> usize {
+        if config.adaptive {
+            1
+        } else {
+            config.max_batch.max(1)
         }
     }
 
@@ -112,21 +153,50 @@ impl<T> VoteBatcher<T> {
         self.config
     }
 
-    /// Replaces the batcher's knobs (pending items are kept).
+    /// Replaces the batcher's knobs (pending items are kept; the adaptive
+    /// target restarts from its initial value).
     pub fn set_config(&mut self, config: BatchingConfig) {
         self.config = config;
+        self.target = Self::initial_target(config);
+    }
+
+    /// The current flush threshold (the adaptive target, or `max_batch` for
+    /// fixed configs).
+    pub fn target(&self) -> usize {
+        self.target
     }
 
     /// Adds an item to the pending batch. Returns `true` if the batch is now
-    /// full and must be flushed.
+    /// full (reached the current target) and must be flushed.
     pub fn push(&mut self, item: T) -> bool {
         self.pending.push(item);
-        self.pending.len() >= self.config.max_batch.max(1)
+        self.pending.len() >= self.target
     }
 
     /// Drains and returns the pending batch (in push order).
     pub fn drain(&mut self) -> Vec<T> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Drains a batch that filled to target: under an adaptive config this is
+    /// the queue-pressure signal, so the target doubles (up to `max_batch`).
+    pub fn drain_full(&mut self) -> Vec<T> {
+        if self.config.adaptive {
+            self.target = (self.target * 2).min(self.config.max_batch.max(1));
+        }
+        self.drain()
+    }
+
+    /// Drains a batch flushed by the timer while still partial: under an
+    /// adaptive config this is the idle signal, so the target halves (down
+    /// to 1, the unbatched fast path — at target 1 every push flushes
+    /// immediately and the flush timer never arms, so an idle cluster pays
+    /// no batching latency at all).
+    pub fn drain_idle(&mut self) -> Vec<T> {
+        if self.config.adaptive {
+            self.target = (self.target / 2).max(1);
+        }
+        self.drain()
     }
 
     /// Number of pending items.
@@ -229,6 +299,49 @@ mod tests {
         assert_eq!(batcher.len(), 2);
         assert!(batcher.push(3), "third push reaches max_batch");
         assert_eq!(batcher.drain(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn adaptive_target_grows_on_pressure_and_shrinks_when_idle() {
+        let mut batcher: VoteBatcher<u64> = VoteBatcher::new(BatchingConfig::adaptive(8));
+        // Idle start: target 1, every push flushes immediately (fast path).
+        assert_eq!(batcher.target(), 1);
+        assert!(batcher.push(1));
+        assert_eq!(batcher.drain_full(), vec![1]);
+        // Pressure: each full flush doubles the target up to max_batch.
+        assert_eq!(batcher.target(), 2);
+        assert!(!batcher.push(2));
+        assert!(batcher.push(3));
+        assert_eq!(batcher.drain_full(), vec![2, 3]);
+        assert_eq!(batcher.target(), 4);
+        for i in 4..8 {
+            batcher.push(i);
+        }
+        batcher.drain_full();
+        assert_eq!(batcher.target(), 8);
+        batcher.push(100);
+        let _ = batcher.drain_full();
+        assert_eq!(batcher.target(), 8, "capped at max_batch");
+        // Idle: timer flushes on partial batches halve the target back to 1.
+        batcher.push(101);
+        assert_eq!(batcher.drain_idle(), vec![101]);
+        assert_eq!(batcher.target(), 4);
+        batcher.drain_idle();
+        batcher.drain_idle();
+        batcher.drain_idle();
+        assert_eq!(batcher.target(), 1, "floors at the unbatched fast path");
+    }
+
+    #[test]
+    fn fixed_configs_ignore_adaptive_signals() {
+        let mut batcher: VoteBatcher<u64> = VoteBatcher::new(BatchingConfig::with_batch(4));
+        assert_eq!(batcher.target(), 4);
+        batcher.push(1);
+        batcher.drain_idle();
+        batcher.drain_full();
+        assert_eq!(batcher.target(), 4);
+        assert!(!BatchingConfig::adaptive(1).enabled);
+        assert!(BatchingConfig::adaptive(16).adaptive);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use ratc_types::{
 use crate::batch::BatchingConfig;
 use crate::client::{ClientActor, DecisionLatency};
 use crate::config_service::ConfigServiceActor;
+use crate::flow::FlowControlConfig;
 use crate::messages::Msg;
 use crate::replica::{Replica, TruncationConfig};
 
@@ -40,6 +41,9 @@ pub struct ClusterConfig {
     /// Batched certification pipeline (default: disabled), applied to every
     /// replica and spare.
     pub batching: BatchingConfig,
+    /// Flow control (default: on): coordinator admission window and retry
+    /// backoff, applied to every replica and spare.
+    pub flow: FlowControlConfig,
     /// Simulation parameters (seed, latency model, tracing).
     pub sim: SimConfig,
     /// Which engine drives the actors: the deterministic simulator or one OS
@@ -56,6 +60,7 @@ impl Default for ClusterConfig {
             policy: Arc::new(Serializability::new()),
             truncation: TruncationConfig::default(),
             batching: BatchingConfig::default(),
+            flow: FlowControlConfig::default(),
             sim: SimConfig::default(),
             execution: ExecutionMode::default(),
         }
@@ -107,6 +112,12 @@ impl ClusterConfig {
     /// Returns a copy with the given batching-pipeline knobs.
     pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given flow-control knobs.
+    pub fn with_flow(mut self, flow: FlowControlConfig) -> Self {
+        self.flow = flow;
         self
     }
 
@@ -217,12 +228,14 @@ impl Cluster {
                 replica.install_initial_config(*pid, cs, &initial, true);
                 replica.set_truncation(config.truncation);
                 replica.set_batching(config.batching);
+                replica.set_flow(config.flow);
             }
             for pid in &spares[shard] {
                 let replica = world.actor_mut::<Replica>(*pid).expect("spare replica");
                 replica.install_initial_config(*pid, cs, &initial, false);
                 replica.set_truncation(config.truncation);
                 replica.set_batching(config.batching);
+                replica.set_flow(config.flow);
             }
         }
 

@@ -67,6 +67,7 @@
 pub mod batch;
 pub mod client;
 pub mod config_service;
+pub mod flow;
 pub mod harness;
 pub mod invariants;
 pub mod log;
@@ -76,6 +77,7 @@ pub mod replica;
 pub use batch::{BatchingConfig, PrepareBatch, VoteBatcher};
 pub use client::ClientActor;
 pub use config_service::ConfigServiceActor;
+pub use flow::{AdmissionQueue, FlowControlConfig};
 pub use harness::{Cluster, ClusterConfig};
 pub use log::{CertificationLog, LogEntry, TxPhase};
 pub use messages::Msg;

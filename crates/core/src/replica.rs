@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ratc_config::{MembershipPlanner, ShardConfiguration};
-use ratc_sim::{Actor, Context, SimDuration, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
     ShardCertifier, ShardId, ShardMap, TxId,
@@ -25,6 +25,7 @@ use crate::batch::{
     AcceptAckItem, BatchingConfig, DecisionItem, PrepareBatch, PrepareItem, PreparedItem,
     VoteBatcher,
 };
+use crate::flow::{AdmissionQueue, FlowControlConfig};
 use crate::log::{CertificationLog, LogEntry, TxPhase};
 use crate::messages::Msg;
 
@@ -248,6 +249,16 @@ pub struct Replica {
     batching: BatchingConfig,
     batcher: VoteBatcher<TxId>,
     batch_timer_armed: bool,
+    /// Flow-control knobs: coordinator admission window and retry backoff.
+    flow: FlowControlConfig,
+    /// Submissions waiting for an admission-window slot (FIFO, deduplicated).
+    admission: AdmissionQueue<(Payload, ProcessId)>,
+    /// Running count of undecided coordinated transactions — kept in O(1)
+    /// lockstep with `coordinating` so the admission check does not rescan
+    /// the map (which retains decided entries) on every certify and drain.
+    in_flight: usize,
+    /// Per-coordinated-transaction retry deadlines (flow control only).
+    retry_backoff: BTreeMap<TxId, BackoffState>,
 }
 
 impl Replica {
@@ -281,6 +292,10 @@ impl Replica {
             batching: BatchingConfig::default(),
             batcher: VoteBatcher::new(BatchingConfig::default()),
             batch_timer_armed: false,
+            flow: FlowControlConfig::default(),
+            admission: AdmissionQueue::new(),
+            in_flight: 0,
+            retry_backoff: BTreeMap::new(),
         }
     }
 
@@ -303,6 +318,17 @@ impl Replica {
     /// The replica's batching-pipeline knobs.
     pub fn batching(&self) -> BatchingConfig {
         self.batching
+    }
+
+    /// Sets the flow-control knobs (default: enabled, window 64, exponential
+    /// backoff).
+    pub fn set_flow(&mut self, flow: FlowControlConfig) {
+        self.flow = flow;
+    }
+
+    /// The replica's flow-control knobs.
+    pub fn flow(&self) -> FlowControlConfig {
+        self.flow
     }
 
     /// Installs the initial configuration view at this replica: its own
@@ -378,7 +404,12 @@ impl Replica {
     /// Number of transactions this replica is currently coordinating without
     /// a final decision.
     pub fn undecided_coordinated(&self) -> usize {
-        self.coordinating.values().filter(|c| !c.decided).count()
+        debug_assert_eq!(
+            self.in_flight,
+            self.coordinating.values().filter(|c| !c.decided).count(),
+            "in-flight counter out of lockstep with coordinating map"
+        );
+        self.in_flight
     }
 
     /// The transactions this replica coordinates that have no final decision.
@@ -398,9 +429,48 @@ impl Replica {
     // -- helpers -------------------------------------------------------------
 
     fn arm_retry_timer(&mut self, ctx: &mut Context<'_, Msg>) {
-        if !self.retry_timer_armed && self.coordinating.values().any(|c| !c.decided) {
+        if !self.retry_timer_armed
+            && (self.undecided_coordinated() > 0 || !self.admission.is_empty())
+        {
             ctx.set_timer(self.retry_interval, RETRY_TICK);
             self.retry_timer_armed = true;
+        }
+    }
+
+    /// Per-transaction jitter salt: decorrelates this coordinator's retry
+    /// schedule for `tx` from every other transaction's without consuming
+    /// shared RNG state.
+    fn backoff_salt(&self, tx: TxId) -> u64 {
+        tx.as_u64() ^ self.id.as_u64().rotate_left(17)
+    }
+
+    /// Records that a retry for `tx` fired at `now` and schedules the next.
+    fn backoff_fired(&mut self, tx: TxId, now: u64) {
+        let (policy, salt) = (self.flow.backoff, self.backoff_salt(tx));
+        self.retry_backoff
+            .entry(tx)
+            .or_insert_with(|| BackoffState::armed(&policy, salt, now))
+            .fired(&policy, salt, now);
+    }
+
+    /// Whether `tx`'s next retry is due at `now` (always true without flow
+    /// control, or before the first deadline is armed).
+    fn backoff_due(&self, tx: TxId, now: u64) -> bool {
+        !self.flow.enabled
+            || self
+                .retry_backoff
+                .get(&tx)
+                .map(|b| b.due(now))
+                .unwrap_or(true)
+    }
+
+    /// Admits queued submissions into freed window slots (oldest first).
+    fn drain_admission(&mut self, ctx: &mut Context<'_, Msg>) {
+        while self.flow.admits(self.undecided_coordinated()) {
+            let Some((tx, (payload, client))) = self.admission.pop() else {
+                break;
+            };
+            self.handle_certify(tx, payload, client, ctx);
         }
     }
 
@@ -478,13 +548,21 @@ impl Replica {
     }
 
     /// Marks `tx` decided and records the coordinator-side decision metrics.
+    /// A decision frees an admission-window slot, so queued submissions are
+    /// admitted here.
     fn mark_decided(&mut self, tx: TxId, decision: Decision, ctx: &mut Context<'_, Msg>) {
         if let Some(coord) = self.coordinating.get_mut(&tx) {
+            if !coord.decided {
+                self.in_flight -= 1;
+            }
             coord.decided = true;
             coord.decision = Some(decision);
         }
+        self.retry_backoff.remove(&tx);
+        self.admission.remove(tx);
         ctx.add_counter("coordinator_decisions", 1);
         ctx.record_sample("coordinator_decision_hops", f64::from(ctx.hops()));
+        self.drain_admission(ctx);
     }
 
     /// Line 26: computes and distributes the final decision of `tx` once it
@@ -562,6 +640,10 @@ impl Replica {
         client: ProcessId,
         shards: Vec<ShardId>,
     ) -> &mut CoordState {
+        let inserted = !self.coordinating.contains_key(&tx);
+        if inserted {
+            self.in_flight += 1;
+        }
         self.coordinating.entry(tx).or_insert_with(|| CoordState {
             client,
             payload: None,
@@ -595,6 +677,50 @@ impl Replica {
             );
             return;
         }
+        if self.flow.enabled {
+            match self.coordinating.get_mut(&tx) {
+                Some(coord) if coord.decision.is_some() => {
+                    // Decided re-submission: answer with the recorded
+                    // decision instead of silently swallowing the request.
+                    let decision = coord.decision.expect("checked above");
+                    ctx.send(client, Msg::DecisionClient { tx, decision });
+                    return;
+                }
+                Some(coord) => {
+                    // A retry supersedes the in-flight attempt: refresh the
+                    // reply address and payload and let the scheduled
+                    // backoff decide when to re-drive, instead of stacking
+                    // another PREPARE volley on top of the previous one.
+                    coord.payload = Some(payload);
+                    coord.client = client;
+                    let now = ctx.now().as_micros();
+                    if self.backoff_due(tx, now) {
+                        let coord = self.coordinating.get(&tx).expect("in flight").clone();
+                        self.send_prepares(ctx, tx, &coord, None);
+                        self.backoff_fired(tx, now);
+                    }
+                    self.arm_retry_timer(ctx);
+                    return;
+                }
+                None => {
+                    if !self.flow.admits(self.undecided_coordinated()) {
+                        // Admission window full: park the submission at the
+                        // edge; it is admitted when an in-flight transaction
+                        // decides.
+                        self.admission.enqueue(tx, (payload, client));
+                        ctx.add_counter("admission_queued", 1);
+                        self.arm_retry_timer(ctx);
+                        return;
+                    }
+                    let (policy, salt) = (self.flow.backoff, self.backoff_salt(tx));
+                    self.retry_backoff.insert(
+                        tx,
+                        BackoffState::armed(&policy, salt, ctx.now().as_micros()),
+                    );
+                }
+            }
+        }
+        let inserted = !self.coordinating.contains_key(&tx);
         let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
             client,
             payload: Some(payload.clone()),
@@ -604,6 +730,9 @@ impl Replica {
             decision: None,
             known_decision: None,
         });
+        if inserted {
+            self.in_flight += 1;
+        }
         // A re-submitted `certify` of a transaction this coordinator already
         // decided (the client's `DECISION` was lost to a fault, or the client
         // retried against the same coordinator): answer with the recorded
@@ -618,9 +747,11 @@ impl Replica {
             // Coalesce into the pending batch instead of sending a PREPARE
             // per shard now; the batch flushes when full or when the batch
             // timer expires. The retry timer stays armed as a safety net (its
-            // re-sends use the unbatched path).
+            // re-sends use the unbatched path). A flush-on-full is queue
+            // pressure, so an adaptive batcher grows its target batch.
             if self.batcher.push(tx) {
-                self.flush_prepare_batch(ctx);
+                let txs = self.batcher.drain_full();
+                self.flush_prepare_batch(txs, ctx);
             } else {
                 self.arm_batch_timer(ctx);
             }
@@ -641,10 +772,9 @@ impl Replica {
         }
     }
 
-    /// Drains the pending batch and sends one `PREPARE_BATCH` per involved
-    /// shard leader, with each transaction's payload restricted per shard.
-    fn flush_prepare_batch(&mut self, ctx: &mut Context<'_, Msg>) {
-        let txs = self.batcher.drain();
+    /// Sends one `PREPARE_BATCH` per involved shard leader for a drained
+    /// batch, with each transaction's payload restricted per shard.
+    fn flush_prepare_batch(&mut self, txs: Vec<TxId>, ctx: &mut Context<'_, Msg>) {
         if txs.is_empty() {
             return;
         }
@@ -1257,11 +1387,19 @@ impl Replica {
             }
             coord.known_decision = Some(decision);
             let was_decided = coord.decided;
+            if !was_decided {
+                self.in_flight -= 1;
+            }
             coord.decided = true;
             coord.decision.get_or_insert(decision);
             let shards = coord.shards.clone();
             for shard in shards {
                 self.flush_known_decision(tx, shard, ctx);
+            }
+            self.retry_backoff.remove(&tx);
+            if !was_decided {
+                // An out-of-band decision also frees an admission slot.
+                self.drain_admission(ctx);
             }
             if was_decided {
                 return;
@@ -1764,16 +1902,23 @@ impl Replica {
     /// reconfigured mid-flight or a message raced with an epoch change).
     fn handle_retry_tick(&mut self, ctx: &mut Context<'_, Msg>) {
         self.retry_timer_armed = false;
+        let now = ctx.now().as_micros();
+        // Flow control: only transactions whose backoff deadline has passed
+        // re-drive this tick — the fix for the per-tick full-pending volley
+        // of the congestive collapse. Without flow control every undecided
+        // transaction re-drives every tick (legacy).
         let pending: Vec<TxId> = self
             .coordinating
             .iter()
-            .filter(|(_, c)| !c.decided)
+            .filter(|(tx, c)| !c.decided && self.backoff_due(**tx, now))
             .map(|(tx, _)| *tx)
             .collect();
         // A stalled coordinator may be working from a stale view: the pushed
         // CONFIG_CHANGE travels over faultable links. Refresh the view of
-        // every shard a pending transaction touches from the configuration
-        // service (replies are handled by `handle_stale_view_refresh`).
+        // every shard a *due* pending transaction touches from the
+        // configuration service (replies are handled by
+        // `handle_stale_view_refresh`); backoff gates these polls too, so a
+        // backlogged coordinator does not flood the configuration service.
         if !pending.is_empty() {
             let mut stale_shards: BTreeSet<ShardId> = BTreeSet::new();
             for tx in &pending {
@@ -1786,6 +1931,9 @@ impl Replica {
             }
         }
         for tx in pending {
+            if self.flow.enabled {
+                self.backoff_fired(tx, now);
+            }
             let coord = self.coordinating.get(&tx).expect("pending").clone();
             // Resend only to shards that are not yet complete in the current epoch.
             let mut stale_shards = Vec::new();
@@ -1950,7 +2098,10 @@ impl Actor<Msg> for Replica {
             self.handle_retry_tick(ctx);
         } else if tag == BATCH_TICK {
             self.batch_timer_armed = false;
-            self.flush_prepare_batch(ctx);
+            // A timer flush of a partial batch = idle pipeline: an adaptive
+            // batcher shrinks back toward the unbatched fast path.
+            let txs = self.batcher.drain_idle();
+            self.flush_prepare_batch(txs, ctx);
         } else if tag == PROBE_GRACE_TICK {
             self.handle_probe_grace_tick(ctx);
         } else if tag == RECON_RETRY_TICK {
@@ -1967,6 +2118,9 @@ impl Actor<Msg> for Replica {
     /// re-drive undecided transactions.
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
         self.coordinating.clear();
+        self.in_flight = 0;
+        self.admission.clear();
+        self.retry_backoff.clear();
         self.recon = None;
         self.retry_timer_armed = false;
         self.batcher = VoteBatcher::new(self.batching);

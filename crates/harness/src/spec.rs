@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use ratc_baseline::{BaselineCluster, BaselineClusterConfig};
 use ratc_core::batch::BatchingConfig;
+use ratc_core::flow::FlowControlConfig;
 use ratc_core::harness::{Cluster, ClusterConfig};
 use ratc_core::replica::TruncationConfig;
 use ratc_rdma::{RdmaCluster, RdmaClusterConfig, ReconfigMode};
@@ -44,6 +45,10 @@ pub struct ClusterSpec {
     pub truncation: TruncationConfig,
     /// Batched certification pipeline (default disabled).
     pub batching: BatchingConfig,
+    /// Flow control: coordinator admission window and retry backoff
+    /// (default enabled; [`FlowControlConfig::legacy`] restores the pre-flow
+    /// immediate-retry behaviour).
+    pub flow: FlowControlConfig,
     /// Simulation parameters (seed, latency model, tracing).
     pub sim: SimConfig,
     /// Which engine drives the cluster's actors: the deterministic simulator
@@ -61,6 +66,7 @@ impl Default for ClusterSpec {
             policy: Arc::new(Serializability::new()),
             truncation: TruncationConfig::default(),
             batching: BatchingConfig::default(),
+            flow: FlowControlConfig::default(),
             sim: SimConfig::default(),
             execution: ExecutionMode::default(),
         }
@@ -131,6 +137,12 @@ impl ClusterSpec {
         self
     }
 
+    /// Returns a copy with the given flow-control knobs.
+    pub fn with_flow_control(mut self, flow: FlowControlConfig) -> Self {
+        self.flow = flow;
+        self
+    }
+
     /// Returns a copy with the given simulation configuration.
     pub fn with_sim(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
@@ -177,6 +189,7 @@ impl ClusterSpec {
             policy: self.policy.clone(),
             truncation: self.truncation,
             batching: self.batching,
+            flow: self.flow,
             sim: self.sim.clone(),
             execution: self.execution,
         })
@@ -200,6 +213,7 @@ impl ClusterSpec {
             mode,
             truncation: self.truncation,
             batching: self.batching,
+            flow: self.flow,
             execution: self.execution,
         })
     }
@@ -213,6 +227,7 @@ impl ClusterSpec {
             f: self.failures,
             policy: self.policy.clone(),
             batching: self.batching,
+            flow: self.flow,
             sim: self.sim.clone(),
             execution: self.execution,
         })

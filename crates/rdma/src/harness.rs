@@ -17,6 +17,7 @@ use crate::messages::RdmaMsg;
 use crate::replica::{RdmaReplica, ReconfigMode};
 use ratc_core::batch::BatchingConfig;
 use ratc_core::client::DecisionLatency;
+use ratc_core::flow::FlowControlConfig;
 use ratc_core::replica::TruncationConfig;
 
 /// Configuration of a simulated RDMA deployment.
@@ -38,6 +39,8 @@ pub struct RdmaClusterConfig {
     pub truncation: TruncationConfig,
     /// Batched certification pipeline (default: disabled).
     pub batching: BatchingConfig,
+    /// Flow control: admission window and retry backoff (default: enabled).
+    pub flow: FlowControlConfig,
     /// Which engine drives the actors: the deterministic simulator or one OS
     /// thread per process (see [`ExecutionMode`]).
     pub execution: ExecutionMode,
@@ -54,6 +57,7 @@ impl Default for RdmaClusterConfig {
             mode: ReconfigMode::GlobalCorrect,
             truncation: TruncationConfig::default(),
             batching: BatchingConfig::default(),
+            flow: FlowControlConfig::default(),
             execution: ExecutionMode::default(),
         }
     }
@@ -97,6 +101,12 @@ impl RdmaClusterConfig {
     /// Returns a copy with the given batching-pipeline knobs.
     pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Returns a copy with the given flow-control knobs.
+    pub fn with_flow(mut self, flow: FlowControlConfig) -> Self {
+        self.flow = flow;
         self
     }
 
@@ -265,12 +275,14 @@ impl RdmaCluster {
                 replica.install_initial_config(*pid, cs, &initial, true);
                 replica.set_truncation(config.truncation);
                 replica.set_batching(config.batching);
+                replica.set_flow(config.flow);
             }
             for pid in &spares[shard] {
                 let replica = world.actor_mut::<RdmaReplica>(*pid).expect("spare");
                 replica.install_initial_config(*pid, cs, &initial, false);
                 replica.set_truncation(config.truncation);
                 replica.set_batching(config.batching);
+                replica.set_flow(config.flow);
             }
         }
         for owner in &all_members {

@@ -7,10 +7,11 @@ use ratc_config::{GlobalConfiguration, MembershipPlanner};
 use ratc_core::batch::{
     BatchingConfig, DecisionItem, PrepareBatch, PrepareItem, PreparedItem, VoteBatcher,
 };
+use ratc_core::flow::{AdmissionQueue, FlowControlConfig};
 use ratc_core::log::{LogEntry, TxPhase};
 use ratc_core::replica::TruncationConfig;
 use ratc_sim::rdma::RdmaToken;
-use ratc_sim::{Actor, Context, SimDuration, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
     ShardCertifier, ShardId, ShardMap, TxId,
@@ -196,6 +197,16 @@ pub struct RdmaReplica {
     batching: BatchingConfig,
     batcher: VoteBatcher<TxId>,
     batch_timer_armed: bool,
+    /// Flow-control knobs: coordinator admission window and retry backoff.
+    flow: FlowControlConfig,
+    /// Submissions waiting for an admission-window slot (FIFO, deduplicated).
+    admission: AdmissionQueue<(Payload, ProcessId)>,
+    /// Running count of undecided coordinated transactions — kept in O(1)
+    /// lockstep with `coordinating` so the admission check does not rescan
+    /// the map (which retains decided entries) on every certify and drain.
+    in_flight: usize,
+    /// Per-transaction retry-backoff schedules.
+    retry_backoff: BTreeMap<TxId, BackoffState>,
     /// Peers whose `Connect`/`ConnectAck` is still outstanding after a
     /// restart; the handshake is retried until this empties (or the retry
     /// cap gives up on permanently unreachable peers).
@@ -246,6 +257,10 @@ impl RdmaReplica {
             batching: BatchingConfig::default(),
             batcher: VoteBatcher::new(BatchingConfig::default()),
             batch_timer_armed: false,
+            flow: FlowControlConfig::default(),
+            admission: AdmissionQueue::new(),
+            in_flight: 0,
+            retry_backoff: BTreeMap::new(),
             pending_connects: BTreeSet::new(),
             connect_retry_armed: false,
             connect_attempts: 0,
@@ -263,6 +278,17 @@ impl RdmaReplica {
     pub fn set_batching(&mut self, batching: BatchingConfig) {
         self.batching = batching;
         self.batcher.set_config(batching);
+    }
+
+    /// Sets the flow-control knobs (default: enabled, window 64,
+    /// exponential backoff).
+    pub fn set_flow(&mut self, flow: FlowControlConfig) {
+        self.flow = flow;
+    }
+
+    /// The flow-control configuration in force at this replica.
+    pub fn flow(&self) -> FlowControlConfig {
+        self.flow
     }
 
     /// Installs the initial configuration, own identifier and configuration
@@ -328,7 +354,12 @@ impl RdmaReplica {
     /// Number of transactions this replica is currently coordinating without
     /// a final decision.
     pub fn undecided_coordinated(&self) -> usize {
-        self.coordinating.values().filter(|c| !c.decided).count()
+        debug_assert_eq!(
+            self.in_flight,
+            self.coordinating.values().filter(|c| !c.decided).count(),
+            "in-flight counter out of lockstep with coordinating map"
+        );
+        self.in_flight
     }
 
     /// Whether this replica is currently driving a reconfiguration.
@@ -359,9 +390,48 @@ impl RdmaReplica {
     }
 
     fn arm_retry_timer(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
-        if !self.retry_timer_armed && self.coordinating.values().any(|c| !c.decided) {
+        if !self.retry_timer_armed
+            && (self.undecided_coordinated() > 0 || !self.admission.is_empty())
+        {
             ctx.set_timer(self.retry_interval, RETRY_TICK);
             self.retry_timer_armed = true;
+        }
+    }
+
+    /// Per-transaction jitter salt: decorrelates this coordinator's retry
+    /// schedule for `tx` from every other transaction's without consuming
+    /// shared RNG state.
+    fn backoff_salt(&self, tx: TxId) -> u64 {
+        tx.as_u64() ^ self.id.as_u64().rotate_left(17)
+    }
+
+    /// Records that a retry for `tx` fired at `now` and schedules the next.
+    fn backoff_fired(&mut self, tx: TxId, now: u64) {
+        let (policy, salt) = (self.flow.backoff, self.backoff_salt(tx));
+        self.retry_backoff
+            .entry(tx)
+            .or_insert_with(|| BackoffState::armed(&policy, salt, now))
+            .fired(&policy, salt, now);
+    }
+
+    /// Whether `tx`'s next retry is due at `now` (always true without flow
+    /// control, or before the first deadline is armed).
+    fn backoff_due(&self, tx: TxId, now: u64) -> bool {
+        !self.flow.enabled
+            || self
+                .retry_backoff
+                .get(&tx)
+                .map(|b| b.due(now))
+                .unwrap_or(true)
+    }
+
+    /// Admits queued submissions into freed window slots (oldest first).
+    fn drain_admission(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
+        while self.flow.admits(self.undecided_coordinated()) {
+            let Some((tx, (payload, client))) = self.admission.pop() else {
+                break;
+            };
+            self.handle_certify(tx, payload, client, ctx);
         }
     }
 
@@ -634,9 +704,14 @@ impl RdmaReplica {
             return;
         };
         if let Some(coord) = self.coordinating.get_mut(&tx) {
+            if !coord.decided {
+                self.in_flight -= 1;
+            }
             coord.decided = true;
             coord.decision = Some(decision);
         }
+        self.retry_backoff.remove(&tx);
+        self.admission.remove(tx);
         ctx.add_counter("coordinator_decisions", 1);
         ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
         for (shard, pos, truncate_to) in targets {
@@ -663,6 +738,8 @@ impl RdmaReplica {
                 self.pending_writes.insert(token, PendingWrite::Other);
             }
         }
+        // The decision frees an admission-window slot.
+        self.drain_admission(ctx);
     }
 
     /// Batched lines 96–100: completes every done transaction of `txs` and
@@ -685,9 +762,14 @@ impl RdmaReplica {
                 continue;
             };
             if let Some(coord) = self.coordinating.get_mut(&tx) {
+                if !coord.decided {
+                    self.in_flight -= 1;
+                }
                 coord.decided = true;
                 coord.decision = Some(decision);
             }
+            self.retry_backoff.remove(&tx);
+            self.admission.remove(tx);
             ctx.add_counter("coordinator_decisions", 1);
             ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
             for (shard, pos, floor) in targets {
@@ -723,6 +805,8 @@ impl RdmaReplica {
                 self.pending_writes.insert(token, PendingWrite::Other);
             }
         }
+        // The decisions free admission-window slots.
+        self.drain_admission(ctx);
     }
 
     // -- transaction path -----------------------------------------------------
@@ -745,6 +829,58 @@ impl RdmaReplica {
             );
             return;
         }
+        if self.flow.enabled {
+            match self.coordinating.get_mut(&tx) {
+                Some(coord) if coord.decision.is_some() => {
+                    // Decided re-submission: answer with the recorded
+                    // decision instead of silently swallowing the request.
+                    let decision = coord.decision.expect("checked above");
+                    ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
+                    return;
+                }
+                Some(coord) => {
+                    // A retry supersedes the in-flight attempt: refresh the
+                    // reply address and payload and let the scheduled
+                    // backoff decide when to re-drive, instead of stacking
+                    // another PREPARE volley on top of the previous one.
+                    // `decided` without a decision marks a coordination
+                    // handed off to a newer configuration
+                    // (`handle_stale_view_refresh`); a client re-drive means
+                    // the handoff `RETRY` was lost — coordinate it afresh.
+                    if coord.decided {
+                        coord.decided = false;
+                        self.in_flight += 1;
+                    }
+                    coord.payload = Some(payload);
+                    coord.client = client;
+                    let now = ctx.now().as_micros();
+                    if self.backoff_due(tx, now) {
+                        let coord = self.coordinating.get(&tx).expect("in flight").clone();
+                        self.send_prepares(ctx, tx, &coord, None);
+                        self.backoff_fired(tx, now);
+                    }
+                    self.arm_retry_timer(ctx);
+                    return;
+                }
+                None => {
+                    if !self.flow.admits(self.undecided_coordinated()) {
+                        // Admission window full: park the submission at the
+                        // edge; it is admitted when an in-flight transaction
+                        // decides.
+                        self.admission.enqueue(tx, (payload, client));
+                        ctx.add_counter("admission_queued", 1);
+                        self.arm_retry_timer(ctx);
+                        return;
+                    }
+                    let (policy, salt) = (self.flow.backoff, self.backoff_salt(tx));
+                    self.retry_backoff.insert(
+                        tx,
+                        BackoffState::armed(&policy, salt, ctx.now().as_micros()),
+                    );
+                }
+            }
+        }
+        let inserted = !self.coordinating.contains_key(&tx);
         let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
             client,
             payload: Some(payload.clone()),
@@ -754,6 +890,9 @@ impl RdmaReplica {
             decision: None,
             known_decision: None,
         });
+        if inserted {
+            self.in_flight += 1;
+        }
         // A re-submitted `certify` of an already-decided transaction (the
         // client's `DECISION` was lost to a fault): answer with the recorded
         // decision instead of silently swallowing the request.
@@ -767,12 +906,14 @@ impl RdmaReplica {
         // lost: coordinate it afresh.
         if coord.decided {
             coord.decided = false;
+            self.in_flight += 1;
         }
         coord.payload = Some(payload);
         coord.client = client;
         if self.batching.enabled {
             if self.batcher.push(tx) {
-                self.flush_prepare_batch(ctx);
+                let txs = self.batcher.drain_full();
+                self.flush_prepare_batch(txs, ctx);
             } else {
                 self.arm_batch_timer(ctx);
             }
@@ -795,8 +936,7 @@ impl RdmaReplica {
 
     /// Drains the pending batch into one `PREPARE_BATCH` per involved shard
     /// leader.
-    fn flush_prepare_batch(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
-        let txs = self.batcher.drain();
+    fn flush_prepare_batch(&mut self, txs: Vec<TxId>, ctx: &mut Context<'_, RdmaMsg>) {
         if txs.is_empty() {
             return;
         }
@@ -1102,6 +1242,7 @@ impl RdmaReplica {
         if epoch != self.epoch {
             return;
         }
+        let inserted = !self.coordinating.contains_key(&tx);
         let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
             client,
             payload: None,
@@ -1111,6 +1252,9 @@ impl RdmaReplica {
             decision: None,
             known_decision: None,
         });
+        if inserted {
+            self.in_flight += 1;
+        }
         let progress = coord
             .progress
             .entry(shard)
@@ -1195,6 +1339,7 @@ impl RdmaReplica {
         }
         let shards = entry.shards.clone();
         let client = entry.client;
+        let inserted = !self.coordinating.contains_key(&tx);
         let coord = self.coordinating.entry(tx).or_insert_with(|| CoordState {
             client,
             payload: None,
@@ -1204,6 +1349,9 @@ impl RdmaReplica {
             decision: None,
             known_decision: None,
         });
+        if inserted {
+            self.in_flight += 1;
+        }
         let coord = coord.clone();
         self.send_prepares(ctx, tx, &coord, None);
         self.arm_retry_timer(ctx);
@@ -1211,13 +1359,18 @@ impl RdmaReplica {
 
     fn handle_retry_tick(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
         self.retry_timer_armed = false;
+        // Safety net: admit parked submissions even if a decision path was
+        // missed (e.g. a handoff freed slots without deciding anything).
+        self.drain_admission(ctx);
+        let now = ctx.now().as_micros();
         let pending: Vec<TxId> = self
             .coordinating
             .iter()
-            .filter(|(_, c)| !c.decided)
+            .filter(|(tx, c)| !c.decided && self.backoff_due(**tx, now))
             .map(|(tx, _)| *tx)
             .collect();
         if pending.is_empty() {
+            self.arm_retry_timer(ctx);
             return;
         }
         // A stalled coordinator may be working from a stale view: a global
@@ -1229,6 +1382,9 @@ impl RdmaReplica {
         // handled by `handle_stale_view_refresh`.
         ctx.send(self.cs, RdmaMsg::CsGetLast);
         for tx in pending {
+            if self.flow.enabled {
+                self.backoff_fired(tx, now);
+            }
             let coord = self.coordinating.get(&tx).expect("pending").clone();
             self.send_prepares(ctx, tx, &coord, None);
         }
@@ -1283,10 +1439,16 @@ impl RdmaReplica {
             // Stop retrying locally; the client's decision now comes from the
             // member that takes the transaction over.
             if let Some(coord) = self.coordinating.get_mut(&tx) {
+                if !coord.decided {
+                    self.in_flight -= 1;
+                }
                 coord.decided = true;
             }
+            self.retry_backoff.remove(&tx);
             ctx.add_counter("retries_handed_off", 1);
         }
+        // Handed-off transactions free admission-window slots.
+        self.drain_admission(ctx);
     }
 
     // -- reconfiguration ------------------------------------------------------
@@ -1919,6 +2081,9 @@ impl Actor<RdmaMsg> for RdmaReplica {
                     }
                     coord.known_decision = Some(decision);
                     notify_client = !coord.decided;
+                    if !coord.decided {
+                        self.in_flight -= 1;
+                    }
                     coord.decided = true;
                     coord.decision.get_or_insert(decision);
                     let shards = coord.shards.clone();
@@ -1929,6 +2094,10 @@ impl Actor<RdmaMsg> for RdmaReplica {
                 if notify_client {
                     ctx.send(client, RdmaMsg::DecisionClient { tx, decision });
                 }
+                // An out-of-band decision also frees an admission slot.
+                self.retry_backoff.remove(&tx);
+                self.admission.remove(tx);
+                self.drain_admission(ctx);
             }
             RdmaMsg::StartReconfigure {
                 suspected_shard,
@@ -2028,7 +2197,8 @@ impl Actor<RdmaMsg> for RdmaReplica {
             self.handle_retry_tick(ctx);
         } else if tag == BATCH_TICK {
             self.batch_timer_armed = false;
-            self.flush_prepare_batch(ctx);
+            let txs = self.batcher.drain_idle();
+            self.flush_prepare_batch(txs, ctx);
         } else if tag == PROBE_GRACE_TICK {
             self.handle_probe_grace_tick(ctx);
         } else if tag == RECON_RETRY_TICK {
@@ -2046,11 +2216,14 @@ impl Actor<RdmaMsg> for RdmaReplica {
     /// `Connect` handshake with every process of the current view.
     fn on_restart(&mut self, ctx: &mut Context<'_, RdmaMsg>) {
         self.coordinating.clear();
+        self.in_flight = 0;
         self.pending_writes.clear();
         self.recon = None;
         self.retry_timer_armed = false;
         self.batcher = VoteBatcher::new(self.batching);
         self.batch_timer_armed = false;
+        self.admission.clear();
+        self.retry_backoff.clear();
         self.peer_frontiers.clear();
         // Writes that reached the persistent region were acknowledged to
         // their senders — they count as persisted here, even across the

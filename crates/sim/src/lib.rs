@@ -62,6 +62,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod actor;
+pub mod backoff;
 pub mod event;
 pub mod faults;
 pub mod latency;
@@ -86,6 +87,7 @@ pub mod prelude {
 }
 
 pub use actor::{Actor, Context, TimerTag};
+pub use backoff::{BackoffPolicy, BackoffState};
 pub use faults::{FaultScope, LinkFault};
 pub use latency::LatencyModel;
 pub use metrics::Metrics;

@@ -37,6 +37,16 @@ pub struct SimConfig {
     /// Hard cap on the number of events executed by [`World::run`], as a
     /// safeguard against protocol bugs that generate unbounded message storms.
     pub max_steps: u64,
+    /// Virtual CPU cost of handling one delivered message (simulator only;
+    /// zero by default). With the default of zero, handler execution is free
+    /// in virtual time — which is exactly why the simulator historically
+    /// could not reproduce the baseline's congestive collapse: retry storms
+    /// cost nothing, so the backlog never grows. A nonzero service time gives
+    /// each process a single-server queue (a message delivered while the
+    /// process is still busy waits until it frees up), which makes overload
+    /// — offered work per tick exceeding `1/service` — reproducible
+    /// deterministically in virtual time.
+    pub service: SimDuration,
 }
 
 impl Default for SimConfig {
@@ -53,6 +63,7 @@ impl Default for SimConfig {
             latency,
             trace: false,
             max_steps: 50_000_000,
+            service: SimDuration::ZERO,
         }
     }
 }
@@ -75,6 +86,13 @@ impl SimConfig {
         self.rdma_write_latency = latency.scaled(1, 3);
         self.rdma_ack_latency = latency.scaled(1, 3);
         self.latency = latency;
+        self
+    }
+
+    /// Returns a copy of this configuration with a per-delivery service time
+    /// of `micros` microseconds (see [`SimConfig::service`]).
+    pub fn with_service_micros(mut self, micros: u64) -> Self {
+        self.service = SimDuration::from_micros(micros);
         self
     }
 }
@@ -103,6 +121,13 @@ pub struct World<M> {
     /// Crash-restart incarnation per process; timers never survive into a
     /// later incarnation.
     pub(crate) incarnations: BTreeMap<ProcessId, u64>,
+    /// Single-server queueing under a nonzero [`SimConfig::service`]: the
+    /// virtual time before which each process cannot accept its next message
+    /// delivery. Unused (and empty) when the service time is zero.
+    busy_until: BTreeMap<ProcessId, SimTime>,
+    /// Sequence numbers of deferred deliveries whose service slot is already
+    /// reserved in `busy_until`; executed directly on their second pop.
+    service_reserved: std::collections::BTreeSet<u64>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -144,6 +169,8 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             cancelled_timers: BTreeSet::new(),
             faults: FaultPlane::default(),
             incarnations: BTreeMap::new(),
+            busy_until: BTreeMap::new(),
+            service_reserved: std::collections::BTreeSet::new(),
         }
     }
 
@@ -373,6 +400,31 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             return false;
         };
         debug_assert!(event.time >= self.now, "time must not go backwards");
+        // Service-time model (simulator only; see [`SimConfig::service`]): a
+        // message arriving while its target is still handling an earlier one
+        // waits in the target's queue. The service slot is reserved at
+        // deferral time and the delivery requeued exactly once, to the start
+        // of its slot — amortised O(1) per message even under a deep backlog.
+        // Slots are granted in pop order (= arrival order: later arrivals
+        // get later sequence numbers), preserving per-link FIFO; deferrals
+        // count as steps so `max_steps` still bounds storms.
+        if self.config.service != SimDuration::ZERO {
+            if let EventKind::Deliver { to, .. } = &event.kind {
+                if !self.service_reserved.remove(&event.seq) {
+                    let free = self.busy_until.get(to).copied().unwrap_or(SimTime::ZERO);
+                    let to = *to;
+                    if free > event.time {
+                        self.busy_until.insert(to, free + self.config.service);
+                        self.now = event.time;
+                        self.steps += 1;
+                        let seq = self.push_event(free, event.kind);
+                        self.service_reserved.insert(seq);
+                        return true;
+                    }
+                    self.busy_until.insert(to, event.time + self.config.service);
+                }
+            }
+        }
         self.now = event.time;
         self.steps += 1;
         self.execute(event.kind);
@@ -381,10 +433,11 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
 
     // -- internals ---------------------------------------------------------
 
-    pub(crate) fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+    pub(crate) fn push_event(&mut self, time: SimTime, kind: EventKind<M>) -> u64 {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        seq
     }
 
     fn record_trace(
@@ -617,6 +670,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
 
     fn execute_crash(&mut self, pid: ProcessId) {
         if self.crashed.insert(pid) {
+            self.busy_until.remove(&pid);
             self.record_trace(TraceKind::Crash, pid, pid, "crash".to_owned(), 0);
             // The NIC dies with the process: every permission it had granted
             // is revoked, and a later restart must re-open connections.
@@ -848,6 +902,41 @@ mod tests {
         assert_eq!(deliveries, vec![0, 1]);
         assert_eq!(w.metrics().received(b), 1);
         assert_eq!(w.metrics().sent(b), 1);
+    }
+
+    #[test]
+    fn service_time_makes_each_process_a_single_server_queue() {
+        use crate::latency::LatencyModel;
+        // 5 messages arrive ~10us apart but each costs 100us to handle: the
+        // receiver drains them back-to-back, so the last one executes no
+        // earlier than 4 full service times after the first.
+        let mut w: World<Msg> = World::new(
+            SimConfig::default()
+                .with_latency(LatencyModel::constant(10))
+                .with_service_micros(100),
+        );
+        let a = w.add_actor(Recorder::default());
+        let b = w.add_actor(Recorder::default());
+        for i in 0..5 {
+            w.send_from(a, b, Msg::Note(i));
+        }
+        w.run();
+        let notes: Vec<u64> = w
+            .actor::<Recorder>(b)
+            .expect("b")
+            .messages
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::Note(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes, vec![0, 1, 2, 3, 4], "FIFO preserved under queueing");
+        assert!(
+            w.now().as_micros() >= 10 + 4 * 100,
+            "clock reflects queueing delay, now = {:?}",
+            w.now()
+        );
     }
 
     #[test]
