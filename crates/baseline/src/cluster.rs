@@ -6,7 +6,9 @@ use std::sync::Arc;
 use ratc_core::batch::BatchingConfig;
 use ratc_core::client::DecisionLatency;
 use ratc_core::flow::FlowControlConfig;
-use ratc_sim::{Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, World};
+use ratc_sim::{
+    Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, TxMilestone, World,
+};
 use ratc_types::{
     CertificationPolicy, Decision, HashSharding, Payload, ProcessId, Serializability, ShardId,
     ShardMap, TcsHistory, TxId,
@@ -153,12 +155,18 @@ impl Actor<BaselineMsg> for BaselineClientActor {
                 .get(&tx)
                 .map(|t| ctx.now().since(*t).as_micros())
                 .unwrap_or(0);
+            // Stamp only the first copy of the decision (re-externalisations
+            // after a TM restart carry the same decision).
+            if !self.latencies.contains_key(&tx) {
+                ctx.obs_milestone(tx, TxMilestone::ClientLearned, 0);
+            }
             self.latencies.entry(tx).or_insert(DecisionLatency {
                 hops: ctx.hops(),
                 micros,
                 decision,
             });
             ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
+            ctx.record_sample("client_decision_micros", micros as f64);
             match decision {
                 Decision::Commit => ctx.add_counter("client_commits", 1),
                 Decision::Abort => ctx.add_counter("client_aborts", 1),
@@ -306,6 +314,8 @@ impl BaselineCluster {
             .actor_mut::<BaselineClientActor>(self.client)
             .expect("client")
             .record_certify(tx, payload.clone(), now);
+        self.world
+            .obs_milestone(tx, TxMilestone::Submitted, self.client);
         let client = self.client;
         self.world.send_external(
             coordinator,
@@ -343,6 +353,11 @@ impl BaselineCluster {
                 client,
             },
         );
+    }
+
+    /// The execution engine driving this cluster's actors.
+    pub fn execution(&self) -> ExecutionMode {
+        self.execution
     }
 
     /// Runs until no events remain (on the configured [`ExecutionMode`]).

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ratc_core::flow::{AdmissionQueue, FlowControlConfig};
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag, TxMilestone};
 use ratc_types::{Decision, Payload, ProcessId, ShardId, ShardMap, TxId};
 
 use crate::messages::{BaselineMsg, TmCommand};
@@ -218,6 +218,13 @@ impl TransactionManager {
                 !pending.proposed && pending.backoff.due(now)
             };
             if due {
+                let attempt = self
+                    .pending
+                    .get(&tx)
+                    .map(|p| p.backoff.attempt)
+                    .unwrap_or(0);
+                ctx.obs_milestone(tx, TxMilestone::Retry, u64::from(attempt));
+                ctx.obs_gauge("obs_backoff_attempt", f64::from(attempt));
                 self.redrive(tx, ctx);
                 let (backoff, salt) = (self.flow.backoff, self.salt(tx));
                 if let Some(pending) = self.pending.get_mut(&tx) {
@@ -232,6 +239,7 @@ impl TransactionManager {
             // admitted the moment an in-flight transaction decides.
             self.admission.enqueue(tx, (payload, client));
             ctx.add_counter("tm_admission_queued", 1);
+            ctx.obs_gauge("obs_admission_depth", self.admission.len() as f64);
             // New work arrived: reset the fruitless-tick budget and keep the
             // retry timer alive so the queued work is eventually driven.
             self.arm_retry_timer(ctx);
@@ -272,6 +280,11 @@ impl TransactionManager {
                 backoff,
             },
         );
+        // Admission and the PREPARE volley coincide on this stack: the TM
+        // starts 2PC the moment a submission enters the window.
+        ctx.obs_milestone(tx, TxMilestone::Admitted, 0);
+        ctx.obs_gauge("obs_inflight_window", self.pending.len() as f64);
+        ctx.obs_milestone(tx, TxMilestone::CertifySent, 0);
         for shard in shards {
             let Some(leader) = self.shard_leaders.get(&shard) else {
                 continue;
@@ -370,6 +383,15 @@ impl TransactionManager {
             self.pending.keys().copied().collect()
         };
         for tx in txs {
+            if self.flow.enabled {
+                let attempt = self
+                    .pending
+                    .get(&tx)
+                    .map(|p| p.backoff.attempt)
+                    .unwrap_or(0);
+                ctx.obs_milestone(tx, TxMilestone::Retry, u64::from(attempt));
+                ctx.obs_gauge("obs_backoff_attempt", f64::from(attempt));
+            }
             self.redrive(tx, ctx);
             if self.flow.enabled {
                 let (backoff, salt) = (self.flow.backoff, self.salt(tx));
@@ -445,6 +467,7 @@ impl TransactionManager {
             return;
         };
         pending.votes.insert(shard, vote);
+        ctx.obs_milestone(tx, TxMilestone::ShardVoted, u64::from(shard.as_u32()));
         if pending.proposed || pending.votes.len() < pending.shards.len() {
             return;
         }
@@ -506,7 +529,13 @@ impl TransactionManager {
                 self.decided_clients
                     .entry(command.tx)
                     .or_insert_with(|| (command.client, command.shards.clone()));
-                self.pending.remove(&command.tx);
+                if self.pending.remove(&command.tx).is_some() {
+                    // The Paxos accept quorum is what makes the decision
+                    // durable: quorum and decision coincide on this stack.
+                    ctx.obs_milestone(command.tx, TxMilestone::AcceptQuorum, 0);
+                    ctx.obs_milestone(command.tx, TxMilestone::Decided, 0);
+                    ctx.obs_gauge("obs_inflight_window", self.pending.len() as f64);
+                }
                 self.admission.remove(command.tx);
                 // A slot was chosen: the proposer is making headway, so its
                 // retransmit backoff returns to the fast schedule.

@@ -28,8 +28,10 @@ pub fn header(id: &str, title: &str, paper_claim: &str) {
 /// the result structs are flat records of numbers and short known strings,
 /// so `format!` is all the serialisation needed.
 pub mod json {
+    use ratc_sim::Phase;
     use ratc_workload::{
-        BatchingResult, LatencyResult, OverloadResult, TruncationResult, WallclockResult,
+        BatchingResult, LatencyResult, OverloadResult, PhaseResult, TruncationResult,
+        WallclockResult,
     };
 
     /// Joins already-rendered JSON values into an array.
@@ -78,10 +80,11 @@ pub mod json {
         )
     }
 
-    /// One E9 wall-clock throughput row.
+    /// One E9 wall-clock throughput row. `latency_unit` labels the unit of
+    /// every latency in the row (`"wall_micros"` or `"virtual_micros"`).
     pub fn wallclock(r: &WallclockResult) -> String {
         format!(
-            r#"{{"stack":"{}","shards":{},"batch":{},"closed_loop":{},"transactions":{},"committed":{},"aborted":{},"undecided":{},"wall_secs":{},"committed_per_sec":{},"mean_latency_micros":{}}}"#,
+            r#"{{"stack":"{}","shards":{},"batch":{},"closed_loop":{},"transactions":{},"committed":{},"aborted":{},"undecided":{},"wall_secs":{},"committed_per_sec":{},"mean_latency_micros":{},"p99_latency_micros":{},"latency_unit":"{}"}}"#,
             r.stack,
             r.shards,
             r.batch,
@@ -92,14 +95,17 @@ pub mod json {
             r.undecided,
             r.wall_secs,
             r.committed_per_sec,
-            r.mean_latency_micros
+            r.mean_latency_micros,
+            r.p99_latency_micros,
+            r.latency_unit.as_str()
         )
     }
 
-    /// One E10 overload-sweep row.
+    /// One E10 overload-sweep row. `latency_unit` labels the unit of every
+    /// latency in the row.
     pub fn overload(r: &OverloadResult) -> String {
         format!(
-            r#"{{"stack":"{}","shards":{},"flow_enabled":{},"depth":{},"committed":{},"aborted":{},"undecided":{},"wall_secs":{},"goodput_per_sec":{}}}"#,
+            r#"{{"stack":"{}","shards":{},"flow_enabled":{},"depth":{},"committed":{},"aborted":{},"undecided":{},"wall_secs":{},"goodput_per_sec":{},"p99_latency_micros":{},"latency_unit":"{}"}}"#,
             r.stack,
             r.shards,
             r.flow_enabled,
@@ -108,7 +114,36 @@ pub mod json {
             r.aborted,
             r.undecided,
             r.wall_secs,
-            r.goodput_per_sec
+            r.goodput_per_sec,
+            r.p99_latency_micros,
+            r.latency_unit.as_str()
+        )
+    }
+
+    /// One E11 phase-attribution row: mean per-phase latencies keyed by
+    /// phase name, plus the mean end-to-end total they sum to (up to
+    /// floating-point rounding) and the unit of every latency in the row.
+    pub fn phases(r: &PhaseResult) -> String {
+        let phase_fields: Vec<String> = Phase::ALL
+            .iter()
+            .zip(r.mean_phase_micros.iter())
+            .map(|(phase, mean)| format!(r#""mean_{}_micros":{}"#, phase.as_str(), mean))
+            .collect();
+        format!(
+            r#"{{"stack":"{}","execution":"{}","shards":{},"depth":{},"committed":{},"measured":{},{},"mean_total_micros":{},"mean_retries":{},"latency_unit":"{}"}}"#,
+            r.stack,
+            match r.execution {
+                ratc_sim::ExecutionMode::Sim => "sim",
+                ratc_sim::ExecutionMode::Threads => "threads",
+            },
+            r.shards,
+            r.depth,
+            r.committed,
+            r.measured,
+            phase_fields.join(","),
+            r.mean_total_micros,
+            r.mean_retries,
+            r.latency_unit.as_str()
         )
     }
 
@@ -131,12 +166,39 @@ pub mod json {
                 wall_secs: 0.5,
                 committed_per_sec: 200.0,
                 mean_latency_micros: 1234.5,
+                p99_latency_micros: 2500.0,
+                latency_unit: ratc_sim::LatencyUnit::WallMicros,
             });
             assert!(row.starts_with('{') && row.ends_with('}'), "{row}");
             assert!(row.contains(r#""stack":"ratc-mp""#), "{row}");
             assert!(row.contains(r#""closed_loop":true"#), "{row}");
             assert!(row.contains(r#""committed_per_sec":200"#), "{row}");
+            assert!(row.contains(r#""latency_unit":"wall_micros""#), "{row}");
             assert_eq!(array(&[String::from("1"), String::from("2")]), "[1,2]");
+        }
+
+        #[test]
+        fn phase_rows_name_every_phase_and_the_unit() {
+            let row = phases(&ratc_workload::PhaseResult {
+                stack: StackKind::Baseline,
+                execution: ratc_sim::ExecutionMode::Sim,
+                shards: 2,
+                depth: 64,
+                committed: 64,
+                measured: 64,
+                mean_phase_micros: [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                mean_total_micros: 21.0,
+                mean_retries: 0.5,
+                latency_unit: ratc_sim::LatencyUnit::VirtualMicros,
+            });
+            for phase in ratc_sim::Phase::ALL {
+                assert!(
+                    row.contains(&format!(r#""mean_{}_micros":"#, phase.as_str())),
+                    "{row}"
+                );
+            }
+            assert!(row.contains(r#""execution":"sim""#), "{row}");
+            assert!(row.contains(r#""latency_unit":"virtual_micros""#), "{row}");
         }
     }
 }

@@ -78,6 +78,10 @@ pub struct SoakReport {
     pub recovery_micros: u64,
     /// Total simulation events executed (a determinism fingerprint).
     pub steps: u64,
+    /// Commit-path timeline forensics, one rendered lifecycle timeline per
+    /// transaction implicated in a failure (safety violation or undecided).
+    /// Empty when the soak is [`ok`](SoakReport::ok).
+    pub forensics: Vec<String>,
 }
 
 impl SoakReport {
@@ -205,6 +209,26 @@ pub fn run_soak(harness: &mut ChaosHarness, config: &SoakConfig, plan: &FaultPla
         &Serializability::new(),
         &harness.client_violations(),
     );
+    // A failing soak ships the commit-path story of every implicated
+    // transaction: the undecided set, plus any transaction a safety
+    // violation names.
+    let mut implicated: Vec<TxId> = verdict.undecided.clone();
+    for violation in &verdict.safety_violations {
+        implicated.extend(
+            history
+                .undecided()
+                .chain(history.committed())
+                .chain(history.aborted())
+                .filter(|tx| violation.contains(&format!("tx {}", tx.as_u64()))),
+        );
+    }
+    implicated.sort_unstable();
+    implicated.dedup();
+    let forensics = if verdict.safety_violations.is_empty() && verdict.undecided.is_empty() {
+        Vec::new()
+    } else {
+        harness.timeline_forensics(&implicated)
+    };
     SoakReport {
         stack: harness.stack().to_string(),
         seed: config.seed,
@@ -216,5 +240,6 @@ pub fn run_soak(harness: &mut ChaosHarness, config: &SoakConfig, plan: &FaultPla
         fault_events: applied,
         recovery_micros: recovered_at.saturating_sub(fault_end),
         steps: harness.steps(),
+        forensics,
     }
 }

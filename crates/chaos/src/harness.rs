@@ -375,6 +375,21 @@ impl ChaosHarness {
     pub fn client_violations(&self) -> Vec<String> {
         self.cluster.client_violations()
     }
+
+    /// Per-transaction timeline forensics for `txs`: one rendered lifecycle
+    /// timeline per transaction that has observability events (see
+    /// [`TcsCluster::timelines`]). Soak drivers attach these to failing
+    /// reports so a safety or liveness violation arrives with the full
+    /// commit-path story of the transactions involved.
+    pub fn timeline_forensics(&self, txs: &[TxId]) -> Vec<String> {
+        let timelines = self.cluster.timelines();
+        txs.iter()
+            .map(|tx| match timelines.get(tx) {
+                Some(timeline) => format!("tx {}: {timeline}", tx.as_u64()),
+                None => format!("tx {}: no lifecycle events recorded", tx.as_u64()),
+            })
+            .collect()
+    }
 }
 
 /// Builds the chaos harness for `stack`: checkpointed truncation with fold
@@ -389,6 +404,10 @@ pub fn build_harness(
     let spec = ClusterSpec::new(stack)
         .with_shards(shards)
         .with_seed(seed)
-        .with_truncation(TruncationConfig::with_batch(8));
+        .with_truncation(TruncationConfig::with_batch(8))
+        // Observability is on for every soak: recording never perturbs the
+        // seeded schedule, and a failing run dumps the violating/undecided
+        // transactions' timelines as forensics.
+        .with_observability();
     ChaosHarness::new(&spec, coordinator)
 }

@@ -46,8 +46,10 @@ fn fixed_seed_soaks_are_safe_and_live_on_all_stacks() {
             assert_eq!(report.submitted, 40, "{stack} seed={seed} lost submissions");
             if !report.ok() {
                 failures.push(format!(
-                    "{stack} seed={seed}: violations={:?} undecided={:?}",
-                    report.safety_violations, report.undecided
+                    "{stack} seed={seed}: violations={:?} undecided={:?}\n  forensics:\n    {}",
+                    report.safety_violations,
+                    report.undecided,
+                    report.forensics.join("\n    ")
                 ));
             }
         }

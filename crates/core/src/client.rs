@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use ratc_sim::{Actor, Context, SimTime};
+use ratc_sim::{Actor, Context, SimTime, TxMilestone};
 use ratc_types::{Decision, Payload, TcsHistory, TxId};
 
 use crate::messages::Msg;
@@ -114,6 +114,9 @@ impl Actor<Msg> for ClientActor {
                 .unwrap_or(0);
             // Record only the first decision's latency (duplicates from
             // concurrent recovery coordinators carry the same decision).
+            if !self.latencies.contains_key(&tx) {
+                ctx.obs_milestone(tx, TxMilestone::ClientLearned, 0);
+            }
             self.latencies.entry(tx).or_insert(DecisionLatency {
                 hops: ctx.hops(),
                 micros,

@@ -341,6 +341,8 @@ impl Cluster {
             .actor_mut::<ClientActor>(self.client)
             .expect("client")
             .record_certify(tx, payload.clone(), now);
+        self.world
+            .obs_milestone(tx, ratc_sim::TxMilestone::Submitted, self.client);
         let client = self.client;
         self.world.send_external(
             coordinator,
@@ -413,6 +415,11 @@ impl Cluster {
     /// all volatile state lost. Returns `false` if `pid` was not crashed.
     pub fn restart(&mut self, pid: ProcessId) -> bool {
         self.world.restart(pid)
+    }
+
+    /// The execution engine driving this cluster's actors.
+    pub fn execution(&self) -> ExecutionMode {
+        self.execution
     }
 
     /// Runs the cluster until no events remain (on the configured

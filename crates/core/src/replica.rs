@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ratc_config::{MembershipPlanner, ShardConfiguration};
-use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag, TxMilestone};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
     ShardCertifier, ShardId, ShardMap, TxId,
@@ -481,6 +481,7 @@ impl Replica {
         coord: &CoordState,
         only_shards: Option<&[ShardId]>,
     ) {
+        ctx.obs_milestone(tx, TxMilestone::CertifySent, 0);
         for shard in &coord.shards {
             if let Some(filter) = only_shards {
                 if !filter.contains(shard) {
@@ -562,6 +563,11 @@ impl Replica {
         self.admission.remove(tx);
         ctx.add_counter("coordinator_decisions", 1);
         ctx.record_sample("coordinator_decision_hops", f64::from(ctx.hops()));
+        // The accept quorum and the decision coincide on this stack: the last
+        // required ACCEPT_ACK both completes the quorum and fixes the outcome.
+        ctx.obs_milestone(tx, TxMilestone::AcceptQuorum, 0);
+        ctx.obs_milestone(tx, TxMilestone::Decided, 0);
+        ctx.obs_gauge("obs_inflight_window", self.in_flight as f64);
         self.drain_admission(ctx);
     }
 
@@ -695,6 +701,8 @@ impl Replica {
                     coord.client = client;
                     let now = ctx.now().as_micros();
                     if self.backoff_due(tx, now) {
+                        let attempt = self.retry_backoff.get(&tx).map(|b| b.attempt).unwrap_or(0);
+                        ctx.obs_milestone(tx, TxMilestone::Retry, u64::from(attempt));
                         let coord = self.coordinating.get(&tx).expect("in flight").clone();
                         self.send_prepares(ctx, tx, &coord, None);
                         self.backoff_fired(tx, now);
@@ -709,6 +717,7 @@ impl Replica {
                         // decides.
                         self.admission.enqueue(tx, (payload, client));
                         ctx.add_counter("admission_queued", 1);
+                        ctx.obs_gauge("obs_admission_depth", self.admission.len() as f64);
                         self.arm_retry_timer(ctx);
                         return;
                     }
@@ -732,6 +741,8 @@ impl Replica {
         });
         if inserted {
             self.in_flight += 1;
+            ctx.obs_milestone(tx, TxMilestone::Admitted, 0);
+            ctx.obs_gauge("obs_inflight_window", self.in_flight as f64);
         }
         // A re-submitted `certify` of a transaction this coordinator already
         // decided (the client's `DECISION` was lost to a fault, or the client
@@ -777,6 +788,13 @@ impl Replica {
     fn flush_prepare_batch(&mut self, txs: Vec<TxId>, ctx: &mut Context<'_, Msg>) {
         if txs.is_empty() {
             return;
+        }
+        ctx.obs_gauge("obs_batch_occupancy", txs.len() as f64);
+        if ctx.obs_enabled() {
+            for &tx in &txs {
+                ctx.obs_milestone(tx, TxMilestone::CertifySent, 0);
+                ctx.obs_milestone(tx, TxMilestone::BatchFlush, txs.len() as u64);
+            }
         }
         let mut per_leader: BTreeMap<ProcessId, Vec<PrepareItem>> = BTreeMap::new();
         for tx in txs {
@@ -930,6 +948,7 @@ impl Replica {
             progress.pos = Some(item.pos);
             progress.vote = Some(item.vote);
             progress.frontiers.insert(from, frontier);
+            ctx.obs_milestone(item.tx, TxMilestone::ShardVoted, u64::from(shard.as_u32()));
             txs.push(item.tx);
         }
         let leader = self.leader.get(&shard).copied();
@@ -1189,6 +1208,7 @@ impl Replica {
         progress.pos = Some(pos);
         progress.vote = Some(vote);
         progress.frontiers.insert(from, frontier);
+        ctx.obs_milestone(tx, TxMilestone::ShardVoted, u64::from(shard.as_u32()));
         // Line 20: persist the vote at the followers.
         let leader = self.leader.get(&shard).copied();
         let followers: Vec<ProcessId> = self
@@ -1389,6 +1409,9 @@ impl Replica {
             let was_decided = coord.decided;
             if !was_decided {
                 self.in_flight -= 1;
+                // Decided out-of-band (the shard already truncated the
+                // transaction): no quorum was observed this incarnation.
+                ctx.obs_milestone(tx, TxMilestone::Decided, 0);
             }
             coord.decided = true;
             coord.decision.get_or_insert(decision);
@@ -1932,6 +1955,9 @@ impl Replica {
         }
         for tx in pending {
             if self.flow.enabled {
+                let attempt = self.retry_backoff.get(&tx).map(|b| b.attempt).unwrap_or(0);
+                ctx.obs_milestone(tx, TxMilestone::Retry, u64::from(attempt));
+                ctx.obs_gauge("obs_backoff_attempt", f64::from(attempt));
                 self.backoff_fired(tx, now);
             }
             let coord = self.coordinating.get(&tx).expect("pending").clone();

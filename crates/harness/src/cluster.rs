@@ -19,7 +19,10 @@ use ratc_core::replica::{Replica, Status};
 use ratc_rdma::replica::RdmaStatus;
 use ratc_rdma::{RdmaCluster, RdmaReplica, ReconfigMode};
 use ratc_sim::faults::LinkFault;
-use ratc_sim::{SimDuration, SimTime};
+use ratc_sim::{
+    fold_timelines, ExecutionMode, LatencyUnit, PhaseBreakdown, SimDuration, SimTime, TxObsEvent,
+    TxTimeline,
+};
 use ratc_types::{Epoch, HashSharding, Payload, ProcessId, ShardId, ShardMap, TcsHistory, TxId};
 
 /// Which TCS implementation a cluster (or an experiment, or a chaos run)
@@ -145,6 +148,42 @@ pub trait TcsCluster {
 
     /// Mean of a named metrics sample series, if any samples were recorded.
     fn sample_mean(&self, name: &str) -> Option<f64>;
+
+    /// Estimated percentile (`pct` in `0..=100`) of a named metrics sample
+    /// series, from the streaming log-bucketed histogram every
+    /// [`Summary`](ratc_sim::metrics::Summary) maintains (relative error
+    /// ≤ ~9%). `None` if no samples were recorded.
+    fn sample_percentile(&self, name: &str, pct: f64) -> Option<f64>;
+
+    /// The unit of every latency and timestamp this cluster reports:
+    /// [`LatencyUnit::VirtualMicros`] under
+    /// [`ExecutionMode::Sim`], [`LatencyUnit::WallMicros`] under
+    /// [`ExecutionMode::Threads`].
+    fn latency_unit(&self) -> LatencyUnit;
+
+    /// Raw transaction-lifecycle observability events, in recording order.
+    /// Empty unless the cluster was built with observability enabled (see
+    /// [`ClusterSpec::with_observability`](crate::ClusterSpec::with_observability)).
+    fn obs_events(&self) -> Vec<TxObsEvent>;
+
+    /// Per-transaction lifecycle timelines, folded from
+    /// [`TcsCluster::obs_events`] and keyed by transaction.
+    fn timelines(&self) -> BTreeMap<TxId, TxTimeline> {
+        fold_timelines(&self.obs_events())
+    }
+
+    /// Per-phase latency attribution of every transaction whose timeline is
+    /// complete (submission and client-learned decision both stamped). The
+    /// phases of each breakdown sum exactly to its end-to-end latency, in
+    /// the cluster's [`TcsCluster::latency_unit`].
+    fn phase_breakdown(&self) -> BTreeMap<TxId, PhaseBreakdown> {
+        self.timelines()
+            .iter()
+            .filter_map(|(tx, timeline)| {
+                PhaseBreakdown::from_timeline(timeline).map(|breakdown| (*tx, breakdown))
+            })
+            .collect()
+    }
 
     /// Messages handled (sent + received) by one process.
     fn process_handled(&self, pid: ProcessId) -> u64;
@@ -331,6 +370,24 @@ impl TcsCluster for Cluster {
 
     fn sample_mean(&self, name: &str) -> Option<f64> {
         self.world.metrics().summary(name).map(|s| s.mean())
+    }
+
+    fn sample_percentile(&self, name: &str, pct: f64) -> Option<f64> {
+        self.world
+            .metrics()
+            .summary(name)
+            .map(|s| s.percentile(pct))
+    }
+
+    fn latency_unit(&self) -> LatencyUnit {
+        match Cluster::execution(self) {
+            ExecutionMode::Sim => LatencyUnit::VirtualMicros,
+            ExecutionMode::Threads => LatencyUnit::WallMicros,
+        }
+    }
+
+    fn obs_events(&self) -> Vec<TxObsEvent> {
+        self.world.metrics().obs_events().to_vec()
     }
 
     fn process_handled(&self, pid: ProcessId) -> u64 {
@@ -570,6 +627,24 @@ impl TcsCluster for RdmaCluster {
         self.world.metrics().summary(name).map(|s| s.mean())
     }
 
+    fn sample_percentile(&self, name: &str, pct: f64) -> Option<f64> {
+        self.world
+            .metrics()
+            .summary(name)
+            .map(|s| s.percentile(pct))
+    }
+
+    fn latency_unit(&self) -> LatencyUnit {
+        match RdmaCluster::execution(self) {
+            ExecutionMode::Sim => LatencyUnit::VirtualMicros,
+            ExecutionMode::Threads => LatencyUnit::WallMicros,
+        }
+    }
+
+    fn obs_events(&self) -> Vec<TxObsEvent> {
+        self.world.metrics().obs_events().to_vec()
+    }
+
     fn process_handled(&self, pid: ProcessId) -> u64 {
         self.world.metrics().process(pid).handled()
     }
@@ -803,6 +878,24 @@ impl TcsCluster for BaselineCluster {
 
     fn sample_mean(&self, name: &str) -> Option<f64> {
         self.world.metrics().summary(name).map(|s| s.mean())
+    }
+
+    fn sample_percentile(&self, name: &str, pct: f64) -> Option<f64> {
+        self.world
+            .metrics()
+            .summary(name)
+            .map(|s| s.percentile(pct))
+    }
+
+    fn latency_unit(&self) -> LatencyUnit {
+        match BaselineCluster::execution(self) {
+            ExecutionMode::Sim => LatencyUnit::VirtualMicros,
+            ExecutionMode::Threads => LatencyUnit::WallMicros,
+        }
+    }
+
+    fn obs_events(&self) -> Vec<TxObsEvent> {
+        self.world.metrics().obs_events().to_vec()
     }
 
     fn process_handled(&self, pid: ProcessId) -> u64 {

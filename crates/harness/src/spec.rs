@@ -155,6 +155,15 @@ impl ClusterSpec {
         self
     }
 
+    /// Returns a copy with commit-path observability enabled: the cluster
+    /// records per-transaction lifecycle milestones and flow-control gauges
+    /// (see [`TcsCluster::obs_events`]).
+    /// Recording never perturbs a seeded schedule.
+    pub fn with_observability(mut self) -> Self {
+        self.sim.obs = true;
+        self
+    }
+
     /// Returns a copy with the given execution mode (simulated or threaded).
     pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
         self.execution = execution;

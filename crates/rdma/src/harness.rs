@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use ratc_config::GlobalConfiguration;
 use ratc_sim::rdma::RdmaToken;
-use ratc_sim::{Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, World};
+use ratc_sim::{
+    Actor, Context, ExecutionMode, SimConfig, SimDuration, SimTime, TxMilestone, World,
+};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, HashSharding, Payload, ProcessId, Serializability,
     ShardId, ShardMap, TcsHistory, TxId,
@@ -165,12 +167,18 @@ impl Actor<RdmaMsg> for RdmaClientActor {
                 .get(&tx)
                 .map(|t| ctx.now().since(*t).as_micros())
                 .unwrap_or(0);
+            // Stamp only the first copy of the decision (duplicates from
+            // concurrent recovery coordinators carry the same decision).
+            if !self.latencies.contains_key(&tx) {
+                ctx.obs_milestone(tx, TxMilestone::ClientLearned, 0);
+            }
             self.latencies.entry(tx).or_insert(DecisionLatency {
                 hops: ctx.hops(),
                 micros,
                 decision,
             });
             ctx.record_sample("client_decision_hops", f64::from(ctx.hops()));
+            ctx.record_sample("client_decision_micros", micros as f64);
             match decision {
                 Decision::Commit => ctx.add_counter("client_commits", 1),
                 Decision::Abort => ctx.add_counter("client_aborts", 1),
@@ -373,6 +381,8 @@ impl RdmaCluster {
             .actor_mut::<RdmaClientActor>(self.client)
             .expect("client")
             .record_certify(tx, payload.clone(), now);
+        self.world
+            .obs_milestone(tx, TxMilestone::Submitted, self.client);
         let client = self.client;
         self.world.send_external(
             coordinator,
@@ -444,6 +454,11 @@ impl RdmaCluster {
     /// Returns `false` if `pid` was not crashed.
     pub fn restart(&mut self, pid: ProcessId) -> bool {
         self.world.restart(pid)
+    }
+
+    /// The execution engine driving this cluster's actors.
+    pub fn execution(&self) -> ExecutionMode {
+        self.execution
     }
 
     /// Runs until no events remain (on the configured [`ExecutionMode`]).

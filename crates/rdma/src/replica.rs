@@ -11,7 +11,7 @@ use ratc_core::flow::{AdmissionQueue, FlowControlConfig};
 use ratc_core::log::{LogEntry, TxPhase};
 use ratc_core::replica::TruncationConfig;
 use ratc_sim::rdma::RdmaToken;
-use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag, TxMilestone};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
     ShardCertifier, ShardId, ShardMap, TxId,
@@ -442,6 +442,7 @@ impl RdmaReplica {
         coord: &CoordState,
         only: Option<&[ShardId]>,
     ) {
+        ctx.obs_milestone(tx, TxMilestone::CertifySent, 0);
         for shard in &coord.shards {
             if let Some(filter) = only {
                 if !filter.contains(shard) {
@@ -706,6 +707,11 @@ impl RdmaReplica {
         if let Some(coord) = self.coordinating.get_mut(&tx) {
             if !coord.decided {
                 self.in_flight -= 1;
+                // On this stack the accept quorum (the RDMA acknowledgement
+                // quorum on every shard) and the decision coincide.
+                ctx.obs_milestone(tx, TxMilestone::AcceptQuorum, 0);
+                ctx.obs_milestone(tx, TxMilestone::Decided, 0);
+                ctx.obs_gauge("obs_inflight_window", self.in_flight as f64);
             }
             coord.decided = true;
             coord.decision = Some(decision);
@@ -764,6 +770,10 @@ impl RdmaReplica {
             if let Some(coord) = self.coordinating.get_mut(&tx) {
                 if !coord.decided {
                     self.in_flight -= 1;
+                    // As in `check_completion`: quorum and decision coincide.
+                    ctx.obs_milestone(tx, TxMilestone::AcceptQuorum, 0);
+                    ctx.obs_milestone(tx, TxMilestone::Decided, 0);
+                    ctx.obs_gauge("obs_inflight_window", self.in_flight as f64);
                 }
                 coord.decided = true;
                 coord.decision = Some(decision);
@@ -855,6 +865,9 @@ impl RdmaReplica {
                     coord.client = client;
                     let now = ctx.now().as_micros();
                     if self.backoff_due(tx, now) {
+                        let attempt = self.retry_backoff.get(&tx).map(|b| b.attempt).unwrap_or(0);
+                        ctx.obs_milestone(tx, TxMilestone::Retry, u64::from(attempt));
+                        ctx.obs_gauge("obs_backoff_attempt", f64::from(attempt));
                         let coord = self.coordinating.get(&tx).expect("in flight").clone();
                         self.send_prepares(ctx, tx, &coord, None);
                         self.backoff_fired(tx, now);
@@ -869,6 +882,7 @@ impl RdmaReplica {
                         // decides.
                         self.admission.enqueue(tx, (payload, client));
                         ctx.add_counter("admission_queued", 1);
+                        ctx.obs_gauge("obs_admission_depth", self.admission.len() as f64);
                         self.arm_retry_timer(ctx);
                         return;
                     }
@@ -892,6 +906,8 @@ impl RdmaReplica {
         });
         if inserted {
             self.in_flight += 1;
+            ctx.obs_milestone(tx, TxMilestone::Admitted, 0);
+            ctx.obs_gauge("obs_inflight_window", self.in_flight as f64);
         }
         // A re-submitted `certify` of an already-decided transaction (the
         // client's `DECISION` was lost to a fault): answer with the recorded
@@ -939,6 +955,13 @@ impl RdmaReplica {
     fn flush_prepare_batch(&mut self, txs: Vec<TxId>, ctx: &mut Context<'_, RdmaMsg>) {
         if txs.is_empty() {
             return;
+        }
+        ctx.obs_gauge("obs_batch_occupancy", txs.len() as f64);
+        if ctx.obs_enabled() {
+            for &tx in &txs {
+                ctx.obs_milestone(tx, TxMilestone::CertifySent, 0);
+                ctx.obs_milestone(tx, TxMilestone::BatchFlush, txs.len() as u64);
+            }
         }
         let mut per_leader: BTreeMap<ProcessId, Vec<PrepareItem>> = BTreeMap::new();
         for tx in txs {
@@ -1092,6 +1115,7 @@ impl RdmaReplica {
             progress.pos = Some(item.pos);
             progress.vote = Some(item.vote);
             progress.leader_frontier = Some(frontier);
+            ctx.obs_milestone(item.tx, TxMilestone::ShardVoted, u64::from(shard.as_u32()));
             txs.push(item.tx);
         }
         let followers = self.followers_of(shard);
@@ -1264,6 +1288,7 @@ impl RdmaReplica {
         progress.pos = Some(pos);
         progress.vote = Some(vote);
         progress.leader_frontier = Some(frontier);
+        ctx.obs_milestone(tx, TxMilestone::ShardVoted, u64::from(shard.as_u32()));
         let followers = self.followers_of(shard);
         let mut self_is_follower = false;
         for follower in followers {
@@ -1383,6 +1408,9 @@ impl RdmaReplica {
         ctx.send(self.cs, RdmaMsg::CsGetLast);
         for tx in pending {
             if self.flow.enabled {
+                let attempt = self.retry_backoff.get(&tx).map(|b| b.attempt).unwrap_or(0);
+                ctx.obs_milestone(tx, TxMilestone::Retry, u64::from(attempt));
+                ctx.obs_gauge("obs_backoff_attempt", f64::from(attempt));
                 self.backoff_fired(tx, now);
             }
             let coord = self.coordinating.get(&tx).expect("pending").clone();
@@ -2083,6 +2111,10 @@ impl Actor<RdmaMsg> for RdmaReplica {
                     notify_client = !coord.decided;
                     if !coord.decided {
                         self.in_flight -= 1;
+                        // Decision learned out-of-band from a recovery
+                        // coordinator's `TxDecided`.
+                        ctx.obs_milestone(tx, TxMilestone::Decided, 0);
+                        ctx.obs_gauge("obs_inflight_window", self.in_flight as f64);
                     }
                     coord.decided = true;
                     coord.decision.get_or_insert(decision);

@@ -10,7 +10,8 @@
 
 use std::any::Any;
 
-use ratc_types::ProcessId;
+use ratc_obs::{TxMilestone, TxObsEvent};
+use ratc_types::{ProcessId, TxId};
 
 use crate::metrics::Metrics;
 use crate::rdma::{RdmaInbox, RdmaToken};
@@ -290,6 +291,43 @@ impl<'a, M> Context<'a, M> {
     /// Records a sample of the named experiment statistic (e.g. a latency).
     pub fn record_sample(&mut self, name: &str, value: f64) {
         self.metrics.record_sample(name, value);
+    }
+
+    /// `true` if commit-path observability is recording (see
+    /// [`SimConfig::with_observability`](crate::world::SimConfig::with_observability)).
+    pub fn obs_enabled(&self) -> bool {
+        self.metrics.obs_enabled()
+    }
+
+    /// Stamps a transaction lifecycle milestone at the current time, if
+    /// observability is enabled.
+    ///
+    /// `detail` is milestone-specific (see [`TxObsEvent::detail`]); pass 0
+    /// when the milestone carries none. Disabled observability makes this a
+    /// single branch on a bool, and recording only appends to a metrics
+    /// buffer — it never sends, schedules or consults randomness — so
+    /// same-seed simulated runs are bit-identical whether observability is
+    /// on or off.
+    pub fn obs_milestone(&mut self, tx: TxId, milestone: TxMilestone, detail: u64) {
+        if self.metrics.obs_enabled() {
+            self.metrics.obs_record(TxObsEvent {
+                tx,
+                at_micros: self.now.as_micros(),
+                by: self.self_id,
+                milestone,
+                detail,
+            });
+        }
+    }
+
+    /// Records a sample of a flow-control/batching gauge (queue depth,
+    /// window occupancy, …), only when observability is enabled — gauges
+    /// ride the observability switch so the default path stays allocation-
+    /// free.
+    pub fn obs_gauge(&mut self, name: &str, value: f64) {
+        if self.metrics.obs_enabled() {
+            self.metrics.record_sample(name, value);
+        }
     }
 }
 

@@ -25,6 +25,12 @@
 //!   named counters, message-delay (hop) accounting and an optional full
 //!   message trace used by the specification checkers and the experiment
 //!   harnesses.
+//! * Commit-path observability — [`Context`] exposes
+//!   [`obs_milestone`](actor::Context::obs_milestone) /
+//!   [`obs_gauge`](actor::Context::obs_gauge) hooks (backed by the
+//!   [`ratc_obs`] timeline model, re-exported here) that stamp transaction
+//!   lifecycle milestones identically under both execution engines. Off by
+//!   default; enabling it never changes a seeded schedule.
 //!
 //! Determinism: given the same seed and the same sequence of API calls, a
 //! simulation produces exactly the same event order, which makes every
@@ -88,9 +94,14 @@ pub mod prelude {
 
 pub use actor::{Actor, Context, TimerTag};
 pub use backoff::{BackoffPolicy, BackoffState};
+// Re-exported so protocol crates can stamp milestones through their existing
+// `ratc-sim` dependency without depending on `ratc-obs` themselves.
 pub use faults::{FaultScope, LinkFault};
 pub use latency::LatencyModel;
 pub use metrics::Metrics;
+pub use ratc_obs::{
+    fold_timelines, LatencyUnit, Phase, PhaseBreakdown, TxMilestone, TxObsEvent, TxTimeline,
+};
 pub use rdma::RdmaSendOutcome;
 pub use rt::ExecutionMode;
 pub use time::{SimDuration, SimTime};

@@ -10,8 +10,38 @@
 
 use std::collections::BTreeMap;
 
+use ratc_obs::TxObsEvent;
 use ratc_types::ProcessId;
 use serde::{Deserialize, Serialize};
+
+/// Log-spaced histogram resolution: sub-buckets per octave (power of two).
+/// Eight per octave bounds the relative error of a streaming percentile by
+/// `2^(1/8) − 1 ≈ 9%`.
+const HIST_SUBDIV: f64 = 8.0;
+
+/// Number of histogram buckets: bucket 0 holds values `< 1`, the rest cover
+/// `[1, 2^32)` microseconds-scale values in `2^(1/8)` steps — wider than any
+/// latency this workspace produces.
+const HIST_BUCKETS: usize = 258;
+
+/// The log-spaced bucket index for `value`.
+fn hist_index(value: f64) -> usize {
+    if value.is_nan() || value < 1.0 {
+        // Negative, NaN and sub-unit values all land in bucket 0.
+        return 0;
+    }
+    let index = (value.log2() * HIST_SUBDIV).floor() as usize + 1;
+    index.min(HIST_BUCKETS - 1)
+}
+
+/// A representative value (the geometric midpoint) of bucket `index`.
+fn hist_value(index: usize) -> f64 {
+    if index == 0 {
+        0.0
+    } else {
+        ((index as f64 - 0.5) / HIST_SUBDIV).exp2()
+    }
+}
 
 /// Per-process transport counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,6 +67,12 @@ impl ProcessCounters {
 }
 
 /// A streaming summary of a named statistic.
+///
+/// Besides count/sum/min/max, the summary maintains a small fixed log-spaced
+/// histogram so tail percentiles ([`Summary::percentile`]) are available in
+/// O(1) memory per statistic — min/mean/max hides exactly the tail latency
+/// that matters at overload. For an exact (sorted raw samples) percentile use
+/// [`Metrics::percentile`] instead.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     /// Number of recorded samples.
@@ -47,6 +83,9 @@ pub struct Summary {
     pub min: f64,
     /// Maximum sample (0 if no samples).
     pub max: f64,
+    /// Log-spaced sample histogram (empty until the first sample; bucket
+    /// boundaries grow by `2^(1/8)` per bucket).
+    pub buckets: Vec<u64>,
 }
 
 impl Summary {
@@ -54,6 +93,7 @@ impl Summary {
         if self.count == 0 {
             self.min = value;
             self.max = value;
+            self.buckets = vec![0; HIST_BUCKETS];
         } else {
             if value < self.min {
                 self.min = value;
@@ -64,6 +104,7 @@ impl Summary {
         }
         self.count += 1;
         self.sum += value;
+        self.buckets[hist_index(value)] += 1;
     }
 
     /// The mean of the recorded samples, or 0 if none were recorded.
@@ -73,6 +114,28 @@ impl Summary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// A streaming estimate of the `pct` percentile (0–100) of the recorded
+    /// samples, or 0 if none were recorded.
+    ///
+    /// The estimate is the geometric midpoint of the log-spaced histogram
+    /// bucket containing the requested rank, clamped into `[min, max]`:
+    /// relative error is bounded by the bucket width (`2^(1/8) − 1 ≈ 9%`).
+    pub fn percentile(&self, pct: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((pct.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return hist_value(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -87,12 +150,47 @@ pub struct Metrics {
     pub total_delivered: u64,
     /// Total RDMA writes rejected because the connection was closed.
     pub rdma_rejected: u64,
+    /// Whether commit-path observability is recording (off by default).
+    obs_enabled: bool,
+    /// Recorded transaction lifecycle observations, in recording order.
+    /// Always empty while `obs_enabled` is false.
+    obs: Vec<TxObsEvent>,
 }
 
 impl Metrics {
     /// Creates an empty metrics collector.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Creates an empty collector with commit-path observability switched on
+    /// or off.
+    pub fn with_obs(obs_enabled: bool) -> Self {
+        Metrics {
+            obs_enabled,
+            ..Metrics::default()
+        }
+    }
+
+    /// `true` if commit-path observability is recording.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs_enabled
+    }
+
+    /// Appends one lifecycle observation. Callers gate on
+    /// [`Metrics::obs_enabled`] so the disabled path stays a branch on a
+    /// bool; recording never consults randomness or schedules events, which
+    /// is what keeps same-seed runs bit-identical with observability on.
+    pub fn obs_record(&mut self, event: TxObsEvent) {
+        if self.obs_enabled {
+            self.obs.push(event);
+        }
+    }
+
+    /// The recorded lifecycle observations, in recording order (empty unless
+    /// observability was enabled).
+    pub fn obs_events(&self) -> &[TxObsEvent] {
+        &self.obs
     }
 
     pub(crate) fn on_send(&mut self, from: ProcessId) {
@@ -212,6 +310,9 @@ impl Metrics {
                 mine.max = mine.max.max(summary.max);
                 mine.count += summary.count;
                 mine.sum += summary.sum;
+                for (mine, theirs) in mine.buckets.iter_mut().zip(summary.buckets) {
+                    *mine += theirs;
+                }
             }
         }
         for (name, mut raw) in other.raw_samples {
@@ -219,6 +320,7 @@ impl Metrics {
         }
         self.total_delivered += other.total_delivered;
         self.rdma_rejected += other.rdma_rejected;
+        self.obs.extend(other.obs);
     }
 }
 
@@ -276,5 +378,73 @@ mod tests {
     #[test]
     fn empty_summary_mean_is_zero() {
         assert_eq!(Summary::default().mean(), 0.0);
+        assert_eq!(Summary::default().percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn streaming_percentiles_track_the_exact_ones_within_bucket_width() {
+        let mut m = Metrics::new();
+        for i in 1..=1000 {
+            m.record_sample("lat", i as f64);
+        }
+        let s = m.summary("lat").expect("recorded");
+        for pct in [50.0, 95.0, 99.0] {
+            let exact = m.percentile("lat", pct).expect("samples");
+            let estimate = s.percentile(pct);
+            let err = (estimate - exact).abs() / exact;
+            assert!(
+                err < 0.10,
+                "p{pct}: streaming {estimate} vs exact {exact} ({err:.3} rel err)"
+            );
+        }
+        assert!(s.percentile(0.0) >= s.min && s.percentile(0.0) <= s.min * 1.10);
+        assert!(s.percentile(100.0) <= s.max);
+    }
+
+    #[test]
+    fn streaming_percentiles_survive_absorb() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for i in 1..=500 {
+            a.record_sample("lat", i as f64);
+            b.record_sample("lat", (500 + i) as f64);
+        }
+        a.absorb(b);
+        let s = a.summary("lat").expect("recorded");
+        assert_eq!(s.count, 1000);
+        let p50 = s.percentile(50.0);
+        assert!(
+            (p50 - 500.0).abs() / 500.0 < 0.10,
+            "merged p50 {p50} not near 500"
+        );
+    }
+
+    #[test]
+    fn obs_recording_is_gated_and_absorbed() {
+        use ratc_obs::{TxMilestone, TxObsEvent};
+        use ratc_types::TxId;
+        let event = TxObsEvent {
+            tx: TxId::new(1),
+            at_micros: 10,
+            by: ProcessId::new(2),
+            milestone: TxMilestone::Submitted,
+            detail: 0,
+        };
+        let mut off = Metrics::new();
+        assert!(!off.obs_enabled());
+        off.obs_record(event);
+        assert!(off.obs_events().is_empty(), "disabled recorder stays empty");
+
+        let mut on = Metrics::with_obs(true);
+        on.obs_record(event);
+        assert_eq!(on.obs_events().len(), 1);
+
+        let mut other = Metrics::with_obs(true);
+        other.obs_record(TxObsEvent {
+            at_micros: 20,
+            ..event
+        });
+        on.absorb(other);
+        assert_eq!(on.obs_events().len(), 2);
     }
 }

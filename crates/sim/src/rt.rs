@@ -631,6 +631,7 @@ where
         return 0;
     }
 
+    let obs_enabled = world.metrics.obs_enabled();
     let (perms, mut inboxes, rejected_base) = std::mem::take(&mut world.rdma).into_parts();
     let base_timer_id = world.next_timer_id;
     let base_rdma_token = world.next_rdma_token;
@@ -691,7 +692,10 @@ where
                 rx: receivers.remove(&pid).expect("receiver"),
                 timers,
                 overflow: Vec::new(),
-                metrics: Metrics::new(),
+                // Per-worker collectors inherit the observability switch so
+                // milestone stamps recorded on worker threads survive the
+                // post-run `absorb` into the world's collector.
+                metrics: Metrics::with_obs(obs_enabled),
                 next_timer_id: base_timer_id + (index as u64) * ID_STRIPE,
                 next_rdma_token: base_rdma_token + (index as u64) * ID_STRIPE,
                 incarnation: world.incarnations.get(&pid).copied().unwrap_or(0),

@@ -7,7 +7,8 @@ use std::fmt;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use ratc_types::ProcessId;
+use ratc_obs::{TxMilestone, TxObsEvent};
+use ratc_types::{ProcessId, TxId};
 
 use crate::actor::{dispatch, Actor, Context, Effect, TimerId, Upcall};
 use crate::event::{EventKind, QueuedEvent};
@@ -34,6 +35,17 @@ pub struct SimConfig {
     pub rdma_poll_delay: LatencyModel,
     /// Whether to record a full transport-level trace.
     pub trace: bool,
+    /// Upper bound on retained trace events (`None` = unbounded, the right
+    /// choice for checkers that replay a whole trace). When set, the trace
+    /// behaves as a ring buffer over the most recent events so long soaks
+    /// with tracing on no longer grow memory without limit; trimming happens
+    /// in batches, so up to `2 × capacity` events may be resident briefly.
+    pub trace_capacity: Option<usize>,
+    /// Whether to record commit-path observability (transaction lifecycle
+    /// milestones and flow-control gauges). Off by default; recording only
+    /// appends to metrics buffers, so enabling it never changes the event
+    /// schedule of a seeded run.
+    pub obs: bool,
     /// Hard cap on the number of events executed by [`World::run`], as a
     /// safeguard against protocol bugs that generate unbounded message storms.
     pub max_steps: u64,
@@ -62,6 +74,8 @@ impl Default for SimConfig {
             rdma_poll_delay: LatencyModel::constant(5),
             latency,
             trace: false,
+            trace_capacity: None,
+            obs: false,
             max_steps: 50_000_000,
             service: SimDuration::ZERO,
         }
@@ -78,6 +92,20 @@ impl SimConfig {
     /// Returns a copy of this configuration with tracing enabled.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Returns a copy of this configuration retaining at most `capacity`
+    /// trace events (see [`SimConfig::trace_capacity`]).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Returns a copy of this configuration with commit-path observability
+    /// enabled (see [`SimConfig::obs`]).
+    pub fn with_observability(mut self) -> Self {
+        self.obs = true;
         self
     }
 
@@ -150,6 +178,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
     /// Creates an empty world.
     pub fn new(config: SimConfig) -> Self {
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let metrics = Metrics::with_obs(config.obs);
         World {
             config,
             now: SimTime::ZERO,
@@ -161,7 +190,7 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             crashed: BTreeSet::new(),
             fifo_last: BTreeMap::new(),
             rng,
-            metrics: Metrics::new(),
+            metrics,
             trace: Vec::new(),
             rdma: RdmaFabric::default(),
             next_timer_id: 0,
@@ -214,9 +243,30 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         &self.metrics
     }
 
-    /// The transport-level trace (empty unless tracing was enabled).
+    /// The transport-level trace (empty unless tracing was enabled; only the
+    /// most recent events when [`SimConfig::trace_capacity`] is set).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Stamps a transaction lifecycle milestone at the current time on
+    /// behalf of `by`, if observability is enabled.
+    ///
+    /// This is the harness-side twin of
+    /// [`Context::obs_milestone`](crate::actor::Context::obs_milestone) for
+    /// milestones that happen *outside* any actor handler — e.g. the client
+    /// submission a harness injects with [`World::send_external`].
+    pub fn obs_milestone(&mut self, tx: TxId, milestone: TxMilestone, by: ProcessId) {
+        if self.metrics.obs_enabled() {
+            let at_micros = self.now.as_micros();
+            self.metrics.obs_record(TxObsEvent {
+                tx,
+                at_micros,
+                by,
+                milestone,
+                detail: 0,
+            });
+        }
     }
 
     /// Total RDMA writes rejected because the target had closed the connection.
@@ -457,6 +507,16 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 label,
                 hops,
             });
+            if let Some(capacity) = self.config.trace_capacity {
+                // Amortised ring behaviour: let the buffer grow to twice the
+                // capacity, then drop the oldest half in one batch (O(1)
+                // amortised per event, unlike a per-event `remove(0)`).
+                let capacity = capacity.max(1);
+                if self.trace.len() >= capacity.saturating_mul(2) {
+                    let excess = self.trace.len() - capacity;
+                    self.trace.drain(..excess);
+                }
+            }
         }
     }
 
@@ -978,6 +1038,40 @@ mod tests {
             })
             .collect();
         assert_eq!(notes, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_capacity_bounds_the_buffer_to_the_most_recent_events() {
+        let capacity = 20usize;
+        let mut w: World<Msg> = World::new(
+            SimConfig::default()
+                .with_trace()
+                .with_trace_capacity(capacity),
+        );
+        let a = w.add_actor(Recorder::default());
+        let b = w.add_actor(Recorder::default());
+        // 200 sends produce 400+ trace events (Send + Deliver each), far past
+        // the trim threshold of 2 × capacity.
+        for i in 0..200 {
+            w.send_from(a, b, Msg::Note(i));
+        }
+        w.run();
+        let trace = w.trace();
+        assert!(
+            trace.len() < capacity * 2,
+            "trace grew past the ring bound: {} events",
+            trace.len()
+        );
+        assert!(!trace.is_empty(), "ring must retain the most recent events");
+        // The ring keeps the *newest* suffix: all 200 `Send` events were
+        // recorded at time zero (before the run), so only later deliveries
+        // survive, and what remains is still time-ordered.
+        assert!(
+            trace.first().expect("non-empty").time > SimTime::ZERO,
+            "oldest events were not evicted"
+        );
+        assert_eq!(trace.last().expect("non-empty").kind, TraceKind::Deliver);
+        assert!(trace.windows(2).all(|pair| pair[0].time <= pair[1].time));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rand_chacha::ChaCha12Rng;
 use ratc_core::flow::FlowControlConfig;
 use ratc_core::invariants;
 use ratc_harness::{ClusterSpec, StackKind, TcsCluster};
-use ratc_sim::SimDuration;
+use ratc_sim::{ExecutionMode, LatencyUnit, Phase, SimDuration};
 use ratc_spec::check_history;
 use ratc_types::{Key, Payload, Serializability, ShardId, ShardMap, TxId, Value, Version};
 
@@ -781,13 +781,19 @@ pub struct WallclockResult {
     pub committed_per_sec: f64,
     /// Mean client-visible decision latency in wall-clock microseconds.
     pub mean_latency_micros: f64,
+    /// Estimated 99th-percentile client-visible decision latency, from the
+    /// streaming histogram (relative error ≤ ~9%).
+    pub p99_latency_micros: f64,
+    /// Unit of every latency in this result: wall-clock microseconds — E9
+    /// always runs on the threaded backend.
+    pub latency_unit: LatencyUnit,
 }
 
 impl fmt::Display for WallclockResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<10} shards={:<2} batch={:<3} {:<6} txns={:<6} committed={:<6} aborted={:<5} undecided={:<5} wall_s={:<7.3} tx/s={:<9.0} mean_us={:.0}",
+            "{:<10} shards={:<2} batch={:<3} {:<6} txns={:<6} committed={:<6} aborted={:<5} undecided={:<5} wall_s={:<7.3} tx/s={:<9.0} mean_us={:<7.0} p99_us={:.0} ({})",
             self.stack.to_string(),
             self.shards,
             self.batch,
@@ -798,7 +804,9 @@ impl fmt::Display for WallclockResult {
             self.undecided,
             self.wall_secs,
             self.committed_per_sec,
-            self.mean_latency_micros
+            self.mean_latency_micros,
+            self.p99_latency_micros,
+            self.latency_unit
         )
     }
 }
@@ -879,6 +887,10 @@ pub fn wallclock_experiment(
         wall_secs,
         committed_per_sec: committed as f64 / wall_secs,
         mean_latency_micros,
+        p99_latency_micros: cluster
+            .sample_percentile("client_decision_micros", 99.0)
+            .unwrap_or(0.0),
+        latency_unit: cluster.latency_unit(),
     }
 }
 
@@ -935,6 +947,10 @@ pub fn wallclock_scaling_experiment(
         wall_secs,
         committed_per_sec: committed as f64 / wall_secs,
         mean_latency_micros,
+        p99_latency_micros: cluster
+            .sample_percentile("client_decision_micros", 99.0)
+            .unwrap_or(0.0),
+        latency_unit: cluster.latency_unit(),
     }
 }
 
@@ -963,13 +979,19 @@ pub struct OverloadResult {
     pub wall_secs: f64,
     /// Committed transactions per wall-clock second (goodput).
     pub goodput_per_sec: f64,
+    /// Estimated 99th-percentile client-visible decision latency, from the
+    /// streaming histogram (relative error ≤ ~9%).
+    pub p99_latency_micros: f64,
+    /// Unit of every latency in this result: wall-clock microseconds — E10
+    /// always runs on the threaded backend.
+    pub latency_unit: LatencyUnit,
 }
 
 impl fmt::Display for OverloadResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<10} shards={:<2} flow={:<5} depth={:<6} committed={:<6} undecided={:<5} wall_s={:<7.3} goodput/s={:.0}",
+            "{:<10} shards={:<2} flow={:<5} depth={:<6} committed={:<6} undecided={:<5} wall_s={:<7.3} goodput/s={:<8.0} p99_us={:.0} ({})",
             self.stack.to_string(),
             self.shards,
             self.flow_enabled,
@@ -977,7 +999,9 @@ impl fmt::Display for OverloadResult {
             self.committed,
             self.undecided,
             self.wall_secs,
-            self.goodput_per_sec
+            self.goodput_per_sec,
+            self.p99_latency_micros,
+            self.latency_unit
         )
     }
 }
@@ -1029,6 +1053,10 @@ pub fn overload_experiment(
         undecided: depth.saturating_sub(committed + aborted),
         wall_secs,
         goodput_per_sec: committed as f64 / wall_secs,
+        p99_latency_micros: cluster
+            .sample_percentile("client_decision_micros", 99.0)
+            .unwrap_or(0.0),
+        latency_unit: cluster.latency_unit(),
     }
 }
 
@@ -1048,6 +1076,128 @@ pub fn overload_sweep(
         .iter()
         .map(|&depth| overload_experiment(stack, shards, flow, depth, seed))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E11 (phases): commit-path phase-latency attribution
+// ---------------------------------------------------------------------------
+
+/// Result of one E11 phase-attribution run: where the commit path spends its
+/// time, averaged over every transaction with a complete lifecycle timeline.
+///
+/// Invariant (asserted by the driver): for every measured transaction the six
+/// phase latencies sum *exactly* to its end-to-end latency, so the mean
+/// phases sum to `mean_total_micros` up to floating-point rounding.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Stack measured.
+    pub stack: StackKind,
+    /// Execution engine the cluster ran on.
+    pub execution: ExecutionMode,
+    /// Number of shards in the deployment.
+    pub shards: u32,
+    /// Open-loop depth: transactions submitted up front.
+    pub depth: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions with a complete timeline (submission through
+    /// client-learned decision) — the population averaged below.
+    pub measured: usize,
+    /// Mean latency of each commit-path phase, in [`Phase::ALL`] order
+    /// (admission, dispatch, certification, quorum, decide, relay).
+    pub mean_phase_micros: [f64; 6],
+    /// Mean end-to-end latency (submission to client-learned decision).
+    pub mean_total_micros: f64,
+    /// Mean retry/backoff re-drives per measured transaction.
+    pub mean_retries: f64,
+    /// Unit of every latency in this result: virtual microseconds under
+    /// [`ExecutionMode::Sim`], wall-clock microseconds under
+    /// [`ExecutionMode::Threads`].
+    pub latency_unit: LatencyUnit,
+}
+
+impl fmt::Display for PhaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<7} shards={:<2} depth={:<6} measured={:<6}",
+            self.stack.to_string(),
+            match self.execution {
+                ExecutionMode::Sim => "sim",
+                ExecutionMode::Threads => "threads",
+            },
+            self.shards,
+            self.depth,
+            self.measured,
+        )?;
+        for (phase, mean) in Phase::ALL.iter().zip(self.mean_phase_micros.iter()) {
+            write!(f, " {phase}={mean:<7.1}")?;
+        }
+        write!(
+            f,
+            " total={:<8.1} retries={:<4.2} ({})",
+            self.mean_total_micros, self.mean_retries, self.latency_unit
+        )
+    }
+}
+
+/// E11: one cell of the phase-attribution matrix — `depth` disjoint
+/// transactions submitted up front with observability enabled, then every
+/// complete transaction timeline folded into a per-phase latency breakdown
+/// (see [`ratc_sim::PhaseBreakdown`] for the paper's message-delay mapping).
+///
+/// `depth` selects the regime: 1 ≈ idle (pure protocol path), around the
+/// admission-window size ≈ saturated, far above it ≈ overload (admission
+/// queueing and retries dominate).
+pub fn phase_experiment(
+    stack: StackKind,
+    execution: ExecutionMode,
+    shards: u32,
+    depth: usize,
+    seed: u64,
+) -> PhaseResult {
+    let mut cluster = ClusterSpec::new(stack)
+        .with_shards(shards)
+        .with_seed(seed)
+        .with_execution(execution)
+        .with_observability()
+        .build();
+    for i in 0..depth {
+        cluster.submit(TxId::new(i as u64 + 1), disjoint_payload(i as u64 + 1));
+    }
+    cluster.run_to_quiescence();
+    let committed = cluster.history().committed().count();
+    let breakdowns = cluster.phase_breakdown();
+    let mut sums = [0.0f64; 6];
+    let mut total = 0.0f64;
+    let mut retries = 0.0f64;
+    for breakdown in breakdowns.values() {
+        // The attribution invariant the whole experiment rests on.
+        assert_eq!(
+            breakdown.phases().iter().sum::<u64>(),
+            breakdown.total_micros(),
+            "phase latencies must sum exactly to the end-to-end latency"
+        );
+        for (sum, micros) in sums.iter_mut().zip(breakdown.phases().iter()) {
+            *sum += *micros as f64;
+        }
+        total += breakdown.total_micros() as f64;
+        retries += breakdown.retries() as f64;
+    }
+    let measured = breakdowns.len();
+    let n = measured.max(1) as f64;
+    PhaseResult {
+        stack,
+        execution,
+        shards,
+        depth,
+        committed,
+        measured,
+        mean_phase_micros: sums.map(|s| s / n),
+        mean_total_micros: total / n,
+        mean_retries: retries / n,
+        latency_unit: cluster.latency_unit(),
+    }
 }
 
 // ---------------------------------------------------------------------------

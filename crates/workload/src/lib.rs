@@ -28,11 +28,11 @@ pub mod generator;
 pub use counterexample::{run_counterexample, CounterexampleOutcome};
 pub use experiments::{
     abort_rate_experiment, batching_experiment, invariants_experiment, latency_experiment,
-    leader_load_experiment, overload_experiment, overload_sweep, reconfiguration_experiment,
-    replication_cost_experiment, scaling_experiment, truncation_experiment, wallclock_experiment,
-    wallclock_scaling_experiment, AbortRateResult, BatchingResult, InvariantsResult, LatencyResult,
-    LeaderLoadResult, OverloadResult, ReconfigurationResult, ReplicationCostResult, ScalingResult,
-    TruncationResult, WallclockResult,
+    leader_load_experiment, overload_experiment, overload_sweep, phase_experiment,
+    reconfiguration_experiment, replication_cost_experiment, scaling_experiment,
+    truncation_experiment, wallclock_experiment, wallclock_scaling_experiment, AbortRateResult,
+    BatchingResult, InvariantsResult, LatencyResult, LeaderLoadResult, OverloadResult, PhaseResult,
+    ReconfigurationResult, ReplicationCostResult, ScalingResult, TruncationResult, WallclockResult,
 };
 pub use generator::{KeyDistribution, WorkloadSpec};
 pub use ratc_core::flow::FlowControlConfig;

@@ -5,6 +5,8 @@
 //! Transaction Commit* (PODC 2019):
 //!
 //! * [`types`] — payloads, decisions and certification policies;
+//! * [`obs`] — commit-path observability: transaction lifecycle timelines
+//!   and per-phase latency attribution;
 //! * [`sim`] — the deterministic simulation substrate;
 //! * [`config`] — the configuration service;
 //! * [`paxos`] — the Multi-Paxos substrate used by the baseline;
@@ -56,6 +58,7 @@ pub use ratc_config as config;
 pub use ratc_core as core;
 pub use ratc_harness as harness;
 pub use ratc_kv as kv;
+pub use ratc_obs as obs;
 pub use ratc_paxos as paxos;
 pub use ratc_rdma as rdma;
 pub use ratc_sim as sim;
