@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use ratc_core::batch::{BatchingConfig, VoteBatcher};
 use ratc_core::flow::FlowControlConfig;
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, BackoffState, Context, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, CtrlMilestone, TimerTag};
 #[cfg(debug_assertions)]
 use ratc_types::MirrorCertifier;
 use ratc_types::{
@@ -274,6 +274,7 @@ impl BaselineShardReplica {
                 return;
             }
             self.recovering = false;
+            ctx.ctrl_milestone(CtrlMilestone::Recovered, Some(self.shard), self.id.as_u64());
         }
         let vote = self.index.vote(&payload);
         #[cfg(debug_assertions)]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use ratc_core::flow::{AdmissionQueue, FlowControlConfig};
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag, TxMilestone};
+use ratc_sim::{Actor, BackoffState, Context, CtrlMilestone, SimDuration, TimerTag, TxMilestone};
 use ratc_types::{Decision, Payload, ProcessId, ShardId, ShardMap, TxId};
 
 use crate::messages::{BaselineMsg, TmCommand};
@@ -198,6 +198,7 @@ impl TransactionManager {
                 return;
             }
             self.recovering = false;
+            ctx.ctrl_milestone(CtrlMilestone::Recovered, None, self.id.as_u64());
         }
         if self.pending.contains_key(&tx) {
             if !self.flow.enabled {

@@ -23,6 +23,10 @@ use ratc_workload::WorkloadSpec;
 use crate::harness::ChaosHarness;
 use crate::plan::FaultPlan;
 
+/// Cap on control-plane events attached to a failing report's forensics (the
+/// tail is kept — the events nearest the failure).
+const CTRL_FORENSICS_CAP: usize = 40;
+
 /// Configuration of one soak run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SoakConfig {
@@ -78,9 +82,12 @@ pub struct SoakReport {
     pub recovery_micros: u64,
     /// Total simulation events executed (a determinism fingerprint).
     pub steps: u64,
-    /// Commit-path timeline forensics, one rendered lifecycle timeline per
-    /// transaction implicated in a failure (safety violation or undecided).
-    /// Empty when the soak is [`ok`](SoakReport::ok).
+    /// Forensics of a failing run: one rendered lifecycle timeline per
+    /// transaction implicated in a failure (safety violation or undecided),
+    /// followed by the control-plane context — the tail of the merged
+    /// fault/reconfiguration/recovery event log (`ctrl:` lines) and the
+    /// per-shard availability windows (`blackout:` lines). Empty when the
+    /// soak is [`ok`](SoakReport::ok).
     pub forensics: Vec<String>,
 }
 
@@ -193,6 +200,7 @@ pub fn run_soak(harness: &mut ChaosHarness, config: &SoakConfig, plan: &FaultPla
         recovered_at = harness.now_micros();
         let undecided: Vec<TxId> = harness.history().undecided().collect();
         if stable && undecided.is_empty() {
+            harness.stamp_recovered();
             break;
         }
         for tx in undecided {
@@ -227,7 +235,12 @@ pub fn run_soak(harness: &mut ChaosHarness, config: &SoakConfig, plan: &FaultPla
     let forensics = if verdict.safety_violations.is_empty() && verdict.undecided.is_empty() {
         Vec::new()
     } else {
-        harness.timeline_forensics(&implicated)
+        // Commit-path timelines of the implicated transactions, then the
+        // control-plane story: which faults landed, what the protocol did
+        // about them, and how long each shard was dark.
+        let mut forensics = harness.timeline_forensics(&implicated);
+        forensics.extend(harness.ctrl_forensics(CTRL_FORENSICS_CAP));
+        forensics
     };
     SoakReport {
         stack: harness.stack().to_string(),

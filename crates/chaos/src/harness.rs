@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use ratc_core::replica::TruncationConfig;
 use ratc_harness::{ClusterSpec, TcsCluster};
 use ratc_sim::faults::{FaultScope, LinkFault};
-use ratc_sim::SimDuration;
+use ratc_sim::{Blackout, CtrlEvent, CtrlMilestone, SimDuration};
 use ratc_types::{Key, Payload, ProcessId, ShardId, TcsHistory, TxId, Value, Version};
 
 use crate::plan::{FaultEvent, LinkNoise};
@@ -189,8 +189,56 @@ impl ChaosHarness {
             .start_reconfiguration(shard, initiator, exclude);
     }
 
+    /// Shard of `pid` in the initial roster/spare layout, if any.
+    fn shard_of(&self, pid: ProcessId) -> Option<ShardId> {
+        for (shard, members) in &self.roster {
+            if members.contains(&pid) || self.cluster.spares_of(*shard).contains(&pid) {
+                return Some(*shard);
+            }
+        }
+        None
+    }
+
+    /// Records the fault event in the cluster's control-plane stream, so one
+    /// time-ordered forensic log merges injected faults with the protocol
+    /// milestones they trigger. Degrading injections stamp
+    /// [`CtrlMilestone::FaultInjected`]; healing events stamp
+    /// [`CtrlMilestone::FaultHealed`]. Recovery-driving events
+    /// (`Reconfigure`, `GlobalReconfigure`, `RetryPrepared`) are not stamped
+    /// here — the protocol itself stamps `ReconfigInitiated` /
+    /// `CoordinatorHandoff` into the same stream when they land. A no-op
+    /// unless observability is enabled; never perturbs the schedule.
+    fn stamp_fault(&mut self, event: &FaultEvent) {
+        let stamp = match event {
+            FaultEvent::CrashLeader { shard }
+            | FaultEvent::CrashFollower { shard, .. }
+            | FaultEvent::IsolateInbound { shard, .. }
+            | FaultEvent::DelayRdmaOutbound { shard, .. }
+            | FaultEvent::PartitionLeader { shard } => {
+                Some((CtrlMilestone::FaultInjected, Some(*shard)))
+            }
+            FaultEvent::CrashCoordinator => {
+                let target = self.coordinator.unwrap_or(self.pool[0]);
+                Some((CtrlMilestone::FaultInjected, self.shard_of(target)))
+            }
+            FaultEvent::OverloadBurst { .. } => Some((CtrlMilestone::FaultInjected, None)),
+            FaultEvent::HealFaults | FaultEvent::RestartCrashed => {
+                Some((CtrlMilestone::FaultHealed, None))
+            }
+            FaultEvent::Reconfigure { .. }
+            | FaultEvent::GlobalReconfigure
+            | FaultEvent::RetryPrepared { .. } => None,
+        };
+        if let Some((milestone, shard)) = stamp {
+            let by = self.cluster.client_id();
+            let note = event.to_string();
+            self.cluster.record_ctrl(by, milestone, shard, &note);
+        }
+    }
+
     /// Applies one fault event, resolving role targets against the cluster.
     pub fn apply(&mut self, event: &FaultEvent) {
+        self.stamp_fault(event);
         match event {
             FaultEvent::CrashLeader { shard } => {
                 if let Some(leader) = self.cluster.leader_of(*shard) {
@@ -350,6 +398,17 @@ impl ChaosHarness {
         self.apply(&FaultEvent::RestartCrashed);
     }
 
+    /// Stamps a harness-level [`CtrlMilestone::Recovered`] marker: the
+    /// recovery loop observed every shard operational with nothing left
+    /// undecided. Closes the crash → heal → recovered span in the merged
+    /// forensic log on every stack (the protocols themselves mark recovery
+    /// with stack-specific milestones like `ShardOperational`).
+    pub fn stamp_recovered(&mut self) {
+        let by = self.cluster.client_id();
+        self.cluster
+            .record_ctrl(by, CtrlMilestone::Recovered, None, "soak-recovered");
+    }
+
     /// Post-heal repair: re-drives reconfigurations until every shard is
     /// operational again. Returns `true` once the cluster looks operational.
     pub fn stabilize(&mut self) -> bool {
@@ -389,6 +448,36 @@ impl ChaosHarness {
                 None => format!("tx {}: no lifecycle events recorded", tx.as_u64()),
             })
             .collect()
+    }
+
+    /// The cluster's control-plane event stream (injected faults merged with
+    /// protocol reconfiguration/recovery milestones, in time order).
+    pub fn ctrl_events(&self) -> Vec<CtrlEvent> {
+        self.cluster.ctrl_events()
+    }
+
+    /// Per-shard availability windows (see
+    /// [`TcsCluster::blackouts`]).
+    pub fn blackouts(&self) -> Vec<Blackout> {
+        self.cluster.blackouts()
+    }
+
+    /// Control-plane forensics: the tail of the merged fault + protocol
+    /// event log, one rendered line per event (at most the last `limit`),
+    /// followed by one line per availability window. Soak drivers attach
+    /// this to failing reports so a violation arrives with the control-plane
+    /// story — which faults landed, what the protocol did about them, and
+    /// how long each shard was dark.
+    pub fn ctrl_forensics(&self, limit: usize) -> Vec<String> {
+        let events = self.ctrl_events();
+        let skipped = events.len().saturating_sub(limit);
+        let mut lines = Vec::new();
+        if skipped > 0 {
+            lines.push(format!("ctrl: … {skipped} earlier events elided"));
+        }
+        lines.extend(events.iter().skip(skipped).map(|e| format!("ctrl: {e}")));
+        lines.extend(self.blackouts().iter().map(|b| format!("blackout: {b}")));
+        lines
     }
 }
 

@@ -23,7 +23,8 @@
 //! * [`hunt`] — unscripted rediscovery of the Figure 4a violation class
 //!   under naive per-shard reconfiguration, shrunk to a minimal schedule;
 //! * [`experiment`] — E9: commit throughput and recovery time vs. fault
-//!   intensity.
+//!   intensity; E12: the per-shard availability-window (blackout)
+//!   time-to-recover matrix, derived from the control-plane event stream.
 //!
 //! Every run is deterministic given `(stack, seed, plan)`: the same seed
 //! reproduces the same trace, the same violations and the same shrunk
@@ -41,7 +42,10 @@ pub mod plan;
 pub mod shrink;
 
 pub use driver::{run_soak, SoakConfig, SoakReport};
-pub use experiment::{availability_experiment, AvailabilityResult};
+pub use experiment::{
+    availability_experiment, blackout_experiment, AvailabilityResult, BlackoutResult,
+    BlackoutScenario,
+};
 pub use harness::{build_harness, ChaosHarness, Stack};
 pub use hunt::{find_naive_violation, reproduces_violation, HuntResult};
 pub use nemesis::{Nemesis, NemesisConfig, Profile};

@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use ratc_config::{MembershipPlanner, ShardConfiguration};
-use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag, TxMilestone};
+use ratc_sim::{Actor, BackoffState, Context, CtrlMilestone, SimDuration, TimerTag, TxMilestone};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
     ShardCertifier, ShardId, ShardMap, TxId,
@@ -1485,6 +1485,11 @@ impl Replica {
         self.send_prepares(ctx, tx, &coord, None);
         self.arm_retry_timer(ctx);
         ctx.add_counter("retries_started", 1);
+        ctx.ctrl_milestone(
+            CtrlMilestone::CoordinatorHandoff,
+            Some(self.shard),
+            tx.as_u64(),
+        );
     }
 
     // -- reconfiguration ------------------------------------------------------
@@ -1517,6 +1522,11 @@ impl Replica {
             target_size,
             exclude,
         });
+        ctx.ctrl_milestone(
+            CtrlMilestone::ReconfigInitiated,
+            Some(shard),
+            self.epoch_of(shard).as_u64(),
+        );
         ctx.send(self.cs, Msg::CsGetLast { shard });
         // Probes travel over faultable links; if they (or their replies) are
         // lost, restart the whole probe from scratch after a while.
@@ -1555,6 +1565,7 @@ impl Replica {
         recon.descended_for_current = false;
         let epoch = recon.recon_epoch;
         let targets = recon.probed_members.clone();
+        ctx.ctrl_milestone(CtrlMilestone::ProbeStarted, Some(shard), epoch.as_u64());
         ctx.send_to_many(targets, Msg::Probe { epoch });
     }
 
@@ -1614,6 +1625,7 @@ impl Replica {
             if all_answered {
                 self.finish_probe(ctx);
             } else if recon.grace_timer.is_none() {
+                ctx.ctrl_milestone(CtrlMilestone::ProbeGrace, Some(shard), epoch.as_u64());
                 recon.grace_timer = Some(ctx.set_timer(PROBE_GRACE, PROBE_GRACE_TICK));
             }
         } else if recon.initialized.is_empty()
@@ -1800,6 +1812,11 @@ impl Replica {
         }
         self.recon = None; // probing ← false
         if ok {
+            ctx.ctrl_milestone(
+                CtrlMilestone::ConfigChosen,
+                Some(shard),
+                config.epoch.as_u64(),
+            );
             ctx.send(
                 new_leader,
                 Msg::NewConfig {
@@ -1822,11 +1839,24 @@ impl Replica {
         if epoch < self.new_epoch {
             return;
         }
+        let previous_leader = self.leader.get(&self.shard).copied();
         self.status = Status::Leader;
         self.new_epoch = epoch;
         self.epoch.insert(self.shard, epoch);
         self.members.insert(self.shard, members.clone());
         self.leader.insert(self.shard, self.id);
+        if previous_leader != Some(self.id) {
+            ctx.ctrl_milestone(
+                CtrlMilestone::LeaderHandoff,
+                Some(self.shard),
+                epoch.as_u64(),
+            );
+        }
+        ctx.ctrl_milestone(
+            CtrlMilestone::ShardOperational,
+            Some(self.shard),
+            epoch.as_u64(),
+        );
         // Line 59: `next` is implicitly the length of the certification log.
         // Line 60: transfer state to the new followers.
         let followers: Vec<ProcessId> = members.iter().copied().filter(|p| *p != self.id).collect();
@@ -1852,6 +1882,7 @@ impl Replica {
         members: Vec<ProcessId>,
         leader: ProcessId,
         log: CertificationLog,
+        ctx: &mut Context<'_, Msg>,
     ) {
         if epoch < self.new_epoch {
             return; // line 62 precondition
@@ -1863,6 +1894,11 @@ impl Replica {
         self.members.insert(self.shard, members);
         self.leader.insert(self.shard, leader);
         self.log = log;
+        ctx.ctrl_milestone(
+            CtrlMilestone::StateTransferred,
+            Some(self.shard),
+            epoch.as_u64(),
+        );
         // State transfers normally carry the sender's index; rebuild one if
         // the log arrived without it so votes stay O(|payload|) after a
         // promotion of this replica.
@@ -2095,7 +2131,7 @@ impl Actor<Msg> for Replica {
                 members,
                 leader,
                 log,
-            } => self.handle_new_state(epoch, members, leader, log),
+            } => self.handle_new_state(epoch, members, leader, log, ctx),
             Msg::ConfigChange {
                 shard,
                 epoch,

@@ -19,9 +19,10 @@ use ratc_core::replica::{Replica, Status};
 use ratc_rdma::replica::RdmaStatus;
 use ratc_rdma::{RdmaCluster, RdmaReplica, ReconfigMode};
 use ratc_sim::faults::LinkFault;
+use ratc_sim::metrics::MsgTypeCounters;
 use ratc_sim::{
-    fold_timelines, ExecutionMode, LatencyUnit, PhaseBreakdown, SimDuration, SimTime, TxObsEvent,
-    TxTimeline,
+    fold_timelines, Blackout, CtrlEvent, CtrlMilestone, ExecutionMode, LatencyUnit, PhaseBreakdown,
+    SimDuration, SimTime, TxObsEvent, TxTimeline,
 };
 use ratc_types::{Epoch, HashSharding, Payload, ProcessId, ShardId, ShardMap, TcsHistory, TxId};
 
@@ -184,6 +185,59 @@ pub trait TcsCluster {
             })
             .collect()
     }
+
+    /// Raw control-plane observability events — reconfiguration milestones,
+    /// crash/restart/recovery spans, leader and coordinator handoffs, and any
+    /// harness-injected fault markers — in recording order. Empty unless the
+    /// cluster was built with observability enabled (see
+    /// [`ClusterSpec::with_observability`](crate::ClusterSpec::with_observability)).
+    fn ctrl_events(&self) -> Vec<CtrlEvent>;
+
+    /// Stamps a control-plane event into the cluster's event stream on behalf
+    /// of an external harness. The chaos nemesis records
+    /// [`CtrlMilestone::FaultInjected`] / [`CtrlMilestone::FaultHealed`] here
+    /// so a single time-ordered forensic log merges protocol milestones with
+    /// the faults that caused them. A no-op unless observability is enabled —
+    /// it only appends to a metrics buffer and never touches the schedule.
+    fn record_ctrl(
+        &mut self,
+        by: ProcessId,
+        milestone: CtrlMilestone,
+        shard: Option<ShardId>,
+        note: &str,
+    );
+
+    /// Per-shard availability windows derived from the control-plane stream:
+    /// each window opens at the first degrading event
+    /// ([`CtrlMilestone::degrades`]) touching a shard and closes at the first
+    /// transaction decided on that shard strictly after the last degrading
+    /// event. Substrate events recorded without a shard (crashes and restarts
+    /// are stamped by process) are attributed to the crashed process's shard
+    /// via the initial roster and spare pools before the windows are computed.
+    fn blackouts(&self) -> Vec<Blackout> {
+        let mut shard_of: BTreeMap<ProcessId, ShardId> = BTreeMap::new();
+        for shard in self.shards() {
+            for pid in self
+                .roster_of(shard)
+                .into_iter()
+                .chain(self.spares_of(shard))
+            {
+                shard_of.insert(pid, shard);
+            }
+        }
+        let mut ctrl = self.ctrl_events();
+        for event in &mut ctrl {
+            if event.shard.is_none() {
+                event.shard = shard_of.get(&event.by).copied();
+            }
+        }
+        let decided = ratc_sim::decided_times_per_shard(&self.obs_events());
+        ratc_sim::blackouts(&ctrl, &decided)
+    }
+
+    /// Per-message-type send/deliver counters (label → counts), sorted by
+    /// message-type label. Empty unless observability is enabled.
+    fn msg_type_counters(&self) -> Vec<(String, MsgTypeCounters)>;
 
     /// Messages handled (sent + received) by one process.
     fn process_handled(&self, pid: ProcessId) -> u64;
@@ -388,6 +442,28 @@ impl TcsCluster for Cluster {
 
     fn obs_events(&self) -> Vec<TxObsEvent> {
         self.world.metrics().obs_events().to_vec()
+    }
+
+    fn ctrl_events(&self) -> Vec<CtrlEvent> {
+        self.world.metrics().ctrl_events().to_vec()
+    }
+
+    fn record_ctrl(
+        &mut self,
+        by: ProcessId,
+        milestone: CtrlMilestone,
+        shard: Option<ShardId>,
+        note: &str,
+    ) {
+        self.world.ctrl_milestone(by, milestone, shard, note);
+    }
+
+    fn msg_type_counters(&self) -> Vec<(String, MsgTypeCounters)> {
+        self.world
+            .metrics()
+            .msg_type_counters()
+            .map(|(label, counters)| (label.to_owned(), counters))
+            .collect()
     }
 
     fn process_handled(&self, pid: ProcessId) -> u64 {
@@ -645,6 +721,28 @@ impl TcsCluster for RdmaCluster {
         self.world.metrics().obs_events().to_vec()
     }
 
+    fn ctrl_events(&self) -> Vec<CtrlEvent> {
+        self.world.metrics().ctrl_events().to_vec()
+    }
+
+    fn record_ctrl(
+        &mut self,
+        by: ProcessId,
+        milestone: CtrlMilestone,
+        shard: Option<ShardId>,
+        note: &str,
+    ) {
+        self.world.ctrl_milestone(by, milestone, shard, note);
+    }
+
+    fn msg_type_counters(&self) -> Vec<(String, MsgTypeCounters)> {
+        self.world
+            .metrics()
+            .msg_type_counters()
+            .map(|(label, counters)| (label.to_owned(), counters))
+            .collect()
+    }
+
     fn process_handled(&self, pid: ProcessId) -> u64 {
         self.world.metrics().process(pid).handled()
     }
@@ -896,6 +994,28 @@ impl TcsCluster for BaselineCluster {
 
     fn obs_events(&self) -> Vec<TxObsEvent> {
         self.world.metrics().obs_events().to_vec()
+    }
+
+    fn ctrl_events(&self) -> Vec<CtrlEvent> {
+        self.world.metrics().ctrl_events().to_vec()
+    }
+
+    fn record_ctrl(
+        &mut self,
+        by: ProcessId,
+        milestone: CtrlMilestone,
+        shard: Option<ShardId>,
+        note: &str,
+    ) {
+        self.world.ctrl_milestone(by, milestone, shard, note);
+    }
+
+    fn msg_type_counters(&self) -> Vec<(String, MsgTypeCounters)> {
+        self.world
+            .metrics()
+            .msg_type_counters()
+            .map(|(label, counters)| (label.to_owned(), counters))
+            .collect()
     }
 
     fn process_handled(&self, pid: ProcessId) -> u64 {

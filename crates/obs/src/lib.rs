@@ -30,9 +30,18 @@
 //! clock the recorder used; this crate only ever subtracts them, so it works
 //! identically under the deterministic simulator (virtual time) and the
 //! threaded runtime (wall time).
+//!
+//! The [`ctrl`] module is the control-plane mirror of this commit-path layer:
+//! cluster-scope [`CtrlEvent`] milestones (reconfiguration, crash/recovery,
+//! injected faults) and the per-shard availability windows ([`Blackout`])
+//! derived from them.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod ctrl;
+
+pub use ctrl::{blackouts, decided_times_per_shard, Blackout, CtrlEvent, CtrlMilestone};
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -11,7 +11,7 @@ use ratc_core::flow::{AdmissionQueue, FlowControlConfig};
 use ratc_core::log::{LogEntry, TxPhase};
 use ratc_core::replica::TruncationConfig;
 use ratc_sim::rdma::RdmaToken;
-use ratc_sim::{Actor, BackoffState, Context, SimDuration, TimerTag, TxMilestone};
+use ratc_sim::{Actor, BackoffState, Context, CtrlMilestone, SimDuration, TimerTag, TxMilestone};
 use ratc_types::{
     CertificationPolicy, Decision, Epoch, IndexedCertifier, Payload, Position, ProcessId,
     ShardCertifier, ShardId, ShardMap, TxId,
@@ -1473,6 +1473,7 @@ impl RdmaReplica {
                 coord.decided = true;
             }
             self.retry_backoff.remove(&tx);
+            ctx.ctrl_milestone(CtrlMilestone::CoordinatorHandoff, None, tx.as_u64());
             ctx.add_counter("retries_handed_off", 1);
         }
         // Handed-off transactions free admission-window slots.
@@ -1508,6 +1509,11 @@ impl RdmaReplica {
             target_size,
             exclude,
         });
+        ctx.ctrl_milestone(
+            CtrlMilestone::ReconfigInitiated,
+            Some(suspected_shard),
+            self.epoch.as_u64(),
+        );
         ctx.send(self.cs, RdmaMsg::CsGetLast);
         // Probes travel over faultable links; restart probing if they are
         // lost (the configuration service itself is reliable).
@@ -1550,6 +1556,8 @@ impl RdmaReplica {
         targets.sort_unstable();
         targets.dedup();
         let epoch = recon.recon_epoch;
+        let suspected = recon.suspected_shard;
+        ctx.ctrl_milestone(CtrlMilestone::ProbeStarted, Some(suspected), epoch.as_u64());
         ctx.send_to_many(targets, RdmaMsg::Probe { epoch });
     }
 
@@ -1636,6 +1644,8 @@ impl RdmaReplica {
         if all_answered {
             self.finish_probe(ctx);
         } else if recon.grace_timer.is_none() {
+            let suspected = recon.suspected_shard;
+            ctx.ctrl_milestone(CtrlMilestone::ProbeGrace, Some(suspected), epoch.as_u64());
             recon.grace_timer = Some(ctx.set_timer(PROBE_GRACE, PROBE_GRACE_TICK));
         }
     }
@@ -1813,6 +1823,12 @@ impl RdmaReplica {
             ctx.add_counter("reconfiguration_cas_lost", 1);
             return;
         }
+        let suspected = recon.suspected_shard;
+        ctx.ctrl_milestone(
+            CtrlMilestone::ConfigChosen,
+            Some(suspected),
+            config.epoch.as_u64(),
+        );
         if naive {
             // Naive per-shard mode: skip CONFIG_PREPARE entirely; notify the
             // new leader of the suspected shard only, and let other shards
@@ -1899,10 +1915,23 @@ impl RdmaReplica {
         // A new epoch: stale peer frontiers must not unlock truncation for a
         // membership they no longer describe.
         self.peer_frontiers.clear();
+        let previous_leader = self.config.as_ref().and_then(|c| c.leader_of(self.shard));
         self.status = RdmaStatus::Leader;
         self.new_epoch = config.epoch;
         self.epoch = config.epoch;
         self.config = Some(config.clone());
+        if previous_leader != Some(self.id) {
+            ctx.ctrl_milestone(
+                CtrlMilestone::LeaderHandoff,
+                Some(self.shard),
+                config.epoch.as_u64(),
+            );
+        }
+        ctx.ctrl_milestone(
+            CtrlMilestone::ShardOperational,
+            Some(self.shard),
+            config.epoch.as_u64(),
+        );
         let followers = config.followers_of(self.shard);
         for follower in followers {
             ctx.send(
@@ -1942,6 +1971,11 @@ impl RdmaReplica {
             self.log.set_certifier(self.index_factory.clone_box());
         }
         self.config = Some(config.clone());
+        ctx.ctrl_milestone(
+            CtrlMilestone::StateTransferred,
+            Some(self.shard),
+            config.epoch.as_u64(),
+        );
         // Line 153: connect to the other processes of the new epoch (the
         // leader initiates in-shard connections too; the handshake is
         // idempotent and retried until everyone has answered).

@@ -10,8 +10,8 @@
 
 use std::any::Any;
 
-use ratc_obs::{TxMilestone, TxObsEvent};
-use ratc_types::{ProcessId, TxId};
+use ratc_obs::{CtrlEvent, CtrlMilestone, TxMilestone, TxObsEvent};
+use ratc_types::{ProcessId, ShardId, TxId};
 
 use crate::metrics::Metrics;
 use crate::rdma::{RdmaInbox, RdmaToken};
@@ -327,6 +327,33 @@ impl<'a, M> Context<'a, M> {
     pub fn obs_gauge(&mut self, name: &str, value: f64) {
         if self.metrics.obs_enabled() {
             self.metrics.record_sample(name, value);
+        }
+    }
+
+    /// Stamps a control-plane (cluster-scope) milestone at the current time,
+    /// if observability is enabled — the reconfiguration/recovery twin of
+    /// [`Context::obs_milestone`], with the same schedule-invisibility
+    /// guarantee.
+    ///
+    /// `shard` is the shard the milestone concerns, when the actor knows it
+    /// (`None` otherwise; the harness layer re-attributes from its roster).
+    /// `detail` is milestone-specific (see [`CtrlMilestone`]); pass 0 when
+    /// the milestone carries none.
+    pub fn ctrl_milestone(
+        &mut self,
+        milestone: CtrlMilestone,
+        shard: Option<ShardId>,
+        detail: u64,
+    ) {
+        if self.metrics.obs_enabled() {
+            self.metrics.ctrl_record(CtrlEvent {
+                at_micros: self.now.as_micros(),
+                by: self.self_id,
+                milestone,
+                shard,
+                detail,
+                note: String::new(),
+            });
         }
     }
 }

@@ -100,7 +100,8 @@ pub use faults::{FaultScope, LinkFault};
 pub use latency::LatencyModel;
 pub use metrics::Metrics;
 pub use ratc_obs::{
-    fold_timelines, LatencyUnit, Phase, PhaseBreakdown, TxMilestone, TxObsEvent, TxTimeline,
+    blackouts, decided_times_per_shard, fold_timelines, Blackout, CtrlEvent, CtrlMilestone,
+    LatencyUnit, Phase, PhaseBreakdown, TxMilestone, TxObsEvent, TxTimeline,
 };
 pub use rdma::RdmaSendOutcome;
 pub use rt::ExecutionMode;

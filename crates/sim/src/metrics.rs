@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use ratc_obs::TxObsEvent;
+use ratc_obs::{CtrlEvent, TxObsEvent};
 use ratc_types::ProcessId;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +64,22 @@ impl ProcessCounters {
     pub fn handled(&self) -> u64 {
         self.sent + self.received + self.rdma_delivered
     }
+}
+
+/// Send/deliver counts for one message type (the type's
+/// [`label_of`](crate::trace::label_of) name), recorded only while
+/// observability is enabled.
+///
+/// `sent ≥ delivered` in any run: messages to crashed or partitioned
+/// processes are sent but never delivered. Divided by the number of
+/// submitted transactions this is the paper's *messages per transaction*
+/// broken down by protocol step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgTypeCounters {
+    /// Messages of this type handed to the transport.
+    pub sent: u64,
+    /// Messages of this type delivered to their destination actor.
+    pub delivered: u64,
 }
 
 /// A streaming summary of a named statistic.
@@ -155,6 +171,18 @@ pub struct Metrics {
     /// Recorded transaction lifecycle observations, in recording order.
     /// Always empty while `obs_enabled` is false.
     obs: Vec<TxObsEvent>,
+    /// Recorded control-plane observations, in recording order. Always empty
+    /// while `obs_enabled` is false.
+    ctrl: Vec<CtrlEvent>,
+    /// Bound on the control-plane buffer (`SimConfig::with_trace_capacity`):
+    /// the oldest events are trimmed once the buffer holds twice the
+    /// capacity. Carried here (not read from the world's config) so the
+    /// threaded backend's per-worker collectors enforce the same bound.
+    ctrl_capacity: Option<usize>,
+    /// Per-message-type send/deliver counts, recorded only while
+    /// `obs_enabled` is true (keeps the default path free of per-send
+    /// string work).
+    msg_counters: BTreeMap<String, MsgTypeCounters>,
 }
 
 impl Metrics {
@@ -191,6 +219,85 @@ impl Metrics {
     /// observability was enabled).
     pub fn obs_events(&self) -> &[TxObsEvent] {
         &self.obs
+    }
+
+    /// Appends one control-plane observation. Gated and schedule-invisible
+    /// exactly like [`Metrics::obs_record`]; additionally enforces the
+    /// amortised capacity bound (see [`Metrics::set_ctrl_capacity`]).
+    pub fn ctrl_record(&mut self, event: CtrlEvent) {
+        if self.obs_enabled {
+            self.ctrl.push(event);
+            self.trim_ctrl();
+        }
+    }
+
+    /// The recorded control-plane observations, in recording order (empty
+    /// unless observability was enabled).
+    pub fn ctrl_events(&self) -> &[CtrlEvent] {
+        &self.ctrl
+    }
+
+    /// Bounds the control-plane buffer: once it holds `2 × capacity` events
+    /// the oldest are trimmed back to `capacity`, so the cost is amortised
+    /// O(1) per event and memory stays within `2 × capacity`. `None` (the
+    /// default) keeps everything. Wired from
+    /// `SimConfig::with_trace_capacity` by the world; the threaded backend
+    /// copies it into each worker's collector.
+    pub fn set_ctrl_capacity(&mut self, capacity: Option<usize>) {
+        self.ctrl_capacity = capacity;
+        self.trim_ctrl();
+    }
+
+    /// The configured control-plane buffer bound, if any.
+    pub fn ctrl_capacity(&self) -> Option<usize> {
+        self.ctrl_capacity
+    }
+
+    fn trim_ctrl(&mut self) {
+        if let Some(capacity) = self.ctrl_capacity {
+            let capacity = capacity.max(1);
+            if self.ctrl.len() >= capacity.saturating_mul(2) {
+                let excess = self.ctrl.len() - capacity;
+                self.ctrl.drain(..excess);
+            }
+        }
+    }
+
+    /// Counts one sent message of the given type (its
+    /// [`label_of`](crate::trace::label_of) name). Gated on
+    /// [`Metrics::obs_enabled`] so the default path does no per-send string
+    /// work.
+    pub(crate) fn on_msg_sent(&mut self, label: &str) {
+        if self.obs_enabled {
+            self.count_msg(label).sent += 1;
+        }
+    }
+
+    /// Counts one delivered message of the given type.
+    pub(crate) fn on_msg_delivered(&mut self, label: &str) {
+        if self.obs_enabled {
+            self.count_msg(label).delivered += 1;
+        }
+    }
+
+    fn count_msg(&mut self, label: &str) -> &mut MsgTypeCounters {
+        if !self.msg_counters.contains_key(label) {
+            self.msg_counters
+                .insert(label.to_owned(), MsgTypeCounters::default());
+        }
+        self.msg_counters.get_mut(label).expect("just inserted")
+    }
+
+    /// Per-message-type send/deliver counts, keyed by the message type's
+    /// [`label_of`](crate::trace::label_of) name (empty unless observability
+    /// was enabled).
+    pub fn msg_type_counters(&self) -> impl Iterator<Item = (&str, MsgTypeCounters)> + '_ {
+        self.msg_counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The send/deliver counts for one message type (zero if never seen).
+    pub fn msg_type(&self, label: &str) -> MsgTypeCounters {
+        self.msg_counters.get(label).copied().unwrap_or_default()
     }
 
     pub(crate) fn on_send(&mut self, from: ProcessId) {
@@ -321,6 +428,16 @@ impl Metrics {
         self.total_delivered += other.total_delivered;
         self.rdma_rejected += other.rdma_rejected;
         self.obs.extend(other.obs);
+        self.ctrl.extend(other.ctrl);
+        if self.ctrl_capacity.is_none() {
+            self.ctrl_capacity = other.ctrl_capacity;
+        }
+        self.trim_ctrl();
+        for (label, counts) in other.msg_counters {
+            let mine = self.msg_counters.entry(label).or_default();
+            mine.sent += counts.sent;
+            mine.delivered += counts.delivered;
+        }
     }
 }
 
@@ -446,5 +563,92 @@ mod tests {
         });
         on.absorb(other);
         assert_eq!(on.obs_events().len(), 2);
+    }
+
+    fn ctrl_event(at: u64) -> ratc_obs::CtrlEvent {
+        ratc_obs::CtrlEvent {
+            at_micros: at,
+            by: ProcessId::new(1),
+            milestone: ratc_obs::CtrlMilestone::Crash,
+            shard: None,
+            detail: 0,
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn ctrl_recording_is_gated_and_absorbed() {
+        let mut off = Metrics::new();
+        off.ctrl_record(ctrl_event(10));
+        assert!(
+            off.ctrl_events().is_empty(),
+            "disabled recorder stays empty"
+        );
+
+        let mut on = Metrics::with_obs(true);
+        on.ctrl_record(ctrl_event(10));
+        assert_eq!(on.ctrl_events().len(), 1);
+
+        let mut other = Metrics::with_obs(true);
+        other.ctrl_record(ctrl_event(20));
+        on.absorb(other);
+        assert_eq!(on.ctrl_events().len(), 2);
+        assert_eq!(on.ctrl_events()[1].at_micros, 20);
+    }
+
+    #[test]
+    fn ctrl_buffer_trims_amortised_to_twice_capacity() {
+        let mut m = Metrics::with_obs(true);
+        m.set_ctrl_capacity(Some(4));
+        for i in 0..100 {
+            m.ctrl_record(ctrl_event(i));
+            assert!(
+                m.ctrl_events().len() < 8,
+                "buffer exceeded 2x capacity at event {i}"
+            );
+        }
+        // The newest events always survive a trim.
+        let last = m.ctrl_events().last().expect("events recorded");
+        assert_eq!(last.at_micros, 99);
+        let first = m.ctrl_events().first().expect("events recorded");
+        assert!(first.at_micros >= 92, "trim kept stale events: {first:?}");
+
+        // The bound also applies when merging worker buffers back.
+        let mut worker = Metrics::with_obs(true);
+        for i in 100..200 {
+            worker.ctrl_record(ctrl_event(i));
+        }
+        m.absorb(worker);
+        assert!(m.ctrl_events().len() <= 8);
+        assert_eq!(m.ctrl_events().last().expect("events").at_micros, 199);
+    }
+
+    #[test]
+    fn msg_type_counters_are_gated_and_absorbed() {
+        let mut off = Metrics::new();
+        off.on_msg_sent("Prepare");
+        assert_eq!(
+            off.msg_type("Prepare").sent,
+            0,
+            "disabled path counts nothing"
+        );
+
+        let mut on = Metrics::with_obs(true);
+        on.on_msg_sent("Prepare");
+        on.on_msg_sent("Prepare");
+        on.on_msg_delivered("Prepare");
+        on.on_msg_sent("Vote");
+        assert_eq!(on.msg_type("Prepare").sent, 2);
+        assert_eq!(on.msg_type("Prepare").delivered, 1);
+        assert_eq!(on.msg_type("Vote").delivered, 0);
+        assert_eq!(on.msg_type("Unknown"), MsgTypeCounters::default());
+
+        let mut other = Metrics::with_obs(true);
+        other.on_msg_sent("Vote");
+        other.on_msg_delivered("Vote");
+        on.absorb(other);
+        assert_eq!(on.msg_type("Vote").sent, 2);
+        assert_eq!(on.msg_type("Vote").delivered, 1);
+        assert_eq!(on.msg_type_counters().count(), 2);
     }
 }

@@ -61,6 +61,7 @@ use crate::event::{EventKind, QueuedEvent};
 use crate::metrics::Metrics;
 use crate::rdma::{RdmaFabric, RdmaInbox, RdmaToken};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::label_of;
 use crate::world::World;
 
 /// Which engine executes the actors of a world (or of a cluster built on
@@ -282,6 +283,10 @@ impl<'s, M: Clone + fmt::Debug + Send + 'static> Worker<'s, M> {
         match event {
             RtEvent::Deliver { from, msg, hops } => {
                 self.metrics.on_receive(self.pid);
+                if self.metrics.obs_enabled() {
+                    let label = label_of(&msg);
+                    self.metrics.on_msg_delivered(&label);
+                }
                 self.invoke(Upcall::Message { from, msg }, hops);
             }
             RtEvent::RdmaAck {
@@ -305,6 +310,10 @@ impl<'s, M: Clone + fmt::Debug + Send + 'static> Worker<'s, M> {
                 };
                 if let Some((from, msg)) = entry {
                     self.metrics.on_rdma_deliver(self.pid);
+                    if self.metrics.obs_enabled() {
+                        let label = label_of(&msg);
+                        self.metrics.on_msg_delivered(&label);
+                    }
                     self.invoke(Upcall::RdmaDeliver { from, msg }, hops);
                 }
             }
@@ -362,15 +371,25 @@ impl<'s, M: Clone + fmt::Debug + Send + 'static> Worker<'s, M> {
     fn apply_effects(&mut self, effects: Vec<Effect<M>>, hops: u32) {
         for effect in effects {
             match effect {
-                Effect::Send { to, msg } => self.enqueue(
-                    to,
-                    RtEvent::Deliver {
-                        from: self.pid,
-                        msg,
-                        hops: hops + 1,
-                    },
-                ),
+                Effect::Send { to, msg } => {
+                    if self.metrics.obs_enabled() {
+                        let label = label_of(&msg);
+                        self.metrics.on_msg_sent(&label);
+                    }
+                    self.enqueue(
+                        to,
+                        RtEvent::Deliver {
+                            from: self.pid,
+                            msg,
+                            hops: hops + 1,
+                        },
+                    )
+                }
                 Effect::RdmaSend { to, msg, token } => {
+                    if self.metrics.obs_enabled() {
+                        let label = label_of(&msg);
+                        self.metrics.on_msg_sent(&label);
+                    }
                     // Mirrors the simulator's hop accounting: the write
                     // arrives with `hops + 1`; the delivery keeps the
                     // arrival count and the acknowledgement adds one more.
@@ -632,6 +651,7 @@ where
     }
 
     let obs_enabled = world.metrics.obs_enabled();
+    let ctrl_capacity = world.metrics.ctrl_capacity();
     let (perms, mut inboxes, rejected_base) = std::mem::take(&mut world.rdma).into_parts();
     let base_timer_id = world.next_timer_id;
     let base_rdma_token = world.next_rdma_token;
@@ -694,8 +714,14 @@ where
                 overflow: Vec::new(),
                 // Per-worker collectors inherit the observability switch so
                 // milestone stamps recorded on worker threads survive the
-                // post-run `absorb` into the world's collector.
-                metrics: Metrics::with_obs(obs_enabled),
+                // post-run `absorb` into the world's collector, and the
+                // control-plane buffer bound so a bounded run stays bounded
+                // per worker too.
+                metrics: {
+                    let mut metrics = Metrics::with_obs(obs_enabled);
+                    metrics.set_ctrl_capacity(ctrl_capacity);
+                    metrics
+                },
                 next_timer_id: base_timer_id + (index as u64) * ID_STRIPE,
                 next_rdma_token: base_rdma_token + (index as u64) * ID_STRIPE,
                 incarnation: world.incarnations.get(&pid).copied().unwrap_or(0),

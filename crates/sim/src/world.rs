@@ -7,8 +7,8 @@ use std::fmt;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use ratc_obs::{TxMilestone, TxObsEvent};
-use ratc_types::{ProcessId, TxId};
+use ratc_obs::{CtrlEvent, CtrlMilestone, TxMilestone, TxObsEvent};
+use ratc_types::{ProcessId, ShardId, TxId};
 
 use crate::actor::{dispatch, Actor, Context, Effect, TimerId, Upcall};
 use crate::event::{EventKind, QueuedEvent};
@@ -178,7 +178,11 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
     /// Creates an empty world.
     pub fn new(config: SimConfig) -> Self {
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
-        let metrics = Metrics::with_obs(config.obs);
+        let mut metrics = Metrics::with_obs(config.obs);
+        // The control-plane observability buffer shares the transport
+        // trace's bound (the capacity travels inside `Metrics` so the
+        // threaded backend's per-worker collectors enforce it too).
+        metrics.set_ctrl_capacity(config.trace_capacity);
         World {
             config,
             now: SimTime::ZERO,
@@ -269,6 +273,51 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         }
     }
 
+    /// Stamps a control-plane milestone at the current time on behalf of
+    /// `by`, if observability is enabled.
+    ///
+    /// This is the harness-side twin of
+    /// [`Context::ctrl_milestone`](crate::actor::Context::ctrl_milestone)
+    /// for cluster-scope events that happen *outside* any actor handler —
+    /// e.g. a fault the chaos harness injects. `note` carries free-form
+    /// context (the fault's display form); pass `""` for none.
+    pub fn ctrl_milestone(
+        &mut self,
+        by: ProcessId,
+        milestone: CtrlMilestone,
+        shard: Option<ShardId>,
+        note: &str,
+    ) {
+        if self.metrics.obs_enabled() {
+            let at_micros = self.now.as_micros();
+            self.metrics.ctrl_record(CtrlEvent {
+                at_micros,
+                by,
+                milestone,
+                shard,
+                detail: 0,
+                note: note.to_owned(),
+            });
+        }
+    }
+
+    /// Stamps a substrate-level control-plane milestone (crash/restart) with
+    /// a milestone-specific detail and no shard attribution (the harness
+    /// layer re-attributes from its roster).
+    fn ctrl_stamp(&mut self, by: ProcessId, milestone: CtrlMilestone, detail: u64) {
+        if self.metrics.obs_enabled() {
+            let at_micros = self.now.as_micros();
+            self.metrics.ctrl_record(CtrlEvent {
+                at_micros,
+                by,
+                milestone,
+                shard: None,
+                detail,
+                note: String::new(),
+            });
+        }
+    }
+
     /// Total RDMA writes rejected because the target had closed the connection.
     pub fn rdma_rejected(&self) -> u64 {
         self.rdma.rejected_count()
@@ -349,7 +398,9 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
             return false;
         }
         *self.incarnations.entry(pid).or_insert(0) += 1;
+        let incarnation = self.incarnations[&pid];
         self.record_trace(TraceKind::Restart, pid, pid, "restart".to_owned(), 0);
+        self.ctrl_stamp(pid, CtrlMilestone::Restart, incarnation);
         self.with_actor(pid, 0, Upcall::Restart);
         true
     }
@@ -524,6 +575,12 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
     where
         M: Clone,
     {
+        if self.metrics.obs_enabled() {
+            // A faulted (dropped) message still counts as sent: the counter
+            // measures offered protocol traffic, not delivery success.
+            let label = label_of(&msg);
+            self.metrics.on_msg_sent(&label);
+        }
         let fault = self.fault_decision(from, to, false);
         if fault.drop {
             self.metrics.add_counter("faults_msg_dropped", 1);
@@ -591,6 +648,10 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
     ) where
         M: Clone,
     {
+        if self.metrics.obs_enabled() {
+            let label = label_of(&msg);
+            self.metrics.on_msg_sent(&label);
+        }
         let fault = self.fault_decision(from, to, true);
         if fault.drop {
             // The write is lost on the wire: no arrival, no acknowledgement.
@@ -732,6 +793,8 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
         if self.crashed.insert(pid) {
             self.busy_until.remove(&pid);
             self.record_trace(TraceKind::Crash, pid, pid, "crash".to_owned(), 0);
+            let incarnation = self.incarnations.get(&pid).copied().unwrap_or(0);
+            self.ctrl_stamp(pid, CtrlMilestone::Crash, incarnation);
             // The NIC dies with the process: every permission it had granted
             // is revoked, and a later restart must re-open connections.
             self.rdma.close_all(pid);
@@ -755,6 +818,10 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 }
                 self.record_trace(TraceKind::Deliver, from, to, label_of(&msg), hops);
                 self.metrics.on_receive(to);
+                if self.metrics.obs_enabled() {
+                    let label = label_of(&msg);
+                    self.metrics.on_msg_delivered(&label);
+                }
                 self.with_actor(to, hops, Upcall::Message { from, msg });
             }
             EventKind::Timer {
@@ -848,6 +915,10 @@ impl<M: Clone + fmt::Debug + 'static> World<M> {
                 if let Some((from, msg)) = entry {
                     self.record_trace(TraceKind::RdmaDeliver, from, at, label_of(&msg), hops);
                     self.metrics.on_rdma_deliver(at);
+                    if self.metrics.obs_enabled() {
+                        let label = label_of(&msg);
+                        self.metrics.on_msg_delivered(&label);
+                    }
                     self.with_actor(at, hops, Upcall::RdmaDeliver { from, msg });
                 }
             }

@@ -982,6 +982,10 @@ pub struct OverloadResult {
     /// Estimated 99th-percentile client-visible decision latency, from the
     /// streaming histogram (relative error ≤ ~9%).
     pub p99_latency_micros: f64,
+    /// Messages delivered per decided transaction, per message type
+    /// (`(label, msgs/tx)`, sorted by label) — the protocol's per-message
+    /// cost under this offered load. Empty when nothing decided.
+    pub msgs_per_tx: Vec<(String, f64)>,
     /// Unit of every latency in this result: wall-clock microseconds — E10
     /// always runs on the threaded backend.
     pub latency_unit: LatencyUnit,
@@ -1027,6 +1031,9 @@ pub fn overload_experiment(
         .with_seed(seed)
         .with_flow_control(flow)
         .with_execution(ratc_sim::ExecutionMode::Threads)
+        // Observability feeds the per-message-type counters reported in the
+        // JSON rows; recording never perturbs the protocol's behaviour.
+        .with_observability()
         .build();
     for i in 0..depth {
         cluster.submit(TxId::new(i as u64 + 1), disjoint_payload(i as u64 + 1));
@@ -1036,6 +1043,16 @@ pub fn overload_experiment(
     let history = cluster.history();
     let committed = history.committed().count();
     let aborted = history.aborted().count();
+    let decided = committed + aborted;
+    let msgs_per_tx = if decided == 0 {
+        Vec::new()
+    } else {
+        cluster
+            .msg_type_counters()
+            .into_iter()
+            .map(|(label, counters)| (label, counters.delivered as f64 / decided as f64))
+            .collect()
+    };
     let window_micros = latencies
         .values()
         .map(|l| l.micros)
@@ -1056,6 +1073,7 @@ pub fn overload_experiment(
         p99_latency_micros: cluster
             .sample_percentile("client_decision_micros", 99.0)
             .unwrap_or(0.0),
+        msgs_per_tx,
         latency_unit: cluster.latency_unit(),
     }
 }
