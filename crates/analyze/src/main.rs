@@ -1,0 +1,67 @@
+//! `cargo run -p ratc-analyze` — the CI gate.
+//!
+//! Locates the workspace root (walking up from the current directory to the
+//! first `Cargo.toml` containing `[workspace]`), runs every lint, prints
+//! findings as `file:line lint-name: message`, and exits nonzero if any
+//! finding survives suppression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("ratc-analyze: no workspace root found above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let files = match ratc_analyze::collect_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "ratc-analyze: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let findings = ratc_analyze::analyze_files(&files);
+    if findings.is_empty() {
+        println!(
+            "ratc-analyze: workspace clean ({} files scanned, 0 findings)",
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "ratc-analyze: {} finding(s) in {} file(s) scanned",
+        findings.len(),
+        files.len()
+    );
+    ExitCode::FAILURE
+}

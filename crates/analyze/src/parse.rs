@@ -1,0 +1,484 @@
+//! A lightweight item parser on top of [`crate::lexer`].
+//!
+//! Recovers exactly the shapes the protocol-surface lints need:
+//!
+//! * `enum` declarations with their variant names and declaration lines;
+//! * `match` expressions with per-arm pattern token slices (guards split
+//!   off at the top-level `if`);
+//! * the token index ranges covered by `#[cfg(test)] mod … { … }` blocks,
+//!   so lints can skip test-only code (the repo keeps unit tests in such
+//!   modules inside the same file).
+//!
+//! This is not a general Rust parser: it tracks bracket depth and a handful
+//! of keywords, which is enough because lints only need variant/arm
+//! *vocabulary*, not expression structure.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One variant of a parsed enum.
+#[derive(Debug, Clone)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the variant declaration.
+    pub line: u32,
+}
+
+/// A parsed `enum` item.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variants in declaration order.
+    pub variants: Vec<VariantDef>,
+}
+
+/// One arm of a parsed `match`.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Pattern tokens (guard excluded).
+    pub pattern: Vec<Tok>,
+    /// `true` if the arm carries an `if` guard.
+    pub has_guard: bool,
+    /// 1-based line the pattern starts on.
+    pub line: u32,
+}
+
+/// A parsed `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// Arms in source order.
+    pub arms: Vec<MatchArm>,
+}
+
+/// Finds all `#[cfg(test)] mod … { … }` blocks and returns the token index
+/// ranges (half-open) their bodies cover, including the attribute itself.
+pub fn test_mod_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Look for `# [ cfg ( test ) ] mod`.
+        if toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'))
+        {
+            // Skip further attributes between the cfg and the `mod` keyword.
+            let mut j = i + 7;
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attribute(toks, j);
+            }
+            if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+                // Advance to the opening brace, then to its close.
+                let mut k = j;
+                while k < toks.len() && !toks[k].is_punct('{') {
+                    k += 1;
+                }
+                let end = skip_balanced(toks, k, '{', '}');
+                ranges.push((i, end));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Skips one `#[…]` attribute starting at the `#` token; returns the index
+/// just past the closing `]`.
+fn skip_attribute(toks: &[Tok], at: usize) -> usize {
+    let mut i = at + 1; // past '#'
+    if toks.get(i).is_some_and(|t| t.is_punct('!')) {
+        i += 1;
+    }
+    if toks.get(i).is_some_and(|t| t.is_punct('[')) {
+        skip_balanced(toks, i, '[', ']')
+    } else {
+        i
+    }
+}
+
+/// From an opening bracket at `open_at`, returns the index just past its
+/// matching close. If `open_at` is not the opening bracket, returns
+/// `open_at + 1`.
+fn skip_balanced(toks: &[Tok], open_at: usize, open: char, close: char) -> usize {
+    if !toks.get(open_at).is_some_and(|t| t.is_punct(open)) {
+        return open_at + 1;
+    }
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Collects every `enum` declaration in the token stream.
+pub fn parse_enums(toks: &[Tok]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("enum") && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            // Find the opening brace (skipping generics `<…>` shallowly).
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    angle += 1;
+                } else if toks[j].is_punct('>') {
+                    angle -= 1;
+                } else if toks[j].is_punct('{') && angle <= 0 {
+                    break;
+                } else if toks[j].is_punct(';') {
+                    // `enum` in a path like `std::enum` can't happen; but a
+                    // stray `;` means this wasn't a braced enum — bail.
+                    break;
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = skip_balanced(toks, j, '{', '}');
+                let variants = parse_variants(&toks[j + 1..end.saturating_sub(1)]);
+                out.push(EnumDef {
+                    name,
+                    line,
+                    variants,
+                });
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the body of an enum (tokens between its braces) into variants.
+fn parse_variants(body: &[Tok]) -> Vec<VariantDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        // Skip attributes and doc comments (doc comments aren't tokens).
+        if body[i].is_punct('#') {
+            i = skip_attribute(body, i);
+            continue;
+        }
+        if body[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        if body[i].kind == TokKind::Ident {
+            out.push(VariantDef {
+                name: body[i].text.clone(),
+                line: body[i].line,
+            });
+            i += 1;
+            // Skip payload: tuple `(…)`, struct `{…}`, discriminant `= …`.
+            while i < body.len() && !body[i].is_punct(',') {
+                if body[i].is_punct('(') {
+                    i = skip_balanced(body, i, '(', ')');
+                } else if body[i].is_punct('{') {
+                    i = skip_balanced(body, i, '{', '}');
+                } else {
+                    i += 1;
+                }
+            }
+            i += 1; // past the comma
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects every `match` expression, with arm patterns and guard flags.
+///
+/// A `match` token is recognized when followed eventually by `{`; the
+/// scrutinee tokens are skipped by brace/paren balance. Arms are split at
+/// top-level `,` / after braced bodies; the guard is split at a top-level
+/// `if` inside the pattern.
+pub fn parse_matches(toks: &[Tok]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Scan the scrutinee: up to the `{` that opens the arm block at
+        // depth 0 (parens/brackets/braces inside struct literals are
+        // tracked; a `{` at depth 0 that isn't preceded by an ident/`)` is
+        // taken as the arm block — in practice scrutinees in this repo are
+        // simple expressions, and a mis-parse only costs lint coverage of
+        // that one match, never a false finding).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') {
+                if depth == 0 {
+                    break;
+                }
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let body_end = skip_balanced(toks, j, '{', '}');
+        let arms = parse_arms(&toks[j + 1..body_end.saturating_sub(1)]);
+        out.push(MatchExpr { line, arms });
+        // Continue scanning *inside* the match body too (nested matches):
+        // simply advance past the `match` keyword, not the whole body.
+        i += 1;
+    }
+    out
+}
+
+/// Splits a match body (tokens between its braces) into arms.
+fn parse_arms(body: &[Tok]) -> Vec<MatchArm> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        // Skip attributes on arms and leading commas.
+        if body[i].is_punct('#') {
+            i = skip_attribute(body, i);
+            continue;
+        }
+        if body[i].is_punct(',') {
+            i += 1;
+            continue;
+        }
+        // Pattern: tokens until a top-level `=>` (lexed as `=` `>`).
+        let pat_start = i;
+        let pat_line = body[i].line;
+        let mut depth = 0i32;
+        let mut guard_at: Option<usize> = None;
+        let mut arrow_at: Option<usize> = None;
+        let mut j = i;
+        while j < body.len() {
+            let t = &body[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("if") && guard_at.is_none() {
+                guard_at = Some(j);
+            } else if depth == 0
+                && t.is_punct('=')
+                && body.get(j + 1).is_some_and(|n| n.is_punct('>'))
+                && n_not_fat_arrow_in_closure(body, j)
+            {
+                arrow_at = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow_at else { break };
+        let pat_end = guard_at.unwrap_or(arrow);
+        out.push(MatchArm {
+            pattern: body[pat_start..pat_end].to_vec(),
+            has_guard: guard_at.is_some(),
+            line: pat_line,
+        });
+        // Body: either a balanced `{…}` or an expression up to a top-level
+        // `,` (tracking nested matches' own `=>` via bracket depth).
+        let mut k = arrow + 2;
+        if body.get(k).is_some_and(|t| t.is_punct('{')) {
+            k = skip_balanced(body, k, '{', '}');
+        } else {
+            let mut d = 0i32;
+            while k < body.len() {
+                let t = &body[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    d += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    d -= 1;
+                } else if d == 0 && t.is_punct(',') {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        i = k;
+    }
+    out
+}
+
+/// `=>` in a pattern position is always an arm arrow: patterns cannot
+/// contain closures. (Kept as a named check for readability.)
+fn n_not_fat_arrow_in_closure(_body: &[Tok], _at: usize) -> bool {
+    true
+}
+
+/// `true` if the arm pattern is a wildcard: exactly `_`, or a single bare
+/// lowercase-initial identifier (an irrefutable binding like `other`).
+pub fn arm_is_wildcard(arm: &MatchArm) -> bool {
+    let toks: Vec<&Tok> = arm.pattern.iter().collect();
+    match toks.as_slice() {
+        [t] if t.is_ident("_") => true,
+        [t] if t.kind == TokKind::Ident => t
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_'),
+        _ => false,
+    }
+}
+
+/// Collects the `Enum::Variant` paths referenced in an arm's pattern.
+/// Returns `(enum_name, variant_name)` pairs.
+pub fn arm_variant_paths(arm: &MatchArm) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let p = &arm.pattern;
+    let mut i = 0usize;
+    while i + 3 < p.len() + 1 {
+        if i + 3 <= p.len()
+            && p[i].kind == TokKind::Ident
+            && p[i].text.chars().next().is_some_and(|c| c.is_uppercase())
+            && p.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && p.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && p.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            out.push((p[i].text.clone(), p[i + 3].text.clone()));
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_enum_variants_with_payloads() {
+        let src = r#"
+            pub enum Msg {
+                /// doc
+                Certify { tx: TxId, keys: Vec<Key> },
+                Prepare(u64, bool),
+                #[allow(dead_code)]
+                Retry,
+                Decided = 3,
+            }
+        "#;
+        let enums = parse_enums(&lex(src).toks);
+        assert_eq!(enums.len(), 1);
+        assert_eq!(enums[0].name, "Msg");
+        let names: Vec<&str> = enums[0].variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Certify", "Prepare", "Retry", "Decided"]);
+    }
+
+    #[test]
+    fn parses_match_arms_guards_and_wildcards() {
+        let src = r#"
+            fn f(m: Msg) {
+                match m {
+                    Msg::Certify { tx, .. } if tx > 0 => handle(tx),
+                    Msg::Prepare(a, _) => { nested(a); },
+                    Msg::Retry | Msg::Decided => {}
+                    _ => {}
+                }
+            }
+        "#;
+        let matches = parse_matches(&lex(src).toks);
+        assert_eq!(matches.len(), 1);
+        let m = &matches[0];
+        assert_eq!(m.arms.len(), 4);
+        assert!(m.arms[0].has_guard);
+        assert!(!m.arms[1].has_guard);
+        assert!(arm_is_wildcard(&m.arms[3]));
+        assert!(!arm_is_wildcard(&m.arms[2]));
+        let paths = arm_variant_paths(&m.arms[2]);
+        assert_eq!(
+            paths,
+            vec![
+                ("Msg".to_owned(), "Retry".to_owned()),
+                ("Msg".to_owned(), "Decided".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_match_is_found_and_bare_binding_is_wildcard() {
+        let src = r#"
+            fn f(m: Msg, n: Msg) {
+                match m {
+                    Msg::A => match n {
+                        Msg::B => {}
+                        other => drop(other),
+                    },
+                    Msg::C => {}
+                }
+            }
+        "#;
+        let matches = parse_matches(&lex(src).toks);
+        assert_eq!(matches.len(), 2);
+        let inner = &matches[1];
+        assert!(arm_is_wildcard(&inner.arms[1]));
+    }
+
+    #[test]
+    fn test_mod_ranges_cover_bodies() {
+        let src = r#"
+            fn live() { let m = std::collections::HashMap::new(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { only_in_tests(); }
+            }
+            fn after() {}
+        "#;
+        let toks = lex(src).toks;
+        let ranges = test_mod_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let (a, b) = ranges[0];
+        let inside: Vec<&str> = toks[a..b].iter().map(|t| t.text.as_str()).collect();
+        assert!(inside.contains(&"only_in_tests"));
+        assert!(!inside.contains(&"after"));
+    }
+
+    #[test]
+    fn match_on_method_call_scrutinee() {
+        let src = r#"
+            fn f(x: Foo) {
+                match x.kind() {
+                    Kind::A => {}
+                    Kind::B => {}
+                }
+            }
+        "#;
+        let matches = parse_matches(&lex(src).toks);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].arms.len(), 2);
+    }
+}

@@ -61,6 +61,10 @@ pub enum BaselineMsg {
     /// transaction manager in a single message once the command is *chosen*
     /// in the shard's Paxos log (a singleton batch when batching is
     /// disabled).
+    // analyze:allow(unpaired-batch): baseline votes always travel batched —
+    // a singleton batch IS the unbatched path (one vote per Paxos command
+    // with batching off, pinned by the batching differential suite), so a
+    // separate `Vote` twin would be dead vocabulary.
     VoteBatch {
         /// The voting shard.
         shard: ShardId,

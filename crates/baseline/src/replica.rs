@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use ratc_core::batch::{BatchingConfig, VoteBatcher};
 use ratc_core::flow::FlowControlConfig;
 use ratc_paxos::{Acceptor, PaxosMsg, Proposer, ReplicatedLog};
-use ratc_sim::{Actor, BackoffState, Context, CtrlMilestone, TimerTag};
+use ratc_sim::{Actor, BackoffState, Context, CtrlMilestone, TimerTag, TxMilestone};
 #[cfg(debug_assertions)]
 use ratc_types::MirrorCertifier;
 use ratc_types::{
@@ -314,6 +314,17 @@ impl BaselineShardReplica {
         if items.is_empty() {
             return;
         }
+        // Same flush telemetry as the other stacks' batchers. With batching
+        // disabled every push flushes a singleton immediately (the seed
+        // behaviour), which is not a batch formation event — don't stamp it.
+        if self.batching.enabled {
+            ctx.obs_gauge("obs_batch_occupancy", items.len() as f64);
+            if ctx.obs_enabled() {
+                for item in &items {
+                    ctx.obs_milestone(item.tx, TxMilestone::BatchFlush, items.len() as u64);
+                }
+            }
+        }
         if !self.phase1_started {
             self.phase1_started = true;
             let out = self
@@ -501,7 +512,15 @@ impl Actor<BaselineMsg> for BaselineShardReplica {
                 // `Chosen` for a decided transaction must not re-lock it.
                 self.decisions.insert(tx, decision);
             }
-            _ => {}
+            // Explicit no-ops. `Certify`/`VoteBatch`/`TmPaxos` are TM
+            // traffic, `DecisionClient` is client traffic, and a
+            // `ShardPaxos` for another shard (the guard above rejected it)
+            // is misrouted and must not touch this group's log.
+            BaselineMsg::Certify { .. }
+            | BaselineMsg::VoteBatch { .. }
+            | BaselineMsg::DecisionClient { .. }
+            | BaselineMsg::TmPaxos { .. }
+            | BaselineMsg::ShardPaxos { .. } => {}
         }
     }
 

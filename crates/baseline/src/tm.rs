@@ -588,7 +588,12 @@ impl Actor<BaselineMsg> for TransactionManager {
                 }
             }
             BaselineMsg::TmPaxos { msg } => self.handle_paxos(from, msg, ctx),
-            _ => {}
+            // Explicit no-ops: shard-group and client traffic never acts on
+            // the transaction manager.
+            BaselineMsg::Prepare { .. }
+            | BaselineMsg::Decision { .. }
+            | BaselineMsg::DecisionClient { .. }
+            | BaselineMsg::ShardPaxos { .. } => {}
         }
     }
 

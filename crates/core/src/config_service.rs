@@ -94,8 +94,35 @@ impl Actor<Msg> for ConfigServiceActor {
                     );
                 }
             }
-            // The CS ignores protocol traffic not addressed to it.
-            _ => {}
+            // Explicit no-ops: the CS answers only its own vocabulary
+            // (`CsGetLast`/`CsGet`/`CsCas`); commit-protocol and
+            // reconfiguration traffic is never addressed to it, and the
+            // reply/notification variants below are messages *it* sends.
+            Msg::Certify { .. }
+            | Msg::Prepare { .. }
+            | Msg::PrepareAck { .. }
+            | Msg::Accept { .. }
+            | Msg::AcceptAck { .. }
+            | Msg::DecisionShard { .. }
+            | Msg::DecisionClient { .. }
+            | Msg::Retry { .. }
+            | Msg::DecisionAck { .. }
+            | Msg::AckDecided { .. }
+            | Msg::TxDecided { .. }
+            | Msg::PrepareBatch { .. }
+            | Msg::PrepareAckBatch { .. }
+            | Msg::AcceptBatch { .. }
+            | Msg::AcceptAckBatch { .. }
+            | Msg::DecisionBatch { .. }
+            | Msg::StartReconfigure { .. }
+            | Msg::Probe { .. }
+            | Msg::ProbeAck { .. }
+            | Msg::NewConfig { .. }
+            | Msg::NewState { .. }
+            | Msg::ConfigChange { .. }
+            | Msg::CsGetLastReply { .. }
+            | Msg::CsGetReply { .. }
+            | Msg::CsCasReply { .. } => {}
         }
     }
 }

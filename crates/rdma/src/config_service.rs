@@ -78,7 +78,36 @@ impl Actor<RdmaMsg> for GlobalConfigServiceActor {
                     ctx.send_to_many(targets, RdmaMsg::NaiveConfigChange { config });
                 }
             }
-            _ => {}
+            // Explicit no-ops: the CS answers only its own vocabulary
+            // (`CsGetLast`/`CsGet`/`CsCas`); commit, reconfiguration and
+            // fabric traffic is never addressed to it, and the reply /
+            // notification variants below are messages *it* sends.
+            RdmaMsg::Certify { .. }
+            | RdmaMsg::Prepare { .. }
+            | RdmaMsg::PrepareAck { .. }
+            | RdmaMsg::Accept { .. }
+            | RdmaMsg::DecisionShard { .. }
+            | RdmaMsg::DecisionClient { .. }
+            | RdmaMsg::Retry { .. }
+            | RdmaMsg::TxDecided { .. }
+            | RdmaMsg::PrepareBatch { .. }
+            | RdmaMsg::PrepareAckBatch { .. }
+            | RdmaMsg::AcceptBatch { .. }
+            | RdmaMsg::DecisionBatch { .. }
+            | RdmaMsg::FrontierExchange { .. }
+            | RdmaMsg::StartReconfigure { .. }
+            | RdmaMsg::Probe { .. }
+            | RdmaMsg::ProbeAck { .. }
+            | RdmaMsg::ConfigPrepare { .. }
+            | RdmaMsg::ConfigPrepareAck { .. }
+            | RdmaMsg::NewConfig { .. }
+            | RdmaMsg::NewState { .. }
+            | RdmaMsg::Connect { .. }
+            | RdmaMsg::ConnectAck { .. }
+            | RdmaMsg::CsGetLastReply { .. }
+            | RdmaMsg::CsGetReply { .. }
+            | RdmaMsg::CsCasReply { .. }
+            | RdmaMsg::NaiveConfigChange { .. } => {}
         }
     }
 }

@@ -530,7 +530,39 @@ impl RdmaReplica {
                 }
                 self.maybe_truncate(truncate_to, ctx);
             }
-            _ => {}
+            // An `ACCEPT` whose slot already left `Start` (the guard above
+            // rejected it): a duplicate RDMA write replaying an occupied
+            // slot — idempotent, nothing to store.
+            RdmaMsg::Accept { .. } => {}
+            // Explicit no-ops: only `ACCEPT`/`DECISION` (and their batches)
+            // are one-sided writes into follower memory; everything else in
+            // the vocabulary travels as a routed message and never reaches
+            // `apply_rdma_payload`.
+            RdmaMsg::Certify { .. }
+            | RdmaMsg::Prepare { .. }
+            | RdmaMsg::PrepareAck { .. }
+            | RdmaMsg::DecisionClient { .. }
+            | RdmaMsg::Retry { .. }
+            | RdmaMsg::TxDecided { .. }
+            | RdmaMsg::PrepareBatch { .. }
+            | RdmaMsg::PrepareAckBatch { .. }
+            | RdmaMsg::FrontierExchange { .. }
+            | RdmaMsg::StartReconfigure { .. }
+            | RdmaMsg::Probe { .. }
+            | RdmaMsg::ProbeAck { .. }
+            | RdmaMsg::ConfigPrepare { .. }
+            | RdmaMsg::ConfigPrepareAck { .. }
+            | RdmaMsg::NewConfig { .. }
+            | RdmaMsg::NewState { .. }
+            | RdmaMsg::Connect { .. }
+            | RdmaMsg::ConnectAck { .. }
+            | RdmaMsg::CsGetLast
+            | RdmaMsg::CsGetLastReply { .. }
+            | RdmaMsg::CsGet { .. }
+            | RdmaMsg::CsGetReply { .. }
+            | RdmaMsg::CsCas { .. }
+            | RdmaMsg::CsCasReply { .. }
+            | RdmaMsg::NaiveConfigChange { .. } => {}
         }
     }
 

@@ -7,6 +7,10 @@
 //! [`Context::record_sample`](crate::actor::Context::record_sample); the world
 //! records transport-level numbers (messages sent and received per process,
 //! RDMA writes, rejected RDMA writes) automatically.
+// analyze:allow-file(float-state): this is the measurement sink itself —
+// metrics are derived FROM runs and never feed back into scheduling or
+// protocol decisions (pinned by the PR 8 obs-invisibility differential
+// tests), so float statistics here cannot perturb replay.
 
 use std::collections::BTreeMap;
 

@@ -166,16 +166,38 @@ impl Ord for RtTimer {
 }
 
 /// State shared by the driver and every worker for the duration of a run.
+///
+/// Memory-ordering protocol (one happens-before edge per atomic):
+///
+/// * [`Shared::pending`] — `AcqRel` RMWs; the increment (Release half)
+///   happens-before the driver's `Acquire` load in the quiescence loop, so
+///   when the driver reads 0 every enqueue that preceded the matching
+///   decrement is visible and the run really is quiescent. The increment
+///   is issued *before* the `try_send`/timer-arm it covers so the counter
+///   over-approximates in-flight work, never under-approximates it.
+/// * [`Shared::stopping`] — driver `Release` store, worker `Acquire` loads:
+///   everything the driver did before requesting the stop (including the
+///   quiescence decision) happens-before a worker observing `true`.
+/// * [`Shared::retired`] — `AcqRel` `fetch_add` pledge / `Acquire` load:
+///   a worker's pledge (and every send it issued before pledging)
+///   happens-before another worker observing the full retirement count,
+///   so the drain phase cannot terminate while a pledged send is invisible.
+/// * [`Shared::rejected`] — `Relaxed` `fetch_add` is sufficient: the
+///   counter guards no other memory, atomic RMWs never lose increments,
+///   and the final read happens after `std::thread::scope` joins every
+///   worker, which already orders all their increments before it.
 struct Shared<M> {
     /// Processes that have a thread (i.e. were not crashed at run start).
     live: BTreeSet<ProcessId>,
     /// In-flight work: queued channel events plus armed timers plus the
     /// event currently being handled. Zero means quiescent.
+    /// Increment-before-send / decrement-after-handle, `AcqRel`.
     pending: AtomicI64,
-    /// Set by the driver to end the run.
+    /// Set by the driver to end the run. Store `Release`, load `Acquire`.
     stopping: AtomicBool,
     /// Workers that have finished their main loop and pledged to send no
-    /// further events; the drain phase completes when all have.
+    /// further events; the drain phase completes when all have. `AcqRel`
+    /// pledge, `Acquire` poll.
     retired: AtomicUsize,
     /// RDMA permission sets (`allowed[owner]` = peers that may write).
     perms: Mutex<BTreeMap<ProcessId, BTreeSet<ProcessId>>>,
@@ -183,7 +205,9 @@ struct Shared<M> {
     /// while a handler runs; writers lock `perms` then the target inbox
     /// (a single global lock order, so no deadlock).
     inboxes: BTreeMap<ProcessId, Mutex<RdmaInbox<M>>>,
-    /// RDMA writes rejected because the connection was closed.
+    /// RDMA writes rejected because the connection was closed. `Relaxed`
+    /// increments; completeness comes from the scope join (see above), not
+    /// from this atomic's ordering.
     rejected: AtomicU64,
     /// Wall-clock origin of the run; `now()` is `start_now` + elapsed.
     epoch: Instant,
@@ -874,7 +898,12 @@ where
         .into_iter()
         .map(|(pid, inbox)| (pid, inbox.into_inner().expect("inbox lock")))
         .collect();
-    let rejected = rejected_base + shared.rejected.load(Ordering::Acquire) + seed_rejected;
+    // `shared.rejected` already includes the seed-path rejections
+    // (`rdma_arrive` bumps it before `seed_rejected` is incremented), so
+    // only the pre-run base is added here. `seed_rejected` feeds
+    // `world.metrics` above instead: seed rejections happen on the driver
+    // thread and are in no worker's absorbed metrics.
+    let rejected = rejected_base + shared.rejected.load(Ordering::Acquire);
     world.rdma = RdmaFabric::from_parts(perms, inboxes, rejected);
     world.next_timer_id = base_timer_id + (live.len() as u64) * ID_STRIPE;
     world.next_rdma_token = base_rdma_token + (live.len() as u64) * ID_STRIPE;
@@ -1066,6 +1095,28 @@ mod tests {
             .rdma_messages
             .is_empty());
         assert_eq!(w.metrics().process(driver).rdma_acks, 0);
+    }
+
+    /// A write rejected on the *seed* path (queued in the world before the
+    /// threaded run starts) must count exactly once in the fabric counter
+    /// and once in metrics — the driver bumps `Shared::rejected` inside
+    /// `rdma_arrive` and separately tallies `seed_rejected`, and these were
+    /// once summed together, double-counting every seed rejection.
+    #[test]
+    fn threaded_seed_path_rejection_counts_once() {
+        let mut w = World::new(SimConfig::default());
+        let receiver = w.add_actor(Recorder::default());
+        let sender = w.add_actor(Recorder::default());
+        // No rdma_open: the queued write must be rejected during seeding.
+        w.rdma_send_from(sender, receiver, Msg::Note(7));
+        w.run_threaded();
+        assert_eq!(w.rdma_rejected(), 1, "fabric counts the rejection once");
+        assert_eq!(w.metrics().rdma_rejected, 1, "metrics count it once");
+        assert!(w
+            .actor::<Recorder>(receiver)
+            .expect("r")
+            .rdma_messages
+            .is_empty());
     }
 
     #[test]

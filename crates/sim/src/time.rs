@@ -3,6 +3,9 @@
 //! The simulator measures time in abstract microseconds. Nothing in the
 //! protocol logic depends on the absolute scale; experiments report either
 //! simulated durations or message-delay (hop) counts.
+// analyze:allow-file(float-state): time is stored and compared in integer
+// microseconds; the f64 here is the one-way `as_millis_f64` conversion for
+// report output, which no protocol or scheduling decision reads back.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};

@@ -140,6 +140,9 @@ pub fn run_counterexample(mode: ReconfigMode, seed: u64) -> CounterexampleOutcom
                 vote,
                 ..
             } if *s == shard => Some((*pos, payload.clone(), *vote)),
+            // analyze:allow(wildcard-dispatch): extraction filter over a
+            // scripted peer's inbox, not a dispatch — non-PREPARE_ACK
+            // traffic is deliberately skipped while reconstructing Fig. 4a.
             _ => None,
         })
     };

@@ -918,6 +918,9 @@ pub fn wallclock_scaling_experiment(
 ) -> WallclockResult {
     let mut cluster = wallclock_cluster(stack, shards, batch, seed);
     let per_wave = outstanding * shards as usize;
+    // analyze:allow(wall-clock): E9 measures real elapsed time by design —
+    // wall-clock throughput of the threaded backend is the experiment's
+    // entire point; the result is reported, never fed back into the run.
     let start = std::time::Instant::now();
     let mut next = 0u64;
     for _ in 0..waves {
